@@ -1,0 +1,45 @@
+// Supplementary: the paper's schema generator supports both uniform and
+// skewed (exponential) data distributions (Section 3.1: "we have
+// experimented with both uniform and skewed ... distributions"; the
+// presented tables are the uniform results).  This harness repeats the
+// headline Star-Chain-15 and Star-15 quality experiments on the skewed
+// schema: exponential data concentrates values, lowering distinct counts
+// and raising join selectivities, which stresses the optimizers with
+// fatter intermediate results.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace sdp;
+  bench::PrintHeader("Extra distribution",
+                     "Skewed (exponential) data, headline workloads");
+  SchemaConfig config;
+  config.distribution = DataDistribution::kExponential;
+  bench::PaperContext ctx;
+  ctx.catalog = MakeSyntheticCatalog(config);
+  ctx.stats = SynthesizeStats(ctx.catalog);
+
+  const std::vector<AlgorithmSpec> algos = {
+      AlgorithmSpec::DP(), AlgorithmSpec::IDP(7), AlgorithmSpec::IDP(4),
+      AlgorithmSpec::SDP()};
+
+  {
+    WorkloadSpec spec;
+    spec.topology = Topology::kStarChain;
+    spec.num_relations = 15;
+    spec.num_instances = bench::ScaledInstances(25);
+    bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64),
+                       /*quality=*/true, /*overheads=*/false);
+  }
+  {
+    WorkloadSpec spec;
+    spec.topology = Topology::kStar;
+    spec.num_relations = 15;
+    spec.num_instances = bench::ScaledInstances(20);
+    bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64),
+                       /*quality=*/true, /*overheads=*/false);
+  }
+  std::printf("Expected (paper: 'our results for the other ... are similar "
+              "in flavor'):\nthe same ordering as the uniform tables -- SDP "
+              "near-ideal, IDPs degraded.\n");
+  return 0;
+}

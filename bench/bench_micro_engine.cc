@@ -1,0 +1,84 @@
+// Micro-benchmarks of the execution-engine substrate: data generation,
+// index lookups and the physical join operators.
+#include <benchmark/benchmark.h>
+
+#include "catalog/catalog.h"
+#include "engine/executor.h"
+#include "engine/table_data.h"
+#include "query/topology.h"
+#include "workload/workload.h"
+
+namespace {
+
+sdp::SchemaConfig SmallSchema() {
+  sdp::SchemaConfig config;
+  config.num_relations = 10;
+  config.min_rows = 100;
+  config.max_rows = 5000;
+  config.min_domain = 50;
+  config.max_domain = 5000;
+  config.seed = 3;
+  return config;
+}
+
+struct EngineFixture {
+  EngineFixture()
+      : catalog(sdp::MakeSyntheticCatalog(SmallSchema())),
+        db(sdp::Database::Generate(catalog, 21)) {
+    sdp::WorkloadSpec spec;
+    spec.topology = sdp::Topology::kChain;
+    spec.num_relations = 2;
+    spec.num_instances = 1;
+    query = sdp::GenerateWorkload(catalog, spec).front();
+  }
+  sdp::Catalog catalog;
+  sdp::Database db;
+  sdp::Query query{sdp::JoinGraph({0}), std::nullopt, {}};
+};
+
+EngineFixture& GetEngine() {
+  static EngineFixture* f = new EngineFixture();
+  return *f;
+}
+
+void BM_DataGeneration(benchmark::State& state) {
+  const sdp::Catalog catalog = sdp::MakeSyntheticCatalog(SmallSchema());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sdp::Database::Generate(catalog, 7, state.range(0)));
+  }
+}
+BENCHMARK(BM_DataGeneration)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_Analyze(benchmark::State& state) {
+  EngineFixture& f = GetEngine();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.db.Analyze());
+  }
+}
+BENCHMARK(BM_Analyze)->Unit(benchmark::kMillisecond);
+
+void BM_IndexLookup(benchmark::State& state) {
+  EngineFixture& f = GetEngine();
+  const sdp::TableData& data = f.db.table(0);
+  const int idx = f.catalog.table(0).indexed_column;
+  int64_t i = 0;
+  for (auto _ : state) {
+    const int64_t key = data.columns[idx][i++ % data.num_rows()];
+    benchmark::DoNotOptimize(data.IndexLookup(key));
+  }
+}
+BENCHMARK(BM_IndexLookup);
+
+void BM_HashJoinExecution(benchmark::State& state) {
+  EngineFixture& f = GetEngine();
+  sdp::Executor exec(f.db, f.query.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.ExecuteReference());
+  }
+}
+BENCHMARK(BM_HashJoinExecution)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

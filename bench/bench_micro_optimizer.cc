@@ -1,0 +1,90 @@
+// Micro-benchmarks of whole-query optimization across algorithms and
+// topologies: the per-query latency/effort figures behind the paper-table
+// harnesses.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/sdp.h"
+#include "optimizer/dp.h"
+#include "optimizer/idp.h"
+
+namespace {
+
+struct Fixture {
+  Fixture() : ctx(sdp::bench::MakePaperContext()) {}
+  sdp::Query MakeQuery(sdp::Topology t, int n) {
+    sdp::WorkloadSpec spec;
+    spec.topology = t;
+    spec.num_relations = n;
+    spec.num_instances = 1;
+    spec.seed = 77;
+    return sdp::GenerateWorkload(ctx.catalog, spec).front();
+  }
+  sdp::bench::PaperContext ctx;
+};
+
+Fixture& GetFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+void BM_DPStar(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const sdp::Query q =
+      f.MakeQuery(sdp::Topology::kStar, static_cast<int>(state.range(0)));
+  sdp::CostModel cost(f.ctx.catalog, f.ctx.stats, q.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdp::OptimizeDP(q, cost));
+  }
+}
+BENCHMARK(BM_DPStar)->DenseRange(8, 14, 2)->Unit(benchmark::kMillisecond);
+
+void BM_DPChain(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const sdp::Query q =
+      f.MakeQuery(sdp::Topology::kChain, static_cast<int>(state.range(0)));
+  sdp::CostModel cost(f.ctx.catalog, f.ctx.stats, q.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdp::OptimizeDP(q, cost));
+  }
+}
+BENCHMARK(BM_DPChain)->DenseRange(8, 24, 4)->Unit(benchmark::kMillisecond);
+
+void BM_SDPStar(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const sdp::Query q =
+      f.MakeQuery(sdp::Topology::kStar, static_cast<int>(state.range(0)));
+  sdp::CostModel cost(f.ctx.catalog, f.ctx.stats, q.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdp::OptimizeSDP(q, cost));
+  }
+}
+BENCHMARK(BM_SDPStar)->DenseRange(8, 20, 4)->Unit(benchmark::kMillisecond);
+
+void BM_IDP7Star(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const sdp::Query q =
+      f.MakeQuery(sdp::Topology::kStar, static_cast<int>(state.range(0)));
+  sdp::CostModel cost(f.ctx.catalog, f.ctx.stats, q.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdp::OptimizeIDP(q, cost, sdp::IdpConfig{7}));
+  }
+}
+BENCHMARK(BM_IDP7Star)->DenseRange(8, 16, 4)->Unit(benchmark::kMillisecond);
+
+void BM_SDPStarChain(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const sdp::Query q = f.MakeQuery(sdp::Topology::kStarChain,
+                                   static_cast<int>(state.range(0)));
+  sdp::CostModel cost(f.ctx.catalog, f.ctx.stats, q.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdp::OptimizeSDP(q, cost));
+  }
+}
+BENCHMARK(BM_SDPStarChain)
+    ->DenseRange(10, 22, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Micro-benchmarks of the skyline algorithms SDP's pruning relies on.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/skyline_pruning.h"
+#include "skyline/skyline.h"
+
+namespace {
+
+std::vector<std::vector<double>> RandomPoints(int n, int d, uint64_t seed) {
+  sdp::Rng rng(seed);
+  std::vector<std::vector<double>> pts(n);
+  for (auto& p : pts) {
+    p.resize(d);
+    for (auto& v : p) v = rng.NextDouble();
+  }
+  return pts;
+}
+
+void BM_SkylineNaive(benchmark::State& state) {
+  const auto pts = RandomPoints(static_cast<int>(state.range(0)), 3, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdp::SkylineNaive(pts));
+  }
+}
+BENCHMARK(BM_SkylineNaive)->Range(8, 1024);
+
+void BM_SkylineBNL(benchmark::State& state) {
+  const auto pts = RandomPoints(static_cast<int>(state.range(0)), 3, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdp::SkylineBNL(pts));
+  }
+}
+BENCHMARK(BM_SkylineBNL)->Range(8, 1024);
+
+void BM_Skyline2D(benchmark::State& state) {
+  sdp::Rng rng(2);
+  std::vector<std::array<double, 2>> pts(state.range(0));
+  for (auto& p : pts) p = {rng.NextDouble(), rng.NextDouble()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdp::Skyline2D(pts));
+  }
+}
+BENCHMARK(BM_Skyline2D)->Range(8, 4096);
+
+void BM_PairwiseSkylineReport(benchmark::State& state) {
+  sdp::Rng rng(3);
+  std::vector<sdp::JcrFeatures> f(state.range(0));
+  for (auto& x : f) {
+    x = {rng.NextDouble() * 1e6, rng.NextDouble() * 1e5, rng.NextDouble()};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdp::PairwiseSkylineReport(f));
+  }
+}
+BENCHMARK(BM_PairwiseSkylineReport)->Range(8, 1024);
+
+void BM_KDominantSkyline(benchmark::State& state) {
+  const auto pts = RandomPoints(static_cast<int>(state.range(0)), 3, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdp::KDominantSkyline(pts, 2));
+  }
+}
+BENCHMARK(BM_KDominantSkyline)->Range(8, 512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

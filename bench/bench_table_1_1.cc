@@ -1,0 +1,20 @@
+// Reproduces Table 1.1: plan quality of DP, IDP(7) and SDP on the
+// Star-Chain-15 join graph (Figure 1.1), 100 instances in the paper.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace sdp;
+  bench::PrintHeader("Table 1.1", "Star-Chain-15 plan quality (DP, IDP, SDP)");
+  bench::PaperContext ctx = bench::MakePaperContext();
+
+  WorkloadSpec spec;
+  spec.topology = Topology::kStarChain;
+  spec.num_relations = 15;
+  spec.num_instances = bench::ScaledInstances(50);
+  bench::RunAndPrint(ctx, spec,
+                     {AlgorithmSpec::DP(), AlgorithmSpec::IDP(7),
+                      AlgorithmSpec::SDP()},
+                     bench::BudgetMb(64), /*quality=*/true,
+                     /*overheads=*/false);
+  return 0;
+}

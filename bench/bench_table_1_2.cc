@@ -1,0 +1,20 @@
+// Reproduces Table 1.2: optimization overheads (memory, time, plans costed)
+// of DP, IDP(7) and SDP on Star-Chain-15.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace sdp;
+  bench::PrintHeader("Table 1.2", "Star-Chain-15 optimization overheads");
+  bench::PaperContext ctx = bench::MakePaperContext();
+
+  WorkloadSpec spec;
+  spec.topology = Topology::kStarChain;
+  spec.num_relations = 15;
+  spec.num_instances = bench::ScaledInstances(30);
+  bench::RunAndPrint(ctx, spec,
+                     {AlgorithmSpec::DP(), AlgorithmSpec::IDP(7),
+                      AlgorithmSpec::SDP()},
+                     bench::BudgetMb(64), /*quality=*/false,
+                     /*overheads=*/true);
+  return 0;
+}

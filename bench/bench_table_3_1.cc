@@ -1,0 +1,27 @@
+// Reproduces Table 3.1: plan quality on pure star join graphs of 15, 20 and
+// 23 relations (DP, IDP(7), IDP(4), SDP).  DP becomes infeasible beyond 15;
+// IDP(7) beyond 20; SDP is the reference for the scaled rows.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace sdp;
+  bench::PrintHeader("Table 3.1", "Star join graphs: plan quality");
+  bench::PaperContext ctx = bench::MakePaperContext();
+  const std::vector<AlgorithmSpec> algos = {
+      AlgorithmSpec::DP(), AlgorithmSpec::IDP(7), AlgorithmSpec::IDP(4),
+      AlgorithmSpec::SDP()};
+
+  const int instances[] = {bench::ScaledInstances(30),
+                           bench::ScaledInstances(5),
+                           bench::ScaledInstances(3)};
+  const int sizes[] = {15, 20, 23};
+  for (int i = 0; i < 3; ++i) {
+    WorkloadSpec spec;
+    spec.topology = Topology::kStar;
+    spec.num_relations = sizes[i];
+    spec.num_instances = instances[i];
+    bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64),
+                       /*quality=*/true, /*overheads=*/false);
+  }
+  return 0;
+}

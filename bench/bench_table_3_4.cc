@@ -1,0 +1,28 @@
+// Reproduces Table 3.4: plan quality on the ordered variants of the star
+// workloads (ORDER BY a random join column), exercising the
+// interesting-order machinery and SDP's rescue partitions.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace sdp;
+  bench::PrintHeader("Table 3.4", "Ordered star join graphs: plan quality");
+  bench::PaperContext ctx = bench::MakePaperContext();
+  const std::vector<AlgorithmSpec> algos = {
+      AlgorithmSpec::DP(), AlgorithmSpec::IDP(7), AlgorithmSpec::IDP(4),
+      AlgorithmSpec::SDP()};
+
+  const int instances[] = {bench::ScaledInstances(30),
+                           bench::ScaledInstances(5),
+                           bench::ScaledInstances(3)};
+  const int sizes[] = {15, 20, 23};
+  for (int i = 0; i < 3; ++i) {
+    WorkloadSpec spec;
+    spec.topology = Topology::kStar;
+    spec.num_relations = sizes[i];
+    spec.num_instances = instances[i];
+    spec.ordered = true;
+    bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64),
+                       /*quality=*/true, /*overheads=*/false);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Scalability demonstration: a 30-relation star under a 64 MB optimizer
+// memory budget.  Exhaustive DP and IDP(7) exhaust the budget; SDP returns
+// a plan in well under a second -- the regime the paper's Tables 1.3/1.4
+// and 3.3 characterize.
+#include <cstdio>
+#include <iostream>
+
+#include "catalog/catalog.h"
+#include "core/sdp.h"
+#include "harness/experiment.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+int main() {
+  // Extended schema: enough relations (and hub columns) for very wide stars.
+  sdp::Catalog catalog =
+      sdp::MakeSyntheticCatalog(sdp::ExtendedSchemaConfig(50));
+  sdp::StatsCatalog stats = sdp::SynthesizeStats(catalog);
+
+  sdp::WorkloadSpec spec;
+  spec.topology = sdp::Topology::kStar;
+  spec.num_relations = 30;
+  spec.num_instances = 1;
+  spec.seed = 3;
+  const sdp::Query query = sdp::GenerateWorkload(catalog, spec).front();
+
+  sdp::OptimizerOptions budget;
+  budget.memory_budget_bytes = 64ull << 20;
+  std::cout << "Optimizing a 30-relation star join under a 64 MB budget\n\n";
+
+  sdp::CostModel cost(catalog, stats, query.graph);
+  const std::vector<sdp::AlgorithmSpec> algos = {
+      sdp::AlgorithmSpec::DP(), sdp::AlgorithmSpec::IDP(7),
+      sdp::AlgorithmSpec::IDP(4), sdp::AlgorithmSpec::SDP()};
+
+  const sdp::OptimizeResult* sdp_result = nullptr;
+  std::vector<sdp::OptimizeResult> results;
+  results.reserve(algos.size());
+  for (const sdp::AlgorithmSpec& algo : algos) {
+    results.push_back(sdp::RunAlgorithm(algo, query, cost, budget));
+  }
+  std::printf("%-8s %10s %12s %10s %16s\n", "tech", "feasible", "memory(MB)",
+              "time(s)", "plans costed");
+  for (const sdp::OptimizeResult& r : results) {
+    std::printf("%-8s %10s %12.2f %10.3f %16llu\n", r.algorithm.c_str(),
+                r.feasible ? "yes" : "NO (budget)", r.peak_memory_mb,
+                r.elapsed_seconds,
+                static_cast<unsigned long long>(r.counters.plans_costed));
+    if (r.feasible && r.algorithm == "SDP") sdp_result = &results.back();
+  }
+  if (sdp_result == nullptr) {
+    std::cerr << "unexpected: SDP infeasible\n";
+    return 1;
+  }
+  std::cout << "\nSDP's chosen join order:\n  " << sdp_result->plan->Shape()
+            << "\n";
+  std::cout << "\n(The paper's Table 3.3 scaleup experiment -- "
+               "bench_table_3_3 -- pushes this\nto 45+ relation stars.)\n";
+  return 0;
+}

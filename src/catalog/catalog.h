@@ -1,0 +1,88 @@
+#ifndef SDPOPT_CATALOG_CATALOG_H_
+#define SDPOPT_CATALOG_CATALOG_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+namespace sdp {
+
+// How the values of a column are distributed over its domain.  The paper
+// evaluates both uniform and skewed (exponential) data.
+enum class DataDistribution : uint8_t {
+  kUniform,
+  kExponential,
+};
+
+// Column metadata.  All columns are 64-bit integers drawn from
+// [0, domain_size); this mirrors the paper's synthetic schema, where only
+// cardinalities, domain sizes and indexes matter to the optimizer.
+struct Column {
+  std::string name;
+  uint64_t domain_size = 0;
+  DataDistribution distribution = DataDistribution::kUniform;
+};
+
+// Table metadata.  `indexed_column` identifies the single column carrying a
+// (B-tree-style, ordered) index, or -1 for none; the paper's generator
+// indexes one random column per relation.
+struct Table {
+  std::string name;
+  uint64_t row_count = 0;
+  std::vector<Column> columns;
+  int indexed_column = -1;
+
+  // Width of one stored row in bytes; drives page-count estimates.
+  double row_width_bytes() const {
+    return 24.0 + 8.0 * static_cast<double>(columns.size());
+  }
+};
+
+// The schema dictionary: an immutable-after-construction list of tables.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Registers a table; returns its id.
+  int AddTable(Table table);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const Table& table(int id) const { return tables_.at(id); }
+
+  // Returns the table id, or -1 if no table has this name.
+  int FindTable(const std::string& name) const;
+
+  // Ids of all tables sorted by descending row count (the paper picks the
+  // largest relation as the star hub, as in data-warehouse fact tables).
+  std::vector<int> TablesByRowCountDesc() const;
+
+ private:
+  std::vector<Table> tables_;
+};
+
+// Parameters of the paper's synthetic schema (Section 3.1): 25 relations,
+// geometric cardinalities between 100 and 2.5M rows (parameter ~1.5),
+// 24 columns per relation with geometric domain sizes over the same range,
+// one randomly chosen indexed column per relation.
+struct SchemaConfig {
+  int num_relations = 25;
+  uint64_t min_rows = 100;
+  uint64_t max_rows = 2'500'000;
+  int columns_per_table = 24;
+  uint64_t min_domain = 100;
+  uint64_t max_domain = 2'500'000;
+  DataDistribution distribution = DataDistribution::kUniform;
+  uint64_t seed = 2006;
+};
+
+// Builds the synthetic schema.  Deterministic for a given config.
+Catalog MakeSyntheticCatalog(const SchemaConfig& config);
+
+// Convenience: the extended schema used for the maximum-scaleup experiment
+// (Table 3.3), which needs more than 45 relations.
+SchemaConfig ExtendedSchemaConfig(int num_relations);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_CATALOG_CATALOG_H_

@@ -1,0 +1,43 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace sdp {
+
+void* Arena::Allocate(size_t size, size_t align) {
+  SDP_DCHECK(align > 0 && (align & (align - 1)) == 0);
+  if (!blocks_.empty()) {
+    Block& b = blocks_.back();
+    size_t offset = (b.used + align - 1) & ~(align - 1);
+    if (offset + size <= b.size) {
+      b.used = offset + size;
+      allocated_ += size;
+      if (gauge_ != nullptr) gauge_->Charge(size);
+      return b.data.get() + offset;
+    }
+  }
+  // Start a new block: doubling growth, but never below what's requested.
+  size_t block_size =
+      blocks_.empty() ? kInitialBlockSize
+                      : std::min(blocks_.back().size * 2, kMaxBlockSize);
+  block_size = std::max(block_size, size + align);
+  Block b;
+  b.data = std::make_unique<char[]>(block_size);
+  b.size = block_size;
+  uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get());
+  size_t offset = ((base + align - 1) & ~(align - 1)) - base;
+  b.used = offset + size;
+  allocated_ += size;
+  if (gauge_ != nullptr) gauge_->Charge(size);
+  void* out = b.data.get() + offset;
+  blocks_.push_back(std::move(b));
+  return out;
+}
+
+void Arena::ReleaseAll() {
+  if (gauge_ != nullptr) gauge_->Release(allocated_);
+  allocated_ = 0;
+  blocks_.clear();
+}
+
+}  // namespace sdp

@@ -1,0 +1,99 @@
+#ifndef SDPOPT_COMMON_ARENA_H_
+#define SDPOPT_COMMON_ARENA_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sdp {
+
+// Tracks the bytes charged by all allocators participating in one
+// optimization run, so the optimizer can enforce the experiment's memory
+// budget (the paper declares an algorithm "infeasible" for a query when it
+// exhausts physical memory; we reproduce that with an explicit budget).
+//
+// The gauge also remembers the high-water mark, which is what the paper's
+// "Memory (in MB)" columns report.
+class MemoryGauge {
+ public:
+  void Charge(size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+  void Release(size_t bytes) {
+    SDP_DCHECK(bytes <= current_);
+    current_ -= bytes;
+  }
+
+  size_t current_bytes() const { return current_; }
+  size_t peak_bytes() const { return peak_; }
+  double peak_mb() const { return static_cast<double>(peak_) / (1 << 20); }
+
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+// Bump allocator for plan nodes and other per-optimization objects.
+//
+// Optimizer plan trees are built incrementally, never freed individually,
+// and discarded wholesale when the optimization ends -- exactly the palloc
+// memory-context pattern PostgreSQL's planner uses.  All bytes are charged
+// to the owning MemoryGauge (if any) so that budget enforcement sees them.
+//
+// Only trivially destructible types may be created in the arena; there is no
+// per-object destruction.
+class Arena {
+ public:
+  explicit Arena(MemoryGauge* gauge = nullptr) : gauge_(gauge) {}
+  ~Arena() { ReleaseAll(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Allocates and constructs a T.  T must be trivially destructible.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena objects are never destroyed individually");
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  // Raw allocation.
+  void* Allocate(size_t size, size_t align);
+
+  // Frees every block and resets accounting.
+  void ReleaseAll();
+
+  size_t allocated_bytes() const { return allocated_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  static constexpr size_t kInitialBlockSize = 16 * 1024;
+  static constexpr size_t kMaxBlockSize = 1024 * 1024;
+
+  MemoryGauge* gauge_;
+  std::vector<Block> blocks_;
+  size_t allocated_ = 0;  // Bytes handed out (not block capacity).
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_COMMON_ARENA_H_

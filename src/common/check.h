@@ -1,0 +1,37 @@
+#ifndef SDPOPT_COMMON_CHECK_H_
+#define SDPOPT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sdp::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "SDP_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace sdp::internal
+
+// Invariant check that stays enabled in release builds.  The optimizer is a
+// search procedure whose correctness depends on structural invariants
+// (disjointness of join inputs, connectivity, memo consistency); violating
+// one silently would corrupt every downstream experiment, so we always abort.
+#define SDP_CHECK(expr)                                     \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::sdp::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                       \
+  } while (0)
+
+// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define SDP_DCHECK(expr) SDP_CHECK(expr)
+#else
+#define SDP_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // SDPOPT_COMMON_CHECK_H_

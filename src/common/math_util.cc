@@ -1,0 +1,30 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sdp {
+
+double BinomialCoefficient(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  double result = 1;
+  for (int i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i);
+    result /= static_cast<double>(i);
+  }
+  return result;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double log_sum = 0;
+  for (double v : values) {
+    SDP_CHECK(v > 0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace sdp

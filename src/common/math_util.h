@@ -1,0 +1,42 @@
+#ifndef SDPOPT_COMMON_MATH_UTIL_H_
+#define SDPOPT_COMMON_MATH_UTIL_H_
+
+#include <stdint.h>
+
+#include <vector>
+
+namespace sdp {
+
+// Binomial coefficient C(n, k) computed in doubles (experiment spaces such
+// as C(24,14) overflow is not a concern at double precision for our sizes).
+double BinomialCoefficient(int n, int k);
+
+// Geometric mean of strictly positive values; returns 0 for an empty input.
+// Used for the paper's plan-quality factor rho (geometric mean of plan costs
+// normalized to the DP-optimal cost).
+double GeometricMean(const std::vector<double>& values);
+
+// Enumerates all k-subsets of {0..n-1} in lexicographic order, invoking
+// fn(const std::vector<int>&) for each.  Returns the number of subsets
+// visited.  If fn returns false, enumeration stops early.
+template <typename Fn>
+uint64_t ForEachCombination(int n, int k, Fn&& fn) {
+  if (k < 0 || k > n) return 0;
+  std::vector<int> idx(k);
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  uint64_t count = 0;
+  for (;;) {
+    ++count;
+    if (!fn(static_cast<const std::vector<int>&>(idx))) return count;
+    // Advance to next combination.
+    int i = k - 1;
+    while (i >= 0 && idx[i] == n - k + i) --i;
+    if (i < 0) return count;
+    ++idx[i];
+    for (int j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+}  // namespace sdp
+
+#endif  // SDPOPT_COMMON_MATH_UTIL_H_

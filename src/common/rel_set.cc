@@ -1,0 +1,19 @@
+#include "common/rel_set.h"
+
+#include <string>
+
+namespace sdp {
+
+std::string RelSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](int rel) {
+    if (!first) out += ",";
+    out += std::to_string(rel);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace sdp

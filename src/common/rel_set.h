@@ -1,0 +1,105 @@
+#ifndef SDPOPT_COMMON_REL_SET_H_
+#define SDPOPT_COMMON_REL_SET_H_
+
+#include <stdint.h>
+
+#include <string>
+
+namespace sdp {
+
+// A set of base relations, represented as a 64-bit bitmask.
+//
+// Relation identifiers are the positions of relations inside a JoinGraph
+// (0-based, dense).  All optimizer data structures (memo keys, join-composite
+// relations, adjacency sets) are expressed as RelSets.  The 64-bit width
+// comfortably covers the paper's largest experiment (a 45-relation star).
+class RelSet {
+ public:
+  static constexpr int kMaxRelations = 64;
+
+  constexpr RelSet() : bits_(0) {}
+  constexpr explicit RelSet(uint64_t bits) : bits_(bits) {}
+
+  // The singleton set {rel}.
+  static constexpr RelSet Single(int rel) { return RelSet(uint64_t{1} << rel); }
+
+  // The set {0, 1, ..., n-1}.
+  static constexpr RelSet FirstN(int n) {
+    return RelSet(n >= kMaxRelations ? ~uint64_t{0} : (uint64_t{1} << n) - 1);
+  }
+
+  constexpr uint64_t bits() const { return bits_; }
+  constexpr bool Empty() const { return bits_ == 0; }
+  constexpr int Count() const { return __builtin_popcountll(bits_); }
+
+  constexpr bool Contains(int rel) const {
+    return (bits_ >> rel) & uint64_t{1};
+  }
+  constexpr bool ContainsAll(RelSet other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  constexpr bool Overlaps(RelSet other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+  constexpr bool IsSubsetOf(RelSet other) const {
+    return (bits_ & other.bits_) == bits_;
+  }
+  // True for strict subsets (subset and not equal).
+  constexpr bool IsProperSubsetOf(RelSet other) const {
+    return IsSubsetOf(other) && bits_ != other.bits_;
+  }
+
+  constexpr RelSet Union(RelSet other) const {
+    return RelSet(bits_ | other.bits_);
+  }
+  constexpr RelSet Intersect(RelSet other) const {
+    return RelSet(bits_ & other.bits_);
+  }
+  constexpr RelSet Subtract(RelSet other) const {
+    return RelSet(bits_ & ~other.bits_);
+  }
+  constexpr RelSet With(int rel) const {
+    return RelSet(bits_ | (uint64_t{1} << rel));
+  }
+  constexpr RelSet Without(int rel) const {
+    return RelSet(bits_ & ~(uint64_t{1} << rel));
+  }
+
+  // Index of the lowest-numbered relation in the set. Undefined when empty.
+  constexpr int Lowest() const { return __builtin_ctzll(bits_); }
+
+  constexpr bool operator==(const RelSet& other) const = default;
+
+  // Calls fn(rel) for each member, in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    uint64_t b = bits_;
+    while (b != 0) {
+      fn(__builtin_ctzll(b));
+      b &= b - 1;
+    }
+  }
+
+  // Renders as e.g. "{0,3,7}".
+  std::string ToString() const;
+
+ private:
+  uint64_t bits_;
+};
+
+struct RelSetHash {
+  size_t operator()(RelSet s) const {
+    // Mix the bits (splitmix64 finalizer) so sequential masks spread well.
+    uint64_t x = s.bits();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_COMMON_REL_SET_H_

@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sdp {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  SDP_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  SDP_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextExponential(double lambda) {
+  SDP_CHECK(lambda > 0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  SDP_CHECK(k >= 0 && k <= n);
+  // Floyd's algorithm gives O(k) draws; we then sort for determinism of
+  // the output order.
+  std::vector<int> out;
+  out.reserve(k);
+  for (int j = n - k; j < n; ++j) {
+    int t = static_cast<int>(NextBounded(static_cast<uint64_t>(j) + 1));
+    bool seen = false;
+    for (int v : out) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  // Insertion sort: k is small in all callers.
+  for (size_t i = 1; i < out.size(); ++i) {
+    int v = out[i];
+    size_t j = i;
+    while (j > 0 && out[j - 1] > v) {
+      out[j] = out[j - 1];
+      --j;
+    }
+    out[j] = v;
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next64()); }
+
+}  // namespace sdp

@@ -1,0 +1,60 @@
+#ifndef SDPOPT_COMMON_RNG_H_
+#define SDPOPT_COMMON_RNG_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#include <utility>
+#include <vector>
+
+namespace sdp {
+
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Every stochastic component of the library (schema generation, data
+// generation, workload sampling) draws from an explicitly seeded Rng so that
+// experiments are exactly reproducible across runs and platforms.  We do not
+// use <random> engines because their distributions are not guaranteed to be
+// bit-identical across standard library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t Next64();
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Exponentially distributed double with the given rate (lambda > 0).
+  double NextExponential(double lambda);
+
+  // A uniformly random k-subset of {0,...,n-1}, in increasing order.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  // Derives an independent child generator; used to give each query instance
+  // its own stream so instance i's draws do not depend on instance i-1.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_COMMON_RNG_H_

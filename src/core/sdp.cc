@@ -1,0 +1,246 @@
+#include "core/sdp.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/check.h"
+#include "cost/cardinality.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/memo.h"
+#include "optimizer/plan_pool.h"
+#include "optimizer/run_helpers.h"
+
+namespace sdp {
+
+namespace {
+
+JcrFeatures FeaturesOf(const MemoEntry* e) {
+  JcrFeatures f;
+  f.rows = e->rows;
+  f.cost = e->CheapestCost();
+  f.sel = e->sel;
+  return f;
+}
+
+// Applies one skyline partition: marks `failed` for members that lose and
+// `member` for all, or `rescued` when in rescue mode.
+void ApplyPartition(const std::vector<MemoEntry*>& partition,
+                    SkylineVariant variant, bool rescue_mode,
+                    std::unordered_map<const MemoEntry*, int>* state) {
+  if (partition.empty()) return;
+  std::vector<JcrFeatures> features;
+  features.reserve(partition.size());
+  for (const MemoEntry* e : partition) features.push_back(FeaturesOf(e));
+  const std::vector<char> survivors = SkylineSurvivors(features, variant);
+  for (size_t i = 0; i < partition.size(); ++i) {
+    int& s = (*state)[partition[i]];
+    if (rescue_mode) {
+      if (survivors[i]) s |= 4;  // rescued
+    } else {
+      s |= 1;  // member of some partition
+      if (!survivors[i]) s |= 2;  // failed a partition
+    }
+  }
+}
+
+// Implements the per-level pruning filter of Section 2.1.3.
+class SdpPruner {
+ public:
+  SdpPruner(const JoinGraph& graph, const SdpConfig& config,
+            const OrderingSpace& space)
+      : graph_(&graph), config_(&config), space_(&space) {
+    for (int r = 0; r < graph.num_relations(); ++r) {
+      if (graph.Degree(r) >= config.hub_degree) {
+        root_hubs_.push_back(r);
+      }
+    }
+  }
+
+  // Prunes (marks) level-`level` entries of `memo`.  Returns the number of
+  // JCRs pruned.
+  int PruneLevel(Memo* memo, int level) {
+    std::vector<MemoEntry*> jcrs;
+    for (MemoEntry* e : memo->EntriesWithUnitCount(level)) {
+      if (!e->pruned) jcrs.push_back(e);
+    }
+    if (jcrs.size() <= 1) return 0;
+
+    std::unordered_map<const MemoEntry*, int> state;
+
+    if (!config_->localized) {
+      // Global ablation: one partition holding the entire level.
+      ApplyPartition(jcrs, config_->skyline, /*rescue_mode=*/false, &state);
+      const int pruned = CommitPrunes(jcrs, state);
+      return pruned - EnsureLevelNonEmpty(jcrs);
+    }
+
+    // Hubs of the current (contracted) join graph: previous-level survivors
+    // joined with >= hub_degree outside relations.  For level 2 these are
+    // the base relations themselves (the root hubs).
+    std::vector<RelSet> hub_parents;
+    for (MemoEntry* h : memo->EntriesWithUnitCount(level - 1)) {
+      if (!h->pruned &&
+          graph_->Neighbors(h->rels).Count() >= config_->hub_degree) {
+        hub_parents.push_back(h->rels);
+      }
+    }
+    if (hub_parents.empty()) return 0;  // Pruning only where hubs exist.
+
+    // PruneGroup: JCRs containing a complete previous-level hub.  The rest
+    // is the FreeGroup and survives unconditionally.
+    std::vector<MemoEntry*> prune_group;
+    for (MemoEntry* e : jcrs) {
+      for (const RelSet& h : hub_parents) {
+        if (h.IsSubsetOf(e->rels)) {
+          prune_group.push_back(e);
+          break;
+        }
+      }
+    }
+    if (prune_group.size() <= 1) return 0;
+
+    // Partition the PruneGroup and skyline each partition.  A JCR appearing
+    // in several partitions must survive in all of them.
+    if (config_->partitioning == SdpConfig::Partitioning::kRootHub) {
+      for (int hub : root_hubs_) {
+        std::vector<MemoEntry*> partition;
+        for (MemoEntry* e : prune_group) {
+          if (e->rels.Contains(hub)) partition.push_back(e);
+        }
+        ApplyPartition(partition, config_->skyline, /*rescue_mode=*/false,
+                       &state);
+      }
+    } else {
+      for (const RelSet& h : hub_parents) {
+        std::vector<MemoEntry*> partition;
+        for (MemoEntry* e : prune_group) {
+          if (h.IsSubsetOf(e->rels)) partition.push_back(e);
+        }
+        ApplyPartition(partition, config_->skyline, /*rescue_mode=*/false,
+                       &state);
+      }
+    }
+
+    // Interesting-order rescue partitions (Section 2.1.4): for each
+    // relation carrying the query's requested join-column order, the JCRs
+    // *not* containing it get an extra chance, so survivors can still be
+    // combined with that relation's ordered plans later.
+    if (config_->order_partitions && space_->RequiredId() >= 0 &&
+        space_->RequiredId() < graph_->num_equiv_classes()) {
+      const RelSet order_rels = graph_->EquivClassRels(space_->RequiredId());
+      order_rels.ForEach([&](int rel) {
+        std::vector<MemoEntry*> partition;
+        for (MemoEntry* e : prune_group) {
+          if (!e->rels.Contains(rel)) partition.push_back(e);
+        }
+        ApplyPartition(partition, config_->skyline, /*rescue_mode=*/true,
+                       &state);
+      });
+    }
+
+    const int pruned = CommitPrunes(prune_group, state);
+    return pruned - EnsureLevelNonEmpty(jcrs);
+  }
+
+ private:
+  // Defensive guard: pruning must never eliminate a whole level, or the
+  // search could not reach the full relation set.  The pairwise-union
+  // skyline cannot empty a level (the lexicographic-minimum-cost JCR
+  // survives every RC skyline it appears in), but k-dominance is cyclic:
+  // the strong variant can eliminate everything.  Rescue the cheapest JCR
+  // in that case.  Returns 1 if a rescue happened.
+  static int EnsureLevelNonEmpty(const std::vector<MemoEntry*>& jcrs) {
+    MemoEntry* cheapest = nullptr;
+    for (MemoEntry* e : jcrs) {
+      if (!e->pruned) return 0;
+      if (cheapest == nullptr || e->CheapestCost() < cheapest->CheapestCost()) {
+        cheapest = e;
+      }
+    }
+    if (cheapest == nullptr) return 0;
+    cheapest->pruned = false;
+    return 1;
+  }
+  static int CommitPrunes(const std::vector<MemoEntry*>& candidates,
+                          const std::unordered_map<const MemoEntry*, int>&
+                              state) {
+    int pruned = 0;
+    for (MemoEntry* e : candidates) {
+      auto it = state.find(e);
+      if (it == state.end()) continue;  // In no partition: survives.
+      const int s = it->second;
+      const bool member = (s & 1) != 0;
+      const bool failed = (s & 2) != 0;
+      const bool rescued = (s & 4) != 0;
+      if (member && failed && !rescued) {
+        e->pruned = true;
+        ++pruned;
+      }
+    }
+    return pruned;
+  }
+
+  const JoinGraph* graph_;
+  const SdpConfig* config_;
+  const OrderingSpace* space_;
+  std::vector<int> root_hubs_;
+};
+
+}  // namespace
+
+OptimizeResult OptimizeSDP(const Query& query, const CostModel& cost,
+                           const SdpConfig& config,
+                           const OptimizerOptions& options) {
+  const JoinGraph& graph = query.graph;
+  SDP_CHECK(graph.IsConnected(graph.AllRelations()));
+
+  Stopwatch timer;
+  MemoryGauge gauge;
+  PlanPool pool(&gauge);
+  Memo memo(&gauge);
+  CardinalityEstimator card(graph, cost, &gauge);
+  std::optional<ColumnRef> order_col;
+  if (query.order_by.has_value()) order_col = query.order_by->column;
+  OrderingSpace space(graph, order_col);
+  SearchCounters counters;
+  JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool, &gauge,
+                            options, &counters);
+  SdpPruner pruner(graph, config, space);
+
+  enumerator.InstallBaseRelationLeaves();
+  const int n = graph.num_relations();
+  for (int level = 2; level <= n; ++level) {
+    if (!enumerator.RunLevel(level)) {
+      return MakeOptimizeResult("SDP", nullptr, counters, timer.Seconds(),
+                                gauge);
+    }
+    // Levels N-2 and N-1 (and N) always run pure DP: two relations from
+    // completion, no hubs can remain (Section 2.1.2).
+    if (level <= n - 3) {
+      if (pruner.PruneLevel(&memo, level) > 0) {
+        // Recycle the pruned JCRs entirely -- plans and memo slots.
+        // Nothing references plans of the level just completed, and a
+        // pruned relation set can never be re-targeted (its level is
+        // done); this is the engine-level analogue of PostgreSQL
+        // pfree-ing discarded paths and rels.
+        std::vector<MemoEntry*> doomed;
+        for (MemoEntry* e : memo.EntriesWithUnitCount(level)) {
+          if (e->pruned) doomed.push_back(e);
+        }
+        for (MemoEntry* e : doomed) {
+          for (const RankedPlan& rp : e->plans) {
+            pool.FreeTopAndSorts(rp.plan);
+          }
+          memo.Erase(e);
+        }
+      }
+    }
+  }
+  MemoEntry* full = memo.Find(graph.AllRelations());
+  SDP_CHECK(full != nullptr);
+  const PlanNode* plan = enumerator.FinalizeBestPlan(full);
+  return MakeOptimizeResult("SDP", plan, counters, timer.Seconds(), gauge);
+}
+
+}  // namespace sdp

@@ -1,0 +1,52 @@
+#ifndef SDPOPT_CORE_SDP_H_
+#define SDPOPT_CORE_SDP_H_
+
+#include "core/skyline_pruning.h"
+#include "cost/cost_model.h"
+#include "optimizer/optimizer_types.h"
+#include "query/join_graph.h"
+
+namespace sdp {
+
+// Configuration of Skyline Dynamic Programming.  The defaults are the
+// paper's headline configuration: localized pruning with Root-Hub
+// partitioning, pairwise-union skylines, and interesting-order rescue
+// partitions.  The alternatives exist for the paper's ablations
+// (Tables 2.3 and 3.6) and future-work exploration.
+struct SdpConfig {
+  enum class Partitioning {
+    // Partition the PruneGroup by the hubs of the *original* join graph
+    // (the variant used for all of the paper's headline results).
+    kRootHub,
+    // Partition by the hub composites of the immediately previous level.
+    kParentHub,
+  };
+
+  Partitioning partitioning = Partitioning::kRootHub;
+  SkylineVariant skyline = SkylineVariant::kPairwiseUnion;
+
+  // When false, the hub machinery is bypassed and the skyline prunes every
+  // level's full JCR population (the "Global" ablation of Table 3.6).
+  bool localized = true;
+
+  // Rescue partitions protecting JCRs that could later exploit a
+  // user-requested interesting order (Section 2.1.4).
+  bool order_partitions = true;
+
+  // A relation (or composite) is a hub when joined with at least this many
+  // relations.
+  int hub_degree = 3;
+};
+
+// Skyline Dynamic Programming (the paper's contribution).  Standard bushy
+// DP with a localized pruning filter: after each intermediate level, JCRs
+// that extend a hub are partitioned (Root-Hub or Parent-Hub) and reduced to
+// their skyline on [Rows, Cost, Selectivity]; everything else retains full
+// DP treatment.  Levels 1, N-2 and N-1 are always pure DP.
+OptimizeResult OptimizeSDP(const Query& query, const CostModel& cost,
+                           const SdpConfig& config = {},
+                           const OptimizerOptions& options = {});
+
+}  // namespace sdp
+
+#endif  // SDPOPT_CORE_SDP_H_

@@ -1,0 +1,61 @@
+#include "core/skyline_pruning.h"
+
+#include <stddef.h>
+
+#include <array>
+
+#include "skyline/skyline.h"
+
+namespace sdp {
+
+const char* SkylineVariantName(SkylineVariant v) {
+  switch (v) {
+    case SkylineVariant::kPairwiseUnion:
+      return "pairwise-union (Option 2)";
+    case SkylineVariant::kFullVector:
+      return "full-vector (Option 1)";
+    case SkylineVariant::kStrong:
+      return "strong (2-dominant)";
+  }
+  return "?";
+}
+
+std::vector<PairwiseSkylineMembership> PairwiseSkylineReport(
+    const std::vector<JcrFeatures>& features) {
+  const size_t n = features.size();
+  std::vector<std::array<double, 2>> rc(n), cs(n), rs(n);
+  for (size_t i = 0; i < n; ++i) {
+    rc[i] = {features[i].rows, features[i].cost};
+    cs[i] = {features[i].cost, features[i].sel};
+    rs[i] = {features[i].rows, features[i].sel};
+  }
+  const std::vector<char> in_rc = Skyline2D(rc);
+  const std::vector<char> in_cs = Skyline2D(cs);
+  const std::vector<char> in_rs = Skyline2D(rs);
+  std::vector<PairwiseSkylineMembership> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i].rc = in_rc[i] != 0;
+    out[i].cs = in_cs[i] != 0;
+    out[i].rs = in_rs[i] != 0;
+  }
+  return out;
+}
+
+std::vector<char> SkylineSurvivors(const std::vector<JcrFeatures>& features,
+                                   SkylineVariant variant) {
+  const size_t n = features.size();
+  if (variant == SkylineVariant::kPairwiseUnion) {
+    std::vector<char> out(n, 0);
+    const auto report = PairwiseSkylineReport(features);
+    for (size_t i = 0; i < n; ++i) out[i] = report[i].survives() ? 1 : 0;
+    return out;
+  }
+  std::vector<std::vector<double>> points(n);
+  for (size_t i = 0; i < n; ++i) {
+    points[i] = {features[i].rows, features[i].cost, features[i].sel};
+  }
+  if (variant == SkylineVariant::kFullVector) return SkylineBNL(points);
+  return KDominantSkyline(points, /*k=*/2);
+}
+
+}  // namespace sdp

@@ -1,0 +1,50 @@
+#ifndef SDPOPT_CORE_SKYLINE_PRUNING_H_
+#define SDPOPT_CORE_SKYLINE_PRUNING_H_
+
+#include <vector>
+
+namespace sdp {
+
+// The SDP feature vector of a join-composite relation (Section 2.1.3):
+// output rows R, cheapest plan cost C, and selectivity S (output rows over
+// the product of base-relation cardinalities).  All three are minimized --
+// the ideal JCR cheaply produces minimal output on the largest inputs.
+struct JcrFeatures {
+  double rows = 0;
+  double cost = 0;
+  double sel = 1;
+};
+
+// Which skyline function SDP applies within a partition.
+enum class SkylineVariant {
+  // Option 2 (the paper's choice): union of the three pairwise skylines on
+  // (R,C), (C,S) and (R,S).  Strong pruning, same plan quality as Option 1.
+  kPairwiseUnion,
+  // Option 1: a single skyline on the full [R,C,S] vector.  High quality
+  // but weak pruning (Table 2.3 ablation).
+  kFullVector,
+  // "Strong skyline" (k-dominant, k=2): the paper's future-work direction.
+  kStrong,
+};
+
+const char* SkylineVariantName(SkylineVariant v);
+
+// Per-JCR membership in each pairwise skyline; survives() is Option 2's
+// disjunctive criterion.  This mirrors the paper's Table 2.2 presentation.
+struct PairwiseSkylineMembership {
+  bool rc = false;
+  bool cs = false;
+  bool rs = false;
+  bool survives() const { return rc || cs || rs; }
+};
+
+std::vector<PairwiseSkylineMembership> PairwiseSkylineReport(
+    const std::vector<JcrFeatures>& features);
+
+// Survivor flags for a partition under the chosen variant.
+std::vector<char> SkylineSurvivors(const std::vector<JcrFeatures>& features,
+                                   SkylineVariant variant);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_CORE_SKYLINE_PRUNING_H_

@@ -1,0 +1,52 @@
+#include "cost/cardinality.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sdp {
+
+namespace {
+// Approximate heap footprint of one cache slot (key + value + bucket link).
+constexpr size_t kEntryBytes = sizeof(uint64_t) + sizeof(double) * 2 + 16;
+}  // namespace
+
+CardinalityEstimator::CardinalityEstimator(const JoinGraph& graph,
+                                           const CostModel& cost,
+                                           MemoryGauge* gauge)
+    : graph_(&graph), cost_(&cost), gauge_(gauge) {}
+
+CardinalityEstimator::~CardinalityEstimator() {
+  if (gauge_ != nullptr) gauge_->Release(charged_bytes_);
+}
+
+const CardinalityEstimator::Entry& CardinalityEstimator::Lookup(RelSet s) {
+  SDP_DCHECK(!s.Empty());
+  auto it = cache_.find(s.bits());
+  if (it != cache_.end()) return it->second;
+
+  Entry e;
+  e.sel = 1.0;
+  for (int edge : graph_->InternalEdges(s)) {
+    e.sel *= cost_->EdgeSelectivity(edge);
+  }
+  double base_product = 1.0;
+  s.ForEach([&](int rel) { base_product *= cost_->ScanOutputRows(rel); });
+  // At least one row: downstream per-row costs stay meaningful and the
+  // feature vector stays strictly positive for the skyline.
+  e.rows = std::max(1.0, base_product * e.sel);
+
+  auto [pos, inserted] = cache_.emplace(s.bits(), e);
+  SDP_DCHECK(inserted);
+  if (gauge_ != nullptr) {
+    gauge_->Charge(kEntryBytes);
+    charged_bytes_ += kEntryBytes;
+  }
+  return pos->second;
+}
+
+double CardinalityEstimator::Rows(RelSet s) { return Lookup(s).rows; }
+
+double CardinalityEstimator::Selectivity(RelSet s) { return Lookup(s).sel; }
+
+}  // namespace sdp

@@ -1,0 +1,59 @@
+#ifndef SDPOPT_COST_CARDINALITY_H_
+#define SDPOPT_COST_CARDINALITY_H_
+
+#include <unordered_map>
+
+#include "common/arena.h"
+#include "common/rel_set.h"
+#include "cost/cost_model.h"
+
+namespace sdp {
+
+// Set-level join cardinality model with memoization.
+//
+// The cardinality (and selectivity) of a join-composite relation is a
+// function of its relation *set* alone:
+//
+//   Rows(S) = prod_{r in S} |r|  *  prod_{edges inside S} sel(edge)
+//   Sel(S)  = Rows(S) / prod_{r in S} |r|  =  prod_{edges inside S} sel(edge)
+//
+// which is exactly the [R, S] pair of SDP's feature vector (Section 2.1.3).
+// Keeping it plan-independent guarantees every enumeration strategy agrees
+// on JCR cardinalities, making cross-algorithm cost ratios meaningful.
+//
+// One estimator instance belongs to one optimization run; its cache bytes
+// are charged to the run's MemoryGauge (it is optimizer working memory).
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const JoinGraph& graph, const CostModel& cost,
+                       MemoryGauge* gauge);
+  ~CardinalityEstimator();
+
+  CardinalityEstimator(const CardinalityEstimator&) = delete;
+  CardinalityEstimator& operator=(const CardinalityEstimator&) = delete;
+
+  // Estimated output rows of the (connected) relation set.
+  double Rows(RelSet s);
+
+  // Product of edge selectivities inside `s` (the paper's S feature).
+  double Selectivity(RelSet s);
+
+  size_t cache_entries() const { return cache_.size(); }
+
+ private:
+  struct Entry {
+    double rows;
+    double sel;
+  };
+  const Entry& Lookup(RelSet s);
+
+  const JoinGraph* graph_;
+  const CostModel* cost_;
+  MemoryGauge* gauge_;
+  std::unordered_map<uint64_t, Entry> cache_;
+  size_t charged_bytes_ = 0;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_COST_CARDINALITY_H_

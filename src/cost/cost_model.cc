@@ -1,0 +1,184 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sdp {
+
+CostModel::CostModel(const Catalog& catalog, const StatsCatalog& stats,
+                     const JoinGraph& graph, CostParams params,
+                     std::vector<FilterPredicate> filters)
+    : catalog_(&catalog),
+      stats_(&stats),
+      graph_(&graph),
+      params_(params),
+      filters_(std::move(filters)) {}
+
+double CostModel::BaseRows(int rel) const {
+  return static_cast<double>(catalog_->table(graph_->table_id(rel)).row_count);
+}
+
+double CostModel::BasePages(int rel) const {
+  const Table& t = catalog_->table(graph_->table_id(rel));
+  return std::max(
+      1.0, std::ceil(static_cast<double>(t.row_count) * t.row_width_bytes() /
+                     params_.page_size_bytes));
+}
+
+double CostModel::ColumnDistinct(ColumnRef c) const {
+  return std::max(1.0,
+                  stats_->Get(graph_->table_id(c.rel), c.col).num_distinct);
+}
+
+bool CostModel::HasIndexOn(ColumnRef c) const {
+  return catalog_->table(graph_->table_id(c.rel)).indexed_column == c.col;
+}
+
+int CostModel::IndexedColumn(int rel) const {
+  return catalog_->table(graph_->table_id(rel)).indexed_column;
+}
+
+double CostModel::EdgeSelectivity(int edge) const {
+  const JoinEdge& e = graph_->edges().at(edge);
+  const double ndv = std::max(ColumnDistinct(e.left), ColumnDistinct(e.right));
+  return 1.0 / ndv;
+}
+
+double CostModel::FilterSelectivity(const FilterPredicate& filter) const {
+  const ColumnStats& s =
+      stats_->Get(graph_->table_id(filter.column.rel), filter.column.col);
+  double sel;
+  const double v = static_cast<double>(filter.value);
+  switch (filter.op) {
+    case CompareOp::kEq:
+      sel = 1.0 / std::max(1.0, s.num_distinct);
+      break;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      sel = s.histogram.FractionBelow(v);
+      break;
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      sel = 1.0 - s.histogram.FractionBelow(v);
+      break;
+    default:
+      sel = 1.0;
+  }
+  return std::min(1.0, std::max(sel, 1e-9));
+}
+
+double CostModel::ScanOutputRows(int rel) const {
+  double rows = BaseRows(rel);
+  for (const FilterPredicate& f : filters_) {
+    if (f.column.rel == rel) rows *= FilterSelectivity(f);
+  }
+  return std::max(1.0, rows);
+}
+
+int CostModel::NumFiltersOn(int rel) const {
+  int n = 0;
+  for (const FilterPredicate& f : filters_) {
+    if (f.column.rel == rel) ++n;
+  }
+  return n;
+}
+
+double CostModel::SeqScanCost(int rel) const {
+  // The whole relation is read; filters cost CPU per input row and shrink
+  // only the output.
+  return BasePages(rel) * params_.seq_page_cost +
+         BaseRows(rel) * params_.cpu_tuple_cost +
+         BaseRows(rel) * NumFiltersOn(rel) * params_.cpu_operator_cost;
+}
+
+double CostModel::IndexScanCost(int rel) const {
+  // Ordered full retrieval through the index: random-ish page access plus
+  // per-tuple index overhead.  Deliberately costlier than a sequential scan
+  // so that ordered scans are chosen only when the order pays off.
+  const double rows = BaseRows(rel);
+  return BasePages(rel) * params_.random_page_cost * 0.75 +
+         rows * (params_.cpu_index_tuple_cost + params_.cpu_tuple_cost) +
+         rows * NumFiltersOn(rel) * params_.cpu_operator_cost;
+}
+
+double CostModel::RowWidth(RelSet rels) const {
+  double width = 0;
+  rels.ForEach([&](int rel) {
+    width += catalog_->table(graph_->table_id(rel)).row_width_bytes();
+  });
+  return width;
+}
+
+double CostModel::NestLoopCost(const JoinCostInput& in) const {
+  // Inner side is materialized once, then rescanned per outer row -- from
+  // memory when it fits in work_mem, from disk otherwise.
+  const double inner_bytes = in.inner_rows * in.inner_width;
+  double rescan = in.inner_rows * params_.cpu_operator_cost *
+                  static_cast<double>(in.num_quals);
+  if (inner_bytes > params_.work_mem_bytes) {
+    rescan += std::ceil(inner_bytes / params_.page_size_bytes) *
+              params_.seq_page_cost;
+  }
+  return in.outer_cost + in.inner_cost + in.outer_rows * rescan +
+         in.out_rows * params_.cpu_tuple_cost;
+}
+
+double CostModel::IndexNestLoopCost(double outer_cost, double outer_rows,
+                                    int inner_rel, int edge,
+                                    double out_rows) const {
+  const double inner_rows = BaseRows(inner_rel);
+  // Filters on the inner relation shrink the matches each probe returns.
+  const double matches_per_probe = std::max(
+      ScanOutputRows(inner_rel) * EdgeSelectivity(edge), 1e-9);
+  const double per_probe =
+      params_.random_page_cost +
+      std::log2(std::max(inner_rows, 2.0)) * params_.cpu_operator_cost +
+      matches_per_probe *
+          (params_.cpu_index_tuple_cost + params_.cpu_tuple_cost);
+  return outer_cost + outer_rows * per_probe +
+         out_rows * params_.cpu_tuple_cost;
+}
+
+double CostModel::HashJoinCost(const JoinCostInput& in) const {
+  const double build =
+      in.inner_rows * params_.cpu_operator_cost * params_.hash_build_factor;
+  const double probe = in.outer_rows * params_.cpu_operator_cost *
+                       static_cast<double>(in.num_quals);
+  double spill = 0;
+  const double inner_bytes = in.inner_rows * in.inner_width;
+  if (inner_bytes > params_.work_mem_bytes) {
+    // Batched (Grace) hash join: both sides are written out and re-read.
+    const double pages =
+        std::ceil((inner_bytes + in.outer_rows * in.outer_width) /
+                  params_.page_size_bytes);
+    spill = 2.0 * pages * params_.seq_page_cost;
+  }
+  return in.outer_cost + in.inner_cost + build + probe + spill +
+         in.out_rows * params_.cpu_tuple_cost;
+}
+
+double CostModel::MergeJoinCost(const JoinCostInput& in) const {
+  return in.outer_cost + in.inner_cost +
+         (in.outer_rows + in.inner_rows) * params_.cpu_operator_cost +
+         in.out_rows * params_.cpu_tuple_cost;
+}
+
+double CostModel::SortCost(double rows, double width_bytes) const {
+  if (rows < 2) return params_.cpu_operator_cost;
+  double cost = 2.0 * rows * std::log2(rows) * params_.cpu_operator_cost +
+                rows * params_.cpu_operator_cost;
+  const double bytes = rows * width_bytes;
+  if (bytes > params_.work_mem_bytes) {
+    // External merge: one write+read of the whole input per merge pass.
+    const double runs = bytes / params_.work_mem_bytes;
+    const double passes =
+        std::max(1.0, std::ceil(std::log(runs) / std::log(params_.merge_fanin)));
+    cost += 2.0 * passes * std::ceil(bytes / params_.page_size_bytes) *
+            params_.seq_page_cost;
+  }
+  return cost;
+}
+
+}  // namespace sdp

@@ -1,0 +1,126 @@
+#ifndef SDPOPT_COST_COST_MODEL_H_
+#define SDPOPT_COST_COST_MODEL_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rel_set.h"
+#include "query/join_graph.h"
+#include "stats/column_stats.h"
+
+namespace sdp {
+
+// Cost-model constants, PostgreSQL-flavoured: costs are expressed in
+// abstract units where one sequential page fetch costs 1.0.
+struct CostParams {
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  double cpu_tuple_cost = 0.01;
+  double cpu_index_tuple_cost = 0.005;
+  double cpu_operator_cost = 0.0025;
+  double page_size_bytes = 8192;
+  // Multiplier on per-row hash-table build work relative to
+  // cpu_operator_cost.
+  double hash_build_factor = 1.5;
+  // Working memory per operator (PostgreSQL work_mem).  Hash joins whose
+  // build side exceeds it batch to disk; sorts go external; materialized
+  // nested-loop inners are re-read from disk.  These spill penalties are
+  // what make join-order mistakes expensive on real engines.
+  double work_mem_bytes = 1024.0 * 1024.0;
+  // External merge sort fan-in per pass.
+  double merge_fanin = 16;
+};
+
+// Inputs common to the binary-join costing entry points.  `out_rows` is the
+// set-level cardinality of the joined relation set (plan-independent, from
+// the CardinalityEstimator), so every physical alternative for the same JCR
+// agrees on its output size.
+struct JoinCostInput {
+  double outer_cost = 0;
+  double outer_rows = 0;
+  double outer_width = 0;  // Bytes per outer tuple.
+  double inner_cost = 0;
+  double inner_rows = 0;
+  double inner_width = 0;  // Bytes per inner tuple.
+  double out_rows = 0;
+  // Number of equijoin predicates evaluated by the join (>= 1).
+  int num_quals = 1;
+};
+
+// The optimizer's cost oracle for one query: scan, join and sort costing
+// plus the selectivity primitives the cardinality model builds on.
+//
+// Stateless with respect to optimization (all caching lives in
+// CardinalityEstimator), so a single instance can be shared by every
+// algorithm run on the same query -- which is exactly what the experiment
+// harness does to make plan-cost ratios comparable.
+class CostModel {
+ public:
+  CostModel(const Catalog& catalog, const StatsCatalog& stats,
+            const JoinGraph& graph, CostParams params = CostParams(),
+            std::vector<FilterPredicate> filters = {});
+
+  const CostParams& params() const { return params_; }
+  const JoinGraph& graph() const { return *graph_; }
+
+  // --- Base relation properties -------------------------------------------
+  double BaseRows(int rel) const;
+  double BasePages(int rel) const;
+  // Distinct count of a column (by graph position).
+  double ColumnDistinct(ColumnRef c) const;
+  // True when `col` is the indexed column of relation `rel`.
+  bool HasIndexOn(ColumnRef c) const;
+  // The indexed column of the relation at graph position `rel` (-1 if none).
+  int IndexedColumn(int rel) const;
+
+  // --- Selectivity ---------------------------------------------------------
+  // Equijoin selectivity of an edge: 1 / max(ndv(left), ndv(right)), the
+  // classic System-R / PostgreSQL eqjoinsel.
+  double EdgeSelectivity(int edge) const;
+
+  // Restriction selectivity of one filter: 1/ndv for equality, histogram
+  // interpolation for ranges (PostgreSQL's eqsel / scalarltsel analogues).
+  double FilterSelectivity(const FilterPredicate& filter) const;
+
+  // Rows a scan of `rel` emits after applying the query's filters on it.
+  double ScanOutputRows(int rel) const;
+  // Number of query filters restricting `rel`.
+  int NumFiltersOn(int rel) const;
+
+  // --- Scans ---------------------------------------------------------------
+  double SeqScanCost(int rel) const;
+  // Full relation retrieval in index order (ordered output, costlier).
+  double IndexScanCost(int rel) const;
+
+  // --- Joins ----------------------------------------------------------------
+  // Nested loop with a materialized (rescanned in memory) inner side.
+  double NestLoopCost(const JoinCostInput& in) const;
+  // Index nested loop: inner is base relation `inner_rel`, probed through
+  // its index along `edge`.  No inner_cost: probes pay per-lookup.
+  double IndexNestLoopCost(double outer_cost, double outer_rows,
+                           int inner_rel, int edge, double out_rows) const;
+  // Hash join; inner side builds the table.
+  double HashJoinCost(const JoinCostInput& in) const;
+  // Merge join over inputs already sorted on the join key.
+  double MergeJoinCost(const JoinCostInput& in) const;
+
+  // Width in bytes of one tuple of the joined relation set (sum of the
+  // member base-relation widths: intermediates carry all columns).
+  double RowWidth(RelSet rels) const;
+
+  // --- Enforcers -------------------------------------------------------------
+  // Incremental cost of sorting `rows` tuples of `width_bytes` each (added
+  // to the input cost); includes external-merge I/O beyond work_mem.
+  double SortCost(double rows, double width_bytes) const;
+
+ private:
+  const Catalog* catalog_;
+  const StatsCatalog* stats_;
+  const JoinGraph* graph_;
+  CostParams params_;
+  std::vector<FilterPredicate> filters_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_COST_COST_MODEL_H_

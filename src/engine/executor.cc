@@ -1,0 +1,379 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace sdp {
+
+int ResultSet::OffsetOf(ColumnRef c) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == c) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Executor::Executor(const Database& db, const JoinGraph& graph,
+                   std::vector<FilterPredicate> filters,
+                   std::vector<ColumnRef> extra_columns)
+    : db_(&db),
+      graph_(&graph),
+      filters_(std::move(filters)),
+      extra_columns_(std::move(extra_columns)) {}
+
+ResultSet Executor::Project(const ResultSet& input,
+                            const std::vector<ColumnRef>& columns) {
+  ResultSet out;
+  out.columns = columns;
+  std::vector<int> offsets;
+  offsets.reserve(columns.size());
+  for (const ColumnRef& c : columns) {
+    const int off = input.OffsetOf(c);
+    SDP_CHECK(off >= 0);
+    offsets.push_back(off);
+  }
+  out.rows.reserve(input.rows.size());
+  for (const auto& row : input.rows) {
+    std::vector<int64_t> tuple;
+    tuple.reserve(offsets.size());
+    for (int off : offsets) tuple.push_back(row[off]);
+    out.rows.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+bool Executor::PassesFilters(int rel, int64_t row) const {
+  const TableData& data = db_->table(graph_->table_id(rel));
+  for (const FilterPredicate& f : filters_) {
+    if (f.column.rel != rel) continue;
+    if (!EvalCompare(data.columns[f.column.col][row], f.op, f.value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ColumnRef> Executor::NeededColumns(int rel) const {
+  std::vector<ColumnRef> cols;
+  auto add = [&](ColumnRef c) {
+    for (const ColumnRef& existing : cols) {
+      if (existing == c) return;
+    }
+    cols.push_back(c);
+  };
+  for (const JoinEdge& e : graph_->edges()) {
+    if (e.left.rel == rel) add(e.left);
+    if (e.right.rel == rel) add(e.right);
+  }
+  for (const ColumnRef& c : extra_columns_) {
+    if (c.rel == rel) add(c);
+  }
+  if (cols.empty()) {
+    // Isolated relation (single-table query): carry its first column.
+    add(ColumnRef{rel, 0});
+  }
+  return cols;
+}
+
+ResultSet Executor::Scan(int rel, bool index_order) const {
+  const TableData& data = db_->table(graph_->table_id(rel));
+  ResultSet out;
+  out.columns = NeededColumns(rel);
+  const int64_t n = data.num_rows();
+  out.rows.reserve(static_cast<size_t>(n));
+  auto emit = [&](int64_t row) {
+    if (!PassesFilters(rel, row)) return;
+    std::vector<int64_t> tuple;
+    tuple.reserve(out.columns.size());
+    for (const ColumnRef& c : out.columns) {
+      tuple.push_back(data.columns[c.col][row]);
+    }
+    out.rows.push_back(std::move(tuple));
+  };
+  if (index_order) {
+    SDP_CHECK(!data.index.empty() || n == 0);
+    for (const auto& [value, row] : data.index) emit(row);
+  } else {
+    for (int64_t row = 0; row < n; ++row) emit(row);
+  }
+  return out;
+}
+
+namespace {
+
+// Concatenates an outer tuple and an inner tuple.
+std::vector<int64_t> Concat(const std::vector<int64_t>& a,
+                            const std::vector<int64_t>& b) {
+  std::vector<int64_t> out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+struct EdgeOffsets {
+  int outer = -1;
+  int inner = -1;
+};
+
+// Resolves, for each connecting edge, the tuple offsets of its two sides.
+std::vector<EdgeOffsets> ResolveEdges(const JoinGraph& graph,
+                                      const std::vector<int>& edges,
+                                      const ResultSet& outer,
+                                      const ResultSet& inner) {
+  std::vector<EdgeOffsets> out;
+  out.reserve(edges.size());
+  for (int e : edges) {
+    const JoinEdge& edge = graph.edges()[e];
+    EdgeOffsets eo;
+    if (outer.OffsetOf(edge.left) >= 0) {
+      eo.outer = outer.OffsetOf(edge.left);
+      eo.inner = inner.OffsetOf(edge.right);
+    } else {
+      eo.outer = outer.OffsetOf(edge.right);
+      eo.inner = inner.OffsetOf(edge.left);
+    }
+    SDP_CHECK(eo.outer >= 0 && eo.inner >= 0);
+    out.push_back(eo);
+  }
+  return out;
+}
+
+bool EdgesMatch(const std::vector<EdgeOffsets>& offsets,
+                const std::vector<int64_t>& outer_tuple,
+                const std::vector<int64_t>& inner_tuple) {
+  for (const EdgeOffsets& eo : offsets) {
+    if (outer_tuple[eo.outer] != inner_tuple[eo.inner]) return false;
+  }
+  return true;
+}
+
+ResultSet JoinedSchema(const ResultSet& outer, const ResultSet& inner) {
+  ResultSet out;
+  out.columns = outer.columns;
+  out.columns.insert(out.columns.end(), inner.columns.begin(),
+                     inner.columns.end());
+  return out;
+}
+
+}  // namespace
+
+ResultSet Executor::HashJoin(const ResultSet& outer, const ResultSet& inner,
+                             const std::vector<int>& edges) const {
+  const std::vector<EdgeOffsets> offsets =
+      ResolveEdges(*graph_, edges, outer, inner);
+  // Build on the inner side keyed by the first edge; remaining edges are
+  // residual filters.
+  std::unordered_multimap<int64_t, const std::vector<int64_t>*> table;
+  table.reserve(inner.rows.size());
+  for (const auto& tuple : inner.rows) {
+    table.emplace(tuple[offsets[0].inner], &tuple);
+  }
+  ResultSet out = JoinedSchema(outer, inner);
+  for (const auto& tuple : outer.rows) {
+    auto [lo, hi] = table.equal_range(tuple[offsets[0].outer]);
+    for (auto it = lo; it != hi; ++it) {
+      if (EdgesMatch(offsets, tuple, *it->second)) {
+        out.rows.push_back(Concat(tuple, *it->second));
+      }
+    }
+  }
+  return out;
+}
+
+ResultSet Executor::NestLoopJoin(const ResultSet& outer,
+                                 const ResultSet& inner,
+                                 const std::vector<int>& edges) const {
+  const std::vector<EdgeOffsets> offsets =
+      ResolveEdges(*graph_, edges, outer, inner);
+  ResultSet out = JoinedSchema(outer, inner);
+  for (const auto& o : outer.rows) {
+    for (const auto& i : inner.rows) {
+      if (EdgesMatch(offsets, o, i)) out.rows.push_back(Concat(o, i));
+    }
+  }
+  return out;
+}
+
+ResultSet Executor::IndexNestLoopJoin(const ResultSet& outer, int inner_rel,
+                                      const std::vector<int>& edges) const {
+  const TableData& data = db_->table(graph_->table_id(inner_rel));
+  const int indexed_col =
+      db_->catalog().table(graph_->table_id(inner_rel)).indexed_column;
+  // Locate the driving edge: the connecting edge on the indexed column.
+  int driving = -1;
+  ColumnRef outer_side{};
+  for (int e : edges) {
+    const JoinEdge& edge = graph_->edges()[e];
+    if (edge.left.rel == inner_rel && edge.left.col == indexed_col) {
+      driving = e;
+      outer_side = edge.right;
+    } else if (edge.right.rel == inner_rel && edge.right.col == indexed_col) {
+      driving = e;
+      outer_side = edge.left;
+    }
+  }
+  SDP_CHECK(driving >= 0);
+  const int outer_offset = outer.OffsetOf(outer_side);
+  SDP_CHECK(outer_offset >= 0);
+
+  const std::vector<ColumnRef> inner_cols = NeededColumns(inner_rel);
+  ResultSet inner_schema;
+  inner_schema.columns = inner_cols;
+  ResultSet out = JoinedSchema(outer, inner_schema);
+
+  // Residual (non-driving) edges.
+  std::vector<std::pair<int, int>> residual;  // (outer offset, inner col)
+  for (int e : edges) {
+    if (e == driving) continue;
+    const JoinEdge& edge = graph_->edges()[e];
+    const ColumnRef i_side = edge.left.rel == inner_rel ? edge.left : edge.right;
+    const ColumnRef o_side = edge.left.rel == inner_rel ? edge.right : edge.left;
+    residual.emplace_back(outer.OffsetOf(o_side), i_side.col);
+  }
+
+  for (const auto& tuple : outer.rows) {
+    for (int64_t row : data.IndexLookup(tuple[outer_offset])) {
+      if (!PassesFilters(inner_rel, row)) continue;
+      bool ok = true;
+      for (const auto& [ooff, icol] : residual) {
+        if (tuple[ooff] != data.columns[icol][row]) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      std::vector<int64_t> joined = tuple;
+      for (const ColumnRef& c : inner_cols) {
+        joined.push_back(data.columns[c.col][row]);
+      }
+      out.rows.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+ResultSet Executor::MergeJoin(const ResultSet& outer, const ResultSet& inner,
+                              int driving_edge,
+                              const std::vector<int>& edges) const {
+  const std::vector<EdgeOffsets> offsets =
+      ResolveEdges(*graph_, edges, outer, inner);
+  // Locate the driving edge's offsets.
+  EdgeOffsets key{};
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i] == driving_edge) key = offsets[i];
+  }
+  SDP_CHECK(key.outer >= 0);
+
+  // Defensive sort: children should already deliver key order, but the
+  // merge is correct regardless.
+  std::vector<const std::vector<int64_t>*> lhs, rhs;
+  lhs.reserve(outer.rows.size());
+  rhs.reserve(inner.rows.size());
+  for (const auto& t : outer.rows) lhs.push_back(&t);
+  for (const auto& t : inner.rows) rhs.push_back(&t);
+  std::sort(lhs.begin(), lhs.end(),
+            [&](auto* a, auto* b) { return (*a)[key.outer] < (*b)[key.outer]; });
+  std::sort(rhs.begin(), rhs.end(),
+            [&](auto* a, auto* b) { return (*a)[key.inner] < (*b)[key.inner]; });
+
+  ResultSet out = JoinedSchema(outer, inner);
+  size_t i = 0, j = 0;
+  while (i < lhs.size() && j < rhs.size()) {
+    const int64_t lv = (*lhs[i])[key.outer];
+    const int64_t rv = (*rhs[j])[key.inner];
+    if (lv < rv) {
+      ++i;
+    } else if (lv > rv) {
+      ++j;
+    } else {
+      size_t j_end = j;
+      while (j_end < rhs.size() && (*rhs[j_end])[key.inner] == lv) ++j_end;
+      for (; i < lhs.size() && (*lhs[i])[key.outer] == lv; ++i) {
+        for (size_t jj = j; jj < j_end; ++jj) {
+          if (EdgesMatch(offsets, *lhs[i], *rhs[jj])) {
+            out.rows.push_back(Concat(*lhs[i], *rhs[jj]));
+          }
+        }
+      }
+      j = j_end;
+    }
+  }
+  return out;
+}
+
+ResultSet Executor::Sort(const ResultSet& input, ColumnRef by) const {
+  const int offset = input.OffsetOf(by);
+  SDP_CHECK(offset >= 0);
+  ResultSet out = input;
+  std::stable_sort(out.rows.begin(), out.rows.end(),
+                   [offset](const std::vector<int64_t>& a,
+                            const std::vector<int64_t>& b) {
+                     return a[offset] < b[offset];
+                   });
+  return out;
+}
+
+ResultSet Executor::Execute(const PlanNode* plan) const {
+  SDP_CHECK(plan != nullptr);
+  switch (plan->kind) {
+    case PlanKind::kSeqScan:
+      return Scan(plan->rel, /*index_order=*/false);
+    case PlanKind::kIndexScan:
+      return Scan(plan->rel, /*index_order=*/true);
+    case PlanKind::kSort: {
+      ResultSet input = Execute(plan->outer);
+      // Sort on any carried column of the plan's ordering class.
+      for (const ColumnRef& c : input.columns) {
+        if (graph_->EquivClass(c) == plan->ordering) return Sort(input, c);
+      }
+      // Non-join ORDER BY columns are not carried by join tuples; sorting
+      // is a no-op on the joined column set in that case.
+      return input;
+    }
+    case PlanKind::kIndexNestLoop: {
+      ResultSet outer = Execute(plan->outer);
+      return IndexNestLoopJoin(
+          outer, plan->rel,
+          graph_->ConnectingEdges(plan->outer->rels, plan->inner->rels));
+    }
+    default:
+      break;
+  }
+  SDP_CHECK(plan->IsJoin());
+  ResultSet outer = Execute(plan->outer);
+  ResultSet inner = Execute(plan->inner);
+  const std::vector<int> edges =
+      graph_->ConnectingEdges(plan->outer->rels, plan->inner->rels);
+  switch (plan->kind) {
+    case PlanKind::kHashJoin:
+      return HashJoin(outer, inner, edges);
+    case PlanKind::kNestLoop:
+      return NestLoopJoin(outer, inner, edges);
+    case PlanKind::kMergeJoin:
+      return MergeJoin(outer, inner, plan->edge, edges);
+    default:
+      SDP_CHECK(false);
+      return ResultSet();
+  }
+}
+
+ResultSet Executor::ExecuteReference() const {
+  ResultSet current = Scan(0, /*index_order=*/false);
+  RelSet covered = RelSet::Single(0);
+  const RelSet all = graph_->AllRelations();
+  while (covered != all) {
+    // Any uncovered relation adjacent to the covered set.
+    const RelSet frontier = graph_->Neighbors(covered);
+    SDP_CHECK(!frontier.Empty());
+    const int next = frontier.Lowest();
+    ResultSet scan = Scan(next, /*index_order=*/false);
+    current = HashJoin(current, scan,
+                       graph_->ConnectingEdges(covered, RelSet::Single(next)));
+    covered = covered.With(next);
+  }
+  return current;
+}
+
+}  // namespace sdp

@@ -1,0 +1,81 @@
+#ifndef SDPOPT_ENGINE_EXECUTOR_H_
+#define SDPOPT_ENGINE_EXECUTOR_H_
+
+#include <stdint.h>
+
+#include <vector>
+
+#include "engine/table_data.h"
+#include "plan/plan_node.h"
+#include "query/join_graph.h"
+
+namespace sdp {
+
+// A materialized intermediate result: row-major tuples whose schema is the
+// set of (relation position, column) pairs currently carried.  Intermediate
+// results carry one column per (rel, col) actually referenced, mapped
+// through `layout`.
+struct ResultSet {
+  // layout[i] identifies the column stored at tuple offset i.
+  std::vector<ColumnRef> columns;
+  std::vector<std::vector<int64_t>> rows;  // rows[r][i]
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows.size()); }
+  // Offset of (rel, col) in the tuple, or -1.
+  int OffsetOf(ColumnRef c) const;
+};
+
+// Interprets optimizer plan trees against materialized data: sequential and
+// index scans, hash / merge / (index) nested-loop joins and sorts.  This is
+// the engine-side counterpart of the cost model's operator repertoire; it
+// exists so examples and tests can run chosen plans for real and verify
+// that different plans for the same query produce identical results.
+class Executor {
+ public:
+  // `extra_columns` are carried through scans in addition to the join
+  // columns -- pass a query's select list so Project() can deliver it.
+  Executor(const Database& db, const JoinGraph& graph,
+           std::vector<FilterPredicate> filters = {},
+           std::vector<ColumnRef> extra_columns = {});
+
+  // Projects a result to exactly `columns` (which must be carried; pass
+  // them as extra_columns at construction if they are not join columns).
+  static ResultSet Project(const ResultSet& input,
+                           const std::vector<ColumnRef>& columns);
+
+  // Executes a plan tree produced by any of the optimizers for `graph`.
+  ResultSet Execute(const PlanNode* plan) const;
+
+  // Reference evaluation: joins all relations with a naive
+  // hash-join-in-graph-order strategy, independent of any optimizer plan.
+  // Used to cross-check Execute().
+  ResultSet ExecuteReference() const;
+
+ private:
+  ResultSet Scan(int rel, bool index_order) const;
+  ResultSet HashJoin(const ResultSet& outer, const ResultSet& inner,
+                     const std::vector<int>& edges) const;
+  ResultSet NestLoopJoin(const ResultSet& outer, const ResultSet& inner,
+                         const std::vector<int>& edges) const;
+  ResultSet IndexNestLoopJoin(const ResultSet& outer, int inner_rel,
+                              const std::vector<int>& edges) const;
+  ResultSet MergeJoin(const ResultSet& outer, const ResultSet& inner,
+                      int driving_edge, const std::vector<int>& edges) const;
+  ResultSet Sort(const ResultSet& input, ColumnRef by) const;
+
+  // Columns of `rel` that the query touches (join columns; keeps tuples
+  // narrow).
+  std::vector<ColumnRef> NeededColumns(int rel) const;
+
+  // True when base-table row `row` of relation `rel` passes every filter.
+  bool PassesFilters(int rel, int64_t row) const;
+
+  const Database* db_;
+  const JoinGraph* graph_;
+  std::vector<FilterPredicate> filters_;
+  std::vector<ColumnRef> extra_columns_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_ENGINE_EXECUTOR_H_

@@ -1,0 +1,82 @@
+#include "engine/table_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "stats/column_stats.h"
+
+namespace sdp {
+
+std::vector<int64_t> TableData::IndexLookup(int64_t key) const {
+  std::vector<int64_t> rows;
+  auto lo = std::lower_bound(
+      index.begin(), index.end(), std::make_pair(key, INT64_MIN));
+  for (auto it = lo; it != index.end() && it->first == key; ++it) {
+    rows.push_back(it->second);
+  }
+  return rows;
+}
+
+namespace {
+
+int64_t DrawValue(const Column& column, Rng* rng) {
+  const auto domain = static_cast<int64_t>(column.domain_size);
+  if (column.distribution == DataDistribution::kUniform) {
+    return rng->NextInRange(0, domain - 1);
+  }
+  // Truncated exponential with ~99.9% of mass inside the domain, matching
+  // the analytic model in stats/column_stats.cc.
+  const double lambda = 6.9 / static_cast<double>(domain);
+  const double v = rng->NextExponential(lambda);
+  return std::min<int64_t>(domain - 1, static_cast<int64_t>(v));
+}
+
+}  // namespace
+
+Database Database::Generate(const Catalog& catalog, uint64_t seed,
+                            uint64_t row_limit) {
+  Database db;
+  db.catalog_ = &catalog;
+  db.tables_.resize(catalog.num_tables());
+  Rng master(seed);
+  for (int t = 0; t < catalog.num_tables(); ++t) {
+    Rng rng = master.Fork();
+    const Table& meta = catalog.table(t);
+    const uint64_t rows = row_limit == 0
+                              ? meta.row_count
+                              : std::min(meta.row_count, row_limit);
+    TableData& data = db.tables_[t];
+    data.columns.resize(meta.columns.size());
+    for (size_t c = 0; c < meta.columns.size(); ++c) {
+      data.columns[c].reserve(rows);
+      for (uint64_t r = 0; r < rows; ++r) {
+        data.columns[c].push_back(DrawValue(meta.columns[c], &rng));
+      }
+    }
+    if (meta.indexed_column >= 0) {
+      const auto& keys = data.columns[meta.indexed_column];
+      data.index.reserve(keys.size());
+      for (size_t r = 0; r < keys.size(); ++r) {
+        data.index.emplace_back(keys[r], static_cast<int64_t>(r));
+      }
+      std::sort(data.index.begin(), data.index.end());
+    }
+  }
+  return db;
+}
+
+StatsCatalog Database::Analyze(int histogram_buckets) const {
+  StatsCatalog stats;
+  stats.Resize(*catalog_);
+  for (int t = 0; t < catalog_->num_tables(); ++t) {
+    for (size_t c = 0; c < tables_[t].columns.size(); ++c) {
+      stats.Set(t, static_cast<int>(c),
+                ComputeColumnStats(tables_[t].columns[c], histogram_buckets));
+    }
+  }
+  return stats;
+}
+
+}  // namespace sdp

@@ -1,0 +1,55 @@
+#ifndef SDPOPT_ENGINE_TABLE_DATA_H_
+#define SDPOPT_ENGINE_TABLE_DATA_H_
+
+#include <stdint.h>
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "stats/column_stats.h"
+
+namespace sdp {
+
+// Materialized contents of one table: column-major int64 values (every
+// synthetic column is an integer drawn from [0, domain)), plus a sorted
+// index over the table's indexed column.
+struct TableData {
+  // columns[c][row]
+  std::vector<std::vector<int64_t>> columns;
+  // (value, row) pairs sorted by value, for the indexed column; empty when
+  // the table has no index.
+  std::vector<std::pair<int64_t, int64_t>> index;
+
+  int64_t num_rows() const {
+    return columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
+  }
+
+  // Rows whose indexed-column value equals `key` (via binary search).
+  std::vector<int64_t> IndexLookup(int64_t key) const;
+};
+
+// All materialized tables of a catalog.
+class Database {
+ public:
+  // Generates data for every table per its catalog distributions.
+  // `row_limit` caps per-table row counts (0 = no cap) so examples can run
+  // the paper's schema at laptop-interactive sizes; statistics computed by
+  // Analyze() see the capped data, keeping the optimizer consistent.
+  static Database Generate(const Catalog& catalog, uint64_t seed,
+                           uint64_t row_limit = 0);
+
+  const Catalog& catalog() const { return *catalog_; }
+  const TableData& table(int id) const { return tables_.at(id); }
+
+  // Computes exact per-column statistics from the materialized data --
+  // the engine-level equivalent of PostgreSQL's ANALYZE.
+  StatsCatalog Analyze(int histogram_buckets = 16) const;
+
+ private:
+  const Catalog* catalog_ = nullptr;
+  std::vector<TableData> tables_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_ENGINE_TABLE_DATA_H_

@@ -1,0 +1,197 @@
+#include "harness/experiment.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.h"
+#include "core/sdp.h"
+#include "optimizer/dp.h"
+#include "optimizer/idp.h"
+
+namespace sdp {
+
+AlgorithmSpec AlgorithmSpec::DP() {
+  AlgorithmSpec s;
+  s.name = "DP";
+  s.kind = Kind::kDP;
+  return s;
+}
+
+AlgorithmSpec AlgorithmSpec::IDP(int k) {
+  AlgorithmSpec s;
+  s.name = "IDP(" + std::to_string(k) + ")";
+  s.kind = Kind::kIDP;
+  s.idp.k = k;
+  return s;
+}
+
+AlgorithmSpec AlgorithmSpec::IDP2(int k) {
+  AlgorithmSpec s;
+  s.name = "IDP2(" + std::to_string(k) + ")";
+  s.kind = Kind::kIDP2;
+  s.idp.k = k;
+  return s;
+}
+
+AlgorithmSpec AlgorithmSpec::SDP() {
+  AlgorithmSpec s;
+  s.name = "SDP";
+  s.kind = Kind::kSDP;
+  return s;
+}
+
+AlgorithmSpec AlgorithmSpec::SDPWith(const SdpConfig& config,
+                                     std::string name) {
+  AlgorithmSpec s;
+  s.name = std::move(name);
+  s.kind = Kind::kSDP;
+  s.sdp = config;
+  return s;
+}
+
+OptimizeResult RunAlgorithm(const AlgorithmSpec& spec, const Query& query,
+                            const CostModel& cost,
+                            const OptimizerOptions& options) {
+  switch (spec.kind) {
+    case AlgorithmSpec::Kind::kDP:
+      return OptimizeDP(query, cost, options);
+    case AlgorithmSpec::Kind::kIDP:
+      return OptimizeIDP(query, cost, spec.idp, options);
+    case AlgorithmSpec::Kind::kIDP2:
+      return OptimizeIDP2(query, cost, spec.idp, options);
+    case AlgorithmSpec::Kind::kSDP: {
+      OptimizeResult r = OptimizeSDP(query, cost, spec.sdp, options);
+      r.algorithm = spec.name;
+      return r;
+    }
+  }
+  SDP_CHECK(false);
+  return OptimizeResult();
+}
+
+ExperimentReport RunExperiment(const std::vector<Query>& queries,
+                               const Catalog& catalog,
+                               const StatsCatalog& stats,
+                               const std::vector<AlgorithmSpec>& algorithms,
+                               const OptimizerOptions& options,
+                               std::string workload_name) {
+  ExperimentReport report;
+  report.workload_name = std::move(workload_name);
+  report.outcomes.resize(algorithms.size());
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    report.outcomes[a].name = algorithms[a].name;
+  }
+
+  int dp_index = -1;
+  int sdp_index = -1;
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    if (algorithms[a].kind == AlgorithmSpec::Kind::kDP && dp_index < 0) {
+      dp_index = static_cast<int>(a);
+    }
+    if (algorithms[a].kind == AlgorithmSpec::Kind::kSDP && sdp_index < 0) {
+      sdp_index = static_cast<int>(a);
+    }
+  }
+
+  bool dp_always_feasible = dp_index >= 0;
+  for (const Query& query : queries) {
+    CostModel cost(catalog, stats, query.graph, CostParams(),
+                   query.filters);
+    std::vector<OptimizeResult> results;
+    results.reserve(algorithms.size());
+    for (const AlgorithmSpec& spec : algorithms) {
+      results.push_back(RunAlgorithm(spec, query, cost, options));
+    }
+
+    // Reference cost: DP when feasible, else SDP (the paper's convention
+    // for scaled queries where DP runs out of memory).
+    double reference = 0;
+    if (dp_index >= 0 && results[dp_index].feasible) {
+      reference = results[dp_index].cost;
+    } else {
+      dp_always_feasible = false;
+      if (sdp_index >= 0 && results[sdp_index].feasible) {
+        reference = results[sdp_index].cost;
+      }
+    }
+
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      AlgorithmOutcome& out = report.outcomes[a];
+      const OptimizeResult& r = results[a];
+      ++out.attempted;
+      if (!r.feasible) continue;
+      ++out.feasible;
+      out.sum_seconds += r.elapsed_seconds;
+      out.sum_peak_mb += r.peak_memory_mb;
+      out.sum_plans_costed += static_cast<double>(r.counters.plans_costed);
+      out.sum_jcrs += static_cast<double>(r.counters.jcrs_created);
+      if (reference > 0) {
+        out.quality.Add(r.cost / reference);
+      }
+    }
+  }
+
+  report.reference_name = dp_always_feasible ? "DP" : "SDP";
+  return report;
+}
+
+namespace {
+
+std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+}  // namespace
+
+void PrintQualityTable(std::ostream& os, const ExperimentReport& report) {
+  os << "Plan Quality -- " << report.workload_name
+     << "  (reference: " << report.reference_name << ")\n";
+  os << "  Technique   feas/n      I%      G%      A%      B%        W"
+        "      rho\n";
+  for (const AlgorithmOutcome& o : report.outcomes) {
+    char line[160];
+    if (o.feasible == 0) {
+      std::snprintf(line, sizeof(line),
+                    "  %-10s  %4d/%-4d       *       *       *       *"
+                    "        *        *\n",
+                    o.name.c_str(), o.feasible, o.attempted);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %-10s  %4d/%-4d  %6.1f  %6.1f  %6.1f  %6.1f  %7.2f"
+                    "  %7.3f\n",
+                    o.name.c_str(), o.feasible, o.attempted,
+                    o.quality.Percent(QualityClass::kIdeal),
+                    o.quality.Percent(QualityClass::kGood),
+                    o.quality.Percent(QualityClass::kAcceptable),
+                    o.quality.Percent(QualityClass::kBad), o.quality.worst,
+                    o.quality.Rho());
+    }
+    os << line;
+  }
+}
+
+void PrintOverheadTable(std::ostream& os, const ExperimentReport& report) {
+  os << "Optimization Overheads -- " << report.workload_name << "\n";
+  os << "  Technique   feas/n   Memory(MB)    Time(s)     Plans costed"
+        "      JCRs\n";
+  for (const AlgorithmOutcome& o : report.outcomes) {
+    char line[160];
+    if (o.feasible == 0) {
+      std::snprintf(line, sizeof(line),
+                    "  %-10s  %4d/%-4d          *          *            *"
+                    "         *\n",
+                    o.name.c_str(), o.feasible, o.attempted);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %-10s  %4d/%-4d  %10.2f  %9.4f  %15s  %8.0f\n",
+                    o.name.c_str(), o.feasible, o.attempted, o.AvgPeakMb(),
+                    o.AvgSeconds(), Fmt("%.3g", o.AvgPlansCosted()).c_str(),
+                    o.AvgJcrs());
+    }
+    os << line;
+  }
+}
+
+}  // namespace sdp

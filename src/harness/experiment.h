@@ -1,0 +1,81 @@
+#ifndef SDPOPT_HARNESS_EXPERIMENT_H_
+#define SDPOPT_HARNESS_EXPERIMENT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/sdp.h"
+#include "metrics/quality.h"
+#include "optimizer/idp.h"
+#include "optimizer/optimizer_types.h"
+#include "query/join_graph.h"
+#include "stats/column_stats.h"
+
+namespace sdp {
+
+// One optimizer configuration under test.
+struct AlgorithmSpec {
+  enum class Kind { kDP, kIDP, kIDP2, kSDP };
+
+  std::string name;
+  Kind kind = Kind::kDP;
+  IdpConfig idp;
+  SdpConfig sdp;
+
+  static AlgorithmSpec DP();
+  static AlgorithmSpec IDP(int k);
+  static AlgorithmSpec IDP2(int k);
+  static AlgorithmSpec SDP();
+  static AlgorithmSpec SDPWith(const SdpConfig& config, std::string name);
+};
+
+// Runs one optimizer configuration on one query.
+OptimizeResult RunAlgorithm(const AlgorithmSpec& spec, const Query& query,
+                            const CostModel& cost,
+                            const OptimizerOptions& options);
+
+// Aggregated results of one algorithm over a workload.
+struct AlgorithmOutcome {
+  std::string name;
+  int attempted = 0;
+  int feasible = 0;
+  QualityDistribution quality;  // Ratios vs the experiment's reference.
+  double sum_seconds = 0;
+  double sum_peak_mb = 0;
+  double sum_plans_costed = 0;
+  double sum_jcrs = 0;
+
+  double AvgSeconds() const { return feasible ? sum_seconds / feasible : 0; }
+  double AvgPeakMb() const { return feasible ? sum_peak_mb / feasible : 0; }
+  double AvgPlansCosted() const {
+    return feasible ? sum_plans_costed / feasible : 0;
+  }
+  double AvgJcrs() const { return feasible ? sum_jcrs / feasible : 0; }
+};
+
+struct ExperimentReport {
+  std::string workload_name;
+  std::string reference_name;  // "DP" when feasible, else "SDP" (paper).
+  std::vector<AlgorithmOutcome> outcomes;
+};
+
+// Optimizes every query with every algorithm and aggregates plan quality
+// against the reference: DP's optimal cost when DP is feasible for the
+// query, otherwise SDP's cost (the paper's convention once DP becomes
+// infeasible).  Overheads are averaged over the algorithm's feasible runs.
+ExperimentReport RunExperiment(const std::vector<Query>& queries,
+                               const Catalog& catalog,
+                               const StatsCatalog& stats,
+                               const std::vector<AlgorithmSpec>& algorithms,
+                               const OptimizerOptions& options,
+                               std::string workload_name);
+
+// Paper-style tables.
+void PrintQualityTable(std::ostream& os, const ExperimentReport& report);
+void PrintOverheadTable(std::ostream& os, const ExperimentReport& report);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,44 @@
+#include "metrics/quality.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace sdp {
+
+QualityClass ClassifyRatio(double ratio) {
+  if (ratio <= 1.01) return QualityClass::kIdeal;
+  if (ratio <= 2.0) return QualityClass::kGood;
+  if (ratio <= 10.0) return QualityClass::kAcceptable;
+  return QualityClass::kBad;
+}
+
+const char* QualityClassName(QualityClass c) {
+  switch (c) {
+    case QualityClass::kIdeal:
+      return "Ideal";
+    case QualityClass::kGood:
+      return "Good";
+    case QualityClass::kAcceptable:
+      return "Acceptable";
+    case QualityClass::kBad:
+      return "Bad";
+  }
+  return "?";
+}
+
+void QualityDistribution::Add(double ratio) {
+  SDP_CHECK(ratio > 0);
+  ++counts[static_cast<int>(ClassifyRatio(ratio))];
+  ++total;
+  if (ratio > worst) worst = ratio;
+  ratios.push_back(ratio);
+}
+
+double QualityDistribution::Percent(QualityClass c) const {
+  if (total == 0) return 0;
+  return 100.0 * counts[static_cast<int>(c)] / total;
+}
+
+double QualityDistribution::Rho() const { return GeometricMean(ratios); }
+
+}  // namespace sdp

@@ -1,0 +1,41 @@
+#ifndef SDPOPT_METRICS_QUALITY_H_
+#define SDPOPT_METRICS_QUALITY_H_
+
+#include <string>
+#include <vector>
+
+namespace sdp {
+
+// The paper's plan-quality classification of a plan-cost ratio relative to
+// the reference (DP-optimal) plan:
+//   Ideal      <= 1.01   (identical to DP or within 1%)
+//   Good       <= 2
+//   Acceptable <= 10
+//   Bad        >  10
+enum class QualityClass {
+  kIdeal = 0,
+  kGood = 1,
+  kAcceptable = 2,
+  kBad = 3,
+};
+
+QualityClass ClassifyRatio(double ratio);
+const char* QualityClassName(QualityClass c);
+
+// Aggregated plan quality over a set of queries: per-class percentages,
+// worst-case ratio W, and the overall factor rho (geometric mean of
+// ratios).
+struct QualityDistribution {
+  int counts[4] = {0, 0, 0, 0};
+  int total = 0;
+  double worst = 0;
+  std::vector<double> ratios;
+
+  void Add(double ratio);
+  double Percent(QualityClass c) const;
+  double Rho() const;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_METRICS_QUALITY_H_

@@ -1,0 +1,99 @@
+#include "optimizer/dp.h"
+
+#include "common/arena.h"
+#include "common/check.h"
+#include "cost/cardinality.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/memo.h"
+#include "optimizer/plan_pool.h"
+#include "optimizer/run_helpers.h"
+
+namespace sdp {
+
+OptimizeResult OptimizeDP(const Query& query, const CostModel& cost,
+                          const OptimizerOptions& options) {
+  const JoinGraph& graph = query.graph;
+  SDP_CHECK(graph.IsConnected(graph.AllRelations()));
+
+  Stopwatch timer;
+  MemoryGauge gauge;
+  PlanPool pool(&gauge);
+  Memo memo(&gauge);
+  CardinalityEstimator card(graph, cost, &gauge);
+  std::optional<ColumnRef> order_col;
+  if (query.order_by.has_value()) order_col = query.order_by->column;
+  OrderingSpace space(graph, order_col);
+  SearchCounters counters;
+  JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool, &gauge,
+                            options, &counters);
+
+  enumerator.InstallBaseRelationLeaves();
+  const int n = graph.num_relations();
+  for (int level = 2; level <= n; ++level) {
+    if (!enumerator.RunLevel(level)) {
+      return MakeOptimizeResult("DP", nullptr, counters, timer.Seconds(),
+                                gauge);
+    }
+  }
+  MemoEntry* full = memo.Find(graph.AllRelations());
+  SDP_CHECK(full != nullptr);
+  const PlanNode* plan = enumerator.FinalizeBestPlan(full);
+  return MakeOptimizeResult("DP", plan, counters, timer.Seconds(), gauge);
+}
+
+OptimizeResult OptimizeDPSub(const Query& query, const CostModel& cost,
+                             const OptimizerOptions& options) {
+  const JoinGraph& graph = query.graph;
+  SDP_CHECK(graph.IsConnected(graph.AllRelations()));
+  const int n = graph.num_relations();
+  SDP_CHECK(n <= 24);  // Exponential enumeration: cross-check scale only.
+
+  Stopwatch timer;
+  MemoryGauge gauge;
+  PlanPool pool(&gauge);
+  Memo memo(&gauge);
+  CardinalityEstimator card(graph, cost, &gauge);
+  std::optional<ColumnRef> order_col;
+  if (query.order_by.has_value()) order_col = query.order_by->column;
+  OrderingSpace space(graph, order_col);
+  SearchCounters counters;
+  JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool, &gauge,
+                            options, &counters);
+
+  enumerator.InstallBaseRelationLeaves();
+  const uint64_t limit = uint64_t{1} << n;
+  for (uint64_t bits = 1; bits < limit; ++bits) {
+    const RelSet s(bits);
+    if (s.Count() < 2 || !graph.IsConnected(s)) continue;
+    // All proper submask splits; every subset of `bits` is numerically
+    // smaller, so both halves are already fully planned.
+    for (uint64_t sub = (bits - 1) & bits; sub != 0;
+         sub = (sub - 1) & bits) {
+      const RelSet a(sub);
+      const RelSet b = s.Subtract(a);
+      if (a.bits() > b.bits()) continue;  // Unordered pairs once.
+      ++counters.pairs_examined;
+      MemoEntry* ea = memo.Find(a);
+      MemoEntry* eb = memo.Find(b);
+      if (ea == nullptr || eb == nullptr) continue;  // Disconnected half.
+      if (!graph.AreAdjacent(a, b)) continue;
+      bool created = false;
+      MemoEntry* target = memo.GetOrCreate(
+          s, ea->unit_count + eb->unit_count, card.Rows(s),
+          card.Selectivity(s), &created);
+      if (created) ++counters.jcrs_created;
+      enumerator.EmitJoinsInto(target, ea, eb);
+    }
+    if ((bits & 0xFF) == 0 && enumerator.CheckBudget()) break;
+  }
+  if (enumerator.CheckBudget()) {
+    return MakeOptimizeResult("DPsub", nullptr, counters, timer.Seconds(),
+                              gauge);
+  }
+  MemoEntry* full = memo.Find(graph.AllRelations());
+  SDP_CHECK(full != nullptr);
+  const PlanNode* plan = enumerator.FinalizeBestPlan(full);
+  return MakeOptimizeResult("DPsub", plan, counters, timer.Seconds(), gauge);
+}
+
+}  // namespace sdp

@@ -1,0 +1,29 @@
+#ifndef SDPOPT_OPTIMIZER_DP_H_
+#define SDPOPT_OPTIMIZER_DP_H_
+
+#include "cost/cost_model.h"
+#include "optimizer/optimizer_types.h"
+#include "query/join_graph.h"
+
+namespace sdp {
+
+// Exhaustive bushy dynamic programming (the System-R / PostgreSQL baseline).
+//
+// Always returns the optimal plan under the cost model when it completes;
+// `feasible == false` means the configured memory (or costing) budget was
+// exhausted first, the paper's infeasibility condition for large star
+// queries.
+OptimizeResult OptimizeDP(const Query& query, const CostModel& cost,
+                          const OptimizerOptions& options = {});
+
+// Subset-driven exhaustive DP ("DPsub"): enumerates relation sets in
+// numeric mask order and splits each into connected complement pairs.
+// Produces exactly the same optimum as OptimizeDP through a completely
+// different enumeration order -- kept as an independent cross-check of the
+// enumerator (exponential in N; intended for small queries and tests).
+OptimizeResult OptimizeDPSub(const Query& query, const CostModel& cost,
+                             const OptimizerOptions& options = {});
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OPTIMIZER_DP_H_

@@ -1,0 +1,345 @@
+#include "optimizer/enumerator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sdp {
+
+OrderingSpace::OrderingSpace(const JoinGraph& graph,
+                             std::optional<ColumnRef> order_column)
+    : graph_(&graph), order_column_(order_column) {
+  if (order_column_.has_value()) {
+    required_id_ = IdFor(*order_column_);
+  }
+}
+
+int OrderingSpace::IdFor(ColumnRef c) const {
+  const int eq = graph_->EquivClass(c);
+  if (eq >= 0) return eq;
+  if (order_column_.has_value() && c == *order_column_) {
+    // A non-join ORDER BY column gets the one extra ordering id.
+    return graph_->num_equiv_classes();
+  }
+  return -1;
+}
+
+JoinEnumerator::JoinEnumerator(const JoinGraph& graph, const CostModel& cost,
+                               const OrderingSpace& space,
+                               CardinalityEstimator* card, Memo* memo,
+                               PlanPool* pool, MemoryGauge* gauge,
+                               const OptimizerOptions& options,
+                               SearchCounters* counters)
+    : graph_(&graph),
+      cost_(&cost),
+      space_(&space),
+      card_(card),
+      memo_(memo),
+      pool_(pool),
+      gauge_(gauge),
+      options_(options),
+      counters_(counters) {}
+
+bool JoinEnumerator::BudgetExceeded() {
+  if (aborted_) return true;
+  if (options_.memory_budget_bytes != 0 &&
+      gauge_->current_bytes() > options_.memory_budget_bytes) {
+    aborted_ = true;
+  }
+  if (options_.max_plans_costed != 0 &&
+      counters_->plans_costed > options_.max_plans_costed) {
+    aborted_ = true;
+  }
+  return aborted_;
+}
+
+void JoinEnumerator::InstallBaseRelationLeaves() {
+  for (int r = 0; r < graph_->num_relations(); ++r) {
+    InstallBaseRelationLeaf(r);
+  }
+}
+
+MemoEntry* JoinEnumerator::InstallBaseRelationLeaf(int rel) {
+  const RelSet rels = RelSet::Single(rel);
+  bool created = false;
+  MemoEntry* entry =
+      memo_->GetOrCreate(rels, 1, cost_->ScanOutputRows(rel), 1.0, &created);
+  SDP_CHECK(created);
+  ++counters_->jcrs_created;
+
+  ++counters_->plans_costed;
+  PlanNode* seq = pool_->New();
+  seq->kind = PlanKind::kSeqScan;
+  seq->rel = rel;
+  seq->rels = rels;
+  seq->rows = cost_->ScanOutputRows(rel);
+  seq->cost = cost_->SeqScanCost(rel);
+  seq->ordering = -1;
+  entry->AddPlan(seq);
+  memo_->ChargePlanSlot();
+
+  // Index scan: worth keeping only when its order is interesting.
+  const int idx_col = cost_->IndexedColumn(rel);
+  if (idx_col < 0) return entry;
+  const int ordering = space_->IdFor(ColumnRef{rel, idx_col});
+  if (ordering < 0) return entry;
+  ++counters_->plans_costed;
+  const double scan_cost = cost_->IndexScanCost(rel);
+  if (!entry->WouldImprove(ordering, scan_cost)) return entry;
+  PlanNode* scan = pool_->New();
+  scan->kind = PlanKind::kIndexScan;
+  scan->rel = rel;
+  scan->rels = rels;
+  scan->rows = cost_->ScanOutputRows(rel);
+  scan->cost = scan_cost;
+  scan->ordering = ordering;
+  entry->AddPlan(scan);
+  memo_->ChargePlanSlot();
+  return entry;
+}
+
+MemoEntry* JoinEnumerator::InstallLeaf(RelSet rels, double rows, double sel,
+                                       const std::vector<RankedPlan>& plans) {
+  bool created = false;
+  MemoEntry* entry = memo_->GetOrCreate(rels, 1, rows, sel, &created);
+  SDP_CHECK(created);
+  ++counters_->jcrs_created;
+  for (const RankedPlan& rp : plans) {
+    if (entry->AddPlan(rp.plan)) memo_->ChargePlanSlot();
+  }
+  return entry;
+}
+
+bool JoinEnumerator::RunLevel(int level) {
+  SDP_CHECK(level >= 2);
+  if (BudgetExceeded()) return false;
+  for (int a_size = 1; a_size <= level / 2; ++a_size) {
+    const int b_size = level - a_size;
+    const auto& as = memo_->EntriesWithUnitCount(a_size);
+    const auto& bs = memo_->EntriesWithUnitCount(b_size);
+    for (size_t i = 0; i < as.size(); ++i) {
+      MemoEntry* a = as[i];
+      if (a->pruned) continue;
+      // For equal sizes, only unordered pairs (j > i).
+      const size_t j_begin = (a_size == b_size) ? i + 1 : 0;
+      for (size_t j = j_begin; j < bs.size(); ++j) {
+        MemoEntry* b = bs[j];
+        if (b->pruned) continue;
+        ++counters_->pairs_examined;
+        if ((counters_->pairs_examined & 0xFFFF) == 0 && BudgetExceeded()) {
+          return false;
+        }
+        if (a->rels.Overlaps(b->rels)) continue;
+        if (!graph_->AreAdjacent(a->rels, b->rels)) continue;
+        const RelSet s = a->rels.Union(b->rels);
+        bool created = false;
+        MemoEntry* target =
+            memo_->GetOrCreate(s, a->unit_count + b->unit_count,
+                               card_->Rows(s), card_->Selectivity(s),
+                               &created);
+        if (created) ++counters_->jcrs_created;
+        EmitJoinsInto(target, a, b);
+      }
+    }
+    if (BudgetExceeded()) return false;
+  }
+  return !BudgetExceeded();
+}
+
+void JoinEnumerator::EmitJoinsInto(MemoEntry* target, const MemoEntry* a,
+                                   const MemoEntry* b) {
+  SDP_DCHECK(!a->rels.Overlaps(b->rels));
+  const std::vector<int> edges = graph_->ConnectingEdges(a->rels, b->rels);
+  SDP_DCHECK(!edges.empty());
+  const int num_quals = static_cast<int>(edges.size());
+  const double out_rows = target->rows;
+
+  const PlanNode* cheap_a = a->CheapestPlan();
+  const PlanNode* cheap_b = b->CheapestPlan();
+  SDP_DCHECK(cheap_a != nullptr && cheap_b != nullptr);
+
+  // Hash join, both orientations (order-destroying: cheapest inputs only).
+  ConsiderHash(target, cheap_a, cheap_b, edges[0], num_quals, out_rows);
+  ConsiderHash(target, cheap_b, cheap_a, edges[0], num_quals, out_rows);
+
+  // Nested loop: preserves the outer ordering, so each retained outer plan
+  // is a distinct candidate; the inner is rescanned, cheapest suffices.
+  for (const RankedPlan& rp : a->plans) {
+    ConsiderNestLoop(target, rp.plan, cheap_b, edges[0], num_quals, out_rows);
+  }
+  for (const RankedPlan& rp : b->plans) {
+    ConsiderNestLoop(target, rp.plan, cheap_a, edges[0], num_quals, out_rows);
+  }
+
+  for (int e : edges) {
+    // Index nested loop when one side is a base relation indexed on its
+    // join column.
+    const JoinEdge& edge = graph_->edges()[e];
+    const ColumnRef a_side =
+        a->rels.Contains(edge.left.rel) ? edge.left : edge.right;
+    const ColumnRef b_side =
+        b->rels.Contains(edge.left.rel) ? edge.left : edge.right;
+    SDP_DCHECK(a->rels.Contains(a_side.rel) && b->rels.Contains(b_side.rel));
+    if (b->rels.Count() == 1 && b->unit_count == 1 &&
+        cost_->HasIndexOn(b_side)) {
+      for (const RankedPlan& rp : a->plans) {
+        ConsiderIndexNestLoop(target, rp.plan, b, e, out_rows);
+      }
+    }
+    if (a->rels.Count() == 1 && a->unit_count == 1 &&
+        cost_->HasIndexOn(a_side)) {
+      for (const RankedPlan& rp : b->plans) {
+        ConsiderIndexNestLoop(target, rp.plan, a, e, out_rows);
+      }
+    }
+    // Merge join on this edge's equivalence class.
+    ConsiderMergeJoin(target, a, b, e, num_quals, out_rows);
+  }
+}
+
+void JoinEnumerator::ConsiderHash(MemoEntry* target, const PlanNode* outer,
+                                  const PlanNode* inner, int edge,
+                                  int num_quals, double out_rows) {
+  ++counters_->plans_costed;
+  JoinCostInput in;
+  in.outer_cost = outer->cost;
+  in.outer_rows = outer->rows;
+  in.outer_width = cost_->RowWidth(outer->rels);
+  in.inner_cost = inner->cost;
+  in.inner_rows = inner->rows;
+  in.inner_width = cost_->RowWidth(inner->rels);
+  in.out_rows = out_rows;
+  in.num_quals = num_quals;
+  const double cost = cost_->HashJoinCost(in);
+  TryAdd(target, PlanKind::kHashJoin, -1, edge, /*ordering=*/-1, out_rows,
+         cost, outer, inner);
+}
+
+void JoinEnumerator::ConsiderNestLoop(MemoEntry* target, const PlanNode* outer,
+                                      const PlanNode* inner, int edge,
+                                      int num_quals, double out_rows) {
+  ++counters_->plans_costed;
+  JoinCostInput in;
+  in.outer_cost = outer->cost;
+  in.outer_rows = outer->rows;
+  in.outer_width = cost_->RowWidth(outer->rels);
+  in.inner_cost = inner->cost;
+  in.inner_rows = inner->rows;
+  in.inner_width = cost_->RowWidth(inner->rels);
+  in.out_rows = out_rows;
+  in.num_quals = num_quals;
+  const double cost = cost_->NestLoopCost(in);
+  TryAdd(target, PlanKind::kNestLoop, -1, edge, outer->ordering, out_rows,
+         cost, outer, inner);
+}
+
+void JoinEnumerator::ConsiderIndexNestLoop(MemoEntry* target,
+                                           const PlanNode* outer,
+                                           const MemoEntry* inner_entry,
+                                           int edge, double out_rows) {
+  const int inner_rel = inner_entry->rels.Lowest();
+  ++counters_->plans_costed;
+  const double cost = cost_->IndexNestLoopCost(outer->cost, outer->rows,
+                                               inner_rel, edge, out_rows);
+  TryAdd(target, PlanKind::kIndexNestLoop, inner_rel, edge, outer->ordering,
+         out_rows, cost, outer, inner_entry->plans.front().plan);
+}
+
+JoinEnumerator::SortedInput JoinEnumerator::BestSortedInput(
+    const MemoEntry* e, int eq) const {
+  SortedInput out;
+  const PlanNode* sorted = e->PlanWithOrdering(eq);
+  const PlanNode* cheapest = e->CheapestPlan();
+  const double sort_cost =
+      cheapest->cost +
+      cost_->SortCost(cheapest->rows, cost_->RowWidth(e->rels));
+  if (sorted != nullptr && sorted->cost <= sort_cost) {
+    out.plan = sorted;
+    out.cost = sorted->cost;
+    out.needs_sort = false;
+  } else {
+    out.plan = cheapest;
+    out.cost = sort_cost;
+    out.needs_sort = true;
+  }
+  return out;
+}
+
+const PlanNode* JoinEnumerator::MaterializeSorted(const MemoEntry* e, int eq,
+                                                  const SortedInput& in) {
+  if (!in.needs_sort) return in.plan;
+  PlanNode* sort = pool_->New();
+  sort->kind = PlanKind::kSort;
+  sort->rels = e->rels;
+  sort->rows = in.plan->rows;
+  sort->cost = in.cost;
+  sort->ordering = eq;
+  sort->outer = in.plan;
+  return sort;
+}
+
+void JoinEnumerator::ConsiderMergeJoin(MemoEntry* target, const MemoEntry* a,
+                                       const MemoEntry* b, int edge,
+                                       int num_quals, double out_rows) {
+  const JoinEdge& e = graph_->edges()[edge];
+  const int eq = space_->IdFor(e.left);
+  if (eq < 0) return;  // Defensive: join columns always have a class.
+  ++counters_->plans_costed;
+  const SortedInput sa = BestSortedInput(a, eq);
+  const SortedInput sb = BestSortedInput(b, eq);
+  JoinCostInput in;
+  in.outer_cost = sa.cost;
+  in.outer_rows = a->rows;
+  in.outer_width = cost_->RowWidth(a->rels);
+  in.inner_cost = sb.cost;
+  in.inner_rows = b->rows;
+  in.inner_width = cost_->RowWidth(b->rels);
+  in.out_rows = out_rows;
+  in.num_quals = num_quals;
+  const double cost = cost_->MergeJoinCost(in);
+  if (!target->WouldImprove(eq, cost)) return;
+  const PlanNode* outer = MaterializeSorted(a, eq, sa);
+  const PlanNode* inner = MaterializeSorted(b, eq, sb);
+  TryAdd(target, PlanKind::kMergeJoin, -1, edge, eq, out_rows, cost, outer,
+         inner);
+}
+
+bool JoinEnumerator::TryAdd(MemoEntry* target, PlanKind kind, int rel,
+                            int edge, int ordering, double rows, double cost,
+                            const PlanNode* outer, const PlanNode* inner) {
+  if (!target->WouldImprove(ordering, cost)) return false;
+  PlanNode* node = pool_->New();
+  node->kind = kind;
+  node->rel = rel;
+  node->edge = edge;
+  node->ordering = ordering;
+  node->rels = target->rels;
+  node->rows = rows;
+  node->cost = cost;
+  node->outer = outer;
+  node->inner = inner;
+  std::vector<const PlanNode*> evicted;
+  const bool added = target->AddPlan(node, &evicted);
+  SDP_DCHECK(added);
+  if (added) {
+    memo_->ChargePlanSlot();
+  } else {
+    pool_->Free(node);
+  }
+  // Evicted plans belong to the level under construction: nothing
+  // references them yet, so their nodes (and exclusive sort children) can
+  // be recycled.
+  for (const PlanNode* old : evicted) pool_->FreeTopAndSorts(old);
+  return added;
+}
+
+const PlanNode* JoinEnumerator::FinalizeBestPlan(const MemoEntry* full) {
+  const PlanNode* cheapest = full->CheapestPlan();
+  if (cheapest == nullptr) return nullptr;
+  const int required = space_->RequiredId();
+  if (required < 0) return cheapest;
+  const SortedInput in = BestSortedInput(full, required);
+  return MaterializeSorted(full, required, in);
+}
+
+}  // namespace sdp

@@ -1,0 +1,138 @@
+#ifndef SDPOPT_OPTIMIZER_ENUMERATOR_H_
+#define SDPOPT_OPTIMIZER_ENUMERATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/arena.h"
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "optimizer/memo.h"
+#include "optimizer/plan_pool.h"
+#include "optimizer/optimizer_types.h"
+#include "query/join_graph.h"
+
+namespace sdp {
+
+// Maps columns to the dense "ordering id" space used by plan properties:
+// join-column equivalence classes get their class id; a user ORDER BY on a
+// non-join column gets one extra id.  -1 = not an interesting order.
+class OrderingSpace {
+ public:
+  OrderingSpace(const JoinGraph& graph,
+                std::optional<ColumnRef> order_column);
+
+  int IdFor(ColumnRef c) const;
+  // Ordering id required by the query's ORDER BY, or -1 when unordered.
+  int RequiredId() const { return required_id_; }
+
+ private:
+  const JoinGraph* graph_;
+  std::optional<ColumnRef> order_column_;
+  int required_id_ = -1;
+};
+
+// The size-driven ("DPsize", System-R / PostgreSQL style) bushy join
+// enumerator shared by DP, IDP and SDP.
+//
+// Leaves are "units": base relations in DP/SDP, possibly composites in IDP
+// iterations.  RunLevel(L) combines every adjacent pair of disjoint
+// survivor entries whose unit counts sum to L, costing the physical join
+// repertoire (hash both orientations; nested loop and index nested loop per
+// useful outer ordering; merge join per connecting edge with sort
+// enforcers) and retaining, per join-composite relation, the cheapest plan
+// per distinct output ordering.
+//
+// Resource enforcement: all memo entries, plan nodes and cardinality-cache
+// slots are charged to the MemoryGauge; RunLevel aborts (returns false)
+// when the configured budget is exceeded -- the paper's infeasibility
+// condition.
+class JoinEnumerator {
+ public:
+  JoinEnumerator(const JoinGraph& graph, const CostModel& cost,
+                 const OrderingSpace& space, CardinalityEstimator* card,
+                 Memo* memo, PlanPool* pool, MemoryGauge* gauge,
+                 const OptimizerOptions& options, SearchCounters* counters);
+
+  // Installs one leaf per base relation, with sequential-scan and (when the
+  // indexed column carries an interesting order) index-scan plans.
+  void InstallBaseRelationLeaves();
+
+  // Installs the leaf for a single base relation (IDP installs only the
+  // relations still standing alone in the current iteration).
+  MemoEntry* InstallBaseRelationLeaf(int rel);
+
+  // Installs a pre-planned leaf unit (IDP composites).  Plans must outlive
+  // the enumerator; they are referenced, not copied.
+  MemoEntry* InstallLeaf(RelSet rels, double rows, double sel,
+                         const std::vector<RankedPlan>& plans);
+
+  // Runs one DP level.  Returns false when the run aborted on budget.
+  bool RunLevel(int level);
+
+  // Costs every physical join of `a` and `b` into `target` (which need not
+  // live in the memo -- IDP ballooning uses a scratch entry).
+  void EmitJoinsInto(MemoEntry* target, const MemoEntry* a,
+                     const MemoEntry* b);
+
+  // Picks the query's final plan from `full`: the cheapest plan satisfying
+  // the required ordering, adding a Sort enforcer when that is cheaper.
+  // Returns null only if `full` has no plans.
+  const PlanNode* FinalizeBestPlan(const MemoEntry* full);
+
+  bool aborted() const { return aborted_; }
+
+  // Re-evaluates the budget and returns true when exhausted (latches the
+  // aborted flag).  RunLevel checks internally; direct EmitJoinsInto users
+  // (DPsub, IDP ballooning) call this between batches.
+  bool CheckBudget() { return BudgetExceeded(); }
+  const OrderingSpace& ordering_space() const { return *space_; }
+
+ private:
+  // True when the budget is exhausted; latches `aborted_`.
+  bool BudgetExceeded();
+
+  void ConsiderHash(MemoEntry* target, const PlanNode* outer,
+                    const PlanNode* inner, int edge, int num_quals,
+                    double out_rows);
+  void ConsiderNestLoop(MemoEntry* target, const PlanNode* outer,
+                        const PlanNode* inner, int edge, int num_quals,
+                        double out_rows);
+  void ConsiderIndexNestLoop(MemoEntry* target, const PlanNode* outer,
+                             const MemoEntry* inner_entry, int edge,
+                             double out_rows);
+  void ConsiderMergeJoin(MemoEntry* target, const MemoEntry* a,
+                         const MemoEntry* b, int edge, int num_quals,
+                         double out_rows);
+
+  // Cheapest way to obtain `a`'s output sorted on ordering `eq`:
+  // a pre-sorted plan or cheapest-plus-Sort.  Materializes the Sort node
+  // only when `materialize` is set (cost-probe first, allocate on win).
+  struct SortedInput {
+    const PlanNode* plan = nullptr;  // Null when not materialized.
+    double cost = 0;
+    bool needs_sort = false;
+  };
+  SortedInput BestSortedInput(const MemoEntry* e, int eq) const;
+  const PlanNode* MaterializeSorted(const MemoEntry* e, int eq,
+                                    const SortedInput& in);
+
+  bool TryAdd(MemoEntry* target, PlanKind kind, int rel, int edge,
+              int ordering, double rows, double cost, const PlanNode* outer,
+              const PlanNode* inner);
+
+  const JoinGraph* graph_;
+  const CostModel* cost_;
+  const OrderingSpace* space_;
+  CardinalityEstimator* card_;
+  Memo* memo_;
+  PlanPool* pool_;
+  MemoryGauge* gauge_;
+  OptimizerOptions options_;
+  SearchCounters* counters_;
+  bool aborted_ = false;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OPTIMIZER_ENUMERATOR_H_

@@ -1,0 +1,206 @@
+#include "optimizer/heuristic_baselines.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "cost/cardinality.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/memo.h"
+#include "optimizer/plan_pool.h"
+#include "optimizer/run_helpers.h"
+
+namespace sdp {
+
+namespace {
+
+// Shared per-run machinery for the non-DP baselines.
+struct BaselineContext {
+  BaselineContext(const Query& query, const CostModel& cost,
+                  const OptimizerOptions& options)
+      : graph(query.graph),
+        pool(&gauge),
+        memo(&gauge),
+        card(graph, cost, &gauge),
+        space(graph, query.order_by.has_value()
+                         ? std::optional<ColumnRef>(query.order_by->column)
+                         : std::nullopt),
+        enumerator(graph, cost, space, &card, &memo, &pool, &gauge, options,
+                   &counters) {
+    enumerator.InstallBaseRelationLeaves();
+  }
+
+  // Joins two planned sub-results into a fresh scratch entry.
+  std::unique_ptr<MemoEntry> Join(const MemoEntry* a, const MemoEntry* b) {
+    auto out = std::make_unique<MemoEntry>();
+    out->rels = a->rels.Union(b->rels);
+    out->unit_count = a->unit_count + b->unit_count;
+    out->rows = card.Rows(out->rels);
+    out->sel = card.Selectivity(out->rels);
+    enumerator.EmitJoinsInto(out.get(), a, b);
+    return out;
+  }
+
+  const JoinGraph& graph;
+  MemoryGauge gauge;
+  PlanPool pool;
+  Memo memo;
+  CardinalityEstimator card;
+  OrderingSpace space;
+  SearchCounters counters;
+  JoinEnumerator enumerator;
+};
+
+}  // namespace
+
+OptimizeResult OptimizeGOO(const Query& query, const CostModel& cost,
+                           const OptimizerOptions& options) {
+  const JoinGraph& graph = query.graph;
+  SDP_CHECK(graph.IsConnected(graph.AllRelations()));
+  Stopwatch timer;
+  BaselineContext ctx(query, cost, options);
+
+  // Current forest: base-relation entries, progressively merged.
+  std::vector<MemoEntry*> units;
+  std::vector<std::unique_ptr<MemoEntry>> owned;
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    units.push_back(ctx.memo.Find(RelSet::Single(r)));
+  }
+
+  while (units.size() > 1) {
+    if (ctx.enumerator.CheckBudget()) {
+      return MakeOptimizeResult("GOO", nullptr, ctx.counters, timer.Seconds(),
+                                ctx.gauge);
+    }
+    // Greedy step: the adjacent pair with the smallest join cardinality.
+    size_t best_i = 0, best_j = 0;
+    double best_rows = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < units.size(); ++i) {
+      for (size_t j = i + 1; j < units.size(); ++j) {
+        if (!graph.AreAdjacent(units[i]->rels, units[j]->rels)) continue;
+        const double rows =
+            ctx.card.Rows(units[i]->rels.Union(units[j]->rels));
+        if (rows < best_rows) {
+          best_rows = rows;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    SDP_CHECK(best_rows < std::numeric_limits<double>::infinity());
+    owned.push_back(ctx.Join(units[best_i], units[best_j]));
+    units[best_i] = owned.back().get();
+    units.erase(units.begin() + static_cast<long>(best_j));
+  }
+
+  const PlanNode* plan = ctx.enumerator.FinalizeBestPlan(units.front());
+  return MakeOptimizeResult("GOO", plan, ctx.counters, timer.Seconds(),
+                            ctx.gauge);
+}
+
+namespace {
+
+// A random permutation whose every prefix is connected.
+std::vector<int> RandomConnectedOrder(const JoinGraph& graph, Rng* rng) {
+  const int n = graph.num_relations();
+  std::vector<int> order;
+  order.reserve(n);
+  RelSet covered =
+      RelSet::Single(static_cast<int>(rng->NextBounded(n)));
+  order.push_back(covered.Lowest());
+  while (static_cast<int>(order.size()) < n) {
+    const RelSet frontier = graph.Neighbors(covered);
+    SDP_CHECK(!frontier.Empty());
+    // Uniform choice among frontier members.
+    std::vector<int> members;
+    frontier.ForEach([&](int r) { members.push_back(r); });
+    const int next =
+        members[rng->NextBounded(static_cast<uint64_t>(members.size()))];
+    order.push_back(next);
+    covered = covered.With(next);
+  }
+  return order;
+}
+
+bool PrefixesConnected(const JoinGraph& graph, const std::vector<int>& order) {
+  RelSet covered = RelSet::Single(order[0]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (!graph.AreAdjacent(covered, RelSet::Single(order[i]))) return false;
+    covered = covered.With(order[i]);
+  }
+  return true;
+}
+
+// Cost of the best left-deep plan following `order` exactly.
+double CostOrder(BaselineContext* ctx, const std::vector<int>& order,
+                 const PlanNode** out_plan) {
+  const MemoEntry* cur_ptr = ctx->memo.Find(RelSet::Single(order[0]));
+  std::vector<std::unique_ptr<MemoEntry>> owned;
+  for (size_t i = 1; i < order.size(); ++i) {
+    owned.push_back(
+        ctx->Join(cur_ptr, ctx->memo.Find(RelSet::Single(order[i]))));
+    cur_ptr = owned.back().get();
+  }
+  const PlanNode* plan = ctx->enumerator.FinalizeBestPlan(cur_ptr);
+  SDP_CHECK(plan != nullptr);
+  if (out_plan != nullptr) *out_plan = plan;
+  return plan->cost;
+}
+
+}  // namespace
+
+OptimizeResult OptimizeRandomized(const Query& query, const CostModel& cost,
+                                  const RandomizedConfig& config,
+                                  const OptimizerOptions& options) {
+  const JoinGraph& graph = query.graph;
+  SDP_CHECK(graph.IsConnected(graph.AllRelations()));
+  SDP_CHECK(config.restarts >= 1);
+  Stopwatch timer;
+  BaselineContext ctx(query, cost, options);
+  Rng rng(config.seed);
+
+  const PlanNode* best_plan = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < config.restarts; ++restart) {
+    if (ctx.enumerator.CheckBudget()) {
+      return MakeOptimizeResult("Randomized", nullptr, ctx.counters,
+                                timer.Seconds(), ctx.gauge);
+    }
+    std::vector<int> order = RandomConnectedOrder(graph, &rng);
+    const PlanNode* plan = nullptr;
+    double current = CostOrder(&ctx, order, &plan);
+
+    // Hill-climb with adjacent transpositions.
+    int plateau = 0;
+    while (plateau < config.max_plateau_sweeps) {
+      bool improved = false;
+      for (size_t i = 0; i + 1 < order.size(); ++i) {
+        std::swap(order[i], order[i + 1]);
+        if (PrefixesConnected(graph, order)) {
+          const PlanNode* candidate_plan = nullptr;
+          const double candidate = CostOrder(&ctx, order, &candidate_plan);
+          if (candidate < current) {
+            current = candidate;
+            plan = candidate_plan;
+            improved = true;
+            continue;  // Keep the swap.
+          }
+        }
+        std::swap(order[i], order[i + 1]);  // Revert.
+      }
+      plateau = improved ? 0 : plateau + 1;
+    }
+    if (current < best_cost) {
+      best_cost = current;
+      best_plan = plan;
+    }
+  }
+  return MakeOptimizeResult("Randomized", best_plan, ctx.counters,
+                            timer.Seconds(), ctx.gauge);
+}
+
+}  // namespace sdp

@@ -1,0 +1,42 @@
+#ifndef SDPOPT_OPTIMIZER_HEURISTIC_BASELINES_H_
+#define SDPOPT_OPTIMIZER_HEURISTIC_BASELINES_H_
+
+#include <stdint.h>
+
+#include "cost/cost_model.h"
+#include "optimizer/optimizer_types.h"
+#include "query/join_graph.h"
+
+namespace sdp {
+
+// Non-DP baselines from the literature the paper positions itself against
+// (Section 1.1 cites randomized and greedy alternatives to DP).  Both scale
+// far beyond DP but offer no optimality guarantee; they bound the
+// quality/effort space from the "cheap and cheerful" side, complementing
+// DP (expensive, optimal) and IDP/SDP (the middle ground).
+
+// Greedy Operator Ordering (Fegaras): repeatedly join the pair of current
+// units whose result cardinality is smallest, until one unit remains.
+// Physical operators are cost-optimized per step; the *order* is the
+// greedy heuristic.  O(n^3) cardinality probes, trivially scalable.
+OptimizeResult OptimizeGOO(const Query& query, const CostModel& cost,
+                           const OptimizerOptions& options = {});
+
+// Randomized iterative improvement over left-deep join orders: start from
+// random connected permutations, hill-climb with adjacent transpositions,
+// restart until the probe budget is spent.  A simplified representative of
+// the randomized-search family (II / 2PO).
+struct RandomizedConfig {
+  uint64_t seed = 1;
+  int restarts = 8;
+  // Hill-climbing stops after this many consecutive non-improving sweeps.
+  int max_plateau_sweeps = 2;
+};
+
+OptimizeResult OptimizeRandomized(const Query& query, const CostModel& cost,
+                                  const RandomizedConfig& config = {},
+                                  const OptimizerOptions& options = {});
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OPTIMIZER_HEURISTIC_BASELINES_H_

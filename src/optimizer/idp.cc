@@ -1,0 +1,370 @@
+#include "optimizer/idp.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/check.h"
+#include "cost/cardinality.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/memo.h"
+#include "optimizer/plan_pool.h"
+#include "optimizer/run_helpers.h"
+
+namespace sdp {
+
+namespace {
+
+// A leaf of the current IDP iteration: a base relation still standing
+// alone, or a composite collapsed in an earlier iteration (whose retained
+// plans live in the persistent arena).
+struct Unit {
+  RelSet rels;
+  double rows = 0;
+  double sel = 1;
+  bool is_base = true;
+  int rel = -1;                   // When is_base.
+  std::vector<RankedPlan> plans;  // When composite.
+};
+
+// Block size for an iteration over `m` units: plain IDP uses min(k, m); the
+// balanced variant spreads the work so no iteration is much larger than the
+// others (ceil of the per-iteration reduction needed).
+int BlockSize(int m, int k, bool balanced) {
+  SDP_CHECK(k >= 2);
+  if (m <= k) return m;
+  if (!balanced) return k;
+  const int iters = (m - 1 + k - 2) / (k - 1);  // ceil((m-1)/(k-1))
+  const int block = 1 + (m - 1 + iters - 1) / iters;
+  return std::min(block, k);
+}
+
+}  // namespace
+
+OptimizeResult OptimizeIDP(const Query& query, const CostModel& cost,
+                           const IdpConfig& config,
+                           const OptimizerOptions& options) {
+  const JoinGraph& graph = query.graph;
+  SDP_CHECK(graph.IsConnected(graph.AllRelations()));
+  SDP_CHECK(config.k >= 2);
+  const std::string name = "IDP(" + std::to_string(config.k) + ")";
+
+  Stopwatch timer;
+  MemoryGauge gauge;
+  Arena persistent(&gauge);  // Holds retained composite subplans.
+  SearchCounters counters;
+  std::optional<ColumnRef> order_col;
+  if (query.order_by.has_value()) order_col = query.order_by->column;
+  OrderingSpace space(graph, order_col);
+  CardinalityEstimator card(graph, cost, &gauge);
+
+  std::vector<Unit> units;
+  units.reserve(graph.num_relations());
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    Unit u;
+    u.rels = RelSet::Single(r);
+    u.rows = cost.ScanOutputRows(r);
+    u.sel = 1.0;
+    u.is_base = true;
+    u.rel = r;
+    units.push_back(std::move(u));
+  }
+
+  // Iteration contexts are kept alive for the whole run: the PostgreSQL
+  // implementation the paper modified allocates all planner structures in
+  // one memory context, so earlier iterations' tables are not returned to
+  // the system until optimization ends.  The budget check and the reported
+  // peak therefore see the cumulative footprint.
+  struct IterationContext {
+    explicit IterationContext(MemoryGauge* gauge) : pool(gauge), memo(gauge) {}
+    PlanPool pool;
+    Memo memo;
+  };
+  std::vector<std::unique_ptr<IterationContext>> iterations;
+
+  for (;;) {
+    const int m = static_cast<int>(units.size());
+    const int block = BlockSize(m, config.k, config.balanced);
+
+    iterations.push_back(std::make_unique<IterationContext>(&gauge));
+    PlanPool& pool = iterations.back()->pool;
+    Memo& memo = iterations.back()->memo;
+    JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool,
+                              &gauge, options, &counters);
+    for (const Unit& u : units) {
+      if (u.is_base) {
+        enumerator.InstallBaseRelationLeaf(u.rel);
+      } else {
+        enumerator.InstallLeaf(u.rels, u.rows, u.sel, u.plans);
+      }
+    }
+
+    for (int level = 2; level <= block; ++level) {
+      if (!enumerator.RunLevel(level)) {
+        return MakeOptimizeResult(name, nullptr, counters, timer.Seconds(),
+                                  gauge);
+      }
+    }
+
+    if (block == m) {
+      // Final block: DP covered all remaining units.
+      MemoEntry* full = memo.Find(graph.AllRelations());
+      SDP_CHECK(full != nullptr);
+      const PlanNode* plan = enumerator.FinalizeBestPlan(full);
+      return MakeOptimizeResult(name, plan, counters, timer.Seconds(), gauge);
+    }
+
+    // Candidate subplans: the level-`block` composites, best-first by the
+    // MinRows evaluation function.
+    std::vector<MemoEntry*> candidates = memo.EntriesWithUnitCount(block);
+    SDP_CHECK(!candidates.empty());
+    std::sort(candidates.begin(), candidates.end(),
+              [](const MemoEntry* a, const MemoEntry* b) {
+                if (a->rows != b->rows) return a->rows < b->rows;
+                return a->rels.bits() < b->rels.bits();
+              });
+    const int keep = std::max(
+        1, static_cast<int>(config.balloon_fraction *
+                            static_cast<double>(candidates.size()) + 0.999));
+    candidates.resize(std::min<size_t>(candidates.size(), keep));
+
+    // Balloon each candidate to a complete plan with greedy MinRows steps.
+    // The completion is evaluated with the Minimum-Intermediate-Result
+    // function (sum of intermediate cardinalities) -- the paper's
+    // "MinRows" plan evaluation, which is blind to access paths and is the
+    // reason IDP's commitments go wrong on hub-heavy graphs.
+    MemoEntry* winner = nullptr;
+    double winner_score = 0;
+    for (MemoEntry* cand : candidates) {
+      MemoEntry cur;
+      cur.rels = cand->rels;
+      cur.unit_count = cand->unit_count;
+      cur.rows = cand->rows;
+      cur.sel = cand->sel;
+      cur.plans = cand->plans;
+      double intermediate_sum = cand->rows;
+      while (cur.rels != graph.AllRelations()) {
+        // MinRows step: the adjacent unit minimizing the joined cardinality.
+        const Unit* next = nullptr;
+        double next_rows = 0;
+        for (const Unit& u : units) {
+          if (u.rels.Overlaps(cur.rels)) continue;
+          if (!graph.AreAdjacent(cur.rels, u.rels)) continue;
+          const double joined = card.Rows(cur.rels.Union(u.rels));
+          if (next == nullptr || joined < next_rows) {
+            next = &u;
+            next_rows = joined;
+          }
+        }
+        SDP_CHECK(next != nullptr);  // Graph is connected.
+        MemoEntry scratch;
+        scratch.rels = cur.rels.Union(next->rels);
+        scratch.unit_count = cur.unit_count + 1;
+        scratch.rows = card.Rows(scratch.rels);
+        scratch.sel = card.Selectivity(scratch.rels);
+        enumerator.EmitJoinsInto(&scratch, &cur, memo.Find(next->rels));
+        cur = std::move(scratch);
+        intermediate_sum += cur.rows;
+      }
+      if (winner == nullptr || intermediate_sum < winner_score) {
+        winner = cand;
+        winner_score = intermediate_sum;
+      }
+    }
+    SDP_CHECK(winner != nullptr);
+
+    // Collapse the winning subplan into a composite unit whose plans are
+    // deep-copied into the run-lifetime arena.
+    Unit composite;
+    composite.rels = winner->rels;
+    composite.rows = winner->rows;
+    composite.sel = winner->sel;
+    composite.is_base = false;
+    composite.plans.reserve(winner->plans.size());
+    for (const RankedPlan& rp : winner->plans) {
+      composite.plans.push_back(
+          RankedPlan{rp.ordering, ClonePlanTree(rp.plan, &persistent)});
+    }
+    std::vector<Unit> next_units;
+    next_units.reserve(units.size() - block + 1);
+    for (Unit& u : units) {
+      if (!u.rels.IsSubsetOf(winner->rels)) next_units.push_back(std::move(u));
+    }
+    next_units.push_back(std::move(composite));
+    SDP_CHECK(static_cast<int>(next_units.size()) == m - block + 1);
+    units = std::move(next_units);
+  }
+}
+
+OptimizeResult OptimizeIDP2(const Query& query, const CostModel& cost,
+                            const IdpConfig& config,
+                            const OptimizerOptions& options) {
+  const JoinGraph& graph = query.graph;
+  SDP_CHECK(graph.IsConnected(graph.AllRelations()));
+  SDP_CHECK(config.k >= 2);
+  const std::string name = "IDP2(" + std::to_string(config.k) + ")";
+
+  Stopwatch timer;
+  MemoryGauge gauge;
+  Arena persistent(&gauge);
+  SearchCounters counters;
+  std::optional<ColumnRef> order_col;
+  if (query.order_by.has_value()) order_col = query.order_by->column;
+  OrderingSpace space(graph, order_col);
+  CardinalityEstimator card(graph, cost, &gauge);
+
+  std::vector<Unit> units;
+  units.reserve(graph.num_relations());
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    Unit u;
+    u.rels = RelSet::Single(r);
+    u.rows = cost.ScanOutputRows(r);
+    u.sel = 1.0;
+    u.is_base = true;
+    u.rel = r;
+    units.push_back(std::move(u));
+  }
+
+  struct IterationContext {
+    explicit IterationContext(MemoryGauge* gauge) : pool(gauge), memo(gauge) {}
+    PlanPool pool;
+    Memo memo;
+  };
+  std::vector<std::unique_ptr<IterationContext>> iterations;
+
+  for (;;) {
+    const int m = static_cast<int>(units.size());
+
+    // Greedy phase: simulate MinRows merges over the current units (sets
+    // only, no plans) until some tree accumulates k units; that tree's
+    // leaves form the block DP will optimize exactly.
+    std::vector<int> block_indices;  // Indices into `units`.
+    if (m <= config.k) {
+      for (int i = 0; i < m; ++i) block_indices.push_back(i);
+    } else {
+      struct Tree {
+        RelSet rels;
+        std::vector<int> members;  // Unit indices.
+      };
+      std::vector<Tree> forest;
+      forest.reserve(units.size());
+      for (int i = 0; i < m; ++i) {
+        forest.push_back(Tree{units[i].rels, {i}});
+      }
+      while (block_indices.empty()) {
+        // Cheapest adjacent merge not exceeding k units.
+        int best_a = -1, best_b = -1;
+        double best_rows = 0;
+        for (size_t a = 0; a < forest.size(); ++a) {
+          for (size_t b = a + 1; b < forest.size(); ++b) {
+            if (static_cast<int>(forest[a].members.size() +
+                                 forest[b].members.size()) > config.k) {
+              continue;
+            }
+            if (!graph.AreAdjacent(forest[a].rels, forest[b].rels)) continue;
+            const double rows =
+                card.Rows(forest[a].rels.Union(forest[b].rels));
+            if (best_a < 0 || rows < best_rows) {
+              best_a = static_cast<int>(a);
+              best_b = static_cast<int>(b);
+              best_rows = rows;
+            }
+          }
+        }
+        if (best_a < 0) {
+          // Every merge would overshoot k: take the largest tree so far.
+          size_t largest = 0;
+          for (size_t t = 1; t < forest.size(); ++t) {
+            if (forest[t].members.size() > forest[largest].members.size()) {
+              largest = t;
+            }
+          }
+          block_indices = forest[largest].members;
+          break;
+        }
+        Tree merged;
+        merged.rels = forest[best_a].rels.Union(forest[best_b].rels);
+        merged.members = forest[best_a].members;
+        merged.members.insert(merged.members.end(),
+                              forest[best_b].members.begin(),
+                              forest[best_b].members.end());
+        if (static_cast<int>(merged.members.size()) == config.k) {
+          block_indices = merged.members;
+          break;
+        }
+        forest[best_a] = std::move(merged);
+        forest.erase(forest.begin() + best_b);
+      }
+      // A singleton block cannot be collapsed into progress; grow it by one
+      // adjacent unit (possible: the graph is connected and m >= 2).
+      if (block_indices.size() == 1) {
+        const RelSet rels = units[block_indices[0]].rels;
+        for (int i = 0; i < m; ++i) {
+          if (i != block_indices[0] &&
+              graph.AreAdjacent(rels, units[i].rels)) {
+            block_indices.push_back(i);
+            break;
+          }
+        }
+        SDP_CHECK(block_indices.size() == 2);
+      }
+    }
+
+    // DP phase: exhaustive DP over the block's units.
+    iterations.push_back(std::make_unique<IterationContext>(&gauge));
+    PlanPool& pool = iterations.back()->pool;
+    Memo& memo = iterations.back()->memo;
+    JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool,
+                              &gauge, options, &counters);
+    RelSet block_rels;
+    for (int i : block_indices) {
+      const Unit& u = units[i];
+      block_rels = block_rels.Union(u.rels);
+      if (u.is_base) {
+        enumerator.InstallBaseRelationLeaf(u.rel);
+      } else {
+        enumerator.InstallLeaf(u.rels, u.rows, u.sel, u.plans);
+      }
+    }
+    for (int level = 2; level <= static_cast<int>(block_indices.size());
+         ++level) {
+      if (!enumerator.RunLevel(level)) {
+        return MakeOptimizeResult(name, nullptr, counters, timer.Seconds(),
+                                  gauge);
+      }
+    }
+    MemoEntry* full = memo.Find(block_rels);
+    SDP_CHECK(full != nullptr);
+
+    if (block_rels == graph.AllRelations()) {
+      const PlanNode* plan = enumerator.FinalizeBestPlan(full);
+      return MakeOptimizeResult(name, plan, counters, timer.Seconds(),
+                                gauge);
+    }
+
+    // Collapse the optimized block.
+    Unit composite;
+    composite.rels = full->rels;
+    composite.rows = full->rows;
+    composite.sel = full->sel;
+    composite.is_base = false;
+    composite.plans.reserve(full->plans.size());
+    for (const RankedPlan& rp : full->plans) {
+      composite.plans.push_back(
+          RankedPlan{rp.ordering, ClonePlanTree(rp.plan, &persistent)});
+    }
+    std::vector<Unit> next_units;
+    next_units.reserve(units.size() - block_indices.size() + 1);
+    for (int i = 0; i < m; ++i) {
+      if (!units[i].rels.IsSubsetOf(block_rels)) {
+        next_units.push_back(std::move(units[i]));
+      }
+    }
+    next_units.push_back(std::move(composite));
+    units = std::move(next_units);
+  }
+}
+
+}  // namespace sdp

@@ -1,0 +1,42 @@
+#ifndef SDPOPT_OPTIMIZER_IDP_H_
+#define SDPOPT_OPTIMIZER_IDP_H_
+
+#include "cost/cost_model.h"
+#include "optimizer/optimizer_types.h"
+#include "query/join_graph.h"
+
+namespace sdp {
+
+// Parameters of the IDP1-balanced-bestRow variant (Kossmann & Stocker),
+// which the paper identifies as the best IDP configuration and uses as the
+// baseline heuristic (Section 3.1).
+struct IdpConfig {
+  // Maximum number of DP levels per iteration.
+  int k = 7;
+  // Fraction of the level-k subplans (selected by fewest rows) ballooned to
+  // complete plans when choosing which subplan to retain.
+  double balloon_fraction = 0.05;
+  // Balance block sizes across iterations instead of always using k.
+  bool balanced = true;
+};
+
+// Iterative Dynamic Programming: run bushy DP bottom-up for a block of
+// levels, greedily "balloon" the most promising (MinRows) subplans into
+// complete plans, retain the subplan whose completion is cheapest as a
+// single composite relation, and restart until the query is covered.
+OptimizeResult OptimizeIDP(const Query& query, const CostModel& cost,
+                           const IdpConfig& config = {},
+                           const OptimizerOptions& options = {});
+
+// The second IDP family of Kossmann & Stocker, with the composition
+// inverted: a greedy (MinRows) pass picks WHERE to spend effort -- the
+// first subtree to accumulate k units -- and exhaustive DP then optimizes
+// that subtree exactly before it is collapsed.  Implemented as an
+// additional baseline (the paper evaluates only IDP1).
+OptimizeResult OptimizeIDP2(const Query& query, const CostModel& cost,
+                            const IdpConfig& config = {},
+                            const OptimizerOptions& options = {});
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OPTIMIZER_IDP_H_

@@ -1,0 +1,136 @@
+#include "optimizer/memo.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace sdp {
+
+const PlanNode* MemoEntry::CheapestPlan() const {
+  const PlanNode* best = nullptr;
+  for (const RankedPlan& rp : plans) {
+    if (best == nullptr || rp.plan->cost < best->cost) best = rp.plan;
+  }
+  return best;
+}
+
+double MemoEntry::CheapestCost() const {
+  const PlanNode* best = CheapestPlan();
+  return best != nullptr ? best->cost
+                         : std::numeric_limits<double>::infinity();
+}
+
+const PlanNode* MemoEntry::PlanWithOrdering(int eq) const {
+  for (const RankedPlan& rp : plans) {
+    if (rp.ordering == eq) return rp.plan;
+  }
+  return nullptr;
+}
+
+bool MemoEntry::WouldImprove(int ordering, double cost) const {
+  // A candidate is dominated by an existing plan that costs no more and
+  // provides the candidate's ordering (any plan serves the unordered case).
+  for (const RankedPlan& rp : plans) {
+    if (rp.plan->cost <= cost &&
+        (rp.ordering == ordering || ordering == -1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MemoEntry::AddPlan(const PlanNode* plan,
+                        std::vector<const PlanNode*>* evicted) {
+  if (!WouldImprove(plan->ordering, plan->cost)) return false;
+  // Evict plans the newcomer dominates: those costing at least as much
+  // whose ordering the newcomer provides (its own ordering group, plus the
+  // unordered group).
+  size_t w = 0;
+  for (size_t r = 0; r < plans.size(); ++r) {
+    const RankedPlan& rp = plans[r];
+    const bool dominated =
+        plan->cost <= rp.plan->cost &&
+        (rp.ordering == plan->ordering || rp.ordering == -1);
+    if (dominated) {
+      if (evicted != nullptr) evicted->push_back(rp.plan);
+    } else {
+      plans[w++] = rp;
+    }
+  }
+  plans.resize(w);
+  plans.push_back(RankedPlan{plan->ordering, plan});
+  return true;
+}
+
+Memo::Memo(MemoryGauge* gauge) : gauge_(gauge) {}
+
+Memo::~Memo() {
+  if (gauge_ != nullptr) gauge_->Release(charged_bytes_);
+}
+
+MemoEntry* Memo::Find(RelSet rels) {
+  auto it = map_.find(rels.bits());
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+MemoEntry* Memo::GetOrCreate(RelSet rels, int unit_count, double rows,
+                             double sel, bool* created) {
+  auto [it, inserted] = map_.try_emplace(rels.bits());
+  *created = inserted;
+  MemoEntry* entry = &it->second;
+  if (inserted) {
+    entry->rels = rels;
+    entry->unit_count = unit_count;
+    entry->rows = rows;
+    entry->sel = sel;
+    if (static_cast<int>(by_unit_count_.size()) <= unit_count) {
+      by_unit_count_.resize(unit_count + 1);
+    }
+    by_unit_count_[unit_count].push_back(entry);
+    if (gauge_ != nullptr) {
+      gauge_->Charge(kEntryBytes);
+      charged_bytes_ += kEntryBytes;
+    }
+  } else {
+    SDP_DCHECK(entry->unit_count == unit_count);
+  }
+  return entry;
+}
+
+const std::vector<MemoEntry*>& Memo::EntriesWithUnitCount(
+    int unit_count) const {
+  if (unit_count < 0 || unit_count >= static_cast<int>(by_unit_count_.size())) {
+    return empty_;
+  }
+  return by_unit_count_[unit_count];
+}
+
+void Memo::ChargePlanSlot() {
+  if (gauge_ != nullptr) {
+    gauge_->Charge(kPlanSlotBytes);
+    charged_bytes_ += kPlanSlotBytes;
+  }
+}
+
+void Memo::Erase(MemoEntry* entry) {
+  SDP_CHECK(entry != nullptr);
+  auto& list = by_unit_count_.at(entry->unit_count);
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i] == entry) {
+      list[i] = list.back();
+      list.pop_back();
+      break;
+    }
+  }
+  // Release the entry plus (a lower bound of) its plan-slot charges.
+  const size_t bytes = kEntryBytes + entry->plans.size() * kPlanSlotBytes;
+  if (gauge_ != nullptr) {
+    gauge_->Release(bytes);
+    SDP_DCHECK(charged_bytes_ >= bytes);
+    charged_bytes_ -= bytes;
+  }
+  const size_t erased = map_.erase(entry->rels.bits());
+  SDP_CHECK(erased == 1);
+}
+
+}  // namespace sdp

@@ -1,0 +1,104 @@
+#ifndef SDPOPT_OPTIMIZER_MEMO_H_
+#define SDPOPT_OPTIMIZER_MEMO_H_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/rel_set.h"
+#include "plan/plan_node.h"
+
+namespace sdp {
+
+// A plan retained for one memo entry; at most one plan per distinct output
+// ordering (-1 = unordered), each the cheapest known for that ordering.
+struct RankedPlan {
+  int ordering = -1;
+  const PlanNode* plan = nullptr;
+};
+
+// One join-composite relation (JCR) in the dynamic-programming table,
+// carrying the SDP feature vector [rows, cheapest cost, selectivity] plus
+// the interesting-order plan list.
+struct MemoEntry {
+  RelSet rels;
+  // Number of leaf units composing the entry.  Equals rels.Count() when
+  // leaves are base relations; differs under IDP, where leaves may be
+  // composites from earlier iterations.
+  int unit_count = 0;
+  double rows = 0;
+  double sel = 1;
+  // Set by SDP when the JCR loses its skyline partition(s); pruned entries
+  // are skipped by all later enumeration.
+  bool pruned = false;
+  std::vector<RankedPlan> plans;
+
+  const PlanNode* CheapestPlan() const;
+  double CheapestCost() const;
+  // The cheapest plan whose output carries ordering `eq`, or null.
+  const PlanNode* PlanWithOrdering(int eq) const;
+
+  // True when a plan with this (ordering, cost) would be retained.  Used to
+  // avoid allocating plan nodes for dominated candidates.
+  bool WouldImprove(int ordering, double cost) const;
+
+  // Inserts `plan`, evicting plans it dominates.  Returns false when the
+  // plan was itself dominated (caller wasted an allocation; callers should
+  // gate on WouldImprove first).  Evicted plans are appended to `evicted`
+  // (when non-null) so the caller can recycle their nodes.
+  bool AddPlan(const PlanNode* plan,
+               std::vector<const PlanNode*>* evicted = nullptr);
+};
+
+// The dynamic-programming table: relation set -> MemoEntry, with per-level
+// (unit-count) entry lists for size-driven enumeration.  All footprint is
+// charged to the MemoryGauge so the budget check sees the true table size.
+class Memo {
+ public:
+  explicit Memo(MemoryGauge* gauge);
+  ~Memo();
+
+  Memo(const Memo&) = delete;
+  Memo& operator=(const Memo&) = delete;
+
+  MemoEntry* Find(RelSet rels);
+
+  // Returns the entry for `rels`, creating it (with the given metadata) on
+  // first sight.  `created` reports whether a new entry was made.
+  MemoEntry* GetOrCreate(RelSet rels, int unit_count, double rows, double sel,
+                         bool* created);
+
+  // Entries composed of exactly `unit_count` leaf units, in creation order.
+  // Includes pruned entries; callers filter on the `pruned` flag.
+  const std::vector<MemoEntry*>& EntriesWithUnitCount(int unit_count) const;
+
+  size_t num_entries() const { return map_.size(); }
+
+  // Accounts bytes for one retained RankedPlan slot; called by the
+  // enumerator when a plan is added to an entry.
+  void ChargePlanSlot();
+
+  // Removes a pruned entry entirely (map slot and size-list slot),
+  // releasing its charged bytes.  Only valid between enumeration levels,
+  // when nothing holds pointers into the entry, and only for relation sets
+  // that can never be re-targeted (their level has completed).
+  void Erase(MemoEntry* entry);
+
+ private:
+  static constexpr size_t kEntryBytes =
+      sizeof(MemoEntry) + 48;  // map node + size-list slot overhead
+  static constexpr size_t kPlanSlotBytes = sizeof(RankedPlan);
+
+  MemoryGauge* gauge_;
+  std::unordered_map<uint64_t, MemoEntry> map_;
+  // Deque: callers hold references to inner lists across entry creation,
+  // and deque growth at the end never invalidates existing elements.
+  std::deque<std::vector<MemoEntry*>> by_unit_count_;
+  std::vector<MemoEntry*> empty_;
+  size_t charged_bytes_ = 0;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OPTIMIZER_MEMO_H_

@@ -1,0 +1,53 @@
+#ifndef SDPOPT_OPTIMIZER_OPTIMIZER_TYPES_H_
+#define SDPOPT_OPTIMIZER_OPTIMIZER_TYPES_H_
+
+#include <stdint.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/arena.h"
+#include "plan/plan_node.h"
+
+namespace sdp {
+
+// Resource limits for one optimization run.  The paper's notion of
+// infeasibility is running out of physical memory (1 GB machines); we make
+// the budget explicit so experiments can reproduce the feasibility frontier
+// deterministically.  Zero means unlimited.
+struct OptimizerOptions {
+  size_t memory_budget_bytes = 0;
+  uint64_t max_plans_costed = 0;
+};
+
+// Search-effort counters, the paper's overhead metrics.
+struct SearchCounters {
+  // Physical plan alternatives costed ("Costing (in plans)" columns).
+  uint64_t plans_costed = 0;
+  // Distinct join-composite relations entered into the memo ("JCRs
+  // processed", Table 2.3).
+  uint64_t jcrs_created = 0;
+  // Candidate pairs examined by the enumerator (diagnostic).
+  uint64_t pairs_examined = 0;
+};
+
+// Outcome of one optimization run.  When `feasible` is false (budget
+// exceeded), `plan` is null and cost is +infinity; counters and peak memory
+// still describe the partial run.
+struct OptimizeResult {
+  std::string algorithm;
+  bool feasible = false;
+  const PlanNode* plan = nullptr;  // Owned by `plan_arena`.
+  double cost = std::numeric_limits<double>::infinity();
+  double rows = 0;
+  SearchCounters counters;
+  double elapsed_seconds = 0;
+  double peak_memory_mb = 0;
+  // Keeps `plan` alive after the optimizer's working memory is released.
+  std::shared_ptr<Arena> plan_arena;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OPTIMIZER_OPTIMIZER_TYPES_H_

@@ -1,0 +1,58 @@
+#include "optimizer/plan_pool.h"
+
+#include "common/check.h"
+
+namespace sdp {
+
+namespace {
+// Pool ids start at 1; 0 marks nodes owned by plain arenas (clones).
+uint32_t NextPoolId() {
+  static uint32_t next = 1;
+  return next++;
+}
+}  // namespace
+
+PlanPool::PlanPool(MemoryGauge* gauge)
+    : gauge_(gauge), arena_(nullptr), id_(NextPoolId()) {}
+
+PlanPool::~PlanPool() {
+  if (gauge_ != nullptr) gauge_->Release(live_nodes_ * sizeof(PlanNode));
+}
+
+PlanNode* PlanPool::New() {
+  PlanNode* node;
+  if (!free_list_.empty()) {
+    node = free_list_.back();
+    free_list_.pop_back();
+    *node = PlanNode();
+  } else {
+    node = arena_.New<PlanNode>();
+  }
+  node->pool_id = id_;
+  ++live_nodes_;
+  if (gauge_ != nullptr) gauge_->Charge(sizeof(PlanNode));
+  return node;
+}
+
+void PlanPool::Free(const PlanNode* node) {
+  if (node == nullptr || node->pool_id != id_) return;
+  PlanNode* mutable_node = const_cast<PlanNode*>(node);
+  mutable_node->pool_id = 0;  // Guards against double free.
+  free_list_.push_back(mutable_node);
+  SDP_DCHECK(live_nodes_ > 0);
+  --live_nodes_;
+  if (gauge_ != nullptr) gauge_->Release(sizeof(PlanNode));
+}
+
+void PlanPool::FreeTopAndSorts(const PlanNode* node) {
+  if (node == nullptr) return;
+  if (node->outer != nullptr && node->outer->kind == PlanKind::kSort) {
+    Free(node->outer);
+  }
+  if (node->inner != nullptr && node->inner->kind == PlanKind::kSort) {
+    Free(node->inner);
+  }
+  Free(node);
+}
+
+}  // namespace sdp

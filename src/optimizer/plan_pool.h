@@ -1,0 +1,58 @@
+#ifndef SDPOPT_OPTIMIZER_PLAN_POOL_H_
+#define SDPOPT_OPTIMIZER_PLAN_POOL_H_
+
+#include <vector>
+
+#include "common/arena.h"
+#include "plan/plan_node.h"
+
+namespace sdp {
+
+// Fixed-size allocator for PlanNodes with a free list, so the enumerator
+// can recycle plans evicted by better alternatives and plans of JCRs that
+// SDP prunes -- the counterpart of PostgreSQL's pfree of rejected paths.
+// Without recycling, a large star query accumulates every superseded plan
+// generation in the bump arena and memory grows far beyond the live plan
+// set.
+//
+// Recycling is safe because size-driven enumeration finalizes each memo
+// level before any parent references its plans: evictions and prunes only
+// ever touch plans of the level currently being built, which nothing
+// references yet.
+//
+// Each pool stamps its nodes with a unique id; Free() ignores nodes owned
+// by other allocators (e.g. IDP's persistent clones), so callers can free
+// indiscriminately.
+class PlanPool {
+ public:
+  explicit PlanPool(MemoryGauge* gauge);
+  ~PlanPool();
+
+  PlanPool(const PlanPool&) = delete;
+  PlanPool& operator=(const PlanPool&) = delete;
+
+  // A default-initialized node owned by this pool.
+  PlanNode* New();
+
+  // Returns the node to the free list if this pool owns it; no-op
+  // otherwise.  The node must not be referenced anywhere.
+  void Free(const PlanNode* node);
+
+  // Frees a plan-list top node together with its Sort children (Sort
+  // enforcers are always created exclusively for one parent).  Children
+  // other than sorts belong to lower memo levels and stay alive.
+  void FreeTopAndSorts(const PlanNode* node);
+
+  size_t live_nodes() const { return live_nodes_; }
+
+ private:
+  MemoryGauge* gauge_;
+  Arena arena_;  // Unmetered; the pool meters live nodes itself.
+  std::vector<PlanNode*> free_list_;
+  size_t live_nodes_ = 0;
+  uint32_t id_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OPTIMIZER_PLAN_POOL_H_

@@ -1,0 +1,27 @@
+#include "optimizer/run_helpers.h"
+
+#include <memory>
+#include <utility>
+
+namespace sdp {
+
+OptimizeResult MakeOptimizeResult(std::string algorithm, const PlanNode* plan,
+                                  const SearchCounters& counters,
+                                  double elapsed_seconds,
+                                  const MemoryGauge& gauge) {
+  OptimizeResult result;
+  result.algorithm = std::move(algorithm);
+  result.counters = counters;
+  result.elapsed_seconds = elapsed_seconds;
+  result.peak_memory_mb = gauge.peak_mb();
+  if (plan != nullptr) {
+    result.plan_arena = std::make_shared<Arena>();
+    result.plan = ClonePlanTree(plan, result.plan_arena.get());
+    result.cost = plan->cost;
+    result.rows = plan->rows;
+    result.feasible = true;
+  }
+  return result;
+}
+
+}  // namespace sdp

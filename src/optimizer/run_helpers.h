@@ -1,0 +1,37 @@
+#ifndef SDPOPT_OPTIMIZER_RUN_HELPERS_H_
+#define SDPOPT_OPTIMIZER_RUN_HELPERS_H_
+
+#include <chrono>
+#include <string>
+
+#include "common/arena.h"
+#include "optimizer/optimizer_types.h"
+#include "plan/plan_node.h"
+
+namespace sdp {
+
+// Monotonic stopwatch for optimization timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Packages a finished (or aborted) optimization run.  The chosen plan is
+// deep-copied into a fresh arena owned by the result, so the run's working
+// memory can be released immediately.
+OptimizeResult MakeOptimizeResult(std::string algorithm, const PlanNode* plan,
+                                  const SearchCounters& counters,
+                                  double elapsed_seconds,
+                                  const MemoryGauge& gauge);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OPTIMIZER_RUN_HELPERS_H_

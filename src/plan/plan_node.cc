@@ -1,0 +1,161 @@
+#include "plan/plan_node.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace sdp {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSeqScan:
+      return "SeqScan";
+    case PlanKind::kIndexScan:
+      return "IndexScan";
+    case PlanKind::kNestLoop:
+      return "NestLoop";
+    case PlanKind::kIndexNestLoop:
+      return "IndexNestLoop";
+    case PlanKind::kHashJoin:
+      return "HashJoin";
+    case PlanKind::kMergeJoin:
+      return "MergeJoin";
+    case PlanKind::kSort:
+      return "Sort";
+  }
+  return "?";
+}
+
+int PlanNode::TreeSize() const {
+  int n = 1;
+  if (outer != nullptr) n += outer->TreeSize();
+  if (inner != nullptr) n += inner->TreeSize();
+  return n;
+}
+
+namespace {
+
+void Render(const PlanNode* node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(PlanKindName(node->kind));
+  if (node->IsScan() || node->kind == PlanKind::kIndexNestLoop) {
+    out->append(" R" + std::to_string(node->rel));
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  (rows=%.0f cost=%.1f", node->rows,
+                node->cost);
+  out->append(buf);
+  if (node->ordering >= 0) {
+    out->append(" order=eq" + std::to_string(node->ordering));
+  }
+  out->append(")\n");
+  if (node->outer != nullptr) Render(node->outer, depth + 1, out);
+  if (node->inner != nullptr && node->kind != PlanKind::kIndexNestLoop) {
+    Render(node->inner, depth + 1, out);
+  }
+}
+
+const char* ShapeOp(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kNestLoop:
+      return "NL";
+    case PlanKind::kIndexNestLoop:
+      return "INL";
+    case PlanKind::kHashJoin:
+      return "HJ";
+    case PlanKind::kMergeJoin:
+      return "MJ";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+std::string PlanNode::ToString() const {
+  std::string out;
+  Render(this, 0, &out);
+  return out;
+}
+
+std::string PlanNode::Shape() const {
+  if (kind == PlanKind::kSort) {
+    return "sort(" + outer->Shape() + ")";
+  }
+  if (IsScan()) {
+    return "R" + std::to_string(rel);
+  }
+  if (kind == PlanKind::kIndexNestLoop) {
+    return "(" + outer->Shape() + " INL R" + std::to_string(rel) + ")";
+  }
+  return "(" + outer->Shape() + " " + ShapeOp(kind) + " " + inner->Shape() +
+         ")";
+}
+
+const PlanNode* ClonePlanTree(const PlanNode* node, Arena* arena) {
+  if (node == nullptr) return nullptr;
+  PlanNode* copy = arena->New<PlanNode>(*node);
+  copy->pool_id = 0;  // Clones are arena-owned, never pool-recycled.
+  copy->outer = ClonePlanTree(node->outer, arena);
+  copy->inner = ClonePlanTree(node->inner, arena);
+  return copy;
+}
+
+namespace {
+
+std::string ValidateRec(const PlanNode* node) {
+  if (node == nullptr) return "null plan node";
+  if (!std::isfinite(node->rows) || node->rows < 0) {
+    return "non-finite or negative rows";
+  }
+  if (!std::isfinite(node->cost) || node->cost < 0) {
+    return "non-finite or negative cost";
+  }
+  switch (node->kind) {
+    case PlanKind::kSeqScan:
+    case PlanKind::kIndexScan:
+      if (node->rel < 0) return "scan without relation";
+      if (node->rels != RelSet::Single(node->rel)) {
+        return "scan relset mismatch";
+      }
+      if (node->outer != nullptr || node->inner != nullptr) {
+        return "scan with children";
+      }
+      return "";
+    case PlanKind::kSort: {
+      if (node->outer == nullptr || node->inner != nullptr) {
+        return "sort must have exactly one child";
+      }
+      if (node->rels != node->outer->rels) return "sort relset mismatch";
+      if (node->ordering < 0) return "sort without ordering";
+      return ValidateRec(node->outer);
+    }
+    default: {
+      if (!node->IsJoin()) return "unknown plan kind";
+      if (node->outer == nullptr || node->inner == nullptr) {
+        return "join missing child";
+      }
+      if (node->outer->rels.Overlaps(node->inner->rels)) {
+        return "join inputs overlap";
+      }
+      if (node->rels != node->outer->rels.Union(node->inner->rels)) {
+        return "join relset mismatch";
+      }
+      if (node->kind == PlanKind::kIndexNestLoop &&
+          node->inner->kind != PlanKind::kIndexScan &&
+          node->inner->kind != PlanKind::kSeqScan) {
+        return "index nestloop inner must be a base relation scan";
+      }
+      std::string err = ValidateRec(node->outer);
+      if (!err.empty()) return err;
+      return ValidateRec(node->inner);
+    }
+  }
+}
+
+}  // namespace
+
+std::string ValidatePlanTree(const PlanNode* node) { return ValidateRec(node); }
+
+}  // namespace sdp

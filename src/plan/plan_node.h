@@ -1,0 +1,78 @@
+#ifndef SDPOPT_PLAN_PLAN_NODE_H_
+#define SDPOPT_PLAN_PLAN_NODE_H_
+
+#include <stdint.h>
+
+#include <string>
+
+#include "common/arena.h"
+#include "common/rel_set.h"
+
+namespace sdp {
+
+// Physical operator kinds supported by the optimizer and the execution
+// engine.  The set mirrors the PostgreSQL planner's core repertoire.
+enum class PlanKind : uint8_t {
+  kSeqScan,
+  kIndexScan,      // Full scan through the index: ordered output.
+  kNestLoop,       // Inner side rescanned per outer row (materialized).
+  kIndexNestLoop,  // Inner side is a base relation probed via its index.
+  kHashJoin,
+  kMergeJoin,
+  kSort,           // Order enforcer.
+};
+
+const char* PlanKindName(PlanKind kind);
+
+// An immutable physical plan node, arena-allocated.  Children are owned by
+// the same arena; whole plan forests are discarded wholesale at the end of
+// an optimization (the PostgreSQL memory-context idiom).
+//
+// `ordering` is the join-column equivalence class the output is sorted on
+// (-1 = no useful order).  Equivalence classes, not raw columns, are the
+// right granularity: a merge join on R.a = S.b leaves the output ordered on
+// the whole {R.a, S.b} class.
+struct PlanNode {
+  PlanKind kind = PlanKind::kSeqScan;
+  // Owning PlanPool's id (0 = plain arena, never recycled).  Managed by
+  // PlanPool; other code must not touch it.
+  uint32_t pool_id = 0;
+  int rel = -1;        // Scans / kIndexNestLoop inner: relation position.
+  int edge = -1;       // Joins: index of the driving join-graph edge.
+  int ordering = -1;   // Output order (equivalence class id), -1 = none.
+  RelSet rels;         // Base relations covered by this subtree.
+  double rows = 0;     // Estimated output cardinality.
+  double cost = 0;     // Estimated total cost (arbitrary optimizer units).
+  const PlanNode* outer = nullptr;
+  const PlanNode* inner = nullptr;
+
+  bool IsScan() const {
+    return kind == PlanKind::kSeqScan || kind == PlanKind::kIndexScan;
+  }
+  bool IsJoin() const {
+    return kind == PlanKind::kNestLoop || kind == PlanKind::kIndexNestLoop ||
+           kind == PlanKind::kHashJoin || kind == PlanKind::kMergeJoin;
+  }
+
+  // Number of nodes in this subtree.
+  int TreeSize() const;
+
+  // Multi-line indented rendering (rows/cost per node).
+  std::string ToString() const;
+
+  // Single-line join-order rendering, e.g. "((R0 HJ R2) INL R1)".
+  std::string Shape() const;
+};
+
+// Deep-copies a plan tree into `arena`.  Used by IDP to retain the winning
+// subplan across iterations while releasing the iteration's working memory.
+const PlanNode* ClonePlanTree(const PlanNode* node, Arena* arena);
+
+// Structural validation: children partition `rels`, join inputs are
+// disjoint, cardinalities/costs are finite and non-negative.  Returns an
+// empty string when valid, else a description of the first violation.
+std::string ValidatePlanTree(const PlanNode* node);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_PLAN_PLAN_NODE_H_

@@ -1,0 +1,73 @@
+#include "query/graphviz.h"
+
+#include <cstdio>
+
+#include "catalog/catalog.h"
+
+namespace sdp {
+
+std::string JoinGraphToDot(const JoinGraph& graph, const Catalog* catalog) {
+  std::string out = "graph join_graph {\n  node [shape=ellipse];\n";
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    char buf[160];
+    std::string label = "R" + std::to_string(r);
+    if (catalog != nullptr) {
+      const Table& t = catalog->table(graph.table_id(r));
+      label += "\\n" + t.name + " (" + std::to_string(t.row_count) + ")";
+    }
+    const bool hub = graph.Degree(r) >= 3;
+    std::snprintf(buf, sizeof(buf),
+                  "  r%d [label=\"%s\"%s];\n", r, label.c_str(),
+                  hub ? ", style=filled, fillcolor=lightcoral" : "");
+    out += buf;
+  }
+  for (const JoinEdge& e : graph.edges()) {
+    char buf[120];
+    std::snprintf(buf, sizeof(buf),
+                  "  r%d -- r%d [label=\"c%d=c%d\", fontsize=9];\n",
+                  e.left.rel, e.right.rel, e.left.col + 1, e.right.col + 1);
+    out += buf;
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+int RenderPlanNode(const PlanNode& node, int* next_id, std::string* out) {
+  const int id = (*next_id)++;
+  char buf[200];
+  std::string label = PlanKindName(node.kind);
+  if (node.IsScan() || node.kind == PlanKind::kIndexNestLoop) {
+    label += " R" + std::to_string(node.rel);
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  n%d [shape=box, label=\"%s\\nrows=%.0f cost=%.1f\"];\n",
+                id, label.c_str(), node.rows, node.cost);
+  *out += buf;
+  if (node.outer != nullptr) {
+    const int child = RenderPlanNode(*node.outer, next_id, out);
+    std::snprintf(buf, sizeof(buf), "  n%d -> n%d [label=\"outer\"];\n", id,
+                  child);
+    *out += buf;
+  }
+  if (node.inner != nullptr && node.kind != PlanKind::kIndexNestLoop) {
+    const int child = RenderPlanNode(*node.inner, next_id, out);
+    std::snprintf(buf, sizeof(buf), "  n%d -> n%d [label=\"inner\"];\n", id,
+                  child);
+    *out += buf;
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string PlanToDot(const PlanNode& plan) {
+  std::string out = "digraph plan {\n";
+  int next_id = 0;
+  RenderPlanNode(plan, &next_id, &out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sdp

@@ -1,0 +1,25 @@
+#ifndef SDPOPT_QUERY_GRAPHVIZ_H_
+#define SDPOPT_QUERY_GRAPHVIZ_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "plan/plan_node.h"
+#include "query/join_graph.h"
+
+namespace sdp {
+
+// GraphViz (DOT) renderings for documentation and debugging.
+
+// The join graph as an undirected graph; hub relations (degree >= 3) are
+// highlighted.  Node labels show the bound table and row count when a
+// catalog is supplied (may be null).
+std::string JoinGraphToDot(const JoinGraph& graph, const Catalog* catalog);
+
+// A physical plan tree as a digraph; each node shows operator, estimated
+// rows and cumulative cost.
+std::string PlanToDot(const PlanNode& plan);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_QUERY_GRAPHVIZ_H_

@@ -1,0 +1,211 @@
+#include "query/join_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sdp {
+
+JoinGraph::JoinGraph(std::vector<int> table_ids)
+    : table_ids_(std::move(table_ids)) {
+  SDP_CHECK(!table_ids_.empty());
+  SDP_CHECK(static_cast<int>(table_ids_.size()) <= RelSet::kMaxRelations);
+  adjacency_.resize(table_ids_.size());
+  equiv_class_of_.resize(table_ids_.size());
+}
+
+bool JoinGraph::HasEdgeBetween(ColumnRef a, ColumnRef b) const {
+  for (const JoinEdge& e : edges_) {
+    if ((e.left == a && e.right == b) || (e.left == b && e.right == a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void JoinGraph::AddEdge(ColumnRef a, ColumnRef b) {
+  SDP_CHECK(a.rel >= 0 && a.rel < num_relations());
+  SDP_CHECK(b.rel >= 0 && b.rel < num_relations());
+  SDP_CHECK(a.rel != b.rel);
+  SDP_CHECK(a.col >= 0 && b.col >= 0);
+  if (HasEdgeBetween(a, b)) return;
+  edges_.push_back(JoinEdge{a, b});
+  adjacency_[a.rel] = adjacency_[a.rel].With(b.rel);
+  adjacency_[b.rel] = adjacency_[b.rel].With(a.rel);
+  RebuildEquivClasses();
+}
+
+void JoinGraph::RebuildEquivClasses() {
+  // Union-find over the (rel, col) endpoints of all edges.
+  struct Node {
+    ColumnRef ref;
+    int parent;
+  };
+  std::vector<Node> nodes;
+  auto find_node = [&](ColumnRef c) -> int {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].ref == c) return static_cast<int>(i);
+    }
+    nodes.push_back(Node{c, static_cast<int>(nodes.size())});
+    return static_cast<int>(nodes.size()) - 1;
+  };
+  auto root = [&](int i) {
+    while (nodes[i].parent != i) {
+      nodes[i].parent = nodes[nodes[i].parent].parent;
+      i = nodes[i].parent;
+    }
+    return i;
+  };
+  for (const JoinEdge& e : edges_) {
+    int a = find_node(e.left);
+    int b = find_node(e.right);
+    nodes[root(a)].parent = root(b);
+  }
+  // Assign dense class ids.
+  equiv_members_.clear();
+  std::vector<int> class_of_root(nodes.size(), -1);
+  for (auto& per_rel : equiv_class_of_) {
+    std::fill(per_rel.begin(), per_rel.end(), -1);
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    int r = root(static_cast<int>(i));
+    if (class_of_root[r] == -1) {
+      class_of_root[r] = static_cast<int>(equiv_members_.size());
+      equiv_members_.emplace_back();
+    }
+    int cls = class_of_root[r];
+    const ColumnRef& ref = nodes[i].ref;
+    auto& per_rel = equiv_class_of_[ref.rel];
+    if (static_cast<int>(per_rel.size()) <= ref.col) {
+      per_rel.resize(ref.col + 1, -1);
+    }
+    per_rel[ref.col] = cls;
+    equiv_members_[cls].push_back(ref);
+  }
+}
+
+void JoinGraph::AddImpliedEdges() {
+  // For each equivalence class, connect every pair of member columns from
+  // distinct relations.  AddEdge ignores duplicates and rebuilds classes,
+  // so we iterate to a fixed point (one pass suffices because classes only
+  // merge when new column pairs are equated, which closure does not do).
+  const int classes = num_equiv_classes();
+  for (int eq = 0; eq < classes; ++eq) {
+    // Copy: AddEdge invalidates equiv_members_.
+    const std::vector<ColumnRef> members = equiv_members_[eq];
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (members[i].rel != members[j].rel) {
+          AddEdge(members[i], members[j]);
+        }
+      }
+    }
+  }
+}
+
+RelSet JoinGraph::Neighbors(RelSet s) const {
+  RelSet out;
+  s.ForEach([&](int rel) { out = out.Union(adjacency_[rel]); });
+  return out.Subtract(s);
+}
+
+bool JoinGraph::IsConnected(RelSet s) const {
+  if (s.Empty()) return false;
+  RelSet visited = RelSet::Single(s.Lowest());
+  for (;;) {
+    RelSet frontier = Neighbors(visited).Intersect(s);
+    if (frontier.Empty()) break;
+    visited = visited.Union(frontier);
+  }
+  return visited == s;
+}
+
+bool JoinGraph::AreAdjacent(RelSet a, RelSet b) const {
+  SDP_DCHECK(!a.Overlaps(b));
+  return Neighbors(a).Overlaps(b);
+}
+
+std::vector<int> JoinGraph::ConnectingEdges(RelSet a, RelSet b) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const JoinEdge& e = edges_[i];
+    const bool l_in_a = a.Contains(e.left.rel);
+    const bool l_in_b = b.Contains(e.left.rel);
+    const bool r_in_a = a.Contains(e.right.rel);
+    const bool r_in_b = b.Contains(e.right.rel);
+    if ((l_in_a && r_in_b) || (l_in_b && r_in_a)) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<int> JoinGraph::InternalEdges(RelSet s) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (s.Contains(edges_[i].left.rel) && s.Contains(edges_[i].right.rel)) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+int JoinGraph::EquivClass(ColumnRef c) const {
+  if (c.rel < 0 || c.rel >= num_relations()) return -1;
+  const auto& per_rel = equiv_class_of_[c.rel];
+  if (c.col < 0 || c.col >= static_cast<int>(per_rel.size())) return -1;
+  return per_rel[c.col];
+}
+
+RelSet JoinGraph::EquivClassRels(int eq) const {
+  RelSet out;
+  for (const ColumnRef& c : equiv_members_.at(eq)) {
+    out = out.With(c.rel);
+  }
+  return out;
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(int64_t lhs, CompareOp op, int64_t rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+std::string JoinGraph::ToString() const {
+  std::string out = "JoinGraph(" + std::to_string(num_relations()) + " rels";
+  for (const JoinEdge& e : edges_) {
+    out += ", R" + std::to_string(e.left.rel) + ".c" +
+           std::to_string(e.left.col) + "=R" + std::to_string(e.right.rel) +
+           ".c" + std::to_string(e.right.col);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace sdp

@@ -1,0 +1,146 @@
+#ifndef SDPOPT_QUERY_JOIN_GRAPH_H_
+#define SDPOPT_QUERY_JOIN_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rel_set.h"
+
+namespace sdp {
+
+// A column of a relation *position* in a join graph (not a catalog table id:
+// the same catalog table may appear at several positions across queries).
+struct ColumnRef {
+  int rel = -1;
+  int col = -1;
+
+  bool operator==(const ColumnRef&) const = default;
+};
+
+// One equijoin predicate left.col = right.col.
+struct JoinEdge {
+  ColumnRef left;
+  ColumnRef right;
+
+  // The side of the edge within `rel`, or nullopt.
+  std::optional<ColumnRef> SideFor(int rel) const {
+    if (left.rel == rel) return left;
+    if (right.rel == rel) return right;
+    return std::nullopt;
+  }
+};
+
+// The query's join graph: relations at positions 0..n-1 (each bound to a
+// catalog table id) plus equijoin edges.  Tracks:
+//
+//  * adjacency bitsets for connectivity tests,
+//  * equivalence classes of join columns ("shared join columns"): columns
+//    transitively equated by the predicates.  `AddImpliedEdges()` closes the
+//    edge set over these classes, as the PostgreSQL rewriter does -- the
+//    paper notes this closure can create new hubs that SDP exploits,
+//  * relation degrees, which define hub relations (degree >= 3).
+class JoinGraph {
+ public:
+  explicit JoinGraph(std::vector<int> table_ids);
+
+  int num_relations() const { return static_cast<int>(table_ids_.size()); }
+  int table_id(int rel) const { return table_ids_.at(rel); }
+  const std::vector<int>& table_ids() const { return table_ids_; }
+
+  RelSet AllRelations() const { return RelSet::FirstN(num_relations()); }
+
+  // Adds an equijoin edge; both endpoints must be valid positions.
+  // Duplicate edges (same column pair) are ignored.
+  void AddEdge(ColumnRef a, ColumnRef b);
+
+  // Adds every edge implied by transitivity of column equality: if r1.a=r2.b
+  // and r2.b=r3.c then r1.a=r3.c.  Idempotent.
+  void AddImpliedEdges();
+
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+
+  // Relations adjacent to `rel`.
+  RelSet Adjacency(int rel) const { return adjacency_.at(rel); }
+
+  // Number of distinct relations joined with `rel` -- the paper's hub
+  // criterion is Degree(rel) >= 3.
+  int Degree(int rel) const { return adjacency_.at(rel).Count(); }
+
+  // Relations outside `s` adjacent to at least one member of `s`.
+  RelSet Neighbors(RelSet s) const;
+
+  // True when the subgraph induced by `s` is connected (singletons count).
+  bool IsConnected(RelSet s) const;
+
+  // True when some edge connects a member of `a` with a member of `b`.
+  bool AreAdjacent(RelSet a, RelSet b) const;
+
+  // Indices (into edges()) of edges with one endpoint in `a`, other in `b`.
+  std::vector<int> ConnectingEdges(RelSet a, RelSet b) const;
+
+  // Indices of edges with both endpoints inside `s`.
+  std::vector<int> InternalEdges(RelSet s) const;
+
+  // Join-column equivalence classes.  Returns the class id of a column, or
+  // -1 if the column participates in no join predicate.
+  int EquivClass(ColumnRef c) const;
+  int num_equiv_classes() const {
+    return static_cast<int>(equiv_members_.size());
+  }
+  // Members of an equivalence class.
+  const std::vector<ColumnRef>& EquivClassMembers(int eq) const {
+    return equiv_members_.at(eq);
+  }
+  // Relations contributing a column to the class.
+  RelSet EquivClassRels(int eq) const;
+
+  std::string ToString() const;
+
+ private:
+  bool HasEdgeBetween(ColumnRef a, ColumnRef b) const;
+  void RebuildEquivClasses();
+
+  std::vector<int> table_ids_;
+  std::vector<JoinEdge> edges_;
+  std::vector<RelSet> adjacency_;
+  // equiv_class_of_[rel] maps column -> class id (lazily sized).
+  std::vector<std::vector<int>> equiv_class_of_;
+  std::vector<std::vector<ColumnRef>> equiv_members_;
+};
+
+// The required output order of a query, if any: ORDER BY column.  The paper
+// considers single-column orders on join columns.
+struct OrderRequirement {
+  ColumnRef column;
+};
+
+// Comparison operators supported by single-table filter predicates.
+enum class CompareOp : uint8_t {
+  kEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* CompareOpName(CompareOp op);
+bool EvalCompare(int64_t lhs, CompareOp op, int64_t rhs);
+
+// A single-table restriction `column op value`, applied at scan time.
+struct FilterPredicate {
+  ColumnRef column;
+  CompareOp op = CompareOp::kEq;
+  int64_t value = 0;
+};
+
+// A join query: graph, optional ORDER BY, scan-time filters.
+struct Query {
+  JoinGraph graph;
+  std::optional<OrderRequirement> order_by;
+  std::vector<FilterPredicate> filters;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_QUERY_JOIN_GRAPH_H_

@@ -1,0 +1,294 @@
+#include "query/topology.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sdp {
+
+namespace {
+
+int NumColumns(const Catalog& catalog, int table_id) {
+  return static_cast<int>(catalog.table(table_id).columns.size());
+}
+
+int IndexedColumn(const Catalog& catalog, int table_id) {
+  const int idx = catalog.table(table_id).indexed_column;
+  SDP_CHECK(idx >= 0);
+  return idx;
+}
+
+double DomainOf(const Catalog& catalog, int table_id, int col) {
+  return static_cast<double>(catalog.table(table_id).columns[col].domain_size);
+}
+
+// Deterministic per-edge "reduction factor" g: the join column domain is
+// targeted at (child rows * g), so the join keeps roughly 1/g of the parent
+// side.  g is log-uniform over [1, 64] with a small chance of landing in
+// [1/4, 1) (a mildly expanding, FK-like edge).  Keyed by the table pair so
+// different instances see different factors.  This is what gives the
+// workload its warehouse character: joins reduce gradually, keeping
+// intermediate results large enough that every join-order decision has a
+// cost consequence.
+double EdgeReductionFactor(int left_table, int right_table) {
+  uint64_t x = (static_cast<uint64_t>(left_table) << 32) ^
+               static_cast<uint64_t>(right_table) * 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  const double u = static_cast<double>(x >> 11) * 0x1.0p-53;  // [0,1)
+  if (u < 0.1) {
+    // Expanding edge: g in [1/4, 1).
+    return 0.25 * std::pow(4.0, u / 0.1);
+  }
+  // Reducing edge: g in [1, 64].
+  return std::pow(64.0, (u - 0.1) / 0.9);
+}
+
+// Allocates join columns for one query graph.  Each (position, column) pair
+// is used by at most one edge side -- distinct edges on distinct columns --
+// so the generated topology carries no accidental shared join columns.
+//
+// PickNearUnused models realistic schema design: a join predicate only
+// makes sense between domain-compatible columns, so the partner column is
+// the unused column whose domain is closest (log scale) to the target.
+// This is what keeps join selectivities FK-like (spoke joins preserve
+// cardinality in expectation) instead of collapsing every intermediate to a
+// handful of rows.
+class ColumnPicker {
+ public:
+  ColumnPicker(const Catalog& catalog, const std::vector<int>& tables)
+      : catalog_(&catalog), tables_(tables), used_(tables.size()) {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      used_[i].assign(NumColumns(catalog, tables[i]), false);
+    }
+  }
+
+  void MarkUsed(int pos, int col) {
+    SDP_CHECK(!used_[pos][col]);
+    used_[pos][col] = true;
+  }
+
+  bool IsUsed(int pos, int col) const { return used_[pos][col]; }
+
+  // Unused column of position `pos` with domain closest to target_domain.
+  int PickNearUnused(int pos, double target_domain) {
+    const int table = tables_[pos];
+    int best = -1;
+    double best_dist = 0;
+    for (int c = 0; c < NumColumns(*catalog_, table); ++c) {
+      if (used_[pos][c]) continue;
+      const double dist = std::fabs(std::log(DomainOf(*catalog_, table, c)) -
+                                    std::log(target_domain));
+      if (best < 0 || dist < best_dist) {
+        best = c;
+        best_dist = dist;
+      }
+    }
+    SDP_CHECK(best >= 0);
+    used_[pos][best] = true;
+    return best;
+  }
+
+ private:
+  const Catalog* catalog_;
+  std::vector<int> tables_;
+  std::vector<std::vector<bool>> used_;
+};
+
+// Chain edge convention: each relation joins its left neighbor on its own
+// indexed column; the left neighbor contributes a domain-compatible unused
+// column.
+void AddChainEdges(const Catalog& catalog, JoinGraph* graph,
+                   ColumnPicker* picker, int from_pos, int to_pos) {
+  for (int i = from_pos; i < to_pos; ++i) {
+    const int left_table = graph->table_id(i);
+    const int right_table = graph->table_id(i + 1);
+    const int right_col = IndexedColumn(catalog, right_table);
+    if (!picker->IsUsed(i + 1, right_col)) picker->MarkUsed(i + 1, right_col);
+    const double target =
+        static_cast<double>(catalog.table(right_table).row_count) *
+        EdgeReductionFactor(left_table, right_table);
+    const int left_col = picker->PickNearUnused(i, target);
+    graph->AddEdge(ColumnRef{i, left_col}, ColumnRef{i + 1, right_col});
+  }
+}
+
+void AddStarEdges(const Catalog& catalog, JoinGraph* graph,
+                  ColumnPicker* picker, int num_spokes) {
+  const int hub_table = graph->table_id(0);
+  SDP_CHECK(num_spokes < NumColumns(catalog, hub_table));
+  const int hub_indexed = IndexedColumn(catalog, hub_table);
+  for (int i = 1; i <= num_spokes; ++i) {
+    // Every spoke joins on its own indexed column (paper Section 3.1).  The
+    // hub has a single index, so exactly one spoke edge (the first) can be
+    // index-supported on the hub side too; that edge lets good plans pivot
+    // into the hub with an index nested loop instead of scanning it.
+    const int spoke_table = graph->table_id(i);
+    const int spoke_col = IndexedColumn(catalog, spoke_table);
+    if (!picker->IsUsed(i, spoke_col)) picker->MarkUsed(i, spoke_col);
+    int hub_col;
+    if (i == 1) {
+      hub_col = hub_indexed;
+      picker->MarkUsed(0, hub_col);
+    } else {
+      const double target =
+          static_cast<double>(catalog.table(spoke_table).row_count) *
+          EdgeReductionFactor(hub_table, spoke_table);
+      hub_col = picker->PickNearUnused(0, target);
+    }
+    graph->AddEdge(ColumnRef{0, hub_col}, ColumnRef{i, spoke_col});
+  }
+}
+
+}  // namespace
+
+const char* TopologyName(Topology t) {
+  switch (t) {
+    case Topology::kChain:
+      return "Chain";
+    case Topology::kStar:
+      return "Star";
+    case Topology::kStarChain:
+      return "Star-Chain";
+    case Topology::kCycle:
+      return "Cycle";
+    case Topology::kClique:
+      return "Clique";
+    case Topology::kSnowflake:
+      return "Snowflake";
+  }
+  return "?";
+}
+
+JoinGraph MakeChainGraph(const Catalog& catalog,
+                         const std::vector<int>& tables) {
+  SDP_CHECK(tables.size() >= 2);
+  JoinGraph graph(tables);
+  ColumnPicker picker(catalog, tables);
+  AddChainEdges(catalog, &graph, &picker, 0, graph.num_relations() - 1);
+  return graph;
+}
+
+JoinGraph MakeStarGraph(const Catalog& catalog,
+                        const std::vector<int>& tables) {
+  SDP_CHECK(tables.size() >= 2);
+  JoinGraph graph(tables);
+  ColumnPicker picker(catalog, tables);
+  AddStarEdges(catalog, &graph, &picker, graph.num_relations() - 1);
+  return graph;
+}
+
+JoinGraph MakeStarChainGraph(const Catalog& catalog,
+                             const std::vector<int>& tables, int num_spokes) {
+  const int n = static_cast<int>(tables.size());
+  SDP_CHECK(num_spokes >= 1 && num_spokes <= n - 1);
+  JoinGraph graph(tables);
+  ColumnPicker picker(catalog, tables);
+  AddStarEdges(catalog, &graph, &picker, num_spokes);
+  // The chain hangs off the last spoke (the paper's R11 -> R12 -> ...).
+  AddChainEdges(catalog, &graph, &picker, num_spokes, n - 1);
+  return graph;
+}
+
+JoinGraph MakeCycleGraph(const Catalog& catalog,
+                         const std::vector<int>& tables) {
+  SDP_CHECK(tables.size() >= 3);
+  JoinGraph graph(tables);
+  const int n = graph.num_relations();
+  ColumnPicker picker(catalog, tables);
+  AddChainEdges(catalog, &graph, &picker, 0, n - 1);
+  // Closing edge on fresh, domain-compatible columns.
+  const int first_col = picker.PickNearUnused(
+      0, DomainOf(catalog, graph.table_id(n - 1),
+                  IndexedColumn(catalog, graph.table_id(n - 1))));
+  const int last_col = picker.PickNearUnused(
+      n - 1, DomainOf(catalog, graph.table_id(0), first_col));
+  graph.AddEdge(ColumnRef{n - 1, last_col}, ColumnRef{0, first_col});
+  return graph;
+}
+
+JoinGraph MakeCliqueGraph(const Catalog& catalog,
+                          const std::vector<int>& tables) {
+  SDP_CHECK(tables.size() >= 2);
+  JoinGraph graph(tables);
+  const int n = graph.num_relations();
+  ColumnPicker picker(catalog, tables);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      // Anchor on j's indexed column where available, else any unused one.
+      const int ideal = IndexedColumn(catalog, graph.table_id(j));
+      int cj;
+      if (!picker.IsUsed(j, ideal)) {
+        picker.MarkUsed(j, ideal);
+        cj = ideal;
+      } else {
+        cj = picker.PickNearUnused(
+            j, DomainOf(catalog, graph.table_id(j), ideal));
+      }
+      const int ci = picker.PickNearUnused(
+          i, DomainOf(catalog, graph.table_id(j), cj));
+      graph.AddEdge(ColumnRef{i, ci}, ColumnRef{j, cj});
+    }
+  }
+  return graph;
+}
+
+JoinGraph MakeSnowflakeGraph(const Catalog& catalog,
+                             const std::vector<int>& tables, int num_spokes) {
+  const int n = static_cast<int>(tables.size());
+  SDP_CHECK(num_spokes >= 1 && num_spokes <= n - 1);
+  JoinGraph graph(tables);
+  ColumnPicker picker(catalog, tables);
+  AddStarEdges(catalog, &graph, &picker, num_spokes);
+  // Distribute the remaining relations round-robin as chain hops behind the
+  // spokes: spoke s grows the chain s -> num_spokes+s -> 2*num_spokes+s ...
+  for (int pos = num_spokes + 1; pos < n; ++pos) {
+    const int parent = pos - num_spokes;
+    const int right_table = graph.table_id(pos);
+    const int right_col = IndexedColumn(catalog, right_table);
+    if (!picker.IsUsed(pos, right_col)) picker.MarkUsed(pos, right_col);
+    const double target =
+        static_cast<double>(catalog.table(right_table).row_count) *
+        EdgeReductionFactor(graph.table_id(parent), right_table);
+    const int left_col = picker.PickNearUnused(parent, target);
+    graph.AddEdge(ColumnRef{parent, left_col}, ColumnRef{pos, right_col});
+  }
+  return graph;
+}
+
+JoinGraph MakeTopologyGraph(Topology topology, const Catalog& catalog,
+                            const std::vector<int>& tables) {
+  switch (topology) {
+    case Topology::kChain:
+      return MakeChainGraph(catalog, tables);
+    case Topology::kStar:
+      return MakeStarGraph(catalog, tables);
+    case Topology::kStarChain: {
+      // Paper shape: a 5-relation chain component sharing its first element
+      // with the star (Star-Chain-15 = hub + spokes R2..R11 + tail
+      // R12..R15, i.e. num_spokes = n - 4 - 1).
+      const int n = static_cast<int>(tables.size());
+      const int tail = 4;
+      SDP_CHECK(n > tail + 1);
+      return MakeStarChainGraph(catalog, tables, n - tail - 1);
+    }
+    case Topology::kCycle:
+      return MakeCycleGraph(catalog, tables);
+    case Topology::kClique:
+      return MakeCliqueGraph(catalog, tables);
+    case Topology::kSnowflake: {
+      // Half the relations are first-level dimensions, the rest snowflake
+      // out behind them.
+      const int n = static_cast<int>(tables.size());
+      return MakeSnowflakeGraph(catalog, tables, std::max(1, (n - 1) / 2));
+    }
+  }
+  SDP_CHECK(false);
+  return JoinGraph({0});
+}
+
+}  // namespace sdp

@@ -1,0 +1,72 @@
+#ifndef SDPOPT_QUERY_TOPOLOGY_H_
+#define SDPOPT_QUERY_TOPOLOGY_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/join_graph.h"
+
+namespace sdp {
+
+// Join-graph topology families evaluated in the paper.
+enum class Topology {
+  kChain,
+  kStar,
+  kStarChain,
+  kCycle,
+  kClique,
+  kSnowflake,
+};
+
+const char* TopologyName(Topology t);
+
+// The builders below assign catalog tables (by id) to graph positions and
+// wire equijoin edges following the paper's conventions:
+//
+//  * Star: position 0 is the hub; every spoke joins the hub on the spoke's
+//    *indexed* column ("the join of the spoke relations with the hub
+//    relations is on indexed columns").  The hub contributes a distinct
+//    column per spoke.
+//  * Chain: consecutive positions join; each relation joins its left
+//    neighbor on its own indexed column.
+//  * Star-Chain (Figure 1.1): positions 0..num_spokes form a star
+//    (position 0 = hub, structurally R1 of the paper); the last spoke
+//    (position num_spokes, the paper's R11) continues into a chain through
+//    the remaining positions.
+//  * Cycle: a chain plus a closing edge.
+//  * Clique: every pair of relations joins.
+//
+// All builders are deterministic in their inputs.
+
+JoinGraph MakeChainGraph(const Catalog& catalog,
+                         const std::vector<int>& tables);
+
+JoinGraph MakeStarGraph(const Catalog& catalog,
+                        const std::vector<int>& tables);
+
+// `num_spokes` counts the star's non-hub star relations; the remaining
+// positions form the chain hanging off the last spoke.  The paper's
+// Star-Chain-15 is num_spokes=10 with a 4-relation tail (R12..R15).
+JoinGraph MakeStarChainGraph(const Catalog& catalog,
+                             const std::vector<int>& tables, int num_spokes);
+
+JoinGraph MakeCycleGraph(const Catalog& catalog,
+                         const std::vector<int>& tables);
+
+JoinGraph MakeCliqueGraph(const Catalog& catalog,
+                          const std::vector<int>& tables);
+
+// Snowflake: a star whose dimensions extend into chains (normalized
+// dimensions).  Positions 1..num_spokes join the hub; remaining positions
+// are appended round-robin as chain tails behind the spokes.
+JoinGraph MakeSnowflakeGraph(const Catalog& catalog,
+                             const std::vector<int>& tables, int num_spokes);
+
+// Dispatch by topology; for kStarChain uses the paper's shape (a 5-relation
+// chain tail including the shared spoke, i.e. num_spokes = n - 5 + 1).
+JoinGraph MakeTopologyGraph(Topology topology, const Catalog& catalog,
+                            const std::vector<int>& tables);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_QUERY_TOPOLOGY_H_

@@ -1,0 +1,135 @@
+#include "skyline/skyline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace sdp {
+
+namespace {
+
+// p dominates q: componentwise <= with at least one strict <.
+bool Dominates(const std::vector<double>& p, const std::vector<double>& q) {
+  bool strict = false;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] > q[i]) return false;
+    if (p[i] < q[i]) strict = true;
+  }
+  return strict;
+}
+
+}  // namespace
+
+std::vector<char> SkylineNaive(const std::vector<std::vector<double>>& points) {
+  const size_t n = points.size();
+  std::vector<char> in_skyline(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    SDP_DCHECK(points[i].size() == points[0].size());
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j && Dominates(points[j], points[i])) {
+        in_skyline[i] = 0;
+        break;
+      }
+    }
+  }
+  return in_skyline;
+}
+
+std::vector<char> Skyline2D(const std::vector<std::array<double, 2>>& points) {
+  const size_t n = points.size();
+  std::vector<char> in_skyline(n, 0);
+  if (n == 0) return in_skyline;
+
+  // Sort by (x asc, y asc); sweep keeping the best y seen so far.  A point
+  // is dominated iff an earlier point in this order has y <= its y -- with
+  // care for exact duplicates, which must co-survive.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (points[a][0] != points[b][0]) return points[a][0] < points[b][0];
+    return points[a][1] < points[b][1];
+  });
+
+  double best_y = points[order[0]][1];
+  double best_x = points[order[0]][0];
+  in_skyline[order[0]] = 1;
+  for (size_t i = 1; i < n; ++i) {
+    const int idx = order[i];
+    const double x = points[idx][0];
+    const double y = points[idx][1];
+    if (y < best_y) {
+      in_skyline[idx] = 1;
+      best_y = y;
+      best_x = x;
+    } else if (y == best_y && x == best_x) {
+      // Exact duplicate of the current frontier point: ties co-survive.
+      in_skyline[idx] = 1;
+    }
+  }
+  return in_skyline;
+}
+
+std::vector<char> SkylineBNL(const std::vector<std::vector<double>>& points) {
+  const size_t n = points.size();
+  std::vector<char> in_skyline(n, 0);
+  std::vector<int> window;
+  for (size_t i = 0; i < n; ++i) {
+    bool dominated = false;
+    size_t w = 0;
+    while (w < window.size()) {
+      const int j = window[w];
+      if (Dominates(points[j], points[i])) {
+        dominated = true;
+        break;
+      }
+      if (Dominates(points[i], points[j])) {
+        // Candidate evicts window member.
+        window[w] = window.back();
+        window.pop_back();
+        continue;
+      }
+      ++w;
+    }
+    if (!dominated) window.push_back(static_cast<int>(i));
+  }
+  // Window members are never re-dominated (dominance is transitive), so the
+  // final window *is* the skyline.
+  for (int j : window) in_skyline[j] = 1;
+  return in_skyline;
+}
+
+std::vector<char> KDominantSkyline(
+    const std::vector<std::vector<double>>& points, int k) {
+  const size_t n = points.size();
+  std::vector<char> in_skyline(n, 1);
+  if (n == 0) return in_skyline;
+  const int d = static_cast<int>(points[0].size());
+  SDP_CHECK(k >= 1 && k <= d);
+  // p k-dominates q iff p <= q in >= k attributes with at least one strict
+  // among them.  Note k-dominance is not transitive, so we must test all
+  // pairs (cyclic k-dominance eliminates whole cycles).
+  auto k_dominates = [&](const std::vector<double>& p,
+                         const std::vector<double>& q) {
+    int leq = 0;
+    int strict = 0;
+    for (int i = 0; i < d; ++i) {
+      if (p[i] <= q[i]) {
+        ++leq;
+        if (p[i] < q[i]) ++strict;
+      }
+    }
+    return leq >= k && strict >= 1;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j && k_dominates(points[j], points[i])) {
+        in_skyline[i] = 0;
+        break;
+      }
+    }
+  }
+  return in_skyline;
+}
+
+}  // namespace sdp

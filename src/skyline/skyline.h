@@ -1,0 +1,39 @@
+#ifndef SDPOPT_SKYLINE_SKYLINE_H_
+#define SDPOPT_SKYLINE_SKYLINE_H_
+
+#include <array>
+#include <vector>
+
+namespace sdp {
+
+// Skyline (Pareto / maximal-vector) computation over small point sets, all
+// attributes minimized.
+//
+// Dominance follows the standard skyline definition: p dominates q iff
+// p[i] <= q[i] for every attribute and p[i] < q[i] for at least one.  Exact
+// ties survive together (the paper's formula, read literally, would
+// eliminate duplicate points entirely; we use the conventional reading, as
+// the original skyline operator paper does).
+
+// Reference O(n^2) implementation over arbitrary dimensionality.  Each
+// points[i] must have the same size.  Returns one flag per point: 1 = in
+// the skyline.
+std::vector<char> SkylineNaive(const std::vector<std::vector<double>>& points);
+
+// Sort-based two-dimensional skyline, O(n log n).
+std::vector<char> Skyline2D(const std::vector<std::array<double, 2>>& points);
+
+// Block-nested-loop skyline for d >= 2, the classic BNL algorithm; expected
+// near-linear time when the skyline is small (our partitions are).
+std::vector<char> SkylineBNL(const std::vector<std::vector<double>>& points);
+
+// k-dominant ("strong") skyline [Chan et al.]: a point is k-dominated if
+// some other point is <= in at least k attributes and < in at least one of
+// those k.  Smaller (more aggressive) than the ordinary skyline for
+// k < dimensionality.  This is the paper's named future-work direction.
+std::vector<char> KDominantSkyline(const std::vector<std::vector<double>>& points,
+                                   int k);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_SKYLINE_SKYLINE_H_

@@ -1,0 +1,387 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace sdp {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kInvalid,
+  kStar,
+  kComma,
+  kDot,
+  kEquals,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int position = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) { Advance(); }
+
+  const Token& current() const { return current_; }
+
+  void Advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    current_.position = static_cast<int>(pos_);
+    if (pos_ >= input_.size()) {
+      current_ = Token{TokenKind::kEnd, "", static_cast<int>(pos_)};
+      return;
+    }
+    const char c = input_[pos_];
+    if (c == '*' || c == ',' || c == '.' || c == '=') {
+      current_.kind = c == '*'   ? TokenKind::kStar
+                      : c == ',' ? TokenKind::kComma
+                      : c == '.' ? TokenKind::kDot
+                                 : TokenKind::kEquals;
+      current_.text = std::string(1, c);
+      ++pos_;
+      return;
+    }
+    if (c == '<' || c == '>') {
+      const bool eq = pos_ + 1 < input_.size() && input_[pos_ + 1] == '=';
+      current_.kind = c == '<' ? (eq ? TokenKind::kLessEq : TokenKind::kLess)
+                               : (eq ? TokenKind::kGreaterEq
+                                     : TokenKind::kGreater);
+      current_.text = input_.substr(pos_, eq ? 2 : 1);
+      pos_ += eq ? 2 : 1;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      current_.kind = TokenKind::kNumber;
+      current_.text = input_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = TokenKind::kIdentifier;
+      current_.text = input_.substr(start, pos_ - start);
+      return;
+    }
+    // Anything else is an error token; it must never masquerade as
+    // end-of-input, or trailing garbage would be silently accepted.
+    current_.kind = TokenKind::kInvalid;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+ private:
+  const std::string& input_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+// Recursive-descent parser with catalog binding.
+class Parser {
+ public:
+  Parser(const std::string& sql, const Catalog& catalog)
+      : lexer_(sql), catalog_(&catalog) {}
+
+  ParseResult Run() {
+    if (!ExpectKeyword("select")) return Error();
+    if (!ParseSelectList()) return Error();
+    if (!ExpectKeyword("from")) return Error();
+    if (!ParseFromList()) return Error();
+    if (IsKeyword("where")) {
+      lexer_.Advance();
+      if (!ParseQuals()) return Error();
+    }
+    std::optional<ColumnRef> order_col;
+    if (IsKeyword("order")) {
+      lexer_.Advance();
+      if (!ExpectKeyword("by")) return Error();
+      ColumnRef c;
+      if (!ParseQualifiedColumn(&c)) return Error();
+      order_col = c;
+    }
+    if (lexer_.current().kind != TokenKind::kEnd) {
+      return Fail(lexer_.current().kind == TokenKind::kInvalid
+                      ? "unrecognized character '" + lexer_.current().text +
+                            "'"
+                      : "unexpected input after statement");
+    }
+    if (bindings_.empty()) return Fail("no tables in FROM");
+
+    // Build the bound join graph.
+    std::vector<int> table_ids;
+    table_ids.reserve(bindings_.size());
+    for (const auto& b : bindings_) table_ids.push_back(b.table_id);
+    JoinGraph graph(table_ids);
+    for (const auto& [l, r] : quals_) {
+      if (l.rel == r.rel) {
+        return Fail("predicate joins a relation with itself");
+      }
+      graph.AddEdge(l, r);
+    }
+    graph.AddImpliedEdges();
+    if (!graph.IsConnected(graph.AllRelations())) {
+      return Fail(
+          "join graph is not connected (cartesian products unsupported)");
+    }
+
+    ParsedQuery out{Query{std::move(graph), std::nullopt, filters_}, {},
+                    select_};
+    if (order_col.has_value()) {
+      out.query.order_by = OrderRequirement{*order_col};
+    }
+    for (const auto& b : bindings_) out.binding_names.push_back(b.name);
+    // Late-bind select columns were recorded before positions finalized;
+    // they are already ColumnRefs, nothing further to do.
+    return out;
+  }
+
+ private:
+  struct Binding {
+    std::string name;  // Alias, or the table name itself.
+    int table_id = -1;
+  };
+
+  bool IsKeyword(const std::string& kw) const {
+    return lexer_.current().kind == TokenKind::kIdentifier &&
+           Lower(lexer_.current().text) == kw;
+  }
+
+  bool ExpectKeyword(const std::string& kw) {
+    if (!IsKeyword(kw)) {
+      return Fail2("expected keyword '" + kw + "'");
+    }
+    lexer_.Advance();
+    return true;
+  }
+
+  bool ParseSelectList() {
+    if (lexer_.current().kind == TokenKind::kStar) {
+      lexer_.Advance();
+      return true;
+    }
+    for (;;) {
+      pending_select_.push_back(PendingColumn());
+      if (!ParsePendingColumn(&pending_select_.back())) return false;
+      if (lexer_.current().kind != TokenKind::kComma) break;
+      lexer_.Advance();
+    }
+    return true;
+  }
+
+  bool ParseFromList() {
+    for (;;) {
+      if (lexer_.current().kind != TokenKind::kIdentifier) {
+        return Fail2("expected table name");
+      }
+      const std::string table = lexer_.current().text;
+      const int table_pos = lexer_.current().position;
+      lexer_.Advance();
+      std::string alias = table;
+      if (lexer_.current().kind == TokenKind::kIdentifier &&
+          !IsKeyword("where") && !IsKeyword("order")) {
+        alias = lexer_.current().text;
+        lexer_.Advance();
+      }
+      const int id = catalog_->FindTable(table);
+      if (id < 0) {
+        error_ = ParseError{"unknown table '" + table + "'", table_pos};
+        failed_ = true;
+        return false;
+      }
+      for (const Binding& b : bindings_) {
+        if (b.name == alias) {
+          return Fail2("duplicate binding '" + alias + "'");
+        }
+      }
+      bindings_.push_back(Binding{alias, id});
+      if (lexer_.current().kind != TokenKind::kComma) break;
+      lexer_.Advance();
+    }
+    // Resolve select-list columns now that bindings exist.
+    for (const auto& pc : pending_select_) {
+      ColumnRef ref;
+      if (!ResolveColumn(pc, &ref)) return false;
+      select_.push_back(ref);
+    }
+    return true;
+  }
+
+  struct PendingColumn {
+    std::string binding;
+    std::string column;
+    int position = 0;
+  };
+
+  bool ParsePendingColumn(PendingColumn* out) {
+    if (lexer_.current().kind != TokenKind::kIdentifier) {
+      return Fail2("expected qualified column (binding.column)");
+    }
+    out->binding = lexer_.current().text;
+    out->position = lexer_.current().position;
+    lexer_.Advance();
+    if (lexer_.current().kind != TokenKind::kDot) {
+      return Fail2("expected '.' in qualified column");
+    }
+    lexer_.Advance();
+    if (lexer_.current().kind != TokenKind::kIdentifier) {
+      return Fail2("expected column name after '.'");
+    }
+    out->column = lexer_.current().text;
+    lexer_.Advance();
+    return true;
+  }
+
+  bool ResolveColumn(const PendingColumn& pc, ColumnRef* out) {
+    int rel = -1;
+    for (size_t i = 0; i < bindings_.size(); ++i) {
+      if (bindings_[i].name == pc.binding) {
+        rel = static_cast<int>(i);
+        break;
+      }
+    }
+    if (rel < 0) {
+      error_ = ParseError{"unknown binding '" + pc.binding + "'", pc.position};
+      failed_ = true;
+      return false;
+    }
+    const Table& table = catalog_->table(bindings_[rel].table_id);
+    int col = -1;
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      if (table.columns[c].name == pc.column) {
+        col = static_cast<int>(c);
+        break;
+      }
+    }
+    if (col < 0) {
+      error_ = ParseError{"unknown column '" + pc.column + "' in '" +
+                              pc.binding + "'",
+                          pc.position};
+      failed_ = true;
+      return false;
+    }
+    *out = ColumnRef{rel, col};
+    return true;
+  }
+
+  bool ParseQualifiedColumn(ColumnRef* out) {
+    PendingColumn pc;
+    if (!ParsePendingColumn(&pc)) return false;
+    return ResolveColumn(pc, out);
+  }
+
+  bool ParseQuals() {
+    for (;;) {
+      ColumnRef left;
+      if (!ParseQualifiedColumn(&left)) return false;
+      CompareOp op;
+      switch (lexer_.current().kind) {
+        case TokenKind::kEquals:
+          op = CompareOp::kEq;
+          break;
+        case TokenKind::kLess:
+          op = CompareOp::kLt;
+          break;
+        case TokenKind::kLessEq:
+          op = CompareOp::kLe;
+          break;
+        case TokenKind::kGreater:
+          op = CompareOp::kGt;
+          break;
+        case TokenKind::kGreaterEq:
+          op = CompareOp::kGe;
+          break;
+        default:
+          return Fail2("expected comparison operator");
+      }
+      lexer_.Advance();
+      if (lexer_.current().kind == TokenKind::kNumber) {
+        // Single-table filter: column op constant.
+        errno = 0;
+        char* end = nullptr;
+        const int64_t value =
+            std::strtoll(lexer_.current().text.c_str(), &end, 10);
+        if (errno == ERANGE || end == nullptr || *end != '\0') {
+          return Fail2("integer literal out of range");
+        }
+        filters_.push_back(FilterPredicate{left, op, value});
+        lexer_.Advance();
+      } else {
+        // Join predicate: equijoins only.
+        if (op != CompareOp::kEq) {
+          return Fail2(
+              "only equijoin predicates are supported between columns");
+        }
+        ColumnRef right;
+        if (!ParseQualifiedColumn(&right)) return false;
+        quals_.emplace_back(left, right);
+      }
+      if (!IsKeyword("and")) break;
+      lexer_.Advance();
+    }
+    return true;
+  }
+
+  bool Fail2(const std::string& message) {
+    if (!failed_) {
+      error_ = ParseError{message, lexer_.current().position};
+      failed_ = true;
+    }
+    return false;
+  }
+
+  ParseResult Fail(const std::string& message) {
+    Fail2(message);
+    return error_;
+  }
+
+  ParseResult Error() const { return error_; }
+
+  Lexer lexer_;
+  const Catalog* catalog_;
+  std::vector<Binding> bindings_;
+  std::vector<PendingColumn> pending_select_;
+  std::vector<ColumnRef> select_;
+  std::vector<std::pair<ColumnRef, ColumnRef>> quals_;
+  std::vector<FilterPredicate> filters_;
+  ParseError error_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+ParseResult ParseSelect(const std::string& sql, const Catalog& catalog) {
+  Parser parser(sql, catalog);
+  return parser.Run();
+}
+
+}  // namespace sdp

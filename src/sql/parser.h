@@ -1,0 +1,54 @@
+#ifndef SDPOPT_SQL_PARSER_H_
+#define SDPOPT_SQL_PARSER_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/join_graph.h"
+
+namespace sdp {
+
+// A parsed SELECT statement bound against a catalog, ready for the
+// optimizers.  Grammar (keywords case-insensitive):
+//
+//   SELECT select_list
+//   FROM table [alias] (, table [alias])*
+//   [WHERE qual (AND qual)*]
+//   [ORDER BY qualified_column]
+//
+//   select_list      := '*' | qualified_column (',' qualified_column)*
+//   qual             := qualified_column '=' qualified_column   (equijoin)
+//                     | qualified_column cmp integer            (filter)
+//   cmp              := '=' | '<' | '<=' | '>' | '>='
+//   qualified_column := name '.' name
+//
+// Join predicates between distinct relations become join-graph edges; the
+// parser also closes the edge set over shared join columns (the implied
+// edges of Section 2.1.4), exactly as the PostgreSQL rewriter would.
+struct ParsedQuery {
+  Query query;
+  // Alias (or table name) bound to each graph position.
+  std::vector<std::string> binding_names;
+  // Select-list columns; empty means '*'.
+  std::vector<ColumnRef> select_columns;
+};
+
+// Why a statement was rejected, with the byte offset of the offending
+// token.
+struct ParseError {
+  std::string message;
+  int position = 0;
+};
+
+using ParseResult = std::variant<ParsedQuery, ParseError>;
+
+// Parses and binds one SELECT statement.  Table and column names resolve
+// against `catalog`; unknown names, self-joins of one binding, non-equi
+// predicates and trailing garbage are errors.
+ParseResult ParseSelect(const std::string& sql, const Catalog& catalog);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_SQL_PARSER_H_

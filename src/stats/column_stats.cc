@@ -1,0 +1,152 @@
+#include "stats/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sdp {
+
+double Histogram::FractionBelow(double v) const {
+  if (Empty()) return 0.5;
+  if (v <= bounds.front()) return 0;
+  if (v >= bounds.back()) return 1;
+  // Binary search for the bucket containing v.
+  auto it = std::upper_bound(bounds.begin(), bounds.end(), v);
+  const int bucket = static_cast<int>(it - bounds.begin()) - 1;
+  const double lo = bounds[bucket];
+  const double hi = bounds[bucket + 1];
+  const double within = hi > lo ? (v - lo) / (hi - lo) : 1.0;
+  return (static_cast<double>(bucket) + within) /
+         static_cast<double>(num_buckets());
+}
+
+void StatsCatalog::Resize(const Catalog& catalog) {
+  stats_.clear();
+  stats_.resize(catalog.num_tables());
+  for (int t = 0; t < catalog.num_tables(); ++t) {
+    stats_[t].resize(catalog.table(t).columns.size());
+  }
+}
+
+void StatsCatalog::Set(int table, int column, ColumnStats stats) {
+  stats_.at(table).at(column) = std::move(stats);
+}
+
+const ColumnStats& StatsCatalog::Get(int table, int column) const {
+  return stats_.at(table).at(column);
+}
+
+double ExpectedDistinctUniform(double rows, double domain) {
+  SDP_CHECK(domain >= 1);
+  if (rows <= 0) return 0;
+  // D * (1 - (1 - 1/D)^R), computed stably via expm1/log1p.
+  const double log_keep = rows * std::log1p(-1.0 / domain);
+  return -domain * std::expm1(log_keep);
+}
+
+namespace {
+
+// Distinct-count estimate for exponential data: the value v = floor(X) with
+// X ~ Exp(lambda) scaled so that ~99.9% of mass falls inside the domain.
+// Mass concentrates near zero, so the expected occupancy is lower than
+// uniform; we approximate by integrating per-value hit probabilities over a
+// coarse grid.
+double ExpectedDistinctExponential(double rows, double domain) {
+  if (rows <= 0) return 0;
+  const double lambda = 6.9 / domain;  // P(X > domain) ~ 1e-3.
+  // Sum over a geometric grid of value ranges [a,b): each value in the range
+  // has hit probability p ~= lambda * exp(-lambda * a); the expected number
+  // of occupied values is sum (1 - (1-p)^rows).
+  double distinct = 0;
+  double a = 0;
+  while (a < domain) {
+    double b = std::min(domain, std::max(a + 1, a * 1.25));
+    const double width = b - a;
+    const double p = lambda * std::exp(-lambda * a);
+    const double occupied =
+        p >= 1 ? width : width * -std::expm1(rows * std::log1p(-std::min(p, 1.0)));
+    distinct += std::min(occupied, width);
+    a = b;
+  }
+  return std::max(1.0, std::min(distinct, std::min(rows, domain)));
+}
+
+Histogram SyntheticHistogram(const Column& column, int num_buckets) {
+  Histogram h;
+  const double domain = static_cast<double>(column.domain_size);
+  h.bounds.reserve(num_buckets + 1);
+  if (column.distribution == DataDistribution::kUniform) {
+    for (int i = 0; i <= num_buckets; ++i) {
+      h.bounds.push_back(domain * static_cast<double>(i) /
+                         static_cast<double>(num_buckets));
+    }
+  } else {
+    // Equi-depth boundaries of the truncated exponential: the q-quantile of
+    // Exp(lambda) is -ln(1-q)/lambda.
+    const double lambda = 6.9 / domain;
+    for (int i = 0; i <= num_buckets; ++i) {
+      const double q =
+          0.999 * static_cast<double>(i) / static_cast<double>(num_buckets);
+      h.bounds.push_back(std::min(domain, -std::log1p(-q) / lambda));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+StatsCatalog SynthesizeStats(const Catalog& catalog) {
+  constexpr int kBuckets = 16;
+  StatsCatalog stats;
+  stats.Resize(catalog);
+  for (int t = 0; t < catalog.num_tables(); ++t) {
+    const Table& table = catalog.table(t);
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      const Column& col = table.columns[c];
+      ColumnStats s;
+      const double rows = static_cast<double>(table.row_count);
+      const double domain = static_cast<double>(col.domain_size);
+      s.num_distinct =
+          col.distribution == DataDistribution::kUniform
+              ? std::max(1.0, ExpectedDistinctUniform(rows, domain))
+              : ExpectedDistinctExponential(rows, domain);
+      s.min_value = 0;
+      s.max_value = domain - 1;
+      s.histogram = SyntheticHistogram(col, kBuckets);
+      stats.Set(t, static_cast<int>(c), std::move(s));
+    }
+  }
+  return stats;
+}
+
+ColumnStats ComputeColumnStats(const std::vector<int64_t>& values,
+                               int num_buckets) {
+  ColumnStats s;
+  if (values.empty()) {
+    s.num_distinct = 0;
+    return s;
+  }
+  std::vector<int64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.min_value = static_cast<double>(sorted.front());
+  s.max_value = static_cast<double>(sorted.back());
+  double distinct = 1;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] != sorted[i - 1]) ++distinct;
+  }
+  s.num_distinct = distinct;
+  num_buckets = std::max(1, num_buckets);
+  s.histogram.bounds.reserve(num_buckets + 1);
+  for (int i = 0; i <= num_buckets; ++i) {
+    const size_t pos = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(static_cast<double>(i) / num_buckets *
+                            static_cast<double>(sorted.size() - 1)));
+    s.histogram.bounds.push_back(static_cast<double>(sorted[pos]));
+  }
+  // Histogram bounds must be non-decreasing; duplicates are fine.
+  return s;
+}
+
+}  // namespace sdp

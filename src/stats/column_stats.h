@@ -1,0 +1,71 @@
+#ifndef SDPOPT_STATS_COLUMN_STATS_H_
+#define SDPOPT_STATS_COLUMN_STATS_H_
+
+#include <stdint.h>
+
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace sdp {
+
+// Equi-depth histogram over a column's value range: `bounds` holds
+// num_buckets+1 ascending boundaries; each bucket covers an equal share of
+// the rows.  Mirrors PostgreSQL's histogram_bounds produced by ANALYZE.
+struct Histogram {
+  std::vector<double> bounds;
+
+  bool Empty() const { return bounds.size() < 2; }
+  int num_buckets() const {
+    return Empty() ? 0 : static_cast<int>(bounds.size()) - 1;
+  }
+
+  // Estimated fraction of rows with value <= v (linear interpolation within
+  // a bucket).  Returns 0.5 when the histogram is empty.
+  double FractionBelow(double v) const;
+};
+
+// Per-column statistics used by the cost model's selectivity estimation.
+struct ColumnStats {
+  double num_distinct = 1;
+  double min_value = 0;
+  double max_value = 0;
+  Histogram histogram;
+};
+
+// Statistics for every (table, column) of a catalog: the product of the
+// paper's "Analyze command of PostgreSQL".
+class StatsCatalog {
+ public:
+  StatsCatalog() = default;
+
+  void Resize(const Catalog& catalog);
+  void Set(int table, int column, ColumnStats stats);
+  const ColumnStats& Get(int table, int column) const;
+
+ private:
+  std::vector<std::vector<ColumnStats>> stats_;
+};
+
+// Derives statistics analytically from the catalog metadata, without
+// materializing data.  For uniform data the expected distinct count of R
+// draws from a domain of size D is D*(1-(1-1/D)^R); for exponential data the
+// effective distinct count is reduced because the mass concentrates on small
+// values (we integrate the same occupancy formula against the exponential
+// density).  Used for optimizer experiments at scales where generating
+// 2.5M-row tables per instance would be wasteful.
+StatsCatalog SynthesizeStats(const Catalog& catalog);
+
+// Computes exact statistics from materialized column values (used by the
+// execution-engine examples and tests).  `num_buckets` bounds the histogram
+// resolution.
+ColumnStats ComputeColumnStats(const std::vector<int64_t>& values,
+                               int num_buckets);
+
+// Expected number of distinct values when drawing `rows` samples uniformly
+// from a domain of `domain` values.  Exposed for tests.
+double ExpectedDistinctUniform(double rows, double domain);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_STATS_COLUMN_STATS_H_

@@ -1,0 +1,84 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sdp {
+
+std::string WorkloadSpec::Name() const {
+  std::string name = TopologyName(topology);
+  name += "-" + std::to_string(num_relations);
+  if (ordered) name += " (ordered)";
+  return name;
+}
+
+namespace {
+
+// Binds tables to graph positions for one instance.
+std::vector<int> PickTables(const Catalog& catalog, const WorkloadSpec& spec,
+                            Rng* rng) {
+  const int n = spec.num_relations;
+  const bool star_like = spec.topology == Topology::kStar ||
+                         spec.topology == Topology::kStarChain ||
+                         spec.topology == Topology::kSnowflake;
+  std::vector<int> tables;
+  if (star_like) {
+    // Hub = largest relation; spokes/chain sampled from the rest.
+    const std::vector<int> by_size = catalog.TablesByRowCountDesc();
+    const int hub = by_size.front();
+    SDP_CHECK(catalog.num_tables() - 1 >= n - 1);
+    std::vector<int> others;
+    others.reserve(catalog.num_tables() - 1);
+    for (int t = 0; t < catalog.num_tables(); ++t) {
+      if (t != hub) others.push_back(t);
+    }
+    std::vector<int> chosen =
+        rng->SampleWithoutReplacement(static_cast<int>(others.size()), n - 1);
+    tables.push_back(hub);
+    for (int idx : chosen) tables.push_back(others[idx]);
+    // Permute the non-hub positions so position does not correlate with
+    // table id.
+    std::vector<int> tail(tables.begin() + 1, tables.end());
+    rng->Shuffle(&tail);
+    std::copy(tail.begin(), tail.end(), tables.begin() + 1);
+  } else {
+    SDP_CHECK(catalog.num_tables() >= n);
+    std::vector<int> chosen =
+        rng->SampleWithoutReplacement(catalog.num_tables(), n);
+    tables = chosen;
+    rng->Shuffle(&tables);
+  }
+  return tables;
+}
+
+}  // namespace
+
+std::vector<Query> GenerateWorkload(const Catalog& catalog,
+                                    const WorkloadSpec& spec) {
+  SDP_CHECK(spec.num_relations >= 2);
+  SDP_CHECK(spec.num_instances >= 1);
+  Rng master(spec.seed ^ (static_cast<uint64_t>(spec.topology) << 32) ^
+             (static_cast<uint64_t>(spec.num_relations) << 16));
+  std::vector<Query> queries;
+  queries.reserve(spec.num_instances);
+  for (int i = 0; i < spec.num_instances; ++i) {
+    Rng rng = master.Fork();
+    const std::vector<int> tables = PickTables(catalog, spec, &rng);
+    Query q{MakeTopologyGraph(spec.topology, catalog, tables), std::nullopt};
+    if (spec.ordered) {
+      // ORDER BY a random join column of a random edge.
+      const auto& edges = q.graph.edges();
+      SDP_CHECK(!edges.empty());
+      const JoinEdge& e =
+          edges[rng.NextBounded(static_cast<uint64_t>(edges.size()))];
+      q.order_by =
+          OrderRequirement{rng.NextBounded(2) == 0 ? e.left : e.right};
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace sdp

@@ -1,0 +1,45 @@
+#ifndef SDPOPT_WORKLOAD_WORKLOAD_H_
+#define SDPOPT_WORKLOAD_WORKLOAD_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/join_graph.h"
+#include "query/topology.h"
+
+namespace sdp {
+
+// One experiment workload: many instances of a topology, each instance
+// binding a different combination of catalog tables to the graph positions
+// (the paper generates instance spaces like C(24,14) for Star-15 and
+// optimizes each member; we deterministically sample that space).
+struct WorkloadSpec {
+  Topology topology = Topology::kStar;
+  int num_relations = 15;
+  int num_instances = 100;
+  // Generate the "ordered variant": ORDER BY a randomly chosen join column.
+  bool ordered = false;
+  uint64_t seed = 7;
+
+  std::string Name() const;
+};
+
+// Deterministically generates the workload's query instances.
+//
+// Conventions mirroring the paper:
+//  * Star and Star-Chain hubs are bound to the largest catalog relation
+//    (fact-table convention); the remaining positions draw a random
+//    combination of the other tables.
+//  * Chain / cycle / clique instances draw a random combination of all
+//    tables, randomly permuted across positions.
+//  * Ordered variants request ORDER BY on a random join column of the
+//    generated graph.
+std::vector<Query> GenerateWorkload(const Catalog& catalog,
+                                    const WorkloadSpec& spec);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_WORKLOAD_WORKLOAD_H_

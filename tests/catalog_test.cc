@@ -1,0 +1,118 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace sdp {
+namespace {
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog c;
+  Table t;
+  t.name = "orders";
+  t.row_count = 1000;
+  t.columns.push_back(Column{"o_id", 1000, DataDistribution::kUniform});
+  const int id = c.AddTable(std::move(t));
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(c.num_tables(), 1);
+  EXPECT_EQ(c.FindTable("orders"), 0);
+  EXPECT_EQ(c.FindTable("nope"), -1);
+  EXPECT_EQ(c.table(0).row_count, 1000u);
+}
+
+TEST(CatalogTest, RowWidthTracksColumns) {
+  Table t;
+  t.columns.resize(24);
+  EXPECT_DOUBLE_EQ(t.row_width_bytes(), 24.0 + 8.0 * 24.0);
+}
+
+TEST(SyntheticCatalogTest, PaperParameters) {
+  const SchemaConfig config;
+  const Catalog c = MakeSyntheticCatalog(config);
+  ASSERT_EQ(c.num_tables(), 25);
+
+  uint64_t min_rows = UINT64_MAX;
+  uint64_t max_rows = 0;
+  for (int i = 0; i < c.num_tables(); ++i) {
+    const Table& t = c.table(i);
+    EXPECT_EQ(t.columns.size(), 24u);
+    EXPECT_GE(t.indexed_column, 0);
+    EXPECT_LT(t.indexed_column, 24);
+    min_rows = std::min(min_rows, t.row_count);
+    max_rows = std::max(max_rows, t.row_count);
+    for (const Column& col : t.columns) {
+      EXPECT_GE(col.domain_size, config.min_domain);
+      EXPECT_LE(col.domain_size, config.max_domain);
+    }
+  }
+  // Cardinalities span the configured range end to end.
+  EXPECT_EQ(min_rows, config.min_rows);
+  EXPECT_EQ(max_rows, config.max_rows);
+}
+
+TEST(SyntheticCatalogTest, GeometricProgression) {
+  const Catalog c = MakeSyntheticCatalog(SchemaConfig{});
+  // Sorted cardinalities should form a geometric ladder with ratio ~1.5.
+  std::vector<double> rows;
+  for (int i = 0; i < c.num_tables(); ++i) {
+    rows.push_back(static_cast<double>(c.table(i).row_count));
+  }
+  std::sort(rows.begin(), rows.end());
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const double ratio = rows[i] / rows[i - 1];
+    EXPECT_GT(ratio, 1.2);
+    EXPECT_LT(ratio, 1.9);
+  }
+}
+
+TEST(SyntheticCatalogTest, Deterministic) {
+  const Catalog a = MakeSyntheticCatalog(SchemaConfig{});
+  const Catalog b = MakeSyntheticCatalog(SchemaConfig{});
+  ASSERT_EQ(a.num_tables(), b.num_tables());
+  for (int i = 0; i < a.num_tables(); ++i) {
+    EXPECT_EQ(a.table(i).row_count, b.table(i).row_count);
+    EXPECT_EQ(a.table(i).indexed_column, b.table(i).indexed_column);
+    for (size_t cidx = 0; cidx < a.table(i).columns.size(); ++cidx) {
+      EXPECT_EQ(a.table(i).columns[cidx].domain_size,
+                b.table(i).columns[cidx].domain_size);
+    }
+  }
+}
+
+TEST(SyntheticCatalogTest, SeedChangesLayout) {
+  SchemaConfig other;
+  other.seed = 999;
+  const Catalog a = MakeSyntheticCatalog(SchemaConfig{});
+  const Catalog b = MakeSyntheticCatalog(other);
+  bool any_difference = false;
+  for (int i = 0; i < a.num_tables() && !any_difference; ++i) {
+    any_difference = a.table(i).row_count != b.table(i).row_count ||
+                     a.table(i).indexed_column != b.table(i).indexed_column;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SyntheticCatalogTest, TablesByRowCountDesc) {
+  const Catalog c = MakeSyntheticCatalog(SchemaConfig{});
+  const std::vector<int> order = c.TablesByRowCountDesc();
+  ASSERT_EQ(order.size(), 25u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(c.table(order[i - 1]).row_count, c.table(order[i]).row_count);
+  }
+  // All ids present exactly once.
+  std::set<int> uniq(order.begin(), order.end());
+  EXPECT_EQ(uniq.size(), 25u);
+}
+
+TEST(SyntheticCatalogTest, ExtendedSchemaForScaleup) {
+  const SchemaConfig config = ExtendedSchemaConfig(50);
+  const Catalog c = MakeSyntheticCatalog(config);
+  EXPECT_EQ(c.num_tables(), 50);
+  // Wide tables so a 45-spoke star has a distinct hub column per spoke.
+  EXPECT_EQ(c.table(0).columns.size(), 64u);
+}
+
+}  // namespace
+}  // namespace sdp

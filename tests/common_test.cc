@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/arena.h"
+#include "common/math_util.h"
+#include "common/rel_set.h"
+#include "common/rng.h"
+
+namespace sdp {
+namespace {
+
+TEST(RelSetTest, BasicOperations) {
+  RelSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0);
+  s = s.With(3).With(7).With(0);
+  EXPECT_EQ(s.Count(), 3);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Lowest(), 0);
+  EXPECT_EQ(s.Without(0).Lowest(), 3);
+  EXPECT_EQ(s.ToString(), "{0,3,7}");
+}
+
+TEST(RelSetTest, SetAlgebra) {
+  const RelSet a = RelSet::Single(1).With(2).With(3);
+  const RelSet b = RelSet::Single(3).With(4);
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_EQ(a.Union(b).Count(), 4);
+  EXPECT_EQ(a.Intersect(b), RelSet::Single(3));
+  EXPECT_EQ(a.Subtract(b).Count(), 2);
+  EXPECT_TRUE(RelSet::Single(2).IsSubsetOf(a));
+  EXPECT_TRUE(RelSet::Single(2).IsProperSubsetOf(a));
+  EXPECT_FALSE(a.IsProperSubsetOf(a));
+  EXPECT_TRUE(a.ContainsAll(RelSet::Single(1).With(3)));
+}
+
+TEST(RelSetTest, FirstN) {
+  EXPECT_EQ(RelSet::FirstN(0).Count(), 0);
+  EXPECT_EQ(RelSet::FirstN(5).Count(), 5);
+  EXPECT_EQ(RelSet::FirstN(64).Count(), 64);
+}
+
+TEST(RelSetTest, ForEachVisitsInOrder) {
+  const RelSet s = RelSet::Single(9).With(2).With(30);
+  std::vector<int> seen;
+  s.ForEach([&](int r) { seen.push_back(r); });
+  EXPECT_EQ(seen, (std::vector<int>{2, 9, 30}));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, BoundedInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacement) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<int> s = rng.SampleWithoutReplacement(20, 7);
+    ASSERT_EQ(s.size(), 7u);
+    std::set<int> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 7u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    for (int v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(7);
+  Rng child = parent.Fork();
+  // Child stream differs from parent's continued stream.
+  EXPECT_NE(child.Next64(), parent.Next64());
+}
+
+TEST(ArenaTest, AllocatesAndCharges) {
+  MemoryGauge gauge;
+  {
+    Arena arena(&gauge);
+    for (int i = 0; i < 1000; ++i) {
+      int* p = arena.New<int>(i);
+      EXPECT_EQ(*p, i);
+    }
+    EXPECT_GE(arena.allocated_bytes(), 4000u);
+    EXPECT_EQ(gauge.current_bytes(), arena.allocated_bytes());
+  }
+  EXPECT_EQ(gauge.current_bytes(), 0u);
+  EXPECT_GE(gauge.peak_bytes(), 4000u);
+}
+
+TEST(ArenaTest, AlignmentRespected) {
+  Arena arena;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(3, 1);
+    void* q = arena.Allocate(8, 8);
+    EXPECT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(q) % 8, 0u);
+  }
+}
+
+TEST(MemoryGaugeTest, PeakTracksHighWater) {
+  MemoryGauge g;
+  g.Charge(100);
+  g.Charge(50);
+  g.Release(120);
+  g.Charge(10);
+  EXPECT_EQ(g.current_bytes(), 40u);
+  EXPECT_EQ(g.peak_bytes(), 150u);
+}
+
+TEST(MathTest, BinomialCoefficient) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 2), 10);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(24, 14), 1961256);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(4, 0), 1);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(4, 5), 0);
+}
+
+TEST(MathTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(GeometricMean({1, 1, 1}), 1);
+  EXPECT_NEAR(GeometricMean({2, 8}), 4, 1e-12);
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0);
+}
+
+TEST(MathTest, ForEachCombination) {
+  int count = 0;
+  const uint64_t visited = ForEachCombination(5, 3, [&](const std::vector<int>& c) {
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(visited, 10u);
+}
+
+TEST(MathTest, ForEachCombinationEarlyStop) {
+  const uint64_t visited = ForEachCombination(
+      6, 2, [&](const std::vector<int>&) { return false; });
+  EXPECT_EQ(visited, 1u);
+}
+
+}  // namespace
+}  // namespace sdp

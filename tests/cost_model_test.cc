@@ -1,0 +1,188 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "common/arena.h"
+#include "cost/cardinality.h"
+#include "query/topology.h"
+#include "stats/column_stats.h"
+
+namespace sdp {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)),
+        graph_(MakeStarGraph(catalog_, {0, 1, 2, 3, 4})),
+        cost_(catalog_, stats_, graph_) {}
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+  JoinGraph graph_;
+  CostModel cost_;
+};
+
+TEST_F(CostModelTest, BaseProperties) {
+  for (int r = 0; r < graph_.num_relations(); ++r) {
+    EXPECT_DOUBLE_EQ(
+        cost_.BaseRows(r),
+        static_cast<double>(catalog_.table(graph_.table_id(r)).row_count));
+    EXPECT_GE(cost_.BasePages(r), 1);
+    EXPECT_GT(cost_.SeqScanCost(r), 0);
+    // Index scans cost more than sequential scans on the same relation.
+    EXPECT_GT(cost_.IndexScanCost(r), cost_.SeqScanCost(r));
+  }
+}
+
+TEST_F(CostModelTest, SeqScanScalesWithRows) {
+  // Larger relations cost more to scan.
+  int big = 0, small = 0;
+  for (int r = 1; r < graph_.num_relations(); ++r) {
+    if (cost_.BaseRows(r) > cost_.BaseRows(big)) big = r;
+    if (cost_.BaseRows(r) < cost_.BaseRows(small)) small = r;
+  }
+  if (cost_.BaseRows(big) > cost_.BaseRows(small)) {
+    EXPECT_GT(cost_.SeqScanCost(big), cost_.SeqScanCost(small));
+  }
+}
+
+TEST_F(CostModelTest, EdgeSelectivityInUnitRange) {
+  for (size_t e = 0; e < graph_.edges().size(); ++e) {
+    const double sel = cost_.EdgeSelectivity(static_cast<int>(e));
+    EXPECT_GT(sel, 0);
+    EXPECT_LE(sel, 1);
+  }
+}
+
+TEST_F(CostModelTest, HashJoinPrefersSmallBuildSide) {
+  JoinCostInput small_build;
+  small_build.outer_rows = 1e6;
+  small_build.outer_width = 100;
+  small_build.inner_rows = 100;
+  small_build.inner_width = 100;
+  small_build.out_rows = 1000;
+  JoinCostInput big_build = small_build;
+  std::swap(big_build.outer_rows, big_build.inner_rows);
+  EXPECT_LT(cost_.HashJoinCost(small_build), cost_.HashJoinCost(big_build));
+}
+
+TEST_F(CostModelTest, HashJoinSpillsBeyondWorkMem) {
+  JoinCostInput in;
+  in.outer_rows = 1000;
+  in.outer_width = 100;
+  in.inner_width = 100;
+  in.out_rows = 1000;
+  in.inner_rows = 1000;  // 100 KB: fits in 1 MB work_mem.
+  const double in_memory = cost_.HashJoinCost(in);
+  in.inner_rows = 100000;  // 10 MB: spills.
+  const double spilled = cost_.HashJoinCost(in);
+  // Spill adds I/O beyond the pure CPU scaling (100x rows).
+  EXPECT_GT(spilled, in_memory * 100);
+}
+
+TEST_F(CostModelTest, SortCostMonotoneAndExternalBeyondWorkMem) {
+  EXPECT_LT(cost_.SortCost(100, 100), cost_.SortCost(1000, 100));
+  // External sort penalty: same row count, widths straddling work_mem.
+  const double internal = cost_.SortCost(5000, 100);    // 0.5 MB
+  const double external = cost_.SortCost(5000, 10000);  // 50 MB
+  EXPECT_GT(external, internal * 2);
+}
+
+TEST_F(CostModelTest, IndexNestLoopBeatsHashForSmallOuter) {
+  // Find a spoke edge; inner = the spoke (indexed on its join column).
+  const int edge = 0;
+  const JoinEdge& e = graph_.edges()[edge];
+  const int spoke = e.left.rel == 0 ? e.right.rel : e.left.rel;
+  const double inl =
+      cost_.IndexNestLoopCost(/*outer_cost=*/10, /*outer_rows=*/5, spoke,
+                              edge, /*out_rows=*/5);
+  JoinCostInput h;
+  h.outer_cost = 10;
+  h.outer_rows = 5;
+  h.outer_width = 100;
+  h.inner_cost = cost_.SeqScanCost(spoke);
+  h.inner_rows = cost_.BaseRows(spoke);
+  h.inner_width = cost_.RowWidth(RelSet::Single(spoke));
+  h.out_rows = 5;
+  if (cost_.BaseRows(spoke) > 10000) {
+    EXPECT_LT(inl, cost_.HashJoinCost(h));
+  }
+}
+
+TEST_F(CostModelTest, RowWidthAdds) {
+  const double w0 = cost_.RowWidth(RelSet::Single(0));
+  const double w1 = cost_.RowWidth(RelSet::Single(1));
+  EXPECT_DOUBLE_EQ(cost_.RowWidth(RelSet::Single(0).With(1)), w0 + w1);
+}
+
+TEST_F(CostModelTest, NestLoopMoreExpensiveThanHashOnBigInputs) {
+  JoinCostInput in;
+  in.outer_rows = 10000;
+  in.outer_width = 100;
+  in.inner_rows = 10000;
+  in.inner_width = 100;
+  in.out_rows = 10000;
+  EXPECT_GT(cost_.NestLoopCost(in), cost_.HashJoinCost(in));
+}
+
+class CardinalityTest : public CostModelTest {};
+
+TEST_F(CardinalityTest, SingleRelation) {
+  CardinalityEstimator card(graph_, cost_, nullptr);
+  EXPECT_DOUBLE_EQ(card.Rows(RelSet::Single(2)), cost_.BaseRows(2));
+  EXPECT_DOUBLE_EQ(card.Selectivity(RelSet::Single(2)), 1.0);
+}
+
+TEST_F(CardinalityTest, PairJoinFormula) {
+  CardinalityEstimator card(graph_, cost_, nullptr);
+  const RelSet pair = RelSet::Single(0).With(1);
+  const std::vector<int> edges = graph_.InternalEdges(pair);
+  ASSERT_EQ(edges.size(), 1u);
+  const double expected = std::max(
+      1.0, cost_.BaseRows(0) * cost_.BaseRows(1) *
+               cost_.EdgeSelectivity(edges[0]));
+  EXPECT_DOUBLE_EQ(card.Rows(pair), expected);
+}
+
+TEST_F(CardinalityTest, SelectivityIsRowsOverCrossProduct) {
+  CardinalityEstimator card(graph_, cost_, nullptr);
+  const RelSet s = RelSet::Single(0).With(1).With(3);
+  const double cross = cost_.BaseRows(0) * cost_.BaseRows(1) *
+                       cost_.BaseRows(3);
+  EXPECT_NEAR(card.Rows(s) / cross, card.Selectivity(s),
+              card.Selectivity(s) * 1e-9);
+}
+
+TEST_F(CardinalityTest, CachingIsConsistentAndCharged) {
+  MemoryGauge gauge;
+  {
+    CardinalityEstimator card(graph_, cost_, &gauge);
+    const RelSet s = RelSet::Single(0).With(2).With(4);
+    const double first = card.Rows(s);
+    const double second = card.Rows(s);
+    EXPECT_DOUBLE_EQ(first, second);
+    EXPECT_EQ(card.cache_entries(), 1u);
+    EXPECT_GT(gauge.current_bytes(), 0u);
+  }
+  EXPECT_EQ(gauge.current_bytes(), 0u);
+}
+
+TEST_F(CardinalityTest, SetFunctionIndependentOfBuildOrder) {
+  // Rows(S) depends only on S -- the invariant that makes plan-cost ratios
+  // comparable across enumeration strategies.
+  CardinalityEstimator a(graph_, cost_, nullptr);
+  CardinalityEstimator b(graph_, cost_, nullptr);
+  const RelSet s = RelSet::FirstN(4);
+  // Warm caches in different orders.
+  a.Rows(RelSet::Single(0).With(1));
+  a.Rows(s);
+  b.Rows(RelSet::Single(2).With(3).With(0));
+  b.Rows(s);
+  EXPECT_DOUBLE_EQ(a.Rows(s), b.Rows(s));
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,98 @@
+// Cross-validation of the size-driven enumerator (DPsize) against the
+// independent subset-driven enumeration (DPsub): both are exhaustive, so
+// they must find the identical optimum on every query.  Any divergence
+// means one of them misses join pairs.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "optimizer/dp.h"
+#include "query/topology.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+class DpCrossCheckTest : public ::testing::Test {
+ protected:
+  DpCrossCheckTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(DpCrossCheckTest, IdenticalOptimaAcrossTopologies) {
+  for (Topology t : {Topology::kChain, Topology::kStar, Topology::kStarChain,
+                     Topology::kCycle, Topology::kClique}) {
+    const int n = t == Topology::kClique ? 7 : 9;
+    WorkloadSpec spec;
+    spec.topology = t;
+    spec.num_relations = n;
+    spec.num_instances = 4;
+    spec.seed = 55;
+    for (const Query& q : GenerateWorkload(catalog_, spec)) {
+      CostModel cost(catalog_, stats_, q.graph);
+      const OptimizeResult size_driven = OptimizeDP(q, cost);
+      const OptimizeResult subset_driven = OptimizeDPSub(q, cost);
+      ASSERT_TRUE(size_driven.feasible && subset_driven.feasible);
+      EXPECT_NEAR(size_driven.cost, subset_driven.cost,
+                  size_driven.cost * 1e-12)
+          << TopologyName(t);
+      // Same number of distinct JCRs entered the memo.
+      EXPECT_EQ(size_driven.counters.jcrs_created,
+                subset_driven.counters.jcrs_created)
+          << TopologyName(t);
+    }
+  }
+}
+
+TEST_F(DpCrossCheckTest, IdenticalOptimaOnOrderedQueries) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStarChain;
+  spec.num_relations = 9;
+  spec.num_instances = 5;
+  spec.ordered = true;
+  spec.seed = 56;
+  for (const Query& q : GenerateWorkload(catalog_, spec)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult a = OptimizeDP(q, cost);
+    const OptimizeResult b = OptimizeDPSub(q, cost);
+    ASSERT_TRUE(a.feasible && b.feasible);
+    EXPECT_NEAR(a.cost, b.cost, a.cost * 1e-12);
+  }
+}
+
+TEST_F(DpCrossCheckTest, IdenticalOptimaWithFilters) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStar;
+  spec.num_relations = 8;
+  spec.num_instances = 3;
+  spec.seed = 57;
+  for (Query q : GenerateWorkload(catalog_, spec)) {
+    q.filters.push_back(FilterPredicate{ColumnRef{1, 0}, CompareOp::kLt, 900});
+    q.filters.push_back(FilterPredicate{ColumnRef{0, 2}, CompareOp::kGe, 10});
+    CostModel cost(catalog_, stats_, q.graph, CostParams(), q.filters);
+    const OptimizeResult a = OptimizeDP(q, cost);
+    const OptimizeResult b = OptimizeDPSub(q, cost);
+    ASSERT_TRUE(a.feasible && b.feasible);
+    EXPECT_NEAR(a.cost, b.cost, a.cost * 1e-12);
+  }
+}
+
+TEST_F(DpCrossCheckTest, DPSubRespectsBudget) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStar;
+  spec.num_relations = 12;
+  spec.num_instances = 1;
+  const Query q = GenerateWorkload(catalog_, spec).front();
+  CostModel cost(catalog_, stats_, q.graph);
+  OptimizerOptions tiny;
+  tiny.memory_budget_bytes = 64 * 1024;
+  const OptimizeResult r = OptimizeDPSub(q, cost, tiny);
+  EXPECT_FALSE(r.feasible);
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,221 @@
+// Direct tests of the enumerator internals: ordering space, leaf
+// installation, join emission, finalization, and failure injection (budget
+// aborts at many thresholds must leave consistent state).
+#include "optimizer/enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/catalog.h"
+#include "core/sdp.h"
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "optimizer/dp.h"
+#include "optimizer/memo.h"
+#include "optimizer/plan_pool.h"
+#include "query/topology.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+class EnumeratorTest : public ::testing::Test {
+ protected:
+  EnumeratorTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  Query StarQuery(int n) {
+    WorkloadSpec spec;
+    spec.topology = Topology::kStar;
+    spec.num_relations = n;
+    spec.num_instances = 1;
+    spec.seed = 44;
+    return GenerateWorkload(catalog_, spec).front();
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(EnumeratorTest, OrderingSpaceMapsJoinColumns) {
+  const Query q = StarQuery(5);
+  OrderingSpace space(q.graph, std::nullopt);
+  // Every edge endpoint maps to its equivalence class.
+  for (const JoinEdge& e : q.graph.edges()) {
+    EXPECT_EQ(space.IdFor(e.left), q.graph.EquivClass(e.left));
+    EXPECT_EQ(space.IdFor(e.left), space.IdFor(e.right));
+    EXPECT_GE(space.IdFor(e.left), 0);
+  }
+  // Non-join columns are uninteresting.
+  EXPECT_EQ(space.IdFor(ColumnRef{0, 23}), -1);
+  EXPECT_EQ(space.RequiredId(), -1);
+}
+
+TEST_F(EnumeratorTest, OrderingSpaceExtraIdForNonJoinOrderBy) {
+  const Query q = StarQuery(5);
+  // Find a column that participates in no join.
+  ColumnRef non_join{2, -1};
+  for (int c = 0; c < 24; ++c) {
+    if (q.graph.EquivClass(ColumnRef{2, c}) < 0) {
+      non_join.col = c;
+      break;
+    }
+  }
+  ASSERT_GE(non_join.col, 0);
+  OrderingSpace space(q.graph, non_join);
+  EXPECT_EQ(space.IdFor(non_join), q.graph.num_equiv_classes());
+  EXPECT_EQ(space.RequiredId(), q.graph.num_equiv_classes());
+}
+
+TEST_F(EnumeratorTest, LeafInstallationProducesScans) {
+  const Query q = StarQuery(5);
+  CostModel cost(catalog_, stats_, q.graph);
+  MemoryGauge gauge;
+  PlanPool pool(&gauge);
+  Memo memo(&gauge);
+  CardinalityEstimator card(q.graph, cost, &gauge);
+  OrderingSpace space(q.graph, std::nullopt);
+  SearchCounters counters;
+  JoinEnumerator enumerator(q.graph, cost, space, &card, &memo, &pool, &gauge,
+                            OptimizerOptions{}, &counters);
+  enumerator.InstallBaseRelationLeaves();
+  EXPECT_EQ(memo.num_entries(), 5u);
+  for (int r = 0; r < 5; ++r) {
+    MemoEntry* e = memo.Find(RelSet::Single(r));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->unit_count, 1);
+    EXPECT_DOUBLE_EQ(e->rows, cost.BaseRows(r));
+    ASSERT_FALSE(e->plans.empty());
+    const PlanNode* cheapest = e->CheapestPlan();
+    EXPECT_EQ(cheapest->kind, PlanKind::kSeqScan);
+    // Spokes join on their indexed column: an ordered index-scan plan is
+    // retained alongside when its order is a join class.
+    const int idx = cost.IndexedColumn(r);
+    if (space.IdFor(ColumnRef{r, idx}) >= 0) {
+      EXPECT_NE(e->PlanWithOrdering(space.IdFor(ColumnRef{r, idx})), nullptr);
+    }
+  }
+}
+
+TEST_F(EnumeratorTest, RunLevelBuildsExactlyConnectedPairs) {
+  const Query q = StarQuery(5);  // Hub 0 + 4 spokes.
+  CostModel cost(catalog_, stats_, q.graph);
+  MemoryGauge gauge;
+  PlanPool pool(&gauge);
+  Memo memo(&gauge);
+  CardinalityEstimator card(q.graph, cost, &gauge);
+  OrderingSpace space(q.graph, std::nullopt);
+  SearchCounters counters;
+  JoinEnumerator enumerator(q.graph, cost, space, &card, &memo, &pool, &gauge,
+                            OptimizerOptions{}, &counters);
+  enumerator.InstallBaseRelationLeaves();
+  ASSERT_TRUE(enumerator.RunLevel(2));
+  // Level 2 of a star: exactly the 4 hub-spoke pairs (no spoke-spoke).
+  EXPECT_EQ(memo.EntriesWithUnitCount(2).size(), 4u);
+  for (MemoEntry* e : memo.EntriesWithUnitCount(2)) {
+    EXPECT_TRUE(e->rels.Contains(0));
+  }
+  ASSERT_TRUE(enumerator.RunLevel(3));
+  // Level 3: hub + any 2 of 4 spokes = C(4,2) = 6.
+  EXPECT_EQ(memo.EntriesWithUnitCount(3).size(), 6u);
+}
+
+TEST_F(EnumeratorTest, EmitJoinsIntoScratchEntry) {
+  const Query q = StarQuery(4);
+  CostModel cost(catalog_, stats_, q.graph);
+  MemoryGauge gauge;
+  PlanPool pool(&gauge);
+  Memo memo(&gauge);
+  CardinalityEstimator card(q.graph, cost, &gauge);
+  OrderingSpace space(q.graph, std::nullopt);
+  SearchCounters counters;
+  JoinEnumerator enumerator(q.graph, cost, space, &card, &memo, &pool, &gauge,
+                            OptimizerOptions{}, &counters);
+  enumerator.InstallBaseRelationLeaves();
+
+  MemoEntry scratch;
+  scratch.rels = RelSet::Single(0).With(1);
+  scratch.unit_count = 2;
+  scratch.rows = card.Rows(scratch.rels);
+  scratch.sel = card.Selectivity(scratch.rels);
+  enumerator.EmitJoinsInto(&scratch, memo.Find(RelSet::Single(0)),
+                           memo.Find(RelSet::Single(1)));
+  ASSERT_FALSE(scratch.plans.empty());
+  const PlanNode* best = scratch.CheapestPlan();
+  EXPECT_TRUE(best->IsJoin());
+  EXPECT_EQ(best->rels, scratch.rels);
+  EXPECT_EQ(ValidatePlanTree(best), "");
+  // Scratch entries never land in the memo.
+  EXPECT_EQ(memo.Find(scratch.rels), nullptr);
+}
+
+TEST_F(EnumeratorTest, BudgetAbortSweepLeavesConsistentResults) {
+  // Failure injection: abort the optimization at many different budget
+  // thresholds.  Every run must either fail cleanly (no plan, infinite
+  // cost) or succeed with exactly the unconstrained optimum -- never a
+  // silently degraded plan.
+  const Query q = StarQuery(9);
+  CostModel cost(catalog_, stats_, q.graph);
+  const OptimizeResult reference = OptimizeDP(q, cost);
+  ASSERT_TRUE(reference.feasible);
+  int failures = 0, successes = 0;
+  for (size_t budget = 8 * 1024; budget <= 4096 * 1024; budget *= 2) {
+    OptimizerOptions opts;
+    opts.memory_budget_bytes = budget;
+    const OptimizeResult r = OptimizeDP(q, cost, opts);
+    if (r.feasible) {
+      ++successes;
+      EXPECT_NEAR(r.cost, reference.cost, reference.cost * 1e-12);
+      EXPECT_EQ(ValidatePlanTree(r.plan), "");
+    } else {
+      ++failures;
+      EXPECT_EQ(r.plan, nullptr);
+      EXPECT_TRUE(std::isinf(r.cost));
+    }
+  }
+  // The sweep crosses the feasibility boundary.
+  EXPECT_GT(failures, 0);
+  EXPECT_GT(successes, 0);
+}
+
+TEST_F(EnumeratorTest, BudgetAbortSweepForSDPAndIDP) {
+  const Query q = StarQuery(10);
+  CostModel cost(catalog_, stats_, q.graph);
+  for (size_t budget = 16 * 1024; budget <= 1024 * 1024; budget *= 4) {
+    OptimizerOptions opts;
+    opts.memory_budget_bytes = budget;
+    const OptimizeResult sdp = OptimizeSDP(q, cost, SdpConfig{}, opts);
+    if (sdp.feasible) {
+      EXPECT_EQ(ValidatePlanTree(sdp.plan), "");
+    } else {
+      EXPECT_EQ(sdp.plan, nullptr);
+    }
+  }
+}
+
+TEST_F(EnumeratorTest, PlansCostedMonotoneInLevels) {
+  const Query q = StarQuery(7);
+  CostModel cost(catalog_, stats_, q.graph);
+  MemoryGauge gauge;
+  PlanPool pool(&gauge);
+  Memo memo(&gauge);
+  CardinalityEstimator card(q.graph, cost, &gauge);
+  OrderingSpace space(q.graph, std::nullopt);
+  SearchCounters counters;
+  JoinEnumerator enumerator(q.graph, cost, space, &card, &memo, &pool, &gauge,
+                            OptimizerOptions{}, &counters);
+  enumerator.InstallBaseRelationLeaves();
+  uint64_t prev = counters.plans_costed;
+  for (int level = 2; level <= 7; ++level) {
+    ASSERT_TRUE(enumerator.RunLevel(level));
+    EXPECT_GT(counters.plans_costed, prev) << "level " << level;
+    prev = counters.plans_costed;
+  }
+  EXPECT_NE(memo.Find(q.graph.AllRelations()), nullptr);
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,63 @@
+#include "query/graphviz.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "optimizer/dp.h"
+#include "query/topology.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+TEST(GraphvizTest, JoinGraphDotContainsNodesAndEdges) {
+  const Catalog catalog = MakeSyntheticCatalog(SchemaConfig{});
+  const JoinGraph g = MakeStarGraph(catalog, {0, 1, 2, 3});
+  const std::string dot = JoinGraphToDot(g, &catalog);
+  EXPECT_NE(dot.find("graph join_graph {"), std::string::npos);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NE(dot.find("r" + std::to_string(r) + " [label="),
+              std::string::npos);
+  }
+  EXPECT_NE(dot.find("r0 -- r1"), std::string::npos);
+  // The hub is highlighted.
+  EXPECT_NE(dot.find("lightcoral"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(GraphvizTest, JoinGraphDotWithoutCatalog) {
+  const Catalog catalog = MakeSyntheticCatalog(SchemaConfig{});
+  const JoinGraph g = MakeChainGraph(catalog, {0, 1, 2});
+  const std::string dot = JoinGraphToDot(g, nullptr);
+  EXPECT_NE(dot.find("r2"), std::string::npos);
+  // Chains have no hubs: no highlight.
+  EXPECT_EQ(dot.find("lightcoral"), std::string::npos);
+}
+
+TEST(GraphvizTest, PlanDotRendersTree) {
+  const Catalog catalog = MakeSyntheticCatalog(SchemaConfig{});
+  const StatsCatalog stats = SynthesizeStats(catalog);
+  WorkloadSpec spec;
+  spec.topology = Topology::kChain;
+  spec.num_relations = 4;
+  spec.num_instances = 1;
+  const Query q = GenerateWorkload(catalog, spec).front();
+  CostModel cost(catalog, stats, q.graph);
+  const OptimizeResult r = OptimizeDP(q, cost);
+  ASSERT_TRUE(r.feasible);
+  const std::string dot = PlanToDot(*r.plan);
+  EXPECT_NE(dot.find("digraph plan {"), std::string::npos);
+  EXPECT_NE(dot.find("SeqScan"), std::string::npos);
+  EXPECT_NE(dot.find("outer"), std::string::npos);
+  // One box per plan node.
+  size_t boxes = 0;
+  for (size_t pos = dot.find("shape=box"); pos != std::string::npos;
+       pos = dot.find("shape=box", pos + 1)) {
+    ++boxes;
+  }
+  EXPECT_EQ(static_cast<int>(boxes), r.plan->TreeSize());
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,120 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  HarnessTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(HarnessTest, DPReferenceExperiment) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStarChain;
+  spec.num_relations = 10;
+  spec.num_instances = 5;
+  const std::vector<Query> queries = GenerateWorkload(catalog_, spec);
+  const std::vector<AlgorithmSpec> algos = {
+      AlgorithmSpec::DP(), AlgorithmSpec::IDP(4), AlgorithmSpec::SDP()};
+  const ExperimentReport report = RunExperiment(
+      queries, catalog_, stats_, algos, OptimizerOptions{}, spec.Name());
+
+  EXPECT_EQ(report.reference_name, "DP");
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  const AlgorithmOutcome& dp = report.outcomes[0];
+  EXPECT_EQ(dp.feasible, 5);
+  // DP against itself is 100% ideal.
+  EXPECT_DOUBLE_EQ(dp.quality.Percent(QualityClass::kIdeal), 100);
+  EXPECT_DOUBLE_EQ(dp.quality.Rho(), 1);
+  // Heuristics are never better than the reference.
+  for (const AlgorithmOutcome& o : report.outcomes) {
+    EXPECT_GE(o.quality.worst, 1.0 - 1e-9);
+    EXPECT_GT(o.AvgPlansCosted(), 0);
+    EXPECT_GT(o.AvgPeakMb(), 0);
+  }
+}
+
+TEST_F(HarnessTest, FallsBackToSDPReference) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStar;
+  spec.num_relations = 14;
+  spec.num_instances = 2;
+  const std::vector<Query> queries = GenerateWorkload(catalog_, spec);
+  OptimizerOptions budget;
+  budget.memory_budget_bytes = 4ull << 20;  // DP cannot fit.
+  const std::vector<AlgorithmSpec> algos = {AlgorithmSpec::DP(),
+                                            AlgorithmSpec::SDP()};
+  const ExperimentReport report =
+      RunExperiment(queries, catalog_, stats_, algos, budget, spec.Name());
+  EXPECT_EQ(report.reference_name, "SDP");
+  EXPECT_EQ(report.outcomes[0].feasible, 0);
+  EXPECT_EQ(report.outcomes[1].feasible, 2);
+  EXPECT_DOUBLE_EQ(report.outcomes[1].quality.Rho(), 1);
+}
+
+TEST_F(HarnessTest, TablePrintingIncludesAllAlgorithms) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kChain;
+  spec.num_relations = 6;
+  spec.num_instances = 2;
+  const std::vector<Query> queries = GenerateWorkload(catalog_, spec);
+  const std::vector<AlgorithmSpec> algos = {
+      AlgorithmSpec::DP(), AlgorithmSpec::IDP(7), AlgorithmSpec::SDP()};
+  const ExperimentReport report = RunExperiment(
+      queries, catalog_, stats_, algos, OptimizerOptions{}, spec.Name());
+  std::ostringstream quality, overhead;
+  PrintQualityTable(quality, report);
+  PrintOverheadTable(overhead, report);
+  for (const char* name : {"DP", "IDP(7)", "SDP"}) {
+    EXPECT_NE(quality.str().find(name), std::string::npos);
+    EXPECT_NE(overhead.str().find(name), std::string::npos);
+  }
+  EXPECT_NE(quality.str().find("rho"), std::string::npos);
+  EXPECT_NE(overhead.str().find("Memory"), std::string::npos);
+}
+
+TEST_F(HarnessTest, InfeasibleRowsPrintStars) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStar;
+  spec.num_relations = 14;
+  spec.num_instances = 1;
+  const std::vector<Query> queries = GenerateWorkload(catalog_, spec);
+  OptimizerOptions budget;
+  budget.memory_budget_bytes = 1 << 20;
+  const std::vector<AlgorithmSpec> algos = {AlgorithmSpec::DP(),
+                                            AlgorithmSpec::SDP()};
+  const ExperimentReport report =
+      RunExperiment(queries, catalog_, stats_, algos, budget, spec.Name());
+  std::ostringstream os;
+  PrintQualityTable(os, report);
+  EXPECT_NE(os.str().find("*"), std::string::npos);
+}
+
+TEST_F(HarnessTest, SDPWithNamesCustomConfig) {
+  SdpConfig global;
+  global.localized = false;
+  const AlgorithmSpec spec = AlgorithmSpec::SDPWith(global, "SDP/Global");
+  EXPECT_EQ(spec.name, "SDP/Global");
+  WorkloadSpec w;
+  w.topology = Topology::kStarChain;
+  w.num_relations = 9;
+  w.num_instances = 1;
+  const Query q = GenerateWorkload(catalog_, w).front();
+  CostModel cost(catalog_, stats_, q.graph);
+  const OptimizeResult r = RunAlgorithm(spec, q, cost, OptimizerOptions{});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.algorithm, "SDP/Global");
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,150 @@
+#include "optimizer/heuristic_baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "core/sdp.h"
+#include "cost/cost_model.h"
+#include "optimizer/dp.h"
+#include "query/topology.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  std::vector<Query> Workload(Topology t, int n, int instances,
+                              uint64_t seed = 61) {
+    WorkloadSpec spec;
+    spec.topology = t;
+    spec.num_relations = n;
+    spec.num_instances = instances;
+    spec.seed = seed;
+    return GenerateWorkload(catalog_, spec);
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(BaselinesTest, GOOProducesValidPlansBoundedByDP) {
+  for (Topology t : {Topology::kChain, Topology::kStar, Topology::kStarChain}) {
+    for (const Query& q : Workload(t, 10, 3)) {
+      CostModel cost(catalog_, stats_, q.graph);
+      const OptimizeResult dp = OptimizeDP(q, cost);
+      const OptimizeResult goo = OptimizeGOO(q, cost);
+      ASSERT_TRUE(dp.feasible && goo.feasible);
+      EXPECT_EQ(ValidatePlanTree(goo.plan), "");
+      EXPECT_EQ(goo.plan->rels, q.graph.AllRelations());
+      EXPECT_GE(goo.cost, dp.cost - dp.cost * 1e-9);
+      // GOO's effort is tiny compared to DP's.
+      EXPECT_LT(goo.counters.plans_costed, dp.counters.plans_costed / 5);
+    }
+  }
+}
+
+TEST_F(BaselinesTest, GOOScalesToLargeStars) {
+  Catalog big = MakeSyntheticCatalog(ExtendedSchemaConfig(50));
+  StatsCatalog stats = SynthesizeStats(big);
+  WorkloadSpec spec;
+  spec.topology = Topology::kStar;
+  spec.num_relations = 40;
+  spec.num_instances = 1;
+  const Query q = GenerateWorkload(big, spec).front();
+  CostModel cost(big, stats, q.graph);
+  const OptimizeResult r = OptimizeGOO(q, cost);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(ValidatePlanTree(r.plan), "");
+  EXPECT_LT(r.peak_memory_mb, 8);
+}
+
+TEST_F(BaselinesTest, RandomizedProducesValidPlansBoundedByDP) {
+  for (const Query& q : Workload(Topology::kStarChain, 10, 3)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    const OptimizeResult rnd = OptimizeRandomized(q, cost);
+    ASSERT_TRUE(dp.feasible && rnd.feasible);
+    EXPECT_EQ(ValidatePlanTree(rnd.plan), "");
+    EXPECT_EQ(rnd.plan->rels, q.graph.AllRelations());
+    EXPECT_GE(rnd.cost, dp.cost - dp.cost * 1e-9);
+  }
+}
+
+TEST_F(BaselinesTest, RandomizedIsDeterministicPerSeed) {
+  const Query q = Workload(Topology::kStar, 9, 1).front();
+  CostModel cost(catalog_, stats_, q.graph);
+  RandomizedConfig config;
+  config.seed = 99;
+  const OptimizeResult a = OptimizeRandomized(q, cost, config);
+  const OptimizeResult b = OptimizeRandomized(q, cost, config);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.plan->Shape(), b.plan->Shape());
+}
+
+TEST_F(BaselinesTest, MoreRestartsNeverHurt) {
+  const Query q = Workload(Topology::kStarChain, 11, 1).front();
+  CostModel cost(catalog_, stats_, q.graph);
+  RandomizedConfig few;
+  few.restarts = 1;
+  RandomizedConfig many = few;
+  many.restarts = 12;
+  const OptimizeResult a = OptimizeRandomized(q, cost, few);
+  const OptimizeResult b = OptimizeRandomized(q, cost, many);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_LE(b.cost, a.cost + a.cost * 1e-12);
+}
+
+TEST_F(BaselinesTest, OrderedQueriesDeliverOrdering) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStar;
+  spec.num_relations = 9;
+  spec.num_instances = 2;
+  spec.ordered = true;
+  spec.seed = 15;
+  for (const Query& q : GenerateWorkload(catalog_, spec)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const int eq = q.graph.EquivClass(q.order_by->column);
+    const OptimizeResult goo = OptimizeGOO(q, cost);
+    const OptimizeResult rnd = OptimizeRandomized(q, cost);
+    ASSERT_TRUE(goo.feasible && rnd.feasible);
+    EXPECT_EQ(goo.plan->ordering, eq);
+    EXPECT_EQ(rnd.plan->ordering, eq);
+  }
+}
+
+TEST_F(BaselinesTest, BudgetRespected) {
+  const Query q = Workload(Topology::kStar, 12, 1).front();
+  CostModel cost(catalog_, stats_, q.graph);
+  OptimizerOptions tiny;
+  tiny.max_plans_costed = 10;
+  EXPECT_FALSE(OptimizeGOO(q, cost, tiny).feasible);
+  EXPECT_FALSE(OptimizeRandomized(q, cost, RandomizedConfig{}, tiny).feasible);
+}
+
+TEST_F(BaselinesTest, SDPBeatsOrMatchesCheapBaselinesOnStars) {
+  // The positioning claim: SDP's quality dominates the cheap heuristics on
+  // hub-heavy graphs (that is what the extra search effort buys).
+  double sdp_worse = 0, goo_worse = 0, rnd_worse = 0;
+  int n = 0;
+  for (const Query& q : Workload(Topology::kStar, 12, 5, 77)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    ASSERT_TRUE(dp.feasible);
+    sdp_worse += OptimizeSDP(q, cost).cost / dp.cost;
+    goo_worse += OptimizeGOO(q, cost).cost / dp.cost;
+    rnd_worse += OptimizeRandomized(q, cost).cost / dp.cost;
+    ++n;
+  }
+  EXPECT_LE(sdp_worse / n, goo_worse / n + 1e-9);
+  EXPECT_LE(sdp_worse / n, rnd_worse / n + 1e-9);
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,218 @@
+#include "query/join_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "query/topology.h"
+
+namespace sdp {
+namespace {
+
+JoinGraph SimpleGraph(int n) {
+  std::vector<int> ids(n, 0);
+  return JoinGraph(ids);
+}
+
+TEST(JoinGraphTest, AddEdgeBuildsAdjacency) {
+  JoinGraph g = SimpleGraph(4);
+  g.AddEdge(ColumnRef{0, 1}, ColumnRef{1, 2});
+  g.AddEdge(ColumnRef{1, 3}, ColumnRef{2, 4});
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_EQ(g.Degree(3), 0);
+  EXPECT_TRUE(g.Adjacency(1).Contains(0));
+  EXPECT_TRUE(g.Adjacency(1).Contains(2));
+}
+
+TEST(JoinGraphTest, DuplicateEdgesIgnored) {
+  JoinGraph g = SimpleGraph(3);
+  g.AddEdge(ColumnRef{0, 1}, ColumnRef{1, 2});
+  g.AddEdge(ColumnRef{1, 2}, ColumnRef{0, 1});  // Same edge, flipped.
+  EXPECT_EQ(g.edges().size(), 1u);
+}
+
+TEST(JoinGraphTest, Connectivity) {
+  JoinGraph g = SimpleGraph(5);
+  g.AddEdge(ColumnRef{0, 0}, ColumnRef{1, 0});
+  g.AddEdge(ColumnRef{1, 1}, ColumnRef{2, 0});
+  g.AddEdge(ColumnRef{3, 0}, ColumnRef{4, 0});
+  EXPECT_TRUE(g.IsConnected(RelSet::Single(0).With(1).With(2)));
+  EXPECT_TRUE(g.IsConnected(RelSet::Single(2)));
+  EXPECT_FALSE(g.IsConnected(RelSet::Single(0).With(2)));   // 1 missing.
+  EXPECT_FALSE(g.IsConnected(RelSet::Single(0).With(3)));   // Separate comps.
+  EXPECT_FALSE(g.IsConnected(RelSet()));
+}
+
+TEST(JoinGraphTest, NeighborsAndAdjacency) {
+  JoinGraph g = SimpleGraph(4);
+  g.AddEdge(ColumnRef{0, 0}, ColumnRef{1, 0});
+  g.AddEdge(ColumnRef{1, 1}, ColumnRef{2, 0});
+  g.AddEdge(ColumnRef{2, 1}, ColumnRef{3, 0});
+  EXPECT_EQ(g.Neighbors(RelSet::Single(1)), RelSet::Single(0).With(2));
+  EXPECT_EQ(g.Neighbors(RelSet::Single(0).With(1)), RelSet::Single(2));
+  EXPECT_TRUE(g.AreAdjacent(RelSet::Single(0), RelSet::Single(1)));
+  EXPECT_FALSE(g.AreAdjacent(RelSet::Single(0), RelSet::Single(2).With(3)));
+}
+
+TEST(JoinGraphTest, ConnectingAndInternalEdges) {
+  JoinGraph g = SimpleGraph(4);
+  g.AddEdge(ColumnRef{0, 0}, ColumnRef{1, 0});  // edge 0
+  g.AddEdge(ColumnRef{1, 1}, ColumnRef{2, 0});  // edge 1
+  g.AddEdge(ColumnRef{0, 1}, ColumnRef{2, 1});  // edge 2
+  const RelSet a = RelSet::Single(0).With(1);
+  const RelSet b = RelSet::Single(2);
+  EXPECT_EQ(g.ConnectingEdges(a, b), (std::vector<int>{1, 2}));
+  EXPECT_EQ(g.InternalEdges(a), (std::vector<int>{0}));
+  EXPECT_EQ(g.InternalEdges(g.AllRelations().Without(3)),
+            (std::vector<int>{0, 1, 2}));
+}
+
+TEST(JoinGraphTest, EquivClasses) {
+  JoinGraph g = SimpleGraph(3);
+  g.AddEdge(ColumnRef{0, 5}, ColumnRef{1, 6});
+  g.AddEdge(ColumnRef{1, 6}, ColumnRef{2, 7});  // Shares 1.c6.
+  const int eq0 = g.EquivClass(ColumnRef{0, 5});
+  EXPECT_GE(eq0, 0);
+  EXPECT_EQ(g.EquivClass(ColumnRef{1, 6}), eq0);
+  EXPECT_EQ(g.EquivClass(ColumnRef{2, 7}), eq0);
+  EXPECT_EQ(g.EquivClass(ColumnRef{0, 0}), -1);
+  EXPECT_EQ(g.EquivClassRels(eq0), RelSet::FirstN(3));
+}
+
+TEST(JoinGraphTest, ImpliedEdgesFromSharedColumns) {
+  // R0.a = R1.b and R1.b = R2.c imply R0.a = R2.c (the PostgreSQL rewriter
+  // behaviour the paper relies on, Section 2.1.4).
+  JoinGraph g = SimpleGraph(3);
+  g.AddEdge(ColumnRef{0, 5}, ColumnRef{1, 6});
+  g.AddEdge(ColumnRef{1, 6}, ColumnRef{2, 7});
+  EXPECT_EQ(g.Degree(0), 1);
+  g.AddImpliedEdges();
+  EXPECT_EQ(g.edges().size(), 3u);
+  EXPECT_TRUE(g.Adjacency(0).Contains(2));
+  // Idempotent.
+  g.AddImpliedEdges();
+  EXPECT_EQ(g.edges().size(), 3u);
+}
+
+TEST(JoinGraphTest, ImpliedEdgesCanCreateHubs) {
+  // A 4-chain whose middle column is shared on both sides: closure turns
+  // relation degrees >= 3, creating a hub where there was none.
+  JoinGraph g = SimpleGraph(4);
+  g.AddEdge(ColumnRef{0, 0}, ColumnRef{1, 1});
+  g.AddEdge(ColumnRef{1, 1}, ColumnRef{2, 2});
+  g.AddEdge(ColumnRef{2, 2}, ColumnRef{3, 3});
+  g.AddImpliedEdges();
+  // All four columns are one equivalence class: complete graph.
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(g.Degree(r), 3);
+}
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  TopologyTest() : catalog_(MakeSyntheticCatalog(SchemaConfig{})) {}
+  std::vector<int> Tables(int n) const {
+    std::vector<int> t;
+    for (int i = 0; i < n; ++i) t.push_back(i);
+    return t;
+  }
+  Catalog catalog_;
+};
+
+TEST_F(TopologyTest, ChainShape) {
+  const JoinGraph g = MakeChainGraph(catalog_, Tables(6));
+  EXPECT_EQ(g.edges().size(), 5u);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(2), 2);
+  EXPECT_EQ(g.Degree(5), 1);
+  EXPECT_TRUE(g.IsConnected(g.AllRelations()));
+  // No shared join columns: every column is in a 2-member class.
+  for (int eq = 0; eq < g.num_equiv_classes(); ++eq) {
+    EXPECT_EQ(g.EquivClassMembers(eq).size(), 2u);
+  }
+}
+
+TEST_F(TopologyTest, StarShape) {
+  const JoinGraph g = MakeStarGraph(catalog_, Tables(8));
+  EXPECT_EQ(g.edges().size(), 7u);
+  EXPECT_EQ(g.Degree(0), 7);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(g.Degree(i), 1);
+  // The first spoke edge is index-supported on both sides.
+  const JoinEdge& e = g.edges()[0];
+  const ColumnRef hub_side = e.left.rel == 0 ? e.left : e.right;
+  EXPECT_EQ(hub_side.col, catalog_.table(g.table_id(0)).indexed_column);
+}
+
+TEST_F(TopologyTest, StarSpokesJoinOnIndexedColumns) {
+  const JoinGraph g = MakeStarGraph(catalog_, Tables(8));
+  for (const JoinEdge& e : g.edges()) {
+    const ColumnRef spoke_side = e.left.rel == 0 ? e.right : e.left;
+    EXPECT_EQ(spoke_side.col,
+              catalog_.table(g.table_id(spoke_side.rel)).indexed_column);
+  }
+}
+
+TEST_F(TopologyTest, StarChainShape) {
+  // 15 relations, paper shape: hub + 10 spokes + 4-chain off spoke 10.
+  const JoinGraph g =
+      MakeTopologyGraph(Topology::kStarChain, catalog_, Tables(15));
+  EXPECT_EQ(g.edges().size(), 14u);
+  EXPECT_EQ(g.Degree(0), 10);   // Hub.
+  EXPECT_EQ(g.Degree(10), 2);   // Chain head (paper's R11): hub + next.
+  EXPECT_EQ(g.Degree(14), 1);   // Chain tail.
+  EXPECT_TRUE(g.IsConnected(g.AllRelations()));
+}
+
+TEST_F(TopologyTest, CycleShape) {
+  const JoinGraph g = MakeCycleGraph(catalog_, Tables(6));
+  EXPECT_EQ(g.edges().size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(g.Degree(i), 2);
+}
+
+TEST_F(TopologyTest, SnowflakeShape) {
+  // 9 relations, 4 first-level spokes: hub degree 4, spokes grow chains.
+  const JoinGraph g = MakeSnowflakeGraph(catalog_, Tables(9), 4);
+  EXPECT_EQ(g.edges().size(), 8u);
+  EXPECT_EQ(g.Degree(0), 4);
+  EXPECT_TRUE(g.IsConnected(g.AllRelations()));
+  // Every non-hub position has degree 1..3 (spoke with up to two chain
+  // children plus the hub edge).
+  for (int r = 1; r < 9; ++r) {
+    EXPECT_GE(g.Degree(r), 1);
+    EXPECT_LE(g.Degree(r), 3);
+  }
+  // Dispatcher builds it too, without accidental shared join columns.
+  JoinGraph via = MakeTopologyGraph(Topology::kSnowflake, catalog_, Tables(9));
+  const size_t before = via.edges().size();
+  via.AddImpliedEdges();
+  EXPECT_EQ(via.edges().size(), before);
+}
+
+TEST_F(TopologyTest, CliqueShape) {
+  const JoinGraph g = MakeCliqueGraph(catalog_, Tables(5));
+  EXPECT_EQ(g.edges().size(), 10u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(g.Degree(i), 4);
+}
+
+TEST_F(TopologyTest, NoAccidentalSharedJoinColumns) {
+  // Distinct edges must use distinct columns, otherwise implied edges would
+  // silently change the topology.
+  for (Topology t : {Topology::kChain, Topology::kStar, Topology::kStarChain,
+                     Topology::kCycle}) {
+    JoinGraph g = MakeTopologyGraph(t, catalog_, Tables(10));
+    const size_t before = g.edges().size();
+    g.AddImpliedEdges();
+    EXPECT_EQ(g.edges().size(), before) << TopologyName(t);
+  }
+}
+
+TEST_F(TopologyTest, DeterministicConstruction) {
+  const JoinGraph a = MakeStarGraph(catalog_, Tables(10));
+  const JoinGraph b = MakeStarGraph(catalog_, Tables(10));
+  ASSERT_EQ(a.edges().size(), b.edges().size());
+  for (size_t i = 0; i < a.edges().size(); ++i) {
+    EXPECT_EQ(a.edges()[i].left, b.edges()[i].left);
+    EXPECT_EQ(a.edges()[i].right, b.edges()[i].right);
+  }
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,144 @@
+#include "optimizer/memo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/arena.h"
+
+namespace sdp {
+namespace {
+
+PlanNode* NewPlan(Arena* arena, double cost, int ordering) {
+  PlanNode* p = arena->New<PlanNode>();
+  p->kind = PlanKind::kSeqScan;
+  p->rel = 0;
+  p->rels = RelSet::Single(0);
+  p->rows = 10;
+  p->cost = cost;
+  p->ordering = ordering;
+  return p;
+}
+
+TEST(MemoEntryTest, CheapestPlan) {
+  Arena arena;
+  MemoEntry e;
+  EXPECT_EQ(e.CheapestPlan(), nullptr);
+  EXPECT_TRUE(std::isinf(e.CheapestCost()));
+  e.AddPlan(NewPlan(&arena, 100, -1));
+  e.AddPlan(NewPlan(&arena, 50, 3));
+  EXPECT_DOUBLE_EQ(e.CheapestCost(), 50);
+  EXPECT_EQ(e.CheapestPlan()->ordering, 3);
+}
+
+TEST(MemoEntryTest, DominanceUnorderedVsOrdered) {
+  Arena arena;
+  MemoEntry e;
+  // Ordered plan at cost 50 serves unordered uses too: a later unordered
+  // plan at cost 60 is dominated.
+  EXPECT_TRUE(e.AddPlan(NewPlan(&arena, 50, 3)));
+  EXPECT_FALSE(e.WouldImprove(-1, 60));
+  EXPECT_FALSE(e.AddPlan(NewPlan(&arena, 60, -1)));
+  // A cheaper unordered plan is kept, but does not evict the ordered one.
+  EXPECT_TRUE(e.AddPlan(NewPlan(&arena, 40, -1)));
+  EXPECT_EQ(e.plans.size(), 2u);
+  // A still-cheaper plan with the same ordering evicts the old ordered plan
+  // AND the unordered one (it serves both groups at lower cost).
+  EXPECT_TRUE(e.AddPlan(NewPlan(&arena, 30, 3)));
+  ASSERT_EQ(e.plans.size(), 1u);
+  EXPECT_DOUBLE_EQ(e.PlanWithOrdering(3)->cost, 30);
+  EXPECT_DOUBLE_EQ(e.CheapestCost(), 30);
+}
+
+TEST(MemoEntryTest, CheapUnorderedEvictsCostlierOrdered) {
+  Arena arena;
+  MemoEntry e;
+  EXPECT_TRUE(e.AddPlan(NewPlan(&arena, 100, 2)));
+  // Unordered at 80: the ordered plan at 100 is NOT dominated (it provides
+  // an order the unordered one lacks).
+  EXPECT_TRUE(e.AddPlan(NewPlan(&arena, 80, -1)));
+  EXPECT_EQ(e.plans.size(), 2u);
+  // Unordered at 100 would be dominated by the 80 one.
+  EXPECT_FALSE(e.WouldImprove(-1, 100));
+  // Ordered-2 at 70 dominates both the old ordered-2 and the unordered-80?
+  // It dominates ordered-2 (same ordering) but not unordered... it does:
+  // an ordered plan serves the unordered group when it costs less.
+  EXPECT_TRUE(e.AddPlan(NewPlan(&arena, 70, 2)));
+  ASSERT_EQ(e.plans.size(), 1u);
+  EXPECT_DOUBLE_EQ(e.plans[0].plan->cost, 70);
+}
+
+TEST(MemoEntryTest, DistinctOrderingsCoexist) {
+  Arena arena;
+  MemoEntry e;
+  EXPECT_TRUE(e.AddPlan(NewPlan(&arena, 50, 1)));
+  EXPECT_TRUE(e.AddPlan(NewPlan(&arena, 60, 2)));
+  EXPECT_EQ(e.plans.size(), 2u);
+  EXPECT_NE(e.PlanWithOrdering(1), nullptr);
+  EXPECT_NE(e.PlanWithOrdering(2), nullptr);
+  EXPECT_EQ(e.PlanWithOrdering(7), nullptr);
+}
+
+TEST(MemoTest, GetOrCreateAndFind) {
+  MemoryGauge gauge;
+  Memo memo(&gauge);
+  const RelSet s = RelSet::Single(1).With(3);
+  EXPECT_EQ(memo.Find(s), nullptr);
+  bool created = false;
+  MemoEntry* e = memo.GetOrCreate(s, 2, 1000, 0.5, &created);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(e->rels, s);
+  EXPECT_EQ(e->unit_count, 2);
+  MemoEntry* again = memo.GetOrCreate(s, 2, 1000, 0.5, &created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(again, e);
+  EXPECT_EQ(memo.Find(s), e);
+  EXPECT_EQ(memo.num_entries(), 1u);
+}
+
+TEST(MemoTest, EntriesByUnitCount) {
+  MemoryGauge gauge;
+  Memo memo(&gauge);
+  bool created;
+  memo.GetOrCreate(RelSet::Single(0), 1, 1, 1, &created);
+  memo.GetOrCreate(RelSet::Single(1), 1, 1, 1, &created);
+  memo.GetOrCreate(RelSet::Single(0).With(1), 2, 1, 1, &created);
+  EXPECT_EQ(memo.EntriesWithUnitCount(1).size(), 2u);
+  EXPECT_EQ(memo.EntriesWithUnitCount(2).size(), 1u);
+  EXPECT_TRUE(memo.EntriesWithUnitCount(3).empty());
+  EXPECT_TRUE(memo.EntriesWithUnitCount(-1).empty());
+}
+
+TEST(MemoTest, PointerStabilityUnderGrowth) {
+  MemoryGauge gauge;
+  Memo memo(&gauge);
+  bool created;
+  MemoEntry* first = memo.GetOrCreate(RelSet::Single(0), 1, 1, 1, &created);
+  const auto& size1 = memo.EntriesWithUnitCount(1);
+  // Creating many entries at other sizes must not invalidate `first` or the
+  // size-1 list reference (regression test for the deque-backed storage).
+  for (int i = 0; i < 1000; ++i) {
+    memo.GetOrCreate(RelSet(static_cast<uint64_t>(i) + 7), (i % 60) + 2, 1, 1,
+                     &created);
+  }
+  EXPECT_EQ(size1.size(), 1u);
+  EXPECT_EQ(size1[0], first);
+  EXPECT_EQ(first->rels, RelSet::Single(0));
+}
+
+TEST(MemoTest, MemoryChargedAndReleased) {
+  MemoryGauge gauge;
+  {
+    Memo memo(&gauge);
+    bool created;
+    for (int i = 0; i < 100; ++i) {
+      memo.GetOrCreate(RelSet(static_cast<uint64_t>(i) + 1), 1, 1, 1,
+                       &created);
+    }
+    EXPECT_GT(gauge.current_bytes(), 100 * sizeof(MemoEntry));
+  }
+  EXPECT_EQ(gauge.current_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace sdp

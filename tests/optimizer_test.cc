@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "optimizer/dp.h"
+#include "optimizer/idp.h"
+#include "query/topology.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+// Recomputes every node's cost and cardinality bottom-up with the cost
+// model, verifying the optimizer's stored annotations are self-consistent.
+// Returns the recomputed root cost.
+double RecomputeCost(const PlanNode* n, const CostModel& cost,
+                     const JoinGraph& graph) {
+  switch (n->kind) {
+    case PlanKind::kSeqScan:
+      return cost.SeqScanCost(n->rel);
+    case PlanKind::kIndexScan:
+      return cost.IndexScanCost(n->rel);
+    case PlanKind::kSort:
+      return RecomputeCost(n->outer, cost, graph) +
+             cost.SortCost(n->outer->rows, cost.RowWidth(n->outer->rels));
+    default:
+      break;
+  }
+  const double outer = RecomputeCost(n->outer, cost, graph);
+  const double inner = RecomputeCost(n->inner, cost, graph);
+  const int num_quals = static_cast<int>(
+      graph.ConnectingEdges(n->outer->rels, n->inner->rels).size());
+  JoinCostInput in;
+  in.outer_cost = outer;
+  in.outer_rows = n->outer->rows;
+  in.outer_width = cost.RowWidth(n->outer->rels);
+  in.inner_cost = inner;
+  in.inner_rows = n->inner->rows;
+  in.inner_width = cost.RowWidth(n->inner->rels);
+  in.out_rows = n->rows;
+  in.num_quals = num_quals;
+  switch (n->kind) {
+    case PlanKind::kHashJoin:
+      return cost.HashJoinCost(in);
+    case PlanKind::kNestLoop:
+      return cost.NestLoopCost(in);
+    case PlanKind::kMergeJoin:
+      return cost.MergeJoinCost(in);
+    case PlanKind::kIndexNestLoop:
+      return cost.IndexNestLoopCost(outer, n->outer->rows, n->rel, n->edge,
+                                    n->rows);
+    default:
+      ADD_FAILURE() << "unexpected node";
+      return 0;
+  }
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  std::vector<Query> Workload(Topology t, int n, int instances,
+                              bool ordered = false, uint64_t seed = 21) {
+    WorkloadSpec spec;
+    spec.topology = t;
+    spec.num_relations = n;
+    spec.num_instances = instances;
+    spec.ordered = ordered;
+    spec.seed = seed;
+    return GenerateWorkload(catalog_, spec);
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(OptimizerTest, DPSmallChainProducesValidOptimalPlan) {
+  for (const Query& q : Workload(Topology::kChain, 5, 5)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult r = OptimizeDP(q, cost);
+    ASSERT_TRUE(r.feasible);
+    ASSERT_NE(r.plan, nullptr);
+    EXPECT_EQ(ValidatePlanTree(r.plan), "");
+    EXPECT_EQ(r.plan->rels, q.graph.AllRelations());
+    EXPECT_GT(r.counters.plans_costed, 0u);
+    EXPECT_NEAR(RecomputeCost(r.plan, cost, q.graph), r.cost,
+                r.cost * 1e-9);
+  }
+}
+
+TEST_F(OptimizerTest, DPPlanCostSelfConsistentAcrossTopologies) {
+  for (Topology t : {Topology::kStar, Topology::kCycle, Topology::kClique,
+                     Topology::kStarChain}) {
+    for (const Query& q : Workload(t, 7, 3)) {
+      CostModel cost(catalog_, stats_, q.graph);
+      const OptimizeResult r = OptimizeDP(q, cost);
+      ASSERT_TRUE(r.feasible);
+      EXPECT_EQ(ValidatePlanTree(r.plan), "") << TopologyName(t);
+      EXPECT_NEAR(RecomputeCost(r.plan, cost, q.graph), r.cost, r.cost * 1e-9)
+          << TopologyName(t);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, DPOptimalInvariantUnderRelabeling) {
+  // The optimal cost must not depend on how relations are numbered: rebuild
+  // the *same* logical query (same tables, same join columns) with the
+  // positions permuted and expect the identical optimum.
+  for (const Query& q : Workload(Topology::kStar, 7, 3)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult base = OptimizeDP(q, cost);
+
+    const int n = q.graph.num_relations();
+    std::vector<int> perm_of(n);  // position -> new position (reversal).
+    for (int i = 0; i < n; ++i) perm_of[i] = n - 1 - i;
+    std::vector<int> tables(n);
+    for (int i = 0; i < n; ++i) tables[perm_of[i]] = q.graph.table_id(i);
+    JoinGraph relabeled(tables);
+    for (const JoinEdge& e : q.graph.edges()) {
+      relabeled.AddEdge(ColumnRef{perm_of[e.left.rel], e.left.col},
+                        ColumnRef{perm_of[e.right.rel], e.right.col});
+    }
+    Query permuted{std::move(relabeled), std::nullopt};
+    CostModel cost2(catalog_, stats_, permuted.graph);
+    const OptimizeResult perm = OptimizeDP(permuted, cost2);
+
+    ASSERT_TRUE(base.feasible && perm.feasible);
+    EXPECT_NEAR(base.cost, perm.cost, base.cost * 1e-9);
+  }
+}
+
+TEST_F(OptimizerTest, DPIsNeverBeatenByHeuristics) {
+  for (Topology t : {Topology::kStar, Topology::kStarChain}) {
+    for (const Query& q : Workload(t, 10, 5)) {
+      CostModel cost(catalog_, stats_, q.graph);
+      const OptimizeResult dp = OptimizeDP(q, cost);
+      const OptimizeResult idp = OptimizeIDP(q, cost, IdpConfig{4});
+      ASSERT_TRUE(dp.feasible && idp.feasible);
+      EXPECT_LE(dp.cost, idp.cost * (1 + 1e-9));
+    }
+  }
+}
+
+TEST_F(OptimizerTest, DPRespectsMemoryBudget) {
+  const Query q = Workload(Topology::kStar, 14, 1).front();
+  CostModel cost(catalog_, stats_, q.graph);
+  OptimizerOptions tiny;
+  tiny.memory_budget_bytes = 64 * 1024;
+  const OptimizeResult r = OptimizeDP(q, cost, tiny);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.plan, nullptr);
+  EXPECT_TRUE(std::isinf(r.cost));
+  // Counters still describe the partial run.
+  EXPECT_GT(r.counters.plans_costed, 0u);
+}
+
+TEST_F(OptimizerTest, DPRespectsPlanCostingBudget) {
+  const Query q = Workload(Topology::kStar, 12, 1).front();
+  CostModel cost(catalog_, stats_, q.graph);
+  OptimizerOptions opts;
+  opts.max_plans_costed = 1000;
+  const OptimizeResult r = OptimizeDP(q, cost, opts);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST_F(OptimizerTest, OrderByAddsOrderingOrSort) {
+  for (const Query& q : Workload(Topology::kStar, 8, 5, /*ordered=*/true)) {
+    ASSERT_TRUE(q.order_by.has_value());
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult r = OptimizeDP(q, cost);
+    ASSERT_TRUE(r.feasible);
+    // The delivered plan must carry the requested ordering.
+    const int eq = q.graph.EquivClass(q.order_by->column);
+    ASSERT_GE(eq, 0);  // Workload orders by join columns.
+    EXPECT_EQ(r.plan->ordering, eq);
+
+    // And it can never be cheaper than the unordered optimum.
+    Query unordered{q.graph, std::nullopt};
+    const OptimizeResult u = OptimizeDP(unordered, cost);
+    EXPECT_GE(r.cost, u.cost - u.cost * 1e-9);
+  }
+}
+
+TEST_F(OptimizerTest, IDPEqualsDPWhenKCoversQuery) {
+  for (const Query& q : Workload(Topology::kStarChain, 8, 4)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    IdpConfig config;
+    config.k = 8;  // One block covers everything: IDP degenerates to DP.
+    const OptimizeResult idp = OptimizeIDP(q, cost, config);
+    ASSERT_TRUE(dp.feasible && idp.feasible);
+    EXPECT_NEAR(idp.cost, dp.cost, dp.cost * 1e-9);
+  }
+}
+
+TEST_F(OptimizerTest, IDPProducesValidPlans) {
+  for (int k : {4, 7}) {
+    for (const Query& q : Workload(Topology::kStar, 12, 3)) {
+      CostModel cost(catalog_, stats_, q.graph);
+      const OptimizeResult r = OptimizeIDP(q, cost, IdpConfig{k});
+      ASSERT_TRUE(r.feasible);
+      EXPECT_EQ(ValidatePlanTree(r.plan), "");
+      EXPECT_EQ(r.plan->rels, q.graph.AllRelations());
+      EXPECT_NEAR(RecomputeCost(r.plan, cost, q.graph), r.cost,
+                  r.cost * 1e-9);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, IDPOrderedPlansDeliverOrdering) {
+  for (const Query& q :
+       Workload(Topology::kStarChain, 10, 4, /*ordered=*/true)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult r = OptimizeIDP(q, cost, IdpConfig{4});
+    ASSERT_TRUE(r.feasible);
+    const int eq = q.graph.EquivClass(q.order_by->column);
+    EXPECT_EQ(r.plan->ordering, eq);
+  }
+}
+
+TEST_F(OptimizerTest, IDP2ProducesValidPlansBoundedByDP) {
+  for (Topology t : {Topology::kStar, Topology::kStarChain, Topology::kChain,
+                     Topology::kSnowflake}) {
+    for (const Query& q : Workload(t, 11, 3)) {
+      CostModel cost(catalog_, stats_, q.graph);
+      const OptimizeResult dp = OptimizeDP(q, cost);
+      const OptimizeResult idp2 = OptimizeIDP2(q, cost, IdpConfig{5});
+      ASSERT_TRUE(dp.feasible && idp2.feasible);
+      EXPECT_EQ(ValidatePlanTree(idp2.plan), "") << TopologyName(t);
+      EXPECT_EQ(idp2.plan->rels, q.graph.AllRelations());
+      EXPECT_GE(idp2.cost, dp.cost - dp.cost * 1e-9);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, IDP2EqualsDPWhenKCoversQuery) {
+  for (const Query& q : Workload(Topology::kStarChain, 8, 3)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    const OptimizeResult idp2 = OptimizeIDP2(q, cost, IdpConfig{8});
+    ASSERT_TRUE(dp.feasible && idp2.feasible);
+    EXPECT_NEAR(idp2.cost, dp.cost, dp.cost * 1e-9);
+  }
+}
+
+TEST_F(OptimizerTest, IDP2OrderedPlansDeliverOrdering) {
+  for (const Query& q :
+       Workload(Topology::kStar, 10, 3, /*ordered=*/true)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult r = OptimizeIDP2(q, cost, IdpConfig{4});
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.plan->ordering, q.graph.EquivClass(q.order_by->column));
+  }
+}
+
+TEST_F(OptimizerTest, IDP2RespectsBudget) {
+  const Query q = Workload(Topology::kStar, 14, 1).front();
+  CostModel cost(catalog_, stats_, q.graph);
+  OptimizerOptions tiny;
+  tiny.max_plans_costed = 50;
+  EXPECT_FALSE(OptimizeIDP2(q, cost, IdpConfig{7}, tiny).feasible);
+}
+
+TEST_F(OptimizerTest, IDPCostsFewerPlansThanDP) {
+  const Query q = Workload(Topology::kStar, 13, 1).front();
+  CostModel cost(catalog_, stats_, q.graph);
+  const OptimizeResult dp = OptimizeDP(q, cost);
+  const OptimizeResult idp = OptimizeIDP(q, cost, IdpConfig{7});
+  ASSERT_TRUE(dp.feasible && idp.feasible);
+  EXPECT_LT(idp.counters.plans_costed, dp.counters.plans_costed / 2);
+  EXPECT_LT(idp.peak_memory_mb, dp.peak_memory_mb);
+}
+
+TEST_F(OptimizerTest, IDPRespectsMemoryBudget) {
+  const Query q = Workload(Topology::kStar, 14, 1).front();
+  CostModel cost(catalog_, stats_, q.graph);
+  OptimizerOptions tiny;
+  tiny.memory_budget_bytes = 32 * 1024;
+  const OptimizeResult r = OptimizeIDP(q, cost, IdpConfig{7}, tiny);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST_F(OptimizerTest, ResultPlanOutlivesOptimizerState) {
+  // The result owns its plan via plan_arena; using it after the optimizer
+  // internals are gone must be safe (exercised under ASan in CI).
+  OptimizeResult r;
+  {
+    const Query q = Workload(Topology::kChain, 6, 1).front();
+    CostModel cost(catalog_, stats_, q.graph);
+    r = OptimizeDP(q, cost);
+  }
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.plan->TreeSize(), 5);
+  EXPECT_FALSE(r.plan->Shape().empty());
+}
+
+TEST_F(OptimizerTest, DeterministicResults) {
+  const Query q = Workload(Topology::kStarChain, 12, 1).front();
+  CostModel cost(catalog_, stats_, q.graph);
+  const OptimizeResult a = OptimizeDP(q, cost);
+  const OptimizeResult b = OptimizeDP(q, cost);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.counters.plans_costed, b.counters.plans_costed);
+  EXPECT_EQ(a.plan->Shape(), b.plan->Shape());
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,123 @@
+#include "plan/plan_node.h"
+
+#include <gtest/gtest.h>
+
+#include "common/arena.h"
+
+namespace sdp {
+namespace {
+
+PlanNode* MakeScan(Arena* arena, int rel, double rows, double cost) {
+  PlanNode* n = arena->New<PlanNode>();
+  n->kind = PlanKind::kSeqScan;
+  n->rel = rel;
+  n->rels = RelSet::Single(rel);
+  n->rows = rows;
+  n->cost = cost;
+  return n;
+}
+
+PlanNode* MakeJoin(Arena* arena, PlanKind kind, const PlanNode* l,
+                   const PlanNode* r) {
+  PlanNode* n = arena->New<PlanNode>();
+  n->kind = kind;
+  n->rels = l->rels.Union(r->rels);
+  n->rows = l->rows * r->rows;
+  n->cost = l->cost + r->cost + 1;
+  n->outer = l;
+  n->inner = r;
+  return n;
+}
+
+TEST(PlanNodeTest, TreeSizeAndShape) {
+  Arena arena;
+  PlanNode* a = MakeScan(&arena, 0, 10, 1);
+  PlanNode* b = MakeScan(&arena, 1, 20, 2);
+  PlanNode* c = MakeScan(&arena, 2, 30, 3);
+  PlanNode* j1 = MakeJoin(&arena, PlanKind::kHashJoin, a, b);
+  PlanNode* j2 = MakeJoin(&arena, PlanKind::kMergeJoin, j1, c);
+  EXPECT_EQ(j2->TreeSize(), 5);
+  EXPECT_EQ(j2->Shape(), "((R0 HJ R1) MJ R2)");
+  EXPECT_TRUE(j2->IsJoin());
+  EXPECT_FALSE(j2->IsScan());
+}
+
+TEST(PlanNodeTest, ToStringContainsOperators) {
+  Arena arena;
+  PlanNode* a = MakeScan(&arena, 0, 10, 1);
+  PlanNode* b = MakeScan(&arena, 1, 20, 2);
+  PlanNode* j = MakeJoin(&arena, PlanKind::kNestLoop, a, b);
+  const std::string s = j->ToString();
+  EXPECT_NE(s.find("NestLoop"), std::string::npos);
+  EXPECT_NE(s.find("SeqScan R0"), std::string::npos);
+  EXPECT_NE(s.find("rows="), std::string::npos);
+}
+
+TEST(PlanNodeTest, CloneIsDeepAndEqual) {
+  Arena arena;
+  PlanNode* a = MakeScan(&arena, 0, 10, 1);
+  PlanNode* b = MakeScan(&arena, 1, 20, 2);
+  PlanNode* j = MakeJoin(&arena, PlanKind::kHashJoin, a, b);
+
+  Arena other;
+  const PlanNode* copy = ClonePlanTree(j, &other);
+  EXPECT_NE(copy, j);
+  EXPECT_NE(copy->outer, j->outer);
+  EXPECT_EQ(copy->Shape(), j->Shape());
+  EXPECT_DOUBLE_EQ(copy->cost, j->cost);
+  EXPECT_EQ(copy->rels, j->rels);
+}
+
+TEST(PlanNodeTest, ValidateAcceptsWellFormed) {
+  Arena arena;
+  PlanNode* a = MakeScan(&arena, 0, 10, 1);
+  PlanNode* b = MakeScan(&arena, 1, 20, 2);
+  PlanNode* j = MakeJoin(&arena, PlanKind::kHashJoin, a, b);
+  EXPECT_EQ(ValidatePlanTree(j), "");
+}
+
+TEST(PlanNodeTest, ValidateRejectsOverlappingJoin) {
+  Arena arena;
+  PlanNode* a = MakeScan(&arena, 0, 10, 1);
+  PlanNode* a2 = MakeScan(&arena, 0, 10, 1);
+  PlanNode* j = MakeJoin(&arena, PlanKind::kHashJoin, a, a2);
+  j->rels = RelSet::Single(0);
+  EXPECT_NE(ValidatePlanTree(j), "");
+}
+
+TEST(PlanNodeTest, ValidateRejectsBadScan) {
+  Arena arena;
+  PlanNode* a = MakeScan(&arena, 0, 10, 1);
+  a->rels = RelSet::Single(3);  // Mismatch.
+  EXPECT_NE(ValidatePlanTree(a), "");
+}
+
+TEST(PlanNodeTest, ValidateRejectsNegativeCost) {
+  Arena arena;
+  PlanNode* a = MakeScan(&arena, 0, 10, -5);
+  EXPECT_NE(ValidatePlanTree(a), "");
+}
+
+TEST(PlanNodeTest, ValidateSortNode) {
+  Arena arena;
+  PlanNode* a = MakeScan(&arena, 0, 10, 1);
+  PlanNode* sort = arena.New<PlanNode>();
+  sort->kind = PlanKind::kSort;
+  sort->rels = a->rels;
+  sort->rows = a->rows;
+  sort->cost = a->cost + 1;
+  sort->ordering = 0;
+  sort->outer = a;
+  EXPECT_EQ(ValidatePlanTree(sort), "");
+  sort->ordering = -1;
+  EXPECT_NE(ValidatePlanTree(sort), "");
+}
+
+TEST(PlanNodeTest, KindNames) {
+  EXPECT_STREQ(PlanKindName(PlanKind::kSeqScan), "SeqScan");
+  EXPECT_STREQ(PlanKindName(PlanKind::kIndexNestLoop), "IndexNestLoop");
+  EXPECT_STREQ(PlanKindName(PlanKind::kSort), "Sort");
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,117 @@
+#include "optimizer/plan_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sdp {
+namespace {
+
+TEST(PlanPoolTest, NewChargesFreeReleases) {
+  MemoryGauge gauge;
+  PlanPool pool(&gauge);
+  PlanNode* a = pool.New();
+  PlanNode* b = pool.New();
+  EXPECT_EQ(pool.live_nodes(), 2u);
+  EXPECT_EQ(gauge.current_bytes(), 2 * sizeof(PlanNode));
+  pool.Free(a);
+  EXPECT_EQ(pool.live_nodes(), 1u);
+  EXPECT_EQ(gauge.current_bytes(), sizeof(PlanNode));
+  pool.Free(b);
+  EXPECT_EQ(gauge.current_bytes(), 0u);
+}
+
+TEST(PlanPoolTest, RecyclesFreedNodes) {
+  MemoryGauge gauge;
+  PlanPool pool(&gauge);
+  PlanNode* a = pool.New();
+  pool.Free(a);
+  PlanNode* b = pool.New();
+  EXPECT_EQ(a, b);  // Same storage reused.
+  EXPECT_EQ(pool.live_nodes(), 1u);
+}
+
+TEST(PlanPoolTest, FreedNodeIsReinitializedOnReuse) {
+  PlanPool pool(nullptr);
+  PlanNode* a = pool.New();
+  a->cost = 123;
+  a->rel = 7;
+  pool.Free(a);
+  PlanNode* b = pool.New();
+  EXPECT_DOUBLE_EQ(b->cost, 0);
+  EXPECT_EQ(b->rel, -1);
+}
+
+TEST(PlanPoolTest, IgnoresForeignNodes) {
+  MemoryGauge gauge;
+  PlanPool pool(&gauge);
+  // Arena-owned node (pool_id == 0): Free must be a no-op.
+  Arena arena;
+  PlanNode* foreign = arena.New<PlanNode>();
+  pool.Free(foreign);
+  EXPECT_EQ(pool.live_nodes(), 0u);
+
+  // Node owned by a different pool: also a no-op.
+  PlanPool other(nullptr);
+  PlanNode* theirs = other.New();
+  pool.Free(theirs);
+  EXPECT_EQ(other.live_nodes(), 1u);
+}
+
+TEST(PlanPoolTest, DoubleFreeIsSafe) {
+  PlanPool pool(nullptr);
+  PlanNode* a = pool.New();
+  pool.Free(a);
+  pool.Free(a);  // pool_id cleared on first free: ignored.
+  EXPECT_EQ(pool.live_nodes(), 0u);
+  // Only one slot in the free list: two News give distinct nodes.
+  PlanNode* b = pool.New();
+  PlanNode* c = pool.New();
+  EXPECT_NE(b, c);
+}
+
+TEST(PlanPoolTest, FreeTopAndSortsReleasesSortChildrenOnly) {
+  MemoryGauge gauge;
+  PlanPool pool(&gauge);
+  PlanNode* scan = pool.New();
+  scan->kind = PlanKind::kSeqScan;
+  PlanNode* sort = pool.New();
+  sort->kind = PlanKind::kSort;
+  sort->outer = scan;
+  PlanNode* join = pool.New();
+  join->kind = PlanKind::kMergeJoin;
+  join->outer = sort;
+  join->inner = scan;  // Non-sort child: must survive.
+  pool.FreeTopAndSorts(join);
+  // join and sort freed; scan alive.
+  EXPECT_EQ(pool.live_nodes(), 1u);
+  EXPECT_EQ(gauge.current_bytes(), sizeof(PlanNode));
+}
+
+TEST(PlanPoolTest, DestructorReleasesLiveNodes) {
+  MemoryGauge gauge;
+  {
+    PlanPool pool(&gauge);
+    for (int i = 0; i < 100; ++i) pool.New();
+    EXPECT_EQ(gauge.current_bytes(), 100 * sizeof(PlanNode));
+  }
+  EXPECT_EQ(gauge.current_bytes(), 0u);
+}
+
+TEST(PlanPoolTest, ManyAllocFreeCyclesStayBounded) {
+  MemoryGauge gauge;
+  PlanPool pool(&gauge);
+  std::vector<PlanNode*> live;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 100; ++i) live.push_back(pool.New());
+    for (PlanNode* n : live) pool.Free(n);
+    live.clear();
+  }
+  EXPECT_EQ(pool.live_nodes(), 0u);
+  EXPECT_EQ(gauge.current_bytes(), 0u);
+  // Peak never exceeded one round's worth.
+  EXPECT_LE(gauge.peak_bytes(), 100 * sizeof(PlanNode));
+}
+
+}  // namespace
+}  // namespace sdp

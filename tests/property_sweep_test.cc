@@ -1,0 +1,189 @@
+// Parameterized property sweeps: the invariants every optimizer must hold
+// across the full (topology x size x algorithm x ordered) grid.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "catalog/catalog.h"
+#include "core/sdp.h"
+#include "cost/cost_model.h"
+#include "harness/experiment.h"
+#include "optimizer/dp.h"
+#include "optimizer/idp.h"
+#include "query/topology.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+struct SweepCase {
+  Topology topology;
+  int num_relations;
+  bool ordered;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name = TopologyName(info.param.topology);
+  name += std::to_string(info.param.num_relations);
+  if (info.param.ordered) name += "Ordered";
+  // gtest demands alphanumerics only.
+  std::string clean;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) clean += c;
+  }
+  return clean;
+}
+
+class OptimizerSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog(MakeSyntheticCatalog(SchemaConfig{}));
+    stats_ = new StatsCatalog(SynthesizeStats(*catalog_));
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    delete stats_;
+    catalog_ = nullptr;
+    stats_ = nullptr;
+  }
+
+  std::vector<Query> Queries(int instances) const {
+    WorkloadSpec spec;
+    spec.topology = GetParam().topology;
+    spec.num_relations = GetParam().num_relations;
+    spec.num_instances = instances;
+    spec.ordered = GetParam().ordered;
+    spec.seed = 71;
+    return GenerateWorkload(*catalog_, spec);
+  }
+
+  static Catalog* catalog_;
+  static StatsCatalog* stats_;
+};
+
+Catalog* OptimizerSweep::catalog_ = nullptr;
+StatsCatalog* OptimizerSweep::stats_ = nullptr;
+
+// Every algorithm yields a structurally valid plan covering all relations,
+// whose cost is no better than DP's and whose ordering satisfies the query.
+TEST_P(OptimizerSweep, AllAlgorithmsValidAndBoundedByDP) {
+  for (const Query& q : Queries(2)) {
+    CostModel cost(*catalog_, *stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    ASSERT_TRUE(dp.feasible);
+    for (const OptimizeResult& r :
+         {OptimizeIDP(q, cost, IdpConfig{4}), OptimizeIDP(q, cost, IdpConfig{7}),
+          OptimizeSDP(q, cost)}) {
+      ASSERT_TRUE(r.feasible) << r.algorithm;
+      EXPECT_EQ(ValidatePlanTree(r.plan), "") << r.algorithm;
+      EXPECT_EQ(r.plan->rels, q.graph.AllRelations()) << r.algorithm;
+      EXPECT_GE(r.cost, dp.cost - dp.cost * 1e-9) << r.algorithm;
+      if (q.order_by.has_value()) {
+        EXPECT_EQ(r.plan->ordering, q.graph.EquivClass(q.order_by->column))
+            << r.algorithm;
+      }
+      // Overheads are consistently reported.
+      EXPECT_GT(r.counters.plans_costed, 0u);
+      EXPECT_GT(r.peak_memory_mb, 0);
+    }
+  }
+}
+
+// SDP's search effort never exceeds DP's.
+TEST_P(OptimizerSweep, SDPEffortBoundedByDP) {
+  for (const Query& q : Queries(2)) {
+    CostModel cost(*catalog_, *stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    const OptimizeResult sdp = OptimizeSDP(q, cost);
+    ASSERT_TRUE(dp.feasible && sdp.feasible);
+    EXPECT_LE(sdp.counters.plans_costed, dp.counters.plans_costed);
+    EXPECT_LE(sdp.counters.jcrs_created, dp.counters.jcrs_created);
+  }
+}
+
+// The paper's robustness claim, as a hard property: SDP within 2x of DP.
+TEST_P(OptimizerSweep, SDPAlwaysAtLeastGood) {
+  for (const Query& q : Queries(3)) {
+    CostModel cost(*catalog_, *stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    const OptimizeResult sdp = OptimizeSDP(q, cost);
+    ASSERT_TRUE(dp.feasible && sdp.feasible);
+    EXPECT_LE(sdp.cost / dp.cost, 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, OptimizerSweep,
+    ::testing::Values(SweepCase{Topology::kChain, 8, false},
+                      SweepCase{Topology::kChain, 12, false},
+                      SweepCase{Topology::kStar, 8, false},
+                      SweepCase{Topology::kStar, 11, false},
+                      SweepCase{Topology::kStar, 11, true},
+                      SweepCase{Topology::kStarChain, 11, false},
+                      SweepCase{Topology::kStarChain, 13, true},
+                      SweepCase{Topology::kCycle, 9, false},
+                      SweepCase{Topology::kClique, 7, false},
+                      SweepCase{Topology::kClique, 7, true}),
+    CaseName);
+
+// --- SDP configuration sweep -------------------------------------------
+
+struct ConfigCase {
+  const char* name;
+  SdpConfig config;
+};
+
+class SdpConfigSweep : public ::testing::TestWithParam<ConfigCase> {};
+
+// Every SDP configuration stays within the paper's "at least Good" band on
+// the headline workload.
+TEST_P(SdpConfigSweep, RobustOnStarChain) {
+  const Catalog catalog = MakeSyntheticCatalog(SchemaConfig{});
+  const StatsCatalog stats = SynthesizeStats(catalog);
+  WorkloadSpec spec;
+  spec.topology = Topology::kStarChain;
+  spec.num_relations = 12;
+  spec.num_instances = 3;
+  spec.seed = 19;
+  for (const Query& q : GenerateWorkload(catalog, spec)) {
+    CostModel cost(catalog, stats, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    const OptimizeResult r = OptimizeSDP(q, cost, GetParam().config);
+    ASSERT_TRUE(dp.feasible && r.feasible);
+    EXPECT_EQ(ValidatePlanTree(r.plan), "");
+    EXPECT_LE(r.cost / dp.cost, 2.5) << GetParam().name;
+  }
+}
+
+SdpConfig WithPartitioning(SdpConfig::Partitioning p) {
+  SdpConfig c;
+  c.partitioning = p;
+  return c;
+}
+SdpConfig WithSkyline(SkylineVariant v) {
+  SdpConfig c;
+  c.skyline = v;
+  return c;
+}
+SdpConfig WithHubDegree(int d) {
+  SdpConfig c;
+  c.hub_degree = d;
+  return c;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SdpConfigSweep,
+    ::testing::Values(
+        ConfigCase{"default", SdpConfig{}},
+        ConfigCase{"parent_hub",
+                   WithPartitioning(SdpConfig::Partitioning::kParentHub)},
+        ConfigCase{"option1", WithSkyline(SkylineVariant::kFullVector)},
+        ConfigCase{"hub_degree4", WithHubDegree(4)}),
+    [](const ::testing::TestParamInfo<ConfigCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace sdp

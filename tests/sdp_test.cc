@@ -1,0 +1,252 @@
+#include "core/sdp.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "metrics/quality.h"
+#include "optimizer/dp.h"
+#include "query/topology.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+class SdpTest : public ::testing::Test {
+ protected:
+  SdpTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  std::vector<Query> Workload(Topology t, int n, int instances,
+                              bool ordered = false, uint64_t seed = 33) {
+    WorkloadSpec spec;
+    spec.topology = t;
+    spec.num_relations = n;
+    spec.num_instances = instances;
+    spec.ordered = ordered;
+    spec.seed = seed;
+    return GenerateWorkload(catalog_, spec);
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(SdpTest, NoPruningOnChains) {
+  // Chains have no hubs, so SDP degenerates to exact DP: identical plan
+  // cost AND identical search effort (Section 2.1.5: "with SDP, there is
+  // no pruning at all for a chain or cycle query").
+  for (const Query& q : Workload(Topology::kChain, 10, 4)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    const OptimizeResult sdp = OptimizeSDP(q, cost);
+    ASSERT_TRUE(dp.feasible && sdp.feasible);
+    EXPECT_DOUBLE_EQ(sdp.cost, dp.cost);
+    EXPECT_EQ(sdp.counters.plans_costed, dp.counters.plans_costed);
+    EXPECT_EQ(sdp.counters.jcrs_created, dp.counters.jcrs_created);
+  }
+}
+
+TEST_F(SdpTest, NoPruningOnCycles) {
+  for (const Query& q : Workload(Topology::kCycle, 9, 4)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    const OptimizeResult sdp = OptimizeSDP(q, cost);
+    ASSERT_TRUE(dp.feasible && sdp.feasible);
+    EXPECT_DOUBLE_EQ(sdp.cost, dp.cost);
+    EXPECT_EQ(sdp.counters.plans_costed, dp.counters.plans_costed);
+  }
+}
+
+TEST_F(SdpTest, PrunesOnStars) {
+  for (const Query& q : Workload(Topology::kStar, 12, 3)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    const OptimizeResult sdp = OptimizeSDP(q, cost);
+    ASSERT_TRUE(dp.feasible && sdp.feasible);
+    EXPECT_LT(sdp.counters.jcrs_created, dp.counters.jcrs_created / 2);
+    EXPECT_LT(sdp.counters.plans_costed, dp.counters.plans_costed / 2);
+  }
+}
+
+TEST_F(SdpTest, HighHubThresholdDisablesPruning) {
+  // With an unreachable hub degree, SDP must behave exactly like DP.
+  SdpConfig config;
+  config.hub_degree = 1000;
+  for (const Query& q : Workload(Topology::kStar, 9, 2)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    const OptimizeResult sdp = OptimizeSDP(q, cost, config);
+    ASSERT_TRUE(dp.feasible && sdp.feasible);
+    EXPECT_DOUBLE_EQ(sdp.cost, dp.cost);
+    EXPECT_EQ(sdp.counters.plans_costed, dp.counters.plans_costed);
+  }
+}
+
+TEST_F(SdpTest, SmallQueriesAreExact) {
+  // For N <= 4 there are no pruning levels (2..N-3 empty): SDP == DP.
+  for (Topology t : {Topology::kStar, Topology::kClique}) {
+    for (const Query& q : Workload(t, 4, 3)) {
+      CostModel cost(catalog_, stats_, q.graph);
+      const OptimizeResult dp = OptimizeDP(q, cost);
+      const OptimizeResult sdp = OptimizeSDP(q, cost);
+      EXPECT_DOUBLE_EQ(sdp.cost, dp.cost);
+    }
+  }
+}
+
+TEST_F(SdpTest, PlansAreValidAcrossConfigs) {
+  std::vector<SdpConfig> configs(5);
+  configs[1].partitioning = SdpConfig::Partitioning::kParentHub;
+  configs[2].skyline = SkylineVariant::kFullVector;
+  configs[3].skyline = SkylineVariant::kStrong;
+  configs[4].localized = false;
+  for (const SdpConfig& config : configs) {
+    for (const Query& q : Workload(Topology::kStarChain, 11, 2)) {
+      CostModel cost(catalog_, stats_, q.graph);
+      const OptimizeResult r = OptimizeSDP(q, cost, config);
+      ASSERT_TRUE(r.feasible);
+      EXPECT_EQ(ValidatePlanTree(r.plan), "");
+      EXPECT_EQ(r.plan->rels, q.graph.AllRelations());
+    }
+  }
+}
+
+TEST_F(SdpTest, NeverBeatsDP) {
+  for (Topology t : {Topology::kStar, Topology::kStarChain, Topology::kClique}) {
+    const int n = t == Topology::kClique ? 8 : 12;
+    for (const Query& q : Workload(t, n, 3)) {
+      CostModel cost(catalog_, stats_, q.graph);
+      const OptimizeResult dp = OptimizeDP(q, cost);
+      const OptimizeResult sdp = OptimizeSDP(q, cost);
+      ASSERT_TRUE(dp.feasible && sdp.feasible);
+      EXPECT_LE(dp.cost, sdp.cost * (1 + 1e-9)) << TopologyName(t);
+    }
+  }
+}
+
+TEST_F(SdpTest, QualityIsRobustOnStars) {
+  // The paper's headline claim: SDP always delivers at least a Good plan
+  // (within 2x of optimal) on star-bearing graphs.
+  int ideal = 0, total = 0;
+  for (const Query& q : Workload(Topology::kStar, 13, 10)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    const OptimizeResult sdp = OptimizeSDP(q, cost);
+    ASSERT_TRUE(dp.feasible && sdp.feasible);
+    const double ratio = sdp.cost / dp.cost;
+    EXPECT_LE(ratio, 2.0);
+    if (ClassifyRatio(ratio) == QualityClass::kIdeal) ++ideal;
+    ++total;
+  }
+  // And most plans are ideal.
+  EXPECT_GE(ideal * 2, total);
+}
+
+TEST_F(SdpTest, Option2NeverProcessesMoreThanOption1) {
+  // Table 2.3 direction: the pairwise-union skyline (Option 2) retains a
+  // subset of the full-vector skyline's survivors, so it can only process
+  // fewer (or equal) JCRs.  The *magnitude* of the gap is
+  // landscape-dependent (the paper saw ~2x on its example query); the
+  // bench_table_2_3 harness reports the measured value.
+  double jcrs_opt1 = 0, jcrs_opt2 = 0;
+  for (const Query& q : Workload(Topology::kStar, 12, 5)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    SdpConfig opt1;
+    opt1.skyline = SkylineVariant::kFullVector;
+    const OptimizeResult r1 = OptimizeSDP(q, cost, opt1);
+    const OptimizeResult r2 = OptimizeSDP(q, cost);
+    ASSERT_TRUE(r1.feasible && r2.feasible);
+    jcrs_opt1 += static_cast<double>(r1.counters.jcrs_created);
+    jcrs_opt2 += static_cast<double>(r2.counters.jcrs_created);
+  }
+  EXPECT_LE(jcrs_opt2, jcrs_opt1);
+  EXPECT_LT(jcrs_opt2, jcrs_opt1 * 0.999);  // Strictly less in aggregate.
+}
+
+TEST_F(SdpTest, GlobalPruningIsWeakerThanLocalized) {
+  // Table 3.6: global skyline pruning degrades plan quality relative to
+  // hub-localized pruning.
+  double rho_local = 1, rho_global = 1;
+  QualityDistribution local, global;
+  for (const Query& q : Workload(Topology::kStarChain, 13, 10)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    SdpConfig gcfg;
+    gcfg.localized = false;
+    const OptimizeResult l = OptimizeSDP(q, cost);
+    const OptimizeResult g = OptimizeSDP(q, cost, gcfg);
+    ASSERT_TRUE(dp.feasible && l.feasible && g.feasible);
+    local.Add(l.cost / dp.cost);
+    global.Add(g.cost / dp.cost);
+  }
+  rho_local = local.Rho();
+  rho_global = global.Rho();
+  EXPECT_LE(rho_local, rho_global + 1e-9);
+}
+
+TEST_F(SdpTest, StrongSkylineSurvivesAggressivePruning) {
+  // Regression: 2-dominance is cyclic and can eliminate every JCR in a
+  // partition; the pruner must rescue a survivor so the full relation set
+  // stays reachable (previously aborted on stars >= 13 relations).
+  SdpConfig strong;
+  strong.skyline = SkylineVariant::kStrong;
+  for (const Query& q : Workload(Topology::kStar, 13, 4, false, 7)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult r = OptimizeSDP(q, cost, strong);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(ValidatePlanTree(r.plan), "");
+    EXPECT_EQ(r.plan->rels, q.graph.AllRelations());
+  }
+}
+
+TEST_F(SdpTest, OrderedVariantsDeliverOrdering) {
+  for (const Query& q : Workload(Topology::kStar, 12, 5, /*ordered=*/true)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult r = OptimizeSDP(q, cost);
+    ASSERT_TRUE(r.feasible);
+    const int eq = q.graph.EquivClass(q.order_by->column);
+    EXPECT_EQ(r.plan->ordering, eq);
+    // And quality holds relative to DP on the same ordered query.
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    EXPECT_LE(r.cost / dp.cost, 2.0);
+  }
+}
+
+TEST_F(SdpTest, ScalesWhereDPCannot) {
+  // Star-20 under the experiments' 64 MB budget: DP infeasible, SDP fine.
+  WorkloadSpec spec;
+  spec.topology = Topology::kStar;
+  spec.num_relations = 20;
+  spec.num_instances = 1;
+  const Query q = GenerateWorkload(catalog_, spec).front();
+  CostModel cost(catalog_, stats_, q.graph);
+  OptimizerOptions budget;
+  budget.memory_budget_bytes = 64ull << 20;
+  const OptimizeResult dp = OptimizeDP(q, cost, budget);
+  const OptimizeResult sdp = OptimizeSDP(q, cost, SdpConfig{}, budget);
+  EXPECT_FALSE(dp.feasible);
+  ASSERT_TRUE(sdp.feasible);
+  EXPECT_EQ(ValidatePlanTree(sdp.plan), "");
+}
+
+TEST_F(SdpTest, ParentHubCloseToRootHub) {
+  // The paper uses Root-Hub because it matches Parent-Hub quality with less
+  // overhead; verify both produce valid, comparable plans.
+  for (const Query& q : Workload(Topology::kStarChain, 12, 5)) {
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult dp = OptimizeDP(q, cost);
+    SdpConfig parent;
+    parent.partitioning = SdpConfig::Partitioning::kParentHub;
+    const OptimizeResult root_r = OptimizeSDP(q, cost);
+    const OptimizeResult parent_r = OptimizeSDP(q, cost, parent);
+    ASSERT_TRUE(root_r.feasible && parent_r.feasible);
+    EXPECT_LE(root_r.cost / dp.cost, 2.0);
+    EXPECT_LE(parent_r.cost / dp.cost, 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace sdp

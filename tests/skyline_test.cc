@@ -1,0 +1,221 @@
+#include "skyline/skyline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/skyline_pruning.h"
+
+namespace sdp {
+namespace {
+
+using Points = std::vector<std::vector<double>>;
+
+TEST(SkylineTest, EmptyAndSingleton) {
+  EXPECT_TRUE(SkylineNaive({}).empty());
+  EXPECT_EQ(SkylineNaive({{1, 2}}), std::vector<char>({1}));
+  EXPECT_TRUE(SkylineBNL({}).empty());
+}
+
+TEST(SkylineTest, SimpleDominance) {
+  // (1,1) dominates everything else.
+  const Points pts = {{1, 1}, {2, 2}, {1, 3}, {3, 1}};
+  EXPECT_EQ(SkylineNaive(pts), std::vector<char>({1, 0, 0, 0}));
+}
+
+TEST(SkylineTest, AntichainSurvivesEntirely) {
+  const Points pts = {{1, 4}, {2, 3}, {3, 2}, {4, 1}};
+  EXPECT_EQ(SkylineNaive(pts), std::vector<char>({1, 1, 1, 1}));
+}
+
+TEST(SkylineTest, DuplicatesCoSurvive) {
+  const Points pts = {{2, 2}, {2, 2}, {3, 3}};
+  EXPECT_EQ(SkylineNaive(pts), std::vector<char>({1, 1, 0}));
+  EXPECT_EQ(SkylineBNL(pts), std::vector<char>({1, 1, 0}));
+  const std::vector<std::array<double, 2>> pts2 = {{2, 2}, {2, 2}, {3, 3}};
+  EXPECT_EQ(Skyline2D(pts2), std::vector<char>({1, 1, 0}));
+}
+
+TEST(SkylineTest, PartialTieIsDominated) {
+  // (1,2) dominates (1,3): equal first coordinate, strictly better second.
+  const Points pts = {{1, 2}, {1, 3}};
+  EXPECT_EQ(SkylineNaive(pts), std::vector<char>({1, 0}));
+}
+
+TEST(SkylineTest, ThreeDimensional) {
+  const Points pts = {
+      {1, 5, 5}, {5, 1, 5}, {5, 5, 1},  // Pairwise incomparable.
+      {5, 5, 5},                        // Dominated by all three.
+      {1, 1, 1},                        // Dominates everything.
+  };
+  const std::vector<char> expected = {0, 0, 0, 0, 1};
+  EXPECT_EQ(SkylineNaive(pts), expected);
+  EXPECT_EQ(SkylineBNL(pts), expected);
+}
+
+// Property: the three implementations agree on random inputs.
+TEST(SkylineTest, ImplementationsAgreeRandom2D) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBounded(40));
+    Points pts;
+    std::vector<std::array<double, 2>> pts2;
+    for (int i = 0; i < n; ++i) {
+      // Coarse grid so ties and duplicates happen often.
+      const double x = static_cast<double>(rng.NextBounded(8));
+      const double y = static_cast<double>(rng.NextBounded(8));
+      pts.push_back({x, y});
+      pts2.push_back({x, y});
+    }
+    const auto naive = SkylineNaive(pts);
+    EXPECT_EQ(SkylineBNL(pts), naive) << "trial " << trial;
+    EXPECT_EQ(Skyline2D(pts2), naive) << "trial " << trial;
+  }
+}
+
+TEST(SkylineTest, ImplementationsAgreeRandom3D) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBounded(30));
+    Points pts;
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({static_cast<double>(rng.NextBounded(6)),
+                     static_cast<double>(rng.NextBounded(6)),
+                     static_cast<double>(rng.NextBounded(6))});
+    }
+    EXPECT_EQ(SkylineBNL(pts), SkylineNaive(pts)) << "trial " << trial;
+  }
+}
+
+// Property: no skyline member dominates another skyline member, and every
+// non-member is dominated by some member.
+TEST(SkylineTest, SkylineInvariants) {
+  Rng rng(3);
+  auto dominates = [](const std::vector<double>& p,
+                      const std::vector<double>& q) {
+    bool strict = false;
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (p[i] > q[i]) return false;
+      if (p[i] < q[i]) strict = true;
+    }
+    return strict;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    Points pts;
+    const int n = 2 + static_cast<int>(rng.NextBounded(50));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.NextDouble(), rng.NextDouble(), rng.NextDouble()});
+    }
+    const auto flags = SkylineBNL(pts);
+    for (int i = 0; i < n; ++i) {
+      if (flags[i]) {
+        for (int j = 0; j < n; ++j) {
+          if (flags[j] && i != j) EXPECT_FALSE(dominates(pts[j], pts[i]));
+        }
+      } else {
+        bool covered = false;
+        for (int j = 0; j < n && !covered; ++j) {
+          covered = flags[j] && dominates(pts[j], pts[i]);
+        }
+        EXPECT_TRUE(covered);
+      }
+    }
+  }
+}
+
+TEST(KDominantSkylineTest, StrongerThanSkyline) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    Points pts;
+    const int n = 2 + static_cast<int>(rng.NextBounded(30));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({static_cast<double>(rng.NextBounded(10)),
+                     static_cast<double>(rng.NextBounded(10)),
+                     static_cast<double>(rng.NextBounded(10))});
+    }
+    const auto strong = KDominantSkyline(pts, 2);
+    const auto normal = SkylineNaive(pts);
+    // 2-dominant skyline is a subset of the ordinary skyline.
+    for (int i = 0; i < n; ++i) {
+      if (strong[i]) EXPECT_TRUE(normal[i]);
+    }
+  }
+}
+
+TEST(KDominantSkylineTest, FullKEqualsSkyline) {
+  const Points pts = {{1, 5, 5}, {5, 1, 5}, {5, 5, 1}, {2, 2, 2}};
+  EXPECT_EQ(KDominantSkyline(pts, 3), SkylineNaive(pts));
+}
+
+// ---- SDP pruning wrappers (core/skyline_pruning) ----
+
+TEST(PairwiseSkylineTest, PaperTable22Example) {
+  // Table 2.2 of the paper: partition {123,125,135,145,156}; survivor set
+  // is everything except 135.  (Feature vectors transcribed from the
+  // paper; the 145 S-value reads "6.65-6", i.e. 6.65E-6.)
+  const std::vector<JcrFeatures> features = {
+      {187638, 49386, 3.9e-5},   // 123
+      {122879, 52132, 1.0e-5},   // 125
+      {242620, 56021, 1.0e-5},   // 135
+      {241562, 55388, 6.65e-6},  // 145
+      {385375, 52632, 4.5e-6},   // 156
+  };
+  const auto report = PairwiseSkylineReport(features);
+  // 123: RC and CS, not RS.
+  EXPECT_TRUE(report[0].rc);
+  EXPECT_TRUE(report[0].cs);
+  EXPECT_FALSE(report[0].rs);
+  // 125: all three.
+  EXPECT_TRUE(report[1].rc && report[1].cs && report[1].rs);
+  // 135: none -> pruned.
+  EXPECT_FALSE(report[2].survives());
+  // 145: RS only.
+  EXPECT_FALSE(report[3].rc);
+  EXPECT_FALSE(report[3].cs);
+  EXPECT_TRUE(report[3].rs);
+  // 156: CS and RS.
+  EXPECT_FALSE(report[4].rc);
+  EXPECT_TRUE(report[4].cs);
+  EXPECT_TRUE(report[4].rs);
+}
+
+TEST(SkylineSurvivorsTest, Option1RetainsMoreThanOption2Prunes) {
+  // The full-vector (Option 1) skyline retains a superset of... actually of
+  // nothing in general; but pairwise-union survivors are always inside the
+  // full-vector skyline: surviving a 2-attribute skyline implies no point
+  // dominates you on those two attributes, hence none dominates you on all
+  // three.
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<JcrFeatures> f;
+    const int n = 2 + static_cast<int>(rng.NextBounded(30));
+    for (int i = 0; i < n; ++i) {
+      // Continuous coordinates: with ties, surviving a 2-D skyline does not
+      // imply membership in the 3-D skyline, so keep the property exact.
+      f.push_back(JcrFeatures{rng.NextDouble(), rng.NextDouble(),
+                              rng.NextDouble()});
+    }
+    const auto pairwise = SkylineSurvivors(f, SkylineVariant::kPairwiseUnion);
+    const auto full = SkylineSurvivors(f, SkylineVariant::kFullVector);
+    for (int i = 0; i < n; ++i) {
+      if (pairwise[i]) EXPECT_TRUE(full[i]) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SkylineSurvivorsTest, StrongVariantIsSubsetOfFull) {
+  Rng rng(6);
+  std::vector<JcrFeatures> f;
+  for (int i = 0; i < 40; ++i) {
+    f.push_back(JcrFeatures{static_cast<double>(rng.NextBounded(20)),
+                            static_cast<double>(rng.NextBounded(20)),
+                            static_cast<double>(rng.NextBounded(20))});
+  }
+  const auto strong = SkylineSurvivors(f, SkylineVariant::kStrong);
+  const auto full = SkylineSurvivors(f, SkylineVariant::kFullVector);
+  for (size_t i = 0; i < f.size(); ++i) {
+    if (strong[i]) EXPECT_TRUE(full[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sdp

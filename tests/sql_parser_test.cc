@@ -1,0 +1,232 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sdp {
+namespace {
+
+Catalog TestCatalog() {
+  Catalog catalog;
+  auto make = [&](const std::string& name, uint64_t rows,
+                  std::vector<std::string> cols) {
+    Table t;
+    t.name = name;
+    t.row_count = rows;
+    for (const auto& c : cols) {
+      t.columns.push_back(Column{c, 1000, DataDistribution::kUniform});
+    }
+    t.indexed_column = 0;
+    catalog.AddTable(std::move(t));
+  };
+  make("orders", 10000, {"o_id", "o_custkey", "o_date"});
+  make("customer", 1000, {"c_id", "c_nation"});
+  make("nation", 25, {"n_id", "n_region"});
+  make("lineitem", 60000, {"l_orderkey", "l_partkey"});
+  return catalog;
+}
+
+// Return by value: callers pass temporaries.
+ParsedQuery Ok(const ParseResult& r) {
+  EXPECT_TRUE(std::holds_alternative<ParsedQuery>(r))
+      << (std::holds_alternative<ParseError>(r)
+              ? std::get<ParseError>(r).message
+              : "");
+  return std::get<ParsedQuery>(r);
+}
+
+ParseError Err(const ParseResult& r) {
+  EXPECT_TRUE(std::holds_alternative<ParseError>(r));
+  return std::get<ParseError>(r);
+}
+
+TEST(SqlParserTest, SimpleTwoWayJoin) {
+  const Catalog catalog = TestCatalog();
+  const ParseResult r = ParseSelect(
+      "SELECT * FROM orders o, customer c WHERE o.o_custkey = c.c_id",
+      catalog);
+  const ParsedQuery q = Ok(r);
+  EXPECT_EQ(q.query.graph.num_relations(), 2);
+  EXPECT_EQ(q.query.graph.edges().size(), 1u);
+  EXPECT_EQ(q.binding_names, (std::vector<std::string>{"o", "c"}));
+  EXPECT_FALSE(q.query.order_by.has_value());
+  EXPECT_TRUE(q.select_columns.empty());  // '*'
+}
+
+TEST(SqlParserTest, ThreeWayChainWithOrderBy) {
+  const Catalog catalog = TestCatalog();
+  const ParseResult r = ParseSelect(
+      "select o.o_id, n.n_region from orders o, customer c, nation n "
+      "where o.o_custkey = c.c_id and c.c_nation = n.n_id "
+      "order by c.c_id",
+      catalog);
+  const ParsedQuery q = Ok(r);
+  EXPECT_EQ(q.query.graph.num_relations(), 3);
+  EXPECT_EQ(q.query.graph.edges().size(), 2u);
+  ASSERT_TRUE(q.query.order_by.has_value());
+  EXPECT_EQ(q.query.order_by->column, (ColumnRef{1, 0}));
+  ASSERT_EQ(q.select_columns.size(), 2u);
+  EXPECT_EQ(q.select_columns[0], (ColumnRef{0, 0}));
+  EXPECT_EQ(q.select_columns[1], (ColumnRef{2, 1}));
+}
+
+TEST(SqlParserTest, TableWithoutAliasUsesItsName) {
+  const Catalog catalog = TestCatalog();
+  const ParseResult r = ParseSelect(
+      "SELECT * FROM orders, customer WHERE orders.o_custkey = customer.c_id",
+      catalog);
+  const ParsedQuery q = Ok(r);
+  EXPECT_EQ(q.binding_names, (std::vector<std::string>{"orders", "customer"}));
+}
+
+TEST(SqlParserTest, SharedJoinColumnsGetImpliedEdges) {
+  const Catalog catalog = TestCatalog();
+  // o.o_custkey = c.c_id AND o.o_custkey = n.n_id implies c.c_id = n.n_id.
+  const ParseResult r = ParseSelect(
+      "SELECT * FROM orders o, customer c, nation n "
+      "WHERE o.o_custkey = c.c_id AND o.o_custkey = n.n_id",
+      catalog);
+  const ParsedQuery q = Ok(r);
+  EXPECT_EQ(q.query.graph.edges().size(), 3u);
+  EXPECT_EQ(q.query.graph.Degree(0), 2);
+  EXPECT_EQ(q.query.graph.Degree(1), 2);
+  EXPECT_EQ(q.query.graph.Degree(2), 2);
+}
+
+TEST(SqlParserTest, KeywordsCaseInsensitive) {
+  const Catalog catalog = TestCatalog();
+  Ok(ParseSelect(
+      "SeLeCt * FrOm orders o, customer c WhErE o.o_custkey = c.c_id "
+      "OrDeR bY o.o_id",
+      catalog));
+}
+
+TEST(SqlParserTest, ErrorUnknownTable) {
+  const Catalog catalog = TestCatalog();
+  const ParseError e =
+      Err(ParseSelect("SELECT * FROM nonexistent", catalog));
+  EXPECT_NE(e.message.find("unknown table"), std::string::npos);
+}
+
+TEST(SqlParserTest, ErrorUnknownColumn) {
+  const Catalog catalog = TestCatalog();
+  const ParseError e = Err(ParseSelect(
+      "SELECT * FROM orders o, customer c WHERE o.bogus = c.c_id", catalog));
+  EXPECT_NE(e.message.find("unknown column"), std::string::npos);
+}
+
+TEST(SqlParserTest, ErrorUnknownBinding) {
+  const Catalog catalog = TestCatalog();
+  const ParseError e = Err(ParseSelect(
+      "SELECT * FROM orders o, customer c WHERE x.o_id = c.c_id", catalog));
+  EXPECT_NE(e.message.find("unknown binding"), std::string::npos);
+}
+
+TEST(SqlParserTest, ErrorDuplicateAlias) {
+  const Catalog catalog = TestCatalog();
+  const ParseError e = Err(ParseSelect(
+      "SELECT * FROM orders o, customer o WHERE o.o_id = o.c_id", catalog));
+  EXPECT_NE(e.message.find("duplicate binding"), std::string::npos);
+}
+
+TEST(SqlParserTest, ErrorDisconnectedGraph) {
+  const Catalog catalog = TestCatalog();
+  const ParseError e =
+      Err(ParseSelect("SELECT * FROM orders o, customer c", catalog));
+  EXPECT_NE(e.message.find("not connected"), std::string::npos);
+}
+
+TEST(SqlParserTest, ErrorSelfJoinPredicate) {
+  const Catalog catalog = TestCatalog();
+  const ParseError e = Err(ParseSelect(
+      "SELECT * FROM orders o, customer c "
+      "WHERE o.o_id = o.o_custkey AND o.o_id = c.c_id",
+      catalog));
+  EXPECT_NE(e.message.find("itself"), std::string::npos);
+}
+
+TEST(SqlParserTest, ErrorTrailingGarbage) {
+  const Catalog catalog = TestCatalog();
+  const ParseError e = Err(ParseSelect(
+      "SELECT * FROM orders o, customer c WHERE o.o_custkey = c.c_id xyz 42",
+      catalog));
+  EXPECT_NE(e.message.find("unexpected input"), std::string::npos);
+}
+
+TEST(SqlParserTest, ErrorNonEquiJoinBetweenColumns) {
+  const Catalog catalog = TestCatalog();
+  const ParseError e = Err(ParseSelect(
+      "SELECT * FROM orders o, customer c WHERE o.o_custkey < c.c_id",
+      catalog));
+  EXPECT_NE(e.message.find("equijoin"), std::string::npos);
+}
+
+TEST(SqlParserTest, ErrorMissingComparison) {
+  const Catalog catalog = TestCatalog();
+  const ParseError e = Err(ParseSelect(
+      "SELECT * FROM orders o, customer c WHERE o.o_custkey . c.c_id",
+      catalog));
+  EXPECT_NE(e.message.find("comparison"), std::string::npos);
+}
+
+TEST(SqlParserTest, FilterPredicates) {
+  const Catalog catalog = TestCatalog();
+  const ParseResult r = ParseSelect(
+      "SELECT * FROM orders o, customer c "
+      "WHERE o.o_custkey = c.c_id AND o.o_date < 100 AND c.c_nation = 7 "
+      "AND o.o_id >= -5",
+      catalog);
+  const ParsedQuery q = Ok(r);
+  EXPECT_EQ(q.query.graph.edges().size(), 1u);
+  ASSERT_EQ(q.query.filters.size(), 3u);
+  EXPECT_EQ(q.query.filters[0].column, (ColumnRef{0, 2}));
+  EXPECT_EQ(q.query.filters[0].op, CompareOp::kLt);
+  EXPECT_EQ(q.query.filters[0].value, 100);
+  EXPECT_EQ(q.query.filters[1].column, (ColumnRef{1, 1}));
+  EXPECT_EQ(q.query.filters[1].op, CompareOp::kEq);
+  EXPECT_EQ(q.query.filters[2].op, CompareOp::kGe);
+  EXPECT_EQ(q.query.filters[2].value, -5);
+}
+
+TEST(SqlParserTest, ErrorPositionIsMeaningful) {
+  const Catalog catalog = TestCatalog();
+  const std::string sql = "SELECT * FROM orders o, bogus b";
+  const ParseError e = Err(ParseSelect(sql, catalog));
+  EXPECT_EQ(sql.substr(e.position, 5), "bogus");
+}
+
+TEST(SqlParserTest, ErrorOversizedIntegerLiteral) {
+  // Regression: std::stoll used to throw out_of_range and abort.
+  const Catalog catalog = TestCatalog();
+  const ParseError e = Err(ParseSelect(
+      "SELECT * FROM orders o, customer c WHERE o.o_custkey = c.c_id "
+      "AND o.o_id < 99999999999999999999999",
+      catalog));
+  EXPECT_NE(e.message.find("out of range"), std::string::npos);
+}
+
+TEST(SqlParserTest, ErrorUnrecognizedCharacter) {
+  // Regression: unknown characters lexed as end-of-input, silently
+  // accepting trailing garbage.
+  const Catalog catalog = TestCatalog();
+  const ParseError e = Err(ParseSelect(
+      "SELECT * FROM orders o, customer c WHERE o.o_custkey = c.c_id "
+      "% THIS IS GARBAGE",
+      catalog));
+  EXPECT_NE(e.message.find("unrecognized character '%'"), std::string::npos);
+}
+
+TEST(SqlParserTest, StarQueryEndToEnd) {
+  // A 3-spoke star through the parser, checked structurally.
+  const Catalog catalog = TestCatalog();
+  const ParseResult r = ParseSelect(
+      "SELECT * FROM lineitem l, orders o, customer c, nation n "
+      "WHERE l.l_orderkey = o.o_id AND l.l_partkey = c.c_id "
+      "AND l.l_orderkey = n.n_id",
+      catalog);
+  const ParsedQuery q = Ok(r);
+  // l.l_orderkey shared by two predicates: implied edge o-n as well.
+  EXPECT_GE(q.query.graph.Degree(0), 3);
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,104 @@
+#include "stats/column_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace sdp {
+namespace {
+
+TEST(HistogramTest, FractionBelow) {
+  Histogram h;
+  h.bounds = {0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(h.FractionBelow(-5), 0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0), 0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(40), 1);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(100), 1);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(20), 0.5);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(5), 0.125);
+}
+
+TEST(HistogramTest, EmptyIsAgnostic) {
+  Histogram h;
+  EXPECT_TRUE(h.Empty());
+  EXPECT_DOUBLE_EQ(h.FractionBelow(123), 0.5);
+}
+
+TEST(ExpectedDistinctTest, UniformLimits) {
+  // Tiny sample from huge domain: nearly all distinct.
+  EXPECT_NEAR(ExpectedDistinctUniform(100, 1e9), 100, 1);
+  // Huge sample from small domain: domain saturates.
+  EXPECT_NEAR(ExpectedDistinctUniform(1e7, 100), 100, 0.01);
+  // Zero rows.
+  EXPECT_DOUBLE_EQ(ExpectedDistinctUniform(0, 50), 0);
+  // R draws from domain R: about (1 - 1/e) * R occupied.
+  EXPECT_NEAR(ExpectedDistinctUniform(10000, 10000), 10000 * 0.632, 10000 * 0.01);
+}
+
+TEST(SynthesizeStatsTest, CoversAllColumns) {
+  const Catalog c = MakeSyntheticCatalog(SchemaConfig{});
+  const StatsCatalog stats = SynthesizeStats(c);
+  for (int t = 0; t < c.num_tables(); ++t) {
+    for (size_t col = 0; col < c.table(t).columns.size(); ++col) {
+      const ColumnStats& s = stats.Get(t, static_cast<int>(col));
+      EXPECT_GE(s.num_distinct, 1);
+      EXPECT_LE(s.num_distinct,
+                static_cast<double>(c.table(t).row_count) + 1);
+      EXPECT_LE(s.num_distinct,
+                static_cast<double>(c.table(t).columns[col].domain_size) + 1);
+      EXPECT_FALSE(s.histogram.Empty());
+    }
+  }
+}
+
+TEST(SynthesizeStatsTest, SkewReducesDistincts) {
+  SchemaConfig uniform_cfg;
+  SchemaConfig skewed_cfg;
+  skewed_cfg.distribution = DataDistribution::kExponential;
+  const Catalog cu = MakeSyntheticCatalog(uniform_cfg);
+  const Catalog cs = MakeSyntheticCatalog(skewed_cfg);
+  const StatsCatalog su = SynthesizeStats(cu);
+  const StatsCatalog ss = SynthesizeStats(cs);
+  // Same layout (same seed), so compare column by column: exponential data
+  // concentrates mass and should never have more distinct values.
+  int strictly_less = 0;
+  for (int t = 0; t < cu.num_tables(); ++t) {
+    for (int col = 0; col < 24; ++col) {
+      EXPECT_LE(ss.Get(t, col).num_distinct,
+                su.Get(t, col).num_distinct * 1.05);
+      if (ss.Get(t, col).num_distinct < su.Get(t, col).num_distinct * 0.9) {
+        ++strictly_less;
+      }
+    }
+  }
+  EXPECT_GT(strictly_less, 0);
+}
+
+TEST(ComputeColumnStatsTest, ExactOnSmallData) {
+  const std::vector<int64_t> values = {5, 3, 7, 3, 9, 5, 1};
+  const ColumnStats s = ComputeColumnStats(values, 4);
+  EXPECT_DOUBLE_EQ(s.num_distinct, 5);
+  EXPECT_DOUBLE_EQ(s.min_value, 1);
+  EXPECT_DOUBLE_EQ(s.max_value, 9);
+  EXPECT_EQ(s.histogram.num_buckets(), 4);
+  EXPECT_DOUBLE_EQ(s.histogram.bounds.front(), 1);
+  EXPECT_DOUBLE_EQ(s.histogram.bounds.back(), 9);
+}
+
+TEST(ComputeColumnStatsTest, EmptyInput) {
+  const ColumnStats s = ComputeColumnStats({}, 4);
+  EXPECT_DOUBLE_EQ(s.num_distinct, 0);
+  EXPECT_TRUE(s.histogram.Empty());
+}
+
+TEST(ComputeColumnStatsTest, HistogramBoundsMonotone) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 1000; ++i) values.push_back((i * 37) % 101);
+  const ColumnStats s = ComputeColumnStats(values, 16);
+  for (size_t i = 1; i < s.histogram.bounds.size(); ++i) {
+    EXPECT_LE(s.histogram.bounds[i - 1], s.histogram.bounds[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,134 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "metrics/quality.h"
+
+namespace sdp {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : catalog_(MakeSyntheticCatalog(SchemaConfig{})) {}
+  Catalog catalog_;
+};
+
+TEST_F(WorkloadTest, GeneratesRequestedInstances) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStar;
+  spec.num_relations = 10;
+  spec.num_instances = 17;
+  const std::vector<Query> queries = GenerateWorkload(catalog_, spec);
+  ASSERT_EQ(queries.size(), 17u);
+  for (const Query& q : queries) {
+    EXPECT_EQ(q.graph.num_relations(), 10);
+    EXPECT_TRUE(q.graph.IsConnected(q.graph.AllRelations()));
+    EXPECT_FALSE(q.order_by.has_value());
+  }
+}
+
+TEST_F(WorkloadTest, StarHubIsLargestRelation) {
+  const int largest = catalog_.TablesByRowCountDesc().front();
+  WorkloadSpec spec;
+  spec.topology = Topology::kStar;
+  spec.num_relations = 8;
+  spec.num_instances = 10;
+  for (const Query& q : GenerateWorkload(catalog_, spec)) {
+    EXPECT_EQ(q.graph.table_id(0), largest);
+  }
+}
+
+TEST_F(WorkloadTest, InstancesUseDistinctTables) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kChain;
+  spec.num_relations = 12;
+  spec.num_instances = 5;
+  for (const Query& q : GenerateWorkload(catalog_, spec)) {
+    std::set<int> uniq(q.graph.table_ids().begin(),
+                       q.graph.table_ids().end());
+    EXPECT_EQ(uniq.size(), 12u);
+  }
+}
+
+TEST_F(WorkloadTest, InstancesVary) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStar;
+  spec.num_relations = 10;
+  spec.num_instances = 10;
+  const std::vector<Query> queries = GenerateWorkload(catalog_, spec);
+  std::set<std::vector<int>> layouts;
+  for (const Query& q : queries) layouts.insert(q.graph.table_ids());
+  EXPECT_GT(layouts.size(), 5u);
+}
+
+TEST_F(WorkloadTest, Deterministic) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStarChain;
+  spec.num_relations = 15;
+  spec.num_instances = 4;
+  spec.ordered = true;
+  const std::vector<Query> a = GenerateWorkload(catalog_, spec);
+  const std::vector<Query> b = GenerateWorkload(catalog_, spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].graph.table_ids(), b[i].graph.table_ids());
+    EXPECT_EQ(a[i].order_by->column, b[i].order_by->column);
+  }
+}
+
+TEST_F(WorkloadTest, OrderedVariantPicksJoinColumn) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStar;
+  spec.num_relations = 10;
+  spec.num_instances = 10;
+  spec.ordered = true;
+  for (const Query& q : GenerateWorkload(catalog_, spec)) {
+    ASSERT_TRUE(q.order_by.has_value());
+    EXPECT_GE(q.graph.EquivClass(q.order_by->column), 0);
+  }
+}
+
+TEST_F(WorkloadTest, NameEncodesSpec) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStarChain;
+  spec.num_relations = 15;
+  EXPECT_EQ(spec.Name(), "Star-Chain-15");
+  spec.ordered = true;
+  EXPECT_EQ(spec.Name(), "Star-Chain-15 (ordered)");
+}
+
+TEST(QualityMetricsTest, Classification) {
+  EXPECT_EQ(ClassifyRatio(1.0), QualityClass::kIdeal);
+  EXPECT_EQ(ClassifyRatio(1.009), QualityClass::kIdeal);
+  EXPECT_EQ(ClassifyRatio(1.5), QualityClass::kGood);
+  EXPECT_EQ(ClassifyRatio(2.0), QualityClass::kGood);
+  EXPECT_EQ(ClassifyRatio(9.99), QualityClass::kAcceptable);
+  EXPECT_EQ(ClassifyRatio(10.01), QualityClass::kBad);
+}
+
+TEST(QualityMetricsTest, DistributionAggregates) {
+  QualityDistribution d;
+  d.Add(1.0);
+  d.Add(1.5);
+  d.Add(4.0);
+  d.Add(16.0);
+  EXPECT_EQ(d.total, 4);
+  EXPECT_DOUBLE_EQ(d.Percent(QualityClass::kIdeal), 25);
+  EXPECT_DOUBLE_EQ(d.Percent(QualityClass::kGood), 25);
+  EXPECT_DOUBLE_EQ(d.Percent(QualityClass::kAcceptable), 25);
+  EXPECT_DOUBLE_EQ(d.Percent(QualityClass::kBad), 25);
+  EXPECT_DOUBLE_EQ(d.worst, 16.0);
+  EXPECT_NEAR(d.Rho(), std::pow(1.0 * 1.5 * 4.0 * 16.0, 0.25), 1e-12);
+}
+
+TEST(QualityMetricsTest, EmptyDistribution) {
+  QualityDistribution d;
+  EXPECT_DOUBLE_EQ(d.Percent(QualityClass::kIdeal), 0);
+  EXPECT_DOUBLE_EQ(d.Rho(), 0);
+}
+
+}  // namespace
+}  // namespace sdp

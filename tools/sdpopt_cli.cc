@@ -1,0 +1,220 @@
+// sdpopt_cli -- command-line EXPLAIN driver for the library.
+//
+// Usage:
+//   sdpopt_cli [options] "SELECT * FROM R1 a, R2 b WHERE a.c1 = b.c2"
+//   echo "SELECT ..." | sdpopt_cli [options]
+//
+// Options:
+//   --algorithm=dp|idp4|idp7|idp2|sdp|all   optimizer(s) to run (default: sdp)
+//   --schema=paper|small               catalog to bind against
+//                                      (paper: 25 relations R1..R25 with
+//                                      columns c1..c24; small: the same
+//                                      shape capped at 2000 rows/table)
+//   --budget-mb=N                      optimizer memory budget (default: none)
+//   --execute                          materialize data (small schema only)
+//                                      and run the chosen plan
+//   --dot                              emit GraphViz DOT for the join
+//                                      graph and the chosen plan(s)
+//   --list-tables                      print the schema and exit
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "core/sdp.h"
+#include "cost/cost_model.h"
+#include "engine/executor.h"
+#include "engine/table_data.h"
+#include "harness/experiment.h"
+#include "optimizer/dp.h"
+#include "optimizer/idp.h"
+#include "query/graphviz.h"
+#include "sql/parser.h"
+#include "stats/column_stats.h"
+
+namespace {
+
+struct Options {
+  std::string algorithm = "sdp";
+  std::string schema = "paper";
+  double budget_mb = 0;
+  bool execute = false;
+  bool list_tables = false;
+  bool dot = false;
+  std::string sql;
+};
+
+bool ParseArgs(int argc, char** argv, Options* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--algorithm=", 0) == 0) {
+      out->algorithm = arg.substr(12);
+    } else if (arg.rfind("--schema=", 0) == 0) {
+      out->schema = arg.substr(9);
+    } else if (arg.rfind("--budget-mb=", 0) == 0) {
+      out->budget_mb = std::atof(arg.c_str() + 12);
+    } else if (arg == "--execute") {
+      out->execute = true;
+    } else if (arg == "--dot") {
+      out->dot = true;
+    } else if (arg == "--list-tables") {
+      out->list_tables = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    } else {
+      if (!out->sql.empty()) out->sql += " ";
+      out->sql += arg;
+    }
+  }
+  return true;
+}
+
+std::vector<sdp::AlgorithmSpec> PickAlgorithms(const std::string& name) {
+  using sdp::AlgorithmSpec;
+  if (name == "dp") return {AlgorithmSpec::DP()};
+  if (name == "idp4") return {AlgorithmSpec::IDP(4)};
+  if (name == "idp7") return {AlgorithmSpec::IDP(7)};
+  if (name == "idp2") return {AlgorithmSpec::IDP2(7)};
+  if (name == "sdp") return {AlgorithmSpec::SDP()};
+  if (name == "all") {
+    return {AlgorithmSpec::DP(), AlgorithmSpec::IDP(7), AlgorithmSpec::IDP(4),
+            AlgorithmSpec::SDP()};
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return 2;
+
+  sdp::SchemaConfig config;
+  if (options.schema == "small") {
+    config.max_rows = 2000;
+    config.min_domain = 20;
+    config.max_domain = 2000;
+  } else if (options.schema != "paper") {
+    std::fprintf(stderr, "unknown schema '%s'\n", options.schema.c_str());
+    return 2;
+  }
+  const sdp::Catalog catalog = sdp::MakeSyntheticCatalog(config);
+
+  if (options.list_tables) {
+    for (int t = 0; t < catalog.num_tables(); ++t) {
+      const sdp::Table& table = catalog.table(t);
+      std::printf("%-6s %9llu rows, %zu columns (c1..c%zu), index on c%d\n",
+                  table.name.c_str(),
+                  static_cast<unsigned long long>(table.row_count),
+                  table.columns.size(), table.columns.size(),
+                  table.indexed_column + 1);
+    }
+    return 0;
+  }
+
+  if (options.sql.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!options.sql.empty()) options.sql += " ";
+      options.sql += line;
+    }
+  }
+  if (options.sql.empty()) {
+    std::fprintf(stderr,
+                 "usage: sdpopt_cli [--algorithm=dp|idp4|idp7|idp2|sdp|all] "
+                 "[--schema=paper|small]\n"
+                 "                  [--budget-mb=N] [--execute] "
+                 "[--list-tables] \"SELECT ...\"\n");
+    return 2;
+  }
+
+  const std::vector<sdp::AlgorithmSpec> algorithms =
+      PickAlgorithms(options.algorithm);
+  if (algorithms.empty()) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n",
+                 options.algorithm.c_str());
+    return 2;
+  }
+
+  const sdp::ParseResult parsed = sdp::ParseSelect(options.sql, catalog);
+  if (const auto* error = std::get_if<sdp::ParseError>(&parsed)) {
+    std::fprintf(stderr, "parse error at offset %d: %s\n", error->position,
+                 error->message.c_str());
+    return 1;
+  }
+  const sdp::ParsedQuery& bound = std::get<sdp::ParsedQuery>(parsed);
+  const sdp::Query& query = bound.query;
+  std::printf("%s\n", query.graph.ToString().c_str());
+  if (options.dot) {
+    std::printf("%s", sdp::JoinGraphToDot(query.graph, &catalog).c_str());
+  }
+  for (const sdp::FilterPredicate& f : query.filters) {
+    std::printf("filter: R%d.c%d %s %lld\n", f.column.rel, f.column.col + 1,
+                sdp::CompareOpName(f.op), static_cast<long long>(f.value));
+  }
+
+  const sdp::StatsCatalog stats = sdp::SynthesizeStats(catalog);
+  sdp::CostModel cost(catalog, stats, query.graph, sdp::CostParams(),
+                      query.filters);
+  sdp::OptimizerOptions opt;
+  opt.memory_budget_bytes =
+      static_cast<size_t>(options.budget_mb * 1024 * 1024);
+
+  for (const sdp::AlgorithmSpec& spec : algorithms) {
+    const sdp::OptimizeResult result =
+        sdp::RunAlgorithm(spec, query, cost, opt);
+    std::printf("\n-- %s --\n", spec.name.c_str());
+    if (!result.feasible) {
+      std::printf("infeasible: memory budget exceeded after %llu plans\n",
+                  static_cast<unsigned long long>(
+                      result.counters.plans_costed));
+      continue;
+    }
+    std::printf("cost=%.1f  est_rows=%.0f  plans_costed=%llu  "
+                "memory=%.2fMB  time=%.4fs\n",
+                result.cost, result.rows,
+                static_cast<unsigned long long>(result.counters.plans_costed),
+                result.peak_memory_mb, result.elapsed_seconds);
+    std::printf("%s", result.plan->ToString().c_str());
+    if (options.dot) {
+      std::printf("%s", sdp::PlanToDot(*result.plan).c_str());
+    }
+
+    if (options.execute) {
+      if (options.schema != "small") {
+        std::printf("(--execute requires --schema=small)\n");
+        continue;
+      }
+      const sdp::Database db = sdp::Database::Generate(catalog, 1);
+      sdp::Executor exec(db, query.graph, query.filters,
+                         bound.select_columns);
+      sdp::ResultSet rs = exec.Execute(result.plan);
+      if (!bound.select_columns.empty()) {
+        rs = sdp::Executor::Project(rs, bound.select_columns);
+      }
+      std::printf("executed: %lld rows\n",
+                  static_cast<long long>(rs.num_rows()));
+      if (!bound.select_columns.empty() && rs.num_rows() > 0) {
+        for (const sdp::ColumnRef& c : rs.columns) {
+          std::printf("%12s",
+                      (bound.binding_names[c.rel] + "." +
+                       catalog.table(query.graph.table_id(c.rel))
+                           .columns[c.col]
+                           .name)
+                          .c_str());
+        }
+        std::printf("\n");
+        const int64_t show = std::min<int64_t>(5, rs.num_rows());
+        for (int64_t r = 0; r < show; ++r) {
+          for (int64_t v : rs.rows[r]) std::printf("%12lld", (long long)v);
+          std::printf("\n");
+        }
+        if (rs.num_rows() > show) std::printf("  ... and more\n");
+      }
+    }
+  }
+  return 0;
+}
