@@ -1,0 +1,88 @@
+// Micro-benchmarks of the concurrent optimizer service: end-to-end
+// queries/sec for a repeated star-chain-13 instance with the plan cache
+// cold (every request runs the enumerator) versus warm (every request is a
+// canonical-cache hit served as a relabeled clone), across worker-pool
+// sizes.  The warm/cold ratio is the headline number: a hit must cost a
+// tree clone, not an optimization.
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "service/optimizer_service.h"
+
+namespace {
+
+constexpr int kBatch = 32;  // Requests submitted per timed iteration.
+
+sdp::Query ServiceQuery(const sdp::bench::PaperContext& ctx) {
+  sdp::WorkloadSpec spec;
+  spec.topology = sdp::Topology::kStarChain;
+  spec.num_relations = 13;
+  spec.num_instances = 1;
+  spec.seed = 77;
+  return sdp::GenerateWorkload(ctx.catalog, spec).front();
+}
+
+void RunBatch(sdp::OptimizerService& service, const sdp::Query& query) {
+  std::vector<std::future<sdp::ServiceResult>> futures;
+  futures.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) {
+    sdp::ServiceRequest request;
+    request.query = query;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+}
+
+// Cache disabled: every one of the kBatch identical requests pays the full
+// SDP enumeration, spread over state.range(0) workers.
+void BM_ServiceColdCache(benchmark::State& state) {
+  const sdp::bench::PaperContext ctx = sdp::bench::MakePaperContext();
+  const sdp::Query query = ServiceQuery(ctx);
+  sdp::ServiceConfig config;
+  config.num_threads = static_cast<int>(state.range(0));
+  config.cache_enabled = false;
+  sdp::OptimizerService service(ctx.catalog, ctx.stats, config);
+  for (auto _ : state) {
+    RunBatch(service, query);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_ServiceColdCache)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Cache pre-warmed with the single distinct fingerprint: every timed
+// request is a hit (deep-cloned plan, enumerator never runs).
+void BM_ServiceWarmCache(benchmark::State& state) {
+  const sdp::bench::PaperContext ctx = sdp::bench::MakePaperContext();
+  const sdp::Query query = ServiceQuery(ctx);
+  sdp::ServiceConfig config;
+  config.num_threads = static_cast<int>(state.range(0));
+  config.cache_enabled = true;
+  sdp::OptimizerService service(ctx.catalog, ctx.stats, config);
+  {
+    sdp::ServiceRequest warmup;
+    warmup.query = query;
+    service.OptimizeSync(std::move(warmup));
+  }
+  for (auto _ : state) {
+    RunBatch(service, query);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_ServiceWarmCache)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

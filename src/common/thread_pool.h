@@ -1,0 +1,57 @@
+#ifndef SDPOPT_COMMON_THREAD_POOL_H_
+#define SDPOPT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdp {
+
+// Fixed-size worker pool with a FIFO task queue.
+//
+// The pool owns its threads for its whole lifetime; tasks are opaque
+// std::function<void()> thunks.  Destruction drains the queue (every task
+// already submitted still runs) and then joins the workers, so a task's
+// captures may safely reference state owned by whoever owns the pool --
+// which is exactly how OptimizerService uses it: the service destructor
+// runs the pool destructor first, guaranteeing no request outlives the
+// service's catalog, cache or metrics.
+//
+// Deliberately minimal: no futures, no priorities, no work stealing.  The
+// service layer composes promises on top.
+class ThreadPool {
+ public:
+  // Spawns max(1, num_threads) workers immediately.
+  explicit ThreadPool(int num_threads);
+
+  // Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task.  Must not be called after (or concurrently with) the
+  // destructor.
+  void Submit(std::function<void()> task);
+
+  // Tasks enqueued but not yet picked up by a worker.
+  int queue_depth() const;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_COMMON_THREAD_POOL_H_

@@ -1,12 +1,15 @@
 #include "harness/experiment.h"
 
 #include <cstdio>
+#include <future>
 #include <ostream>
+#include <utility>
 
 #include "common/check.h"
 #include "core/sdp.h"
 #include "optimizer/dp.h"
 #include "optimizer/idp.h"
+#include "service/optimizer_service.h"
 
 namespace sdp {
 
@@ -69,54 +72,46 @@ OptimizeResult RunAlgorithm(const AlgorithmSpec& spec, const Query& query,
   return OptimizeResult();
 }
 
-ExperimentReport RunExperiment(const std::vector<Query>& queries,
-                               const Catalog& catalog,
-                               const StatsCatalog& stats,
-                               const std::vector<AlgorithmSpec>& algorithms,
-                               const OptimizerOptions& options,
-                               std::string workload_name) {
-  ExperimentReport report;
-  report.workload_name = std::move(workload_name);
-  report.outcomes.resize(algorithms.size());
-  for (size_t a = 0; a < algorithms.size(); ++a) {
-    report.outcomes[a].name = algorithms[a].name;
+namespace {
+
+// Shared aggregation core: consumes one query's results (one per
+// algorithm, in algorithm order) at a time, so the serial path never holds
+// more than one query's plans and the service path can feed futures as
+// they resolve.
+class ReportAccumulator {
+ public:
+  ReportAccumulator(const std::vector<AlgorithmSpec>& algorithms,
+                    std::string workload_name) {
+    report_.workload_name = std::move(workload_name);
+    report_.outcomes.resize(algorithms.size());
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      report_.outcomes[a].name = algorithms[a].name;
+      if (algorithms[a].kind == AlgorithmSpec::Kind::kDP && dp_index_ < 0) {
+        dp_index_ = static_cast<int>(a);
+      }
+      if (algorithms[a].kind == AlgorithmSpec::Kind::kSDP &&
+          sdp_index_ < 0) {
+        sdp_index_ = static_cast<int>(a);
+      }
+    }
+    dp_always_feasible_ = dp_index_ >= 0;
   }
 
-  int dp_index = -1;
-  int sdp_index = -1;
-  for (size_t a = 0; a < algorithms.size(); ++a) {
-    if (algorithms[a].kind == AlgorithmSpec::Kind::kDP && dp_index < 0) {
-      dp_index = static_cast<int>(a);
-    }
-    if (algorithms[a].kind == AlgorithmSpec::Kind::kSDP && sdp_index < 0) {
-      sdp_index = static_cast<int>(a);
-    }
-  }
-
-  bool dp_always_feasible = dp_index >= 0;
-  for (const Query& query : queries) {
-    CostModel cost(catalog, stats, query.graph, CostParams(),
-                   query.filters);
-    std::vector<OptimizeResult> results;
-    results.reserve(algorithms.size());
-    for (const AlgorithmSpec& spec : algorithms) {
-      results.push_back(RunAlgorithm(spec, query, cost, options));
-    }
-
+  void AddQuery(const std::vector<OptimizeResult>& results) {
     // Reference cost: DP when feasible, else SDP (the paper's convention
     // for scaled queries where DP runs out of memory).
     double reference = 0;
-    if (dp_index >= 0 && results[dp_index].feasible) {
-      reference = results[dp_index].cost;
+    if (dp_index_ >= 0 && results[dp_index_].feasible) {
+      reference = results[dp_index_].cost;
     } else {
-      dp_always_feasible = false;
-      if (sdp_index >= 0 && results[sdp_index].feasible) {
-        reference = results[sdp_index].cost;
+      dp_always_feasible_ = false;
+      if (sdp_index_ >= 0 && results[sdp_index_].feasible) {
+        reference = results[sdp_index_].cost;
       }
     }
 
-    for (size_t a = 0; a < algorithms.size(); ++a) {
-      AlgorithmOutcome& out = report.outcomes[a];
+    for (size_t a = 0; a < results.size(); ++a) {
+      AlgorithmOutcome& out = report_.outcomes[a];
       const OptimizeResult& r = results[a];
       ++out.attempted;
       if (!r.feasible) continue;
@@ -131,8 +126,76 @@ ExperimentReport RunExperiment(const std::vector<Query>& queries,
     }
   }
 
-  report.reference_name = dp_always_feasible ? "DP" : "SDP";
-  return report;
+  ExperimentReport Finish() {
+    report_.reference_name = dp_always_feasible_ ? "DP" : "SDP";
+    return std::move(report_);
+  }
+
+ private:
+  ExperimentReport report_;
+  int dp_index_ = -1;
+  int sdp_index_ = -1;
+  bool dp_always_feasible_ = false;
+};
+
+}  // namespace
+
+ExperimentReport RunExperiment(const std::vector<Query>& queries,
+                               const Catalog& catalog,
+                               const StatsCatalog& stats,
+                               const std::vector<AlgorithmSpec>& algorithms,
+                               const OptimizerOptions& options,
+                               std::string workload_name) {
+  ReportAccumulator acc(algorithms, std::move(workload_name));
+  for (const Query& query : queries) {
+    CostModel cost(catalog, stats, query.graph, CostParams(),
+                   query.filters);
+    std::vector<OptimizeResult> results;
+    results.reserve(algorithms.size());
+    for (const AlgorithmSpec& spec : algorithms) {
+      results.push_back(RunAlgorithm(spec, query, cost, options));
+    }
+    acc.AddQuery(results);
+  }
+  return acc.Finish();
+}
+
+ExperimentReport RunExperimentViaService(
+    const std::vector<Query>& queries, const Catalog& catalog,
+    const StatsCatalog& stats, const std::vector<AlgorithmSpec>& algorithms,
+    const OptimizerOptions& options, std::string workload_name,
+    const ServiceRunConfig& service_config, std::string* metrics_dump) {
+  ServiceConfig config;
+  config.num_threads = service_config.num_threads;
+  config.cache_enabled = service_config.cache_enabled;
+  OptimizerService service(catalog, stats, config);
+
+  // Fan every (query, algorithm) pair out to the workers, then collect in
+  // submission order so aggregation matches the serial loop exactly.
+  std::vector<std::future<ServiceResult>> futures;
+  futures.reserve(queries.size() * algorithms.size());
+  for (const Query& query : queries) {
+    for (const AlgorithmSpec& spec : algorithms) {
+      ServiceRequest request;
+      request.query = query;
+      request.spec = spec;
+      request.options = options;
+      futures.push_back(service.Submit(std::move(request)));
+    }
+  }
+
+  ReportAccumulator acc(algorithms, std::move(workload_name));
+  size_t f = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::vector<OptimizeResult> results;
+    results.reserve(algorithms.size());
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      results.push_back(std::move(futures[f++].get().result));
+    }
+    acc.AddQuery(results);
+  }
+  if (metrics_dump != nullptr) *metrics_dump = service.metrics().Dump();
+  return acc.Finish();
 }
 
 namespace {

@@ -72,6 +72,24 @@ ExperimentReport RunExperiment(const std::vector<Query>& queries,
                                const OptimizerOptions& options,
                                std::string workload_name);
 
+// How RunExperimentViaService drives the optimizer service.
+struct ServiceRunConfig {
+  int num_threads = 4;
+  bool cache_enabled = true;
+};
+
+// Same contract (and, by per-request isolation, bit-identical reports
+// modulo wall-clock fields) as RunExperiment, but every (query, algorithm)
+// pair is optimized through a multi-threaded OptimizerService.  When
+// `metrics_dump` is non-null it receives the service's metrics text after
+// the workload drains.
+ExperimentReport RunExperimentViaService(
+    const std::vector<Query>& queries, const Catalog& catalog,
+    const StatsCatalog& stats, const std::vector<AlgorithmSpec>& algorithms,
+    const OptimizerOptions& options, std::string workload_name,
+    const ServiceRunConfig& service_config,
+    std::string* metrics_dump = nullptr);
+
 // Paper-style tables.
 void PrintQualityTable(std::ostream& os, const ExperimentReport& report);
 void PrintOverheadTable(std::ostream& os, const ExperimentReport& report);

@@ -1,14 +1,19 @@
 #include "optimizer/plan_pool.h"
 
+#include <atomic>
+
 #include "common/check.h"
 
 namespace sdp {
 
 namespace {
 // Pool ids start at 1; 0 marks nodes owned by plain arenas (clones).
+// Atomic because pools are constructed concurrently by service workers
+// (one pool per in-flight request), even though each pool is then used by
+// a single thread.
 uint32_t NextPoolId() {
-  static uint32_t next = 1;
-  return next++;
+  static std::atomic<uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 }  // namespace
 

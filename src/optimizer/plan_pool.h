@@ -23,6 +23,11 @@ namespace sdp {
 // Each pool stamps its nodes with a unique id; Free() ignores nodes owned
 // by other allocators (e.g. IDP's persistent clones), so callers can free
 // indiscriminately.
+//
+// Thread-safety: the id counter behind pool construction is atomic, so
+// pools may be *created* concurrently (the optimizer service makes one per
+// in-flight request), but each pool instance itself remains single-threaded
+// -- exactly one request, and therefore one worker, ever touches it.
 class PlanPool {
  public:
   explicit PlanPool(MemoryGauge* gauge);

@@ -42,6 +42,10 @@ struct JoinEdge {
 //  * relation degrees, which define hub relations (degree >= 3).
 class JoinGraph {
  public:
+  // An empty (zero-relation) graph; a placeholder until a real graph is
+  // bound (e.g. service requests whose SQL is parsed on the worker).
+  JoinGraph() = default;
+
   explicit JoinGraph(std::vector<int> table_ids);
 
   int num_relations() const { return static_cast<int>(table_ids_.size()); }

@@ -1,0 +1,251 @@
+#include "service/optimizer_service.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <variant>
+
+#include "cost/cost_model.h"
+#include "optimizer/run_helpers.h"
+#include "service/plan_fingerprint.h"
+#include "sql/parser.h"
+
+namespace sdp {
+
+namespace {
+
+void AppendDoubleBits(std::string* out, double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(double));
+  std::memcpy(&bits, &d, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  out->append(buf);
+}
+
+// Serializes everything about an AlgorithmSpec that can influence the
+// chosen plan or its reported cost, so two specs share cache entries only
+// when they are behaviorally identical.
+std::string AlgorithmCacheTag(const AlgorithmSpec& spec) {
+  std::string tag = "name=" + spec.name + ";";
+  switch (spec.kind) {
+    case AlgorithmSpec::Kind::kDP:
+      tag += "dp";
+      break;
+    case AlgorithmSpec::Kind::kIDP:
+    case AlgorithmSpec::Kind::kIDP2:
+      tag += spec.kind == AlgorithmSpec::Kind::kIDP ? "idp" : "idp2";
+      tag += ":k=" + std::to_string(spec.idp.k);
+      tag += ",bf=";
+      AppendDoubleBits(&tag, spec.idp.balloon_fraction);
+      tag += ",bal=" + std::to_string(spec.idp.balanced ? 1 : 0);
+      break;
+    case AlgorithmSpec::Kind::kSDP:
+      tag += "sdp:part=" + std::to_string(static_cast<int>(spec.sdp.partitioning));
+      tag += ",sky=" + std::to_string(static_cast<int>(spec.sdp.skyline));
+      tag += ",loc=" + std::to_string(spec.sdp.localized ? 1 : 0);
+      tag += ",ord=" + std::to_string(spec.sdp.order_partitions ? 1 : 0);
+      tag += ",hub=" + std::to_string(spec.sdp.hub_degree);
+      break;
+  }
+  return tag;
+}
+
+std::string OptionsCacheTag(const OptimizerOptions& options) {
+  return "budget=" + std::to_string(options.memory_budget_bytes) +
+         ",maxplans=" + std::to_string(options.max_plans_costed);
+}
+
+}  // namespace
+
+struct OptimizerService::PendingRequest {
+  bool from_sql = false;
+  std::string sql;
+  ServiceRequest request;
+  std::promise<ServiceResult> promise;
+};
+
+OptimizerService::OptimizerService(const Catalog& catalog,
+                                   const StatsCatalog& stats,
+                                   ServiceConfig config)
+    : catalog_(catalog),
+      stats_(stats),
+      config_(config),
+      stats_epoch_(config.stats_epoch),
+      cache_(PlanCacheConfig{config.cache_enabled, config.cache_stripes}),
+      pool_(config.num_threads) {}
+
+OptimizerService::~OptimizerService() = default;
+
+std::future<ServiceResult> OptimizerService::Enqueue(
+    std::shared_ptr<PendingRequest> pending) {
+  std::future<ServiceResult> future = pending->promise.get_future();
+
+  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  if (config_.max_queue_depth > 0 &&
+      metrics_.queue_depth.load(std::memory_order_relaxed) >=
+          config_.max_queue_depth) {
+    metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    ServiceResult rejected;
+    rejected.rejected = true;
+    rejected.error = "queue full";
+    pending->promise.set_value(std::move(rejected));
+    return future;
+  }
+
+  metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+  pool_.Submit([this, pending = std::move(pending)]() mutable {
+    RunOne(std::move(pending));
+  });
+  return future;
+}
+
+std::future<ServiceResult> OptimizerService::Submit(ServiceRequest request) {
+  auto pending = std::make_shared<PendingRequest>();
+  pending->request = std::move(request);
+  return Enqueue(std::move(pending));
+}
+
+std::future<ServiceResult> OptimizerService::SubmitSql(
+    std::string sql, AlgorithmSpec spec, OptimizerOptions options) {
+  // The query slot stays an empty graph until the worker parses the SQL.
+  auto pending = std::make_shared<PendingRequest>();
+  pending->from_sql = true;
+  pending->sql = std::move(sql);
+  pending->request.spec = std::move(spec);
+  pending->request.options = options;
+  return Enqueue(std::move(pending));
+}
+
+ServiceResult OptimizerService::OptimizeSync(ServiceRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+bool OptimizerService::AdmitBudget(size_t budget_bytes) {
+  if (config_.global_memory_cap_bytes == 0) return true;
+  const size_t cap = config_.global_memory_cap_bytes;
+  // An unlimited-budget request reserves the whole cap.
+  const size_t need = budget_bytes == 0 ? cap : budget_bytes;
+  if (need > cap) return false;
+
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (admitted_bytes_ + need > cap) {
+    metrics_.admission_waits.fetch_add(1, std::memory_order_relaxed);
+    admission_cv_.wait(lock, [this, need, cap] {
+      return admitted_bytes_ + need <= cap;
+    });
+  }
+  admitted_bytes_ += need;
+  return true;
+}
+
+void OptimizerService::ReleaseBudget(size_t budget_bytes) {
+  if (config_.global_memory_cap_bytes == 0) return;
+  const size_t cap = config_.global_memory_cap_bytes;
+  const size_t need = budget_bytes == 0 ? cap : budget_bytes;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    admitted_bytes_ -= need;
+  }
+  admission_cv_.notify_all();
+}
+
+void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
+  metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+  metrics_.inflight.fetch_add(1, std::memory_order_relaxed);
+  const Stopwatch request_watch;
+
+  ServiceResult out;
+  ServiceRequest& request = pending->request;
+
+  if (pending->from_sql) {
+    const ParseResult parsed = ParseSelect(pending->sql, catalog_);
+    if (const auto* error = std::get_if<ParseError>(&parsed)) {
+      metrics_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+      out.error = "parse error at offset " +
+                  std::to_string(error->position) + ": " + error->message;
+      metrics_.inflight.fetch_sub(1, std::memory_order_relaxed);
+      metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+      pending->promise.set_value(std::move(out));
+      return;
+    }
+    request.query = std::get<ParsedQuery>(parsed).query;
+  }
+
+  // Per-request isolation starts here: the cost model (and, inside the
+  // optimizer entry point, the memo/pool/estimator/gauge) belong to this
+  // request alone.
+  const CostModel cost(catalog_, stats_, request.query.graph, CostParams(),
+                       request.query.filters);
+
+  CanonicalQueryForm form;
+  std::string full_key;
+  PlanCache::Ticket ticket;
+  PlanCache::Outcome outcome = PlanCache::Outcome::kDisabled;
+  if (config_.cache_enabled) {
+    form = CanonicalizeQuery(request.query, cost);
+    full_key = form.key;
+    full_key += "|algo=";
+    full_key += AlgorithmCacheTag(request.spec);
+    full_key += "|opt=";
+    full_key += OptionsCacheTag(request.options);
+    full_key += "|epoch=";
+    full_key += std::to_string(stats_epoch_.load(std::memory_order_acquire));
+    outcome = cache_.LookupOrBegin(full_key, form, request.query, &ticket,
+                                   &out.result);
+  }
+
+  if (outcome == PlanCache::Outcome::kHit) {
+    out.cache_hit = true;
+    metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (outcome == PlanCache::Outcome::kMiss) {
+      metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!AdmitBudget(request.options.memory_budget_bytes)) {
+      // This request's budget can never fit under the global cap: the same
+      // verdict the per-run budget machinery gives, raised before wasting
+      // any enumeration work.
+      cache_.Abandon(std::move(ticket));
+      metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+      out.rejected = true;
+      out.error = "memory budget exceeds service cap";
+      out.result.algorithm = request.spec.name;
+      metrics_.inflight.fetch_sub(1, std::memory_order_relaxed);
+      metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+      pending->promise.set_value(std::move(out));
+      return;
+    }
+
+    out.result = RunAlgorithm(request.spec, request.query, cost,
+                              request.options);
+    ReleaseBudget(request.options.memory_budget_bytes);
+
+    if (out.result.feasible) {
+      cache_.Fill(std::move(ticket), request.query, form, out.result);
+    } else {
+      cache_.Abandon(std::move(ticket));
+      metrics_.requests_infeasible.fetch_add(1, std::memory_order_relaxed);
+    }
+    metrics_.plans_costed.fetch_add(out.result.counters.plans_costed,
+                                    std::memory_order_relaxed);
+    metrics_.jcrs_created.fetch_add(out.result.counters.jcrs_created,
+                                    std::memory_order_relaxed);
+    metrics_.bytes_charged.fetch_add(
+        static_cast<uint64_t>(out.result.peak_memory_mb * (1 << 20)),
+        std::memory_order_relaxed);
+  }
+
+  metrics_.optimize_latency.Record(request_watch.Seconds());
+  metrics_.inflight.fetch_sub(1, std::memory_order_relaxed);
+  metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+  pending->promise.set_value(std::move(out));
+}
+
+void OptimizerService::BumpStatsEpoch() {
+  stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  cache_.Clear();
+}
+
+}  // namespace sdp

@@ -1,0 +1,142 @@
+#ifndef SDPOPT_SERVICE_OPTIMIZER_SERVICE_H_
+#define SDPOPT_SERVICE_OPTIMIZER_SERVICE_H_
+
+#include <stdint.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/thread_pool.h"
+#include "harness/experiment.h"
+#include "optimizer/optimizer_types.h"
+#include "query/join_graph.h"
+#include "service/plan_cache.h"
+#include "service/service_metrics.h"
+#include "stats/column_stats.h"
+
+namespace sdp {
+
+struct ServiceConfig {
+  // Worker threads optimizing requests concurrently.
+  int num_threads = 4;
+
+  // Canonical plan cache fronting the optimizers.
+  bool cache_enabled = true;
+  int cache_stripes = 16;
+
+  // Admission control: cap on the summed memory budgets of in-flight
+  // requests (0 = uncapped).  A request is rejected outright when its own
+  // budget exceeds the cap; otherwise it waits at dispatch until enough
+  // in-flight budget is released.  A request declaring no budget (0 =
+  // unlimited) is accounted as consuming the whole cap, serializing it
+  // against everything else.
+  size_t global_memory_cap_bytes = 0;
+
+  // Submit() rejects immediately once this many requests are queued
+  // (0 = unbounded).
+  int max_queue_depth = 0;
+
+  // Included in every cache key.  Bump (via BumpStatsEpoch) whenever the
+  // catalog or statistics change so stale plans cannot be served.
+  uint64_t stats_epoch = 0;
+};
+
+// One optimization request: a bound query plus the algorithm and resource
+// limits to run it under.  The query is held by value -- each request is
+// self-contained and independent of caller lifetime.
+struct ServiceRequest {
+  Query query;
+  AlgorithmSpec spec = AlgorithmSpec::SDP();
+  OptimizerOptions options;
+};
+
+struct ServiceResult {
+  OptimizeResult result;
+  bool cache_hit = false;
+  bool rejected = false;  // Admission control turned the request away.
+  std::string error;      // Non-empty on parse/validation failure.
+
+  bool ok() const { return error.empty() && !rejected; }
+};
+
+// Embeddable multi-threaded optimizer service.
+//
+// Requests run on a fixed worker pool with full per-request isolation:
+// every optimization owns a private Memo, PlanPool, CardinalityEstimator
+// and MemoryGauge (created inside the optimizer entry points), so results
+// -- costs, counters, chosen plans -- are bit-identical to a serial run of
+// the same workload regardless of thread count or arrival order.  A
+// canonical plan cache (see PlanCache) short-circuits repeated
+// structurally-identical instances; cached plans are deep-cloned per
+// request, never shared.
+//
+// The catalog and stats must outlive the service.  Destruction drains all
+// accepted requests (every future is fulfilled) before returning.
+class OptimizerService {
+ public:
+  OptimizerService(const Catalog& catalog, const StatsCatalog& stats,
+                   ServiceConfig config = {});
+  ~OptimizerService();
+
+  OptimizerService(const OptimizerService&) = delete;
+  OptimizerService& operator=(const OptimizerService&) = delete;
+
+  // Enqueues a bound query.  The future is fulfilled by a worker (or
+  // immediately, when the queue is over max_queue_depth).
+  std::future<ServiceResult> Submit(ServiceRequest request);
+
+  // Enqueues SQL text; parsing and binding happen on the worker.
+  std::future<ServiceResult> SubmitSql(std::string sql,
+                                       AlgorithmSpec spec = AlgorithmSpec::SDP(),
+                                       OptimizerOptions options = {});
+
+  // Convenience: Submit + wait.  Must not be called from a worker task.
+  ServiceResult OptimizeSync(ServiceRequest request);
+
+  const ServiceMetrics& metrics() const { return metrics_; }
+  PlanCacheStats cache_stats() const { return cache_.Stats(); }
+
+  // Invalidates every cached plan and stamps subsequent cache keys with a
+  // new epoch.  Call after the underlying catalog/stats change.
+  void BumpStatsEpoch();
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_relaxed);
+  }
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct PendingRequest;
+
+  std::future<ServiceResult> Enqueue(std::shared_ptr<PendingRequest> pending);
+  void RunOne(std::shared_ptr<PendingRequest> pending);
+  // Blocks until the request's budget fits under the global cap.  Returns
+  // false when it can never fit (reject).
+  bool AdmitBudget(size_t budget_bytes);
+  void ReleaseBudget(size_t budget_bytes);
+
+  const Catalog& catalog_;
+  const StatsCatalog& stats_;
+  ServiceConfig config_;
+  std::atomic<uint64_t> stats_epoch_;
+
+  ServiceMetrics metrics_;
+  PlanCache cache_;
+
+  std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  size_t admitted_bytes_ = 0;
+
+  // Last member: destroyed first, so in-flight tasks finish while every
+  // other field is still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_SERVICE_OPTIMIZER_SERVICE_H_

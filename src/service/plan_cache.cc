@@ -1,0 +1,342 @@
+#include "service/plan_cache.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "optimizer/enumerator.h"
+#include "plan/plan_node.h"
+
+namespace sdp {
+
+// One cached (or in-flight) optimization outcome.  The payload fields are
+// written by exactly one thread (the ticket owner) before `state` is
+// released to kReady, and are immutable afterwards; readers acquire
+// `state` before touching them.
+struct CacheSlot {
+  enum State : int { kComputing = 0, kReady = 1, kFailed = 2 };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<int> state{kComputing};
+
+  // --- payload (valid once state == kReady) ---
+  std::shared_ptr<Arena> arena;
+  const PlanNode* plan = nullptr;  // In the inserter's position space.
+  double cost = 0;
+  double rows = 0;
+  SearchCounters counters;
+  std::string algorithm;
+  double elapsed_seconds = 0;   // Of the original (miss) run.
+  double peak_memory_mb = 0;    // Of the original (miss) run.
+  std::vector<int> perm;        // Inserter position -> canonical position.
+  // Inserter-space descriptions needed to translate the plan into another
+  // isomorphic query's space: edge endpoints by edge index, and one member
+  // column per ordering id (equivalence classes, plus the non-join ORDER BY
+  // column when present -- mirroring OrderingSpace::IdFor).
+  std::vector<std::pair<ColumnRef, ColumnRef>> edge_endpoints;
+  std::vector<ColumnRef> ordering_reps;
+};
+
+struct PlanCache::Stripe {
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<CacheSlot>> map;
+};
+
+namespace {
+
+// Packs a normalized column pair into one key (positions and column
+// indices are small; 16 bits each is generous).
+uint64_t EdgeKey(ColumnRef a, ColumnRef b) {
+  if (b.rel < a.rel || (b.rel == a.rel && b.col < a.col)) std::swap(a, b);
+  const uint64_t lo = (static_cast<uint64_t>(a.rel) << 16) |
+                      static_cast<uint64_t>(a.col);
+  const uint64_t hi = (static_cast<uint64_t>(b.rel) << 16) |
+                      static_cast<uint64_t>(b.col);
+  return (lo << 32) | hi;
+}
+
+// Index maps translating the cached plan's labels into the probe query's.
+struct RemapTables {
+  std::vector<int> rel_map;   // Inserter position -> probe position.
+  std::vector<int> edge_map;  // Inserter edge index -> probe edge index.
+  std::vector<int> ord_map;   // Inserter ordering id -> probe ordering id.
+  bool ok = true;
+};
+
+RemapTables BuildRemapTables(const CacheSlot& slot, const Query& query,
+                             const std::vector<int>& probe_perm) {
+  RemapTables t;
+  const int n = static_cast<int>(probe_perm.size());
+  if (static_cast<int>(slot.perm.size()) != n ||
+      query.graph.num_relations() != n) {
+    t.ok = false;
+    return t;
+  }
+
+  std::vector<int> canon_to_probe(n, -1);
+  for (int pos = 0; pos < n; ++pos) canon_to_probe[probe_perm[pos]] = pos;
+  t.rel_map.resize(n);
+  for (int pos = 0; pos < n; ++pos) {
+    t.rel_map[pos] = canon_to_probe[slot.perm[pos]];
+  }
+
+  std::unordered_map<uint64_t, int> probe_edges;
+  probe_edges.reserve(query.graph.edges().size());
+  for (int e = 0; e < static_cast<int>(query.graph.edges().size()); ++e) {
+    const JoinEdge& edge = query.graph.edges()[e];
+    probe_edges.emplace(EdgeKey(edge.left, edge.right), e);
+  }
+  t.edge_map.resize(slot.edge_endpoints.size());
+  for (size_t e = 0; e < slot.edge_endpoints.size(); ++e) {
+    ColumnRef l = slot.edge_endpoints[e].first;
+    ColumnRef r = slot.edge_endpoints[e].second;
+    l.rel = t.rel_map[l.rel];
+    r.rel = t.rel_map[r.rel];
+    const auto it = probe_edges.find(EdgeKey(l, r));
+    if (it == probe_edges.end()) {
+      t.ok = false;
+      return t;
+    }
+    t.edge_map[e] = it->second;
+  }
+
+  const OrderingSpace space(
+      query.graph, query.order_by.has_value()
+                       ? std::optional<ColumnRef>(query.order_by->column)
+                       : std::nullopt);
+  t.ord_map.resize(slot.ordering_reps.size());
+  for (size_t o = 0; o < slot.ordering_reps.size(); ++o) {
+    ColumnRef rep = slot.ordering_reps[o];
+    rep.rel = t.rel_map[rep.rel];
+    t.ord_map[o] = space.IdFor(rep);
+    if (t.ord_map[o] < 0) {
+      t.ok = false;
+      return t;
+    }
+  }
+  return t;
+}
+
+const PlanNode* RemapTree(const PlanNode* node, Arena* arena,
+                          const RemapTables& t, bool* ok) {
+  if (node == nullptr || !*ok) return nullptr;
+  PlanNode* copy = arena->New<PlanNode>(*node);
+  copy->pool_id = 0;
+  if (node->rel >= 0) copy->rel = t.rel_map[node->rel];
+  if (node->edge >= 0) {
+    if (node->edge >= static_cast<int>(t.edge_map.size())) {
+      *ok = false;
+      return nullptr;
+    }
+    copy->edge = t.edge_map[node->edge];
+  }
+  if (node->ordering >= 0) {
+    if (node->ordering >= static_cast<int>(t.ord_map.size())) {
+      *ok = false;
+      return nullptr;
+    }
+    copy->ordering = t.ord_map[node->ordering];
+  }
+  RelSet rels;
+  node->rels.ForEach([&](int r) { rels = rels.With(t.rel_map[r]); });
+  copy->rels = rels;
+  copy->outer = RemapTree(node->outer, arena, t, ok);
+  copy->inner = RemapTree(node->inner, arena, t, ok);
+  return *ok ? copy : nullptr;
+}
+
+// Clones the slot's plan into a fresh arena, relabeled for `query`.
+bool ServeFromSlot(const CacheSlot& slot, const Query& query,
+                   const std::vector<int>& probe_perm, OptimizeResult* out) {
+  const RemapTables tables = BuildRemapTables(slot, query, probe_perm);
+  if (!tables.ok) return false;
+  auto arena = std::make_shared<Arena>();
+  bool ok = true;
+  const PlanNode* plan = RemapTree(slot.plan, arena.get(), tables, &ok);
+  if (!ok || plan == nullptr) return false;
+
+  out->algorithm = slot.algorithm;
+  out->feasible = true;
+  out->plan = plan;
+  out->plan_arena = std::move(arena);
+  out->cost = slot.cost;
+  out->rows = slot.rows;
+  out->counters = slot.counters;
+  out->elapsed_seconds = slot.elapsed_seconds;
+  out->peak_memory_mb = slot.peak_memory_mb;
+  return true;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(PlanCacheConfig config) : config_(config) {
+  uint32_t stripes = 1;
+  while (stripes < static_cast<uint32_t>(
+                       config_.num_stripes < 1 ? 1 : config_.num_stripes)) {
+    stripes <<= 1;
+  }
+  stripe_mask_ = stripes - 1;
+  stripes_.reserve(stripes);
+  for (uint32_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+PlanCache::~PlanCache() = default;
+
+PlanCache::Stripe& PlanCache::StripeFor(uint64_t hash) const {
+  return *stripes_[static_cast<size_t>(hash & stripe_mask_)];
+}
+
+PlanCache::Outcome PlanCache::LookupOrBegin(const std::string& full_key,
+                                            const CanonicalQueryForm& form,
+                                            const Query& query,
+                                            Ticket* ticket,
+                                            OptimizeResult* result) {
+  ticket->slot.reset();
+  if (!config_.enabled) return Outcome::kDisabled;
+
+  Stripe& stripe = StripeFor(form.hash);
+  std::shared_ptr<CacheSlot> slot;
+  bool created = false;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.map.find(full_key);
+    if (it == stripe.map.end()) {
+      slot = std::make_shared<CacheSlot>();
+      stripe.map.emplace(full_key, slot);
+      created = true;
+    } else {
+      slot = it->second;
+    }
+  }
+  if (created) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    ticket->slot = std::move(slot);
+    return Outcome::kMiss;
+  }
+
+  bool waited = false;
+  for (;;) {
+    const int state = slot->state.load(std::memory_order_acquire);
+    if (state == CacheSlot::kReady) {
+      if (!ServeFromSlot(*slot, query, form.perm, result)) {
+        // Key matched but the plan could not be translated; treat as an
+        // uncacheable miss (the caller computes without a ticket).
+        remap_failures_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return Outcome::kMiss;
+      }
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (waited) coalesced_.fetch_add(1, std::memory_order_relaxed);
+      return Outcome::kHit;
+    }
+    if (state == CacheSlot::kFailed) {
+      // Take over the failed computation so the key can still be filled.
+      int expected = CacheSlot::kFailed;
+      if (slot->state.compare_exchange_strong(expected, CacheSlot::kComputing,
+                                              std::memory_order_acq_rel)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        ticket->slot = std::move(slot);
+        return Outcome::kMiss;
+      }
+      continue;
+    }
+    // In flight elsewhere: coalesce instead of duplicating the work.
+    waited = true;
+    std::unique_lock<std::mutex> lock(slot->mu);
+    slot->cv.wait(lock, [&slot] {
+      return slot->state.load(std::memory_order_acquire) !=
+             CacheSlot::kComputing;
+    });
+  }
+}
+
+void PlanCache::Fill(Ticket ticket, const Query& query,
+                     const CanonicalQueryForm& form,
+                     const OptimizeResult& result) {
+  if (!ticket.valid()) return;
+  if (!result.feasible || result.plan == nullptr) {
+    Abandon(std::move(ticket));
+    return;
+  }
+  CacheSlot& slot = *ticket.slot;
+  SDP_DCHECK(slot.state.load(std::memory_order_relaxed) ==
+             CacheSlot::kComputing);
+
+  slot.arena = std::make_shared<Arena>();
+  slot.plan = ClonePlanTree(result.plan, slot.arena.get());
+  slot.cost = result.cost;
+  slot.rows = result.rows;
+  slot.counters = result.counters;
+  slot.algorithm = result.algorithm;
+  slot.elapsed_seconds = result.elapsed_seconds;
+  slot.peak_memory_mb = result.peak_memory_mb;
+  slot.perm = form.perm;
+
+  const JoinGraph& graph = query.graph;
+  slot.edge_endpoints.clear();
+  slot.edge_endpoints.reserve(graph.edges().size());
+  for (const JoinEdge& e : graph.edges()) {
+    slot.edge_endpoints.emplace_back(e.left, e.right);
+  }
+  slot.ordering_reps.clear();
+  for (int eq = 0; eq < graph.num_equiv_classes(); ++eq) {
+    SDP_DCHECK(!graph.EquivClassMembers(eq).empty());
+    slot.ordering_reps.push_back(graph.EquivClassMembers(eq).front());
+  }
+  if (query.order_by.has_value() &&
+      graph.EquivClass(query.order_by->column) < 0) {
+    // The non-join ORDER BY column owns the one extra ordering id.
+    slot.ordering_reps.push_back(query.order_by->column);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.state.store(CacheSlot::kReady, std::memory_order_release);
+  }
+  slot.cv.notify_all();
+}
+
+void PlanCache::Abandon(Ticket ticket) {
+  if (!ticket.valid()) return;
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(ticket.slot->mu);
+    ticket.slot->state.store(CacheSlot::kFailed, std::memory_order_release);
+  }
+  ticket.slot->cv.notify_all();
+}
+
+void PlanCache::Clear() {
+  // Dropping the map entries is safe mid-flight: ticket owners and waiters
+  // hold their own shared_ptr to the slot and finish independently; the
+  // orphaned slot simply never serves another request.
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->map.clear();
+  }
+}
+
+PlanCacheStats PlanCache::Stats() const {
+  PlanCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.failures = failures_.load(std::memory_order_relaxed);
+  stats.remap_failures = remap_failures_.load(std::memory_order_relaxed);
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [key, slot] : stripe->map) {
+      if (slot->state.load(std::memory_order_acquire) == CacheSlot::kReady) {
+        ++stats.entries;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace sdp

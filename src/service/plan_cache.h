@@ -1,0 +1,116 @@
+#ifndef SDPOPT_SERVICE_PLAN_CACHE_H_
+#define SDPOPT_SERVICE_PLAN_CACHE_H_
+
+#include <stdint.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "optimizer/optimizer_types.h"
+#include "query/join_graph.h"
+#include "service/plan_fingerprint.h"
+
+namespace sdp {
+
+struct PlanCacheConfig {
+  bool enabled = true;
+  // Lock stripes; rounded up to a power of two, min 1.  Each stripe has its
+  // own mutex and hash map, so concurrent requests with different
+  // fingerprints never contend.
+  int num_stripes = 16;
+};
+
+// Point-in-time cache statistics (all counters are cumulative).
+struct PlanCacheStats {
+  uint64_t hits = 0;       // Served from a completed entry.
+  uint64_t coalesced = 0;  // Subset of hits: waited on an in-flight compute.
+  uint64_t misses = 0;     // Caller was told to compute (owns a ticket).
+  uint64_t failures = 0;   // Computations abandoned (infeasible/error).
+  uint64_t remap_failures = 0;  // Key matched but plan translation failed.
+  uint64_t entries = 0;    // Completed entries currently resident.
+};
+
+// Canonical plan cache with lock striping and in-flight coalescing.
+//
+// Keys are the *full* canonical serialization produced by
+// CanonicalizeQuery plus the caller's algorithm/epoch/options tag -- exact
+// string equality, so a hit guarantees the cached query is isomorphic to
+// the probe under the two recorded canonical permutations, and identical
+// in every input the cost model reads.  Plans are stored in the inserting
+// query's position space together with that query's canonical permutation;
+// serving composes inserter->canonical->probe to relabel relation
+// positions, edge indices and ordering (equivalence-class) ids, then
+// deep-clones the relabeled tree into a fresh arena owned by the returned
+// OptimizeResult.  Callers therefore never share arena memory with the
+// cache or with each other.
+//
+// Concurrency: a miss installs an in-flight slot; concurrent probes for
+// the same key block until the owner fills or abandons it, so each
+// distinct fingerprint is optimized at most once no matter how many
+// identical requests arrive together (and hit/miss totals stay
+// deterministic: one miss per distinct key, hits for the rest).
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheConfig config);
+  ~PlanCache();
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Opaque handle tying a miss to its later Fill/Abandon.
+  struct Ticket {
+    std::shared_ptr<struct CacheSlot> slot;
+    bool valid() const { return slot != nullptr; }
+  };
+
+  enum class Outcome {
+    kHit,       // *result holds a cloned, relabeled plan.
+    kMiss,      // Caller computes, then calls Fill() or Abandon().
+    kDisabled,  // Cache off; caller computes, no ticket.
+  };
+
+  // Looks up `full_key`.  On a hit, clones the cached plan into `*result`
+  // (remapped into `query`'s position space via `form.perm`).  On a miss
+  // the caller owns the compute and MUST eventually Fill or Abandon the
+  // ticket -- other threads may be blocked on it.
+  Outcome LookupOrBegin(const std::string& full_key,
+                        const CanonicalQueryForm& form, const Query& query,
+                        Ticket* ticket, OptimizeResult* result);
+
+  // Publishes a feasible result for the ticket's key.  The plan tree is
+  // deep-cloned into cache-owned memory; `query`/`form` must be the ones
+  // the result was computed for.
+  void Fill(Ticket ticket, const Query& query, const CanonicalQueryForm& form,
+            const OptimizeResult& result);
+
+  // Releases the ticket without publishing (infeasible run, error).
+  // Blocked waiters are told to compute for themselves.
+  void Abandon(Ticket ticket);
+
+  // Drops every completed entry (in-flight computations are unaffected).
+  // Use after a catalog/stats change together with a stats-epoch bump.
+  void Clear();
+
+  PlanCacheStats Stats() const;
+
+ private:
+  struct Stripe;
+
+  Stripe& StripeFor(uint64_t hash) const;
+
+  PlanCacheConfig config_;
+  uint32_t stripe_mask_ = 0;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> coalesced_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> failures_{0};
+  mutable std::atomic<uint64_t> remap_failures_{0};
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,187 @@
+#include "service/plan_fingerprint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace sdp {
+
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  // splitmix64-style combiner: deterministic, platform-independent.
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (v ^ (v >> 31)) ^ (h << 6) ^ (h >> 2);
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+void AppendU64Hex(std::string* out, uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+void AppendInt(std::string* out, long long v) {
+  out->append(std::to_string(v));
+}
+
+// Filters of one relation, in a canonical order.
+std::vector<FilterPredicate> SortedFiltersOn(const Query& query, int rel) {
+  std::vector<FilterPredicate> filters;
+  for (const FilterPredicate& f : query.filters) {
+    if (f.column.rel == rel) filters.push_back(f);
+  }
+  std::sort(filters.begin(), filters.end(),
+            [](const FilterPredicate& a, const FilterPredicate& b) {
+              if (a.column.col != b.column.col) {
+                return a.column.col < b.column.col;
+              }
+              if (a.op != b.op) return a.op < b.op;
+              return a.value < b.value;
+            });
+  return filters;
+}
+
+}  // namespace
+
+uint64_t FingerprintHash(const std::string& bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime.
+  }
+  return h;
+}
+
+CanonicalQueryForm CanonicalizeQuery(const Query& query,
+                                     const CostModel& cost) {
+  const JoinGraph& graph = query.graph;
+  const int n = graph.num_relations();
+  const int num_edges = static_cast<int>(graph.edges().size());
+
+  // 1. Position-invariant signature per relation, refined Weisfeiler-Lehman
+  // style so a relation's signature absorbs its whole neighborhood.  The
+  // initial round sees local facts only (bound table, filters, degree).
+  std::vector<uint64_t> sig(n);
+  for (int r = 0; r < n; ++r) {
+    uint64_t h = Mix(0x5dee7c4fULL, static_cast<uint64_t>(graph.table_id(r)));
+    h = Mix(h, static_cast<uint64_t>(graph.Degree(r)));
+    for (const FilterPredicate& f : SortedFiltersOn(query, r)) {
+      h = Mix(h, static_cast<uint64_t>(f.column.col));
+      h = Mix(h, static_cast<uint64_t>(f.op));
+      h = Mix(h, static_cast<uint64_t>(f.value));
+    }
+    if (query.order_by.has_value() && query.order_by->column.rel == r) {
+      h = Mix(h, 0x07d3bULL + static_cast<uint64_t>(query.order_by->column.col));
+    }
+    sig[r] = h;
+  }
+
+  // Refine for n rounds: enough for any signal to cross the graph diameter.
+  std::vector<uint64_t> next(n);
+  for (int round = 0; round < n; ++round) {
+    for (int r = 0; r < n; ++r) {
+      std::vector<uint64_t> incident;
+      for (int e = 0; e < num_edges; ++e) {
+        const JoinEdge& edge = graph.edges()[e];
+        const auto own = edge.SideFor(r);
+        if (!own.has_value()) continue;
+        const ColumnRef other =
+            edge.left.rel == r ? edge.right : edge.left;
+        uint64_t eh = Mix(0x3d6eULL, static_cast<uint64_t>(own->col));
+        eh = Mix(eh, static_cast<uint64_t>(other.col));
+        eh = Mix(eh, DoubleBits(cost.EdgeSelectivity(e)));
+        eh = Mix(eh, sig[other.rel]);
+        incident.push_back(eh);
+      }
+      std::sort(incident.begin(), incident.end());
+      uint64_t h = sig[r];
+      for (uint64_t eh : incident) h = Mix(h, eh);
+      next[r] = h;
+    }
+    sig.swap(next);
+  }
+
+  // 2. Canonical order: by signature, stable on original position.  Ties
+  // between non-symmetric relations merely fragment the key space (missed
+  // hits); ties between truly symmetric relations serialize identically
+  // either way.
+  std::vector<int> by_sig(n);
+  for (int r = 0; r < n; ++r) by_sig[r] = r;
+  std::sort(by_sig.begin(), by_sig.end(), [&sig](int a, int b) {
+    if (sig[a] != sig[b]) return sig[a] < sig[b];
+    return a < b;
+  });
+
+  CanonicalQueryForm form;
+  form.perm.assign(n, -1);
+  for (int ci = 0; ci < n; ++ci) form.perm[by_sig[ci]] = ci;
+
+  // 3. Serialize the query in canonical space.  Everything the optimizer
+  // and cost model read must appear here; byte-equality of keys is the
+  // cache's correctness contract.
+  std::string& key = form.key;
+  key.reserve(64 + 32 * n + 48 * num_edges);
+  key += "v1;n=";
+  AppendInt(&key, n);
+  for (int ci = 0; ci < n; ++ci) {
+    const int r = by_sig[ci];
+    key += ";R";
+    AppendInt(&key, ci);
+    key += ":t";
+    AppendInt(&key, graph.table_id(r));
+    for (const FilterPredicate& f : SortedFiltersOn(query, r)) {
+      key += ",F";
+      AppendInt(&key, f.column.col);
+      key += CompareOpName(f.op);
+      AppendInt(&key, f.value);
+    }
+  }
+
+  std::vector<std::string> edge_strings;
+  edge_strings.reserve(num_edges);
+  for (int e = 0; e < num_edges; ++e) {
+    const JoinEdge& edge = graph.edges()[e];
+    ColumnRef a{form.perm[edge.left.rel], edge.left.col};
+    ColumnRef b{form.perm[edge.right.rel], edge.right.col};
+    if (b.rel < a.rel || (b.rel == a.rel && b.col < a.col)) std::swap(a, b);
+    std::string s = "E";
+    AppendInt(&s, a.rel);
+    s += ".";
+    AppendInt(&s, a.col);
+    s += "-";
+    AppendInt(&s, b.rel);
+    s += ".";
+    AppendInt(&s, b.col);
+    s += ":";
+    AppendU64Hex(&s, DoubleBits(cost.EdgeSelectivity(e)));
+    edge_strings.push_back(std::move(s));
+  }
+  std::sort(edge_strings.begin(), edge_strings.end());
+  for (const std::string& s : edge_strings) {
+    key += ";";
+    key += s;
+  }
+
+  key += ";O";
+  if (query.order_by.has_value()) {
+    AppendInt(&key, form.perm[query.order_by->column.rel]);
+    key += ".";
+    AppendInt(&key, query.order_by->column.col);
+  } else {
+    key += "-";
+  }
+
+  form.hash = FingerprintHash(key);
+  return form;
+}
+
+}  // namespace sdp

@@ -1,0 +1,52 @@
+#ifndef SDPOPT_SERVICE_PLAN_FINGERPRINT_H_
+#define SDPOPT_SERVICE_PLAN_FINGERPRINT_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "query/join_graph.h"
+
+namespace sdp {
+
+// Canonical form of a query's join graph, the key half of the service's
+// plan cache.
+//
+// Two queries receive the same `key` exactly when a relabeling of graph
+// positions maps one onto the other while preserving every input the
+// optimizer and cost model read: bound catalog tables, join edges with
+// their column endpoints and selectivities, scan filters, and the ORDER BY
+// requirement.  Workload generators emit millions of such instances that
+// differ only in position numbering (the samplers shuffle positions), so
+// canonicalization is what turns the cache from exact-repeat matching into
+// structural matching.
+//
+// Soundness does not depend on the labeling heuristic: the key *is* the
+// full serialization of the relabeled query, so byte-equal keys imply a
+// genuine isomorphism, and a cached plan can be served by composing the
+// two permutations (see PlanCache).  A weak heuristic only costs hit rate,
+// never correctness.
+struct CanonicalQueryForm {
+  // Exact canonical serialization; used verbatim as the cache map key
+  // (no lossy hashing on the correctness path).
+  std::string key;
+  // 64-bit FNV-1a of `key`, for stripe selection and diagnostics.
+  uint64_t hash = 0;
+  // perm[pos] = canonical position of query graph position `pos`.
+  std::vector<int> perm;
+};
+
+// Computes the canonical form.  `cost` supplies edge selectivities (bound
+// to the same catalog/stats the optimizer will use); the caller appends
+// algorithm-config and stats-epoch tags to `key` before cache lookup.
+CanonicalQueryForm CanonicalizeQuery(const Query& query,
+                                     const CostModel& cost);
+
+// 64-bit FNV-1a, exposed for tests and for hashing composed cache keys.
+uint64_t FingerprintHash(const std::string& bytes);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_SERVICE_PLAN_FINGERPRINT_H_

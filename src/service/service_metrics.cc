@@ -1,0 +1,114 @@
+#include "service/service_metrics.h"
+
+#include <cstdio>
+
+namespace sdp {
+
+namespace {
+
+int BucketFor(uint64_t us) {
+  int b = 0;
+  while (us >= 2 && b < LatencyHistogram::kBuckets - 1) {
+    us >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const uint64_t us = static_cast<uint64_t>(seconds * 1e6);
+  buckets_[BucketFor(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::MeanMs() const {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / n /
+         1000.0;
+}
+
+double LatencyHistogram::QuantileMs(double q) const {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  for (int b = 0; b < kBuckets; ++b) {
+    const uint64_t c = buckets_[b].load(std::memory_order_relaxed);
+    if (rank <= c) {
+      return static_cast<double>(uint64_t{1} << b) / 1000.0;
+    }
+    rank -= c;
+  }
+  return static_cast<double>(uint64_t{1} << (kBuckets - 1)) / 1000.0;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+}
+
+std::string ServiceMetrics::Dump() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "service.requests.submitted %llu\n"
+      "service.requests.completed %llu\n"
+      "service.requests.rejected %llu\n"
+      "service.requests.infeasible %llu\n"
+      "service.requests.parse_errors %llu\n"
+      "service.cache.hits %llu\n"
+      "service.cache.misses %llu\n"
+      "service.effort.plans_costed %llu\n"
+      "service.effort.jcrs_created %llu\n"
+      "service.memory.bytes_charged %llu\n"
+      "service.admission.waits %llu\n"
+      "service.queue.depth %lld\n"
+      "service.inflight %lld\n"
+      "service.optimize_latency.count %llu\n"
+      "service.optimize_latency.mean_ms %.3f\n"
+      "service.optimize_latency.p50_ms %.3f\n"
+      "service.optimize_latency.p99_ms %.3f\n",
+      static_cast<unsigned long long>(requests_submitted.load()),
+      static_cast<unsigned long long>(requests_completed.load()),
+      static_cast<unsigned long long>(requests_rejected.load()),
+      static_cast<unsigned long long>(requests_infeasible.load()),
+      static_cast<unsigned long long>(parse_errors.load()),
+      static_cast<unsigned long long>(cache_hits.load()),
+      static_cast<unsigned long long>(cache_misses.load()),
+      static_cast<unsigned long long>(plans_costed.load()),
+      static_cast<unsigned long long>(jcrs_created.load()),
+      static_cast<unsigned long long>(bytes_charged.load()),
+      static_cast<unsigned long long>(admission_waits.load()),
+      static_cast<long long>(queue_depth.load()),
+      static_cast<long long>(inflight.load()),
+      static_cast<unsigned long long>(optimize_latency.count()),
+      optimize_latency.MeanMs(), optimize_latency.QuantileMs(0.5),
+      optimize_latency.QuantileMs(0.99));
+  return buf;
+}
+
+void ServiceMetrics::Reset() {
+  requests_submitted.store(0);
+  requests_completed.store(0);
+  requests_rejected.store(0);
+  requests_infeasible.store(0);
+  parse_errors.store(0);
+  cache_hits.store(0);
+  cache_misses.store(0);
+  plans_costed.store(0);
+  jcrs_created.store(0);
+  bytes_charged.store(0);
+  admission_waits.store(0);
+  queue_depth.store(0);
+  inflight.store(0);
+  optimize_latency.Reset();
+}
+
+}  // namespace sdp

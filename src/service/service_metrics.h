@@ -1,0 +1,72 @@
+#ifndef SDPOPT_SERVICE_SERVICE_METRICS_H_
+#define SDPOPT_SERVICE_SERVICE_METRICS_H_
+
+#include <stdint.h>
+
+#include <atomic>
+#include <string>
+
+namespace sdp {
+
+// Thread-safe log-bucketed latency recorder (power-of-two microsecond
+// buckets).  Percentiles are bucket lower bounds, i.e. accurate to a
+// factor of two -- plenty for a service health dump, and wait-free to
+// record.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;  // 1us .. ~2^39us (~6 days).
+
+  void Record(double seconds);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  // Mean latency in milliseconds.
+  double MeanMs() const;
+  // Latency in milliseconds at quantile q in [0,1] (lower bound of the
+  // bucket containing the q-th sample).  Returns 0 when empty.
+  double QuantileMs(double q) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+};
+
+// Counter registry for one OptimizerService.  All members are safe to
+// update from any worker; readers see monotonic (if momentarily torn
+// across counters) values.  `Dump()` renders a flat "name value" text
+// block for logs and the CLI.
+class ServiceMetrics {
+ public:
+  ServiceMetrics() = default;
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
+
+  std::atomic<uint64_t> requests_submitted{0};
+  std::atomic<uint64_t> requests_completed{0};
+  std::atomic<uint64_t> requests_rejected{0};   // Admission control.
+  std::atomic<uint64_t> requests_infeasible{0};  // Budget-exceeded runs.
+  std::atomic<uint64_t> parse_errors{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  // Summed search effort of all *computed* (non-cache-hit) runs.
+  std::atomic<uint64_t> plans_costed{0};
+  std::atomic<uint64_t> jcrs_created{0};
+  // Summed per-request peak working-set bytes.
+  std::atomic<uint64_t> bytes_charged{0};
+  // Requests that had to wait for admission (global memory cap).
+  std::atomic<uint64_t> admission_waits{0};
+  // Instantaneous gauges.
+  std::atomic<int64_t> queue_depth{0};
+  std::atomic<int64_t> inflight{0};
+
+  LatencyHistogram optimize_latency;  // Per-request optimize wall time.
+
+  std::string Dump() const;
+  void Reset();
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_SERVICE_SERVICE_METRICS_H_

@@ -1,0 +1,462 @@
+#include "service/optimizer_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/sdp.h"
+#include "cost/cost_model.h"
+#include "harness/experiment.h"
+#include "plan/plan_node.h"
+#include "service/plan_cache.h"
+#include "service/plan_fingerprint.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryTaskAndDrainsOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    // Destructor must finish the backlog, not drop it.
+  }
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::promise<int> p;
+  pool.Submit([&p] { p.set_value(41); });
+  EXPECT_EQ(p.get_future().get(), 41);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint / cache
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  CostModel MakeCost(const Query& q) const {
+    return CostModel(catalog_, stats_, q.graph, CostParams(), q.filters);
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+// A 3-relation star bound to tables (hub, a, b) with explicit edges, and
+// the same star with positions of a and b swapped.  The two queries are
+// isomorphic: canonicalization must give them the same key and plans must
+// be translatable between them.
+Query MakeStarInstance(bool swapped) {
+  const int hub_table = 24, table_a = 3, table_b = 11;
+  std::vector<int> tables = swapped
+                                ? std::vector<int>{hub_table, table_b, table_a}
+                                : std::vector<int>{hub_table, table_a, table_b};
+  JoinGraph g(std::move(tables));
+  const int pos_a = swapped ? 2 : 1;
+  const int pos_b = swapped ? 1 : 2;
+  g.AddEdge(ColumnRef{0, 2}, ColumnRef{pos_a, 5});
+  g.AddEdge(ColumnRef{0, 7}, ColumnRef{pos_b, 1});
+  Query q{std::move(g), std::nullopt, {}};
+  q.filters.push_back(FilterPredicate{ColumnRef{pos_a, 4}, CompareOp::kLt, 900});
+  return q;
+}
+
+TEST_F(ServiceTest, FingerprintIsInvariantUnderPositionRelabeling) {
+  const Query q1 = MakeStarInstance(false);
+  const Query q2 = MakeStarInstance(true);
+  const CostModel c1 = MakeCost(q1);
+  const CostModel c2 = MakeCost(q2);
+
+  const CanonicalQueryForm f1 = CanonicalizeQuery(q1, c1);
+  const CanonicalQueryForm f2 = CanonicalizeQuery(q2, c2);
+  EXPECT_EQ(f1.key, f2.key);
+  EXPECT_EQ(f1.hash, f2.hash);
+  EXPECT_NE(f1.perm, f2.perm);  // Different labelings of the same graph.
+
+  // Same instance twice: identical form.
+  const CanonicalQueryForm f1b = CanonicalizeQuery(q1, c1);
+  EXPECT_EQ(f1.key, f1b.key);
+  EXPECT_EQ(f1.perm, f1b.perm);
+}
+
+TEST_F(ServiceTest, FingerprintSeparatesDifferentQueries) {
+  const Query q1 = MakeStarInstance(false);
+  Query q3 = MakeStarInstance(false);
+  q3.filters[0].value = 901;  // Different restriction -> different plan space.
+  EXPECT_NE(CanonicalizeQuery(q1, MakeCost(q1)).key,
+            CanonicalizeQuery(q3, MakeCost(q3)).key);
+
+  Query q4 = MakeStarInstance(false);
+  q4.order_by = OrderRequirement{ColumnRef{1, 5}};
+  EXPECT_NE(CanonicalizeQuery(q1, MakeCost(q1)).key,
+            CanonicalizeQuery(q4, MakeCost(q4)).key);
+}
+
+TEST_F(ServiceTest, CacheServesRelabeledCloneAcrossIsomorphicInstances) {
+  const Query q1 = MakeStarInstance(false);
+  const Query q2 = MakeStarInstance(true);
+  const CostModel c1 = MakeCost(q1);
+  const CostModel c2 = MakeCost(q2);
+  const CanonicalQueryForm f1 = CanonicalizeQuery(q1, c1);
+  const CanonicalQueryForm f2 = CanonicalizeQuery(q2, c2);
+  ASSERT_EQ(f1.key, f2.key);
+
+  PlanCache cache(PlanCacheConfig{});
+  PlanCache::Ticket ticket;
+  OptimizeResult out;
+  ASSERT_EQ(cache.LookupOrBegin(f1.key, f1, q1, &ticket, &out),
+            PlanCache::Outcome::kMiss);
+  ASSERT_TRUE(ticket.valid());
+
+  const OptimizeResult computed = OptimizeSDP(q1, c1);
+  ASSERT_TRUE(computed.feasible);
+  cache.Fill(std::move(ticket), q1, f1, computed);
+
+  // Probe with the *swapped* instance: the cached plan must come back
+  // relabeled into q2's position space, structurally valid, in a fresh
+  // arena, and with exactly the cost a from-scratch optimization finds.
+  PlanCache::Ticket ticket2;
+  OptimizeResult served;
+  ASSERT_EQ(cache.LookupOrBegin(f2.key, f2, q2, &ticket2, &served),
+            PlanCache::Outcome::kHit);
+  ASSERT_NE(served.plan, nullptr);
+  EXPECT_NE(served.plan, computed.plan);
+  EXPECT_NE(served.plan_arena.get(), computed.plan_arena.get());
+  EXPECT_EQ(ValidatePlanTree(served.plan), "");
+  EXPECT_EQ(served.plan->rels, q2.graph.AllRelations());
+
+  const OptimizeResult fresh = OptimizeSDP(q2, c2);
+  ASSERT_TRUE(fresh.feasible);
+  EXPECT_EQ(served.cost, fresh.cost);  // Bit-identical, not just close.
+  EXPECT_EQ(served.rows, fresh.rows);
+
+  const PlanCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.remap_failures, 0u);
+}
+
+TEST_F(ServiceTest, CacheAbandonLetsNextProbeRetake) {
+  const Query q1 = MakeStarInstance(false);
+  const CanonicalQueryForm f1 = CanonicalizeQuery(q1, MakeCost(q1));
+  PlanCache cache(PlanCacheConfig{});
+
+  PlanCache::Ticket ticket;
+  OptimizeResult out;
+  ASSERT_EQ(cache.LookupOrBegin(f1.key, f1, q1, &ticket, &out),
+            PlanCache::Outcome::kMiss);
+  cache.Abandon(std::move(ticket));
+
+  PlanCache::Ticket ticket2;
+  EXPECT_EQ(cache.LookupOrBegin(f1.key, f1, q1, &ticket2, &out),
+            PlanCache::Outcome::kMiss);
+  EXPECT_TRUE(ticket2.valid());
+  cache.Abandon(std::move(ticket2));
+  EXPECT_EQ(cache.Stats().failures, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// OptimizerService
+
+TEST_F(ServiceTest, SqlRoundTripAndParseErrors) {
+  OptimizerService service(catalog_, stats_, ServiceConfig{});
+  ServiceResult ok =
+      service
+          .SubmitSql("SELECT * FROM R1 a, R2 b, R3 c "
+                     "WHERE a.c2 = b.c4 AND b.c7 = c.c1")
+          .get();
+  ASSERT_TRUE(ok.ok());
+  ASSERT_TRUE(ok.result.feasible);
+  EXPECT_EQ(ValidatePlanTree(ok.result.plan), "");
+
+  ServiceResult bad = service.SubmitSql("SELECT FROM WHERE").get();
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.error.find("parse error"), std::string::npos);
+  EXPECT_EQ(service.metrics().parse_errors.load(), 1u);
+  EXPECT_EQ(service.metrics().requests_completed.load(), 2u);
+}
+
+TEST_F(ServiceTest, WarmHitReturnsCloneWithoutTouchingEnumerator) {
+  ServiceConfig config;
+  config.num_threads = 1;
+  OptimizerService service(catalog_, stats_, config);
+
+  WorkloadSpec spec;
+  spec.topology = Topology::kStarChain;
+  spec.num_relations = 13;
+  spec.num_instances = 1;
+  const Query query = GenerateWorkload(catalog_, spec).front();
+
+  ServiceRequest request;
+  request.query = query;
+  ServiceResult first = service.OptimizeSync(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.cache_hit);
+  const uint64_t costed_after_miss = service.metrics().plans_costed.load();
+  EXPECT_GT(costed_after_miss, 0u);
+
+  ServiceResult second = service.OptimizeSync(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.cache_hit);
+  // The enumerator never ran: the service-wide effort counter is frozen.
+  EXPECT_EQ(service.metrics().plans_costed.load(), costed_after_miss);
+  // Same plan by value, distinct memory (deep clone, fresh arena).
+  EXPECT_EQ(second.result.cost, first.result.cost);
+  EXPECT_NE(second.result.plan, first.result.plan);
+  EXPECT_NE(second.result.plan_arena.get(), first.result.plan_arena.get());
+  EXPECT_EQ(ValidatePlanTree(second.result.plan), "");
+  EXPECT_EQ(second.result.plan->Shape(), first.result.plan->Shape());
+}
+
+TEST_F(ServiceTest, AdmissionControlRejectsAndSerializes) {
+  ServiceConfig config;
+  config.num_threads = 4;
+  config.global_memory_cap_bytes = 512ull << 20;
+  config.cache_enabled = false;
+  OptimizerService service(catalog_, stats_, config);
+
+  WorkloadSpec spec;
+  spec.topology = Topology::kStarChain;
+  spec.num_relations = 10;
+  spec.num_instances = 4;
+  const std::vector<Query> queries = GenerateWorkload(catalog_, spec);
+
+  // A budget above the global cap can never be admitted.
+  ServiceRequest oversized;
+  oversized.query = queries[0];
+  oversized.options.memory_budget_bytes = 1024ull << 20;
+  ServiceResult rejected = service.OptimizeSync(oversized);
+  EXPECT_TRUE(rejected.rejected);
+  EXPECT_FALSE(rejected.result.feasible);
+  EXPECT_EQ(service.metrics().requests_rejected.load(), 1u);
+
+  // Requests that fit are all served; the cap just sequences them.
+  std::vector<std::future<ServiceResult>> futures;
+  for (const Query& q : queries) {
+    ServiceRequest request;
+    request.query = q;
+    request.options.memory_budget_bytes = 256ull << 20;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  for (auto& f : futures) {
+    const ServiceResult r = f.get();
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.result.feasible);
+  }
+
+  // Unlimited-budget requests reserve the whole cap and still complete.
+  ServiceRequest unlimited;
+  unlimited.query = queries[1];
+  ServiceResult r = service.OptimizeSync(unlimited);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_F(ServiceTest, QueueOverflowRejectsAtSubmit) {
+  ServiceConfig config;
+  config.num_threads = 1;
+  config.max_queue_depth = 1;
+  OptimizerService service(catalog_, stats_, config);
+
+  WorkloadSpec spec;
+  spec.topology = Topology::kStar;
+  spec.num_relations = 12;
+  spec.num_instances = 1;
+  const Query query = GenerateWorkload(catalog_, spec).front();
+
+  // Flood a one-thread, one-slot service; at least one request must be
+  // turned away at Submit time, and every future still resolves.
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < 16; ++i) {
+    ServiceRequest request;
+    request.query = query;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  int rejected = 0;
+  for (auto& f : futures) {
+    const ServiceResult r = f.get();
+    if (r.rejected) ++rejected;
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(service.metrics().requests_completed.load() +
+                service.metrics().requests_rejected.load(),
+            16u);
+}
+
+TEST_F(ServiceTest, BumpStatsEpochInvalidatesCache) {
+  ServiceConfig config;
+  config.num_threads = 1;
+  OptimizerService service(catalog_, stats_, config);
+
+  ServiceRequest request;
+  request.query = MakeStarInstance(false);
+  EXPECT_FALSE(service.OptimizeSync(request).cache_hit);
+  EXPECT_TRUE(service.OptimizeSync(request).cache_hit);
+
+  service.BumpStatsEpoch();
+  EXPECT_FALSE(service.OptimizeSync(request).cache_hit);  // Key epoch moved.
+  EXPECT_TRUE(service.OptimizeSync(request).cache_hit);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism stress: the service must be a pure throughput layer.  The
+// same seeded 30-instance star-chain-13 workload, optimized serially and
+// through an 8-thread service (cache off and on), must produce
+// bit-identical chosen-plan costs and effort counters, and bit-identical
+// cache statistics run over run.
+
+TEST_F(ServiceTest, EightThreadServiceMatchesSerialBitForBit) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStarChain;
+  spec.num_relations = 13;
+  spec.num_instances = 30;
+  const std::vector<Query> queries = GenerateWorkload(catalog_, spec);
+
+  // Serial baseline (the seeded RNG lives in workload generation; each
+  // optimization below is deterministic given its query).
+  std::vector<double> base_costs;
+  std::vector<uint64_t> base_plans_costed;
+  std::vector<uint64_t> base_jcrs;
+  for (const Query& q : queries) {
+    const OptimizeResult r = OptimizeSDP(q, MakeCost(q));
+    ASSERT_TRUE(r.feasible);
+    base_costs.push_back(r.cost);
+    base_plans_costed.push_back(r.counters.plans_costed);
+    base_jcrs.push_back(r.counters.jcrs_created);
+  }
+
+  // Cache-off: every request re-optimizes; results must match the serial
+  // run exactly, on every repetition.
+  for (int run = 0; run < 2; ++run) {
+    ServiceConfig config;
+    config.num_threads = 8;
+    config.cache_enabled = false;
+    OptimizerService service(catalog_, stats_, config);
+    std::vector<std::future<ServiceResult>> futures;
+    for (const Query& q : queries) {
+      ServiceRequest request;
+      request.query = q;
+      futures.push_back(service.Submit(std::move(request)));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const ServiceResult r = futures[i].get();
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.result.cost, base_costs[i]) << "instance " << i;
+      EXPECT_EQ(r.result.counters.plans_costed, base_plans_costed[i]);
+      EXPECT_EQ(r.result.counters.jcrs_created, base_jcrs[i]);
+    }
+    EXPECT_EQ(service.metrics().cache_hits.load(), 0u);
+  }
+
+  // Cache-on: submit the workload in waves (wave 1 populates, waves 2-3
+  // must be pure hits).  Costs stay bit-identical to serial, the effort
+  // counter freezes after wave 1, and the cache statistics repeat exactly
+  // across independent runs.
+  uint64_t first_run_hits = 0, first_run_misses = 0, first_run_costed = 0;
+  for (int run = 0; run < 2; ++run) {
+    ServiceConfig config;
+    config.num_threads = 8;
+    config.cache_enabled = true;
+    OptimizerService service(catalog_, stats_, config);
+
+    for (int wave = 0; wave < 3; ++wave) {
+      std::vector<std::future<ServiceResult>> futures;
+      for (const Query& q : queries) {
+        ServiceRequest request;
+        request.query = q;
+        futures.push_back(service.Submit(std::move(request)));
+      }
+      const uint64_t costed_before_wave =
+          wave == 0 ? 0 : service.metrics().plans_costed.load();
+      for (size_t i = 0; i < futures.size(); ++i) {
+        const ServiceResult r = futures[i].get();
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r.result.cost, base_costs[i])
+            << "run " << run << " wave " << wave << " instance " << i;
+        EXPECT_EQ(r.result.counters.plans_costed, base_plans_costed[i]);
+      }
+      if (wave > 0) {
+        // Warm waves never touch the enumerator.
+        EXPECT_EQ(service.metrics().plans_costed.load(), costed_before_wave);
+      }
+    }
+
+    const uint64_t hits = service.metrics().cache_hits.load();
+    const uint64_t misses = service.metrics().cache_misses.load();
+    const uint64_t costed = service.metrics().plans_costed.load();
+    // Every request either hit or missed; warm waves are all hits.
+    EXPECT_EQ(hits + misses, 3u * queries.size());
+    EXPECT_GE(hits, 2u * queries.size());
+    if (run == 0) {
+      first_run_hits = hits;
+      first_run_misses = misses;
+      first_run_costed = costed;
+    } else {
+      EXPECT_EQ(hits, first_run_hits);
+      EXPECT_EQ(misses, first_run_misses);
+      EXPECT_EQ(costed, first_run_costed);
+    }
+  }
+}
+
+TEST_F(ServiceTest, ExperimentViaServiceMatchesSerialReport) {
+  WorkloadSpec spec;
+  spec.topology = Topology::kStarChain;
+  spec.num_relations = 10;
+  spec.num_instances = 5;
+  const std::vector<Query> queries = GenerateWorkload(catalog_, spec);
+  const std::vector<AlgorithmSpec> algos = {
+      AlgorithmSpec::DP(), AlgorithmSpec::IDP(4), AlgorithmSpec::SDP()};
+
+  const ExperimentReport serial = RunExperiment(
+      queries, catalog_, stats_, algos, OptimizerOptions{}, spec.Name());
+
+  ServiceRunConfig service_config;
+  service_config.num_threads = 8;
+  std::string metrics_dump;
+  const ExperimentReport via_service = RunExperimentViaService(
+      queries, catalog_, stats_, algos, OptimizerOptions{}, spec.Name(),
+      service_config, &metrics_dump);
+
+  EXPECT_EQ(via_service.reference_name, serial.reference_name);
+  ASSERT_EQ(via_service.outcomes.size(), serial.outcomes.size());
+  for (size_t a = 0; a < serial.outcomes.size(); ++a) {
+    const AlgorithmOutcome& s = serial.outcomes[a];
+    const AlgorithmOutcome& v = via_service.outcomes[a];
+    EXPECT_EQ(v.name, s.name);
+    EXPECT_EQ(v.attempted, s.attempted);
+    EXPECT_EQ(v.feasible, s.feasible);
+    EXPECT_EQ(v.sum_plans_costed, s.sum_plans_costed);
+    EXPECT_EQ(v.sum_jcrs, s.sum_jcrs);
+    EXPECT_EQ(v.quality.worst, s.quality.worst);
+    EXPECT_EQ(v.quality.Rho(), s.quality.Rho());
+    EXPECT_EQ(v.quality.Percent(QualityClass::kIdeal),
+              s.quality.Percent(QualityClass::kIdeal));
+    EXPECT_EQ(v.quality.Percent(QualityClass::kBad),
+              s.quality.Percent(QualityClass::kBad));
+  }
+  EXPECT_NE(metrics_dump.find("service.requests.completed 15"),
+            std::string::npos)
+      << metrics_dump;
+}
+
+}  // namespace
+}  // namespace sdp

@@ -11,16 +11,27 @@
 //                                      columns c1..c24; small: the same
 //                                      shape capped at 2000 rows/table)
 //   --budget-mb=N                      optimizer memory budget (default: none)
+//   --threads=N                        route through the OptimizerService
+//                                      with an N-thread worker pool
+//   --cache=on|off                     service plan cache (default: on)
+//   --repeat=K                         submit the query K times per
+//                                      algorithm (throughput / cache probe)
 //   --execute                          materialize data (small schema only)
 //                                      and run the chosen plan
 //   --dot                              emit GraphViz DOT for the join
 //                                      graph and the chosen plan(s)
 //   --list-tables                      print the schema and exit
+//
+// --threads/--repeat run through the concurrent service and finish with a
+// ServiceMetrics dump, so cache hit rates and optimize latency are
+// observable straight from the command line.
 #include <cstdio>
 #include <algorithm>
 #include <cstring>
+#include <future>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "core/sdp.h"
@@ -31,6 +42,7 @@
 #include "optimizer/dp.h"
 #include "optimizer/idp.h"
 #include "query/graphviz.h"
+#include "service/optimizer_service.h"
 #include "sql/parser.h"
 #include "stats/column_stats.h"
 
@@ -40,6 +52,9 @@ struct Options {
   std::string algorithm = "sdp";
   std::string schema = "paper";
   double budget_mb = 0;
+  int threads = 0;  // 0 = direct library calls (no service).
+  bool cache = true;
+  int repeat = 1;
   bool execute = false;
   bool list_tables = false;
   bool dot = false;
@@ -55,6 +70,18 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       out->schema = arg.substr(9);
     } else if (arg.rfind("--budget-mb=", 0) == 0) {
       out->budget_mb = std::atof(arg.c_str() + 12);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      out->threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      const std::string v = arg.substr(8);
+      if (v != "on" && v != "off") {
+        std::fprintf(stderr, "--cache expects on|off, got '%s'\n", v.c_str());
+        return false;
+      }
+      out->cache = v == "on";
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      out->repeat = std::atoi(arg.c_str() + 9);
+      if (out->repeat < 1) out->repeat = 1;
     } else if (arg == "--execute") {
       out->execute = true;
     } else if (arg == "--dot") {
@@ -126,8 +153,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: sdpopt_cli [--algorithm=dp|idp4|idp7|idp2|sdp|all] "
                  "[--schema=paper|small]\n"
-                 "                  [--budget-mb=N] [--execute] "
-                 "[--list-tables] \"SELECT ...\"\n");
+                 "                  [--budget-mb=N] [--threads=N] "
+                 "[--cache=on|off] [--repeat=K]\n"
+                 "                  [--execute] [--list-tables] "
+                 "\"SELECT ...\"\n");
     return 2;
   }
 
@@ -163,21 +192,23 @@ int main(int argc, char** argv) {
   opt.memory_budget_bytes =
       static_cast<size_t>(options.budget_mb * 1024 * 1024);
 
-  for (const sdp::AlgorithmSpec& spec : algorithms) {
-    const sdp::OptimizeResult result =
-        sdp::RunAlgorithm(spec, query, cost, opt);
+  // Prints one algorithm's outcome (and optionally executes the plan).
+  const auto print_result = [&](const sdp::AlgorithmSpec& spec,
+                                const sdp::OptimizeResult& result,
+                                bool cache_hit) {
     std::printf("\n-- %s --\n", spec.name.c_str());
     if (!result.feasible) {
       std::printf("infeasible: memory budget exceeded after %llu plans\n",
                   static_cast<unsigned long long>(
                       result.counters.plans_costed));
-      continue;
+      return;
     }
     std::printf("cost=%.1f  est_rows=%.0f  plans_costed=%llu  "
-                "memory=%.2fMB  time=%.4fs\n",
+                "memory=%.2fMB  time=%.4fs%s\n",
                 result.cost, result.rows,
                 static_cast<unsigned long long>(result.counters.plans_costed),
-                result.peak_memory_mb, result.elapsed_seconds);
+                result.peak_memory_mb, result.elapsed_seconds,
+                cache_hit ? "  (plan cache hit)" : "");
     std::printf("%s", result.plan->ToString().c_str());
     if (options.dot) {
       std::printf("%s", sdp::PlanToDot(*result.plan).c_str());
@@ -186,7 +217,7 @@ int main(int argc, char** argv) {
     if (options.execute) {
       if (options.schema != "small") {
         std::printf("(--execute requires --schema=small)\n");
-        continue;
+        return;
       }
       const sdp::Database db = sdp::Database::Generate(catalog, 1);
       sdp::Executor exec(db, query.graph, query.filters,
@@ -215,6 +246,38 @@ int main(int argc, char** argv) {
         if (rs.num_rows() > show) std::printf("  ... and more\n");
       }
     }
+  };
+
+  if (options.threads > 0 || options.repeat > 1) {
+    // Service mode: route every request through the concurrent optimizer
+    // service and report its metrics.
+    sdp::ServiceConfig sconfig;
+    sconfig.num_threads = options.threads > 0 ? options.threads : 1;
+    sconfig.cache_enabled = options.cache;
+    sdp::OptimizerService service(catalog, stats, sconfig);
+    for (const sdp::AlgorithmSpec& spec : algorithms) {
+      std::vector<std::future<sdp::ServiceResult>> futures;
+      futures.reserve(options.repeat);
+      for (int k = 0; k < options.repeat; ++k) {
+        sdp::ServiceRequest request;
+        request.query = query;
+        request.spec = spec;
+        request.options = opt;
+        futures.push_back(service.Submit(std::move(request)));
+      }
+      sdp::ServiceResult last;
+      for (auto& f : futures) last = f.get();
+      print_result(spec, last.result, last.cache_hit);
+    }
+    std::printf("\n-- service metrics (threads=%d cache=%s repeat=%d) --\n%s",
+                sconfig.num_threads, options.cache ? "on" : "off",
+                options.repeat, service.metrics().Dump().c_str());
+    return 0;
+  }
+
+  for (const sdp::AlgorithmSpec& spec : algorithms) {
+    print_result(spec, sdp::RunAlgorithm(spec, query, cost, opt),
+                 /*cache_hit=*/false);
   }
   return 0;
 }
