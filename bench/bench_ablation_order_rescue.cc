@@ -7,8 +7,9 @@
 #include "core/sdp.h"
 #include "optimizer/dp.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "ablation_order_rescue");
   bench::PrintHeader("Ablation",
                      "Interesting-order rescue partitions (on vs off)");
   bench::PaperContext ctx = bench::MakePaperContext();
@@ -47,6 +48,15 @@ int main() {
   std::printf("  %-16s %8.4f %8.2f %8.1f %10.0f\n", "off", without_q.Rho(),
               without_q.worst, without_q.Percent(QualityClass::kIdeal),
               without_jcrs / counted);
+  char row[128];
+  std::snprintf(row, sizeof(row),
+                "{\"rescue\":\"on\",\"rho\":%.6g,\"avg_jcrs\":%.6g}",
+                with_q.Rho(), with_jcrs / counted);
+  json.AddRaw(row);
+  std::snprintf(row, sizeof(row),
+                "{\"rescue\":\"off\",\"rho\":%.6g,\"avg_jcrs\":%.6g}",
+                without_q.Rho(), without_jcrs / counted);
+  json.AddRaw(row);
   std::printf("\nExpected: rescue partitions cost a few extra JCRs and can "
               "only improve\nordered-plan quality.\n");
   return 0;

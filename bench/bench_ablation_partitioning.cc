@@ -8,8 +8,9 @@
 #include "core/sdp.h"
 #include "optimizer/dp.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "ablation_partitioning");
   bench::PrintHeader("Ablation", "Root-Hub vs Parent-Hub partitioning");
   bench::PaperContext ctx = bench::MakePaperContext();
 
@@ -49,6 +50,18 @@ int main() {
     std::printf("  %-12s %8.4f %8.2f %14.0f %10.0f\n\n", "parent-hub",
                 parent_q.Rho(), parent_q.worst, parent_plans / counted,
                 parent_jcrs / counted);
+    char row[192];
+    std::snprintf(row, sizeof(row),
+                  "{\"n\":%d,\"partitioning\":\"root-hub\",\"rho\":%.6g,"
+                  "\"avg_plans_costed\":%.6g,\"avg_jcrs\":%.6g}",
+                  n, root_q.Rho(), root_plans / counted, root_jcrs / counted);
+    json.AddRaw(row);
+    std::snprintf(row, sizeof(row),
+                  "{\"n\":%d,\"partitioning\":\"parent-hub\",\"rho\":%.6g,"
+                  "\"avg_plans_costed\":%.6g,\"avg_jcrs\":%.6g}",
+                  n, parent_q.Rho(), parent_plans / counted,
+                  parent_jcrs / counted);
+    json.AddRaw(row);
   }
   std::printf("Expected: comparable rho; root-hub with fewer or comparable "
               "JCRs/plans\n(the paper's reason for adopting it).\n");

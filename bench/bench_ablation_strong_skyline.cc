@@ -8,8 +8,9 @@
 #include "core/sdp.h"
 #include "optimizer/dp.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "ablation_strong_skyline");
   bench::PrintHeader("Ablation", "Strong (2-dominant) skyline vs pairwise union");
   bench::PaperContext ctx = bench::MakePaperContext();
 
@@ -46,6 +47,15 @@ int main() {
   std::printf("  %-18s %8.4f %8.2f %8.1f %10.0f\n", "strong (future)",
               strong_q.Rho(), strong_q.worst,
               strong_q.Percent(QualityClass::kIdeal), strong_jcrs / counted);
+  char row[128];
+  std::snprintf(row, sizeof(row),
+                "{\"skyline\":\"pairwise\",\"rho\":%.6g,\"avg_jcrs\":%.6g}",
+                pair_q.Rho(), pair_jcrs / counted);
+  json.AddRaw(row);
+  std::snprintf(row, sizeof(row),
+                "{\"skyline\":\"strong\",\"rho\":%.6g,\"avg_jcrs\":%.6g}",
+                strong_q.Rho(), strong_jcrs / counted);
+  json.AddRaw(row);
   std::printf("\nExpected: strong dominance prunes more JCRs; the open "
               "question is the quality cost.\n");
   return 0;

@@ -7,9 +7,15 @@
 
 #include "catalog/catalog.h"
 #include "harness/experiment.h"
+#include "metrics/quality.h"
 #include "optimizer/optimizer_types.h"
 #include "stats/column_stats.h"
 #include "workload/workload.h"
+
+// Git revision baked in by bench/CMakeLists.txt at configure time.
+#ifndef SDP_GIT_SHA
+#define SDP_GIT_SHA "unknown"
+#endif
 
 namespace sdp::bench {
 
@@ -61,14 +67,113 @@ inline void PrintHeader(const char* id, const char* title) {
   std::printf("==============================================================\n");
 }
 
+// Machine-readable bench results.  Every table/figure bench constructs one
+// from its (argc, argv); when `--json <path>` (or `--json=path`) is
+// present, the collected ExperimentReports are written as one JSON document
+// when the object goes out of scope.  Without the flag it is inert, so the
+// printed tables stay the benches' primary output.
+class BenchJson {
+ public:
+  BenchJson(int argc, char** argv, std::string bench_id)
+      : bench_id_(std::move(bench_id)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        path_ = argv[i + 1];
+        ++i;
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      }
+    }
+  }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const WorkloadSpec& spec, const OptimizerOptions& options,
+           const ExperimentReport& report) {
+    if (!enabled()) return;
+    char buf[256];
+    if (num_workloads_++ > 0) body_ += ",";
+    std::snprintf(buf, sizeof(buf),
+                  "\n  {\"name\":\"%s\",\"seed\":%llu,\"instances\":%d,"
+                  "\"budget_mb\":%.3f,\"reference\":\"%s\",\n"
+                  "   \"algorithms\":[",
+                  report.workload_name.c_str(),
+                  static_cast<unsigned long long>(spec.seed),
+                  spec.num_instances,
+                  static_cast<double>(options.memory_budget_bytes) /
+                      (1024.0 * 1024.0),
+                  report.reference_name.c_str());
+    body_ += buf;
+    for (size_t i = 0; i < report.outcomes.size(); ++i) {
+      const AlgorithmOutcome& o = report.outcomes[i];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s\n    {\"name\":\"%s\",\"attempted\":%d,\"feasible\":%d,"
+          "\"rho\":%.6g,\"worst\":%.6g,",
+          i > 0 ? "," : "", o.name.c_str(), o.attempted, o.feasible,
+          o.quality.Rho(), o.quality.worst);
+      body_ += buf;
+      std::snprintf(
+          buf, sizeof(buf),
+          "\"pct_ideal\":%.2f,\"pct_good\":%.2f,\"pct_acceptable\":%.2f,"
+          "\"pct_bad\":%.2f,",
+          o.quality.Percent(QualityClass::kIdeal),
+          o.quality.Percent(QualityClass::kGood),
+          o.quality.Percent(QualityClass::kAcceptable),
+          o.quality.Percent(QualityClass::kBad));
+      body_ += buf;
+      std::snprintf(buf, sizeof(buf),
+                    "\"avg_plans_costed\":%.6g,\"avg_jcrs\":%.6g,"
+                    "\"avg_seconds\":%.6g,\"avg_peak_mb\":%.6g}",
+                    o.AvgPlansCosted(), o.AvgJcrs(), o.AvgSeconds(),
+                    o.AvgPeakMb());
+      body_ += buf;
+    }
+    body_ += "]}";
+  }
+
+  // Escape hatch for benches whose results are not ExperimentReports
+  // (worked examples, scaleup searches, ablations): appends one pre-formed
+  // JSON object to the "workloads" array.
+  void AddRaw(const std::string& json_object) {
+    if (!enabled()) return;
+    if (num_workloads_++ > 0) body_ += ",";
+    body_ += "\n  ";
+    body_ += json_object;
+  }
+
+  ~BenchJson() {
+    if (!enabled()) return;
+    FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"git_sha\":\"%s\",\"workloads\":[%s\n]}\n",
+                 bench_id_.c_str(), SDP_GIT_SHA, body_.c_str());
+    std::fclose(f);
+  }
+
+ private:
+  std::string bench_id_;
+  std::string path_;
+  std::string body_;
+  int num_workloads_ = 0;
+};
+
 // Runs one workload through the given algorithms and prints both paper-style
-// tables.
+// tables.  When `json` is non-null the report is also recorded there.
 inline ExperimentReport RunAndPrint(const PaperContext& ctx,
                                     const WorkloadSpec& spec,
                                     const std::vector<AlgorithmSpec>& algos,
                                     const OptimizerOptions& options,
                                     bool quality = true,
-                                    bool overheads = true);
+                                    bool overheads = true,
+                                    BenchJson* json = nullptr);
 
 }  // namespace sdp::bench
 
@@ -80,7 +185,8 @@ inline ExperimentReport RunAndPrint(const PaperContext& ctx,
                                     const WorkloadSpec& spec,
                                     const std::vector<AlgorithmSpec>& algos,
                                     const OptimizerOptions& options,
-                                    bool quality, bool overheads) {
+                                    bool quality, bool overheads,
+                                    BenchJson* json) {
   const std::vector<Query> queries = GenerateWorkload(ctx.catalog, spec);
   const ExperimentReport report = RunExperiment(
       queries, ctx.catalog, ctx.stats, algos, options, spec.Name());
@@ -92,6 +198,7 @@ inline ExperimentReport RunAndPrint(const PaperContext& ctx,
     PrintOverheadTable(std::cout, report);
     std::cout << "\n";
   }
+  if (json != nullptr) json->Add(spec, options, report);
   return report;
 }
 

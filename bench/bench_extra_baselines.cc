@@ -9,8 +9,9 @@
 #include "optimizer/heuristic_baselines.h"
 #include "optimizer/idp.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "extra_baselines");
   bench::PrintHeader("Extra baselines",
                      "GOO and randomized II vs IDP/SDP (Star-Chain-15)");
   bench::PaperContext ctx = bench::MakePaperContext();
@@ -58,6 +59,14 @@ int main() {
                     r.quality.Percent(QualityClass::kBad),
                 r.quality.Rho(), r.plans / counted,
                 r.seconds / counted * 1e3);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"rho\":%.6g,\"pct_ideal\":%.2f,"
+                  "\"avg_plans_costed\":%.6g,\"avg_seconds\":%.6g}",
+                  r.name, r.quality.Rho(),
+                  r.quality.Percent(QualityClass::kIdeal), r.plans / counted,
+                  r.seconds / counted);
+    json.AddRaw(buf);
   }
   std::printf("\nExpected: GOO/Randomized are cheapest but weakest; SDP "
               "dominates the whole\nfield on quality at IDP-or-lower "

@@ -8,8 +8,9 @@
 // fatter intermediate results.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "extra_skew");
   bench::PrintHeader("Extra distribution",
                      "Skewed (exponential) data, headline workloads");
   SchemaConfig config;
@@ -28,7 +29,7 @@ int main() {
     spec.num_relations = 15;
     spec.num_instances = bench::ScaledInstances(25);
     bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64),
-                       /*quality=*/true, /*overheads=*/false);
+                       /*quality=*/true, /*overheads=*/false, &json);
   }
   {
     WorkloadSpec spec;
@@ -36,7 +37,7 @@ int main() {
     spec.num_relations = 15;
     spec.num_instances = bench::ScaledInstances(20);
     bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64),
-                       /*quality=*/true, /*overheads=*/false);
+                       /*quality=*/true, /*overheads=*/false, &json);
   }
   std::printf("Expected (paper: 'our results for the other ... are similar "
               "in flavor'):\nthe same ordering as the uniform tables -- SDP "

@@ -4,8 +4,9 @@
 // and cliques (every relation is a hub: strong pruning).
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "extra_topologies");
   bench::PrintHeader("Extra topologies", "Cycle and clique join graphs");
   bench::PaperContext ctx = bench::MakePaperContext();
   const std::vector<AlgorithmSpec> algos = {
@@ -17,21 +18,24 @@ int main() {
     spec.topology = Topology::kCycle;
     spec.num_relations = 14;
     spec.num_instances = bench::ScaledInstances(15);
-    bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64));
+    bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64),
+                       /*quality=*/true, /*overheads=*/true, &json);
   }
   {
     WorkloadSpec spec;
     spec.topology = Topology::kSnowflake;
     spec.num_relations = 15;
     spec.num_instances = bench::ScaledInstances(10);
-    bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64));
+    bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64),
+                       /*quality=*/true, /*overheads=*/true, &json);
   }
   {
     WorkloadSpec spec;
     spec.topology = Topology::kClique;
     spec.num_relations = 10;
     spec.num_instances = bench::ScaledInstances(10);
-    bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64));
+    bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64),
+                       /*quality=*/true, /*overheads=*/true, &json);
   }
   std::printf("Expected: cycles have no hubs, so SDP's effort equals DP's "
               "(no pruning)\nand both are cheap; cliques are all-hub, so "

@@ -5,8 +5,9 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "fig_1_2");
   bench::PrintHeader("Figure 1.2", "Plan quality (rho) vs optimization effort");
   bench::PaperContext ctx = bench::MakePaperContext();
 
@@ -18,7 +19,7 @@ int main() {
       ctx, spec,
       {AlgorithmSpec::DP(), AlgorithmSpec::IDP(4), AlgorithmSpec::IDP(7),
        AlgorithmSpec::SDP()},
-      bench::BudgetMb(64), /*quality=*/false, /*overheads=*/false);
+      bench::BudgetMb(64), /*quality=*/false, /*overheads=*/false, &json);
 
   std::printf("Series (x = avg optimization time in ms, x2 = plans costed, "
               "y = rho):\n");

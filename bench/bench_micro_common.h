@@ -1,0 +1,57 @@
+#ifndef SDPOPT_BENCH_BENCH_MICRO_COMMON_H_
+#define SDPOPT_BENCH_BENCH_MICRO_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+// Git revision baked in by bench/CMakeLists.txt at configure time.
+#ifndef SDP_GIT_SHA
+#define SDP_GIT_SHA "unknown"
+#endif
+
+namespace sdp::bench {
+
+// Shared main() for the google-benchmark micro benches.  Adds the same
+// `--json <path>` / `--json=path` flag the table benches take (translated
+// to google-benchmark's --benchmark_out in JSON format) and stamps the git
+// revision into the benchmark context, so one flag yields machine-readable
+// results across the whole bench suite.
+inline int MicroBenchMain(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_arg;
+  std::string fmt_arg;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string arg = args[i];
+    std::string path;
+    if (arg == "--json" && i + 1 < args.size()) {
+      path = args[i + 1];
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      args.erase(args.begin() + static_cast<long>(i));
+    } else {
+      continue;
+    }
+    out_arg = "--benchmark_out=" + path;
+    fmt_arg = "--benchmark_out_format=json";
+    args.push_back(out_arg.data());
+    args.push_back(fmt_arg.data());
+    break;
+  }
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::AddCustomContext("git_sha", SDP_GIT_SHA);
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace sdp::bench
+
+#endif  // SDPOPT_BENCH_BENCH_MICRO_COMMON_H_

@@ -2,6 +2,8 @@
 // index lookups and the physical join operators.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_micro_common.h"
+
 #include "catalog/catalog.h"
 #include "engine/executor.h"
 #include "engine/table_data.h"
@@ -81,4 +83,6 @@ BENCHMARK(BM_HashJoinExecution)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sdp::bench::MicroBenchMain(argc, argv);
+}

@@ -3,6 +3,8 @@
 // harnesses.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_micro_common.h"
+
 #include "bench/bench_common.h"
 #include "core/sdp.h"
 #include "optimizer/dp.h"
@@ -87,4 +89,6 @@ BENCHMARK(BM_SDPStarChain)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sdp::bench::MicroBenchMain(argc, argv);
+}

@@ -6,6 +6,8 @@
 // tree clone, not an optimization.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_micro_common.h"
+
 #include <future>
 #include <vector>
 
@@ -85,4 +87,6 @@ BENCHMARK(BM_ServiceWarmCache)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sdp::bench::MicroBenchMain(argc, argv);
+}

@@ -1,6 +1,8 @@
 // Micro-benchmarks of the skyline algorithms SDP's pruning relies on.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_micro_common.h"
+
 #include <array>
 #include <vector>
 
@@ -68,4 +70,6 @@ BENCHMARK(BM_KDominantSkyline)->Range(8, 512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sdp::bench::MicroBenchMain(argc, argv);
+}

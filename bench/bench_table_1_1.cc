@@ -2,8 +2,9 @@
 // Star-Chain-15 join graph (Figure 1.1), 100 instances in the paper.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "table_1_1");
   bench::PrintHeader("Table 1.1", "Star-Chain-15 plan quality (DP, IDP, SDP)");
   bench::PaperContext ctx = bench::MakePaperContext();
 
@@ -15,6 +16,6 @@ int main() {
                      {AlgorithmSpec::DP(), AlgorithmSpec::IDP(7),
                       AlgorithmSpec::SDP()},
                      bench::BudgetMb(64), /*quality=*/true,
-                     /*overheads=*/false);
+                     /*overheads=*/false, &json);
   return 0;
 }

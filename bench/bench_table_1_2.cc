@@ -2,8 +2,9 @@
 // of DP, IDP(7) and SDP on Star-Chain-15.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "table_1_2");
   bench::PrintHeader("Table 1.2", "Star-Chain-15 optimization overheads");
   bench::PaperContext ctx = bench::MakePaperContext();
 
@@ -15,6 +16,6 @@ int main() {
                      {AlgorithmSpec::DP(), AlgorithmSpec::IDP(7),
                       AlgorithmSpec::SDP()},
                      bench::BudgetMb(64), /*quality=*/false,
-                     /*overheads=*/true);
+                     /*overheads=*/true, &json);
   return 0;
 }

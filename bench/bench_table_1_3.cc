@@ -2,8 +2,9 @@
 // graph, where DP is infeasible and SDP serves as the reference.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "table_1_3");
   bench::PrintHeader("Table 1.3", "Star-Chain-23 plan quality (DP infeasible)");
   bench::PaperContext ctx = bench::MakePaperContext();
 
@@ -18,6 +19,6 @@ int main() {
                      {AlgorithmSpec::DP(), AlgorithmSpec::IDP(7),
                       AlgorithmSpec::SDP()},
                      bench::BudgetMb(128), /*quality=*/true,
-                     /*overheads=*/false);
+                     /*overheads=*/false, &json);
   return 0;
 }

@@ -2,8 +2,9 @@
 // join graph (DP infeasible; IDP an order of magnitude above SDP).
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "table_1_4");
   bench::PrintHeader("Table 1.4", "Star-Chain-23 optimization overheads");
   bench::PaperContext ctx = bench::MakePaperContext();
 
@@ -18,6 +19,6 @@ int main() {
                      {AlgorithmSpec::DP(), AlgorithmSpec::IDP(7),
                       AlgorithmSpec::SDP()},
                      bench::BudgetMb(128), /*quality=*/false,
-                     /*overheads=*/true);
+                     /*overheads=*/true, &json);
   return 0;
 }

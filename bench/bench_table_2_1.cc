@@ -28,8 +28,9 @@ void RunRow(const sdp::Catalog& catalog, const sdp::StatsCatalog& stats,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "table_2_1");
   bench::PrintHeader("Table 2.1", "DP overheads: chain vs star, N = 4..28");
   // Chains need more than 25 relations: use the extended schema.
   Catalog catalog = MakeSyntheticCatalog(ExtendedSchemaConfig(30));
@@ -50,6 +51,13 @@ int main() {
     } else {
       std::printf("%12s %12s\n", "-", "-");
     }
+    char row[192];
+    std::snprintf(row, sizeof(row),
+                  "{\"n\":%d,\"chain_seconds\":%.6g,\"chain_mb\":%.6g,"
+                  "\"star_feasible\":%s,\"star_seconds\":%.6g,"
+                  "\"star_mb\":%.6g}",
+                  n, ct, cm, sf ? "true" : "false", st, sm);
+    json.AddRaw(row);
   }
   std::printf("\nExpected shape: chain cost grows polynomially (seconds, a "
               "few MB at N=28);\nstar cost explodes and exceeds the memory "

@@ -15,8 +15,9 @@
 #include "optimizer/plan_pool.h"
 #include "query/topology.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "table_2_2");
   bench::PrintHeader("Table 2.2", "Multi-way skyline pruning (worked example)");
   bench::PaperContext ctx = bench::MakePaperContext();
 
@@ -89,5 +90,10 @@ int main() {
   }
   std::printf("\n%d of %zu JCRs pruned by the disjunctive pairwise skyline.\n",
               pruned, partition.size());
+  char row[96];
+  std::snprintf(row, sizeof(row),
+                "{\"partition_size\":%zu,\"pruned\":%d}", partition.size(),
+                pruned);
+  json.AddRaw(row);
   return 0;
 }

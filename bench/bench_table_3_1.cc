@@ -3,8 +3,9 @@
 // IDP(7) beyond 20; SDP is the reference for the scaled rows.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "table_3_1");
   bench::PrintHeader("Table 3.1", "Star join graphs: plan quality");
   bench::PaperContext ctx = bench::MakePaperContext();
   const std::vector<AlgorithmSpec> algos = {
@@ -21,7 +22,7 @@ int main() {
     spec.num_relations = sizes[i];
     spec.num_instances = instances[i];
     bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64),
-                       /*quality=*/true, /*overheads=*/false);
+                       /*quality=*/true, /*overheads=*/false, &json);
   }
   return 0;
 }

@@ -2,8 +2,9 @@
 // 15, 20 and 23 relations.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "table_3_2");
   bench::PrintHeader("Table 3.2", "Star join graphs: optimization overheads");
   bench::PaperContext ctx = bench::MakePaperContext();
   const std::vector<AlgorithmSpec> algos = {
@@ -20,7 +21,7 @@ int main() {
     spec.num_relations = sizes[i];
     spec.num_instances = instances[i];
     bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64),
-                       /*quality=*/false, /*overheads=*/true);
+                       /*quality=*/false, /*overheads=*/true, &json);
   }
   return 0;
 }

@@ -35,8 +35,9 @@ void FindMax(const sdp::Catalog& catalog, const sdp::StatsCatalog& stats,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "table_3_3");
   bench::PrintHeader("Table 3.3", "Maximum star scaleup per algorithm");
   Catalog catalog = MakeSyntheticCatalog(ExtendedSchemaConfig(50));
   StatsCatalog stats = SynthesizeStats(catalog);
@@ -52,6 +53,12 @@ int main() {
     double t = 0;
     FindMax(catalog, stats, algo, opts, 10, 49, 1, &max_n, &t);
     std::printf("  %-10s %14d %16.3f\n", algo.name.c_str(), max_n, t);
+    char row[128];
+    std::snprintf(row, sizeof(row),
+                  "{\"name\":\"%s\",\"max_relations\":%d,"
+                  "\"time_at_max_s\":%.6g}",
+                  algo.name.c_str(), max_n, t);
+    json.AddRaw(row);
   }
   std::printf("\nExpected shape: DP dies first, IDP(7) next; SDP handles "
               "roughly double IDP's star size.\n");

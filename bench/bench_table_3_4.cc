@@ -3,8 +3,9 @@
 // interesting-order machinery and SDP's rescue partitions.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "table_3_4");
   bench::PrintHeader("Table 3.4", "Ordered star join graphs: plan quality");
   bench::PaperContext ctx = bench::MakePaperContext();
   const std::vector<AlgorithmSpec> algos = {
@@ -22,7 +23,7 @@ int main() {
     spec.num_instances = instances[i];
     spec.ordered = true;
     bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(64),
-                       /*quality=*/true, /*overheads=*/false);
+                       /*quality=*/true, /*overheads=*/false, &json);
   }
   return 0;
 }

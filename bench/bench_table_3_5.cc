@@ -5,8 +5,9 @@
 // standard budget where DP is infeasible.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "table_3_5");
   bench::PrintHeader("Table 3.5", "Ordered star-chain join graphs: plan quality");
   bench::PaperContext ctx = bench::MakePaperContext();
   const std::vector<AlgorithmSpec> algos = {
@@ -27,7 +28,7 @@ int main() {
     spec.num_instances = instances[i];
     spec.ordered = true;
     bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(budgets_mb[i]),
-                       /*quality=*/true, /*overheads=*/false);
+                       /*quality=*/true, /*overheads=*/false, &json);
   }
   return 0;
 }

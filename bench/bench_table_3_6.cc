@@ -3,8 +3,9 @@
 // every level's whole JCR population; quality degrades perceptibly.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdp;
+  bench::BenchJson json(argc, argv, "table_3_6");
   bench::PrintHeader("Table 3.6", "Local vs global pruning (Star-Chain-20)");
   bench::PaperContext ctx = bench::MakePaperContext();
 
@@ -23,6 +24,6 @@ int main() {
   // DP must stay feasible to serve as the reference (the paper's 1 GB
   // machine handled Star-Chain-20).
   bench::RunAndPrint(ctx, spec, algos, bench::BudgetMb(512),
-                     /*quality=*/true, /*overheads=*/false);
+                     /*quality=*/true, /*overheads=*/false, &json);
   return 0;
 }

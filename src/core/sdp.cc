@@ -10,6 +10,7 @@
 #include "optimizer/memo.h"
 #include "optimizer/plan_pool.h"
 #include "optimizer/run_helpers.h"
+#include "trace/optimizer_trace.h"
 
 namespace sdp {
 
@@ -23,11 +24,21 @@ JcrFeatures FeaturesOf(const MemoEntry* e) {
   return f;
 }
 
+// Trace context for one skyline partition; `tracer` null means no event.
+struct PartitionTrace {
+  Tracer* tracer = nullptr;
+  int level = 0;
+  const char* kind = "global";
+  int hub = -1;
+  uint64_t hub_rels = 0;
+};
+
 // Applies one skyline partition: marks `failed` for members that lose and
 // `member` for all, or `rescued` when in rescue mode.
 void ApplyPartition(const std::vector<MemoEntry*>& partition,
                     SkylineVariant variant, bool rescue_mode,
-                    std::unordered_map<const MemoEntry*, int>* state) {
+                    std::unordered_map<const MemoEntry*, int>* state,
+                    const PartitionTrace& trace, int* partitions_applied) {
   if (partition.empty()) return;
   std::vector<JcrFeatures> features;
   features.reserve(partition.size());
@@ -42,14 +53,44 @@ void ApplyPartition(const std::vector<MemoEntry*>& partition,
       if (!survivors[i]) s |= 2;  // failed a partition
     }
   }
+  ++(*partitions_applied);
+  if (trace.tracer != nullptr) {
+    TracePartition e;
+    e.level = trace.level;
+    e.kind = trace.kind;
+    e.hub = trace.hub;
+    e.hub_rels = trace.hub_rels;
+    // Under the paper's pairwise-union variant, also record which of the
+    // three 2-D skylines saved each survivor (Table 2.2's presentation).
+    std::vector<PairwiseSkylineMembership> membership;
+    if (variant == SkylineVariant::kPairwiseUnion) {
+      membership = PairwiseSkylineReport(features);
+    }
+    e.members.reserve(partition.size());
+    for (size_t i = 0; i < partition.size(); ++i) {
+      TracePartitionMember m;
+      m.rels = partition[i]->rels.bits();
+      m.rows = features[i].rows;
+      m.cost = features[i].cost;
+      m.sel = features[i].sel;
+      m.survived = survivors[i] != 0;
+      if (!membership.empty()) {
+        m.in_rc = membership[i].rc;
+        m.in_cs = membership[i].cs;
+        m.in_rs = membership[i].rs;
+      }
+      e.members.push_back(m);
+    }
+    trace.tracer->OnPartition(e);
+  }
 }
 
 // Implements the per-level pruning filter of Section 2.1.3.
 class SdpPruner {
  public:
   SdpPruner(const JoinGraph& graph, const SdpConfig& config,
-            const OrderingSpace& space)
-      : graph_(&graph), config_(&config), space_(&space) {
+            const OrderingSpace& space, Tracer* tracer)
+      : graph_(&graph), config_(&config), space_(&space), tracer_(tracer) {
     for (int r = 0; r < graph.num_relations(); ++r) {
       if (graph.Degree(r) >= config.hub_degree) {
         root_hubs_.push_back(r);
@@ -60,19 +101,40 @@ class SdpPruner {
   // Prunes (marks) level-`level` entries of `memo`.  Returns the number of
   // JCRs pruned.
   int PruneLevel(Memo* memo, int level) {
+    TracePruneLevel summary;
+    summary.level = level;
+    const int result = PruneLevelImpl(memo, level, &summary);
+    if (tracer_ != nullptr) tracer_->OnPruneLevel(summary);
+    return result;
+  }
+
+ private:
+  int PruneLevelImpl(Memo* memo, int level, TracePruneLevel* summary) {
     std::vector<MemoEntry*> jcrs;
     for (MemoEntry* e : memo->EntriesWithUnitCount(level)) {
       if (!e->pruned) jcrs.push_back(e);
     }
+    summary->jcrs = static_cast<int>(jcrs.size());
+    summary->free_group = summary->jcrs;
     if (jcrs.size() <= 1) return 0;
 
     std::unordered_map<const MemoEntry*, int> state;
+    PartitionTrace trace;
+    trace.tracer = tracer_;
+    trace.level = level;
 
     if (!config_->localized) {
       // Global ablation: one partition holding the entire level.
-      ApplyPartition(jcrs, config_->skyline, /*rescue_mode=*/false, &state);
+      trace.kind = "global";
+      summary->prune_group = summary->jcrs;
+      summary->free_group = 0;
+      ApplyPartition(jcrs, config_->skyline, /*rescue_mode=*/false, &state,
+                     trace, &summary->partitions);
       const int pruned = CommitPrunes(jcrs, state);
-      return pruned - EnsureLevelNonEmpty(jcrs);
+      const int rescued = EnsureLevelNonEmpty(jcrs);
+      summary->pruned = pruned - rescued;
+      summary->guard_rescue = rescued > 0;
+      return summary->pruned;
     }
 
     // Hubs of the current (contracted) join graph: previous-level survivors
@@ -85,6 +147,7 @@ class SdpPruner {
         hub_parents.push_back(h->rels);
       }
     }
+    summary->hub_parents = static_cast<int>(hub_parents.size());
     if (hub_parents.empty()) return 0;  // Pruning only where hubs exist.
 
     // PruneGroup: JCRs containing a complete previous-level hub.  The rest
@@ -98,27 +161,35 @@ class SdpPruner {
         }
       }
     }
+    summary->prune_group = static_cast<int>(prune_group.size());
+    summary->free_group = summary->jcrs - summary->prune_group;
     if (prune_group.size() <= 1) return 0;
 
     // Partition the PruneGroup and skyline each partition.  A JCR appearing
     // in several partitions must survive in all of them.
     if (config_->partitioning == SdpConfig::Partitioning::kRootHub) {
+      trace.kind = "root-hub";
       for (int hub : root_hubs_) {
         std::vector<MemoEntry*> partition;
         for (MemoEntry* e : prune_group) {
           if (e->rels.Contains(hub)) partition.push_back(e);
         }
+        trace.hub = hub;
+        trace.hub_rels = RelSet::Single(hub).bits();
         ApplyPartition(partition, config_->skyline, /*rescue_mode=*/false,
-                       &state);
+                       &state, trace, &summary->partitions);
       }
     } else {
+      trace.kind = "parent-hub";
+      trace.hub = -1;
       for (const RelSet& h : hub_parents) {
         std::vector<MemoEntry*> partition;
         for (MemoEntry* e : prune_group) {
           if (h.IsSubsetOf(e->rels)) partition.push_back(e);
         }
+        trace.hub_rels = h.bits();
         ApplyPartition(partition, config_->skyline, /*rescue_mode=*/false,
-                       &state);
+                       &state, trace, &summary->partitions);
       }
     }
 
@@ -129,21 +200,26 @@ class SdpPruner {
     if (config_->order_partitions && space_->RequiredId() >= 0 &&
         space_->RequiredId() < graph_->num_equiv_classes()) {
       const RelSet order_rels = graph_->EquivClassRels(space_->RequiredId());
+      trace.kind = "order-rescue";
       order_rels.ForEach([&](int rel) {
         std::vector<MemoEntry*> partition;
         for (MemoEntry* e : prune_group) {
           if (!e->rels.Contains(rel)) partition.push_back(e);
         }
+        trace.hub = rel;
+        trace.hub_rels = RelSet::Single(rel).bits();
         ApplyPartition(partition, config_->skyline, /*rescue_mode=*/true,
-                       &state);
+                       &state, trace, &summary->partitions);
       });
     }
 
     const int pruned = CommitPrunes(prune_group, state);
-    return pruned - EnsureLevelNonEmpty(jcrs);
+    const int rescued = EnsureLevelNonEmpty(jcrs);
+    summary->pruned = pruned - rescued;
+    summary->guard_rescue = rescued > 0;
+    return summary->pruned;
   }
 
- private:
   // Defensive guard: pruning must never eliminate a whole level, or the
   // search could not reach the full relation set.  The pairwise-union
   // skyline cannot empty a level (the lexicographic-minimum-cost JCR
@@ -184,6 +260,7 @@ class SdpPruner {
   const JoinGraph* graph_;
   const SdpConfig* config_;
   const OrderingSpace* space_;
+  Tracer* tracer_;
   std::vector<int> root_hubs_;
 };
 
@@ -206,14 +283,26 @@ OptimizeResult OptimizeSDP(const Query& query, const CostModel& cost,
   SearchCounters counters;
   JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool, &gauge,
                             options, &counters);
-  SdpPruner pruner(graph, config, space);
+  Tracer* const tracer = options.tracer;
+  SdpPruner pruner(graph, config, space, tracer);
+  if (tracer != nullptr) {
+    tracer->OnRunBegin(
+        MakeTraceRunBegin("SDP", graph, cost, config.hub_degree));
+  }
 
-  enumerator.InstallBaseRelationLeaves();
+  {
+    TraceLevelScope span(tracer, 0, 1, "leaves", counters, gauge);
+    enumerator.InstallBaseRelationLeaves();
+  }
   const int n = graph.num_relations();
-  for (int level = 2; level <= n; ++level) {
+  bool aborted = false;
+  for (int level = 2; level <= n && !aborted; ++level) {
+    // The span covers enumeration plus this level's pruning pass, so
+    // partition and prune events nest inside it in the exported trace.
+    TraceLevelScope span(tracer, 0, level, "level", counters, gauge);
     if (!enumerator.RunLevel(level)) {
-      return MakeOptimizeResult("SDP", nullptr, counters, timer.Seconds(),
-                                gauge);
+      aborted = true;
+      break;
     }
     // Levels N-2 and N-1 (and N) always run pure DP: two relations from
     // completion, no hubs can remain (Section 2.1.2).
@@ -237,10 +326,19 @@ OptimizeResult OptimizeSDP(const Query& query, const CostModel& cost,
       }
     }
   }
+  if (aborted) {
+    OptimizeResult result =
+        MakeOptimizeResult("SDP", nullptr, counters, timer.Seconds(), gauge);
+    EmitTraceRunEnd(tracer, result);
+    return result;
+  }
   MemoEntry* full = memo.Find(graph.AllRelations());
   SDP_CHECK(full != nullptr);
   const PlanNode* plan = enumerator.FinalizeBestPlan(full);
-  return MakeOptimizeResult("SDP", plan, counters, timer.Seconds(), gauge);
+  OptimizeResult result =
+      MakeOptimizeResult("SDP", plan, counters, timer.Seconds(), gauge);
+  EmitTraceRunEnd(tracer, result);
+  return result;
 }
 
 }  // namespace sdp

@@ -1,6 +1,9 @@
 #include "engine/executor.h"
 
+#include <stdio.h>
+
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -315,48 +318,116 @@ ResultSet Executor::Sort(const ResultSet& input, ColumnRef by) const {
   return out;
 }
 
-ResultSet Executor::Execute(const PlanNode* plan) const {
+ResultSet Executor::ExecuteNode(const PlanNode* plan,
+                                std::vector<PlanActuals>* actuals,
+                                int depth) const {
   SDP_CHECK(plan != nullptr);
-  switch (plan->kind) {
-    case PlanKind::kSeqScan:
-      return Scan(plan->rel, /*index_order=*/false);
-    case PlanKind::kIndexScan:
-      return Scan(plan->rel, /*index_order=*/true);
-    case PlanKind::kSort: {
-      ResultSet input = Execute(plan->outer);
-      // Sort on any carried column of the plan's ordering class.
-      for (const ColumnRef& c : input.columns) {
-        if (graph_->EquivClass(c) == plan->ordering) return Sort(input, c);
+  // Reserve the pre-order slot before recursing into children.
+  const size_t slot = actuals != nullptr ? actuals->size() : 0;
+  std::chrono::steady_clock::time_point start;
+  if (actuals != nullptr) {
+    PlanActuals a;
+    a.node = plan;
+    a.depth = depth;
+    actuals->push_back(a);
+    start = std::chrono::steady_clock::now();
+  }
+  int64_t loops = 1;
+  ResultSet out = [&]() -> ResultSet {
+    switch (plan->kind) {
+      case PlanKind::kSeqScan:
+        return Scan(plan->rel, /*index_order=*/false);
+      case PlanKind::kIndexScan:
+        return Scan(plan->rel, /*index_order=*/true);
+      case PlanKind::kSort: {
+        ResultSet input = ExecuteNode(plan->outer, actuals, depth + 1);
+        // Sort on any carried column of the plan's ordering class.
+        for (const ColumnRef& c : input.columns) {
+          if (graph_->EquivClass(c) == plan->ordering) return Sort(input, c);
+        }
+        // Non-join ORDER BY columns are not carried by join tuples; sorting
+        // is a no-op on the joined column set in that case.
+        return input;
       }
-      // Non-join ORDER BY columns are not carried by join tuples; sorting
-      // is a no-op on the joined column set in that case.
-      return input;
+      case PlanKind::kIndexNestLoop: {
+        ResultSet outer = ExecuteNode(plan->outer, actuals, depth + 1);
+        loops = outer.num_rows();  // One index probe per outer row.
+        return IndexNestLoopJoin(
+            outer, plan->rel,
+            graph_->ConnectingEdges(plan->outer->rels, plan->inner->rels));
+      }
+      default:
+        break;
     }
-    case PlanKind::kIndexNestLoop: {
-      ResultSet outer = Execute(plan->outer);
-      return IndexNestLoopJoin(
-          outer, plan->rel,
-          graph_->ConnectingEdges(plan->outer->rels, plan->inner->rels));
+    SDP_CHECK(plan->IsJoin());
+    ResultSet outer = ExecuteNode(plan->outer, actuals, depth + 1);
+    ResultSet inner = ExecuteNode(plan->inner, actuals, depth + 1);
+    const std::vector<int> edges =
+        graph_->ConnectingEdges(plan->outer->rels, plan->inner->rels);
+    switch (plan->kind) {
+      case PlanKind::kHashJoin:
+        return HashJoin(outer, inner, edges);
+      case PlanKind::kNestLoop:
+        return NestLoopJoin(outer, inner, edges);
+      case PlanKind::kMergeJoin:
+        return MergeJoin(outer, inner, plan->edge, edges);
+      default:
+        SDP_CHECK(false);
+        return ResultSet();
     }
-    default:
-      break;
+  }();
+  if (actuals != nullptr) {
+    PlanActuals& a = (*actuals)[slot];
+    a.actual_rows = out.num_rows();
+    a.loops = loops;
+    a.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
   }
-  SDP_CHECK(plan->IsJoin());
-  ResultSet outer = Execute(plan->outer);
-  ResultSet inner = Execute(plan->inner);
-  const std::vector<int> edges =
-      graph_->ConnectingEdges(plan->outer->rels, plan->inner->rels);
-  switch (plan->kind) {
-    case PlanKind::kHashJoin:
-      return HashJoin(outer, inner, edges);
-    case PlanKind::kNestLoop:
-      return NestLoopJoin(outer, inner, edges);
-    case PlanKind::kMergeJoin:
-      return MergeJoin(outer, inner, plan->edge, edges);
-    default:
-      SDP_CHECK(false);
-      return ResultSet();
+  return out;
+}
+
+ResultSet Executor::Execute(const PlanNode* plan) const {
+  return ExecuteNode(plan, nullptr, 0);
+}
+
+AnalyzeResult Executor::ExecuteAnalyze(const PlanNode* plan) const {
+  AnalyzeResult analyze;
+  analyze.result = ExecuteNode(plan, &analyze.operators, 0);
+  return analyze;
+}
+
+double QError(double estimated_rows, int64_t actual_rows) {
+  const double est = std::max(estimated_rows, 1.0);
+  const double act = std::max(static_cast<double>(actual_rows), 1.0);
+  return std::max(est / act, act / est);
+}
+
+std::string AnalyzeReport(const AnalyzeResult& analyze) {
+  std::string out;
+  char line[256];
+  snprintf(line, sizeof(line), "%-40s %12s %12s %8s %8s %10s\n", "operator",
+           "est rows", "act rows", "loops", "q-err", "ms");
+  out += line;
+  double worst_q = 1.0;
+  for (const PlanActuals& a : analyze.operators) {
+    std::string label(static_cast<size_t>(2 * a.depth), ' ');
+    label += PlanKindName(a.node->kind);
+    if (a.node->IsScan() || a.node->kind == PlanKind::kIndexNestLoop) {
+      label += " R" + std::to_string(a.node->rel);
+    }
+    label += " " + a.node->rels.ToString();
+    const double q = QError(a.node->rows, a.actual_rows);
+    worst_q = std::max(worst_q, q);
+    snprintf(line, sizeof(line), "%-40s %12.1f %12lld %8lld %8.2f %10.3f\n",
+             label.c_str(), a.node->rows,
+             static_cast<long long>(a.actual_rows),
+             static_cast<long long>(a.loops), q, a.seconds * 1e3);
+    out += line;
   }
+  snprintf(line, sizeof(line), "worst operator q-error: %.2f\n", worst_q);
+  out += line;
+  return out;
 }
 
 ResultSet Executor::ExecuteReference() const {

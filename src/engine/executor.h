@@ -3,6 +3,7 @@
 
 #include <stdint.h>
 
+#include <string>
 #include <vector>
 
 #include "engine/table_data.h"
@@ -25,6 +26,32 @@ struct ResultSet {
   int OffsetOf(ColumnRef c) const;
 };
 
+// Runtime measurements for one executed plan operator (EXPLAIN ANALYZE).
+struct PlanActuals {
+  const PlanNode* node = nullptr;
+  int depth = 0;            // Nesting depth in the plan tree (root = 0).
+  int64_t actual_rows = 0;  // Rows the operator emitted.
+  // Index probes performed by kIndexNestLoop (= outer rows); 1 elsewhere.
+  // The INL inner relation is probed inline, so it has no row of its own.
+  int64_t loops = 1;
+  double seconds = 0;  // Wall time including children (inclusive).
+};
+
+// An executed plan plus its per-operator actuals, in pre-order (same order
+// as PlanNode::ToString renders the tree).
+struct AnalyzeResult {
+  ResultSet result;
+  std::vector<PlanActuals> operators;
+};
+
+// Cardinality Q-error: max(est/act, act/est) with both sides clamped to
+// >= 1 row, so an exact estimate scores 1 and zero-row results stay finite.
+double QError(double estimated_rows, int64_t actual_rows);
+
+// Renders the per-operator estimates-vs-actuals table: operator, estimated
+// rows, actual rows, loops, Q-error and inclusive wall time.
+std::string AnalyzeReport(const AnalyzeResult& analyze);
+
 // Interprets optimizer plan trees against materialized data: sequential and
 // index scans, hash / merge / (index) nested-loop joins and sorts.  This is
 // the engine-side counterpart of the cost model's operator repertoire; it
@@ -46,12 +73,19 @@ class Executor {
   // Executes a plan tree produced by any of the optimizers for `graph`.
   ResultSet Execute(const PlanNode* plan) const;
 
+  // Executes `plan` while recording per-operator actual rows, loop counts
+  // and timings.  The result rows are identical to Execute()'s.
+  AnalyzeResult ExecuteAnalyze(const PlanNode* plan) const;
+
   // Reference evaluation: joins all relations with a naive
   // hash-join-in-graph-order strategy, independent of any optimizer plan.
   // Used to cross-check Execute().
   ResultSet ExecuteReference() const;
 
  private:
+  // Shared interpreter; `actuals` non-null records EXPLAIN ANALYZE rows.
+  ResultSet ExecuteNode(const PlanNode* plan, std::vector<PlanActuals>* actuals,
+                        int depth) const;
   ResultSet Scan(int rel, bool index_order) const;
   ResultSet HashJoin(const ResultSet& outer, const ResultSet& inner,
                      const std::vector<int>& edges) const;

@@ -7,6 +7,7 @@
 #include "optimizer/memo.h"
 #include "optimizer/plan_pool.h"
 #include "optimizer/run_helpers.h"
+#include "trace/optimizer_trace.h"
 
 namespace sdp {
 
@@ -26,19 +27,34 @@ OptimizeResult OptimizeDP(const Query& query, const CostModel& cost,
   SearchCounters counters;
   JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool, &gauge,
                             options, &counters);
+  Tracer* const tracer = options.tracer;
+  if (tracer != nullptr) {
+    tracer->OnRunBegin(MakeTraceRunBegin("DP", graph, cost));
+  }
 
-  enumerator.InstallBaseRelationLeaves();
+  {
+    TraceLevelScope span(tracer, 0, 1, "leaves", counters, gauge);
+    enumerator.InstallBaseRelationLeaves();
+  }
   const int n = graph.num_relations();
-  for (int level = 2; level <= n; ++level) {
-    if (!enumerator.RunLevel(level)) {
-      return MakeOptimizeResult("DP", nullptr, counters, timer.Seconds(),
-                                gauge);
-    }
+  bool aborted = false;
+  for (int level = 2; level <= n && !aborted; ++level) {
+    TraceLevelScope span(tracer, 0, level, "level", counters, gauge);
+    aborted = !enumerator.RunLevel(level);
+  }
+  if (aborted) {
+    OptimizeResult result =
+        MakeOptimizeResult("DP", nullptr, counters, timer.Seconds(), gauge);
+    EmitTraceRunEnd(tracer, result);
+    return result;
   }
   MemoEntry* full = memo.Find(graph.AllRelations());
   SDP_CHECK(full != nullptr);
   const PlanNode* plan = enumerator.FinalizeBestPlan(full);
-  return MakeOptimizeResult("DP", plan, counters, timer.Seconds(), gauge);
+  OptimizeResult result =
+      MakeOptimizeResult("DP", plan, counters, timer.Seconds(), gauge);
+  EmitTraceRunEnd(tracer, result);
+  return result;
 }
 
 OptimizeResult OptimizeDPSub(const Query& query, const CostModel& cost,
@@ -59,41 +75,58 @@ OptimizeResult OptimizeDPSub(const Query& query, const CostModel& cost,
   SearchCounters counters;
   JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool, &gauge,
                             options, &counters);
+  Tracer* const tracer = options.tracer;
+  if (tracer != nullptr) {
+    tracer->OnRunBegin(MakeTraceRunBegin("DPsub", graph, cost));
+  }
 
-  enumerator.InstallBaseRelationLeaves();
-  const uint64_t limit = uint64_t{1} << n;
-  for (uint64_t bits = 1; bits < limit; ++bits) {
-    const RelSet s(bits);
-    if (s.Count() < 2 || !graph.IsConnected(s)) continue;
-    // All proper submask splits; every subset of `bits` is numerically
-    // smaller, so both halves are already fully planned.
-    for (uint64_t sub = (bits - 1) & bits; sub != 0;
-         sub = (sub - 1) & bits) {
-      const RelSet a(sub);
-      const RelSet b = s.Subtract(a);
-      if (a.bits() > b.bits()) continue;  // Unordered pairs once.
-      ++counters.pairs_examined;
-      MemoEntry* ea = memo.Find(a);
-      MemoEntry* eb = memo.Find(b);
-      if (ea == nullptr || eb == nullptr) continue;  // Disconnected half.
-      if (!graph.AreAdjacent(a, b)) continue;
-      bool created = false;
-      MemoEntry* target = memo.GetOrCreate(
-          s, ea->unit_count + eb->unit_count, card.Rows(s),
-          card.Selectivity(s), &created);
-      if (created) ++counters.jcrs_created;
-      enumerator.EmitJoinsInto(target, ea, eb);
+  {
+    TraceLevelScope span(tracer, 0, 1, "leaves", counters, gauge);
+    enumerator.InstallBaseRelationLeaves();
+  }
+  {
+    // DPsub enumerates by subset mask, not level; one span covers the whole
+    // enumeration so trace totals still reconcile with the counters.
+    TraceLevelScope span(tracer, 0, n, "enumerate", counters, gauge);
+    const uint64_t limit = uint64_t{1} << n;
+    for (uint64_t bits = 1; bits < limit; ++bits) {
+      const RelSet s(bits);
+      if (s.Count() < 2 || !graph.IsConnected(s)) continue;
+      // All proper submask splits; every subset of `bits` is numerically
+      // smaller, so both halves are already fully planned.
+      for (uint64_t sub = (bits - 1) & bits; sub != 0;
+           sub = (sub - 1) & bits) {
+        const RelSet a(sub);
+        const RelSet b = s.Subtract(a);
+        if (a.bits() > b.bits()) continue;  // Unordered pairs once.
+        ++counters.pairs_examined;
+        MemoEntry* ea = memo.Find(a);
+        MemoEntry* eb = memo.Find(b);
+        if (ea == nullptr || eb == nullptr) continue;  // Disconnected half.
+        if (!graph.AreAdjacent(a, b)) continue;
+        bool created = false;
+        MemoEntry* target = memo.GetOrCreate(
+            s, ea->unit_count + eb->unit_count, card.Rows(s),
+            card.Selectivity(s), &created);
+        if (created) ++counters.jcrs_created;
+        enumerator.EmitJoinsInto(target, ea, eb);
+      }
+      if ((bits & 0xFF) == 0 && enumerator.CheckBudget()) break;
     }
-    if ((bits & 0xFF) == 0 && enumerator.CheckBudget()) break;
   }
   if (enumerator.CheckBudget()) {
-    return MakeOptimizeResult("DPsub", nullptr, counters, timer.Seconds(),
-                              gauge);
+    OptimizeResult result = MakeOptimizeResult("DPsub", nullptr, counters,
+                                               timer.Seconds(), gauge);
+    EmitTraceRunEnd(tracer, result);
+    return result;
   }
   MemoEntry* full = memo.Find(graph.AllRelations());
   SDP_CHECK(full != nullptr);
   const PlanNode* plan = enumerator.FinalizeBestPlan(full);
-  return MakeOptimizeResult("DPsub", plan, counters, timer.Seconds(), gauge);
+  OptimizeResult result =
+      MakeOptimizeResult("DPsub", plan, counters, timer.Seconds(), gauge);
+  EmitTraceRunEnd(tracer, result);
+  return result;
 }
 
 }  // namespace sdp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "optimizer/memo.h"
 #include "optimizer/plan_pool.h"
 #include "optimizer/run_helpers.h"
+#include "trace/optimizer_trace.h"
 
 namespace sdp {
 
@@ -83,8 +85,12 @@ OptimizeResult OptimizeIDP(const Query& query, const CostModel& cost,
     Memo memo;
   };
   std::vector<std::unique_ptr<IterationContext>> iterations;
+  Tracer* const tracer = options.tracer;
+  if (tracer != nullptr) {
+    tracer->OnRunBegin(MakeTraceRunBegin(name, graph, cost));
+  }
 
-  for (;;) {
+  for (int iteration = 0;; ++iteration) {
     const int m = static_cast<int>(units.size());
     const int block = BlockSize(m, config.k, config.balanced);
 
@@ -93,19 +99,28 @@ OptimizeResult OptimizeIDP(const Query& query, const CostModel& cost,
     Memo& memo = iterations.back()->memo;
     JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool,
                               &gauge, options, &counters);
-    for (const Unit& u : units) {
-      if (u.is_base) {
-        enumerator.InstallBaseRelationLeaf(u.rel);
-      } else {
-        enumerator.InstallLeaf(u.rels, u.rows, u.sel, u.plans);
+    {
+      TraceLevelScope span(tracer, iteration, 1, "leaves", counters, gauge);
+      for (const Unit& u : units) {
+        if (u.is_base) {
+          enumerator.InstallBaseRelationLeaf(u.rel);
+        } else {
+          enumerator.InstallLeaf(u.rels, u.rows, u.sel, u.plans);
+        }
       }
     }
 
-    for (int level = 2; level <= block; ++level) {
-      if (!enumerator.RunLevel(level)) {
-        return MakeOptimizeResult(name, nullptr, counters, timer.Seconds(),
-                                  gauge);
-      }
+    bool aborted = false;
+    for (int level = 2; level <= block && !aborted; ++level) {
+      TraceLevelScope span(tracer, iteration, level, "level", counters,
+                           gauge);
+      aborted = !enumerator.RunLevel(level);
+    }
+    if (aborted) {
+      OptimizeResult result = MakeOptimizeResult(name, nullptr, counters,
+                                                 timer.Seconds(), gauge);
+      EmitTraceRunEnd(tracer, result);
+      return result;
     }
 
     if (block == m) {
@@ -113,8 +128,16 @@ OptimizeResult OptimizeIDP(const Query& query, const CostModel& cost,
       MemoEntry* full = memo.Find(graph.AllRelations());
       SDP_CHECK(full != nullptr);
       const PlanNode* plan = enumerator.FinalizeBestPlan(full);
-      return MakeOptimizeResult(name, plan, counters, timer.Seconds(), gauge);
+      OptimizeResult result =
+          MakeOptimizeResult(name, plan, counters, timer.Seconds(), gauge);
+      EmitTraceRunEnd(tracer, result);
+      return result;
     }
+
+    // The balloon completions below cost plans through EmitJoinsInto, so
+    // they get their own span to keep trace totals equal to the counters.
+    TraceLevelScope balloon_span(tracer, iteration, block, "balloon",
+                                 counters, gauge);
 
     // Candidate subplans: the level-`block` composites, best-first by the
     // MinRows evaluation function.
@@ -233,14 +256,20 @@ OptimizeResult OptimizeIDP2(const Query& query, const CostModel& cost,
     Memo memo;
   };
   std::vector<std::unique_ptr<IterationContext>> iterations;
+  Tracer* const tracer = options.tracer;
+  if (tracer != nullptr) {
+    tracer->OnRunBegin(MakeTraceRunBegin(name, graph, cost));
+  }
 
-  for (;;) {
+  for (int iteration = 0;; ++iteration) {
     const int m = static_cast<int>(units.size());
 
     // Greedy phase: simulate MinRows merges over the current units (sets
     // only, no plans) until some tree accumulates k units; that tree's
     // leaves form the block DP will optimize exactly.
     std::vector<int> block_indices;  // Indices into `units`.
+    std::optional<TraceLevelScope> greedy_span;
+    greedy_span.emplace(tracer, iteration, 0, "greedy", counters, gauge);
     if (m <= config.k) {
       for (int i = 0; i < m; ++i) block_indices.push_back(i);
     } else {
@@ -311,6 +340,7 @@ OptimizeResult OptimizeIDP2(const Query& query, const CostModel& cost,
         SDP_CHECK(block_indices.size() == 2);
       }
     }
+    greedy_span.reset();  // Close the greedy span before DP spans open.
 
     // DP phase: exhaustive DP over the block's units.
     iterations.push_back(std::make_unique<IterationContext>(&gauge));
@@ -319,29 +349,41 @@ OptimizeResult OptimizeIDP2(const Query& query, const CostModel& cost,
     JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool,
                               &gauge, options, &counters);
     RelSet block_rels;
-    for (int i : block_indices) {
-      const Unit& u = units[i];
-      block_rels = block_rels.Union(u.rels);
-      if (u.is_base) {
-        enumerator.InstallBaseRelationLeaf(u.rel);
-      } else {
-        enumerator.InstallLeaf(u.rels, u.rows, u.sel, u.plans);
+    {
+      TraceLevelScope span(tracer, iteration, 1, "leaves", counters, gauge);
+      for (int i : block_indices) {
+        const Unit& u = units[i];
+        block_rels = block_rels.Union(u.rels);
+        if (u.is_base) {
+          enumerator.InstallBaseRelationLeaf(u.rel);
+        } else {
+          enumerator.InstallLeaf(u.rels, u.rows, u.sel, u.plans);
+        }
       }
     }
-    for (int level = 2; level <= static_cast<int>(block_indices.size());
+    bool aborted = false;
+    for (int level = 2;
+         level <= static_cast<int>(block_indices.size()) && !aborted;
          ++level) {
-      if (!enumerator.RunLevel(level)) {
-        return MakeOptimizeResult(name, nullptr, counters, timer.Seconds(),
-                                  gauge);
-      }
+      TraceLevelScope span(tracer, iteration, level, "level", counters,
+                           gauge);
+      aborted = !enumerator.RunLevel(level);
+    }
+    if (aborted) {
+      OptimizeResult result = MakeOptimizeResult(name, nullptr, counters,
+                                                 timer.Seconds(), gauge);
+      EmitTraceRunEnd(tracer, result);
+      return result;
     }
     MemoEntry* full = memo.Find(block_rels);
     SDP_CHECK(full != nullptr);
 
     if (block_rels == graph.AllRelations()) {
       const PlanNode* plan = enumerator.FinalizeBestPlan(full);
-      return MakeOptimizeResult(name, plan, counters, timer.Seconds(),
-                                gauge);
+      OptimizeResult result =
+          MakeOptimizeResult(name, plan, counters, timer.Seconds(), gauge);
+      EmitTraceRunEnd(tracer, result);
+      return result;
     }
 
     // Collapse the optimized block.

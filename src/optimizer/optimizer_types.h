@@ -12,6 +12,8 @@
 
 namespace sdp {
 
+class Tracer;
+
 // Resource limits for one optimization run.  The paper's notion of
 // infeasibility is running out of physical memory (1 GB machines); we make
 // the budget explicit so experiments can reproduce the feasibility frontier
@@ -19,6 +21,11 @@ namespace sdp {
 struct OptimizerOptions {
   size_t memory_budget_bytes = 0;
   uint64_t max_plans_costed = 0;
+  // Structured trace sink (see trace/trace.h).  Null disables tracing: the
+  // instrumented drivers then do no tracer work beyond one branch per
+  // section, and zero allocations.  The tracer never influences the search;
+  // results are bit-identical with and without it.
+  Tracer* tracer = nullptr;
 };
 
 // Search-effort counters, the paper's overhead metrics.

@@ -6,7 +6,8 @@
 
 namespace sdp {
 
-std::string JoinGraphToDot(const JoinGraph& graph, const Catalog* catalog) {
+std::string JoinGraphToDot(const JoinGraph& graph, const Catalog* catalog,
+                           const JoinGraphAnnotations* annotations) {
   std::string out = "graph join_graph {\n  node [shape=ellipse];\n";
   for (int r = 0; r < graph.num_relations(); ++r) {
     char buf[160];
@@ -15,21 +16,41 @@ std::string JoinGraphToDot(const JoinGraph& graph, const Catalog* catalog) {
       const Table& t = catalog->table(graph.table_id(r));
       label += "\\n" + t.name + " (" + std::to_string(t.row_count) + ")";
     }
-    const bool hub = graph.Degree(r) >= 3;
+    bool hub;
+    if (annotations != nullptr) {
+      hub = false;
+      for (int h : annotations->hub_relations) hub = hub || h == r;
+      if (hub) label += "\\nhub (deg " + std::to_string(graph.Degree(r)) + ")";
+    } else {
+      hub = graph.Degree(r) >= 3;
+    }
     std::snprintf(buf, sizeof(buf),
                   "  r%d [label=\"%s\"%s];\n", r, label.c_str(),
                   hub ? ", style=filled, fillcolor=lightcoral" : "");
     out += buf;
   }
-  for (const JoinEdge& e : graph.edges()) {
-    char buf[120];
-    std::snprintf(buf, sizeof(buf),
-                  "  r%d -- r%d [label=\"c%d=c%d\", fontsize=9];\n",
-                  e.left.rel, e.right.rel, e.left.col + 1, e.right.col + 1);
+  const std::vector<JoinEdge>& edges = graph.edges();
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const JoinEdge& e = edges[i];
+    char buf[160];
+    if (annotations != nullptr && i < annotations->edge_selectivities.size()) {
+      std::snprintf(buf, sizeof(buf),
+                    "  r%d -- r%d [label=\"c%d=c%d\\nsel=%.2e\", fontsize=9];\n",
+                    e.left.rel, e.right.rel, e.left.col + 1, e.right.col + 1,
+                    annotations->edge_selectivities[i]);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  r%d -- r%d [label=\"c%d=c%d\", fontsize=9];\n",
+                    e.left.rel, e.right.rel, e.left.col + 1, e.right.col + 1);
+    }
     out += buf;
   }
   out += "}\n";
   return out;
+}
+
+std::string JoinGraphToDot(const JoinGraph& graph, const Catalog* catalog) {
+  return JoinGraphToDot(graph, catalog, nullptr);
 }
 
 namespace {

@@ -2,6 +2,7 @@
 #define SDPOPT_QUERY_GRAPHVIZ_H_
 
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "plan/plan_node.h"
@@ -11,9 +12,24 @@ namespace sdp {
 
 // GraphViz (DOT) renderings for documentation and debugging.
 
+// Search-space annotations overlaid on a join-graph rendering, typically
+// reconstructed from an optimizer trace (see trace/trace_export.h).  Hub
+// membership comes from the traced run (respecting its hub_degree) instead
+// of the default degree>=3 heuristic, and edges are labeled with the
+// estimated selectivities the optimizer actually used.
+struct JoinGraphAnnotations {
+  int hub_degree = 3;
+  std::vector<int> hub_relations;
+  // Parallel to graph.edges(); empty = no selectivity labels.
+  std::vector<double> edge_selectivities;
+};
+
 // The join graph as an undirected graph; hub relations (degree >= 3) are
 // highlighted.  Node labels show the bound table and row count when a
-// catalog is supplied (may be null).
+// catalog is supplied (may be null).  When `annotations` is non-null, hubs
+// are taken from the annotation set and edges carry selectivity labels.
+std::string JoinGraphToDot(const JoinGraph& graph, const Catalog* catalog,
+                           const JoinGraphAnnotations* annotations);
 std::string JoinGraphToDot(const JoinGraph& graph, const Catalog* catalog);
 
 // A physical plan tree as a digraph; each node shows operator, estimated

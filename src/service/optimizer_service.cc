@@ -9,6 +9,7 @@
 #include "optimizer/run_helpers.h"
 #include "service/plan_fingerprint.h"
 #include "sql/parser.h"
+#include "trace/trace.h"
 
 namespace sdp {
 
@@ -183,6 +184,18 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
   std::string full_key;
   PlanCache::Ticket ticket;
   PlanCache::Outcome outcome = PlanCache::Outcome::kDisabled;
+  auto trace_cache = [&](const char* kind) {
+    if (config_.tracer == nullptr) return;
+    TraceCacheEvent e;
+    e.kind = kind;
+    e.key = full_key;
+    config_.tracer->OnCacheEvent(e);
+  };
+  // A request without its own tracer inherits the service-wide sink, so
+  // worker-side optimizations emit full search traces.
+  if (request.options.tracer == nullptr) {
+    request.options.tracer = config_.tracer;
+  }
   if (config_.cache_enabled) {
     form = CanonicalizeQuery(request.query, cost);
     full_key = form.key;
@@ -199,15 +212,18 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
   if (outcome == PlanCache::Outcome::kHit) {
     out.cache_hit = true;
     metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    trace_cache("hit");
   } else {
     if (outcome == PlanCache::Outcome::kMiss) {
       metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      trace_cache("miss");
     }
     if (!AdmitBudget(request.options.memory_budget_bytes)) {
       // This request's budget can never fit under the global cap: the same
       // verdict the per-run budget machinery gives, raised before wasting
       // any enumeration work.
       cache_.Abandon(std::move(ticket));
+      if (outcome == PlanCache::Outcome::kMiss) trace_cache("abandon");
       metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
       out.rejected = true;
       out.error = "memory budget exceeds service cap";
@@ -224,8 +240,10 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
 
     if (out.result.feasible) {
       cache_.Fill(std::move(ticket), request.query, form, out.result);
+      if (outcome == PlanCache::Outcome::kMiss) trace_cache("fill");
     } else {
       cache_.Abandon(std::move(ticket));
+      if (outcome == PlanCache::Outcome::kMiss) trace_cache("abandon");
       metrics_.requests_infeasible.fetch_add(1, std::memory_order_relaxed);
     }
     metrics_.plans_costed.fetch_add(out.result.counters.plans_costed,

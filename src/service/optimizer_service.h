@@ -44,6 +44,13 @@ struct ServiceConfig {
   // Included in every cache key.  Bump (via BumpStatsEpoch) whenever the
   // catalog or statistics change so stale plans cannot be served.
   uint64_t stats_epoch = 0;
+
+  // Structured trace sink shared by the whole service (see trace/trace.h).
+  // Receives plan-cache events and is propagated into each request's
+  // OptimizerOptions when the request carries no tracer of its own, so
+  // workers emit full search traces.  Must be thread-safe (TraceCollector
+  // is) and outlive the service.  Does not influence cache keys or plans.
+  Tracer* tracer = nullptr;
 };
 
 // One optimization request: a bound query plus the algorithm and resource

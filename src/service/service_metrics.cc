@@ -1,6 +1,8 @@
 #include "service/service_metrics.h"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace sdp {
 
@@ -32,6 +34,10 @@ double LatencyHistogram::MeanMs() const {
          1000.0;
 }
 
+double LatencyHistogram::SumSeconds() const {
+  return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / 1e6;
+}
+
 double LatencyHistogram::QuantileMs(double q) const {
   const uint64_t n = count_.load(std::memory_order_relaxed);
   if (n == 0) return 0;
@@ -41,11 +47,39 @@ double LatencyHistogram::QuantileMs(double q) const {
   for (int b = 0; b < kBuckets; ++b) {
     const uint64_t c = buckets_[b].load(std::memory_order_relaxed);
     if (rank <= c) {
-      return static_cast<double>(uint64_t{1} << b) / 1000.0;
+      // Interpolate within the bucket, treating its c samples as spread
+      // evenly over [lower, upper).  Bucket 0 spans [0, 2)us; the last
+      // bucket is unbounded, so report its lower edge.
+      const double lower =
+          b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << b);
+      if (b == kBuckets - 1) return lower / 1000.0;
+      const double upper = static_cast<double>(uint64_t{1} << (b + 1));
+      const double us = lower + (upper - lower) *
+                                    (static_cast<double>(rank) - 0.5) /
+                                    static_cast<double>(c);
+      return us / 1000.0;
     }
     rank -= c;
   }
   return static_cast<double>(uint64_t{1} << (kBuckets - 1)) / 1000.0;
+}
+
+std::vector<LatencyHistogram::CumulativeBucket>
+LatencyHistogram::CumulativeBuckets() const {
+  std::vector<CumulativeBucket> out;
+  out.reserve(kBuckets);
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    CumulativeBucket cb;
+    // Upper bound of bucket b in seconds; the last bucket is +Inf.
+    cb.le_seconds = b == kBuckets - 1
+                        ? std::numeric_limits<double>::infinity()
+                        : static_cast<double>(uint64_t{1} << (b + 1)) / 1e6;
+    cb.cumulative = cumulative;
+    out.push_back(cb);
+  }
+  return out;
 }
 
 void LatencyHistogram::Reset() {
@@ -92,6 +126,81 @@ std::string ServiceMetrics::Dump() const {
       optimize_latency.MeanMs(), optimize_latency.QuantileMs(0.5),
       optimize_latency.QuantileMs(0.99));
   return buf;
+}
+
+std::string ServiceMetrics::PrometheusText() const {
+  std::string out;
+  char line[256];
+  auto counter = [&](const char* name, const char* help, uint64_t value) {
+    std::snprintf(line, sizeof(line),
+                  "# HELP %s %s\n# TYPE %s counter\n%s %llu\n", name, help,
+                  name, name, static_cast<unsigned long long>(value));
+    out += line;
+  };
+  auto gauge = [&](const char* name, const char* help, int64_t value) {
+    std::snprintf(line, sizeof(line),
+                  "# HELP %s %s\n# TYPE %s gauge\n%s %lld\n", name, help,
+                  name, name, static_cast<long long>(value));
+    out += line;
+  };
+
+  counter("sdp_service_requests_submitted_total",
+          "Requests submitted to the optimizer service.",
+          requests_submitted.load());
+  counter("sdp_service_requests_completed_total",
+          "Requests completed (any outcome).", requests_completed.load());
+  counter("sdp_service_requests_rejected_total",
+          "Requests rejected by admission control.",
+          requests_rejected.load());
+  counter("sdp_service_requests_infeasible_total",
+          "Optimizations that exceeded their resource budget.",
+          requests_infeasible.load());
+  counter("sdp_service_parse_errors_total",
+          "Requests whose SQL failed to parse.", parse_errors.load());
+  counter("sdp_service_cache_hits_total", "Plan cache hits.",
+          cache_hits.load());
+  counter("sdp_service_cache_misses_total", "Plan cache misses.",
+          cache_misses.load());
+  counter("sdp_service_plans_costed_total",
+          "Plan alternatives costed by computed (non-cached) runs.",
+          plans_costed.load());
+  counter("sdp_service_jcrs_created_total",
+          "Join-composite relations created by computed runs.",
+          jcrs_created.load());
+  counter("sdp_service_bytes_charged_total",
+          "Summed per-request peak working-set bytes.",
+          bytes_charged.load());
+  counter("sdp_service_admission_waits_total",
+          "Requests that waited for the global memory cap.",
+          admission_waits.load());
+  gauge("sdp_service_queue_depth", "Requests queued, not yet started.",
+        queue_depth.load());
+  gauge("sdp_service_inflight", "Requests currently being optimized.",
+        inflight.load());
+
+  const char* hist = "sdp_service_optimize_latency_seconds";
+  std::snprintf(line, sizeof(line),
+                "# HELP %s Per-request optimize wall time.\n"
+                "# TYPE %s histogram\n",
+                hist, hist);
+  out += line;
+  for (const LatencyHistogram::CumulativeBucket& b :
+       optimize_latency.CumulativeBuckets()) {
+    if (std::isinf(b.le_seconds)) {
+      std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %llu\n",
+                    hist, static_cast<unsigned long long>(b.cumulative));
+    } else {
+      std::snprintf(line, sizeof(line), "%s_bucket{le=\"%.9g\"} %llu\n",
+                    hist, b.le_seconds,
+                    static_cast<unsigned long long>(b.cumulative));
+    }
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%s_sum %.9g\n%s_count %llu\n", hist,
+                optimize_latency.SumSeconds(), hist,
+                static_cast<unsigned long long>(optimize_latency.count()));
+  out += line;
+  return out;
 }
 
 void ServiceMetrics::Reset() {

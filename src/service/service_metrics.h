@@ -5,13 +5,15 @@
 
 #include <atomic>
 #include <string>
+#include <vector>
 
 namespace sdp {
 
 // Thread-safe log-bucketed latency recorder (power-of-two microsecond
-// buckets).  Percentiles are bucket lower bounds, i.e. accurate to a
-// factor of two -- plenty for a service health dump, and wait-free to
-// record.
+// buckets).  Bucket 0 holds [0, 2)us; bucket b >= 1 holds [2^b, 2^{b+1})us.
+// Quantiles interpolate linearly within the matched bucket, and the exact
+// sample sum and count are kept alongside, so the histogram exports
+// faithfully to Prometheus.  Recording stays wait-free.
 class LatencyHistogram {
  public:
   static constexpr int kBuckets = 40;  // 1us .. ~2^39us (~6 days).
@@ -19,11 +21,23 @@ class LatencyHistogram {
   void Record(double seconds);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  // Exact sum of recorded latencies in seconds (microsecond resolution).
+  double SumSeconds() const;
   // Mean latency in milliseconds.
   double MeanMs() const;
-  // Latency in milliseconds at quantile q in [0,1] (lower bound of the
-  // bucket containing the q-th sample).  Returns 0 when empty.
+  // Latency in milliseconds at quantile q in [0,1], interpolated within
+  // the log bucket containing the q-th sample.  Returns 0 when empty.
   double QuantileMs(double q) const;
+
+  // One entry per bucket of the cumulative histogram: the bucket's upper
+  // bound in seconds (the Prometheus `le` label) and the number of samples
+  // at or below it.  The last entry is the +Inf bucket (le = infinity,
+  // cumulative == count()).
+  struct CumulativeBucket {
+    double le_seconds = 0;
+    uint64_t cumulative = 0;
+  };
+  std::vector<CumulativeBucket> CumulativeBuckets() const;
 
   void Reset();
 
@@ -64,6 +78,10 @@ class ServiceMetrics {
   LatencyHistogram optimize_latency;  // Per-request optimize wall time.
 
   std::string Dump() const;
+  // Prometheus text exposition (format 0.0.4): one # HELP / # TYPE pair
+  // per family, counters suffixed _total, gauges bare, and the latency
+  // histogram as cumulative le-labelled buckets plus _sum and _count.
+  std::string PrometheusText() const;
   void Reset();
 };
 

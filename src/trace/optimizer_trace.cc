@@ -1,0 +1,36 @@
+#include "trace/optimizer_trace.h"
+
+namespace sdp {
+
+TraceRunBegin MakeTraceRunBegin(std::string algorithm, const JoinGraph& graph,
+                                const CostModel& cost, int hub_degree) {
+  TraceRunBegin e;
+  e.algorithm = std::move(algorithm);
+  e.num_relations = graph.num_relations();
+  e.num_edges = static_cast<int>(graph.edges().size());
+  e.hub_degree = hub_degree;
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    if (graph.Degree(r) >= hub_degree) e.hub_relations.push_back(r);
+  }
+  e.edge_selectivities.reserve(graph.edges().size());
+  for (size_t i = 0; i < graph.edges().size(); ++i) {
+    e.edge_selectivities.push_back(
+        cost.EdgeSelectivity(static_cast<int>(i)));
+  }
+  return e;
+}
+
+void EmitTraceRunEnd(Tracer* tracer, const OptimizeResult& result) {
+  if (tracer == nullptr) return;
+  TraceRunEnd e;
+  e.feasible = result.feasible;
+  e.cost = result.cost;
+  e.plans_costed = result.counters.plans_costed;
+  e.jcrs_created = result.counters.jcrs_created;
+  e.pairs_examined = result.counters.pairs_examined;
+  e.elapsed_seconds = result.elapsed_seconds;
+  e.peak_memory_mb = result.peak_memory_mb;
+  tracer->OnRunEnd(e);
+}
+
+}  // namespace sdp

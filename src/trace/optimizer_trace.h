@@ -1,0 +1,81 @@
+#ifndef SDPOPT_TRACE_OPTIMIZER_TRACE_H_
+#define SDPOPT_TRACE_OPTIMIZER_TRACE_H_
+
+#include <chrono>
+#include <string>
+
+#include "common/arena.h"
+#include "cost/cost_model.h"
+#include "optimizer/optimizer_types.h"
+#include "query/join_graph.h"
+#include "trace/trace.h"
+
+namespace sdp {
+
+// Builds the run-begin event for an optimization of `graph`: hub relations
+// under `hub_degree` and the per-edge selectivities the cost model uses.
+// Call only when a tracer is attached (allocates vectors).
+TraceRunBegin MakeTraceRunBegin(std::string algorithm, const JoinGraph& graph,
+                                const CostModel& cost, int hub_degree = 3);
+
+// Emits the run-end event for a finished OptimizeResult.  No-op on null.
+void EmitTraceRunEnd(Tracer* tracer, const OptimizeResult& result);
+
+// RAII span over one enumeration section (leaf installation, a DP level,
+// an IDP balloon/greedy phase).  Emits level_begin on construction and
+// level_end -- carrying the SearchCounters deltas, the gauge's current
+// bytes and the span's wall time -- on destruction.  With a null tracer
+// both ends are a single branch: no snapshot, no clock read, no event.
+class TraceLevelScope {
+ public:
+  TraceLevelScope(Tracer* tracer, int iteration, int level, const char* phase,
+                  const SearchCounters& counters, const MemoryGauge& gauge)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) return;
+    counters_ = &counters;
+    gauge_ = &gauge;
+    iteration_ = iteration;
+    level_ = level;
+    phase_ = phase;
+    snapshot_ = counters;
+    start_ = std::chrono::steady_clock::now();
+    TraceLevelBegin begin;
+    begin.iteration = iteration;
+    begin.level = level;
+    begin.phase = phase;
+    tracer_->OnLevelBegin(begin);
+  }
+
+  ~TraceLevelScope() {
+    if (tracer_ == nullptr) return;
+    TraceLevelEnd end;
+    end.iteration = iteration_;
+    end.level = level_;
+    end.phase = phase_;
+    end.jcrs_created = counters_->jcrs_created - snapshot_.jcrs_created;
+    end.pairs_examined = counters_->pairs_examined - snapshot_.pairs_examined;
+    end.plans_costed = counters_->plans_costed - snapshot_.plans_costed;
+    end.memo_bytes = gauge_->current_bytes();
+    end.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    tracer_->OnLevelEnd(end);
+  }
+
+  TraceLevelScope(const TraceLevelScope&) = delete;
+  TraceLevelScope& operator=(const TraceLevelScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const SearchCounters* counters_ = nullptr;
+  const MemoryGauge* gauge_ = nullptr;
+  int iteration_ = 0;
+  int level_ = 0;
+  const char* phase_ = "level";
+  SearchCounters snapshot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_TRACE_OPTIMIZER_TRACE_H_

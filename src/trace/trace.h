@@ -1,0 +1,130 @@
+#ifndef SDPOPT_TRACE_TRACE_H_
+#define SDPOPT_TRACE_TRACE_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+namespace sdp {
+
+// Typed events describing one optimization run's search effort.  Producers
+// (the DP/IDP/SDP drivers, the SDP pruner, the optimizer service) construct
+// events only behind an `if (tracer != nullptr)` guard, so a disabled
+// tracer costs one branch and zero allocations on every instrumentation
+// point.
+//
+// Event vocabulary:
+//  * run begin/end     -- one optimization (algorithm, graph shape, outcome)
+//  * level begin/end   -- one enumeration span: leaf installation, a DP
+//                         level, or an IDP ballooning/greedy phase, with the
+//                         SearchCounters deltas and memo footprint
+//  * partition         -- one skyline partition applied by SDP, member by
+//                         member, with the [R,C,S] vectors and which 2-D
+//                         skyline saved each survivor
+//  * prune level       -- the summary of one SDP pruning pass (PruneGroup /
+//                         FreeGroup split, hubs, partitions, prune yield)
+//  * cache             -- plan-cache traffic from the optimizer service
+
+// Emitted once when an optimization run starts.  Hub and selectivity data
+// also feed the annotated GraphViz rendering (see query/graphviz.h).
+struct TraceRunBegin {
+  std::string algorithm;
+  int num_relations = 0;
+  int num_edges = 0;
+  int hub_degree = 3;
+  std::vector<int> hub_relations;          // Degree >= hub_degree.
+  std::vector<double> edge_selectivities;  // Parallel to graph.edges().
+};
+
+struct TraceRunEnd {
+  bool feasible = false;
+  double cost = 0;
+  uint64_t plans_costed = 0;
+  uint64_t jcrs_created = 0;
+  uint64_t pairs_examined = 0;
+  double elapsed_seconds = 0;
+  double peak_memory_mb = 0;
+};
+
+struct TraceLevelBegin {
+  int iteration = 0;            // IDP iteration ordinal; 0 for DP/SDP.
+  int level = 0;                // Unit count of the level (1 = leaves).
+  const char* phase = "level";  // "leaves" | "level" | "balloon" | "greedy".
+};
+
+struct TraceLevelEnd {
+  int iteration = 0;
+  int level = 0;
+  const char* phase = "level";
+  // SearchCounters deltas accumulated within the span.
+  uint64_t jcrs_created = 0;
+  uint64_t pairs_examined = 0;
+  uint64_t plans_costed = 0;
+  // Bytes charged to the run's MemoryGauge when the span closed (memo +
+  // plan pool + cardinality cache).
+  size_t memo_bytes = 0;
+  double seconds = 0;  // Wall time of the span.
+};
+
+// One JCR inside a skyline partition.
+struct TracePartitionMember {
+  uint64_t rels = 0;  // RelSet bits.
+  double rows = 0;    // The [R,C,S] feature vector.
+  double cost = 0;
+  double sel = 1;
+  bool survived = false;
+  // Which pairwise 2-D skyline(s) the member belongs to (pairwise-union
+  // variant only; all false under other variants).
+  bool in_rc = false;
+  bool in_cs = false;
+  bool in_rs = false;
+};
+
+struct TracePartition {
+  int level = 0;
+  // "root-hub" | "parent-hub" | "global" | "order-rescue".
+  const char* kind = "root-hub";
+  int hub = -1;           // Root-hub partitions: the hub relation position.
+  uint64_t hub_rels = 0;  // Parent-hub partitions: the hub composite bits.
+  std::vector<TracePartitionMember> members;
+};
+
+// Summary of one SDP pruning pass over a completed level.
+struct TracePruneLevel {
+  int level = 0;
+  int jcrs = 0;         // Unpruned JCRs at the level before pruning.
+  int prune_group = 0;  // JCRs containing a complete hub parent.
+  int free_group = 0;   // jcrs - prune_group: survive unconditionally.
+  int hub_parents = 0;  // Hubs of the contracted graph feeding partitions.
+  int partitions = 0;   // Partitions applied (including rescue partitions).
+  int pruned = 0;       // JCRs pruned after the non-empty guard.
+  bool guard_rescue = false;  // The cheapest JCR was un-pruned by the guard.
+};
+
+// Plan-cache traffic observed by the optimizer service.
+struct TraceCacheEvent {
+  const char* kind = "miss";  // "hit" | "miss" | "fill" | "abandon".
+  std::string key;            // Full canonical cache key.
+};
+
+// Structured trace sink.  The default implementation ignores everything, so
+// subclasses override only the events they care about.  Instrumented code
+// holds a `Tracer*` that is null when tracing is disabled.
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+
+  virtual void OnRunBegin(const TraceRunBegin&) {}
+  virtual void OnRunEnd(const TraceRunEnd&) {}
+  virtual void OnLevelBegin(const TraceLevelBegin&) {}
+  virtual void OnLevelEnd(const TraceLevelEnd&) {}
+  virtual void OnPartition(const TracePartition&) {}
+  virtual void OnPruneLevel(const TracePruneLevel&) {}
+  virtual void OnCacheEvent(const TraceCacheEvent&) {}
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_TRACE_TRACE_H_

@@ -1,0 +1,26 @@
+#include "trace/trace_collector.h"
+
+namespace sdp {
+
+void TraceCollector::Record(Payload payload) {
+  const double ts = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = thread_ordinals_.emplace(
+      std::this_thread::get_id(), static_cast<int>(thread_ordinals_.size()));
+  events_.push_back(Recorded{ts, it->second, std::move(payload)});
+}
+
+size_t TraceCollector::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  thread_ordinals_.clear();
+}
+
+}  // namespace sdp

@@ -1,0 +1,59 @@
+#ifndef SDPOPT_TRACE_TRACE_COLLECTOR_H_
+#define SDPOPT_TRACE_TRACE_COLLECTOR_H_
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace sdp {
+
+// In-memory trace sink: records every event, stamped with a wall-clock
+// offset and a dense thread ordinal, in arrival order.  Recording is
+// thread-safe (one mutex per append) so a single collector can observe a
+// multi-threaded OptimizerService; exporters read the finished event list
+// single-threaded after the traced work has drained.
+class TraceCollector : public Tracer {
+ public:
+  using Payload =
+      std::variant<TraceRunBegin, TraceRunEnd, TraceLevelBegin, TraceLevelEnd,
+                   TracePartition, TracePruneLevel, TraceCacheEvent>;
+
+  struct Recorded {
+    double ts_seconds = 0;  // Offset from collector creation.
+    int thread = 0;         // Dense ordinal of the recording thread.
+    Payload payload;
+  };
+
+  TraceCollector() : start_(std::chrono::steady_clock::now()) {}
+
+  void OnRunBegin(const TraceRunBegin& e) override { Record(e); }
+  void OnRunEnd(const TraceRunEnd& e) override { Record(e); }
+  void OnLevelBegin(const TraceLevelBegin& e) override { Record(e); }
+  void OnLevelEnd(const TraceLevelEnd& e) override { Record(e); }
+  void OnPartition(const TracePartition& e) override { Record(e); }
+  void OnPruneLevel(const TracePruneLevel& e) override { Record(e); }
+  void OnCacheEvent(const TraceCacheEvent& e) override { Record(e); }
+
+  // The recorded stream.  Only valid once all traced work has finished.
+  const std::vector<Recorded>& events() const { return events_; }
+  size_t num_events() const;
+
+  void Clear();
+
+ private:
+  void Record(Payload payload);
+
+  const std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::thread::id, int> thread_ordinals_;
+  std::vector<Recorded> events_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_TRACE_TRACE_COLLECTOR_H_

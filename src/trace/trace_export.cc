@@ -1,0 +1,354 @@
+#include "trace/trace_export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace sdp {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "null";  // JSON has no infinity.
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  *out += buf;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  *out += std::to_string(v);
+}
+
+// Shared per-event JSON body (the fields after "event"), identical for the
+// JSONL export and the Chrome "args" object so both views agree.
+struct FieldWriter {
+  std::string* out;
+  bool first = true;
+
+  void Key(const char* k) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "\"";
+    *out += k;
+    *out += "\":";
+  }
+  void Str(const char* k, const std::string& v) {
+    Key(k);
+    AppendEscaped(out, v);
+  }
+  void Num(const char* k, double v) {
+    Key(k);
+    AppendDouble(out, v);
+  }
+  void Int(const char* k, int64_t v) {
+    Key(k);
+    *out += std::to_string(v);
+  }
+  void U64(const char* k, uint64_t v) {
+    Key(k);
+    AppendU64(out, v);
+  }
+  void Bool(const char* k, bool v) {
+    Key(k);
+    *out += v ? "true" : "false";
+  }
+};
+
+struct EventVisitor {
+  FieldWriter* w;
+  bool include_timing;
+
+  void operator()(const TraceRunBegin& e) const {
+    w->Str("event", "run_begin");
+    w->Str("algorithm", e.algorithm);
+    w->Int("num_relations", e.num_relations);
+    w->Int("num_edges", e.num_edges);
+    w->Int("hub_degree", e.hub_degree);
+    w->Key("hubs");
+    *w->out += "[";
+    for (size_t i = 0; i < e.hub_relations.size(); ++i) {
+      if (i > 0) *w->out += ",";
+      *w->out += std::to_string(e.hub_relations[i]);
+    }
+    *w->out += "]";
+    w->Key("edge_selectivities");
+    *w->out += "[";
+    for (size_t i = 0; i < e.edge_selectivities.size(); ++i) {
+      if (i > 0) *w->out += ",";
+      AppendDouble(w->out, e.edge_selectivities[i]);
+    }
+    *w->out += "]";
+  }
+  void operator()(const TraceRunEnd& e) const {
+    w->Str("event", "run_end");
+    w->Bool("feasible", e.feasible);
+    w->Num("cost", e.cost);
+    w->U64("plans_costed", e.plans_costed);
+    w->U64("jcrs_created", e.jcrs_created);
+    w->U64("pairs_examined", e.pairs_examined);
+    if (include_timing) w->Num("elapsed_seconds", e.elapsed_seconds);
+    w->Num("peak_memory_mb", e.peak_memory_mb);
+  }
+  void operator()(const TraceLevelBegin& e) const {
+    w->Str("event", "level_begin");
+    w->Int("iteration", e.iteration);
+    w->Int("level", e.level);
+    w->Str("phase", e.phase);
+  }
+  void operator()(const TraceLevelEnd& e) const {
+    w->Str("event", "level_end");
+    w->Int("iteration", e.iteration);
+    w->Int("level", e.level);
+    w->Str("phase", e.phase);
+    w->U64("jcrs_created", e.jcrs_created);
+    w->U64("pairs_examined", e.pairs_examined);
+    w->U64("plans_costed", e.plans_costed);
+    w->U64("memo_bytes", e.memo_bytes);
+    if (include_timing) w->Num("seconds", e.seconds);
+  }
+  void operator()(const TracePartition& e) const {
+    w->Str("event", "partition");
+    w->Int("level", e.level);
+    w->Str("kind", e.kind);
+    w->Int("hub", e.hub);
+    w->U64("hub_rels", e.hub_rels);
+    int survivors = 0;
+    for (const TracePartitionMember& m : e.members) survivors += m.survived;
+    w->Int("size", static_cast<int64_t>(e.members.size()));
+    w->Int("survivors", survivors);
+    w->Key("members");
+    *w->out += "[";
+    for (size_t i = 0; i < e.members.size(); ++i) {
+      const TracePartitionMember& m = e.members[i];
+      if (i > 0) *w->out += ",";
+      FieldWriter mw{w->out};
+      *w->out += "{";
+      mw.U64("rels", m.rels);
+      mw.Num("rows", m.rows);
+      mw.Num("cost", m.cost);
+      mw.Num("sel", m.sel);
+      mw.Bool("survived", m.survived);
+      mw.Bool("rc", m.in_rc);
+      mw.Bool("cs", m.in_cs);
+      mw.Bool("rs", m.in_rs);
+      *w->out += "}";
+    }
+    *w->out += "]";
+  }
+  void operator()(const TracePruneLevel& e) const {
+    w->Str("event", "prune_level");
+    w->Int("level", e.level);
+    w->Int("jcrs", e.jcrs);
+    w->Int("prune_group", e.prune_group);
+    w->Int("free_group", e.free_group);
+    w->Int("hub_parents", e.hub_parents);
+    w->Int("partitions", e.partitions);
+    w->Int("pruned", e.pruned);
+    w->Bool("guard_rescue", e.guard_rescue);
+  }
+  void operator()(const TraceCacheEvent& e) const {
+    w->Str("event", "cache");
+    w->Str("kind", e.kind);
+    w->Str("key", e.key);
+  }
+};
+
+const char* SpanName(const TraceLevelBegin& e, std::string* storage) {
+  *storage = std::string(e.phase) + " L" + std::to_string(e.level);
+  return storage->c_str();
+}
+
+}  // namespace
+
+std::string ExportJsonl(const TraceCollector& collector,
+                        const JsonlOptions& options) {
+  std::string out;
+  for (const TraceCollector::Recorded& r : collector.events()) {
+    out += "{";
+    FieldWriter w{&out};
+    if (options.include_timing) w.Num("ts", r.ts_seconds);
+    std::visit(EventVisitor{&w, options.include_timing}, r.payload);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string ExportChromeTrace(const TraceCollector& collector) {
+  std::string out = "{\"traceEvents\":[\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"sdpopt optimizer\"}}";
+
+  auto emit = [&out](const char* name, const char* ph, double ts_seconds,
+                     int tid, const TraceCollector::Recorded* args_of) {
+    out += ",\n{\"name\":";
+    AppendEscaped(&out, name);
+    out += ",\"ph\":\"";
+    out += ph;
+    out += "\",\"ts\":";
+    AppendDouble(&out, ts_seconds * 1e6);  // Chrome wants microseconds.
+    out += ",\"pid\":1,\"tid\":" + std::to_string(tid);
+    if (ph[0] == 'i') out += ",\"s\":\"t\"";
+    if (args_of != nullptr) {
+      out += ",\"args\":{";
+      FieldWriter w{&out};
+      std::visit(EventVisitor{&w, /*include_timing=*/true}, args_of->payload);
+      out += "}";
+    }
+    out += "}";
+  };
+
+  // Cumulative counter tracks, one per thread so concurrent runs do not
+  // fight over one counter line.
+  std::map<int, uint64_t> plans_costed;
+
+  std::string name_storage;
+  for (const TraceCollector::Recorded& r : collector.events()) {
+    if (const auto* e = std::get_if<TraceRunBegin>(&r.payload)) {
+      emit(("run " + e->algorithm).c_str(), "B", r.ts_seconds, r.thread, &r);
+    } else if (std::get_if<TraceRunEnd>(&r.payload)) {
+      emit("run", "E", r.ts_seconds, r.thread, &r);
+    } else if (const auto* e = std::get_if<TraceLevelBegin>(&r.payload)) {
+      emit(SpanName(*e, &name_storage), "B", r.ts_seconds, r.thread, &r);
+    } else if (const auto* e = std::get_if<TraceLevelEnd>(&r.payload)) {
+      TraceLevelBegin b{e->iteration, e->level, e->phase};
+      emit(SpanName(b, &name_storage), "E", r.ts_seconds, r.thread, &r);
+      // Counter samples at each span close.
+      uint64_t& costed = plans_costed[r.thread];
+      costed += e->plans_costed;
+      out += ",\n{\"name\":\"plans_costed\",\"ph\":\"C\",\"ts\":";
+      AppendDouble(&out, r.ts_seconds * 1e6);
+      out += ",\"pid\":1,\"tid\":" + std::to_string(r.thread) +
+             ",\"args\":{\"plans\":" + std::to_string(costed) + "}}";
+      out += ",\n{\"name\":\"memo_bytes\",\"ph\":\"C\",\"ts\":";
+      AppendDouble(&out, r.ts_seconds * 1e6);
+      out += ",\"pid\":1,\"tid\":" + std::to_string(r.thread) +
+             ",\"args\":{\"bytes\":" + std::to_string(e->memo_bytes) + "}}";
+    } else if (const auto* e = std::get_if<TracePartition>(&r.payload)) {
+      emit((std::string("partition ") + e->kind).c_str(), "i", r.ts_seconds,
+           r.thread, &r);
+    } else if (const auto* e = std::get_if<TracePruneLevel>(&r.payload)) {
+      emit(("prune L" + std::to_string(e->level)).c_str(), "i", r.ts_seconds,
+           r.thread, &r);
+    } else if (const auto* e = std::get_if<TraceCacheEvent>(&r.payload)) {
+      emit((std::string("cache ") + e->kind).c_str(), "i", r.ts_seconds,
+           r.thread, &r);
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string ExportReport(const TraceCollector& collector) {
+  std::string out;
+  char buf[256];
+  for (const TraceCollector::Recorded& r : collector.events()) {
+    if (const auto* e = std::get_if<TraceRunBegin>(&r.payload)) {
+      std::snprintf(buf, sizeof(buf),
+                    "== optimizer trace: %s on %d relations, %d edges ==\n",
+                    e->algorithm.c_str(), e->num_relations, e->num_edges);
+      out += buf;
+      out += "hubs (degree>=" + std::to_string(e->hub_degree) + "):";
+      if (e->hub_relations.empty()) out += " none";
+      for (int h : e->hub_relations) out += " R" + std::to_string(h);
+      out += "\n";
+      std::snprintf(buf, sizeof(buf),
+                    "%-4s %-8s %10s %12s %14s %10s %10s\n", "lvl", "phase",
+                    "jcrs", "pairs", "plans_costed", "memo_KB", "ms");
+      out += buf;
+    } else if (const auto* e = std::get_if<TraceLevelEnd>(&r.payload)) {
+      std::snprintf(
+          buf, sizeof(buf), "%-4d %-8s %10llu %12llu %14llu %10.1f %10.3f\n",
+          e->level, e->phase,
+          static_cast<unsigned long long>(e->jcrs_created),
+          static_cast<unsigned long long>(e->pairs_examined),
+          static_cast<unsigned long long>(e->plans_costed),
+          static_cast<double>(e->memo_bytes) / 1024.0, e->seconds * 1e3);
+      out += buf;
+    } else if (const auto* e = std::get_if<TracePruneLevel>(&r.payload)) {
+      std::snprintf(buf, sizeof(buf),
+                    "     prune L%-2d: jcrs=%d prune_group=%d free_group=%d "
+                    "hub_parents=%d partitions=%d pruned=%d%s\n",
+                    e->level, e->jcrs, e->prune_group, e->free_group,
+                    e->hub_parents, e->partitions, e->pruned,
+                    e->guard_rescue ? " (guard rescue)" : "");
+      out += buf;
+    } else if (const auto* e = std::get_if<TracePartition>(&r.payload)) {
+      int survivors = 0, rc = 0, cs = 0, rs = 0;
+      for (const TracePartitionMember& m : e->members) {
+        survivors += m.survived;
+        rc += m.in_rc;
+        cs += m.in_cs;
+        rs += m.in_rs;
+      }
+      std::string hub_label;
+      if (e->hub >= 0) hub_label = " R" + std::to_string(e->hub);
+      std::snprintf(buf, sizeof(buf),
+                    "       partition %s%s: size=%zu survivors=%d "
+                    "(rc=%d cs=%d rs=%d)\n",
+                    e->kind, hub_label.c_str(), e->members.size(), survivors,
+                    rc, cs, rs);
+      out += buf;
+    } else if (const auto* e = std::get_if<TraceRunEnd>(&r.payload)) {
+      std::snprintf(buf, sizeof(buf),
+                    "run end: %s cost=%.1f plans_costed=%llu jcrs=%llu "
+                    "peak=%.2fMB time=%.4fs\n\n",
+                    e->feasible ? "feasible" : "INFEASIBLE", e->cost,
+                    static_cast<unsigned long long>(e->plans_costed),
+                    static_cast<unsigned long long>(e->jcrs_created),
+                    e->peak_memory_mb, e->elapsed_seconds);
+      out += buf;
+    } else if (const auto* e = std::get_if<TraceCacheEvent>(&r.payload)) {
+      out += std::string("cache ") + e->kind + "\n";
+    }
+  }
+  return out;
+}
+
+std::optional<JoinGraphAnnotations> AnnotationsFromTrace(
+    const TraceCollector& collector) {
+  for (const TraceCollector::Recorded& r : collector.events()) {
+    if (const auto* e = std::get_if<TraceRunBegin>(&r.payload)) {
+      JoinGraphAnnotations a;
+      a.hub_degree = e->hub_degree;
+      a.hub_relations = e->hub_relations;
+      a.edge_selectivities = e->edge_selectivities;
+      return a;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sdp

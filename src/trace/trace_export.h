@@ -1,0 +1,45 @@
+#ifndef SDPOPT_TRACE_TRACE_EXPORT_H_
+#define SDPOPT_TRACE_TRACE_EXPORT_H_
+
+#include <optional>
+#include <string>
+
+#include "query/graphviz.h"
+#include "trace/trace_collector.h"
+
+namespace sdp {
+
+// Exporters over a finished TraceCollector.  All three render the same
+// event stream:
+//
+//  * ExportChromeTrace -- Chrome trace-event JSON ("traceEvents" array of
+//    B/E spans, C counter tracks and i instants) that loads directly in
+//    Perfetto or chrome://tracing.
+//  * ExportJsonl -- one JSON object per line for programmatic analysis.
+//    Timing fields are omitted by default so two runs of the same seeded
+//    optimization produce byte-identical streams.
+//  * ExportReport -- a human-readable per-query "optimizer report": the
+//    EXPLAIN of the search space (per-level effort, skyline prune yields,
+//    partition survivor accounting).
+
+struct JsonlOptions {
+  // Include wall-clock fields (ts, seconds, elapsed).  Off by default:
+  // determinism is worth more than timestamps in machine-read streams, and
+  // the Chrome trace carries all timing anyway.
+  bool include_timing = false;
+};
+
+std::string ExportChromeTrace(const TraceCollector& collector);
+std::string ExportJsonl(const TraceCollector& collector,
+                        const JsonlOptions& options = {});
+std::string ExportReport(const TraceCollector& collector);
+
+// Reconstructs join-graph annotations (hubs, edge selectivities) from the
+// first run-begin event of a trace, for the annotated GraphViz rendering.
+// Empty when the trace holds no run-begin event.
+std::optional<JoinGraphAnnotations> AnnotationsFromTrace(
+    const TraceCollector& collector);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_TRACE_TRACE_EXPORT_H_

@@ -1,0 +1,182 @@
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/sdp.h"
+#include "engine/table_data.h"
+#include "optimizer/dp.h"
+#include "plan/plan_node.h"
+#include "query/topology.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+// Same small schema as engine_test.cc: joins stay interactive.
+SchemaConfig SmallSchema() {
+  SchemaConfig config;
+  config.num_relations = 10;
+  config.min_rows = 20;
+  config.max_rows = 2000;
+  config.min_domain = 10;
+  config.max_domain = 2000;
+  config.seed = 5;
+  return config;
+}
+
+class ExplainAnalyzeTest : public ::testing::Test {
+ protected:
+  ExplainAnalyzeTest()
+      : catalog_(MakeSyntheticCatalog(SmallSchema())),
+        db_(Database::Generate(catalog_, 99)),
+        stats_(db_.Analyze()) {}
+
+  Query MakeQuery(Topology topology, int n, uint64_t seed = 31) const {
+    WorkloadSpec spec;
+    spec.topology = topology;
+    spec.num_relations = n;
+    spec.num_instances = 1;
+    spec.seed = seed;
+    return GenerateWorkload(catalog_, spec).front();
+  }
+
+  Catalog catalog_;
+  Database db_;
+  StatsCatalog stats_;
+};
+
+TEST_F(ExplainAnalyzeTest, QErrorBasics) {
+  EXPECT_DOUBLE_EQ(QError(100, 100), 1.0);
+  EXPECT_DOUBLE_EQ(QError(200, 100), 2.0);
+  EXPECT_DOUBLE_EQ(QError(100, 200), 2.0);
+  // Both sides clamp to >= 1 row, so empty results don't divide by zero.
+  EXPECT_DOUBLE_EQ(QError(10, 0), 10.0);
+  EXPECT_DOUBLE_EQ(QError(0, 0), 1.0);
+  EXPECT_GE(QError(0.25, 1), 1.0);
+}
+
+TEST_F(ExplainAnalyzeTest, ActualsMatchPlainExecution) {
+  for (Topology t : {Topology::kChain, Topology::kStar, Topology::kStarChain}) {
+    const Query q = MakeQuery(t, 6);
+    CostModel cost(catalog_, stats_, q.graph, CostParams(), q.filters);
+    const OptimizeResult r = OptimizeDP(q, cost);
+    ASSERT_TRUE(r.feasible);
+
+    Executor exec(db_, q.graph);
+    const ResultSet plain = exec.Execute(r.plan);
+    const AnalyzeResult analyzed = exec.ExecuteAnalyze(r.plan);
+
+    // Same rows out, and the root operator's actuals agree with them.
+    EXPECT_EQ(analyzed.result.num_rows(), plain.num_rows());
+    ASSERT_FALSE(analyzed.operators.empty());
+    EXPECT_EQ(analyzed.operators.front().node, r.plan);
+    EXPECT_EQ(analyzed.operators.front().depth, 0);
+    EXPECT_EQ(analyzed.operators.front().actual_rows,
+              static_cast<int64_t>(plain.num_rows()));
+  }
+}
+
+TEST_F(ExplainAnalyzeTest, EveryOperatorIsRecordedPreOrder) {
+  const Query q = MakeQuery(Topology::kStarChain, 6);
+  CostModel cost(catalog_, stats_, q.graph, CostParams(), q.filters);
+  const OptimizeResult r = OptimizeDP(q, cost);
+  ASSERT_TRUE(r.feasible);
+
+  Executor exec(db_, q.graph);
+  const AnalyzeResult analyzed = exec.ExecuteAnalyze(r.plan);
+
+  // Count plan nodes.
+  int nodes = 0;
+  auto count = [&](const PlanNode* n, auto&& self) -> void {
+    if (n == nullptr) return;
+    ++nodes;
+    self(n->outer, self);
+    self(n->inner, self);
+  };
+  count(r.plan, count);
+  EXPECT_EQ(analyzed.operators.size(), static_cast<size_t>(nodes));
+
+  for (const PlanActuals& a : analyzed.operators) {
+    ASSERT_NE(a.node, nullptr);
+    EXPECT_GE(a.actual_rows, 0);
+    EXPECT_GE(a.loops, 1);
+    EXPECT_GE(a.seconds, 0);
+    EXPECT_GE(a.depth, 0);
+  }
+  // Pre-order: a child's entry appears after its parent's and one deeper.
+  for (size_t i = 1; i < analyzed.operators.size(); ++i) {
+    EXPECT_LE(analyzed.operators[i].depth,
+              analyzed.operators[i - 1].depth + 1);
+  }
+}
+
+TEST_F(ExplainAnalyzeTest, ScanActualsMatchTableData) {
+  const Query q = MakeQuery(Topology::kChain, 5);
+  CostModel cost(catalog_, stats_, q.graph, CostParams(), q.filters);
+  const OptimizeResult r = OptimizeDP(q, cost);
+  ASSERT_TRUE(r.feasible);
+
+  Executor exec(db_, q.graph);
+  const AnalyzeResult analyzed = exec.ExecuteAnalyze(r.plan);
+  for (const PlanActuals& a : analyzed.operators) {
+    if (a.node->kind != PlanKind::kSeqScan &&
+        a.node->kind != PlanKind::kIndexScan) {
+      continue;
+    }
+    const int table = q.graph.table_ids()[a.node->rel];
+    EXPECT_EQ(a.actual_rows, db_.table(table).num_rows())
+        << "scan of R" << a.node->rel;
+    EXPECT_EQ(a.loops, 1);
+  }
+}
+
+TEST_F(ExplainAnalyzeTest, IndexNestLoopLoopsEqualOuterRows) {
+  // Scan several instances so at least one DP plan uses an INL join.
+  bool saw_inl = false;
+  for (uint64_t seed = 31; seed < 40 && !saw_inl; ++seed) {
+    const Query q = MakeQuery(Topology::kStarChain, 6, seed);
+    CostModel cost(catalog_, stats_, q.graph, CostParams(), q.filters);
+    const OptimizeResult r = OptimizeDP(q, cost);
+    ASSERT_TRUE(r.feasible);
+
+    Executor exec(db_, q.graph);
+    const AnalyzeResult analyzed = exec.ExecuteAnalyze(r.plan);
+    for (size_t i = 0; i < analyzed.operators.size(); ++i) {
+      const PlanActuals& a = analyzed.operators[i];
+      if (a.node->kind != PlanKind::kIndexNestLoop) continue;
+      saw_inl = true;
+      // The INL probes its index once per outer row: its loop count equals
+      // the outer child's actual row count, and the outer child is the
+      // next pre-order entry (the inner side is probed inline).
+      ASSERT_LT(i + 1, analyzed.operators.size());
+      const PlanActuals& outer = analyzed.operators[i + 1];
+      EXPECT_EQ(outer.node, a.node->outer);
+      EXPECT_EQ(a.loops, outer.actual_rows);
+    }
+  }
+  EXPECT_TRUE(saw_inl) << "no DP plan chose an index nest-loop join";
+}
+
+TEST_F(ExplainAnalyzeTest, ReportRendersQErrorTable) {
+  const Query q = MakeQuery(Topology::kStar, 6);
+  CostModel cost(catalog_, stats_, q.graph, CostParams(), q.filters);
+  const OptimizeResult r = OptimizeDP(q, cost);
+  ASSERT_TRUE(r.feasible);
+
+  Executor exec(db_, q.graph);
+  const AnalyzeResult analyzed = exec.ExecuteAnalyze(r.plan);
+  const std::string report = AnalyzeReport(analyzed);
+
+  EXPECT_NE(report.find("q-err"), std::string::npos);
+  EXPECT_NE(report.find("Scan"), std::string::npos);
+  EXPECT_NE(report.find("worst operator q-error"), std::string::npos);
+  // One table line per operator (plus header and summary lines).
+  size_t lines = 0;
+  for (char c : report) lines += c == '\n';
+  EXPECT_GE(lines, analyzed.operators.size());
+}
+
+}  // namespace
+}  // namespace sdp

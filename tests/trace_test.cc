@@ -1,0 +1,398 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/sdp.h"
+#include "cost/cost_model.h"
+#include "optimizer/dp.h"
+#include "optimizer/idp.h"
+#include "query/graphviz.h"
+#include "service/optimizer_service.h"
+#include "service/service_metrics.h"
+#include "trace/trace_collector.h"
+#include "trace/trace_export.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  Query MakeQuery(Topology topology, int n, uint64_t seed = 7) const {
+    WorkloadSpec spec;
+    spec.topology = topology;
+    spec.num_relations = n;
+    spec.num_instances = 1;
+    spec.seed = seed;
+    return GenerateWorkload(catalog_, spec).front();
+  }
+
+  CostModel MakeCost(const Query& q) const {
+    return CostModel(catalog_, stats_, q.graph, CostParams(), q.filters);
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+// Counts events of one payload type in a finished collector.
+template <typename T>
+int CountEvents(const TraceCollector& collector) {
+  int n = 0;
+  for (const auto& rec : collector.events()) {
+    if (std::get_if<T>(&rec.payload) != nullptr) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Tracing must not perturb the optimization itself.
+
+TEST_F(TraceTest, TracedRunMatchesUntracedRun) {
+  const Query q = MakeQuery(Topology::kStarChain, 10);
+  const CostModel cost = MakeCost(q);
+
+  TraceCollector collector;
+  OptimizerOptions traced;
+  traced.tracer = &collector;
+
+  const OptimizeResult plain = OptimizeSDP(q, cost);
+  const OptimizeResult traced_r = OptimizeSDP(q, cost, SdpConfig{}, traced);
+  ASSERT_TRUE(plain.feasible);
+  ASSERT_TRUE(traced_r.feasible);
+  EXPECT_EQ(plain.cost, traced_r.cost);
+  EXPECT_EQ(plain.counters.plans_costed, traced_r.counters.plans_costed);
+  EXPECT_EQ(plain.counters.jcrs_created, traced_r.counters.jcrs_created);
+  EXPECT_EQ(plain.counters.pairs_examined, traced_r.counters.pairs_examined);
+  EXPECT_EQ(plain.plan->ToString(), traced_r.plan->ToString());
+  EXPECT_GT(collector.num_events(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-level deltas must reconstruct the run totals exactly: every counter
+// increment happens inside some level/balloon/greedy span.
+
+struct LevelSums {
+  uint64_t plans = 0, jcrs = 0, pairs = 0;
+  int begins = 0, ends = 0;
+};
+
+LevelSums SumLevels(const TraceCollector& collector) {
+  LevelSums s;
+  for (const auto& rec : collector.events()) {
+    if (const auto* e = std::get_if<TraceLevelEnd>(&rec.payload)) {
+      s.plans += e->plans_costed;
+      s.jcrs += e->jcrs_created;
+      s.pairs += e->pairs_examined;
+      ++s.ends;
+    } else if (std::get_if<TraceLevelBegin>(&rec.payload) != nullptr) {
+      ++s.begins;
+    }
+  }
+  return s;
+}
+
+TEST_F(TraceTest, LevelDeltasSumToRunTotals) {
+  const Query q = MakeQuery(Topology::kStarChain, 10);
+  const CostModel cost = MakeCost(q);
+
+  TraceCollector dp_c, idp_c, idp2_c, sdp_c;
+  OptimizerOptions dp_o, idp_o, idp2_o, sdp_o;
+  dp_o.tracer = &dp_c;
+  idp_o.tracer = &idp_c;
+  idp2_o.tracer = &idp2_c;
+  sdp_o.tracer = &sdp_c;
+  const OptimizeResult dp = OptimizeDP(q, cost, dp_o);
+  const OptimizeResult idp = OptimizeIDP(q, cost, IdpConfig{4}, idp_o);
+  const OptimizeResult idp2 = OptimizeIDP2(q, cost, IdpConfig{4}, idp2_o);
+  const OptimizeResult sdp = OptimizeSDP(q, cost, SdpConfig{}, sdp_o);
+
+  const struct {
+    const char* name;
+    const OptimizeResult& r;
+    const TraceCollector& c;
+  } rows[] = {{"DP", dp, dp_c},
+              {"IDP", idp, idp_c},
+              {"IDP2", idp2, idp2_c},
+              {"SDP", sdp, sdp_c}};
+  for (const auto& row : rows) {
+    ASSERT_TRUE(row.r.feasible) << row.name;
+    const LevelSums sums = SumLevels(row.c);
+    EXPECT_EQ(sums.plans, row.r.counters.plans_costed) << row.name;
+    EXPECT_EQ(sums.jcrs, row.r.counters.jcrs_created) << row.name;
+    EXPECT_EQ(sums.pairs, row.r.counters.pairs_examined) << row.name;
+    EXPECT_EQ(sums.begins, sums.ends) << row.name;
+    EXPECT_EQ(CountEvents<TraceRunBegin>(row.c), 1) << row.name;
+    EXPECT_EQ(CountEvents<TraceRunEnd>(row.c), 1) << row.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SDP-specific events.
+
+TEST_F(TraceTest, PruneSummariesAndPartitionsAreConsistent) {
+  const Query q = MakeQuery(Topology::kStar, 12);
+  const CostModel cost = MakeCost(q);
+
+  TraceCollector collector;
+  OptimizerOptions o;
+  o.tracer = &collector;
+  const OptimizeResult r = OptimizeSDP(q, cost, SdpConfig{}, o);
+  ASSERT_TRUE(r.feasible);
+
+  int prune_levels = 0;
+  int partitions_seen = 0;
+  int partitions_declared = 0;
+  for (const auto& rec : collector.events()) {
+    if (const auto* p = std::get_if<TracePruneLevel>(&rec.payload)) {
+      ++prune_levels;
+      EXPECT_EQ(p->prune_group + p->free_group, p->jcrs);
+      EXPECT_LE(p->pruned, p->prune_group);
+      EXPECT_GE(p->pruned, 0);
+      partitions_declared += p->partitions;
+    } else if (const auto* part = std::get_if<TracePartition>(&rec.payload)) {
+      ++partitions_seen;
+      ASSERT_FALSE(part->members.empty());
+      int survivors = 0;
+      for (const TracePartitionMember& m : part->members) {
+        // Under the pairwise-union skyline, survival is exactly membership
+        // in at least one of the three 2-D skylines.
+        EXPECT_EQ(m.survived, m.in_rc || m.in_cs || m.in_rs);
+        if (m.survived) ++survivors;
+      }
+      EXPECT_GE(survivors, 1) << "a skyline never prunes everything";
+    }
+  }
+  // A 12-relation star prunes at several levels and applies at least one
+  // partition per pruned level.
+  EXPECT_GT(prune_levels, 0);
+  EXPECT_GT(partitions_seen, 0);
+  EXPECT_EQ(partitions_seen, partitions_declared);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+TEST_F(TraceTest, JsonlIsByteIdenticalAcrossRuns) {
+  const Query q = MakeQuery(Topology::kStarChain, 9);
+  const CostModel cost = MakeCost(q);
+
+  auto run = [&]() {
+    TraceCollector collector;
+    OptimizerOptions o;
+    o.tracer = &collector;
+    const OptimizeResult r = OptimizeSDP(q, cost, SdpConfig{}, o);
+    EXPECT_TRUE(r.feasible);
+    return ExportJsonl(collector);
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(TraceTest, JsonlTimingFieldsAreOptIn) {
+  const Query q = MakeQuery(Topology::kChain, 6);
+  const CostModel cost = MakeCost(q);
+  TraceCollector collector;
+  OptimizerOptions o;
+  o.tracer = &collector;
+  OptimizeDP(q, cost, o);
+
+  EXPECT_EQ(ExportJsonl(collector).find("\"ts\""), std::string::npos);
+  JsonlOptions timing;
+  timing.include_timing = true;
+  EXPECT_NE(ExportJsonl(collector, timing).find("\"ts\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeTraceHasBalancedSpans) {
+  const Query q = MakeQuery(Topology::kStarChain, 10);
+  const CostModel cost = MakeCost(q);
+  TraceCollector collector;
+  OptimizerOptions o;
+  o.tracer = &collector;
+  OptimizeSDP(q, cost, SdpConfig{}, o);
+
+  const std::string trace = ExportChromeTrace(collector);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  auto count = [&](const std::string& needle) {
+    int n = 0;
+    for (size_t pos = trace.find(needle); pos != std::string::npos;
+         pos = trace.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  const int begins = count("\"ph\":\"B\"");
+  const int ends = count("\"ph\":\"E\"");
+  EXPECT_GT(begins, 0);
+  EXPECT_EQ(begins, ends);
+}
+
+TEST_F(TraceTest, ReportSummarizesTheSearch) {
+  const Query q = MakeQuery(Topology::kStar, 10);
+  const CostModel cost = MakeCost(q);
+  TraceCollector collector;
+  OptimizerOptions o;
+  o.tracer = &collector;
+  const OptimizeResult r = OptimizeSDP(q, cost, SdpConfig{}, o);
+  ASSERT_TRUE(r.feasible);
+
+  const std::string report = ExportReport(collector);
+  EXPECT_NE(report.find("SDP"), std::string::npos);
+  EXPECT_NE(report.find("level"), std::string::npos);
+  EXPECT_NE(report.find(std::to_string(r.counters.plans_costed)),
+            std::string::npos)
+      << "run totals must appear in the report";
+}
+
+TEST_F(TraceTest, AnnotationsReconstructHubsAndSelectivities) {
+  const Query q = MakeQuery(Topology::kStar, 8);
+  const CostModel cost = MakeCost(q);
+  TraceCollector collector;
+  OptimizerOptions o;
+  o.tracer = &collector;
+  OptimizeSDP(q, cost, SdpConfig{}, o);
+
+  const auto ann = AnnotationsFromTrace(collector);
+  ASSERT_TRUE(ann.has_value());
+  // A star's center has degree n-1 >= hub_degree.
+  EXPECT_FALSE(ann->hub_relations.empty());
+  EXPECT_EQ(ann->edge_selectivities.size(), q.graph.edges().size());
+
+  const std::string dot = JoinGraphToDot(q.graph, &catalog_, &*ann);
+  EXPECT_NE(dot.find("sel="), std::string::npos);
+  EXPECT_NE(dot.find("hub"), std::string::npos);
+
+  EXPECT_FALSE(AnnotationsFromTrace(TraceCollector{}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Service integration: cache traffic events.
+
+TEST_F(TraceTest, ServiceEmitsCacheEvents) {
+  TraceCollector collector;
+  ServiceConfig config;
+  config.num_threads = 1;
+  config.tracer = &collector;
+  OptimizerService service(catalog_, stats_, config);
+
+  ServiceRequest request;
+  request.query = MakeQuery(Topology::kStarChain, 8);
+  const ServiceResult first = service.OptimizeSync(request);
+  const ServiceResult second = service.OptimizeSync(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+
+  int miss = 0, fill = 0, hit = 0;
+  std::string key_on_hit, key_on_miss;
+  for (const auto& rec : collector.events()) {
+    const auto* e = std::get_if<TraceCacheEvent>(&rec.payload);
+    if (e == nullptr) continue;
+    const std::string kind = e->kind;
+    if (kind == "miss") {
+      ++miss;
+      key_on_miss = e->key;
+    } else if (kind == "fill") {
+      ++fill;
+    } else if (kind == "hit") {
+      ++hit;
+      key_on_hit = e->key;
+    }
+  }
+  EXPECT_EQ(miss, 1);
+  EXPECT_EQ(fill, 1);
+  EXPECT_EQ(hit, 1);
+  EXPECT_EQ(key_on_hit, key_on_miss);
+  // The service tracer also observes the worker-side search itself.
+  EXPECT_EQ(CountEvents<TraceRunBegin>(collector), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Latency histogram + Prometheus exposition.
+
+TEST(LatencyHistogramTest, ExactSumAndCount) {
+  LatencyHistogram h;
+  h.Record(0.001);
+  h.Record(0.002);
+  h.Record(0.004);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.SumSeconds(), 0.007, 1e-6);
+}
+
+TEST(LatencyHistogramTest, QuantileInterpolatesWithinBucket) {
+  LatencyHistogram h;
+  // 100 samples of 1000us all land in the [512, 1024)us bucket; the median
+  // must interpolate inside that bucket, not snap to its bound.
+  for (int i = 0; i < 100; ++i) h.Record(0.001);
+  const double p50 = h.QuantileMs(0.5);
+  EXPECT_GT(p50, 0.512);
+  EXPECT_LT(p50, 1.024);
+  // Monotone in q.
+  EXPECT_LE(h.QuantileMs(0.1), h.QuantileMs(0.9));
+}
+
+TEST(LatencyHistogramTest, CumulativeBucketsAreMonotoneAndComplete) {
+  LatencyHistogram h;
+  h.Record(0.0001);
+  h.Record(0.01);
+  h.Record(1.0);
+  const auto buckets = h.CumulativeBuckets();
+  ASSERT_EQ(buckets.size(), static_cast<size_t>(LatencyHistogram::kBuckets));
+  uint64_t prev = 0;
+  for (const auto& b : buckets) {
+    EXPECT_GE(b.cumulative, prev);
+    prev = b.cumulative;
+  }
+  EXPECT_TRUE(std::isinf(buckets.back().le_seconds));
+  EXPECT_EQ(buckets.back().cumulative, h.count());
+}
+
+TEST(ServiceMetricsTest, PrometheusTextIsWellFormed) {
+  ServiceMetrics metrics;
+  metrics.requests_submitted.store(5);
+  metrics.cache_hits.store(2);
+  metrics.optimize_latency.Record(0.003);
+  const std::string text = metrics.PrometheusText();
+
+  EXPECT_NE(text.find("# TYPE sdp_service_requests_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("sdp_service_requests_submitted_total 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("sdp_service_cache_hits_total 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sdp_service_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE sdp_service_optimize_latency_seconds histogram"),
+      std::string::npos);
+  EXPECT_NE(text.find("sdp_service_optimize_latency_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("sdp_service_optimize_latency_seconds_count 1"),
+            std::string::npos);
+  // Every HELP line is paired with a TYPE line.
+  size_t helps = 0, types = 0;
+  for (size_t pos = text.find("# HELP"); pos != std::string::npos;
+       pos = text.find("# HELP", pos + 1)) {
+    ++helps;
+  }
+  for (size_t pos = text.find("# TYPE"); pos != std::string::npos;
+       pos = text.find("# TYPE", pos + 1)) {
+    ++types;
+  }
+  EXPECT_EQ(helps, types);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+}  // namespace
+}  // namespace sdp

@@ -3,6 +3,7 @@
 // Usage:
 //   sdpopt_cli [options] "SELECT * FROM R1 a, R2 b WHERE a.c1 = b.c2"
 //   echo "SELECT ..." | sdpopt_cli [options]
+//   sdpopt_cli [options] --gen=star-chain:15
 //
 // Options:
 //   --algorithm=dp|idp4|idp7|idp2|sdp|all   optimizer(s) to run (default: sdp)
@@ -10,6 +11,9 @@
 //                                      (paper: 25 relations R1..R25 with
 //                                      columns c1..c24; small: the same
 //                                      shape capped at 2000 rows/table)
+//   --gen=TOPOLOGY:N[:SEED]            generate a query instead of parsing
+//                                      SQL (star|chain|star-chain|cycle|
+//                                      clique|snowflake, N relations)
 //   --budget-mb=N                      optimizer memory budget (default: none)
 //   --threads=N                        route through the OptimizerService
 //                                      with an N-thread worker pool
@@ -18,8 +22,22 @@
 //                                      algorithm (throughput / cache probe)
 //   --execute                          materialize data (small schema only)
 //                                      and run the chosen plan
+//   --analyze                          EXPLAIN ANALYZE: execute (small
+//                                      schema only) and print per-operator
+//                                      actual rows, loops and Q-error
 //   --dot                              emit GraphViz DOT for the join
-//                                      graph and the chosen plan(s)
+//                                      graph and the chosen plan(s); with
+//                                      tracing on, the graph is annotated
+//                                      with hubs and edge selectivities
+//   --trace-chrome=PATH                write a Chrome trace-event JSON file
+//                                      (load in Perfetto / chrome://tracing)
+//   --trace-jsonl=PATH                 write the structured event log, one
+//                                      JSON object per line
+//   --trace-report                     print the per-query optimizer report
+//                                      (per-level effort, prunes, skylines)
+//   --prometheus[=PATH]                dump service metrics in Prometheus
+//                                      text format (stdout when no PATH);
+//                                      implies service mode
 //   --list-tables                      print the schema and exit
 //
 // --threads/--repeat run through the concurrent service and finish with a
@@ -45,20 +63,34 @@
 #include "service/optimizer_service.h"
 #include "sql/parser.h"
 #include "stats/column_stats.h"
+#include "trace/trace_collector.h"
+#include "trace/trace_export.h"
+#include "workload/workload.h"
 
 namespace {
 
 struct Options {
   std::string algorithm = "sdp";
   std::string schema = "paper";
+  std::string gen;  // "topology:N[:seed]", empty = parse SQL.
   double budget_mb = 0;
   int threads = 0;  // 0 = direct library calls (no service).
   bool cache = true;
   int repeat = 1;
   bool execute = false;
+  bool analyze = false;
   bool list_tables = false;
   bool dot = false;
+  std::string trace_chrome;
+  std::string trace_jsonl;
+  bool trace_report = false;
+  bool prometheus = false;
+  std::string prometheus_path;  // Empty = stdout.
   std::string sql;
+
+  bool tracing() const {
+    return !trace_chrome.empty() || !trace_jsonl.empty() || trace_report;
+  }
 };
 
 bool ParseArgs(int argc, char** argv, Options* out) {
@@ -68,6 +100,8 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       out->algorithm = arg.substr(12);
     } else if (arg.rfind("--schema=", 0) == 0) {
       out->schema = arg.substr(9);
+    } else if (arg.rfind("--gen=", 0) == 0) {
+      out->gen = arg.substr(6);
     } else if (arg.rfind("--budget-mb=", 0) == 0) {
       out->budget_mb = std::atof(arg.c_str() + 12);
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -84,8 +118,21 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       if (out->repeat < 1) out->repeat = 1;
     } else if (arg == "--execute") {
       out->execute = true;
+    } else if (arg == "--analyze") {
+      out->analyze = true;
     } else if (arg == "--dot") {
       out->dot = true;
+    } else if (arg.rfind("--trace-chrome=", 0) == 0) {
+      out->trace_chrome = arg.substr(15);
+    } else if (arg.rfind("--trace-jsonl=", 0) == 0) {
+      out->trace_jsonl = arg.substr(14);
+    } else if (arg == "--trace-report") {
+      out->trace_report = true;
+    } else if (arg == "--prometheus") {
+      out->prometheus = true;
+    } else if (arg.rfind("--prometheus=", 0) == 0) {
+      out->prometheus = true;
+      out->prometheus_path = arg.substr(13);
     } else if (arg == "--list-tables") {
       out->list_tables = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -111,6 +158,67 @@ std::vector<sdp::AlgorithmSpec> PickAlgorithms(const std::string& name) {
             AlgorithmSpec::SDP()};
   }
   return {};
+}
+
+// Parses "topology:N[:seed]" and generates the first instance of that
+// workload.  Returns false (with a message) on a malformed spec.
+bool GenerateQuery(const std::string& gen, const sdp::Catalog& catalog,
+                   sdp::Query* out) {
+  const size_t c1 = gen.find(':');
+  if (c1 == std::string::npos) {
+    std::fprintf(stderr, "--gen expects TOPOLOGY:N[:SEED], got '%s'\n",
+                 gen.c_str());
+    return false;
+  }
+  const std::string topo_name = gen.substr(0, c1);
+  const size_t c2 = gen.find(':', c1 + 1);
+  sdp::WorkloadSpec spec;
+  spec.num_relations = std::atoi(gen.c_str() + c1 + 1);
+  spec.num_instances = 1;
+  if (c2 != std::string::npos) {
+    spec.seed = static_cast<uint64_t>(std::atoll(gen.c_str() + c2 + 1));
+  }
+  if (topo_name == "star") {
+    spec.topology = sdp::Topology::kStar;
+  } else if (topo_name == "chain") {
+    spec.topology = sdp::Topology::kChain;
+  } else if (topo_name == "star-chain") {
+    spec.topology = sdp::Topology::kStarChain;
+  } else if (topo_name == "cycle") {
+    spec.topology = sdp::Topology::kCycle;
+  } else if (topo_name == "clique") {
+    spec.topology = sdp::Topology::kClique;
+  } else if (topo_name == "snowflake") {
+    spec.topology = sdp::Topology::kSnowflake;
+  } else {
+    std::fprintf(stderr, "unknown topology '%s'\n", topo_name.c_str());
+    return false;
+  }
+  if (spec.num_relations < 2 ||
+      spec.num_relations > catalog.num_tables()) {
+    std::fprintf(stderr, "--gen size must be in [2, %d]\n",
+                 catalog.num_tables());
+    return false;
+  }
+  std::vector<sdp::Query> queries = sdp::GenerateWorkload(catalog, spec);
+  if (queries.empty()) {
+    std::fprintf(stderr, "workload generation produced no instances\n");
+    return false;
+  }
+  *out = std::move(queries.front());
+  return true;
+}
+
+bool WriteFileOrComplain(const std::string& path,
+                         const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -142,22 +250,42 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (options.sql.empty()) {
-    std::string line;
-    while (std::getline(std::cin, line)) {
-      if (!options.sql.empty()) options.sql += " ";
-      options.sql += line;
+  sdp::Query query;
+  sdp::ParsedQuery bound;  // Only meaningful on the SQL path.
+  if (!options.gen.empty()) {
+    if (!GenerateQuery(options.gen, catalog, &query)) return 2;
+  } else {
+    if (options.sql.empty()) {
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        if (!options.sql.empty()) options.sql += " ";
+        options.sql += line;
+      }
     }
-  }
-  if (options.sql.empty()) {
-    std::fprintf(stderr,
-                 "usage: sdpopt_cli [--algorithm=dp|idp4|idp7|idp2|sdp|all] "
-                 "[--schema=paper|small]\n"
-                 "                  [--budget-mb=N] [--threads=N] "
-                 "[--cache=on|off] [--repeat=K]\n"
-                 "                  [--execute] [--list-tables] "
-                 "\"SELECT ...\"\n");
-    return 2;
+    if (options.sql.empty()) {
+      std::fprintf(
+          stderr,
+          "usage: sdpopt_cli [--algorithm=dp|idp4|idp7|idp2|sdp|all] "
+          "[--schema=paper|small]\n"
+          "                  [--gen=TOPOLOGY:N[:SEED]] [--budget-mb=N] "
+          "[--threads=N]\n"
+          "                  [--cache=on|off] [--repeat=K] [--execute] "
+          "[--analyze]\n"
+          "                  [--dot] [--trace-chrome=PATH] "
+          "[--trace-jsonl=PATH]\n"
+          "                  [--trace-report] [--prometheus[=PATH]] "
+          "[--list-tables]\n"
+          "                  \"SELECT ...\"\n");
+      return 2;
+    }
+    const sdp::ParseResult parsed = sdp::ParseSelect(options.sql, catalog);
+    if (const auto* error = std::get_if<sdp::ParseError>(&parsed)) {
+      std::fprintf(stderr, "parse error at offset %d: %s\n", error->position,
+                   error->message.c_str());
+      return 1;
+    }
+    bound = std::get<sdp::ParsedQuery>(parsed);
+    query = bound.query;
   }
 
   const std::vector<sdp::AlgorithmSpec> algorithms =
@@ -168,18 +296,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const sdp::ParseResult parsed = sdp::ParseSelect(options.sql, catalog);
-  if (const auto* error = std::get_if<sdp::ParseError>(&parsed)) {
-    std::fprintf(stderr, "parse error at offset %d: %s\n", error->position,
-                 error->message.c_str());
-    return 1;
-  }
-  const sdp::ParsedQuery& bound = std::get<sdp::ParsedQuery>(parsed);
-  const sdp::Query& query = bound.query;
   std::printf("%s\n", query.graph.ToString().c_str());
-  if (options.dot) {
-    std::printf("%s", sdp::JoinGraphToDot(query.graph, &catalog).c_str());
-  }
   for (const sdp::FilterPredicate& f : query.filters) {
     std::printf("filter: R%d.c%d %s %lld\n", f.column.rel, f.column.col + 1,
                 sdp::CompareOpName(f.op), static_cast<long long>(f.value));
@@ -191,6 +308,35 @@ int main(int argc, char** argv) {
   sdp::OptimizerOptions opt;
   opt.memory_budget_bytes =
       static_cast<size_t>(options.budget_mb * 1024 * 1024);
+
+  // One collector for the whole invocation: direct runs attach it per
+  // request, service mode attaches it to the service (cache events plus
+  // worker-side search traces).
+  sdp::TraceCollector collector;
+  const bool tracing = options.tracing();
+  if (tracing) opt.tracer = &collector;
+
+  if (options.dot) {
+    // With tracing on, annotate the join graph with hubs and per-edge
+    // selectivities pulled from the cost model (same data the run-begin
+    // trace event carries).
+    if (tracing) {
+      sdp::JoinGraphAnnotations ann;
+      for (int r = 0; r < query.graph.num_relations(); ++r) {
+        if (query.graph.Degree(r) >= ann.hub_degree) {
+          ann.hub_relations.push_back(r);
+        }
+      }
+      for (size_t e = 0; e < query.graph.edges().size(); ++e) {
+        ann.edge_selectivities.push_back(
+            cost.EdgeSelectivity(static_cast<int>(e)));
+      }
+      std::printf("%s",
+                  sdp::JoinGraphToDot(query.graph, &catalog, &ann).c_str());
+    } else {
+      std::printf("%s", sdp::JoinGraphToDot(query.graph, &catalog).c_str());
+    }
+  }
 
   // Prints one algorithm's outcome (and optionally executes the plan).
   const auto print_result = [&](const sdp::AlgorithmSpec& spec,
@@ -214,15 +360,22 @@ int main(int argc, char** argv) {
       std::printf("%s", sdp::PlanToDot(*result.plan).c_str());
     }
 
-    if (options.execute) {
+    if (options.execute || options.analyze) {
       if (options.schema != "small") {
-        std::printf("(--execute requires --schema=small)\n");
+        std::printf("(--execute/--analyze require --schema=small)\n");
         return;
       }
       const sdp::Database db = sdp::Database::Generate(catalog, 1);
       sdp::Executor exec(db, query.graph, query.filters,
                          bound.select_columns);
-      sdp::ResultSet rs = exec.Execute(result.plan);
+      sdp::ResultSet rs;
+      if (options.analyze) {
+        sdp::AnalyzeResult analyzed = exec.ExecuteAnalyze(result.plan);
+        std::printf("%s", sdp::AnalyzeReport(analyzed).c_str());
+        rs = std::move(analyzed.result);
+      } else {
+        rs = exec.Execute(result.plan);
+      }
       if (!bound.select_columns.empty()) {
         rs = sdp::Executor::Project(rs, bound.select_columns);
       }
@@ -248,12 +401,30 @@ int main(int argc, char** argv) {
     }
   };
 
-  if (options.threads > 0 || options.repeat > 1) {
+  // Writes/prints whatever trace outputs were requested.
+  const auto flush_traces = [&]() -> bool {
+    bool ok = true;
+    if (!options.trace_chrome.empty()) {
+      ok &= WriteFileOrComplain(options.trace_chrome,
+                                sdp::ExportChromeTrace(collector));
+    }
+    if (!options.trace_jsonl.empty()) {
+      ok &= WriteFileOrComplain(options.trace_jsonl,
+                                sdp::ExportJsonl(collector));
+    }
+    if (options.trace_report) {
+      std::printf("\n%s", sdp::ExportReport(collector).c_str());
+    }
+    return ok;
+  };
+
+  if (options.threads > 0 || options.repeat > 1 || options.prometheus) {
     // Service mode: route every request through the concurrent optimizer
     // service and report its metrics.
     sdp::ServiceConfig sconfig;
     sconfig.num_threads = options.threads > 0 ? options.threads : 1;
     sconfig.cache_enabled = options.cache;
+    if (tracing) sconfig.tracer = &collector;
     sdp::OptimizerService service(catalog, stats, sconfig);
     for (const sdp::AlgorithmSpec& spec : algorithms) {
       std::vector<std::future<sdp::ServiceResult>> futures;
@@ -272,12 +443,20 @@ int main(int argc, char** argv) {
     std::printf("\n-- service metrics (threads=%d cache=%s repeat=%d) --\n%s",
                 sconfig.num_threads, options.cache ? "on" : "off",
                 options.repeat, service.metrics().Dump().c_str());
-    return 0;
+    if (options.prometheus) {
+      const std::string prom = service.metrics().PrometheusText();
+      if (options.prometheus_path.empty()) {
+        std::printf("\n%s", prom.c_str());
+      } else if (!WriteFileOrComplain(options.prometheus_path, prom)) {
+        return 1;
+      }
+    }
+    return flush_traces() ? 0 : 1;
   }
 
   for (const sdp::AlgorithmSpec& spec : algorithms) {
     print_result(spec, sdp::RunAlgorithm(spec, query, cost, opt),
                  /*cache_hit=*/false);
   }
-  return 0;
+  return flush_traces() ? 0 : 1;
 }
