@@ -27,12 +27,20 @@ sdp::Query ServiceQuery(const sdp::bench::PaperContext& ctx) {
   return sdp::GenerateWorkload(ctx.catalog, spec).front();
 }
 
-void RunBatch(sdp::OptimizerService& service, const sdp::Query& query) {
+void RunBatch(sdp::OptimizerService& service, const sdp::Query& query,
+              bool governed = false) {
   std::vector<std::future<sdp::ServiceResult>> futures;
   futures.reserve(kBatch);
   for (int i = 0; i < kBatch; ++i) {
     sdp::ServiceRequest request;
     request.query = query;
+    if (governed) {
+      // Generous limits that never trip: measures the cost of the budget
+      // checkpoints and ladder plumbing alone.
+      request.budget.deadline_seconds = 3600;
+      request.budget.memory_budget_bytes = 8ull << 30;
+      request.fallback_enabled = true;
+    }
     futures.push_back(service.Submit(std::move(request)));
   }
   for (auto& f : futures) benchmark::DoNotOptimize(f.get());
@@ -79,6 +87,30 @@ void BM_ServiceWarmCache(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_ServiceWarmCache)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Governance enabled with limits that never trip: the delta against
+// BM_ServiceColdCache is the pure overhead of resource-governed
+// optimization (budget checkpoints in the enumeration loops, fallback
+// ladder bookkeeping, governance-tagged cache keys).  Budgeted to stay
+// within 3% of the ungoverned path.
+void BM_ServiceGovernedNoTrip(benchmark::State& state) {
+  const sdp::bench::PaperContext ctx = sdp::bench::MakePaperContext();
+  const sdp::Query query = ServiceQuery(ctx);
+  sdp::ServiceConfig config;
+  config.num_threads = static_cast<int>(state.range(0));
+  config.cache_enabled = false;
+  sdp::OptimizerService service(ctx.catalog, ctx.stats, config);
+  for (auto _ : state) {
+    RunBatch(service, query, /*governed=*/true);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_ServiceGovernedNoTrip)
     ->Arg(1)
     ->Arg(4)
     ->Arg(8)

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
+
 namespace sdp {
 
 void* Arena::Allocate(size_t size, size_t align) {
   SDP_DCHECK(align > 0 && (align & (align - 1)) == 0);
+  // Fault site: simulate the system refusing more memory.  Thrown as
+  // bad_alloc exactly like a real exhausted heap; the service's worker
+  // catches it and reports kInternal rather than crashing.
+  if (FaultInjector::Global().Hit("arena.alloc")) throw std::bad_alloc();
   if (!blocks_.empty()) {
     Block& b = blocks_.back();
     size_t offset = (b.used + align - 1) & ~(align - 1);

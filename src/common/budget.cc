@@ -1,0 +1,136 @@
+#include "common/budget.h"
+
+#include "common/arena.h"
+#include "common/fault_injection.h"
+
+#include <limits>
+
+namespace sdp {
+namespace {
+
+uint64_t RoundUpPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  v |= v >> 32;
+  return v + 1;
+}
+
+}  // namespace
+
+const char* OptStatusCodeName(OptStatusCode code) {
+  switch (code) {
+    case OptStatusCode::kOk:
+      return "OK";
+    case OptStatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case OptStatusCode::kMemoryExceeded:
+      return "MEMORY_EXCEEDED";
+    case OptStatusCode::kCancelled:
+      return "CANCELLED";
+    case OptStatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string OptStatus::ToString() const {
+  std::string out = OptStatusCodeName(code);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+ResourceBudget::ResourceBudget(const Limits& limits, CancelToken* cancel)
+    : limits_(limits), cancel_(cancel) {
+  interval_mask_ = RoundUpPow2(limits_.check_interval) - 1;
+}
+
+void ResourceBudget::Arm() {
+  armed_at_ = std::chrono::steady_clock::now();
+  armed_ = true;
+  clock_skew_seconds_ = 0;
+}
+
+void ResourceBudget::Trip(OptStatusCode code, std::string message) {
+  if (code == OptStatusCode::kOk) return;
+  if (code_ != OptStatusCode::kOk) return;  // First trip wins.
+  code_ = code;
+  message_ = std::move(message);
+}
+
+void ResourceBudget::CheckMemory() {
+  const size_t current = gauge_->current_bytes();
+  if (current > limits_.memory_budget_bytes) {
+    Trip(OptStatusCode::kMemoryExceeded,
+         "memory budget exceeded: " + std::to_string(current) + " > " +
+             std::to_string(limits_.memory_budget_bytes) + " bytes");
+  }
+}
+
+OptStatusCode ResourceBudget::SlowCheck() {
+  double jump = 0;
+  if (FaultInjector::Global().Hit("budget.clock-jump", &jump)) {
+    clock_skew_seconds_ += jump;
+  }
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    Trip(OptStatusCode::kCancelled, "request cancelled");
+    return code_;
+  }
+  if (has_deadline() && armed_ &&
+      ElapsedSeconds() > limits_.deadline_seconds) {
+    Trip(OptStatusCode::kDeadlineExceeded,
+         "deadline of " + std::to_string(limits_.deadline_seconds) +
+             "s exceeded after " + std::to_string(checkpoints_) +
+             " checkpoints");
+    return code_;
+  }
+  return code_;
+}
+
+bool ResourceBudget::ResetForRetry() {
+  // Cancellation and an expired deadline outlast any single rung; memory
+  // trips (fresh working set) and internal defects (possibly
+  // rung-specific) are recoverable by retrying with a cheaper algorithm.
+  if (code_ == OptStatusCode::kCancelled ||
+      code_ == OptStatusCode::kDeadlineExceeded) {
+    return false;
+  }
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    code_ = OptStatusCode::kOk;  // Allow the cancel trip to latch fresh.
+    Trip(OptStatusCode::kCancelled, "request cancelled");
+    return false;
+  }
+  if (has_deadline() && armed_ &&
+      ElapsedSeconds() > limits_.deadline_seconds) {
+    code_ = OptStatusCode::kOk;
+    Trip(OptStatusCode::kDeadlineExceeded,
+         "deadline exceeded before retry");
+    return false;
+  }
+  code_ = OptStatusCode::kOk;
+  message_.clear();
+  gauge_ = nullptr;
+  plans_costed_ = 0;
+  return true;
+}
+
+double ResourceBudget::ElapsedSeconds() const {
+  if (!armed_) return clock_skew_seconds_;
+  const auto now = std::chrono::steady_clock::now();
+  return clock_skew_seconds_ +
+         std::chrono::duration<double>(now - armed_at_).count();
+}
+
+double ResourceBudget::RemainingSeconds() const {
+  if (!has_deadline()) return std::numeric_limits<double>::infinity();
+  return limits_.deadline_seconds - ElapsedSeconds();
+}
+
+}  // namespace sdp

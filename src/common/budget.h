@@ -1,0 +1,179 @@
+#ifndef SDPOPT_COMMON_BUDGET_H_
+#define SDPOPT_COMMON_BUDGET_H_
+
+#include <stdint.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+namespace sdp {
+
+class MemoryGauge;
+
+// Typed outcome of a resource-governed optimization.  Cancellation and
+// budget trips surface as a status, never as an exception escaping a
+// worker; kInternal is reserved for defects (an exception the service
+// caught, an invalid plan tree) so that callers can distinguish "the
+// request was too expensive" from "the optimizer is broken".
+enum class OptStatusCode : uint8_t {
+  kOk = 0,
+  kDeadlineExceeded = 1,  // Wall-clock deadline passed.
+  kMemoryExceeded = 2,    // Memo/plan-pool byte budget or plans-costed cap.
+  kCancelled = 3,         // Cooperative cancellation (token or checkpoint).
+  kInternal = 4,          // Exception, invalid plan, or injected defect.
+};
+
+const char* OptStatusCodeName(OptStatusCode code);
+
+struct OptStatus {
+  OptStatusCode code = OptStatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == OptStatusCode::kOk; }
+
+  // One-line rendering: "DEADLINE_EXCEEDED: <message>".
+  std::string ToString() const;
+
+  static OptStatus Ok() { return OptStatus{}; }
+  static OptStatus Make(OptStatusCode code, std::string message) {
+    return OptStatus{code, std::move(message)};
+  }
+};
+
+// Cooperative cancellation flag shared between a request's submitter and
+// the worker optimizing it.  The submitter calls Cancel(); the worker's
+// ResourceBudget observes it at the next checkpoint.  Must outlive every
+// budget referencing it.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Per-request resource budget: wall-clock deadline, memo/plan-pool byte
+// budget, plans-costed cap, and cooperative cancellation, enforced by a
+// cheap CheckPoint() polled inside the DP/IDP/SDP enumeration loops and
+// the SDP pruner.
+//
+// CheckPoint() is the hot-path poll: one branch on the latched status, one
+// counter increment, and (when a gauge is attached and a byte budget set)
+// one compare; the clock and the cancel token are only consulted every
+// `check_interval` checkpoints, so the deadline is honored to within one
+// checkpoint interval.  Once any limit trips, the status latches and every
+// later checkpoint returns it immediately.
+//
+// A budget is owned by one request and polled by one worker thread at a
+// time; only the CancelToken may be touched from other threads.  The
+// degradation ladder re-arms the same budget across rungs with
+// ResetForRetry(), which clears a memory/plans trip (each rung gets a
+// fresh working set) but re-checks the shared deadline and token.
+class ResourceBudget {
+ public:
+  struct Limits {
+    // Wall-clock deadline in seconds from Arm() (0 = none).
+    double deadline_seconds = 0;
+    // Memo + plan-pool + cardinality-cache byte budget (0 = unlimited).
+    size_t memory_budget_bytes = 0;
+    // Cap on plan alternatives costed (0 = unlimited).
+    uint64_t max_plans_costed = 0;
+    // Slow checks (clock, cancel token, fault sites) run every this many
+    // checkpoints; rounded up to a power of two, min 1.
+    uint32_t check_interval = 1024;
+    // Deterministic test trigger: trip kCancelled at exactly this
+    // checkpoint ordinal (0 = off).  Used by the cancellation-determinism
+    // sweep; production callers use the CancelToken instead.
+    uint64_t cancel_at_checkpoint = 0;
+  };
+
+  explicit ResourceBudget(const Limits& limits,
+                          CancelToken* cancel = nullptr);
+
+  // (Re)starts the deadline clock.  Called once when the request begins;
+  // the degradation ladder deliberately does NOT re-arm between rungs, so
+  // the deadline covers the whole ladder.
+  void Arm();
+
+  // The enumerators' working set is request-private, so the gauge to
+  // enforce the byte budget against changes per rung.  Null detaches.
+  void AttachGauge(const MemoryGauge* gauge) { gauge_ = gauge; }
+
+  // Records plan-costing progress for the plans-costed cap.  Cheap enough
+  // to call from the same sites as CheckPoint().
+  void SetPlansCosted(uint64_t plans) { plans_costed_ = plans; }
+
+  // Cooperative poll.  Returns kOk on the fast path; a non-OK code latches.
+  OptStatusCode CheckPoint() {
+    if (code_ != OptStatusCode::kOk) return code_;
+    if (gauge_ != nullptr && limits_.memory_budget_bytes != 0) {
+      CheckMemory();
+      if (code_ != OptStatusCode::kOk) return code_;
+    }
+    if (limits_.max_plans_costed != 0 &&
+        plans_costed_ > limits_.max_plans_costed) {
+      Trip(OptStatusCode::kMemoryExceeded, "plans-costed cap exceeded");
+      return code_;
+    }
+    const uint64_t n = ++checkpoints_;
+    if (limits_.cancel_at_checkpoint != 0 &&
+        n >= limits_.cancel_at_checkpoint) {
+      Trip(OptStatusCode::kCancelled, "cancelled at checkpoint " +
+                                          std::to_string(n));
+      return code_;
+    }
+    if ((n & interval_mask_) != 0) return OptStatusCode::kOk;
+    return SlowCheck();
+  }
+
+  // Latches a non-OK status from outside the polling sites (e.g. the
+  // service recording an exception).  kOk is ignored.
+  void Trip(OptStatusCode code, std::string message);
+
+  // Prepares the budget for the next rung of the degradation ladder:
+  // clears a kMemoryExceeded or kInternal trip (the next rung gets a
+  // fresh working set, and a defect may be rung-specific), detaches the
+  // gauge, and re-evaluates deadline and cancellation.  Returns false --
+  // leaving the status tripped -- when the trip was kCancelled or
+  // kDeadlineExceeded, the token is cancelled, or the deadline has
+  // already passed (those outlast any single rung).
+  bool ResetForRetry();
+
+  bool armed() const { return armed_; }
+  OptStatusCode code() const { return code_; }
+  OptStatus status() const {
+    return OptStatus{code_, code_ == OptStatusCode::kOk ? "" : message_};
+  }
+  uint64_t checkpoints() const { return checkpoints_; }
+  double ElapsedSeconds() const;
+  // Seconds until the deadline; negative once passed, +inf with none set.
+  double RemainingSeconds() const;
+  bool has_deadline() const { return limits_.deadline_seconds > 0; }
+  const Limits& limits() const { return limits_; }
+
+ private:
+  void CheckMemory();
+  OptStatusCode SlowCheck();
+
+  Limits limits_;
+  CancelToken* cancel_;
+  const MemoryGauge* gauge_ = nullptr;
+  uint64_t interval_mask_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t plans_costed_ = 0;
+  // Injected clock skew (fault site "budget.clock-jump"), added to every
+  // elapsed-time reading so a jump forward trips the deadline early.
+  double clock_skew_seconds_ = 0;
+  std::chrono::steady_clock::time_point armed_at_;
+  bool armed_ = false;
+  OptStatusCode code_ = OptStatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_COMMON_BUDGET_H_

@@ -1,0 +1,151 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+
+namespace sdp {
+namespace {
+
+// splitmix64: tiny, high-quality mixer; keeps probability rules
+// deterministic as a pure function of (seed, site, hit ordinal).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(const std::string& site) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a.
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double UnitUniform(uint64_t seed, uint64_t site_hash, uint64_t hit) {
+  const uint64_t bits = Mix64(seed ^ Mix64(site_hash ^ Mix64(hit)));
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+bool FaultInjector::Configure(uint64_t seed, const std::string& spec,
+                              std::string* error) {
+  Disable();
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  seed_ = seed;
+  if (spec.empty()) return true;
+
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+
+    Rule rule;
+    size_t trig = token.find_first_of("@%");
+    if (trig == std::string::npos || trig == 0) {
+      if (error != nullptr) {
+        *error = "fault rule '" + token + "' lacks a @N or %P trigger";
+      }
+      rules_.clear();
+      return false;
+    }
+    rule.site = token.substr(0, trig);
+    rule.nth = token[trig] == '@';
+    std::string arg = token.substr(trig + 1);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      rule.value = std::strtod(arg.c_str() + eq + 1, nullptr);
+      arg = arg.substr(0, eq);
+    }
+    char* end = nullptr;
+    if (rule.nth) {
+      rule.n = std::strtoull(arg.c_str(), &end, 10);
+      if (end == arg.c_str() || *end != '\0' || rule.n == 0) {
+        if (error != nullptr) {
+          *error = "fault rule '" + token + "': @N needs a positive integer";
+        }
+        rules_.clear();
+        return false;
+      }
+    } else {
+      rule.probability = std::strtod(arg.c_str(), &end);
+      if (end == arg.c_str() || *end != '\0' || rule.probability < 0 ||
+          rule.probability > 1) {
+        if (error != nullptr) {
+          *error = "fault rule '" + token + "': %P needs P in [0,1]";
+        }
+        rules_.clear();
+        return false;
+      }
+    }
+    rules_.push_back(std::move(rule));
+  }
+  enabled_.store(!rules_.empty(), std::memory_order_release);
+  return true;
+}
+
+void FaultInjector::Disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::HitSlow(const char* site, double* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool fired = false;
+  for (Rule& rule : rules_) {
+    if (rule.site != site) continue;
+    const uint64_t hit = ++rule.hits;
+    bool fire;
+    if (rule.nth) {
+      fire = hit == rule.n;
+    } else {
+      fire = UnitUniform(seed_, HashSite(rule.site), hit) < rule.probability;
+    }
+    if (fire) {
+      ++rule.fires;
+      if (value != nullptr) *value = rule.value;
+      fired = true;
+    }
+  }
+  return fired;
+}
+
+uint64_t FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t hits = 0;
+  for (const Rule& rule : rules_) {
+    if (rule.site == site) hits = rule.hits > hits ? rule.hits : hits;
+  }
+  return hits;
+}
+
+uint64_t FaultInjector::FireCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t fires = 0;
+  for (const Rule& rule : rules_) {
+    if (rule.site == site) fires += rule.fires;
+  }
+  return fires;
+}
+
+std::vector<std::string> FaultInjector::KnownSites() {
+  return {
+      "arena.alloc",       // Arena::Allocate throws std::bad_alloc.
+      "cost.nan",          // Cost model emits NaN for one plan.
+      "budget.clock-jump", // ResourceBudget clock jumps forward V seconds.
+      "pool.stall",        // ThreadPool worker stalls V ms before a task.
+      "service.fill",      // OptimizerService fill throws mid-flight.
+  };
+}
+
+}  // namespace sdp

@@ -1,0 +1,110 @@
+#ifndef SDPOPT_COMMON_FAULT_INJECTION_H_
+#define SDPOPT_COMMON_FAULT_INJECTION_H_
+
+#include <stdint.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sdp {
+
+// Deterministic, seed-driven fault injector for the chaos test suite.
+//
+// Fault *sites* are string-tagged probes compiled into production code
+// paths (e.g. "arena.alloc" before every arena block allocation -- see
+// the site registry in DESIGN.md).  A site fires when a configured *rule*
+// matches:
+//
+//   site@N      fire on exactly the Nth hit of the site (one-shot)
+//   site%P      fire each hit with probability P in [0,1), derived
+//               deterministically from (seed, site, hit ordinal)
+//   site@N=V    as above, with a double payload V delivered to the probe
+//   site%P=V    (payload examples: clock-jump seconds, stall millis)
+//
+// Rules are comma-separated: "arena.alloc@3,pool.stall%0.1=20".
+//
+// The injector is compiled in always but free when disabled: Hit() is a
+// single relaxed atomic load on the fast path.  Configure()/Disable()
+// must not race Hit() probes -- tests configure before starting workers
+// and disable after joining them.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  // Parses `spec` and enables the injector.  Empty spec disables.  On a
+  // malformed spec, leaves the injector disabled, fills *error (if given)
+  // and returns false.
+  bool Configure(uint64_t seed, const std::string& spec,
+                 std::string* error = nullptr);
+  void Disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Probe: returns true when a rule for `site` fires on this hit.  The
+  // payload overload stores the rule's "=V" value (0 when none given).
+  bool Hit(const char* site) {
+    if (!enabled()) return false;
+    return HitSlow(site, nullptr);
+  }
+  bool Hit(const char* site, double* value) {
+    if (!enabled()) return false;
+    return HitSlow(site, value);
+  }
+
+  // Introspection for tests: hits observed / fires delivered per site
+  // since the last Configure().
+  uint64_t HitCount(const std::string& site) const;
+  uint64_t FireCount(const std::string& site) const;
+
+  // The registry of site tags compiled into the binary, for --help text
+  // and spec validation.  Unknown sites in a spec are accepted (they
+  // simply never fire) so tests can probe sites added later.
+  static std::vector<std::string> KnownSites();
+
+ private:
+  struct Rule {
+    std::string site;
+    bool nth = false;        // true: @N one-shot; false: %P probability.
+    uint64_t n = 0;          // Nth hit (1-based) when nth.
+    double probability = 0;  // Per-hit fire probability when !nth.
+    double value = 0;        // "=V" payload.
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  FaultInjector() = default;
+  bool HitSlow(const char* site, double* value);
+
+  std::atomic<bool> enabled_{false};
+  uint64_t seed_ = 0;
+  std::vector<Rule> rules_;
+  mutable std::mutex mu_;
+};
+
+// RAII helper for tests: configures the global injector on construction,
+// disables it on destruction (also on test failure/exception unwind).
+class FaultInjectionScope {
+ public:
+  FaultInjectionScope(uint64_t seed, const std::string& spec) {
+    std::string error;
+    ok_ = FaultInjector::Global().Configure(seed, spec, &error);
+    error_ = error;
+  }
+  ~FaultInjectionScope() { FaultInjector::Global().Disable(); }
+
+  FaultInjectionScope(const FaultInjectionScope&) = delete;
+  FaultInjectionScope& operator=(const FaultInjectionScope&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  bool ok_ = false;
+  std::string error_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_COMMON_FAULT_INJECTION_H_

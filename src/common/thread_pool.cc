@@ -1,6 +1,10 @@
 #include "common/thread_pool.h"
 
+#include <chrono>
+#include <exception>
 #include <utility>
+
+#include "common/fault_injection.h"
 
 namespace sdp {
 
@@ -12,26 +16,61 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
-  cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
-}
+ThreadPool::~ThreadPool() { Shutdown(ShutdownMode::kDrain); }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+  return true;
+}
+
+ThreadPool::ShutdownStats ThreadPool::Shutdown(ShutdownMode mode,
+                                               double deadline_seconds) {
+  std::lock_guard<std::mutex> call_lock(shutdown_call_mu_);
+  if (joined_) return shutdown_stats_;
+
+  ShutdownStats stats;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (mode == ShutdownMode::kAbandon) {
+      stats.abandoned_tasks = queue_.size();
+      queue_.clear();
+    } else if (deadline_seconds > 0) {
+      const bool drained = drain_cv_.wait_for(
+          lock, std::chrono::duration<double>(deadline_seconds),
+          [this] { return queue_.empty(); });
+      if (!drained) {
+        stats.deadline_expired = true;
+        stats.abandoned_tasks = queue_.size();
+        queue_.clear();
+      }
+    }
+    // Plain drain: workers keep popping until the queue is empty, then see
+    // shutdown_ and exit.
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+
+  joined_ = true;
+  shutdown_stats_ = stats;
+  return stats;
 }
 
 int ThreadPool::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(queue_.size());
+}
+
+std::string ThreadPool::last_task_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_task_error_;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -43,8 +82,30 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown_ and fully drained.
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_.empty()) drain_cv_.notify_all();
     }
-    task();
+
+    // Fault site: a worker that goes dark for a while.  Exercises queue
+    // backlog, admission timeouts and Shutdown deadlines under test.
+    double stall_ms = 0;
+    if (FaultInjector::Global().Hit("pool.stall", &stall_ms)) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          stall_ms > 0 ? stall_ms : 10));
+    }
+
+    // A throwing task must not unwind into std::thread (std::terminate):
+    // capture the error and keep serving.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      tasks_failed_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      last_task_error_ = e.what();
+    } catch (...) {
+      tasks_failed_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      last_task_error_ = "unknown exception";
+    }
   }
 }
 

@@ -1,10 +1,15 @@
 #ifndef SDPOPT_COMMON_THREAD_POOL_H_
 #define SDPOPT_COMMON_THREAD_POOL_H_
 
+#include <stddef.h>
+#include <stdint.h>
+
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,36 +25,78 @@ namespace sdp {
 // runs the pool destructor first, guaranteeing no request outlives the
 // service's catalog, cache or metrics.
 //
+// Robustness guarantees:
+//  * A task that throws never takes the process down: the exception is
+//    captured into tasks_failed()/last_task_error() and the worker moves
+//    on to the next task.
+//  * Shutdown() always joins.  Drain mode runs every queued task first;
+//    abandon mode (or a drain whose deadline expires) drops the queued
+//    tasks that have not started, then joins.  Joining still waits for
+//    tasks already *running* -- a cooperative pool cannot kill a thread --
+//    so long-running tasks should poll a ResourceBudget / CancelToken.
+//
 // Deliberately minimal: no futures, no priorities, no work stealing.  The
 // service layer composes promises on top.
 class ThreadPool {
  public:
+  enum class ShutdownMode {
+    kDrain,    // Run every queued task before joining.
+    kAbandon,  // Drop queued (not-yet-started) tasks, then join.
+  };
+
+  struct ShutdownStats {
+    size_t abandoned_tasks = 0;  // Queued tasks dropped without running.
+    bool deadline_expired = false;  // Drain gave up and switched to abandon.
+  };
+
   // Spawns max(1, num_threads) workers immediately.
   explicit ThreadPool(int num_threads);
 
-  // Drains all queued tasks, then joins the workers.
+  // Equivalent to Shutdown(kDrain).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task.  Must not be called after (or concurrently with) the
-  // destructor.
-  void Submit(std::function<void()> task);
+  // Enqueues a task.  Returns false (dropping the task) once shutdown has
+  // begun.
+  bool Submit(std::function<void()> task);
+
+  // Stops the pool and joins every worker; idempotent (later calls return
+  // the first call's stats).  In kDrain mode with deadline_seconds > 0,
+  // waits at most that long for the queue to empty before abandoning
+  // whatever is still queued -- the join itself is then bounded by the
+  // longest *running* task, never by queued backlog.
+  ShutdownStats Shutdown(ShutdownMode mode = ShutdownMode::kDrain,
+                         double deadline_seconds = 0);
 
   // Tasks enqueued but not yet picked up by a worker.
   int queue_depth() const;
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
+  // Tasks whose exception was captured instead of propagating.
+  uint64_t tasks_failed() const {
+    return tasks_failed_.load(std::memory_order_relaxed);
+  }
+  std::string last_task_error() const;
+
  private:
   void WorkerLoop();
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        // Wakes workers (new task / shutdown).
+  std::condition_variable drain_cv_;  // Wakes Shutdown when queue empties.
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
   bool shutdown_ = false;
+  std::atomic<uint64_t> tasks_failed_{0};
+  std::string last_task_error_;
+
+  // Serializes Shutdown() callers (including the destructor).
+  std::mutex shutdown_call_mu_;
+  bool joined_ = false;
+  ShutdownStats shutdown_stats_;
 };
 
 }  // namespace sdp

@@ -89,8 +89,13 @@ void ApplyPartition(const std::vector<MemoEntry*>& partition,
 class SdpPruner {
  public:
   SdpPruner(const JoinGraph& graph, const SdpConfig& config,
-            const OrderingSpace& space, Tracer* tracer)
-      : graph_(&graph), config_(&config), space_(&space), tracer_(tracer) {
+            const OrderingSpace& space, Tracer* tracer,
+            ResourceBudget* budget)
+      : graph_(&graph),
+        config_(&config),
+        space_(&space),
+        tracer_(tracer),
+        budget_(budget) {
     for (int r = 0; r < graph.num_relations(); ++r) {
       if (graph.Degree(r) >= config.hub_degree) {
         root_hubs_.push_back(r);
@@ -109,6 +114,14 @@ class SdpPruner {
   }
 
  private:
+  // Cooperative budget poll between partitions.  On a trip the pruner
+  // bails without committing: partially-marked state is discarded and the
+  // driver observes the latched budget at its next CheckBudget().
+  bool Tripped() {
+    return budget_ != nullptr &&
+           budget_->CheckPoint() != OptStatusCode::kOk;
+  }
+
   int PruneLevelImpl(Memo* memo, int level, TracePruneLevel* summary) {
     std::vector<MemoEntry*> jcrs;
     for (MemoEntry* e : memo->EntriesWithUnitCount(level)) {
@@ -170,6 +183,7 @@ class SdpPruner {
     if (config_->partitioning == SdpConfig::Partitioning::kRootHub) {
       trace.kind = "root-hub";
       for (int hub : root_hubs_) {
+        if (Tripped()) return 0;
         std::vector<MemoEntry*> partition;
         for (MemoEntry* e : prune_group) {
           if (e->rels.Contains(hub)) partition.push_back(e);
@@ -183,6 +197,7 @@ class SdpPruner {
       trace.kind = "parent-hub";
       trace.hub = -1;
       for (const RelSet& h : hub_parents) {
+        if (Tripped()) return 0;
         std::vector<MemoEntry*> partition;
         for (MemoEntry* e : prune_group) {
           if (h.IsSubsetOf(e->rels)) partition.push_back(e);
@@ -261,6 +276,7 @@ class SdpPruner {
   const SdpConfig* config_;
   const OrderingSpace* space_;
   Tracer* tracer_;
+  ResourceBudget* budget_;
   std::vector<int> root_hubs_;
 };
 
@@ -284,7 +300,7 @@ OptimizeResult OptimizeSDP(const Query& query, const CostModel& cost,
   JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool, &gauge,
                             options, &counters);
   Tracer* const tracer = options.tracer;
-  SdpPruner pruner(graph, config, space, tracer);
+  SdpPruner pruner(graph, config, space, tracer, options.budget);
   if (tracer != nullptr) {
     tracer->OnRunBegin(
         MakeTraceRunBegin("SDP", graph, cost, config.hub_degree));
@@ -324,11 +340,18 @@ OptimizeResult OptimizeSDP(const Query& query, const CostModel& cost,
           memo.Erase(e);
         }
       }
+      // A budget trip inside the pruner leaves its marks uncommitted; pick
+      // it up here so the abort carries the typed status.
+      if (enumerator.CheckBudget()) {
+        aborted = true;
+        break;
+      }
     }
   }
   if (aborted) {
     OptimizeResult result =
-        MakeOptimizeResult("SDP", nullptr, counters, timer.Seconds(), gauge);
+        MakeOptimizeResult("SDP", nullptr, counters, timer.Seconds(), gauge,
+                           enumerator.abort_status());
     EmitTraceRunEnd(tracer, result);
     return result;
   }

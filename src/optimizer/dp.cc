@@ -44,7 +44,8 @@ OptimizeResult OptimizeDP(const Query& query, const CostModel& cost,
   }
   if (aborted) {
     OptimizeResult result =
-        MakeOptimizeResult("DP", nullptr, counters, timer.Seconds(), gauge);
+        MakeOptimizeResult("DP", nullptr, counters, timer.Seconds(), gauge,
+                           enumerator.abort_status());
     EmitTraceRunEnd(tracer, result);
     return result;
   }
@@ -115,8 +116,9 @@ OptimizeResult OptimizeDPSub(const Query& query, const CostModel& cost,
     }
   }
   if (enumerator.CheckBudget()) {
-    OptimizeResult result = MakeOptimizeResult("DPsub", nullptr, counters,
-                                               timer.Seconds(), gauge);
+    OptimizeResult result =
+        MakeOptimizeResult("DPsub", nullptr, counters, timer.Seconds(), gauge,
+                           enumerator.abort_status());
     EmitTraceRunEnd(tracer, result);
     return result;
   }

@@ -1,8 +1,10 @@
 #include "optimizer/enumerator.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace sdp {
 
@@ -38,10 +40,22 @@ JoinEnumerator::JoinEnumerator(const JoinGraph& graph, const CostModel& cost,
       pool_(pool),
       gauge_(gauge),
       options_(options),
-      counters_(counters) {}
+      counters_(counters),
+      poll_mask_(options.budget != nullptr ? 0xFF : 0xFFFF) {
+  if (options_.budget != nullptr) options_.budget->AttachGauge(gauge_);
+}
 
 bool JoinEnumerator::BudgetExceeded() {
   if (aborted_) return true;
+  if (options_.budget != nullptr) {
+    options_.budget->SetPlansCosted(counters_->plans_costed);
+    const OptStatusCode code = options_.budget->CheckPoint();
+    if (code != OptStatusCode::kOk) {
+      aborted_ = true;
+      status_ = code;
+      return true;
+    }
+  }
   if (options_.memory_budget_bytes != 0 &&
       gauge_->current_bytes() > options_.memory_budget_bytes) {
     aborted_ = true;
@@ -50,6 +64,7 @@ bool JoinEnumerator::BudgetExceeded() {
       counters_->plans_costed > options_.max_plans_costed) {
     aborted_ = true;
   }
+  if (aborted_) status_ = OptStatusCode::kMemoryExceeded;
   return aborted_;
 }
 
@@ -126,7 +141,8 @@ bool JoinEnumerator::RunLevel(int level) {
         MemoEntry* b = bs[j];
         if (b->pruned) continue;
         ++counters_->pairs_examined;
-        if ((counters_->pairs_examined & 0xFFFF) == 0 && BudgetExceeded()) {
+        if ((counters_->pairs_examined & poll_mask_) == 0 &&
+            BudgetExceeded()) {
           return false;
         }
         if (a->rels.Overlaps(b->rels)) continue;
@@ -307,6 +323,19 @@ void JoinEnumerator::ConsiderMergeJoin(MemoEntry* target, const MemoEntry* a,
 bool JoinEnumerator::TryAdd(MemoEntry* target, PlanKind kind, int rel,
                             int edge, int ordering, double rows, double cost,
                             const PlanNode* outer, const PlanNode* inner) {
+  // Per-plan budget poll.  The per-pair poll in RunLevel is too coarse
+  // when a single pair emits many plans (e.g. a defect floods the plan
+  // lists and every insertion degrades to a linear scan): the deadline
+  // must be observed within a bounded number of *plans*, not pairs.
+  if (aborted_) return false;
+  if (options_.budget != nullptr) {
+    options_.budget->SetPlansCosted(counters_->plans_costed);
+    if (options_.budget->CheckPoint() != OptStatusCode::kOk) {
+      aborted_ = true;
+      status_ = options_.budget->code();
+      return false;
+    }
+  }
   if (!target->WouldImprove(ordering, cost)) return false;
   PlanNode* node = pool_->New();
   node->kind = kind;
@@ -316,6 +345,12 @@ bool JoinEnumerator::TryAdd(MemoEntry* target, PlanKind kind, int rel,
   node->rels = target->rels;
   node->rows = rows;
   node->cost = cost;
+  // Fault site: corrupt this plan's cost with NaN.  The poisoned plan may
+  // win the memo slot and surface in the final tree, where the engine's
+  // ValidatePlanTree rejects it and the ladder escalates with kInternal.
+  if (FaultInjector::Global().Hit("cost.nan")) {
+    node->cost = std::numeric_limits<double>::quiet_NaN();
+  }
   node->outer = outer;
   node->inner = inner;
   std::vector<const PlanNode*> evicted;

@@ -82,6 +82,24 @@ class JoinEnumerator {
 
   bool aborted() const { return aborted_; }
 
+  // Why the enumerator aborted (kOk while running / on success).  Legacy
+  // caps (OptimizerOptions::memory_budget_bytes / max_plans_costed) report
+  // kMemoryExceeded; a ResourceBudget reports its own typed code.
+  OptStatusCode status() const { return status_; }
+
+  // Typed abort cause for an infeasible result: the budget's status (with
+  // its message) when one tripped, else a generic kMemoryExceeded.
+  OptStatus abort_status() const {
+    if (options_.budget != nullptr) {
+      OptStatus st = options_.budget->status();
+      if (!st.ok()) return st;
+    }
+    return OptStatus::Make(status_ == OptStatusCode::kOk
+                               ? OptStatusCode::kMemoryExceeded
+                               : status_,
+                           "optimizer budget exhausted");
+  }
+
   // Re-evaluates the budget and returns true when exhausted (latches the
   // aborted flag).  RunLevel checks internally; direct EmitJoinsInto users
   // (DPsub, IDP ballooning) call this between batches.
@@ -130,7 +148,12 @@ class JoinEnumerator {
   MemoryGauge* gauge_;
   OptimizerOptions options_;
   SearchCounters* counters_;
+  // Pair-count mask gating budget polls inside RunLevel's inner loop; a
+  // ResourceBudget polls denser than the legacy caps because its fast path
+  // is cheaper than a gauge read.
+  uint64_t poll_mask_;
   bool aborted_ = false;
+  OptStatusCode status_ = OptStatusCode::kOk;
 };
 
 }  // namespace sdp

@@ -1,0 +1,224 @@
+#include "optimizer/fallback.h"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+#include <utility>
+
+#include "optimizer/dp.h"
+#include "optimizer/heuristic_baselines.h"
+#include "plan/plan_node.h"
+
+namespace sdp {
+
+const char* FallbackRungName(FallbackRung rung) {
+  switch (rung) {
+    case FallbackRung::kDP:
+      return "dp";
+    case FallbackRung::kIDP:
+      return "idp";
+    case FallbackRung::kSDP:
+      return "sdp";
+    case FallbackRung::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
+}
+
+bool ParseFallbackRung(const std::string& text, FallbackRung* out) {
+  if (text == "dp") {
+    *out = FallbackRung::kDP;
+  } else if (text == "idp") {
+    *out = FallbackRung::kIDP;
+  } else if (text == "sdp") {
+    *out = FallbackRung::kSDP;
+  } else if (text == "greedy") {
+    *out = FallbackRung::kGreedy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool RungBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return true;
+  if (skips_remaining_ > 0) {
+    --skips_remaining_;
+    return false;
+  }
+  half_open_probe_ = true;  // Cooldown spent: let one request probe.
+  return true;
+}
+
+void RungBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  open_ = false;
+  half_open_probe_ = false;
+}
+
+void RungBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_ && half_open_probe_) {
+    // Failed probe: re-open for another cooldown.
+    skips_remaining_ = cooldown_;
+    half_open_probe_ = false;
+    return;
+  }
+  if (++consecutive_failures_ >= threshold_ && !open_) {
+    open_ = true;
+    skips_remaining_ = cooldown_;
+    half_open_probe_ = false;
+  }
+}
+
+namespace {
+
+OptimizeResult RunRung(FallbackRung rung, const FallbackConfig& config,
+                       const Query& query, const CostModel& cost,
+                       const OptimizerOptions& options) {
+  switch (rung) {
+    case FallbackRung::kDP:
+      return OptimizeDP(query, cost, options);
+    case FallbackRung::kIDP:
+      return config.use_idp2 ? OptimizeIDP2(query, cost, config.idp, options)
+                             : OptimizeIDP(query, cost, config.idp, options);
+    case FallbackRung::kSDP:
+      return OptimizeSDP(query, cost, config.sdp, options);
+    case FallbackRung::kGreedy:
+      return OptimizeGreedyLeftDeep(query, cost, options);
+  }
+  OptimizeResult bad;
+  bad.status = OptStatus::Make(OptStatusCode::kInternal, "unknown rung");
+  return bad;
+}
+
+}  // namespace
+
+OptimizeResult OptimizeWithFallback(const Query& query, const CostModel& cost,
+                                    const FallbackConfig& config,
+                                    const OptimizerOptions& options,
+                                    RungBreakerSet* breakers,
+                                    FallbackReport* report) {
+  ResourceBudget* const budget = options.budget;
+  if (budget != nullptr && !budget->armed()) budget->Arm();
+
+  const int start = static_cast<int>(config.start_rung);
+  const int deepest =
+      std::max(start, static_cast<int>(config.max_rung));
+
+  SearchCounters aggregate;
+  double total_elapsed = 0;
+  double peak_mb = 0;
+  int tried = 0;  // Rungs consumed (run or skipped) before the winner.
+  OptimizeResult last;
+  last.status = OptStatus::Make(OptStatusCode::kInternal, "no rung ran");
+
+  for (int r = start; r <= deepest; ++r) {
+    const FallbackRung rung = static_cast<FallbackRung>(r);
+    const bool last_reachable = r == deepest;
+
+    // Circuit breaker: skip a rung that has been failing for everyone --
+    // but never the last reachable rung; something must produce an answer.
+    if (breakers != nullptr && !last_reachable &&
+        !breakers->For(rung).Allow()) {
+      if (report != nullptr) {
+        FallbackAttempt a;
+        a.rung = rung;
+        a.skipped_by_breaker = true;
+        a.status = OptStatus::Make(OptStatusCode::kInternal,
+                                   "skipped: circuit breaker open");
+        report->attempts.push_back(std::move(a));
+      }
+      ++tried;
+      continue;
+    }
+
+    OptimizeResult res;
+    try {
+      res = RunRung(rung, config, query, cost, options);
+    } catch (const std::exception& e) {
+      res = OptimizeResult();
+      res.algorithm = FallbackRungName(rung);
+      res.status = OptStatus::Make(OptStatusCode::kInternal,
+                                   std::string("exception: ") + e.what());
+    } catch (...) {
+      res = OptimizeResult();
+      res.algorithm = FallbackRungName(rung);
+      res.status =
+          OptStatus::Make(OptStatusCode::kInternal, "unknown exception");
+    }
+
+    // A plan that fails the engine's validity check (cycles, non-finite
+    // costs -- e.g. an injected cost NaN) is a defect, not an answer:
+    // demote to kInternal so the ladder escalates.
+    if (res.feasible) {
+      const std::string verr = ValidatePlanTree(res.plan);
+      if (!verr.empty()) {
+        res.feasible = false;
+        res.plan = nullptr;
+        res.plan_arena.reset();
+        res.cost = std::numeric_limits<double>::infinity();
+        res.status =
+            OptStatus::Make(OptStatusCode::kInternal, "invalid plan: " + verr);
+      }
+    }
+
+    aggregate.plans_costed += res.counters.plans_costed;
+    aggregate.jcrs_created += res.counters.jcrs_created;
+    aggregate.pairs_examined += res.counters.pairs_examined;
+    total_elapsed += res.elapsed_seconds;
+    peak_mb = std::max(peak_mb, res.peak_memory_mb);
+
+    if (report != nullptr) {
+      FallbackAttempt a;
+      a.rung = rung;
+      a.algorithm = res.algorithm;
+      a.status = res.status;
+      a.elapsed_seconds = res.elapsed_seconds;
+      a.plans_costed = res.counters.plans_costed;
+      a.peak_memory_mb = res.peak_memory_mb;
+      report->attempts.push_back(std::move(a));
+    }
+
+    if (res.feasible) {
+      if (breakers != nullptr) breakers->For(rung).RecordSuccess();
+      res.counters = aggregate;
+      res.elapsed_seconds = total_elapsed;
+      res.peak_memory_mb = peak_mb;
+      res.rung = FallbackRungName(rung);
+      res.retries = tried;
+      return res;
+    }
+
+    // Deadline and cancellation are properties of the request, not the
+    // rung: they neither trip the breaker nor justify escalating.
+    const OptStatusCode cause = res.status.code;
+    if (breakers != nullptr && cause != OptStatusCode::kDeadlineExceeded &&
+        cause != OptStatusCode::kCancelled) {
+      breakers->For(rung).RecordFailure();
+    }
+    last = std::move(res);
+    ++tried;
+    if (cause == OptStatusCode::kDeadlineExceeded ||
+        cause == OptStatusCode::kCancelled) {
+      break;
+    }
+    if (last_reachable) break;
+    if (budget != nullptr && !budget->ResetForRetry()) {
+      // The shared deadline/token expired while this rung ran.
+      last.status = budget->status();
+      break;
+    }
+  }
+
+  last.counters = aggregate;
+  last.elapsed_seconds = total_elapsed;
+  last.peak_memory_mb = peak_mb;
+  last.rung = last.algorithm;
+  last.retries = tried > 0 ? tried - 1 : 0;
+  return last;
+}
+
+}  // namespace sdp

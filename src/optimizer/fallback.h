@@ -1,0 +1,130 @@
+#ifndef SDPOPT_OPTIMIZER_FALLBACK_H_
+#define SDPOPT_OPTIMIZER_FALLBACK_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/sdp.h"
+#include "cost/cost_model.h"
+#include "optimizer/idp.h"
+#include "optimizer/optimizer_types.h"
+#include "query/join_graph.h"
+
+namespace sdp {
+
+// The degradation ladder's rungs, cheapest-guarantee first.  The ladder
+// only ever escalates toward kGreedy: each rung trades optimality for a
+// smaller search space, exactly the DP -> IDP -> SDP spectrum the paper
+// studies, with a greedy left-deep chain as the unconditional last resort.
+enum class FallbackRung : int {
+  kDP = 0,
+  kIDP = 1,
+  kSDP = 2,
+  kGreedy = 3,
+};
+
+const char* FallbackRungName(FallbackRung rung);
+// Parses "dp" / "idp" / "sdp" / "greedy" (as used by --max-rung).
+bool ParseFallbackRung(const std::string& text, FallbackRung* out);
+
+struct FallbackConfig {
+  // First rung tried: the algorithm the request asked for.
+  FallbackRung start_rung = FallbackRung::kDP;
+  // Deepest rung the ladder may escalate to.  A request whose start rung
+  // is deeper than max_rung runs its start rung only.
+  FallbackRung max_rung = FallbackRung::kGreedy;
+  // Configurations used when the ladder reaches the IDP / SDP rungs.
+  IdpConfig idp;
+  SdpConfig sdp;
+  // Run IDP2 instead of IDP1 on the IDP rung (requests that asked for
+  // IDP2 keep their variant when the ladder lands there).
+  bool use_idp2 = false;
+};
+
+// Per-rung failure circuit breaker: `threshold` consecutive rung failures
+// open the breaker; while open, Allow() refuses `cooldown` probes, then
+// half-opens to let one request test the rung (success closes it, failure
+// re-opens).  Counts requests, not wall clock, so behavior is
+// deterministic under test.  Thread-safe: one instance is shared by all
+// service workers.
+class RungBreaker {
+ public:
+  RungBreaker(int threshold = 5, int cooldown = 16)
+      : threshold_(threshold), cooldown_(cooldown) {}
+
+  bool Allow();
+  void RecordSuccess();
+  void RecordFailure();
+
+  bool open() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return open_;
+  }
+
+ private:
+  const int threshold_;
+  const int cooldown_;
+  mutable std::mutex mu_;
+  int consecutive_failures_ = 0;
+  int skips_remaining_ = 0;
+  bool open_ = false;
+  bool half_open_probe_ = false;
+};
+
+// One breaker per ladder rung.
+class RungBreakerSet {
+ public:
+  explicit RungBreakerSet(int threshold = 5, int cooldown = 16)
+      : breakers_{{threshold, cooldown},
+                  {threshold, cooldown},
+                  {threshold, cooldown},
+                  {threshold, cooldown}} {}
+
+  RungBreaker& For(FallbackRung rung) {
+    return breakers_[static_cast<int>(rung)];
+  }
+
+ private:
+  RungBreaker breakers_[4];
+};
+
+// What happened on one rung of the ladder (for trace/metrics).
+struct FallbackAttempt {
+  FallbackRung rung = FallbackRung::kDP;
+  std::string algorithm;  // e.g. "IDP(7)"; empty when skipped.
+  OptStatus status;
+  bool skipped_by_breaker = false;
+  double elapsed_seconds = 0;
+  uint64_t plans_costed = 0;
+  double peak_memory_mb = 0;
+};
+
+struct FallbackReport {
+  std::vector<FallbackAttempt> attempts;
+};
+
+// Runs the degradation ladder: tries config.start_rung, and on a
+// recoverable budget trip (memory/plans cap, internal defect) escalates
+// one rung at a time until a rung produces a valid plan or config.max_rung
+// fails too.  Guarantees:
+//   - Exceptions never escape: a throwing rung is recorded as kInternal
+//     and the ladder escalates.
+//   - A returned feasible plan passed ValidatePlanTree.
+//   - kCancelled and kDeadlineExceeded stop the ladder immediately (a
+//     cheaper rung cannot recover time or a user's cancellation).
+//   - options.budget (when set) spans the whole ladder: it is armed once
+//     (if the caller has not already) and ResetForRetry() clears only
+//     memory trips between rungs.
+// Counters, elapsed time and peak memory aggregate across all attempts;
+// result.rung / result.retries record the winning rung and how many rungs
+// were tried (or skipped by `breakers`) before it.
+OptimizeResult OptimizeWithFallback(const Query& query, const CostModel& cost,
+                                    const FallbackConfig& config,
+                                    const OptimizerOptions& options,
+                                    RungBreakerSet* breakers = nullptr,
+                                    FallbackReport* report = nullptr);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OPTIMIZER_FALLBACK_H_

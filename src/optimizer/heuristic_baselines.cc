@@ -73,7 +73,7 @@ OptimizeResult OptimizeGOO(const Query& query, const CostModel& cost,
   while (units.size() > 1) {
     if (ctx.enumerator.CheckBudget()) {
       return MakeOptimizeResult("GOO", nullptr, ctx.counters, timer.Seconds(),
-                                ctx.gauge);
+                                ctx.gauge, ctx.enumerator.abort_status());
     }
     // Greedy step: the adjacent pair with the smallest join cardinality.
     size_t best_i = 0, best_j = 0;
@@ -168,7 +168,8 @@ OptimizeResult OptimizeRandomized(const Query& query, const CostModel& cost,
   for (int restart = 0; restart < config.restarts; ++restart) {
     if (ctx.enumerator.CheckBudget()) {
       return MakeOptimizeResult("Randomized", nullptr, ctx.counters,
-                                timer.Seconds(), ctx.gauge);
+                                timer.Seconds(), ctx.gauge,
+                                ctx.enumerator.abort_status());
     }
     std::vector<int> order = RandomConnectedOrder(graph, &rng);
     const PlanNode* plan = nullptr;
@@ -201,6 +202,52 @@ OptimizeResult OptimizeRandomized(const Query& query, const CostModel& cost,
   }
   return MakeOptimizeResult("Randomized", best_plan, ctx.counters,
                             timer.Seconds(), ctx.gauge);
+}
+
+OptimizeResult OptimizeGreedyLeftDeep(const Query& query,
+                                      const CostModel& cost,
+                                      const OptimizerOptions& options) {
+  const JoinGraph& graph = query.graph;
+  SDP_CHECK(graph.IsConnected(graph.AllRelations()));
+  Stopwatch timer;
+  BaselineContext ctx(query, cost, options);
+
+  // Seed: the base relation with the fewest scan output rows.
+  const int n = graph.num_relations();
+  int seed_rel = 0;
+  for (int r = 1; r < n; ++r) {
+    if (cost.ScanOutputRows(r) < cost.ScanOutputRows(seed_rel)) seed_rel = r;
+  }
+
+  const MemoEntry* cur = ctx.memo.Find(RelSet::Single(seed_rel));
+  std::vector<std::unique_ptr<MemoEntry>> owned;
+  RelSet covered = RelSet::Single(seed_rel);
+  while (covered != graph.AllRelations()) {
+    if (ctx.enumerator.CheckBudget()) {
+      return MakeOptimizeResult("Greedy", nullptr, ctx.counters,
+                                timer.Seconds(), ctx.gauge,
+                                ctx.enumerator.abort_status());
+    }
+    // Next relation: the adjacent base relation minimizing the joined
+    // cardinality (ties to the lowest relation id for determinism).
+    int next = -1;
+    double next_rows = 0;
+    graph.Neighbors(covered).ForEach([&](int r) {
+      const double joined = ctx.card.Rows(covered.With(r));
+      if (next < 0 || joined < next_rows) {
+        next = r;
+        next_rows = joined;
+      }
+    });
+    SDP_CHECK(next >= 0);  // Graph is connected.
+    owned.push_back(ctx.Join(cur, ctx.memo.Find(RelSet::Single(next))));
+    cur = owned.back().get();
+    covered = covered.With(next);
+  }
+
+  const PlanNode* plan = ctx.enumerator.FinalizeBestPlan(cur);
+  return MakeOptimizeResult("Greedy", plan, ctx.counters, timer.Seconds(),
+                            ctx.gauge);
 }
 
 }  // namespace sdp

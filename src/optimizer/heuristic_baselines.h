@@ -37,6 +37,15 @@ OptimizeResult OptimizeRandomized(const Query& query, const CostModel& cost,
                                   const RandomizedConfig& config = {},
                                   const OptimizerOptions& options = {});
 
+// Greedy left-deep chain: start from the smallest base relation, repeatedly
+// append the adjacent relation minimizing the joined cardinality, and
+// cost-optimize each physical step.  O(n^2) cardinality probes and O(n)
+// memo entries -- the degradation ladder's last rung, cheap enough to
+// succeed under any budget that admits the request at all.
+OptimizeResult OptimizeGreedyLeftDeep(const Query& query,
+                                      const CostModel& cost,
+                                      const OptimizerOptions& options = {});
+
 }  // namespace sdp
 
 #endif  // SDPOPT_OPTIMIZER_HEURISTIC_BASELINES_H_

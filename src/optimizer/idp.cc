@@ -117,8 +117,9 @@ OptimizeResult OptimizeIDP(const Query& query, const CostModel& cost,
       aborted = !enumerator.RunLevel(level);
     }
     if (aborted) {
-      OptimizeResult result = MakeOptimizeResult(name, nullptr, counters,
-                                                 timer.Seconds(), gauge);
+      OptimizeResult result =
+          MakeOptimizeResult(name, nullptr, counters, timer.Seconds(), gauge,
+                             enumerator.abort_status());
       EmitTraceRunEnd(tracer, result);
       return result;
     }
@@ -160,7 +161,12 @@ OptimizeResult OptimizeIDP(const Query& query, const CostModel& cost,
     // reason IDP's commitments go wrong on hub-heavy graphs.
     MemoEntry* winner = nullptr;
     double winner_score = 0;
+    bool balloon_aborted = false;
     for (MemoEntry* cand : candidates) {
+      if (enumerator.CheckBudget()) {
+        balloon_aborted = true;
+        break;
+      }
       MemoEntry cur;
       cur.rels = cand->rels;
       cur.unit_count = cand->unit_count;
@@ -190,11 +196,23 @@ OptimizeResult OptimizeIDP(const Query& query, const CostModel& cost,
         enumerator.EmitJoinsInto(&scratch, &cur, memo.Find(next->rels));
         cur = std::move(scratch);
         intermediate_sum += cur.rows;
+        if (enumerator.CheckBudget()) {
+          balloon_aborted = true;
+          break;
+        }
       }
+      if (balloon_aborted) break;
       if (winner == nullptr || intermediate_sum < winner_score) {
         winner = cand;
         winner_score = intermediate_sum;
       }
+    }
+    if (balloon_aborted) {
+      OptimizeResult result =
+          MakeOptimizeResult(name, nullptr, counters, timer.Seconds(), gauge,
+                             enumerator.abort_status());
+      EmitTraceRunEnd(tracer, result);
+      return result;
     }
     SDP_CHECK(winner != nullptr);
 
@@ -370,8 +388,9 @@ OptimizeResult OptimizeIDP2(const Query& query, const CostModel& cost,
       aborted = !enumerator.RunLevel(level);
     }
     if (aborted) {
-      OptimizeResult result = MakeOptimizeResult(name, nullptr, counters,
-                                                 timer.Seconds(), gauge);
+      OptimizeResult result =
+          MakeOptimizeResult(name, nullptr, counters, timer.Seconds(), gauge,
+                             enumerator.abort_status());
       EmitTraceRunEnd(tracer, result);
       return result;
     }

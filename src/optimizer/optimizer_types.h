@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/arena.h"
+#include "common/budget.h"
 #include "plan/plan_node.h"
 
 namespace sdp {
@@ -26,6 +27,11 @@ struct OptimizerOptions {
   // section, and zero allocations.  The tracer never influences the search;
   // results are bit-identical with and without it.
   Tracer* tracer = nullptr;
+  // Per-request resource budget (deadline + cancellation + memory), polled
+  // cooperatively inside the enumeration loops.  Null disables governance;
+  // the legacy memory_budget_bytes / max_plans_costed caps above still
+  // apply either way.  Not owned; must outlive the run.
+  ResourceBudget* budget = nullptr;
 };
 
 // Search-effort counters, the paper's overhead metrics.
@@ -51,6 +57,14 @@ struct OptimizeResult {
   SearchCounters counters;
   double elapsed_seconds = 0;
   double peak_memory_mb = 0;
+  // Why the run ended: OK for a feasible plan, a typed budget/cancellation
+  // code otherwise.  Infeasible runs under the legacy caps (no
+  // ResourceBudget) report kMemoryExceeded.
+  OptStatus status;
+  // Degradation-ladder bookkeeping (filled by OptimizeWithFallback):
+  // the rung that produced the plan and how many rungs were tried first.
+  std::string rung;
+  int retries = 0;
   // Keeps `plan` alive after the optimizer's working memory is released.
   std::shared_ptr<Arena> plan_arena;
 };

@@ -8,19 +8,25 @@ namespace sdp {
 OptimizeResult MakeOptimizeResult(std::string algorithm, const PlanNode* plan,
                                   const SearchCounters& counters,
                                   double elapsed_seconds,
-                                  const MemoryGauge& gauge) {
+                                  const MemoryGauge& gauge,
+                                  OptStatus status) {
   OptimizeResult result;
   result.algorithm = std::move(algorithm);
   result.counters = counters;
   result.elapsed_seconds = elapsed_seconds;
   result.peak_memory_mb = gauge.peak_mb();
+  result.status = std::move(status);
   if (plan != nullptr) {
     result.plan_arena = std::make_shared<Arena>();
     result.plan = ClonePlanTree(plan, result.plan_arena.get());
     result.cost = plan->cost;
     result.rows = plan->rows;
     result.feasible = true;
+  } else if (result.status.ok()) {
+    result.status = OptStatus::Make(OptStatusCode::kMemoryExceeded,
+                                    "optimizer budget exhausted");
   }
+  result.rung = result.algorithm;
   return result;
 }
 

@@ -26,11 +26,14 @@ class Stopwatch {
 
 // Packages a finished (or aborted) optimization run.  The chosen plan is
 // deep-copied into a fresh arena owned by the result, so the run's working
-// memory can be released immediately.
+// memory can be released immediately.  `status` records why an aborted run
+// stopped; a null plan with an OK status is normalized to kMemoryExceeded
+// so infeasible results always carry a typed cause.
 OptimizeResult MakeOptimizeResult(std::string algorithm, const PlanNode* plan,
                                   const SearchCounters& counters,
                                   double elapsed_seconds,
-                                  const MemoryGauge& gauge);
+                                  const MemoryGauge& gauge,
+                                  OptStatus status = OptStatus::Ok());
 
 }  // namespace sdp
 

@@ -1,10 +1,14 @@
 #include "service/optimizer_service.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <utility>
 #include <variant>
 
+#include "common/fault_injection.h"
 #include "cost/cost_model.h"
 #include "optimizer/run_helpers.h"
 #include "service/plan_fingerprint.h"
@@ -58,6 +62,46 @@ std::string OptionsCacheTag(const OptimizerOptions& options) {
          ",maxplans=" + std::to_string(options.max_plans_costed);
 }
 
+// Governance settings join the cache key so only identically-governed
+// requests coalesce or share cached entries: a plan computed under a tight
+// budget ladder must never be served to an ungoverned request and vice
+// versa.
+std::string GovernanceCacheTag(const ServiceRequest& request) {
+  if (!request.governed()) return "";
+  std::string tag = ",gov=1,dls=";
+  AppendDoubleBits(&tag, request.budget.deadline_seconds);
+  tag += ",gmb=" + std::to_string(request.budget.memory_budget_bytes);
+  tag += ",gmp=" + std::to_string(request.budget.max_plans_costed);
+  tag += ",cac=" + std::to_string(request.budget.cancel_at_checkpoint);
+  tag += ",fb=" + std::to_string(request.fallback_enabled ? 1 : 0);
+  tag += ",rung=" + std::to_string(static_cast<int>(request.max_rung));
+  return tag;
+}
+
+// The ladder rung a request's algorithm spec starts on.
+FallbackRung StartRungFor(const AlgorithmSpec& spec) {
+  switch (spec.kind) {
+    case AlgorithmSpec::Kind::kDP:
+      return FallbackRung::kDP;
+    case AlgorithmSpec::Kind::kIDP:
+    case AlgorithmSpec::Kind::kIDP2:
+      return FallbackRung::kIDP;
+    case AlgorithmSpec::Kind::kSDP:
+      return FallbackRung::kSDP;
+  }
+  return FallbackRung::kSDP;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace
 
 struct OptimizerService::PendingRequest {
@@ -65,6 +109,8 @@ struct OptimizerService::PendingRequest {
   std::string sql;
   ServiceRequest request;
   std::promise<ServiceResult> promise;
+  // Started at submission, so a governed deadline covers queue time too.
+  Stopwatch queued;
 };
 
 OptimizerService::OptimizerService(const Catalog& catalog,
@@ -75,6 +121,7 @@ OptimizerService::OptimizerService(const Catalog& catalog,
       config_(config),
       stats_epoch_(config.stats_epoch),
       cache_(PlanCacheConfig{config.cache_enabled, config.cache_stripes}),
+      breakers_(config.breaker_threshold, config.breaker_cooldown),
       pool_(config.num_threads) {}
 
 OptimizerService::~OptimizerService() = default;
@@ -91,6 +138,10 @@ std::future<ServiceResult> OptimizerService::Enqueue(
     ServiceResult rejected;
     rejected.rejected = true;
     rejected.error = "queue full";
+    rejected.retry_after_ms = RetryAfterHintMs();
+    rejected.result.status = OptStatus::Make(OptStatusCode::kMemoryExceeded,
+                                             "queue full");
+    metrics_.shed_with_retry_hint.fetch_add(1, std::memory_order_relaxed);
     pending->promise.set_value(std::move(rejected));
     return future;
   }
@@ -119,11 +170,30 @@ std::future<ServiceResult> OptimizerService::SubmitSql(
   return Enqueue(std::move(pending));
 }
 
+std::future<ServiceResult> OptimizerService::SubmitSql(std::string sql,
+                                                       ServiceRequest request) {
+  auto pending = std::make_shared<PendingRequest>();
+  pending->from_sql = true;
+  pending->sql = std::move(sql);
+  pending->request = std::move(request);
+  return Enqueue(std::move(pending));
+}
+
 ServiceResult OptimizerService::OptimizeSync(ServiceRequest request) {
   return Submit(std::move(request)).get();
 }
 
-bool OptimizerService::AdmitBudget(size_t budget_bytes) {
+int OptimizerService::RetryAfterHintMs() {
+  // splitmix64 of the submission ordinal: deterministic under test, spread
+  // enough that a burst of rejected callers does not retry in lockstep.
+  const uint64_t x =
+      Mix64(metrics_.requests_submitted.load(std::memory_order_relaxed));
+  return 20 + static_cast<int>(x % 80);  // 20..99 ms.
+}
+
+bool OptimizerService::AdmitBudget(size_t budget_bytes,
+                                   double max_wait_seconds, bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
   if (config_.global_memory_cap_bytes == 0) return true;
   const size_t cap = config_.global_memory_cap_bytes;
   // An unlimited-budget request reserves the whole cap.
@@ -133,9 +203,19 @@ bool OptimizerService::AdmitBudget(size_t budget_bytes) {
   std::unique_lock<std::mutex> lock(admission_mu_);
   if (admitted_bytes_ + need > cap) {
     metrics_.admission_waits.fetch_add(1, std::memory_order_relaxed);
-    admission_cv_.wait(lock, [this, need, cap] {
+    const auto fits = [this, need, cap] {
       return admitted_bytes_ + need <= cap;
-    });
+    };
+    if (max_wait_seconds > 0) {
+      if (!admission_cv_.wait_for(
+              lock, std::chrono::duration<double>(max_wait_seconds), fits)) {
+        metrics_.admission_timeouts.fetch_add(1, std::memory_order_relaxed);
+        if (timed_out != nullptr) *timed_out = true;
+        return false;
+      }
+    } else {
+      admission_cv_.wait(lock, fits);
+    }
   }
   admitted_bytes_ += need;
   return true;
@@ -159,6 +239,48 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
 
   ServiceResult out;
   ServiceRequest& request = pending->request;
+  const bool governed = request.governed();
+
+  const auto count_status = [this](const OptStatus& status) {
+    switch (status.code) {
+      case OptStatusCode::kOk:
+        break;
+      case OptStatusCode::kDeadlineExceeded:
+        metrics_.status_deadline_exceeded.fetch_add(1,
+                                                    std::memory_order_relaxed);
+        break;
+      case OptStatusCode::kMemoryExceeded:
+        metrics_.status_memory_exceeded.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        break;
+      case OptStatusCode::kCancelled:
+        metrics_.status_cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case OptStatusCode::kInternal:
+        metrics_.status_internal.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  };
+  const auto finish = [&]() {
+    metrics_.optimize_latency.Record(request_watch.Seconds());
+    metrics_.inflight.fetch_sub(1, std::memory_order_relaxed);
+    metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+    pending->promise.set_value(std::move(out));
+  };
+
+  // A governed deadline starts at Submit(): time spent queued counts, so a
+  // request that aged out in the queue fails fast with a typed error
+  // instead of burning a worker on enumeration it can never finish.
+  if (request.budget.deadline_seconds > 0 &&
+      pending->queued.Seconds() >= request.budget.deadline_seconds) {
+    out.result.algorithm = request.spec.name;
+    out.result.status = OptStatus::Make(OptStatusCode::kDeadlineExceeded,
+                                        "deadline exceeded while queued");
+    count_status(out.result.status);
+    metrics_.requests_infeasible.fetch_add(1, std::memory_order_relaxed);
+    finish();
+    return;
+  }
 
   if (pending->from_sql) {
     const ParseResult parsed = ParseSelect(pending->sql, catalog_);
@@ -172,6 +294,19 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
       return;
     }
     request.query = std::get<ParsedQuery>(parsed).query;
+  }
+
+  // The per-request budget spans everything from here on: cache waits,
+  // admission control and every ladder rung share one deadline.
+  ResourceBudget::Limits limits = request.budget;
+  if (limits.deadline_seconds > 0) {
+    limits.deadline_seconds = std::max(
+        1e-3, limits.deadline_seconds - pending->queued.Seconds());
+  }
+  ResourceBudget budget(limits, request.cancel);
+  if (governed) {
+    budget.Arm();
+    request.options.budget = &budget;
   }
 
   // Per-request isolation starts here: the cost model (and, inside the
@@ -203,6 +338,7 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
     full_key += AlgorithmCacheTag(request.spec);
     full_key += "|opt=";
     full_key += OptionsCacheTag(request.options);
+    full_key += GovernanceCacheTag(request);
     full_key += "|epoch=";
     full_key += std::to_string(stats_epoch_.load(std::memory_order_acquire));
     outcome = cache_.LookupOrBegin(full_key, form, request.query, &ticket,
@@ -213,52 +349,181 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
     out.cache_hit = true;
     metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     trace_cache("hit");
-  } else {
-    if (outcome == PlanCache::Outcome::kMiss) {
-      metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
-      trace_cache("miss");
-    }
-    if (!AdmitBudget(request.options.memory_budget_bytes)) {
-      // This request's budget can never fit under the global cap: the same
-      // verdict the per-run budget machinery gives, raised before wasting
-      // any enumeration work.
-      cache_.Abandon(std::move(ticket));
-      if (outcome == PlanCache::Outcome::kMiss) trace_cache("abandon");
-      metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
-      out.rejected = true;
-      out.error = "memory budget exceeds service cap";
-      out.result.algorithm = request.spec.name;
-      metrics_.inflight.fetch_sub(1, std::memory_order_relaxed);
-      metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-      pending->promise.set_value(std::move(out));
-      return;
-    }
-
-    out.result = RunAlgorithm(request.spec, request.query, cost,
-                              request.options);
-    ReleaseBudget(request.options.memory_budget_bytes);
-
-    if (out.result.feasible) {
-      cache_.Fill(std::move(ticket), request.query, form, out.result);
-      if (outcome == PlanCache::Outcome::kMiss) trace_cache("fill");
-    } else {
-      cache_.Abandon(std::move(ticket));
-      if (outcome == PlanCache::Outcome::kMiss) trace_cache("abandon");
-      metrics_.requests_infeasible.fetch_add(1, std::memory_order_relaxed);
-    }
-    metrics_.plans_costed.fetch_add(out.result.counters.plans_costed,
-                                    std::memory_order_relaxed);
-    metrics_.jcrs_created.fetch_add(out.result.counters.jcrs_created,
-                                    std::memory_order_relaxed);
-    metrics_.bytes_charged.fetch_add(
-        static_cast<uint64_t>(out.result.peak_memory_mb * (1 << 20)),
-        std::memory_order_relaxed);
+    finish();
+    return;
   }
 
-  metrics_.optimize_latency.Record(request_watch.Seconds());
-  metrics_.inflight.fetch_sub(1, std::memory_order_relaxed);
-  metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-  pending->promise.set_value(std::move(out));
+  if (outcome == PlanCache::Outcome::kFailed) {
+    // A coalesced computation failed; its typed status was propagated into
+    // out.result.status by the cache.  Exactly one other observer has
+    // already taken over the retry, so this waiter reports the failure
+    // instead of stampeding into a duplicate recompute.
+    metrics_.cache_failures_propagated.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    trace_cache("fail-propagated");
+    out.result.algorithm = request.spec.name;
+    count_status(out.result.status);
+    metrics_.requests_infeasible.fetch_add(1, std::memory_order_relaxed);
+    finish();
+    return;
+  }
+
+  if (outcome == PlanCache::Outcome::kMiss) {
+    metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    trace_cache("miss");
+  }
+
+  // Admission control.  Governed requests wait at most their remaining
+  // deadline; ungoverned requests keep the legacy unbounded wait.
+  const size_t admit_bytes =
+      governed && request.budget.memory_budget_bytes > 0
+          ? request.budget.memory_budget_bytes
+          : request.options.memory_budget_bytes;
+  double admit_wait = 0;
+  if (governed && budget.has_deadline()) {
+    admit_wait = std::max(1e-3, budget.RemainingSeconds());
+  }
+  bool admit_timeout = false;
+  if (!AdmitBudget(admit_bytes, admit_wait, &admit_timeout)) {
+    const OptStatus st =
+        admit_timeout
+            ? OptStatus::Make(OptStatusCode::kDeadlineExceeded,
+                              "deadline exceeded waiting for admission")
+            : OptStatus::Make(OptStatusCode::kMemoryExceeded,
+                              "memory budget exceeds service cap");
+    cache_.Abandon(std::move(ticket), st);
+    if (outcome == PlanCache::Outcome::kMiss) trace_cache("abandon");
+    metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    out.rejected = true;
+    out.retry_after_ms = RetryAfterHintMs();
+    metrics_.shed_with_retry_hint.fetch_add(1, std::memory_order_relaxed);
+    out.error = st.message;
+    out.result.status = st;
+    count_status(st);
+    out.result.algorithm = request.spec.name;
+    finish();
+    return;
+  }
+
+  if (governed) {
+    FallbackConfig ladder;
+    ladder.start_rung = StartRungFor(request.spec);
+    ladder.max_rung =
+        request.fallback_enabled ? request.max_rung : ladder.start_rung;
+    ladder.idp = request.spec.idp;
+    ladder.sdp = request.spec.sdp;
+    ladder.use_idp2 = request.spec.kind == AlgorithmSpec::Kind::kIDP2;
+
+    FallbackReport report;
+    out.result = OptimizeWithFallback(request.query, cost, ladder,
+                                      request.options, &breakers_, &report);
+
+    metrics_.degrade_attempts.fetch_add(report.attempts.size(),
+                                        std::memory_order_relaxed);
+    for (const FallbackAttempt& a : report.attempts) {
+      if (a.skipped_by_breaker) {
+        metrics_.breaker_skips.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (out.result.retries > 0) {
+      metrics_.requests_degraded.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (out.result.feasible) {
+      if (out.result.rung == "dp") {
+        metrics_.rung_dp.fetch_add(1, std::memory_order_relaxed);
+      } else if (out.result.rung == "idp") {
+        metrics_.rung_idp.fetch_add(1, std::memory_order_relaxed);
+      } else if (out.result.rung == "sdp") {
+        metrics_.rung_sdp.fetch_add(1, std::memory_order_relaxed);
+      } else if (out.result.rung == "greedy") {
+        metrics_.rung_greedy.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    if (Tracer* tracer = request.options.tracer) {
+      int ordinal = 0;
+      for (const FallbackAttempt& a : report.attempts) {
+        TraceDegradeEvent e;
+        e.kind = a.skipped_by_breaker ? "skip" : "attempt";
+        e.rung = FallbackRungName(a.rung);
+        e.algorithm = a.algorithm;
+        e.status = a.status.ToString();
+        e.attempt = ordinal++;
+        e.elapsed_seconds = a.elapsed_seconds;
+        e.plans_costed = a.plans_costed;
+        e.peak_memory_mb = a.peak_memory_mb;
+        tracer->OnDegrade(e);
+      }
+      TraceDegradeEvent done;
+      done.kind = "resolved";
+      done.rung = out.result.rung;
+      done.algorithm = out.result.algorithm;
+      done.status = out.result.status.ToString();
+      done.attempt = static_cast<int>(report.attempts.size());
+      done.retries = out.result.retries;
+      done.elapsed_seconds = out.result.elapsed_seconds;
+      done.plans_costed = out.result.counters.plans_costed;
+      done.peak_memory_mb = out.result.peak_memory_mb;
+      tracer->OnDegrade(done);
+    }
+  } else {
+    // Legacy single-algorithm path, hardened: a thrown exception becomes a
+    // typed kInternal result instead of unwinding into the worker pool.
+    try {
+      out.result =
+          RunAlgorithm(request.spec, request.query, cost, request.options);
+    } catch (const std::exception& e) {
+      out.result = OptimizeResult();
+      out.result.algorithm = request.spec.name;
+      out.result.status = OptStatus::Make(
+          OptStatusCode::kInternal, std::string("exception: ") + e.what());
+    } catch (...) {
+      out.result = OptimizeResult();
+      out.result.algorithm = request.spec.name;
+      out.result.status =
+          OptStatus::Make(OptStatusCode::kInternal, "unknown exception");
+    }
+  }
+  ReleaseBudget(admit_bytes);
+  request.options.budget = nullptr;
+
+  if (out.result.feasible) {
+    // A fill that throws (allocation failure, injected "service.fill"
+    // fault) must not strand coalesced waiters: the ticket is abandoned
+    // with a typed status so exactly one of them retries.
+    bool filled = false;
+    try {
+      if (FaultInjector::Global().Hit("service.fill")) {
+        throw std::runtime_error("injected cache-fill failure");
+      }
+      cache_.Fill(ticket, request.query, form, out.result);
+      filled = true;
+    } catch (const std::exception& e) {
+      cache_.Abandon(std::move(ticket),
+                     OptStatus::Make(OptStatusCode::kInternal,
+                                     std::string("cache fill failed: ") +
+                                         e.what()));
+      if (outcome == PlanCache::Outcome::kMiss) trace_cache("abandon");
+    }
+    if (filled) {
+      ticket.slot.reset();
+      if (outcome == PlanCache::Outcome::kMiss) trace_cache("fill");
+    }
+  } else {
+    cache_.Abandon(std::move(ticket), out.result.status);
+    if (outcome == PlanCache::Outcome::kMiss) trace_cache("abandon");
+    metrics_.requests_infeasible.fetch_add(1, std::memory_order_relaxed);
+    count_status(out.result.status);
+  }
+  metrics_.plans_costed.fetch_add(out.result.counters.plans_costed,
+                                  std::memory_order_relaxed);
+  metrics_.jcrs_created.fetch_add(out.result.counters.jcrs_created,
+                                  std::memory_order_relaxed);
+  metrics_.bytes_charged.fetch_add(
+      static_cast<uint64_t>(out.result.peak_memory_mb * (1 << 20)),
+      std::memory_order_relaxed);
+
+  finish();
 }
 
 void OptimizerService::BumpStatsEpoch() {

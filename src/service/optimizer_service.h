@@ -11,8 +11,10 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "common/budget.h"
 #include "common/thread_pool.h"
 #include "harness/experiment.h"
+#include "optimizer/fallback.h"
 #include "optimizer/optimizer_types.h"
 #include "query/join_graph.h"
 #include "service/plan_cache.h"
@@ -51,6 +53,12 @@ struct ServiceConfig {
   // workers emit full search traces.  Must be thread-safe (TraceCollector
   // is) and outlive the service.  Does not influence cache keys or plans.
   Tracer* tracer = nullptr;
+
+  // Per-rung circuit breaker tuning (see RungBreaker): `threshold`
+  // consecutive failures open a rung's breaker, which then skips
+  // `cooldown` governed requests before half-opening a probe.
+  int breaker_threshold = 5;
+  int breaker_cooldown = 16;
 };
 
 // One optimization request: a bound query plus the algorithm and resource
@@ -60,12 +68,36 @@ struct ServiceRequest {
   Query query;
   AlgorithmSpec spec = AlgorithmSpec::SDP();
   OptimizerOptions options;
+
+  // --- resource governance (all optional) ---
+  // A request is *governed* when any budget limit is set, fallback is
+  // enabled, or a cancel token is attached.  Governed requests run under a
+  // ResourceBudget spanning queueing + optimization and (when
+  // fallback_enabled) the DP->IDP->SDP->greedy degradation ladder;
+  // ungoverned requests take the legacy single-algorithm path untouched.
+  ResourceBudget::Limits budget;
+  // Escalate one rung at a time on budget trips instead of failing.
+  bool fallback_enabled = false;
+  // Deepest rung the ladder may escalate to.
+  FallbackRung max_rung = FallbackRung::kGreedy;
+  // Caller-owned cooperative cancellation; must outlive the request.
+  CancelToken* cancel = nullptr;
+
+  bool governed() const {
+    return fallback_enabled || cancel != nullptr ||
+           budget.deadline_seconds > 0 || budget.memory_budget_bytes > 0 ||
+           budget.max_plans_costed > 0 || budget.cancel_at_checkpoint > 0;
+  }
 };
 
 struct ServiceResult {
-  OptimizeResult result;
+  OptimizeResult result;  // result.status carries the typed outcome.
   bool cache_hit = false;
   bool rejected = false;  // Admission control turned the request away.
+  // Load-shed rejections carry a deterministic jittered backoff hint so
+  // synchronized retries from rejected callers do not re-stampede the
+  // queue (0 = no hint).
+  int retry_after_ms = 0;
   std::string error;      // Non-empty on parse/validation failure.
 
   bool ok() const { return error.empty() && !rejected; }
@@ -101,6 +133,10 @@ class OptimizerService {
   std::future<ServiceResult> SubmitSql(std::string sql,
                                        AlgorithmSpec spec = AlgorithmSpec::SDP(),
                                        OptimizerOptions options = {});
+  // SQL form carrying the full request (governance fields included); the
+  // request's `query` member is ignored and replaced by the parsed SQL.
+  std::future<ServiceResult> SubmitSql(std::string sql,
+                                       ServiceRequest request);
 
   // Convenience: Submit + wait.  Must not be called from a worker task.
   ServiceResult OptimizeSync(ServiceRequest request);
@@ -122,10 +158,14 @@ class OptimizerService {
 
   std::future<ServiceResult> Enqueue(std::shared_ptr<PendingRequest> pending);
   void RunOne(std::shared_ptr<PendingRequest> pending);
-  // Blocks until the request's budget fits under the global cap.  Returns
-  // false when it can never fit (reject).
-  bool AdmitBudget(size_t budget_bytes);
+  // Blocks until the request's budget fits under the global cap, at most
+  // `max_wait_seconds` (<= 0 = forever).  Returns false when the request
+  // can never fit (reject) or the wait timed out (*timed_out is set).
+  bool AdmitBudget(size_t budget_bytes, double max_wait_seconds,
+                   bool* timed_out);
   void ReleaseBudget(size_t budget_bytes);
+  // Deterministic jittered backoff hint for a load-shed rejection.
+  int RetryAfterHintMs();
 
   const Catalog& catalog_;
   const StatsCatalog& stats_;
@@ -134,6 +174,7 @@ class OptimizerService {
 
   ServiceMetrics metrics_;
   PlanCache cache_;
+  RungBreakerSet breakers_;
 
   std::mutex admission_mu_;
   std::condition_variable admission_cv_;

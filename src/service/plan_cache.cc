@@ -22,6 +22,11 @@ struct CacheSlot {
   std::condition_variable cv;
   std::atomic<int> state{kComputing};
 
+  // Why the last compute failed; written under `mu` before state is
+  // released to kFailed, read under `mu` by observers (a retaken slot can
+  // fail again with a different status, so this is not write-once).
+  OptStatus fail_status;
+
   // --- payload (valid once state == kReady) ---
   std::shared_ptr<Arena> arena;
   const PlanNode* plan = nullptr;  // In the inserter's position space.
@@ -236,6 +241,9 @@ PlanCache::Outcome PlanCache::LookupOrBegin(const std::string& full_key,
     }
     if (state == CacheSlot::kFailed) {
       // Take over the failed computation so the key can still be filled.
+      // Exactly one observer wins this CAS and retries; the rest inherit
+      // the owner's typed error instead of stampeding into a recompute of
+      // work that just failed.
       int expected = CacheSlot::kFailed;
       if (slot->state.compare_exchange_strong(expected, CacheSlot::kComputing,
                                               std::memory_order_acq_rel)) {
@@ -243,7 +251,17 @@ PlanCache::Outcome PlanCache::LookupOrBegin(const std::string& full_key,
         ticket->slot = std::move(slot);
         return Outcome::kMiss;
       }
-      continue;
+      fail_propagated_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        result->status = slot->fail_status;
+      }
+      if (result->status.ok()) {
+        result->status = OptStatus::Make(OptStatusCode::kInternal,
+                                         "coalesced computation failed");
+      }
+      result->feasible = false;
+      return Outcome::kFailed;
     }
     // In flight elsewhere: coalesce instead of duplicating the work.
     waited = true;
@@ -301,14 +319,24 @@ void PlanCache::Fill(Ticket ticket, const Query& query,
   slot.cv.notify_all();
 }
 
-void PlanCache::Abandon(Ticket ticket) {
+void PlanCache::Abandon(Ticket ticket, OptStatus status) {
   if (!ticket.valid()) return;
   failures_.fetch_add(1, std::memory_order_relaxed);
+  if (status.ok()) {
+    status = OptStatus::Make(OptStatusCode::kInternal,
+                             "computation abandoned");
+  }
   {
     std::lock_guard<std::mutex> lock(ticket.slot->mu);
+    ticket.slot->fail_status = std::move(status);
     ticket.slot->state.store(CacheSlot::kFailed, std::memory_order_release);
   }
   ticket.slot->cv.notify_all();
+}
+
+void PlanCache::Abandon(Ticket ticket) {
+  Abandon(std::move(ticket), OptStatus::Make(OptStatusCode::kInternal,
+                                             "computation abandoned"));
 }
 
 void PlanCache::Clear() {
@@ -327,6 +355,7 @@ PlanCacheStats PlanCache::Stats() const {
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.failures = failures_.load(std::memory_order_relaxed);
+  stats.fail_propagated = fail_propagated_.load(std::memory_order_relaxed);
   stats.remap_failures = remap_failures_.load(std::memory_order_relaxed);
   for (const auto& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe->mu);

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "optimizer/optimizer_types.h"
 #include "query/join_graph.h"
 #include "service/plan_fingerprint.h"
@@ -28,6 +29,7 @@ struct PlanCacheStats {
   uint64_t coalesced = 0;  // Subset of hits: waited on an in-flight compute.
   uint64_t misses = 0;     // Caller was told to compute (owns a ticket).
   uint64_t failures = 0;   // Computations abandoned (infeasible/error).
+  uint64_t fail_propagated = 0;  // Waiters given the owner's typed error.
   uint64_t remap_failures = 0;  // Key matched but plan translation failed.
   uint64_t entries = 0;    // Completed entries currently resident.
 };
@@ -68,6 +70,10 @@ class PlanCache {
   enum class Outcome {
     kHit,       // *result holds a cloned, relabeled plan.
     kMiss,      // Caller computes, then calls Fill() or Abandon().
+    kFailed,    // The in-flight owner failed; result->status carries its
+                // typed error.  Exactly one observer of a failed slot gets
+                // kMiss (the retry); everyone else gets kFailed so a
+                // poisoned fill cannot fan a thundering herd of recomputes.
     kDisabled,  // Cache off; caller computes, no ticket.
   };
 
@@ -85,8 +91,11 @@ class PlanCache {
   void Fill(Ticket ticket, const Query& query, const CanonicalQueryForm& form,
             const OptimizeResult& result);
 
-  // Releases the ticket without publishing (infeasible run, error).
-  // Blocked waiters are told to compute for themselves.
+  // Releases the ticket without publishing, recording why the compute
+  // failed.  Exactly one blocked waiter (or later probe) takes over the
+  // slot and retries; all others observe kFailed with `status`.
+  void Abandon(Ticket ticket, OptStatus status);
+  // Legacy form: abandons with a generic internal error.
   void Abandon(Ticket ticket);
 
   // Drops every completed entry (in-flight computations are unaffected).
@@ -108,6 +117,7 @@ class PlanCache {
   mutable std::atomic<uint64_t> coalesced_{0};
   mutable std::atomic<uint64_t> misses_{0};
   mutable std::atomic<uint64_t> failures_{0};
+  mutable std::atomic<uint64_t> fail_propagated_{0};
   mutable std::atomic<uint64_t> remap_failures_{0};
 };
 

@@ -89,7 +89,7 @@ void LatencyHistogram::Reset() {
 }
 
 std::string ServiceMetrics::Dump() const {
-  char buf[1024];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "service.requests.submitted %llu\n"
@@ -103,6 +103,20 @@ std::string ServiceMetrics::Dump() const {
       "service.effort.jcrs_created %llu\n"
       "service.memory.bytes_charged %llu\n"
       "service.admission.waits %llu\n"
+      "service.admission.timeouts %llu\n"
+      "service.degrade.requests %llu\n"
+      "service.degrade.attempts %llu\n"
+      "service.degrade.breaker_skips %llu\n"
+      "service.degrade.rung_dp %llu\n"
+      "service.degrade.rung_idp %llu\n"
+      "service.degrade.rung_sdp %llu\n"
+      "service.degrade.rung_greedy %llu\n"
+      "service.status.deadline_exceeded %llu\n"
+      "service.status.memory_exceeded %llu\n"
+      "service.status.cancelled %llu\n"
+      "service.status.internal %llu\n"
+      "service.cache.failures_propagated %llu\n"
+      "service.shed.with_retry_hint %llu\n"
       "service.queue.depth %lld\n"
       "service.inflight %lld\n"
       "service.optimize_latency.count %llu\n"
@@ -120,6 +134,20 @@ std::string ServiceMetrics::Dump() const {
       static_cast<unsigned long long>(jcrs_created.load()),
       static_cast<unsigned long long>(bytes_charged.load()),
       static_cast<unsigned long long>(admission_waits.load()),
+      static_cast<unsigned long long>(admission_timeouts.load()),
+      static_cast<unsigned long long>(requests_degraded.load()),
+      static_cast<unsigned long long>(degrade_attempts.load()),
+      static_cast<unsigned long long>(breaker_skips.load()),
+      static_cast<unsigned long long>(rung_dp.load()),
+      static_cast<unsigned long long>(rung_idp.load()),
+      static_cast<unsigned long long>(rung_sdp.load()),
+      static_cast<unsigned long long>(rung_greedy.load()),
+      static_cast<unsigned long long>(status_deadline_exceeded.load()),
+      static_cast<unsigned long long>(status_memory_exceeded.load()),
+      static_cast<unsigned long long>(status_cancelled.load()),
+      static_cast<unsigned long long>(status_internal.load()),
+      static_cast<unsigned long long>(cache_failures_propagated.load()),
+      static_cast<unsigned long long>(shed_with_retry_hint.load()),
       static_cast<long long>(queue_depth.load()),
       static_cast<long long>(inflight.load()),
       static_cast<unsigned long long>(optimize_latency.count()),
@@ -173,6 +201,42 @@ std::string ServiceMetrics::PrometheusText() const {
   counter("sdp_service_admission_waits_total",
           "Requests that waited for the global memory cap.",
           admission_waits.load());
+  counter("sdp_service_admission_timeouts_total",
+          "Requests whose admission wait exceeded their deadline.",
+          admission_timeouts.load());
+  counter("sdp_service_requests_degraded_total",
+          "Governed requests that escalated past their starting rung.",
+          requests_degraded.load());
+  counter("sdp_service_degrade_attempts_total",
+          "Degradation-ladder rung attempts (including breaker skips).",
+          degrade_attempts.load());
+  counter("sdp_service_breaker_skips_total",
+          "Rungs skipped because their circuit breaker was open.",
+          breaker_skips.load());
+  counter("sdp_service_rung_dp_total", "Requests resolved on the DP rung.",
+          rung_dp.load());
+  counter("sdp_service_rung_idp_total", "Requests resolved on the IDP rung.",
+          rung_idp.load());
+  counter("sdp_service_rung_sdp_total", "Requests resolved on the SDP rung.",
+          rung_sdp.load());
+  counter("sdp_service_rung_greedy_total",
+          "Requests resolved on the greedy rung.", rung_greedy.load());
+  counter("sdp_service_status_deadline_exceeded_total",
+          "Requests that failed with DEADLINE_EXCEEDED.",
+          status_deadline_exceeded.load());
+  counter("sdp_service_status_memory_exceeded_total",
+          "Requests that failed with MEMORY_EXCEEDED.",
+          status_memory_exceeded.load());
+  counter("sdp_service_status_cancelled_total",
+          "Requests that failed with CANCELLED.", status_cancelled.load());
+  counter("sdp_service_status_internal_total",
+          "Requests that failed with INTERNAL.", status_internal.load());
+  counter("sdp_service_cache_failures_propagated_total",
+          "Coalesced waiters handed the owner's typed failure.",
+          cache_failures_propagated.load());
+  counter("sdp_service_shed_with_retry_hint_total",
+          "Load-shed rejections that carried a retry-after hint.",
+          shed_with_retry_hint.load());
   gauge("sdp_service_queue_depth", "Requests queued, not yet started.",
         queue_depth.load());
   gauge("sdp_service_inflight", "Requests currently being optimized.",
@@ -215,6 +279,20 @@ void ServiceMetrics::Reset() {
   jcrs_created.store(0);
   bytes_charged.store(0);
   admission_waits.store(0);
+  admission_timeouts.store(0);
+  requests_degraded.store(0);
+  degrade_attempts.store(0);
+  breaker_skips.store(0);
+  rung_dp.store(0);
+  rung_idp.store(0);
+  rung_sdp.store(0);
+  rung_greedy.store(0);
+  status_deadline_exceeded.store(0);
+  status_memory_exceeded.store(0);
+  status_cancelled.store(0);
+  status_internal.store(0);
+  cache_failures_propagated.store(0);
+  shed_with_retry_hint.store(0);
   queue_depth.store(0);
   inflight.store(0);
   optimize_latency.Reset();

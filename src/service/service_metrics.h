@@ -71,6 +71,29 @@ class ServiceMetrics {
   std::atomic<uint64_t> bytes_charged{0};
   // Requests that had to wait for admission (global memory cap).
   std::atomic<uint64_t> admission_waits{0};
+  // Requests whose admission wait exceeded their deadline.
+  std::atomic<uint64_t> admission_timeouts{0};
+  // --- resource governance (degradation ladder) ---
+  // Governed requests that escalated past their starting rung.
+  std::atomic<uint64_t> requests_degraded{0};
+  // Total ladder attempts, including breaker skips.
+  std::atomic<uint64_t> degrade_attempts{0};
+  // Rungs skipped because their circuit breaker was open.
+  std::atomic<uint64_t> breaker_skips{0};
+  // Winning rung of each governed request that produced a plan.
+  std::atomic<uint64_t> rung_dp{0};
+  std::atomic<uint64_t> rung_idp{0};
+  std::atomic<uint64_t> rung_sdp{0};
+  std::atomic<uint64_t> rung_greedy{0};
+  // Terminal typed failures handed back to callers.
+  std::atomic<uint64_t> status_deadline_exceeded{0};
+  std::atomic<uint64_t> status_memory_exceeded{0};
+  std::atomic<uint64_t> status_cancelled{0};
+  std::atomic<uint64_t> status_internal{0};
+  // Coalesced waiters that received the owner's typed failure.
+  std::atomic<uint64_t> cache_failures_propagated{0};
+  // Load-shed rejections that carried a retry-after hint.
+  std::atomic<uint64_t> shed_with_retry_hint{0};
   // Instantaneous gauges.
   std::atomic<int64_t> queue_depth{0};
   std::atomic<int64_t> inflight{0};

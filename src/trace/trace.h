@@ -105,8 +105,24 @@ struct TracePruneLevel {
 
 // Plan-cache traffic observed by the optimizer service.
 struct TraceCacheEvent {
-  const char* kind = "miss";  // "hit" | "miss" | "fill" | "abandon".
-  std::string key;            // Full canonical cache key.
+  // "hit" | "miss" | "fill" | "abandon" | "fail-propagated".
+  const char* kind = "miss";
+  std::string key;  // Full canonical cache key.
+};
+
+// Degradation-ladder activity: one event per rung attempt (run or skipped
+// by the circuit breaker), plus a final "resolved" event when the ladder
+// settles on a rung or gives up.
+struct TraceDegradeEvent {
+  const char* kind = "attempt";  // "attempt" | "skip" | "resolved".
+  std::string rung;              // "dp" | "idp" | "sdp" | "greedy".
+  std::string algorithm;         // e.g. "IDP(7)"; empty on skip.
+  std::string status;            // OptStatus rendering, e.g. "OK".
+  int attempt = 0;               // Ladder ordinal of this rung.
+  int retries = 0;               // "resolved": rungs consumed before winner.
+  double elapsed_seconds = 0;
+  uint64_t plans_costed = 0;
+  double peak_memory_mb = 0;
 };
 
 // Structured trace sink.  The default implementation ignores everything, so
@@ -123,6 +139,7 @@ class Tracer {
   virtual void OnPartition(const TracePartition&) {}
   virtual void OnPruneLevel(const TracePruneLevel&) {}
   virtual void OnCacheEvent(const TraceCacheEvent&) {}
+  virtual void OnDegrade(const TraceDegradeEvent&) {}
 };
 
 }  // namespace sdp

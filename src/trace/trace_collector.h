@@ -21,7 +21,8 @@ class TraceCollector : public Tracer {
  public:
   using Payload =
       std::variant<TraceRunBegin, TraceRunEnd, TraceLevelBegin, TraceLevelEnd,
-                   TracePartition, TracePruneLevel, TraceCacheEvent>;
+                   TracePartition, TracePruneLevel, TraceCacheEvent,
+                   TraceDegradeEvent>;
 
   struct Recorded {
     double ts_seconds = 0;  // Offset from collector creation.
@@ -38,6 +39,7 @@ class TraceCollector : public Tracer {
   void OnPartition(const TracePartition& e) override { Record(e); }
   void OnPruneLevel(const TracePruneLevel& e) override { Record(e); }
   void OnCacheEvent(const TraceCacheEvent& e) override { Record(e); }
+  void OnDegrade(const TraceDegradeEvent& e) override { Record(e); }
 
   // The recorded stream.  Only valid once all traced work has finished.
   const std::vector<Recorded>& events() const { return events_; }

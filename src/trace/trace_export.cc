@@ -183,6 +183,18 @@ struct EventVisitor {
     w->Str("kind", e.kind);
     w->Str("key", e.key);
   }
+  void operator()(const TraceDegradeEvent& e) const {
+    w->Str("event", "degrade");
+    w->Str("kind", e.kind);
+    w->Str("rung", e.rung);
+    w->Str("algorithm", e.algorithm);
+    w->Str("status", e.status);
+    w->Int("attempt", e.attempt);
+    w->Int("retries", e.retries);
+    if (include_timing) w->Num("elapsed_seconds", e.elapsed_seconds);
+    w->U64("plans_costed", e.plans_costed);
+    w->Num("peak_memory_mb", e.peak_memory_mb);
+  }
 };
 
 const char* SpanName(const TraceLevelBegin& e, std::string* storage) {
@@ -265,6 +277,9 @@ std::string ExportChromeTrace(const TraceCollector& collector) {
     } else if (const auto* e = std::get_if<TraceCacheEvent>(&r.payload)) {
       emit((std::string("cache ") + e->kind).c_str(), "i", r.ts_seconds,
            r.thread, &r);
+    } else if (const auto* e = std::get_if<TraceDegradeEvent>(&r.payload)) {
+      emit((std::string("degrade ") + e->kind + " " + e->rung).c_str(), "i",
+           r.ts_seconds, r.thread, &r);
     }
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";
@@ -332,6 +347,17 @@ std::string ExportReport(const TraceCollector& collector) {
       out += buf;
     } else if (const auto* e = std::get_if<TraceCacheEvent>(&r.payload)) {
       out += std::string("cache ") + e->kind + "\n";
+    } else if (const auto* e = std::get_if<TraceDegradeEvent>(&r.payload)) {
+      std::snprintf(buf, sizeof(buf),
+                    "degrade %s: rung=%s%s%s status=%s attempt=%d"
+                    " retries=%d plans=%llu peak=%.2fMB\n",
+                    e->kind, e->rung.c_str(),
+                    e->algorithm.empty() ? "" : " algo=",
+                    e->algorithm.c_str(), e->status.c_str(), e->attempt,
+                    e->retries,
+                    static_cast<unsigned long long>(e->plans_costed),
+                    e->peak_memory_mb);
+      out += buf;
     }
   }
   return out;

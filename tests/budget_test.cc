@@ -1,0 +1,161 @@
+#include "common/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "common/arena.h"
+
+namespace sdp {
+namespace {
+
+TEST(OptStatusTest, OkAndRendering) {
+  OptStatus ok = OptStatus::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  OptStatus s = OptStatus::Make(OptStatusCode::kDeadlineExceeded, "late");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "DEADLINE_EXCEEDED: late");
+  EXPECT_STREQ(OptStatusCodeName(OptStatusCode::kMemoryExceeded),
+               "MEMORY_EXCEEDED");
+  EXPECT_STREQ(OptStatusCodeName(OptStatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(OptStatusCodeName(OptStatusCode::kInternal), "INTERNAL");
+}
+
+TEST(ResourceBudgetTest, UnlimitedBudgetNeverTrips) {
+  ResourceBudget budget(ResourceBudget::Limits{});
+  budget.Arm();
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_EQ(budget.CheckPoint(), OptStatusCode::kOk);
+  }
+  EXPECT_EQ(budget.checkpoints(), 100000u);
+}
+
+TEST(ResourceBudgetTest, DeadlineTripsAndLatches) {
+  ResourceBudget::Limits limits;
+  limits.deadline_seconds = 0.02;
+  limits.check_interval = 1;  // Consult the clock at every checkpoint.
+  ResourceBudget budget(limits);
+  budget.Arm();
+  EXPECT_EQ(budget.CheckPoint(), OptStatusCode::kOk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_EQ(budget.CheckPoint(), OptStatusCode::kDeadlineExceeded);
+  // Latched: stays tripped without further slow checks.
+  EXPECT_EQ(budget.CheckPoint(), OptStatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(budget.status().ok());
+  EXPECT_LT(budget.RemainingSeconds(), 0);
+}
+
+TEST(ResourceBudgetTest, PlansCostedCapTrips) {
+  ResourceBudget::Limits limits;
+  limits.max_plans_costed = 100;
+  ResourceBudget budget(limits);
+  budget.Arm();
+  budget.SetPlansCosted(100);
+  EXPECT_EQ(budget.CheckPoint(), OptStatusCode::kOk);  // Cap is inclusive.
+  budget.SetPlansCosted(101);
+  EXPECT_EQ(budget.CheckPoint(), OptStatusCode::kMemoryExceeded);
+}
+
+TEST(ResourceBudgetTest, MemoryGaugeTrips) {
+  ResourceBudget::Limits limits;
+  limits.memory_budget_bytes = 1 << 10;
+  ResourceBudget budget(limits);
+  budget.Arm();
+  MemoryGauge gauge;
+  budget.AttachGauge(&gauge);
+  gauge.Charge(512);
+  EXPECT_EQ(budget.CheckPoint(), OptStatusCode::kOk);
+  gauge.Charge(1024);
+  EXPECT_EQ(budget.CheckPoint(), OptStatusCode::kMemoryExceeded);
+}
+
+TEST(ResourceBudgetTest, CancelTokenObservedAtSlowCheck) {
+  CancelToken token;
+  ResourceBudget::Limits limits;
+  limits.check_interval = 4;
+  ResourceBudget budget(limits, &token);
+  budget.Arm();
+  EXPECT_EQ(budget.CheckPoint(), OptStatusCode::kOk);
+  token.Cancel();
+  // The token is only consulted every check_interval checkpoints, so a
+  // trip arrives within one interval, not necessarily immediately.
+  OptStatusCode code = OptStatusCode::kOk;
+  for (int i = 0; i < 8 && code == OptStatusCode::kOk; ++i) {
+    code = budget.CheckPoint();
+  }
+  EXPECT_EQ(code, OptStatusCode::kCancelled);
+}
+
+TEST(ResourceBudgetTest, CancelAtCheckpointIsExact) {
+  ResourceBudget::Limits limits;
+  limits.cancel_at_checkpoint = 37;
+  ResourceBudget budget(limits);
+  budget.Arm();
+  for (int i = 1; i <= 36; ++i) {
+    ASSERT_EQ(budget.CheckPoint(), OptStatusCode::kOk) << "checkpoint " << i;
+  }
+  EXPECT_EQ(budget.CheckPoint(), OptStatusCode::kCancelled);
+}
+
+TEST(ResourceBudgetTest, TripFromOutsideLatchesAndIgnoresOk) {
+  ResourceBudget budget(ResourceBudget::Limits{});
+  budget.Arm();
+  budget.Trip(OptStatusCode::kOk, "ignored");
+  EXPECT_EQ(budget.CheckPoint(), OptStatusCode::kOk);
+  budget.Trip(OptStatusCode::kInternal, "boom");
+  EXPECT_EQ(budget.CheckPoint(), OptStatusCode::kInternal);
+  // First trip wins.
+  budget.Trip(OptStatusCode::kCancelled, "later");
+  EXPECT_EQ(budget.code(), OptStatusCode::kInternal);
+  EXPECT_EQ(budget.status().message, "boom");
+}
+
+TEST(ResourceBudgetTest, ResetForRetryClearsMemoryTripOnly) {
+  ResourceBudget budget(ResourceBudget::Limits{});
+  budget.Arm();
+
+  budget.Trip(OptStatusCode::kMemoryExceeded, "memo too big");
+  EXPECT_TRUE(budget.ResetForRetry());
+  EXPECT_EQ(budget.code(), OptStatusCode::kOk);
+
+  // An internal defect also clears: the ladder retries it on a cheaper
+  // rung (the defect may be rung-specific).
+  budget.Trip(OptStatusCode::kInternal, "bad plan");
+  EXPECT_TRUE(budget.ResetForRetry());
+
+  // Cancellation outlasts any rung.
+  budget.Trip(OptStatusCode::kCancelled, "user gave up");
+  EXPECT_FALSE(budget.ResetForRetry());
+  EXPECT_EQ(budget.code(), OptStatusCode::kCancelled);
+}
+
+TEST(ResourceBudgetTest, ResetForRetryReChecksDeadline) {
+  ResourceBudget::Limits limits;
+  limits.deadline_seconds = 0.01;
+  ResourceBudget budget(limits);
+  budget.Arm();
+  budget.Trip(OptStatusCode::kMemoryExceeded, "memo too big");
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  // No time left: the retry is refused and the status re-latches as a
+  // deadline trip, not the stale memory trip.
+  EXPECT_FALSE(budget.ResetForRetry());
+  EXPECT_EQ(budget.code(), OptStatusCode::kDeadlineExceeded);
+}
+
+TEST(ResourceBudgetTest, ElapsedAndRemaining) {
+  ResourceBudget::Limits limits;
+  limits.deadline_seconds = 60;
+  ResourceBudget budget(limits);
+  EXPECT_FALSE(budget.armed());
+  budget.Arm();
+  EXPECT_TRUE(budget.armed());
+  EXPECT_GE(budget.ElapsedSeconds(), 0);
+  EXPECT_GT(budget.RemainingSeconds(), 59);
+  EXPECT_TRUE(budget.has_deadline());
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,258 @@
+// Chaos suite: deterministic fault injection and cancellation sweeps.
+//
+// These tests drive the resource-governance stack through the failure
+// paths that never fire on a healthy run: injected allocation failures,
+// NaN costs, stalled workers, clock jumps, and cancellation at every
+// checkpoint.  The invariant under all of them is the same -- every
+// request ends in either a valid plan or a typed OptStatus, never a
+// crash, hang, or silently wrong answer.
+//
+// SDP_CHAOS_SEEDS (env) scales the seed sweep; the CI chaos job raises it
+// well above the local default.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/budget.h"
+#include "common/fault_injection.h"
+#include "cost/cost_model.h"
+#include "optimizer/fallback.h"
+#include "plan/plan_node.h"
+#include "query/topology.h"
+#include "service/optimizer_service.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+int ChaosSeeds(int default_seeds) {
+  const char* env = std::getenv("SDP_CHAOS_SEEDS");
+  if (env == nullptr) return default_seeds;
+  const int n = std::atoi(env);
+  return n > 0 ? n : default_seeds;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  ChaosTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  Query MakeQuery(Topology t, int n, uint64_t seed) {
+    WorkloadSpec spec;
+    spec.topology = t;
+    spec.num_relations = n;
+    spec.num_instances = 1;
+    spec.seed = seed;
+    return GenerateWorkload(catalog_, spec).front();
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+// Outcome fingerprint for determinism checks.
+struct RunOutcome {
+  bool feasible = false;
+  OptStatusCode code = OptStatusCode::kOk;
+  std::string rung;
+  double cost = 0;
+  uint64_t plans_costed = 0;
+
+  bool operator==(const RunOutcome& o) const {
+    return feasible == o.feasible && code == o.code && rung == o.rung &&
+           cost == o.cost && plans_costed == o.plans_costed;
+  }
+};
+
+// Satellite: cancellation determinism.  Cancel a seeded query at every
+// checkpoint ordinal (log-spaced sweep past the total) and require, at
+// each N: a valid plan or a typed kCancelled -- and bit-identical
+// outcomes when the same N runs twice.
+TEST_F(ChaosTest, CancellationSweepIsDeterministicAndTyped) {
+  const Query q = MakeQuery(Topology::kStarChain, 9, 17);
+  CostModel cost(catalog_, stats_, q.graph);
+
+  FallbackConfig config;
+  config.start_rung = FallbackRung::kSDP;
+  config.max_rung = FallbackRung::kGreedy;
+
+  auto run = [&](uint64_t cancel_at) {
+    ResourceBudget::Limits limits;
+    limits.cancel_at_checkpoint = cancel_at;
+    limits.check_interval = 1;
+    ResourceBudget budget(limits);
+    OptimizerOptions options;
+    options.budget = &budget;
+    const OptimizeResult res =
+        OptimizeWithFallback(q, cost, config, options);
+    if (res.feasible) {
+      EXPECT_TRUE(res.status.ok()) << "N=" << cancel_at;
+      EXPECT_EQ(ValidatePlanTree(res.plan), "") << "N=" << cancel_at;
+    } else {
+      EXPECT_EQ(res.status.code, OptStatusCode::kCancelled)
+          << "N=" << cancel_at << ": " << res.status.ToString();
+    }
+    RunOutcome out;
+    out.feasible = res.feasible;
+    out.code = res.status.code;
+    out.rung = res.rung;
+    out.cost = res.feasible ? res.cost : 0;
+    out.plans_costed = res.counters.plans_costed;
+    return out;
+  };
+
+  // Total checkpoints of an uncancelled governed run bounds the sweep.
+  ResourceBudget probe{ResourceBudget::Limits{}};
+  OptimizerOptions options;
+  options.budget = &probe;
+  const OptimizeResult full = OptimizeWithFallback(q, cost, config, options);
+  ASSERT_TRUE(full.feasible);
+  const uint64_t total = probe.checkpoints();
+  ASSERT_GT(total, 100u);
+
+  bool saw_cancelled = false;
+  for (uint64_t n = 1; n <= total + 1; n = n + 1 + n / 2) {
+    const RunOutcome first = run(n);
+    const RunOutcome second = run(n);
+    EXPECT_TRUE(first == second) << "nondeterministic outcome at N=" << n;
+    saw_cancelled |= !first.feasible;
+  }
+  // Both regimes: early cancels fail typed; a cancel point past the last
+  // checkpoint leaves the run unharmed.
+  EXPECT_TRUE(saw_cancelled);
+  EXPECT_TRUE(run(total + 1).feasible);
+}
+
+// A forward clock jump (injected at the budget's slow check) trips the
+// deadline early instead of being absorbed silently.
+TEST_F(ChaosTest, ClockJumpTripsDeadline) {
+  const Query q = MakeQuery(Topology::kStarChain, 10, 21);
+  CostModel cost(catalog_, stats_, q.graph);
+
+  FaultInjectionScope scope(5, "budget.clock-jump@2=3600");
+  ASSERT_TRUE(scope.ok()) << scope.error();
+
+  ResourceBudget::Limits limits;
+  limits.deadline_seconds = 30;  // Generous -- only the jump can trip it.
+  limits.check_interval = 64;
+  ResourceBudget budget(limits);
+  OptimizerOptions options;
+  options.budget = &budget;
+
+  FallbackConfig config;
+  config.start_rung = FallbackRung::kDP;
+  const OptimizeResult res = OptimizeWithFallback(q, cost, config, options);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.status.code, OptStatusCode::kDeadlineExceeded);
+}
+
+// Satellite: fault storm across seeds.  Probabilistic allocation failures
+// and NaN costs against a governed multi-threaded service: every request
+// must still resolve to a valid plan or a typed error.
+TEST_F(ChaosTest, ServiceSurvivesFaultStormAcrossSeeds) {
+  const int seeds = ChaosSeeds(6);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    FaultInjectionScope scope(
+        static_cast<uint64_t>(seed),
+        "arena.alloc%0.03,cost.nan%0.03,service.fill%0.2,pool.stall%0.05=5");
+    ASSERT_TRUE(scope.ok()) << scope.error();
+
+    ServiceConfig config;
+    config.num_threads = 4;
+    OptimizerService service(catalog_, stats_, config);
+
+    std::vector<std::future<ServiceResult>> futures;
+    for (int i = 0; i < 12; ++i) {
+      ServiceRequest request;
+      request.query = MakeQuery(i % 2 == 0 ? Topology::kStarChain
+                                           : Topology::kChain,
+                                7 + i % 3, 100 + i % 4);
+      request.fallback_enabled = true;
+      request.budget.max_plans_costed = 200000;
+      futures.push_back(service.Submit(std::move(request)));
+    }
+    for (auto& f : futures) {
+      ServiceResult r = f.get();  // Completion itself is the first assert.
+      if (!r.ok()) continue;      // Load shed: typed rejection.
+      if (r.result.feasible) {
+        EXPECT_EQ(ValidatePlanTree(r.result.plan), "") << "seed " << seed;
+      } else {
+        EXPECT_FALSE(r.result.status.ok()) << "seed " << seed;
+      }
+    }
+  }
+}
+
+// Satellite: stress with random budget trips.  Deadlines, plans caps and
+// mid-flight cancellations race 8 worker threads; the service must fulfil
+// every future with a plan or a typed status, and its books must balance.
+TEST_F(ChaosTest, StressedServiceHonorsBudgetsUnderConcurrency) {
+  ServiceConfig config;
+  config.num_threads = 8;
+  OptimizerService service(catalog_, stats_, config);
+
+  CancelToken cancel_now;
+  cancel_now.Cancel();  // Already cancelled: workers must notice promptly.
+
+  struct Submitted {
+    std::future<ServiceResult> future;
+    bool cancelled;
+  };
+  std::vector<Submitted> submitted;
+  const int kRequests = 48;
+  for (int i = 0; i < kRequests; ++i) {
+    ServiceRequest request;
+    request.query =
+        MakeQuery(Topology::kStarChain, 7 + i % 4, 200 + i % 6);
+    request.fallback_enabled = i % 3 != 0;
+    switch (i % 4) {
+      case 0:
+        request.budget.deadline_seconds = 0.002;  // Almost surely trips.
+        break;
+      case 1:
+        request.budget.max_plans_costed = 100 + 50 * (i % 5);
+        break;
+      case 2:
+        request.cancel = &cancel_now;
+        break;
+      case 3:
+        request.budget.deadline_seconds = 30;  // Never trips.
+        break;
+    }
+    const bool cancelled = i % 4 == 2;
+    submitted.push_back(
+        Submitted{service.Submit(std::move(request)), cancelled});
+  }
+
+  int feasible = 0, typed_failures = 0;
+  for (Submitted& s : submitted) {
+    ServiceResult r = s.future.get();
+    ASSERT_TRUE(r.error.empty()) << r.error;
+    if (r.result.feasible) {
+      ++feasible;
+      EXPECT_TRUE(r.result.status.ok());
+      EXPECT_EQ(ValidatePlanTree(r.result.plan), "");
+    } else {
+      ++typed_failures;
+      EXPECT_FALSE(r.result.status.ok());
+      if (s.cancelled) {
+        EXPECT_EQ(r.result.status.code, OptStatusCode::kCancelled);
+      }
+    }
+  }
+  EXPECT_EQ(feasible + typed_failures, kRequests);
+  EXPECT_GT(feasible, 0);        // The generous-deadline cohort succeeds.
+  EXPECT_GT(typed_failures, 0);  // The cancelled cohort fails typed.
+  EXPECT_EQ(service.metrics().requests_completed.load(),
+            static_cast<uint64_t>(kRequests));
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,276 @@
+#include "optimizer/fallback.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/budget.h"
+#include "common/fault_injection.h"
+#include "cost/cost_model.h"
+#include "optimizer/dp.h"
+#include "optimizer/heuristic_baselines.h"
+#include "plan/plan_node.h"
+#include "query/topology.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+TEST(FallbackRungTest, NamesAndParsing) {
+  EXPECT_STREQ(FallbackRungName(FallbackRung::kDP), "dp");
+  EXPECT_STREQ(FallbackRungName(FallbackRung::kIDP), "idp");
+  EXPECT_STREQ(FallbackRungName(FallbackRung::kSDP), "sdp");
+  EXPECT_STREQ(FallbackRungName(FallbackRung::kGreedy), "greedy");
+
+  FallbackRung rung;
+  EXPECT_TRUE(ParseFallbackRung("idp", &rung));
+  EXPECT_EQ(rung, FallbackRung::kIDP);
+  EXPECT_FALSE(ParseFallbackRung("IDP", &rung));
+  EXPECT_FALSE(ParseFallbackRung("", &rung));
+  EXPECT_FALSE(ParseFallbackRung("exhaustive", &rung));
+}
+
+TEST(RungBreakerTest, OpensAfterThresholdThenHalfOpens) {
+  RungBreaker breaker(/*threshold=*/3, /*cooldown=*/2);
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.open());
+  breaker.RecordFailure();  // 3rd consecutive failure: opens.
+  EXPECT_TRUE(breaker.open());
+
+  // Cooldown: the next `cooldown` probes are refused.
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  // Cooldown spent: one half-open probe gets through.
+  EXPECT_TRUE(breaker.Allow());
+  // Probe fails: re-opens for another cooldown.
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_TRUE(breaker.Allow());
+  // Probe succeeds: breaker closes fully.
+  breaker.RecordSuccess();
+  EXPECT_FALSE(breaker.open());
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(RungBreakerTest, SuccessResetsConsecutiveCount) {
+  RungBreaker breaker(/*threshold=*/3, /*cooldown=*/2);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.open());  // Never 3 in a row.
+}
+
+class FallbackLadderTest : public ::testing::Test {
+ protected:
+  FallbackLadderTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  Query MakeQuery(Topology t, int n, uint64_t seed = 33) {
+    WorkloadSpec spec;
+    spec.topology = t;
+    spec.num_relations = n;
+    spec.num_instances = 1;
+    spec.seed = seed;
+    return GenerateWorkload(catalog_, spec).front();
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(FallbackLadderTest, NoTripRunsStartRungOnly) {
+  const Query q = MakeQuery(Topology::kChain, 8);
+  CostModel cost(catalog_, stats_, q.graph);
+
+  FallbackConfig config;
+  config.start_rung = FallbackRung::kDP;
+  FallbackReport report;
+  const OptimizeResult res =
+      OptimizeWithFallback(q, cost, config, OptimizerOptions{}, nullptr,
+                           &report);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_EQ(res.rung, "dp");
+  EXPECT_EQ(res.retries, 0);
+  ASSERT_EQ(report.attempts.size(), 1u);
+  EXPECT_EQ(report.attempts[0].rung, FallbackRung::kDP);
+  EXPECT_EQ(ValidatePlanTree(res.plan), "");
+
+  // Same cost as a direct DP run.
+  const OptimizeResult dp = OptimizeDP(q, cost);
+  EXPECT_DOUBLE_EQ(res.cost, dp.cost);
+}
+
+TEST_F(FallbackLadderTest, PlansCapEscalatesToCheaperRung) {
+  const Query q = MakeQuery(Topology::kStarChain, 10);
+  CostModel cost(catalog_, stats_, q.graph);
+
+  // Pick a cap between greedy's effort and DP's so DP must trip but the
+  // ladder can still land somewhere.
+  const OptimizeResult dp = OptimizeDP(q, cost);
+  const OptimizeResult greedy = OptimizeGreedyLeftDeep(q, cost);
+  ASSERT_TRUE(dp.feasible && greedy.feasible);
+  const uint64_t cap = greedy.counters.plans_costed * 4;
+  ASSERT_LT(cap, dp.counters.plans_costed)
+      << "query too small to separate greedy from DP";
+
+  ResourceBudget::Limits limits;
+  limits.max_plans_costed = cap;
+  ResourceBudget budget(limits);
+  OptimizerOptions options;
+  options.budget = &budget;
+
+  FallbackConfig config;
+  config.start_rung = FallbackRung::kDP;
+  config.max_rung = FallbackRung::kGreedy;
+  FallbackReport report;
+  const OptimizeResult res =
+      OptimizeWithFallback(q, cost, config, options, nullptr, &report);
+
+  ASSERT_TRUE(res.feasible) << res.status.ToString();
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_NE(res.rung, "dp");
+  EXPECT_GE(res.retries, 1);
+  EXPECT_EQ(ValidatePlanTree(res.plan), "");
+  ASSERT_GE(report.attempts.size(), 2u);
+  EXPECT_EQ(report.attempts[0].rung, FallbackRung::kDP);
+  EXPECT_EQ(report.attempts[0].status.code, OptStatusCode::kMemoryExceeded);
+  // Counters aggregate across attempts: at least the failed DP's effort.
+  EXPECT_GE(res.counters.plans_costed, report.attempts[0].plans_costed);
+}
+
+TEST_F(FallbackLadderTest, ExpiredDeadlineStopsLadderWithoutEscalating) {
+  const Query q = MakeQuery(Topology::kStarChain, 10);
+  CostModel cost(catalog_, stats_, q.graph);
+
+  ResourceBudget::Limits limits;
+  limits.deadline_seconds = 1e-9;  // Expired by the first slow check.
+  limits.check_interval = 1;
+  ResourceBudget budget(limits);
+  OptimizerOptions options;
+  options.budget = &budget;
+
+  FallbackConfig config;
+  config.start_rung = FallbackRung::kDP;
+  config.max_rung = FallbackRung::kGreedy;
+  FallbackReport report;
+  const OptimizeResult res =
+      OptimizeWithFallback(q, cost, config, options, nullptr, &report);
+
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.status.code, OptStatusCode::kDeadlineExceeded);
+  // A cheaper rung cannot recover lost time: exactly one attempt.
+  EXPECT_EQ(report.attempts.size(), 1u);
+}
+
+TEST_F(FallbackLadderTest, CancellationStopsLadderImmediately) {
+  const Query q = MakeQuery(Topology::kStarChain, 10);
+  CostModel cost(catalog_, stats_, q.graph);
+
+  ResourceBudget::Limits limits;
+  limits.cancel_at_checkpoint = 10;
+  ResourceBudget budget(limits);
+  OptimizerOptions options;
+  options.budget = &budget;
+
+  FallbackConfig config;
+  config.start_rung = FallbackRung::kDP;
+  config.max_rung = FallbackRung::kGreedy;
+  FallbackReport report;
+  const OptimizeResult res =
+      OptimizeWithFallback(q, cost, config, options, nullptr, &report);
+
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.status.code, OptStatusCode::kCancelled);
+  EXPECT_EQ(report.attempts.size(), 1u);
+}
+
+TEST_F(FallbackLadderTest, InjectedAllocFailureBecomesInternalAndEscalates) {
+  const Query q = MakeQuery(Topology::kStarChain, 8);
+  CostModel cost(catalog_, stats_, q.graph);
+
+  // One-shot std::bad_alloc out of the first arena allocation: the DP rung
+  // dies with kInternal, later rungs run clean.
+  FaultInjectionScope scope(11, "arena.alloc@1");
+  ASSERT_TRUE(scope.ok()) << scope.error();
+
+  FallbackConfig config;
+  config.start_rung = FallbackRung::kDP;
+  config.max_rung = FallbackRung::kGreedy;
+  FallbackReport report;
+  const OptimizeResult res = OptimizeWithFallback(
+      q, cost, config, OptimizerOptions{}, nullptr, &report);
+
+  ASSERT_TRUE(res.feasible) << res.status.ToString();
+  EXPECT_NE(res.rung, "dp");
+  EXPECT_GE(res.retries, 1);
+  EXPECT_EQ(ValidatePlanTree(res.plan), "");
+  ASSERT_GE(report.attempts.size(), 2u);
+  EXPECT_EQ(report.attempts[0].status.code, OptStatusCode::kInternal);
+}
+
+TEST_F(FallbackLadderTest, BreakerSkipsFailingRungButNeverTheLast) {
+  const Query q = MakeQuery(Topology::kStarChain, 8);
+  CostModel cost(catalog_, stats_, q.graph);
+
+  RungBreakerSet breakers(/*threshold=*/1, /*cooldown=*/100);
+  // Force the SDP rung's breaker open.
+  breakers.For(FallbackRung::kSDP).RecordFailure();
+  ASSERT_TRUE(breakers.For(FallbackRung::kSDP).open());
+
+  // Ladder starting at SDP with greedy reachable: SDP is skipped (breaker)
+  // and greedy answers.
+  FallbackConfig config;
+  config.start_rung = FallbackRung::kSDP;
+  config.max_rung = FallbackRung::kGreedy;
+  FallbackReport report;
+  const OptimizeResult res = OptimizeWithFallback(
+      q, cost, config, OptimizerOptions{}, &breakers, &report);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.rung, "greedy");
+  EXPECT_EQ(res.retries, 1);
+  ASSERT_EQ(report.attempts.size(), 2u);
+  EXPECT_TRUE(report.attempts[0].skipped_by_breaker);
+
+  // Same open breaker, but SDP is the last reachable rung: it must run
+  // anyway -- something has to produce an answer.
+  FallbackConfig pinned;
+  pinned.start_rung = FallbackRung::kSDP;
+  pinned.max_rung = FallbackRung::kSDP;
+  FallbackReport report2;
+  const OptimizeResult res2 = OptimizeWithFallback(
+      q, cost, pinned, OptimizerOptions{}, &breakers, &report2);
+  ASSERT_TRUE(res2.feasible);
+  EXPECT_EQ(res2.rung, "sdp");
+  ASSERT_EQ(report2.attempts.size(), 1u);
+  EXPECT_FALSE(report2.attempts[0].skipped_by_breaker);
+  // The successful run closed the breaker again.
+  EXPECT_FALSE(breakers.For(FallbackRung::kSDP).open());
+}
+
+TEST_F(FallbackLadderTest, StartRungDeeperThanMaxRunsStartOnly) {
+  const Query q = MakeQuery(Topology::kChain, 6);
+  CostModel cost(catalog_, stats_, q.graph);
+
+  FallbackConfig config;
+  config.start_rung = FallbackRung::kSDP;
+  config.max_rung = FallbackRung::kDP;  // Shallower than start.
+  FallbackReport report;
+  const OptimizeResult res = OptimizeWithFallback(
+      q, cost, config, OptimizerOptions{}, nullptr, &report);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.rung, "sdp");
+  EXPECT_EQ(report.attempts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sdp

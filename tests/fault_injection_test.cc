@@ -1,0 +1,118 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sdp {
+namespace {
+
+TEST(FaultInjectionTest, DisabledByDefaultAndFree) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Disable();
+  EXPECT_FALSE(fi.enabled());
+  EXPECT_FALSE(fi.Hit("arena.alloc"));
+  double v = 99;
+  EXPECT_FALSE(fi.Hit("cost.nan", &v));
+  EXPECT_EQ(v, 99);  // Payload untouched when disabled.
+}
+
+TEST(FaultInjectionTest, NthHitFiresExactlyOnce) {
+  FaultInjectionScope scope(1, "cost.nan@3");
+  ASSERT_TRUE(scope.ok()) << scope.error();
+  FaultInjector& fi = FaultInjector::Global();
+  EXPECT_FALSE(fi.Hit("cost.nan"));
+  EXPECT_FALSE(fi.Hit("cost.nan"));
+  EXPECT_TRUE(fi.Hit("cost.nan"));  // 3rd hit.
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(fi.Hit("cost.nan"));
+  EXPECT_EQ(fi.HitCount("cost.nan"), 13u);
+  EXPECT_EQ(fi.FireCount("cost.nan"), 1u);
+}
+
+TEST(FaultInjectionTest, PayloadDelivered) {
+  FaultInjectionScope scope(1, "pool.stall@1=25.5");
+  ASSERT_TRUE(scope.ok()) << scope.error();
+  double v = 0;
+  EXPECT_TRUE(FaultInjector::Global().Hit("pool.stall", &v));
+  EXPECT_DOUBLE_EQ(v, 25.5);
+}
+
+TEST(FaultInjectionTest, ProbabilityIsDeterministicPerSeed) {
+  auto fire_pattern = [](uint64_t seed) {
+    FaultInjectionScope scope(seed, "arena.alloc%0.3");
+    EXPECT_TRUE(scope.ok());
+    std::vector<bool> fires;
+    fires.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+      fires.push_back(FaultInjector::Global().Hit("arena.alloc"));
+    }
+    return fires;
+  };
+  const std::vector<bool> a = fire_pattern(42);
+  const std::vector<bool> b = fire_pattern(42);
+  EXPECT_EQ(a, b);  // Same seed: identical fire sequence.
+
+  const std::vector<bool> c = fire_pattern(43);
+  EXPECT_NE(a, c);  // Different seed: different sequence (w.h.p.).
+
+  // Rough rate check: 200 trials at p=0.3 should fire 20..100 times.
+  int fired = 0;
+  for (bool f : a) fired += f ? 1 : 0;
+  EXPECT_GT(fired, 20);
+  EXPECT_LT(fired, 100);
+}
+
+TEST(FaultInjectionTest, MultipleRulesAndUnknownSitesAccepted) {
+  FaultInjectionScope scope(7, "arena.alloc@2,pool.stall@1=5,not.a.site@1");
+  ASSERT_TRUE(scope.ok()) << scope.error();
+  FaultInjector& fi = FaultInjector::Global();
+  EXPECT_FALSE(fi.Hit("arena.alloc"));
+  EXPECT_TRUE(fi.Hit("arena.alloc"));
+  EXPECT_TRUE(fi.Hit("pool.stall"));
+  // Sites with no rule never fire even while enabled.
+  EXPECT_FALSE(fi.Hit("cost.nan"));
+}
+
+TEST(FaultInjectionTest, MalformedSpecsRejected) {
+  for (const char* bad : {"nosigil", "site@", "site@x", "site%", "site%2",
+                          "site%-0.1", "site@0", "@3"}) {
+    std::string error;
+    EXPECT_FALSE(FaultInjector::Global().Configure(1, bad, &error))
+        << "spec accepted: " << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+    EXPECT_FALSE(FaultInjector::Global().enabled()) << bad;
+  }
+}
+
+TEST(FaultInjectionTest, EmptySpecDisables) {
+  std::string error;
+  EXPECT_TRUE(FaultInjector::Global().Configure(1, "", &error)) << error;
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+}
+
+TEST(FaultInjectionTest, ScopeDisablesOnDestruction) {
+  {
+    FaultInjectionScope scope(1, "arena.alloc@1");
+    EXPECT_TRUE(FaultInjector::Global().enabled());
+  }
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+}
+
+TEST(FaultInjectionTest, KnownSitesRegistryNonEmpty) {
+  const std::vector<std::string> sites = FaultInjector::KnownSites();
+  auto has = [&sites](const char* s) {
+    for (const std::string& site : sites) {
+      if (site == s) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("arena.alloc"));
+  EXPECT_TRUE(has("cost.nan"));
+  EXPECT_TRUE(has("budget.clock-jump"));
+  EXPECT_TRUE(has("pool.stall"));
+  EXPECT_TRUE(has("service.fill"));
+}
+
+}  // namespace
+}  // namespace sdp

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/budget.h"
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "core/sdp.h"
 #include "cost/cost_model.h"
@@ -456,6 +460,196 @@ TEST_F(ServiceTest, ExperimentViaServiceMatchesSerialReport) {
   EXPECT_NE(metrics_dump.find("service.requests.completed 15"),
             std::string::npos)
       << metrics_dump;
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing failure paths (regression: a failed fill used to strand the
+// waiters with a generic retry stampede; now exactly one waiter retries
+// and the rest inherit the owner's typed error).
+
+TEST_F(ServiceTest, CacheFailurePropagatesTypedStatusToCoalescedWaiters) {
+  const Query q1 = MakeStarInstance(false);
+  const CanonicalQueryForm f1 = CanonicalizeQuery(q1, MakeCost(q1));
+  PlanCache cache(PlanCacheConfig{});
+
+  PlanCache::Ticket owner;
+  OptimizeResult unused;
+  ASSERT_EQ(cache.LookupOrBegin(f1.key, f1, q1, &owner, &unused),
+            PlanCache::Outcome::kMiss);
+
+  // A herd of probes coalesces behind the in-flight owner.  When the
+  // owner's fill fails, each probe must resolve to exactly one of:
+  //  - kMiss: it won the take-over CAS (at most one holds the slot at a
+  //    time; here each winner fails too, re-failing the slot typed), or
+  //  - kFailed: it lost the race and inherited the owner's typed error.
+  // Which probe lands where is scheduler-dependent; that every probe
+  // terminates with one of the two -- no hang, no stampede of concurrent
+  // computes, no untyped error -- is the regression under test.
+  constexpr int kWaiters = 16;
+  std::atomic<int> got_miss{0}, got_failed{0};
+  std::atomic<int> bad_status{0}, concurrent_owners{0}, max_owners{0};
+  auto waiter = [&] {
+    PlanCache::Ticket ticket;
+    OptimizeResult out;
+    const PlanCache::Outcome o =
+        cache.LookupOrBegin(f1.key, f1, q1, &ticket, &out);
+    if (o == PlanCache::Outcome::kMiss) {
+      got_miss.fetch_add(1);
+      const int owners = concurrent_owners.fetch_add(1) + 1;
+      int seen = max_owners.load();
+      while (owners > seen && !max_owners.compare_exchange_weak(seen, owners)) {
+      }
+      cache.Abandon(std::move(ticket),
+                    OptStatus::Make(OptStatusCode::kMemoryExceeded,
+                                    "owner ran out"));
+      concurrent_owners.fetch_sub(1);
+    } else if (o == PlanCache::Outcome::kFailed) {
+      got_failed.fetch_add(1);
+      if (out.feasible ||
+          out.status.code != OptStatusCode::kMemoryExceeded ||
+          out.status.message != "owner ran out") {
+        bad_status.fetch_add(1);
+      }
+    } else {
+      bad_status.fetch_add(1);  // kHit/kDisabled impossible here.
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kWaiters; ++i) threads.emplace_back(waiter);
+  // Let the herd block on the computing slot, then fail the fill.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  cache.Abandon(std::move(owner),
+                OptStatus::Make(OptStatusCode::kMemoryExceeded,
+                                "owner ran out"));
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(got_miss.load() + got_failed.load(), kWaiters);
+  EXPECT_GE(got_miss.load(), 1);      // Someone always retries...
+  EXPECT_LE(max_owners.load(), 1);    // ...but never two at once.
+  EXPECT_EQ(bad_status.load(), 0);    // Propagated errors carry the status.
+  EXPECT_EQ(cache.Stats().fail_propagated,
+            static_cast<uint64_t>(got_failed.load()));
+}
+
+TEST_F(ServiceTest, FillFaultDoesNotPoisonCacheOrFailRequest) {
+  // The first fill throws (fault site service.fill); the request still
+  // returns its computed plan, the slot is abandoned with a typed status,
+  // and the next identical request recomputes and repopulates the cache.
+  FaultInjectionScope scope(9, "service.fill@1");
+  ASSERT_TRUE(scope.ok()) << scope.error();
+
+  ServiceConfig config;
+  config.num_threads = 1;
+  OptimizerService service(catalog_, stats_, config);
+
+  ServiceRequest request;
+  request.query = MakeStarInstance(false);
+  const ServiceResult first = service.OptimizeSync(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.result.feasible);  // Fill failure is not plan failure.
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(service.cache_stats().failures, 1u);
+
+  const ServiceResult second = service.OptimizeSync(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.result.feasible);
+  EXPECT_FALSE(second.cache_hit);  // Retook the failed slot and recomputed.
+  EXPECT_EQ(second.result.cost, first.result.cost);
+
+  const ServiceResult third = service.OptimizeSync(request);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third.cache_hit);  // The retry's fill stuck.
+}
+
+// ---------------------------------------------------------------------------
+// Resource governance through the service.
+
+TEST_F(ServiceTest, GovernedDeadlineFailsTypedAndUngovernedUnaffected) {
+  ServiceConfig config;
+  config.num_threads = 2;
+  OptimizerService service(catalog_, stats_, config);
+
+  WorkloadSpec spec;
+  spec.topology = Topology::kStarChain;
+  spec.num_relations = 12;
+  spec.num_instances = 1;
+  const Query query = GenerateWorkload(catalog_, spec).front();
+
+  // Impossible deadline, no fallback: typed failure, not an exception.
+  ServiceRequest doomed;
+  doomed.query = query;
+  doomed.budget.deadline_seconds = 1e-6;
+  const ServiceResult failed = service.OptimizeSync(doomed);
+  ASSERT_TRUE(failed.error.empty()) << failed.error;
+  EXPECT_FALSE(failed.result.feasible);
+  EXPECT_EQ(failed.result.status.code, OptStatusCode::kDeadlineExceeded);
+  EXPECT_GE(service.metrics().status_deadline_exceeded.load(), 1u);
+
+  // The same query ungoverned is untouched by the failure above (the
+  // governed attempt must not have poisoned the shared cache key space).
+  ServiceRequest plain;
+  plain.query = query;
+  const ServiceResult ok = service.OptimizeSync(plain);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.result.feasible);
+}
+
+TEST_F(ServiceTest, GovernedFallbackDegradesInsteadOfFailing) {
+  ServiceConfig config;
+  config.num_threads = 1;
+  OptimizerService service(catalog_, stats_, config);
+
+  WorkloadSpec spec;
+  spec.topology = Topology::kStarChain;
+  spec.num_relations = 11;
+  spec.num_instances = 1;
+  const Query query = GenerateWorkload(catalog_, spec).front();
+
+  ServiceRequest request;
+  request.query = query;
+  request.spec = AlgorithmSpec::DP();
+  request.fallback_enabled = true;
+  request.budget.max_plans_costed = 500;  // DP cannot fit in this.
+  const ServiceResult r = service.OptimizeSync(request);
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  ASSERT_TRUE(r.result.feasible) << r.result.status.ToString();
+  EXPECT_NE(r.result.rung, "dp");
+  EXPECT_GE(r.result.retries, 1);
+  EXPECT_EQ(ValidatePlanTree(r.result.plan), "");
+  EXPECT_GE(service.metrics().requests_degraded.load(), 1u);
+  EXPECT_GE(service.metrics().degrade_attempts.load(), 2u);
+}
+
+TEST_F(ServiceTest, QueueFullRejectionCarriesRetryAfterHint) {
+  ServiceConfig config;
+  config.num_threads = 1;
+  config.max_queue_depth = 1;
+  OptimizerService service(catalog_, stats_, config);
+
+  WorkloadSpec spec;
+  spec.topology = Topology::kStar;
+  spec.num_relations = 12;
+  spec.num_instances = 1;
+  const Query query = GenerateWorkload(catalog_, spec).front();
+
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < 16; ++i) {
+    ServiceRequest request;
+    request.query = query;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  int rejected = 0;
+  for (auto& f : futures) {
+    const ServiceResult r = f.get();
+    if (!r.rejected) continue;
+    ++rejected;
+    EXPECT_GT(r.retry_after_ms, 0);
+    EXPECT_LT(r.retry_after_ms, 100);
+    EXPECT_FALSE(r.result.status.ok());
+  }
+  ASSERT_GT(rejected, 0);
+  EXPECT_GE(service.metrics().shed_with_retry_hint.load(),
+            static_cast<uint64_t>(rejected));
 }
 
 }  // namespace

@@ -1,0 +1,113 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/fault_injection.h"
+
+namespace sdp {
+namespace {
+
+TEST(ThreadPoolHardeningTest, TaskExceptionIsCapturedNotFatal) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("task blew up"); });
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Submit([] { throw 42; });  // Non-std exception.
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Shutdown(ThreadPool::ShutdownMode::kDrain);
+
+  EXPECT_EQ(ran.load(), 2);  // The pool kept serving after the throws.
+  EXPECT_EQ(pool.tasks_failed(), 2u);
+  EXPECT_EQ(pool.last_task_error(), "unknown exception");
+}
+
+TEST(ThreadPoolHardeningTest, SubmitAfterShutdownIsRefused) {
+  ThreadPool pool(1);
+  EXPECT_TRUE(pool.Submit([] {}));
+  pool.Shutdown();
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(pool.Submit([&ran] { ran.store(true); }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolHardeningTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&done] { done.fetch_add(1); });
+  const ThreadPool::ShutdownStats first = pool.Shutdown();
+  const ThreadPool::ShutdownStats second =
+      pool.Shutdown(ThreadPool::ShutdownMode::kAbandon);
+  EXPECT_EQ(done.load(), 10);
+  EXPECT_EQ(first.abandoned_tasks, second.abandoned_tasks);
+  EXPECT_EQ(first.deadline_expired, second.deadline_expired);
+}
+
+TEST(ThreadPoolHardeningTest, AbandonDropsQueuedTasksButJoins) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  // Occupy the single worker so the rest of the queue cannot start.
+  pool.Submit([&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int i = 0; i < 50; ++i) pool.Submit([&ran] { ran.fetch_add(1); });
+  // Give the worker time to pick up the blocker.
+  while (pool.queue_depth() > 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release.store(true);
+  const ThreadPool::ShutdownStats stats =
+      pool.Shutdown(ThreadPool::ShutdownMode::kAbandon);
+  // The running blocker finished (join waits for running tasks); most or
+  // all of the 50 queued tasks were dropped without running.
+  EXPECT_EQ(static_cast<int>(stats.abandoned_tasks) + ran.load(), 50);
+  EXPECT_FALSE(stats.deadline_expired);
+}
+
+TEST(ThreadPoolHardeningTest, DrainDeadlineAbandonsStalledBacklog) {
+  // A stalled worker (fault site pool.stall, 300 ms on every task) cannot
+  // drain 20 tasks within a 50 ms deadline: Shutdown must give up, drop
+  // the backlog, and still join instead of hanging.
+  FaultInjectionScope scope(3, "pool.stall%1.0=300");
+  ASSERT_TRUE(scope.ok()) << scope.error();
+
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) pool.Submit([&ran] { ran.fetch_add(1); });
+
+  const auto start = std::chrono::steady_clock::now();
+  const ThreadPool::ShutdownStats stats =
+      pool.Shutdown(ThreadPool::ShutdownMode::kDrain, /*deadline_seconds=*/0.05);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  EXPECT_TRUE(stats.deadline_expired);
+  EXPECT_GT(stats.abandoned_tasks, 0u);
+  EXPECT_EQ(static_cast<int>(stats.abandoned_tasks) + ran.load(), 20);
+  // Bounded by the deadline plus the one task the worker was stalled on,
+  // not by the 20-task backlog (which would be ~6 s).
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(ThreadPoolHardeningTest, PlainDrainRunsEverythingDespiteStalls) {
+  FaultInjectionScope scope(3, "pool.stall%0.5=5");
+  ASSERT_TRUE(scope.ok()) << scope.error();
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+}  // namespace
+}  // namespace sdp

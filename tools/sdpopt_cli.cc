@@ -17,6 +17,26 @@
 //   --budget-mb=N                      optimizer memory budget (default: none)
 //   --threads=N                        route through the OptimizerService
 //                                      with an N-thread worker pool
+//
+// Serving-mode resource governance (any of these makes the run *governed*:
+// it executes under a ResourceBudget and the degradation ladder):
+//   --deadline-ms=N                    wall-clock deadline per request
+//   --mem-budget-mb=N                  memo/plan-pool byte budget enforced
+//                                      at enumeration checkpoints
+//   --max-rung=dp|idp|sdp|greedy       enable the DP->IDP->SDP->greedy
+//                                      fallback ladder, escalating on
+//                                      budget trips up to this rung
+//   --fault-seed=N --fault-spec=SPEC   deterministic fault injection, e.g.
+//                                      --fault-spec='cost.nan@3' (3rd hit)
+//                                      or 'arena.alloc%0.01' (1% of hits);
+//                                      sites: arena.alloc cost.nan
+//                                      budget.clock-jump pool.stall
+//                                      service.fill
+//
+// Exit codes map the typed optimization status: 0 OK, 1 I/O or infeasible,
+// 2 usage, 3 DEADLINE_EXCEEDED, 4 MEMORY_EXCEEDED, 5 CANCELLED,
+// 6 INTERNAL.  Degradation-ladder events show up in --trace-report /
+// --trace-jsonl as "degrade" events.
 //   --cache=on|off                     service plan cache (default: on)
 //   --repeat=K                         submit the query K times per
 //                                      algorithm (throughput / cache probe)
@@ -52,8 +72,11 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/budget.h"
+#include "common/fault_injection.h"
 #include "core/sdp.h"
 #include "cost/cost_model.h"
+#include "optimizer/fallback.h"
 #include "engine/executor.h"
 #include "engine/table_data.h"
 #include "harness/experiment.h"
@@ -74,6 +97,11 @@ struct Options {
   std::string schema = "paper";
   std::string gen;  // "topology:N[:seed]", empty = parse SQL.
   double budget_mb = 0;
+  double deadline_ms = 0;
+  double mem_budget_mb = 0;
+  std::string max_rung;  // Non-empty enables the degradation ladder.
+  uint64_t fault_seed = 0;
+  std::string fault_spec;
   int threads = 0;  // 0 = direct library calls (no service).
   bool cache = true;
   int repeat = 1;
@@ -91,6 +119,9 @@ struct Options {
   bool tracing() const {
     return !trace_chrome.empty() || !trace_jsonl.empty() || trace_report;
   }
+  bool governed() const {
+    return deadline_ms > 0 || mem_budget_mb > 0 || !max_rung.empty();
+  }
 };
 
 bool ParseArgs(int argc, char** argv, Options* out) {
@@ -104,6 +135,22 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       out->gen = arg.substr(6);
     } else if (arg.rfind("--budget-mb=", 0) == 0) {
       out->budget_mb = std::atof(arg.c_str() + 12);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      out->deadline_ms = std::atof(arg.c_str() + 14);
+    } else if (arg.rfind("--mem-budget-mb=", 0) == 0) {
+      out->mem_budget_mb = std::atof(arg.c_str() + 16);
+    } else if (arg.rfind("--max-rung=", 0) == 0) {
+      out->max_rung = arg.substr(11);
+      sdp::FallbackRung rung;
+      if (!sdp::ParseFallbackRung(out->max_rung, &rung)) {
+        std::fprintf(stderr, "--max-rung expects dp|idp|sdp|greedy, got '%s'\n",
+                     out->max_rung.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      out->fault_seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 13));
+    } else if (arg.rfind("--fault-spec=", 0) == 0) {
+      out->fault_spec = arg.substr(13);
     } else if (arg.rfind("--threads=", 0) == 0) {
       out->threads = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--cache=", 0) == 0) {
@@ -221,11 +268,37 @@ bool WriteFileOrComplain(const std::string& path,
   return true;
 }
 
+// Maps a typed optimization status to the documented process exit code.
+int ExitCodeFor(sdp::OptStatusCode code) {
+  switch (code) {
+    case sdp::OptStatusCode::kOk:
+      return 0;
+    case sdp::OptStatusCode::kDeadlineExceeded:
+      return 3;
+    case sdp::OptStatusCode::kMemoryExceeded:
+      return 4;
+    case sdp::OptStatusCode::kCancelled:
+      return 5;
+    case sdp::OptStatusCode::kInternal:
+      return 6;
+  }
+  return 6;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options options;
   if (!ParseArgs(argc, argv, &options)) return 2;
+
+  if (!options.fault_spec.empty()) {
+    std::string fault_error;
+    if (!sdp::FaultInjector::Global().Configure(
+            options.fault_seed, options.fault_spec, &fault_error)) {
+      std::fprintf(stderr, "bad --fault-spec: %s\n", fault_error.c_str());
+      return 2;
+    }
+  }
 
   sdp::SchemaConfig config;
   if (options.schema == "small") {
@@ -269,6 +342,9 @@ int main(int argc, char** argv) {
           "[--schema=paper|small]\n"
           "                  [--gen=TOPOLOGY:N[:SEED]] [--budget-mb=N] "
           "[--threads=N]\n"
+          "                  [--deadline-ms=N] [--mem-budget-mb=N] "
+          "[--max-rung=dp|idp|sdp|greedy]\n"
+          "                  [--fault-seed=N] [--fault-spec=SPEC]\n"
           "                  [--cache=on|off] [--repeat=K] [--execute] "
           "[--analyze]\n"
           "                  [--dot] [--trace-chrome=PATH] "
@@ -338,23 +414,50 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Worst typed status over every run, mapped to the exit code at the end.
+  sdp::OptStatusCode worst_status = sdp::OptStatusCode::kOk;
+  const auto note_status = [&](const sdp::OptStatus& status) {
+    if (status.ok()) return;
+    if (worst_status == sdp::OptStatusCode::kOk ||
+        ExitCodeFor(status.code) > ExitCodeFor(worst_status)) {
+      worst_status = status.code;
+    }
+  };
+
   // Prints one algorithm's outcome (and optionally executes the plan).
   const auto print_result = [&](const sdp::AlgorithmSpec& spec,
                                 const sdp::OptimizeResult& result,
                                 bool cache_hit) {
     std::printf("\n-- %s --\n", spec.name.c_str());
     if (!result.feasible) {
-      std::printf("infeasible: memory budget exceeded after %llu plans\n",
-                  static_cast<unsigned long long>(
-                      result.counters.plans_costed));
+      if (!result.status.ok()) {
+        std::printf("failed: %s (after %llu plans",
+                    result.status.ToString().c_str(),
+                    static_cast<unsigned long long>(
+                        result.counters.plans_costed));
+        if (result.retries > 0) {
+          std::printf(", %d fallback rung(s) tried", result.retries + 1);
+        }
+        std::printf(")\n");
+      } else {
+        std::printf("infeasible: memory budget exceeded after %llu plans\n",
+                    static_cast<unsigned long long>(
+                        result.counters.plans_costed));
+      }
+      note_status(result.status);
       return;
     }
+    std::string degrade_note;
+    if (result.retries > 0) {
+      degrade_note = "  (degraded to rung '" + result.rung + "' after " +
+                     std::to_string(result.retries) + " attempt(s))";
+    }
     std::printf("cost=%.1f  est_rows=%.0f  plans_costed=%llu  "
-                "memory=%.2fMB  time=%.4fs%s\n",
+                "memory=%.2fMB  time=%.4fs%s%s\n",
                 result.cost, result.rows,
                 static_cast<unsigned long long>(result.counters.plans_costed),
                 result.peak_memory_mb, result.elapsed_seconds,
-                cache_hit ? "  (plan cache hit)" : "");
+                cache_hit ? "  (plan cache hit)" : "", degrade_note.c_str());
     std::printf("%s", result.plan->ToString().c_str());
     if (options.dot) {
       std::printf("%s", sdp::PlanToDot(*result.plan).c_str());
@@ -418,6 +521,15 @@ int main(int argc, char** argv) {
     return ok;
   };
 
+  // Shared governance settings (see the Options doc block above).
+  sdp::ResourceBudget::Limits budget_limits;
+  budget_limits.deadline_seconds = options.deadline_ms / 1000.0;
+  budget_limits.memory_budget_bytes =
+      static_cast<size_t>(options.mem_budget_mb * 1024 * 1024);
+  sdp::FallbackRung max_rung = sdp::FallbackRung::kGreedy;
+  const bool ladder_enabled = !options.max_rung.empty();
+  if (ladder_enabled) sdp::ParseFallbackRung(options.max_rung, &max_rung);
+
   if (options.threads > 0 || options.repeat > 1 || options.prometheus) {
     // Service mode: route every request through the concurrent optimizer
     // service and report its metrics.
@@ -434,11 +546,23 @@ int main(int argc, char** argv) {
         request.query = query;
         request.spec = spec;
         request.options = opt;
+        if (options.governed()) {
+          request.budget = budget_limits;
+          request.fallback_enabled = ladder_enabled;
+          request.max_rung = max_rung;
+        }
         futures.push_back(service.Submit(std::move(request)));
       }
       sdp::ServiceResult last;
       for (auto& f : futures) last = f.get();
-      print_result(spec, last.result, last.cache_hit);
+      if (last.rejected) {
+        std::printf("\n-- %s --\nrejected: %s (retry after %d ms)\n",
+                    spec.name.c_str(), last.error.c_str(),
+                    last.retry_after_ms);
+        note_status(last.result.status);
+      } else {
+        print_result(spec, last.result, last.cache_hit);
+      }
     }
     std::printf("\n-- service metrics (threads=%d cache=%s repeat=%d) --\n%s",
                 sconfig.num_threads, options.cache ? "on" : "off",
@@ -451,12 +575,58 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    return flush_traces() ? 0 : 1;
+    if (!flush_traces()) return 1;
+    return ExitCodeFor(worst_status);
   }
 
   for (const sdp::AlgorithmSpec& spec : algorithms) {
-    print_result(spec, sdp::RunAlgorithm(spec, query, cost, opt),
-                 /*cache_hit=*/false);
+    if (options.governed()) {
+      // Direct governed run: same budget + ladder the service uses, minus
+      // the queueing and cache layers.
+      sdp::ResourceBudget budget(budget_limits);
+      sdp::OptimizerOptions governed_opt = opt;
+      governed_opt.budget = &budget;
+      sdp::FallbackConfig ladder;
+      switch (spec.kind) {
+        case sdp::AlgorithmSpec::Kind::kDP:
+          ladder.start_rung = sdp::FallbackRung::kDP;
+          break;
+        case sdp::AlgorithmSpec::Kind::kIDP:
+        case sdp::AlgorithmSpec::Kind::kIDP2:
+          ladder.start_rung = sdp::FallbackRung::kIDP;
+          break;
+        case sdp::AlgorithmSpec::Kind::kSDP:
+          ladder.start_rung = sdp::FallbackRung::kSDP;
+          break;
+      }
+      ladder.max_rung = ladder_enabled ? max_rung : ladder.start_rung;
+      ladder.idp = spec.idp;
+      ladder.sdp = spec.sdp;
+      ladder.use_idp2 = spec.kind == sdp::AlgorithmSpec::Kind::kIDP2;
+      sdp::FallbackReport report;
+      const sdp::OptimizeResult result = sdp::OptimizeWithFallback(
+          query, cost, ladder, governed_opt, nullptr, &report);
+      if (tracing) {
+        int ordinal = 0;
+        for (const sdp::FallbackAttempt& a : report.attempts) {
+          sdp::TraceDegradeEvent e;
+          e.kind = a.skipped_by_breaker ? "skip" : "attempt";
+          e.rung = sdp::FallbackRungName(a.rung);
+          e.algorithm = a.algorithm;
+          e.status = a.status.ToString();
+          e.attempt = ordinal++;
+          e.elapsed_seconds = a.elapsed_seconds;
+          e.plans_costed = a.plans_costed;
+          e.peak_memory_mb = a.peak_memory_mb;
+          collector.OnDegrade(e);
+        }
+      }
+      print_result(spec, result, /*cache_hit=*/false);
+    } else {
+      print_result(spec, sdp::RunAlgorithm(spec, query, cost, opt),
+                   /*cache_hit=*/false);
+    }
   }
-  return flush_traces() ? 0 : 1;
+  if (!flush_traces()) return 1;
+  return ExitCodeFor(worst_status);
 }
