@@ -1,0 +1,133 @@
+// Micro-benchmarks of intra-query parallel join enumeration: whole-query
+// optimization latency as a function of opt_threads, per topology.  The
+// speedup curve (threads on the x-axis) is the headline number for the
+// sharded-enumeration work described in DESIGN.md ("Intra-query parallel
+// enumeration").
+//
+// Each benchmark owns a persistent worker pool sized for its thread count
+// and hands it to the optimizer via OptimizerOptions::intra_pool, so the
+// measured time is enumeration + merge, not thread spawn.  Run with
+// `--json out.json` for machine-readable results (see bench_micro_common.h).
+//
+// Note: on a single-core host the >1-thread configurations measure pure
+// sharding/merge overhead -- the workers time-slice one CPU -- so the curve
+// is only meaningful on a multi-core machine.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_micro_common.h"
+
+#include "bench/bench_common.h"
+#include "common/thread_pool.h"
+#include "core/sdp.h"
+#include "optimizer/dp.h"
+
+namespace {
+
+struct Fixture {
+  Fixture() : ctx(sdp::bench::MakePaperContext()) {}
+  sdp::Query MakeQuery(sdp::Topology t, int n) {
+    sdp::WorkloadSpec spec;
+    spec.topology = t;
+    spec.num_relations = n;
+    spec.num_instances = 1;
+    spec.seed = 77;
+    return sdp::GenerateWorkload(ctx.catalog, spec).front();
+  }
+  sdp::bench::PaperContext ctx;
+};
+
+Fixture& GetFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+// Options + (optional) persistent pool for `threads` enumeration workers.
+struct ThreadedRun {
+  explicit ThreadedRun(int threads) {
+    options.opt_threads = threads;
+    if (threads > 1) {
+      pool = std::make_unique<sdp::ThreadPool>(threads - 1);
+      options.intra_pool = pool.get();
+    }
+  }
+  std::unique_ptr<sdp::ThreadPool> pool;
+  sdp::OptimizerOptions options;
+};
+
+void BM_ParallelDPStar(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const sdp::Query q = f.MakeQuery(sdp::Topology::kStar, 14);
+  sdp::CostModel cost(f.ctx.catalog, f.ctx.stats, q.graph);
+  ThreadedRun run(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdp::OptimizeDP(q, cost, run.options));
+  }
+}
+BENCHMARK(BM_ParallelDPStar)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelDPChain(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const sdp::Query q = f.MakeQuery(sdp::Topology::kChain, 24);
+  sdp::CostModel cost(f.ctx.catalog, f.ctx.stats, q.graph);
+  ThreadedRun run(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdp::OptimizeDP(q, cost, run.options));
+  }
+}
+BENCHMARK(BM_ParallelDPChain)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelSDPStar(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const sdp::Query q = f.MakeQuery(sdp::Topology::kStar, 20);
+  sdp::CostModel cost(f.ctx.catalog, f.ctx.stats, q.graph);
+  ThreadedRun run(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sdp::OptimizeSDP(q, cost, sdp::SdpConfig{}, run.options));
+  }
+}
+BENCHMARK(BM_ParallelSDPStar)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelSDPStarChain(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const sdp::Query q = f.MakeQuery(sdp::Topology::kStarChain, 25);
+  sdp::CostModel cost(f.ctx.catalog, f.ctx.stats, q.graph);
+  ThreadedRun run(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sdp::OptimizeSDP(q, cost, sdp::SdpConfig{}, run.options));
+  }
+}
+BENCHMARK(BM_ParallelSDPStarChain)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sdp::bench::MicroBenchMain(argc, argv);
+}

@@ -65,6 +65,18 @@ void ResourceBudget::Trip(OptStatusCode code, std::string message) {
   message_ = std::move(message);
 }
 
+OptStatusCode ResourceBudget::ProbeCrossThread() const {
+  if (code_ != OptStatusCode::kOk) return code_;
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return OptStatusCode::kCancelled;
+  }
+  if (has_deadline() && armed_ &&
+      ElapsedSeconds() > limits_.deadline_seconds) {
+    return OptStatusCode::kDeadlineExceeded;
+  }
+  return OptStatusCode::kOk;
+}
+
 void ResourceBudget::CheckMemory() {
   const size_t current = gauge_->current_bytes();
   if (current > limits_.memory_budget_bytes) {

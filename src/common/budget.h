@@ -134,6 +134,15 @@ class ResourceBudget {
   // service recording an exception).  kOk is ignored.
   void Trip(OptStatusCode code, std::string message);
 
+  // Read-only probe for intra-query worker threads: observes the latched
+  // status, the cancel token and the deadline without counting a
+  // checkpoint, latching, or touching fault sites.  Safe to call from
+  // several threads concurrently *provided* no thread is mutating the
+  // budget at the same time -- which holds during a parallel enumeration
+  // phase, where only workers (probing) run and the owning thread polls
+  // CheckPoint() again only after joining them.
+  OptStatusCode ProbeCrossThread() const;
+
   // Prepares the budget for the next rung of the degradation ladder:
   // clears a kMemoryExceeded or kInternal trip (the next rung gets a
   // fresh working set, and a defect may be rung-specific), detaches the

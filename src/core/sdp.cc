@@ -8,6 +8,7 @@
 #include "cost/cardinality.h"
 #include "optimizer/enumerator.h"
 #include "optimizer/memo.h"
+#include "optimizer/parallel_enum.h"
 #include "optimizer/plan_pool.h"
 #include "optimizer/run_helpers.h"
 #include "trace/optimizer_trace.h"
@@ -297,8 +298,10 @@ OptimizeResult OptimizeSDP(const Query& query, const CostModel& cost,
   if (query.order_by.has_value()) order_col = query.order_by->column;
   OrderingSpace space(graph, order_col);
   SearchCounters counters;
+  OptimizerOptions run_options = options;
+  IntraQueryWorkers intra(&run_options);
   JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool, &gauge,
-                            options, &counters);
+                            run_options, &counters);
   Tracer* const tracer = options.tracer;
   SdpPruner pruner(graph, config, space, tracer, options.budget);
   if (tracer != nullptr) {

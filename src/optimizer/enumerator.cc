@@ -26,6 +26,71 @@ int OrderingSpace::IdFor(ColumnRef c) const {
   return -1;
 }
 
+SortedInput BestSortedInput(const CostModel& cost, const MemoEntry* e,
+                            int eq) {
+  SortedInput out;
+  const PlanNode* sorted = e->PlanWithOrdering(eq);
+  const PlanNode* cheapest = e->CheapestPlan();
+  const double sort_cost =
+      cheapest->cost + cost.SortCost(cheapest->rows, cost.RowWidth(e->rels));
+  if (sorted != nullptr && sorted->cost <= sort_cost) {
+    out.plan = sorted;
+    out.cost = sorted->cost;
+    out.needs_sort = false;
+  } else {
+    out.plan = cheapest;
+    out.cost = sort_cost;
+    out.needs_sort = true;
+  }
+  return out;
+}
+
+double JoinCandidateGen::HashCost(const PlanNode* outer,
+                                  const PlanNode* inner, int num_quals,
+                                  double out_rows) const {
+  JoinCostInput in;
+  in.outer_cost = outer->cost;
+  in.outer_rows = outer->rows;
+  in.outer_width = cost_->RowWidth(outer->rels);
+  in.inner_cost = inner->cost;
+  in.inner_rows = inner->rows;
+  in.inner_width = cost_->RowWidth(inner->rels);
+  in.out_rows = out_rows;
+  in.num_quals = num_quals;
+  return cost_->HashJoinCost(in);
+}
+
+double JoinCandidateGen::NestLoopCost(const PlanNode* outer,
+                                      const PlanNode* inner, int num_quals,
+                                      double out_rows) const {
+  JoinCostInput in;
+  in.outer_cost = outer->cost;
+  in.outer_rows = outer->rows;
+  in.outer_width = cost_->RowWidth(outer->rels);
+  in.inner_cost = inner->cost;
+  in.inner_rows = inner->rows;
+  in.inner_width = cost_->RowWidth(inner->rels);
+  in.out_rows = out_rows;
+  in.num_quals = num_quals;
+  return cost_->NestLoopCost(in);
+}
+
+double JoinCandidateGen::MergeCost(const MemoEntry* a, const MemoEntry* b,
+                                   const SortedInput& sa,
+                                   const SortedInput& sb, int num_quals,
+                                   double out_rows) const {
+  JoinCostInput in;
+  in.outer_cost = sa.cost;
+  in.outer_rows = a->rows;
+  in.outer_width = cost_->RowWidth(a->rels);
+  in.inner_cost = sb.cost;
+  in.inner_rows = b->rows;
+  in.inner_width = cost_->RowWidth(b->rels);
+  in.out_rows = out_rows;
+  in.num_quals = num_quals;
+  return cost_->MergeJoinCost(in);
+}
+
 JoinEnumerator::JoinEnumerator(const JoinGraph& graph, const CostModel& cost,
                                const OrderingSpace& space,
                                CardinalityEstimator* card, Memo* memo,
@@ -41,8 +106,11 @@ JoinEnumerator::JoinEnumerator(const JoinGraph& graph, const CostModel& cost,
       gauge_(gauge),
       options_(options),
       counters_(counters),
+      gen_(graph, cost, space),
       poll_mask_(options.budget != nullptr ? 0xFF : 0xFFFF) {
   if (options_.budget != nullptr) options_.budget->AttachGauge(gauge_);
+  // Level-2 lower bound: one entry per relation plus one per edge.
+  memo_->Reserve(graph.num_relations() + graph.edges().size());
 }
 
 bool JoinEnumerator::BudgetExceeded() {
@@ -127,6 +195,13 @@ MemoEntry* JoinEnumerator::InstallLeaf(RelSet rels, double rows, double sel,
 
 bool JoinEnumerator::RunLevel(int level) {
   SDP_CHECK(level >= 2);
+  if (options_.opt_threads > 1 && options_.intra_pool != nullptr) {
+    return RunLevelParallel(level);
+  }
+  return RunLevelSerial(level);
+}
+
+bool JoinEnumerator::RunLevelSerial(int level) {
   if (BudgetExceeded()) return false;
   for (int a_size = 1; a_size <= level / 2; ++a_size) {
     const int b_size = level - a_size;
@@ -135,6 +210,9 @@ bool JoinEnumerator::RunLevel(int level) {
     for (size_t i = 0; i < as.size(); ++i) {
       MemoEntry* a = as[i];
       if (a->pruned) continue;
+      // Hoisted out of the pair loop: AreAdjacent recomputes this union
+      // for every (a, b) otherwise.
+      const RelSet a_nbrs = graph_->Neighbors(a->rels);
       // For equal sizes, only unordered pairs (j > i).
       const size_t j_begin = (a_size == b_size) ? i + 1 : 0;
       for (size_t j = j_begin; j < bs.size(); ++j) {
@@ -146,7 +224,7 @@ bool JoinEnumerator::RunLevel(int level) {
           return false;
         }
         if (a->rels.Overlaps(b->rels)) continue;
-        if (!graph_->AreAdjacent(a->rels, b->rels)) continue;
+        if (!a_nbrs.Overlaps(b->rels)) continue;
         const RelSet s = a->rels.Union(b->rels);
         bool created = false;
         MemoEntry* target =
@@ -164,121 +242,29 @@ bool JoinEnumerator::RunLevel(int level) {
 
 void JoinEnumerator::EmitJoinsInto(MemoEntry* target, const MemoEntry* a,
                                    const MemoEntry* b) {
-  SDP_DCHECK(!a->rels.Overlaps(b->rels));
-  const std::vector<int> edges = graph_->ConnectingEdges(a->rels, b->rels);
-  SDP_DCHECK(!edges.empty());
-  const int num_quals = static_cast<int>(edges.size());
-  const double out_rows = target->rows;
-
-  const PlanNode* cheap_a = a->CheapestPlan();
-  const PlanNode* cheap_b = b->CheapestPlan();
-  SDP_DCHECK(cheap_a != nullptr && cheap_b != nullptr);
-
-  // Hash join, both orientations (order-destroying: cheapest inputs only).
-  ConsiderHash(target, cheap_a, cheap_b, edges[0], num_quals, out_rows);
-  ConsiderHash(target, cheap_b, cheap_a, edges[0], num_quals, out_rows);
-
-  // Nested loop: preserves the outer ordering, so each retained outer plan
-  // is a distinct candidate; the inner is rescanned, cheapest suffices.
-  for (const RankedPlan& rp : a->plans) {
-    ConsiderNestLoop(target, rp.plan, cheap_b, edges[0], num_quals, out_rows);
-  }
-  for (const RankedPlan& rp : b->plans) {
-    ConsiderNestLoop(target, rp.plan, cheap_a, edges[0], num_quals, out_rows);
-  }
-
-  for (int e : edges) {
-    // Index nested loop when one side is a base relation indexed on its
-    // join column.
-    const JoinEdge& edge = graph_->edges()[e];
-    const ColumnRef a_side =
-        a->rels.Contains(edge.left.rel) ? edge.left : edge.right;
-    const ColumnRef b_side =
-        b->rels.Contains(edge.left.rel) ? edge.left : edge.right;
-    SDP_DCHECK(a->rels.Contains(a_side.rel) && b->rels.Contains(b_side.rel));
-    if (b->rels.Count() == 1 && b->unit_count == 1 &&
-        cost_->HasIndexOn(b_side)) {
-      for (const RankedPlan& rp : a->plans) {
-        ConsiderIndexNestLoop(target, rp.plan, b, e, out_rows);
-      }
-    }
-    if (a->rels.Count() == 1 && a->unit_count == 1 &&
-        cost_->HasIndexOn(a_side)) {
-      for (const RankedPlan& rp : b->plans) {
-        ConsiderIndexNestLoop(target, rp.plan, a, e, out_rows);
-      }
-    }
-    // Merge join on this edge's equivalence class.
-    ConsiderMergeJoin(target, a, b, e, num_quals, out_rows);
-  }
+  // Generate-and-apply inline: the serial path costs each candidate and
+  // immediately runs it through the same apply step the parallel merge
+  // uses, so both paths share one behavioral definition.
+  gen_.Generate(a, b, target->rows, &counters_->plans_costed,
+                [&](const JoinCandidate& c) { ApplyCandidate(target, c); });
 }
 
-void JoinEnumerator::ConsiderHash(MemoEntry* target, const PlanNode* outer,
-                                  const PlanNode* inner, int edge,
-                                  int num_quals, double out_rows) {
-  ++counters_->plans_costed;
-  JoinCostInput in;
-  in.outer_cost = outer->cost;
-  in.outer_rows = outer->rows;
-  in.outer_width = cost_->RowWidth(outer->rels);
-  in.inner_cost = inner->cost;
-  in.inner_rows = inner->rows;
-  in.inner_width = cost_->RowWidth(inner->rels);
-  in.out_rows = out_rows;
-  in.num_quals = num_quals;
-  const double cost = cost_->HashJoinCost(in);
-  TryAdd(target, PlanKind::kHashJoin, -1, edge, /*ordering=*/-1, out_rows,
-         cost, outer, inner);
-}
-
-void JoinEnumerator::ConsiderNestLoop(MemoEntry* target, const PlanNode* outer,
-                                      const PlanNode* inner, int edge,
-                                      int num_quals, double out_rows) {
-  ++counters_->plans_costed;
-  JoinCostInput in;
-  in.outer_cost = outer->cost;
-  in.outer_rows = outer->rows;
-  in.outer_width = cost_->RowWidth(outer->rels);
-  in.inner_cost = inner->cost;
-  in.inner_rows = inner->rows;
-  in.inner_width = cost_->RowWidth(inner->rels);
-  in.out_rows = out_rows;
-  in.num_quals = num_quals;
-  const double cost = cost_->NestLoopCost(in);
-  TryAdd(target, PlanKind::kNestLoop, -1, edge, outer->ordering, out_rows,
-         cost, outer, inner);
-}
-
-void JoinEnumerator::ConsiderIndexNestLoop(MemoEntry* target,
-                                           const PlanNode* outer,
-                                           const MemoEntry* inner_entry,
-                                           int edge, double out_rows) {
-  const int inner_rel = inner_entry->rels.Lowest();
-  ++counters_->plans_costed;
-  const double cost = cost_->IndexNestLoopCost(outer->cost, outer->rows,
-                                               inner_rel, edge, out_rows);
-  TryAdd(target, PlanKind::kIndexNestLoop, inner_rel, edge, outer->ordering,
-         out_rows, cost, outer, inner_entry->plans.front().plan);
-}
-
-JoinEnumerator::SortedInput JoinEnumerator::BestSortedInput(
-    const MemoEntry* e, int eq) const {
-  SortedInput out;
-  const PlanNode* sorted = e->PlanWithOrdering(eq);
-  const PlanNode* cheapest = e->CheapestPlan();
-  const double sort_cost =
-      cheapest->cost +
-      cost_->SortCost(cheapest->rows, cost_->RowWidth(e->rels));
-  if (sorted != nullptr && sorted->cost <= sort_cost) {
-    out.plan = sorted;
-    out.cost = sorted->cost;
-    out.needs_sort = false;
-  } else {
-    out.plan = cheapest;
-    out.cost = sort_cost;
-    out.needs_sort = true;
+bool JoinEnumerator::ApplyCandidate(MemoEntry* target,
+                                    const JoinCandidate& c) {
+  if (c.kind == PlanKind::kMergeJoin) {
+    // Pre-gate before materializing Sort enforcers: a dominated merge
+    // candidate must allocate nothing (and skip the budget poll), exactly
+    // as the serial enumerator always has.
+    if (!target->WouldImprove(c.ordering, c.cost)) return false;
+    const PlanNode* outer =
+        MaterializeSorted(c.outer_entry, c.ordering, c.outer_sorted);
+    const PlanNode* inner =
+        MaterializeSorted(c.inner_entry, c.ordering, c.inner_sorted);
+    return TryAdd(target, c.kind, c.rel, c.edge, c.ordering, c.rows, c.cost,
+                  outer, inner);
   }
-  return out;
+  return TryAdd(target, c.kind, c.rel, c.edge, c.ordering, c.rows, c.cost,
+                c.outer, c.inner);
 }
 
 const PlanNode* JoinEnumerator::MaterializeSorted(const MemoEntry* e, int eq,
@@ -292,32 +278,6 @@ const PlanNode* JoinEnumerator::MaterializeSorted(const MemoEntry* e, int eq,
   sort->ordering = eq;
   sort->outer = in.plan;
   return sort;
-}
-
-void JoinEnumerator::ConsiderMergeJoin(MemoEntry* target, const MemoEntry* a,
-                                       const MemoEntry* b, int edge,
-                                       int num_quals, double out_rows) {
-  const JoinEdge& e = graph_->edges()[edge];
-  const int eq = space_->IdFor(e.left);
-  if (eq < 0) return;  // Defensive: join columns always have a class.
-  ++counters_->plans_costed;
-  const SortedInput sa = BestSortedInput(a, eq);
-  const SortedInput sb = BestSortedInput(b, eq);
-  JoinCostInput in;
-  in.outer_cost = sa.cost;
-  in.outer_rows = a->rows;
-  in.outer_width = cost_->RowWidth(a->rels);
-  in.inner_cost = sb.cost;
-  in.inner_rows = b->rows;
-  in.inner_width = cost_->RowWidth(b->rels);
-  in.out_rows = out_rows;
-  in.num_quals = num_quals;
-  const double cost = cost_->MergeJoinCost(in);
-  if (!target->WouldImprove(eq, cost)) return;
-  const PlanNode* outer = MaterializeSorted(a, eq, sa);
-  const PlanNode* inner = MaterializeSorted(b, eq, sb);
-  TryAdd(target, PlanKind::kMergeJoin, -1, edge, eq, out_rows, cost, outer,
-         inner);
 }
 
 bool JoinEnumerator::TryAdd(MemoEntry* target, PlanKind kind, int rel,
@@ -373,7 +333,7 @@ const PlanNode* JoinEnumerator::FinalizeBestPlan(const MemoEntry* full) {
   if (cheapest == nullptr) return nullptr;
   const int required = space_->RequiredId();
   if (required < 0) return cheapest;
-  const SortedInput in = BestSortedInput(full, required);
+  const SortedInput in = BestSortedInput(*cost_, full, required);
   return MaterializeSorted(full, required, in);
 }
 

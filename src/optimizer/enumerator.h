@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/check.h"
 #include "cost/cardinality.h"
 #include "cost/cost_model.h"
 #include "optimizer/memo.h"
@@ -32,6 +33,186 @@ class OrderingSpace {
   int required_id_ = -1;
 };
 
+// Cheapest way to obtain an entry's output sorted on an ordering id: a
+// pre-sorted retained plan, or cheapest-plus-Sort.  A cost probe only --
+// the Sort enforcer is materialized separately, and only when the costed
+// candidate survives the dominance pre-gate.
+struct SortedInput {
+  const PlanNode* plan = nullptr;
+  double cost = 0;
+  bool needs_sort = false;
+};
+
+SortedInput BestSortedInput(const CostModel& cost, const MemoEntry* e,
+                            int eq);
+
+// One costed physical-join alternative, decoupled from the memo insertion
+// that the serial enumerator performs inline.  Costing a candidate touches
+// only immutable lower-level state (memo entries of completed levels, the
+// cost model, the join graph), so candidates can be produced by worker
+// threads; *applying* one (dominance check, plan-node allocation, memo
+// insertion) stays on the owning thread.
+struct JoinCandidate {
+  PlanKind kind = PlanKind::kHashJoin;
+  int rel = -1;       // Index-nested-loop inner base relation, else -1.
+  int edge = -1;
+  int ordering = -1;  // Output ordering id (-1 = unordered).
+  // Ordinal of this candidate within its pair's emission sequence; the
+  // deterministic merge uses it to reconstruct the exact serial
+  // plans_costed value at every budget poll even when dominated candidates
+  // were dropped worker-side.
+  uint32_t emit_index = 0;
+  double rows = 0;
+  double cost = 0;
+  const PlanNode* outer = nullptr;  // Non-merge joins: the input plans.
+  const PlanNode* inner = nullptr;
+  // Merge joins: inputs are *described* rather than materialized, so Sort
+  // enforcers are allocated only after the pre-gate passes (and therefore
+  // in the identical order to the serial run).
+  const MemoEntry* outer_entry = nullptr;
+  const MemoEntry* inner_entry = nullptr;
+  SortedInput outer_sorted;
+  SortedInput inner_sorted;
+};
+
+// Generates the physical-join candidates for one (a, b) pair in the
+// canonical order the serial enumerator costs them: hash join in both
+// orientations, nested loop per retained outer plan (both sides), then per
+// connecting edge index-nested-loop variants and the merge join.  Pure with
+// respect to shared optimizer state -- reads only completed memo levels --
+// so each enumeration worker owns one instance (the connecting-edge scratch
+// buffer makes it stateful but thread-private).
+class JoinCandidateGen {
+ public:
+  JoinCandidateGen(const JoinGraph& graph, const CostModel& cost,
+                   const OrderingSpace& space)
+      : graph_(&graph), cost_(&cost), space_(&space) {}
+
+  // Emits every candidate for `a` JOIN `b` into `sink`
+  // (void(const JoinCandidate&)), incrementing *plans_costed once per
+  // emission -- the counter contract the budget's plans-costed cap and the
+  // paper's overhead metrics rely on.  `out_rows` is the target JCR's
+  // cardinality.
+  template <typename Sink>
+  void Generate(const MemoEntry* a, const MemoEntry* b, double out_rows,
+                uint64_t* plans_costed, Sink&& sink) {
+    SDP_DCHECK(!a->rels.Overlaps(b->rels));
+    graph_->ConnectingEdgesInto(a->rels, b->rels, &edges_);
+    SDP_DCHECK(!edges_.empty());
+    const int num_quals = static_cast<int>(edges_.size());
+
+    const PlanNode* cheap_a = a->CheapestPlan();
+    const PlanNode* cheap_b = b->CheapestPlan();
+    SDP_DCHECK(cheap_a != nullptr && cheap_b != nullptr);
+
+    uint32_t emit = 0;
+    JoinCandidate c;
+    c.rows = out_rows;
+    auto send = [&](PlanKind kind, int rel, int edge, int ordering,
+                    double cost, const PlanNode* outer,
+                    const PlanNode* inner) {
+      ++*plans_costed;
+      c.kind = kind;
+      c.rel = rel;
+      c.edge = edge;
+      c.ordering = ordering;
+      c.emit_index = emit++;
+      c.cost = cost;
+      c.outer = outer;
+      c.inner = inner;
+      c.outer_entry = nullptr;
+      c.inner_entry = nullptr;
+      sink(c);
+    };
+
+    // Hash join, both orientations (order-destroying: cheapest inputs
+    // only).
+    send(PlanKind::kHashJoin, -1, edges_[0], -1,
+         HashCost(cheap_a, cheap_b, num_quals, out_rows), cheap_a, cheap_b);
+    send(PlanKind::kHashJoin, -1, edges_[0], -1,
+         HashCost(cheap_b, cheap_a, num_quals, out_rows), cheap_b, cheap_a);
+
+    // Nested loop: preserves the outer ordering, so each retained outer
+    // plan is a distinct candidate; the inner is rescanned, cheapest
+    // suffices.
+    for (const RankedPlan& rp : a->plans) {
+      send(PlanKind::kNestLoop, -1, edges_[0], rp.plan->ordering,
+           NestLoopCost(rp.plan, cheap_b, num_quals, out_rows), rp.plan,
+           cheap_b);
+    }
+    for (const RankedPlan& rp : b->plans) {
+      send(PlanKind::kNestLoop, -1, edges_[0], rp.plan->ordering,
+           NestLoopCost(rp.plan, cheap_a, num_quals, out_rows), rp.plan,
+           cheap_a);
+    }
+
+    for (int e : edges_) {
+      // Index nested loop when one side is a base relation indexed on its
+      // join column.
+      const JoinEdge& edge = graph_->edges()[e];
+      const ColumnRef a_side =
+          a->rels.Contains(edge.left.rel) ? edge.left : edge.right;
+      const ColumnRef b_side =
+          b->rels.Contains(edge.left.rel) ? edge.left : edge.right;
+      SDP_DCHECK(a->rels.Contains(a_side.rel) &&
+                 b->rels.Contains(b_side.rel));
+      if (b->rels.Count() == 1 && b->unit_count == 1 &&
+          cost_->HasIndexOn(b_side)) {
+        const int inner_rel = b->rels.Lowest();
+        for (const RankedPlan& rp : a->plans) {
+          send(PlanKind::kIndexNestLoop, inner_rel, e, rp.plan->ordering,
+               cost_->IndexNestLoopCost(rp.plan->cost, rp.plan->rows,
+                                        inner_rel, e, out_rows),
+               rp.plan, b->plans.front().plan);
+        }
+      }
+      if (a->rels.Count() == 1 && a->unit_count == 1 &&
+          cost_->HasIndexOn(a_side)) {
+        const int inner_rel = a->rels.Lowest();
+        for (const RankedPlan& rp : b->plans) {
+          send(PlanKind::kIndexNestLoop, inner_rel, e, rp.plan->ordering,
+               cost_->IndexNestLoopCost(rp.plan->cost, rp.plan->rows,
+                                        inner_rel, e, out_rows),
+               rp.plan, a->plans.front().plan);
+        }
+      }
+      // Merge join on this edge's equivalence class.
+      const int eq = space_->IdFor(edge.left);
+      if (eq < 0) continue;  // Defensive: join columns always have a class.
+      ++*plans_costed;
+      const SortedInput sa = BestSortedInput(*cost_, a, eq);
+      const SortedInput sb = BestSortedInput(*cost_, b, eq);
+      c.kind = PlanKind::kMergeJoin;
+      c.rel = -1;
+      c.edge = e;
+      c.ordering = eq;
+      c.emit_index = emit++;
+      c.cost = MergeCost(a, b, sa, sb, num_quals, out_rows);
+      c.outer = nullptr;
+      c.inner = nullptr;
+      c.outer_entry = a;
+      c.inner_entry = b;
+      c.outer_sorted = sa;
+      c.inner_sorted = sb;
+      sink(c);
+    }
+  }
+
+ private:
+  double HashCost(const PlanNode* outer, const PlanNode* inner,
+                  int num_quals, double out_rows) const;
+  double NestLoopCost(const PlanNode* outer, const PlanNode* inner,
+                      int num_quals, double out_rows) const;
+  double MergeCost(const MemoEntry* a, const MemoEntry* b,
+                   const SortedInput& sa, const SortedInput& sb,
+                   int num_quals, double out_rows) const;
+
+  const JoinGraph* graph_;
+  const CostModel* cost_;
+  const OrderingSpace* space_;
+  std::vector<int> edges_;  // Scratch for ConnectingEdgesInto.
+};
+
 // The size-driven ("DPsize", System-R / PostgreSQL style) bushy join
 // enumerator shared by DP, IDP and SDP.
 //
@@ -47,6 +228,12 @@ class OrderingSpace {
 // slots are charged to the MemoryGauge; RunLevel aborts (returns false)
 // when the configured budget is exceeded -- the paper's infeasibility
 // condition.
+//
+// With OptimizerOptions::opt_threads > 1 and a worker pool attached,
+// RunLevel shards its candidate-pair space across threads and merges the
+// thread-local candidate buffers deterministically (see
+// optimizer/parallel_enum.h); memo, plan trees and SearchCounters are
+// bit-identical to the serial run at any thread count.
 class JoinEnumerator {
  public:
   JoinEnumerator(const JoinGraph& graph, const CostModel& cost,
@@ -110,28 +297,18 @@ class JoinEnumerator {
   // True when the budget is exhausted; latches `aborted_`.
   bool BudgetExceeded();
 
-  void ConsiderHash(MemoEntry* target, const PlanNode* outer,
-                    const PlanNode* inner, int edge, int num_quals,
-                    double out_rows);
-  void ConsiderNestLoop(MemoEntry* target, const PlanNode* outer,
-                        const PlanNode* inner, int edge, int num_quals,
-                        double out_rows);
-  void ConsiderIndexNestLoop(MemoEntry* target, const PlanNode* outer,
-                             const MemoEntry* inner_entry, int edge,
-                             double out_rows);
-  void ConsiderMergeJoin(MemoEntry* target, const MemoEntry* a,
-                         const MemoEntry* b, int edge, int num_quals,
-                         double out_rows);
+  // The classic single-threaded level loop.
+  bool RunLevelSerial(int level);
 
-  // Cheapest way to obtain `a`'s output sorted on ordering `eq`:
-  // a pre-sorted plan or cheapest-plus-Sort.  Materializes the Sort node
-  // only when `materialize` is set (cost-probe first, allocate on win).
-  struct SortedInput {
-    const PlanNode* plan = nullptr;  // Null when not materialized.
-    double cost = 0;
-    bool needs_sort = false;
-  };
-  SortedInput BestSortedInput(const MemoEntry* e, int eq) const;
+  // Sharded level loop + deterministic merge; defined in parallel_enum.cc.
+  // Falls back to RunLevelSerial below the parallel_min_pairs threshold.
+  bool RunLevelParallel(int level);
+
+  // Applies one costed candidate to `target`: for merge joins, the
+  // dominance pre-gate runs before Sort enforcers are materialized (the
+  // serial allocation discipline); every kind then funnels through TryAdd.
+  bool ApplyCandidate(MemoEntry* target, const JoinCandidate& c);
+
   const PlanNode* MaterializeSorted(const MemoEntry* e, int eq,
                                     const SortedInput& in);
 
@@ -148,6 +325,7 @@ class JoinEnumerator {
   MemoryGauge* gauge_;
   OptimizerOptions options_;
   SearchCounters* counters_;
+  JoinCandidateGen gen_;
   // Pair-count mask gating budget polls inside RunLevel's inner loop; a
   // ResourceBudget polls denser than the legacy caps because its fast path
   // is cheaper than a gauge read.

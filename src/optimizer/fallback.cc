@@ -7,6 +7,7 @@
 
 #include "optimizer/dp.h"
 #include "optimizer/heuristic_baselines.h"
+#include "optimizer/parallel_enum.h"
 #include "plan/plan_node.h"
 
 namespace sdp {
@@ -104,6 +105,12 @@ OptimizeResult OptimizeWithFallback(const Query& query, const CostModel& cost,
   ResourceBudget* const budget = options.budget;
   if (budget != nullptr && !budget->armed()) budget->Arm();
 
+  // One worker pool spans every rung of the ladder: the per-driver
+  // IntraQueryWorkers then borrow it instead of respawning threads on each
+  // retry.
+  OptimizerOptions run_options = options;
+  IntraQueryWorkers intra(&run_options);
+
   const int start = static_cast<int>(config.start_rung);
   const int deepest =
       std::max(start, static_cast<int>(config.max_rung));
@@ -137,7 +144,7 @@ OptimizeResult OptimizeWithFallback(const Query& query, const CostModel& cost,
 
     OptimizeResult res;
     try {
-      res = RunRung(rung, config, query, cost, options);
+      res = RunRung(rung, config, query, cost, run_options);
     } catch (const std::exception& e) {
       res = OptimizeResult();
       res.algorithm = FallbackRungName(rung);

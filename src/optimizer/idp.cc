@@ -11,6 +11,7 @@
 #include "cost/cardinality.h"
 #include "optimizer/enumerator.h"
 #include "optimizer/memo.h"
+#include "optimizer/parallel_enum.h"
 #include "optimizer/plan_pool.h"
 #include "optimizer/run_helpers.h"
 #include "trace/optimizer_trace.h"
@@ -89,6 +90,9 @@ OptimizeResult OptimizeIDP(const Query& query, const CostModel& cost,
   if (tracer != nullptr) {
     tracer->OnRunBegin(MakeTraceRunBegin(name, graph, cost));
   }
+  // One worker pool spans every iteration's enumerator.
+  OptimizerOptions run_options = options;
+  IntraQueryWorkers intra(&run_options);
 
   for (int iteration = 0;; ++iteration) {
     const int m = static_cast<int>(units.size());
@@ -98,7 +102,7 @@ OptimizeResult OptimizeIDP(const Query& query, const CostModel& cost,
     PlanPool& pool = iterations.back()->pool;
     Memo& memo = iterations.back()->memo;
     JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool,
-                              &gauge, options, &counters);
+                              &gauge, run_options, &counters);
     {
       TraceLevelScope span(tracer, iteration, 1, "leaves", counters, gauge);
       for (const Unit& u : units) {
@@ -278,6 +282,9 @@ OptimizeResult OptimizeIDP2(const Query& query, const CostModel& cost,
   if (tracer != nullptr) {
     tracer->OnRunBegin(MakeTraceRunBegin(name, graph, cost));
   }
+  // One worker pool spans every iteration's enumerator.
+  OptimizerOptions run_options = options;
+  IntraQueryWorkers intra(&run_options);
 
   for (int iteration = 0;; ++iteration) {
     const int m = static_cast<int>(units.size());
@@ -365,7 +372,7 @@ OptimizeResult OptimizeIDP2(const Query& query, const CostModel& cost,
     PlanPool& pool = iterations.back()->pool;
     Memo& memo = iterations.back()->memo;
     JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool,
-                              &gauge, options, &counters);
+                              &gauge, run_options, &counters);
     RelSet block_rels;
     {
       TraceLevelScope span(tracer, iteration, 1, "leaves", counters, gauge);

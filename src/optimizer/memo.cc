@@ -69,13 +69,13 @@ Memo::~Memo() {
 }
 
 MemoEntry* Memo::Find(RelSet rels) {
-  auto it = map_.find(rels.bits());
+  auto it = map_.find(rels);
   return it == map_.end() ? nullptr : &it->second;
 }
 
 MemoEntry* Memo::GetOrCreate(RelSet rels, int unit_count, double rows,
                              double sel, bool* created) {
-  auto [it, inserted] = map_.try_emplace(rels.bits());
+  auto [it, inserted] = map_.try_emplace(rels);
   *created = inserted;
   MemoEntry* entry = &it->second;
   if (inserted) {
@@ -129,7 +129,7 @@ void Memo::Erase(MemoEntry* entry) {
     SDP_DCHECK(charged_bytes_ >= bytes);
     charged_bytes_ -= bytes;
   }
-  const size_t erased = map_.erase(entry->rels.bits());
+  const size_t erased = map_.erase(entry->rels);
   SDP_CHECK(erased == 1);
 }
 

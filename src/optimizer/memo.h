@@ -75,6 +75,11 @@ class Memo {
 
   size_t num_entries() const { return map_.size(); }
 
+  // Pre-sizes the hash table for at least `n` entries, avoiding rehashes
+  // during enumeration.  Callers seed it with the level-2 lower bound (one
+  // entry per relation plus one per edge).
+  void Reserve(size_t n) { map_.reserve(n); }
+
   // Accounts bytes for one retained RankedPlan slot; called by the
   // enumerator when a plan is added to an entry.
   void ChargePlanSlot();
@@ -91,7 +96,10 @@ class Memo {
   static constexpr size_t kPlanSlotBytes = sizeof(RankedPlan);
 
   MemoryGauge* gauge_;
-  std::unordered_map<uint64_t, MemoEntry> map_;
+  // Keyed by RelSet under RelSetHash: the default integer hash is the
+  // identity, which clusters the dense low-bit masks DP produces into the
+  // same buckets; the splitmix64 mix spreads them.
+  std::unordered_map<RelSet, MemoEntry, RelSetHash> map_;
   // Deque: callers hold references to inner lists across entry creation,
   // and deque growth at the end never invalidates existing elements.
   std::deque<std::vector<MemoEntry*>> by_unit_count_;

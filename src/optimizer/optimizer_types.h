@@ -14,6 +14,7 @@
 namespace sdp {
 
 class Tracer;
+class ThreadPool;
 
 // Resource limits for one optimization run.  The paper's notion of
 // infeasibility is running out of physical memory (1 GB machines); we make
@@ -32,6 +33,20 @@ struct OptimizerOptions {
   // the legacy memory_budget_bytes / max_plans_costed caps above still
   // apply either way.  Not owned; must outlive the run.
   ResourceBudget* budget = nullptr;
+  // Threads enumerating joins *within* one request (1 = serial).  Each DP
+  // level's candidate-pair space is sharded across opt_threads workers and
+  // merged deterministically, so results are bit-identical to serial at any
+  // thread count (see DESIGN.md "Intra-query parallel enumeration").
+  int opt_threads = 1;
+  // Worker pool for intra-query parallelism.  Null makes each driver create
+  // a run-scoped pool of opt_threads - 1 workers (the calling thread is the
+  // remaining worker); a non-null pool is borrowed, not owned, and must not
+  // be shared with another concurrently-optimizing request.
+  ThreadPool* intra_pool = nullptr;
+  // Levels with fewer candidate pairs than this run serially: sharding tiny
+  // levels costs more in coordination than it saves.  Tests lower it to
+  // force the parallel path onto small queries.
+  uint64_t parallel_min_pairs = 2048;
 };
 
 // Search-effort counters, the paper's overhead metrics.

@@ -1,0 +1,380 @@
+// Intra-query parallel join enumeration: JoinEnumerator::RunLevelParallel
+// and its worker machinery.
+//
+// One DP level's (a, b) candidate-pair space is split into chunks of
+// contiguous canonical-order rows.  Workers pull chunks off an atomic
+// cursor and *cost* every candidate into a thread-local buffer -- costing
+// reads only completed memo levels, so the phase is write-free on all
+// shared optimizer state (memo, plan pool, gauge, budget).  The owning
+// thread then merges the buffers in canonical shard order, replaying
+// every recorded candidate through the exact serial apply path: plan-node
+// allocation, dominance checks, memo insertion, fault-injection sites and
+// budget checkpoints all happen on that replay, in the serial order, with
+// the pairs-examined and plans-costed counters reconstructed to their
+// exact serial values at every step -- so the memo, plan trees and
+// SearchCounters come out bit-identical to a serial run at any thread
+// count.  The merge walks only the *recorded* adjacent pairs (the scan
+// over the full pair space happens once, in parallel), re-running skipped
+// pairs' budget polls arithmetically.  DESIGN.md ("Intra-query parallel
+// enumeration") gives the full determinism argument.
+
+#include "optimizer/parallel_enum.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "optimizer/enumerator.h"
+#include "trace/trace.h"
+
+namespace sdp {
+
+IntraQueryWorkers::IntraQueryWorkers(OptimizerOptions* options) {
+  if (options->opt_threads > 1 && options->intra_pool == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options->opt_threads - 1);
+    options->intra_pool = pool_.get();
+  }
+}
+
+// ThreadPool's destructor drains (nothing is queued by then) and joins.
+IntraQueryWorkers::~IntraQueryWorkers() = default;
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// One outer entry of the canonical pair loop: (a_size, i) plus the fixed
+// inner start and the number of unpruned partners -- the sharding weight
+// and the row's examined-pair count.
+struct Row {
+  int a_size = 0;
+  uint32_t i = 0;
+  uint32_t j_begin = 0;
+  uint64_t pairs = 0;
+};
+
+// One adjacent pair processed by a worker.  `examined_at` is the pair's
+// 1-based examined ordinal within row `row`, letting the merge advance
+// the global pairs-examined counter past the non-adjacent pairs between
+// records (and re-run the budget polls the serial scan would have hit
+// there) without rescanning them.  [cand_begin, cand_end) indexes the
+// chunk's candidate buffer, which keeps *every* candidate the pair
+// generated: dominance filtering is deliberately left to the merge, where
+// the real memo entries do it.  Worker-side prefiltering measured as a
+// net loss (the rejects it saves the merge are the cheap ones), and
+// keeping everything is what makes fault-injection sites and budget
+// checkpoints fire at their exact serial positions in every mode.
+struct PairRecord {
+  RelSet target;
+  uint32_t row = 0;
+  uint32_t examined_at = 0;
+  uint32_t cand_begin = 0;
+  uint32_t cand_end = 0;
+};
+
+// Everything one chunk produced.  Built in a worker-local instance and
+// moved into the shared slot once the chunk completes, so concurrent
+// workers never touch adjacent live vector headers (no false sharing).
+// These buffers live only for the level and are not charged to the
+// MemoryGauge: charging them would make budget trips diverge from the
+// serial run (see DESIGN.md).
+struct ChunkOutput {
+  std::vector<PairRecord> pairs;
+  std::vector<JoinCandidate> cands;
+  uint64_t pairs_examined = 0;
+  uint64_t plans_costed = 0;
+};
+
+}  // namespace
+
+bool JoinEnumerator::RunLevelParallel(int level) {
+  // ---- Shard planning (no budget checkpoints yet: a level that falls
+  // back to the serial path must consume exactly the serial run's
+  // checkpoint sequence). ----
+  std::vector<Row> rows;
+  uint64_t total_pairs = 0;
+  for (int a_size = 1; a_size <= level / 2; ++a_size) {
+    const int b_size = level - a_size;
+    const auto& as = memo_->EntriesWithUnitCount(a_size);
+    const auto& bs = memo_->EntriesWithUnitCount(b_size);
+    if (as.empty() || bs.empty()) continue;
+    // Suffix counts of unpruned partners: the per-row examined-pair count.
+    std::vector<uint32_t> alive(bs.size() + 1, 0);
+    for (size_t j = bs.size(); j-- > 0;) {
+      alive[j] = alive[j + 1] + (bs[j]->pruned ? 0 : 1);
+    }
+    for (size_t i = 0; i < as.size(); ++i) {
+      if (as[i]->pruned) continue;
+      const size_t j_begin = (a_size == b_size) ? i + 1 : 0;
+      if (j_begin >= bs.size() || alive[j_begin] == 0) continue;
+      rows.push_back(Row{a_size, static_cast<uint32_t>(i),
+                         static_cast<uint32_t>(j_begin), alive[j_begin]});
+      total_pairs += alive[j_begin];
+    }
+  }
+  if (total_pairs < options_.parallel_min_pairs) {
+    return RunLevelSerial(level);
+  }
+
+  const int workers = options_.intra_pool->num_threads() + 1;
+  const uint64_t chunk_target = std::max<uint64_t>(
+      256, total_pairs / static_cast<uint64_t>(workers * 8));
+  struct Chunk {
+    uint32_t row_begin = 0;
+    uint32_t row_end = 0;
+  };
+  std::vector<Chunk> chunks;
+  uint64_t acc = 0;
+  uint32_t begin = 0;
+  for (uint32_t r = 0; r < rows.size(); ++r) {
+    acc += rows[r].pairs;
+    if (acc >= chunk_target) {
+      chunks.push_back(Chunk{begin, r + 1});
+      begin = r + 1;
+      acc = 0;
+    }
+  }
+  if (begin < rows.size()) {
+    chunks.push_back(Chunk{begin, static_cast<uint32_t>(rows.size())});
+  }
+  if (chunks.size() < 2) return RunLevelSerial(level);
+
+  if (BudgetExceeded()) return false;
+
+  // ---- Parallel costing phase. ----
+  std::vector<ChunkOutput> outputs(chunks.size());
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<int> stop{-1};  // Becomes an OptStatusCode on a trip.
+  std::mutex mu;
+  std::condition_variable cv;
+  int active = 0;
+  double busy_seconds = 0;
+
+  auto run_chunks = [&]() {
+    const auto busy_start = std::chrono::steady_clock::now();
+    CardinalityEstimator wcard(*graph_, *cost_, /*gauge=*/nullptr);
+    JoinCandidateGen wgen(*graph_, *cost_, *space_);
+    ResourceBudget* const budget = options_.budget;
+    uint64_t local_pairs = 0;
+    bool stopped = false;
+    while (!stopped) {
+      const size_t ci = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (ci >= chunks.size()) break;
+      if (stop.load(std::memory_order_acquire) >= 0) break;
+      ChunkOutput out;
+      out.pairs.reserve(256);
+      out.cands.reserve(1024);
+      for (uint32_t r = chunks[ci].row_begin;
+           r != chunks[ci].row_end && !stopped; ++r) {
+        const Row& row = rows[r];
+        const MemoEntry* a = memo_->EntriesWithUnitCount(row.a_size)[row.i];
+        const auto& bs = memo_->EntriesWithUnitCount(level - row.a_size);
+        const RelSet a_nbrs = graph_->Neighbors(a->rels);
+        uint32_t row_examined = 0;
+        for (size_t j = row.j_begin; j < bs.size(); ++j) {
+          const MemoEntry* b = bs[j];
+          if (b->pruned) continue;
+          ++local_pairs;
+          ++out.pairs_examined;
+          ++row_examined;
+          if ((local_pairs & 0xFF) == 0) {
+            if (stop.load(std::memory_order_acquire) >= 0) {
+              stopped = true;
+              break;
+            }
+            if (budget != nullptr) {
+              const OptStatusCode code = budget->ProbeCrossThread();
+              if (code != OptStatusCode::kOk) {
+                int expected = -1;
+                stop.compare_exchange_strong(expected,
+                                             static_cast<int>(code),
+                                             std::memory_order_acq_rel);
+                stopped = true;
+                break;
+              }
+            }
+          }
+          if (a->rels.Overlaps(b->rels)) continue;
+          if (!a_nbrs.Overlaps(b->rels)) continue;
+          const RelSet s = a->rels.Union(b->rels);
+          PairRecord pr;
+          pr.target = s;
+          pr.row = r;
+          pr.examined_at = row_examined;
+          pr.cand_begin = static_cast<uint32_t>(out.cands.size());
+          wgen.Generate(a, b, wcard.Rows(s), &out.plans_costed,
+                        [&](const JoinCandidate& c) {
+                          out.cands.push_back(c);
+                        });
+          pr.cand_end = static_cast<uint32_t>(out.cands.size());
+          out.pairs.push_back(pr);
+        }
+      }
+      outputs[ci] = std::move(out);
+    }
+    const double busy = SecondsSince(busy_start);
+    std::lock_guard<std::mutex> lock(mu);
+    busy_seconds += busy;
+  };
+
+  const auto phase_start = std::chrono::steady_clock::now();
+  const int helpers = static_cast<int>(
+      std::min<size_t>(options_.intra_pool->num_threads(), chunks.size()));
+  for (int t = 0; t < helpers; ++t) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++active;
+    }
+    const bool submitted = options_.intra_pool->Submit([&]() {
+      try {
+        run_chunks();
+      } catch (...) {
+        int expected = -1;
+        stop.compare_exchange_strong(
+            expected, static_cast<int>(OptStatusCode::kInternal),
+            std::memory_order_acq_rel);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      --active;
+      cv.notify_all();
+    });
+    if (!submitted) {  // Pool shutting down: the caller covers the chunks.
+      std::lock_guard<std::mutex> lock(mu);
+      --active;
+    }
+  }
+  try {
+    run_chunks();
+  } catch (...) {
+    int expected = -1;
+    stop.compare_exchange_strong(expected,
+                                 static_cast<int>(OptStatusCode::kInternal),
+                                 std::memory_order_acq_rel);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return active == 0; });
+  }
+  const double enumerate_seconds = SecondsSince(phase_start);
+
+  const int stop_code = stop.load(std::memory_order_acquire);
+  if (stop_code >= 0) {
+    // First tripped worker cancelled the rest.  Account the work actually
+    // performed (counters stay exact), latch the typed status, and discard
+    // the buffers: a deadline/cancel abort has no deterministic serial
+    // counterpart to replay against.
+    for (const ChunkOutput& out : outputs) {
+      counters_->pairs_examined += out.pairs_examined;
+      counters_->plans_costed += out.plans_costed;
+    }
+    const OptStatusCode code = static_cast<OptStatusCode>(stop_code);
+    if (options_.budget != nullptr) {
+      options_.budget->SetPlansCosted(counters_->plans_costed);
+      options_.budget->Trip(code, "tripped during parallel enumeration");
+    }
+    aborted_ = true;
+    status_ = code;
+    return false;
+  }
+
+  // ---- Deterministic merge: walk the recorded pairs in canonical shard
+  // order.  JCR creation, plan allocation, dominance insertion, fault
+  // sites and budget checkpoints all happen here, in the exact serial
+  // order.  plans_costed is reconstructed from each candidate's
+  // emit_index; pairs_examined advances in jumps through the non-adjacent
+  // pairs between records, re-running every poll boundary the serial scan
+  // would have crossed. ----
+  const auto merge_start = std::chrono::steady_clock::now();
+  size_t cur_chunk = 0;
+  size_t cur_pair = 0;
+  auto peek = [&]() -> const PairRecord* {
+    while (cur_chunk < outputs.size() &&
+           cur_pair >= outputs[cur_chunk].pairs.size()) {
+      ++cur_chunk;
+      cur_pair = 0;
+    }
+    if (cur_chunk >= outputs.size()) return nullptr;
+    return &outputs[cur_chunk].pairs[cur_pair];
+  };
+  // Advances the examined-pair counter to `to`, polling the budget at
+  // every interval boundary the serial per-pair loop would have crossed.
+  // Returns false when a poll tripped (the counter rests on the tripping
+  // boundary, exactly like the serial early return).
+  auto advance = [&](uint64_t to) -> bool {
+    while (counters_->pairs_examined < to) {
+      const uint64_t next = std::min<uint64_t>(
+          to, (counters_->pairs_examined | poll_mask_) + 1);
+      counters_->pairs_examined = next;
+      if ((next & poll_mask_) == 0 && BudgetExceeded()) return false;
+    }
+    return true;
+  };
+
+  bool merge_aborted = false;
+  uint32_t row_idx = 0;
+  for (int a_size = 1; a_size <= level / 2 && !merge_aborted; ++a_size) {
+    for (; row_idx < rows.size() && rows[row_idx].a_size == a_size &&
+           !merge_aborted;
+         ++row_idx) {
+      const uint64_t row_base = counters_->pairs_examined;
+      for (const PairRecord* pr;
+           (pr = peek()) != nullptr && pr->row == row_idx; ++cur_pair) {
+        if (!advance(row_base + pr->examined_at)) {
+          merge_aborted = true;
+          break;
+        }
+        const ChunkOutput& oc = outputs[cur_chunk];
+        bool created = false;
+        // The pair's operands have unit counts a_size and level - a_size,
+        // so the join target's is always `level`.
+        MemoEntry* target = memo_->GetOrCreate(
+            pr->target, level, card_->Rows(pr->target),
+            card_->Selectivity(pr->target), &created);
+        if (created) ++counters_->jcrs_created;
+        const uint64_t base = counters_->plans_costed;
+        for (uint32_t k = pr->cand_begin; k != pr->cand_end; ++k) {
+          const JoinCandidate& c = oc.cands[k];
+          counters_->plans_costed = base + c.emit_index + 1;
+          ApplyCandidate(target, c);
+        }
+      }
+      if (!merge_aborted && !advance(row_base + rows[row_idx].pairs)) {
+        merge_aborted = true;
+      }
+    }
+    if (!merge_aborted && BudgetExceeded()) merge_aborted = true;
+  }
+  SDP_DCHECK(merge_aborted || peek() == nullptr);
+
+  if (options_.tracer != nullptr) {
+    TraceParallelLevel ev;
+    ev.level = level;
+    ev.threads = workers;
+    ev.shards = static_cast<int>(chunks.size());
+    ev.pairs = total_pairs;
+    for (const ChunkOutput& out : outputs) {
+      ev.candidates_costed += out.plans_costed;
+      ev.candidates_kept += out.cands.size();
+    }
+    ev.enumerate_seconds = enumerate_seconds;
+    ev.merge_seconds = SecondsSince(merge_start);
+    ev.utilization =
+        enumerate_seconds > 0
+            ? busy_seconds / (enumerate_seconds * static_cast<double>(workers))
+            : 0;
+    options_.tracer->OnParallelLevel(ev);
+  }
+
+  if (merge_aborted) return false;
+  return !BudgetExceeded();
+}
+
+}  // namespace sdp

@@ -1,0 +1,39 @@
+#ifndef SDPOPT_OPTIMIZER_PARALLEL_ENUM_H_
+#define SDPOPT_OPTIMIZER_PARALLEL_ENUM_H_
+
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "optimizer/optimizer_types.h"
+
+namespace sdp {
+
+// Run-scoped owner of the intra-query enumeration workers.
+//
+// Drivers construct one over their (copied) OptimizerOptions: when
+// opt_threads > 1 and no pool was supplied, it spawns opt_threads - 1
+// workers (the calling thread is the remaining enumeration worker) and
+// wires them into options->intra_pool; the destructor joins them after the
+// run.  When the caller supplied a pool -- e.g. OptimizeWithFallback
+// sharing one pool across every rung of the degradation ladder -- this is
+// a no-op and the pool is borrowed, not owned.
+//
+// The pool must be private to one optimization run: JoinEnumerator's
+// parallel level phase assumes every pool worker is available to pull
+// enumeration chunks.  In particular it must never be the
+// OptimizerService's request pool (whose workers are busy being requests).
+class IntraQueryWorkers {
+ public:
+  explicit IntraQueryWorkers(OptimizerOptions* options);
+  ~IntraQueryWorkers();
+
+  IntraQueryWorkers(const IntraQueryWorkers&) = delete;
+  IntraQueryWorkers& operator=(const IntraQueryWorkers&) = delete;
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OPTIMIZER_PARALLEL_ENUM_H_

@@ -11,6 +11,7 @@ JoinGraph::JoinGraph(std::vector<int> table_ids)
   SDP_CHECK(!table_ids_.empty());
   SDP_CHECK(static_cast<int>(table_ids_.size()) <= RelSet::kMaxRelations);
   adjacency_.resize(table_ids_.size());
+  incident_edges_.resize(table_ids_.size());
   equiv_class_of_.resize(table_ids_.size());
 }
 
@@ -29,9 +30,13 @@ void JoinGraph::AddEdge(ColumnRef a, ColumnRef b) {
   SDP_CHECK(a.rel != b.rel);
   SDP_CHECK(a.col >= 0 && b.col >= 0);
   if (HasEdgeBetween(a, b)) return;
+  const int e = static_cast<int>(edges_.size());
   edges_.push_back(JoinEdge{a, b});
   adjacency_[a.rel] = adjacency_[a.rel].With(b.rel);
   adjacency_[b.rel] = adjacency_[b.rel].With(a.rel);
+  edge_endpoints_.push_back(RelSet::Single(a.rel).With(b.rel));
+  incident_edges_[a.rel].push_back(e);
+  incident_edges_[b.rel].push_back(e);
   RebuildEquivClasses();
 }
 
@@ -127,17 +132,26 @@ bool JoinGraph::AreAdjacent(RelSet a, RelSet b) const {
 
 std::vector<int> JoinGraph::ConnectingEdges(RelSet a, RelSet b) const {
   std::vector<int> out;
-  for (size_t i = 0; i < edges_.size(); ++i) {
-    const JoinEdge& e = edges_[i];
-    const bool l_in_a = a.Contains(e.left.rel);
-    const bool l_in_b = b.Contains(e.left.rel);
-    const bool r_in_a = a.Contains(e.right.rel);
-    const bool r_in_b = b.Contains(e.right.rel);
-    if ((l_in_a && r_in_b) || (l_in_b && r_in_a)) {
-      out.push_back(static_cast<int>(i));
-    }
-  }
+  ConnectingEdgesInto(a, b, &out);
   return out;
+}
+
+void JoinGraph::ConnectingEdgesInto(RelSet a, RelSet b,
+                                    std::vector<int>* out) const {
+  out->clear();
+  // Walk the smaller side's incident-edge lists instead of every edge.  An
+  // edge qualifies when its two endpoints are split across the sides; it is
+  // found exactly once (its other endpoint lies outside the walked side).
+  const RelSet walk = a.Count() <= b.Count() ? a : b;
+  const RelSet other = a.Count() <= b.Count() ? b : a;
+  walk.ForEach([&](int rel) {
+    for (int e : incident_edges_[rel]) {
+      if (edge_endpoints_[e].Overlaps(other)) out->push_back(e);
+    }
+  });
+  // Per-relation lists are sorted but interleave across relations; restore
+  // the global increasing-edge-index order callers rely on.
+  std::sort(out->begin(), out->end());
 }
 
 std::vector<int> JoinGraph::InternalEdges(RelSet s) const {

@@ -83,6 +83,15 @@ class JoinGraph {
   // Indices (into edges()) of edges with one endpoint in `a`, other in `b`.
   std::vector<int> ConnectingEdges(RelSet a, RelSet b) const;
 
+  // As ConnectingEdges, but appends into a caller-provided scratch buffer
+  // (cleared first) instead of allocating, and walks only the edges
+  // incident to the smaller side instead of scanning every edge.  The
+  // result order is identical: increasing edge index.
+  void ConnectingEdgesInto(RelSet a, RelSet b, std::vector<int>* out) const;
+
+  // Both endpoints of edge `e` as a two-bit RelSet (precomputed).
+  RelSet EdgeEndpoints(int e) const { return edge_endpoints_.at(e); }
+
   // Indices of edges with both endpoints inside `s`.
   std::vector<int> InternalEdges(RelSet s) const;
 
@@ -108,6 +117,10 @@ class JoinGraph {
   std::vector<int> table_ids_;
   std::vector<JoinEdge> edges_;
   std::vector<RelSet> adjacency_;
+  // Per-edge two-bit endpoint mask, parallel to edges_.
+  std::vector<RelSet> edge_endpoints_;
+  // Per-relation list of incident edge indices, in increasing edge order.
+  std::vector<std::vector<int>> incident_edges_;
   // equiv_class_of_[rel] maps column -> class id (lazily sized).
   std::vector<std::vector<int>> equiv_class_of_;
   std::vector<std::vector<ColumnRef>> equiv_members_;

@@ -309,6 +309,14 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
     request.options.budget = &budget;
   }
 
+  // Clamp intra-query parallelism to the service-wide cap.  The enumeration
+  // pool itself is spawned inside the optimizer drivers, per request; it is
+  // never this service's request pool.  opt_threads does not join the cache
+  // key: results are bit-identical at any thread count.
+  request.options.opt_threads =
+      std::max(1, std::min(request.options.opt_threads,
+                           std::max(1, config_.max_opt_threads)));
+
   // Per-request isolation starts here: the cost model (and, inside the
   // optimizer entry point, the memo/pool/estimator/gauge) belong to this
   // request alone.

@@ -59,6 +59,13 @@ struct ServiceConfig {
   // `cooldown` governed requests before half-opening a probe.
   int breaker_threshold = 5;
   int breaker_cooldown = 16;
+
+  // Upper bound on a request's OptimizerOptions::opt_threads; requests
+  // asking for more are clamped, not rejected.  The per-request enumeration
+  // pool is spawned by the optimizer drivers (never shared with the
+  // service's request pool), so total thread pressure is bounded by
+  // num_threads * max_opt_threads.  1 = intra-query parallelism off.
+  int max_opt_threads = 1;
 };
 
 // One optimization request: a bound query plus the algorithm and resource

@@ -125,6 +125,22 @@ struct TraceDegradeEvent {
   double peak_memory_mb = 0;
 };
 
+// One parallelized enumeration level: how the candidate-pair space was
+// sharded and how the enumerate/merge phases spent their time.  Emitted
+// only when RunLevel actually took the parallel path (and completed its
+// worker phase); serial runs and serial fallbacks emit nothing.
+struct TraceParallelLevel {
+  int level = 0;
+  int threads = 0;  // Enumeration workers (pool threads + caller).
+  int shards = 0;   // Chunks the pair space was split into.
+  uint64_t pairs = 0;                // Candidate pairs planned for the level.
+  uint64_t candidates_costed = 0;    // Join candidates costed by workers.
+  uint64_t candidates_kept = 0;      // Survived chunk-local dominance.
+  double enumerate_seconds = 0;      // Parallel costing phase wall time.
+  double merge_seconds = 0;          // Deterministic replay wall time.
+  double utilization = 0;  // Sum of worker busy time / (phase * threads).
+};
+
 // Structured trace sink.  The default implementation ignores everything, so
 // subclasses override only the events they care about.  Instrumented code
 // holds a `Tracer*` that is null when tracing is disabled.
@@ -140,6 +156,7 @@ class Tracer {
   virtual void OnPruneLevel(const TracePruneLevel&) {}
   virtual void OnCacheEvent(const TraceCacheEvent&) {}
   virtual void OnDegrade(const TraceDegradeEvent&) {}
+  virtual void OnParallelLevel(const TraceParallelLevel&) {}
 };
 
 }  // namespace sdp

@@ -22,7 +22,7 @@ class TraceCollector : public Tracer {
   using Payload =
       std::variant<TraceRunBegin, TraceRunEnd, TraceLevelBegin, TraceLevelEnd,
                    TracePartition, TracePruneLevel, TraceCacheEvent,
-                   TraceDegradeEvent>;
+                   TraceDegradeEvent, TraceParallelLevel>;
 
   struct Recorded {
     double ts_seconds = 0;  // Offset from collector creation.
@@ -40,6 +40,7 @@ class TraceCollector : public Tracer {
   void OnPruneLevel(const TracePruneLevel& e) override { Record(e); }
   void OnCacheEvent(const TraceCacheEvent& e) override { Record(e); }
   void OnDegrade(const TraceDegradeEvent& e) override { Record(e); }
+  void OnParallelLevel(const TraceParallelLevel& e) override { Record(e); }
 
   // The recorded stream.  Only valid once all traced work has finished.
   const std::vector<Recorded>& events() const { return events_; }

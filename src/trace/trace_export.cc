@@ -195,6 +195,20 @@ struct EventVisitor {
     w->U64("plans_costed", e.plans_costed);
     w->Num("peak_memory_mb", e.peak_memory_mb);
   }
+  void operator()(const TraceParallelLevel& e) const {
+    w->Str("event", "parallel_level");
+    w->Int("level", e.level);
+    w->Int("threads", e.threads);
+    w->Int("shards", e.shards);
+    w->U64("pairs", e.pairs);
+    w->U64("candidates_costed", e.candidates_costed);
+    w->U64("candidates_kept", e.candidates_kept);
+    if (include_timing) {
+      w->Num("enumerate_seconds", e.enumerate_seconds);
+      w->Num("merge_seconds", e.merge_seconds);
+      w->Num("utilization", e.utilization);
+    }
+  }
 };
 
 const char* SpanName(const TraceLevelBegin& e, std::string* storage) {
@@ -280,6 +294,9 @@ std::string ExportChromeTrace(const TraceCollector& collector) {
     } else if (const auto* e = std::get_if<TraceDegradeEvent>(&r.payload)) {
       emit((std::string("degrade ") + e->kind + " " + e->rung).c_str(), "i",
            r.ts_seconds, r.thread, &r);
+    } else if (const auto* e = std::get_if<TraceParallelLevel>(&r.payload)) {
+      emit(("parallel L" + std::to_string(e->level)).c_str(), "i",
+           r.ts_seconds, r.thread, &r);
     }
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";
@@ -347,6 +364,18 @@ std::string ExportReport(const TraceCollector& collector) {
       out += buf;
     } else if (const auto* e = std::get_if<TraceCacheEvent>(&r.payload)) {
       out += std::string("cache ") + e->kind + "\n";
+    } else if (const auto* e = std::get_if<TraceParallelLevel>(&r.payload)) {
+      std::snprintf(buf, sizeof(buf),
+                    "     parallel L%-2d: threads=%d shards=%d pairs=%llu "
+                    "costed=%llu kept=%llu util=%.0f%% "
+                    "enum=%.3fms merge=%.3fms\n",
+                    e->level, e->threads, e->shards,
+                    static_cast<unsigned long long>(e->pairs),
+                    static_cast<unsigned long long>(e->candidates_costed),
+                    static_cast<unsigned long long>(e->candidates_kept),
+                    e->utilization * 100.0, e->enumerate_seconds * 1e3,
+                    e->merge_seconds * 1e3);
+      out += buf;
     } else if (const auto* e = std::get_if<TraceDegradeEvent>(&r.payload)) {
       std::snprintf(buf, sizeof(buf),
                     "degrade %s: rung=%s%s%s status=%s attempt=%d"

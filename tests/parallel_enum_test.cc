@@ -1,0 +1,309 @@
+// Intra-query parallel enumeration: the contract under test is that
+// opt_threads is *invisible* in every observable output.  Plans (byte
+// compared), costs (bit compared), SearchCounters, peak memory, typed
+// failure statuses and checkpoint ordinals must all be identical to the
+// serial run at any thread count -- on healthy runs, under deterministic
+// cancellation, under injected cost faults, and through the fallback
+// ladder.  parallel_min_pairs is lowered to force the parallel path onto
+// test-sized queries.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/budget.h"
+#include "common/fault_injection.h"
+#include "core/sdp.h"
+#include "cost/cost_model.h"
+#include "optimizer/dp.h"
+#include "optimizer/fallback.h"
+#include "optimizer/idp.h"
+#include "plan/plan_node.h"
+#include "query/topology.h"
+#include "service/optimizer_service.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+enum class Algo { kDP, kIDP, kSDP };
+
+const char* AlgoName(Algo a) {
+  switch (a) {
+    case Algo::kDP:
+      return "dp";
+    case Algo::kIDP:
+      return "idp";
+    case Algo::kSDP:
+      return "sdp";
+  }
+  return "?";
+}
+
+class ParallelEnumTest : public ::testing::Test {
+ protected:
+  ParallelEnumTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  Query MakeQuery(Topology t, int n, uint64_t seed = 21,
+                  bool ordered = false) {
+    WorkloadSpec spec;
+    spec.topology = t;
+    spec.num_relations = n;
+    spec.num_instances = 1;
+    spec.seed = seed;
+    spec.ordered = ordered;
+    return GenerateWorkload(catalog_, spec).front();
+  }
+
+  static OptimizerOptions ThreadedOptions(int threads) {
+    OptimizerOptions options;
+    options.opt_threads = threads;
+    // Force the parallel path onto test-sized levels.
+    options.parallel_min_pairs = 1;
+    return options;
+  }
+
+  static OptimizeResult Run(Algo algo, const Query& q, const CostModel& cost,
+                            const OptimizerOptions& options) {
+    switch (algo) {
+      case Algo::kDP:
+        return OptimizeDP(q, cost, options);
+      case Algo::kIDP:
+        return OptimizeIDP(q, cost, IdpConfig{}, options);
+      case Algo::kSDP:
+        return OptimizeSDP(q, cost, SdpConfig{}, options);
+    }
+    return {};
+  }
+
+  // Every observable output of a run, serialized byte-exactly (hexfloat
+  // for doubles, full plan tree text).  Two fingerprints compare equal iff
+  // the runs are indistinguishable to a caller.
+  static std::string Fingerprint(const OptimizeResult& res) {
+    std::ostringstream out;
+    out << std::hexfloat;
+    out << "feasible=" << res.feasible << " status=" << res.status.ToString()
+        << " cost=" << res.cost << " rows=" << res.rows
+        << " plans_costed=" << res.counters.plans_costed
+        << " jcrs=" << res.counters.jcrs_created
+        << " pairs=" << res.counters.pairs_examined
+        << " peak_mb=" << res.peak_memory_mb << "\n";
+    if (res.plan != nullptr) out << res.plan->ToString();
+    return out.str();
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(ParallelEnumTest, BitIdenticalAcrossAlgorithmsAndThreadCounts) {
+  struct Case {
+    Topology topology;
+    int n;
+  };
+  const Case cases[] = {{Topology::kStar, 10},
+                        {Topology::kChain, 12},
+                        {Topology::kStarChain, 11}};
+  for (const Case& c : cases) {
+    const Query q = MakeQuery(c.topology, c.n);
+    CostModel cost(catalog_, stats_, q.graph);
+    for (Algo algo : {Algo::kDP, Algo::kIDP, Algo::kSDP}) {
+      const OptimizeResult serial =
+          Run(algo, q, cost, ThreadedOptions(1));
+      ASSERT_TRUE(serial.feasible)
+          << AlgoName(algo) << " " << TopologyName(c.topology);
+      const std::string want = Fingerprint(serial);
+      for (int threads : {2, 4, 8}) {
+        const OptimizeResult parallel =
+            Run(algo, q, cost, ThreadedOptions(threads));
+        EXPECT_EQ(Fingerprint(parallel), want)
+            << AlgoName(algo) << " " << TopologyName(c.topology)
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelEnumTest, OrderedQueriesBitIdentical) {
+  const Query q =
+      MakeQuery(Topology::kStarChain, 10, /*seed=*/21, /*ordered=*/true);
+  CostModel cost(catalog_, stats_, q.graph);
+  for (Algo algo : {Algo::kDP, Algo::kSDP}) {
+    const std::string want =
+        Fingerprint(Run(algo, q, cost, ThreadedOptions(1)));
+    EXPECT_EQ(Fingerprint(Run(algo, q, cost, ThreadedOptions(4))), want)
+        << AlgoName(algo);
+  }
+}
+
+// The legacy plans-costed cap trips at a counter value, not a time: the
+// infeasibility point must replay identically through the parallel merge.
+TEST_F(ParallelEnumTest, LegacyPlanCapTripsIdentically) {
+  const Query q = MakeQuery(Topology::kStar, 10);
+  CostModel cost(catalog_, stats_, q.graph);
+  for (uint64_t cap : {1000u, 25000u, 80000u}) {
+    OptimizerOptions serial_options = ThreadedOptions(1);
+    serial_options.max_plans_costed = cap;
+    OptimizerOptions parallel_options = ThreadedOptions(4);
+    parallel_options.max_plans_costed = cap;
+    const OptimizeResult serial = OptimizeDP(q, cost, serial_options);
+    const OptimizeResult parallel = OptimizeDP(q, cost, parallel_options);
+    EXPECT_EQ(Fingerprint(parallel), Fingerprint(serial)) << "cap=" << cap;
+  }
+}
+
+// Deterministic mid-level cancellation: with cancel_at_checkpoint set, the
+// budget trips at an exact checkpoint ordinal.  The parallel run must hit
+// the same ordinal with the same counters -- the merge replays every
+// budget poll in serial order.
+TEST_F(ParallelEnumTest, CancelAtCheckpointMatchesSerial) {
+  const Query q = MakeQuery(Topology::kStarChain, 10);
+  CostModel cost(catalog_, stats_, q.graph);
+  bool saw_cancelled = false;
+  for (uint64_t cancel_at : {50u, 500u, 2500u}) {
+    auto run = [&](int threads, bool* cancelled) {
+      ResourceBudget::Limits limits;
+      limits.cancel_at_checkpoint = cancel_at;
+      limits.check_interval = 1;
+      ResourceBudget budget(limits);
+      OptimizerOptions options = ThreadedOptions(threads);
+      options.budget = &budget;
+      const OptimizeResult res = OptimizeSDP(q, cost, SdpConfig{}, options);
+      if (cancelled != nullptr) {
+        *cancelled = res.status.code == OptStatusCode::kCancelled;
+      }
+      std::ostringstream out;
+      out << Fingerprint(res) << " checkpoints=" << budget.checkpoints();
+      return out.str();
+    };
+    bool cancelled = false;
+    const std::string serial = run(1, &cancelled);
+    saw_cancelled |= cancelled;
+    EXPECT_EQ(run(4, nullptr), serial) << "N=" << cancel_at;
+    EXPECT_EQ(run(8, nullptr), serial) << "N=" << cancel_at;
+  }
+  EXPECT_TRUE(saw_cancelled);  // At least the smallest N trips mid-run.
+}
+
+// Injected NaN costs fire on the Nth TryAdd -- a position in the serial
+// candidate stream.  The parallel merge replays every candidate, so the
+// fault must land on the same candidate and produce the same outcome
+// through the fallback ladder (a plans cap bounds the NaN-polluted rung,
+// as in the chaos suite; the cap trip is itself deterministic).
+TEST_F(ParallelEnumTest, InjectedCostNanMatchesSerial) {
+  const Query q = MakeQuery(Topology::kStarChain, 9);
+  CostModel cost(catalog_, stats_, q.graph);
+  FallbackConfig config;
+  config.start_rung = FallbackRung::kDP;
+  config.max_rung = FallbackRung::kGreedy;
+  for (uint64_t nth : {100u, 2000u}) {
+    auto run = [&](int threads) {
+      FaultInjectionScope scope(/*seed=*/7, "cost.nan@" +
+                                               std::to_string(nth));
+      EXPECT_TRUE(scope.ok()) << scope.error();
+      OptimizerOptions options = ThreadedOptions(threads);
+      options.max_plans_costed = 50000;
+      const OptimizeResult res =
+          OptimizeWithFallback(q, cost, config, options);
+      return Fingerprint(res) + " rung=" + res.rung;
+    };
+    const std::string serial = run(1);
+    EXPECT_EQ(run(4), serial) << "nth=" << nth;
+  }
+}
+
+// A real deadline mid-run is inherently timing-dependent; the contract is
+// weaker but still hard: a typed status or a valid plan, never a crash,
+// at any thread count -- including the cross-thread cancellation path
+// where a worker observes the deadline first.
+TEST_F(ParallelEnumTest, DeadlineUnderParallelismStaysTyped) {
+  const Query q = MakeQuery(Topology::kStarChain, 11);
+  CostModel cost(catalog_, stats_, q.graph);
+  for (double deadline : {1e-9, 5e-4, 10.0}) {
+    ResourceBudget::Limits limits;
+    limits.deadline_seconds = deadline;
+    ResourceBudget budget(limits);
+    budget.Arm();
+    OptimizerOptions options = ThreadedOptions(4);
+    options.budget = &budget;
+    const OptimizeResult res = OptimizeDP(q, cost, options);
+    if (res.feasible) {
+      EXPECT_TRUE(res.status.ok());
+      EXPECT_EQ(ValidatePlanTree(res.plan), "");
+    } else {
+      EXPECT_EQ(res.status.code, OptStatusCode::kDeadlineExceeded)
+          << res.status.ToString();
+      EXPECT_EQ(res.plan, nullptr);
+    }
+  }
+}
+
+// The fallback ladder shares one worker pool across rungs; deterministic
+// trips (legacy plan cap) escalate identically at any thread count.
+TEST_F(ParallelEnumTest, FallbackLadderBitIdentical) {
+  const Query q = MakeQuery(Topology::kStarChain, 10);
+  CostModel cost(catalog_, stats_, q.graph);
+  FallbackConfig config;
+  config.start_rung = FallbackRung::kDP;
+  config.max_rung = FallbackRung::kGreedy;
+  auto run = [&](int threads) {
+    OptimizerOptions options = ThreadedOptions(threads);
+    options.max_plans_costed = 20000;  // DP trips, later rungs fit.
+    const OptimizeResult res = OptimizeWithFallback(q, cost, config, options);
+    return Fingerprint(res) + " rung=" + res.rung;
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(run(4), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+// Eight-way stress across seeds; doubles as the TSan target for the
+// worker/merge machinery.
+TEST_F(ParallelEnumTest, EightThreadStressAcrossSeeds) {
+  for (uint64_t seed : {21u, 22u, 23u, 24u}) {
+    const Query q = MakeQuery(Topology::kStarChain, 11, seed);
+    CostModel cost(catalog_, stats_, q.graph);
+    const std::string want =
+        Fingerprint(OptimizeSDP(q, cost, SdpConfig{}, ThreadedOptions(1)));
+    EXPECT_EQ(
+        Fingerprint(OptimizeSDP(q, cost, SdpConfig{}, ThreadedOptions(8))),
+        want)
+        << "seed=" << seed;
+  }
+}
+
+// Service plumbing: a request's opt_threads is honored up to the
+// configured cap and never changes results (so it stays out of the plan
+// cache key).
+TEST_F(ParallelEnumTest, ServiceOptThreadsClampedAndInvisible) {
+  const Query q = MakeQuery(Topology::kStarChain, 10);
+
+  auto run = [&](int max_opt_threads, int requested) {
+    ServiceConfig config;
+    config.num_threads = 2;
+    config.cache_enabled = false;
+    config.max_opt_threads = max_opt_threads;
+    OptimizerService service(catalog_, stats_, config);
+    ServiceRequest request;
+    request.query = q;
+    request.spec = AlgorithmSpec::SDP();
+    request.options = ThreadedOptions(requested);
+    const ServiceResult sr = service.OptimizeSync(std::move(request));
+    EXPECT_TRUE(sr.ok()) << sr.error;
+    return Fingerprint(sr.result);
+  };
+
+  const std::string serial = run(/*max_opt_threads=*/1, /*requested=*/8);
+  // Cap honored: requested 8 with cap 4, and uncapped serial, all agree.
+  EXPECT_EQ(run(/*max_opt_threads=*/4, /*requested=*/8), serial);
+  EXPECT_EQ(run(/*max_opt_threads=*/8, /*requested=*/2), serial);
+}
+
+}  // namespace
+}  // namespace sdp

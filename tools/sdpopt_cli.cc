@@ -17,6 +17,9 @@
 //   --budget-mb=N                      optimizer memory budget (default: none)
 //   --threads=N                        route through the OptimizerService
 //                                      with an N-thread worker pool
+//   --opt-threads=N                    enumeration workers *within* each
+//                                      optimization; plans and counters are
+//                                      bit-identical to serial at any N
 //
 // Serving-mode resource governance (any of these makes the run *governed*:
 // it executes under a ResourceBudget and the degradation ladder):
@@ -103,6 +106,7 @@ struct Options {
   uint64_t fault_seed = 0;
   std::string fault_spec;
   int threads = 0;  // 0 = direct library calls (no service).
+  int opt_threads = 1;  // Enumeration workers within one optimization.
   bool cache = true;
   int repeat = 1;
   bool execute = false;
@@ -153,6 +157,12 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       out->fault_spec = arg.substr(13);
     } else if (arg.rfind("--threads=", 0) == 0) {
       out->threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--opt-threads=", 0) == 0) {
+      out->opt_threads = std::atoi(arg.c_str() + 14);
+      if (out->opt_threads < 1) {
+        std::fprintf(stderr, "--opt-threads expects a positive count\n");
+        return false;
+      }
     } else if (arg.rfind("--cache=", 0) == 0) {
       const std::string v = arg.substr(8);
       if (v != "on" && v != "off") {
@@ -341,7 +351,7 @@ int main(int argc, char** argv) {
           "usage: sdpopt_cli [--algorithm=dp|idp4|idp7|idp2|sdp|all] "
           "[--schema=paper|small]\n"
           "                  [--gen=TOPOLOGY:N[:SEED]] [--budget-mb=N] "
-          "[--threads=N]\n"
+          "[--threads=N] [--opt-threads=N]\n"
           "                  [--deadline-ms=N] [--mem-budget-mb=N] "
           "[--max-rung=dp|idp|sdp|greedy]\n"
           "                  [--fault-seed=N] [--fault-spec=SPEC]\n"
@@ -384,6 +394,7 @@ int main(int argc, char** argv) {
   sdp::OptimizerOptions opt;
   opt.memory_budget_bytes =
       static_cast<size_t>(options.budget_mb * 1024 * 1024);
+  opt.opt_threads = options.opt_threads;
 
   // One collector for the whole invocation: direct runs attach it per
   // request, service mode attaches it to the service (cache events plus
@@ -536,6 +547,7 @@ int main(int argc, char** argv) {
     sdp::ServiceConfig sconfig;
     sconfig.num_threads = options.threads > 0 ? options.threads : 1;
     sconfig.cache_enabled = options.cache;
+    sconfig.max_opt_threads = options.opt_threads;
     if (tracing) sconfig.tracer = &collector;
     sdp::OptimizerService service(catalog, stats, sconfig);
     for (const sdp::AlgorithmSpec& spec : algorithms) {
