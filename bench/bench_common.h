@@ -16,6 +16,11 @@
 #ifndef SDP_GIT_SHA
 #define SDP_GIT_SHA "unknown"
 #endif
+// Nonzero when the tree had uncommitted changes at configure time, so
+// numbers from a dirty tree are distinguishable from reproducible ones.
+#ifndef SDP_GIT_DIRTY
+#define SDP_GIT_DIRTY 0
+#endif
 
 namespace sdp::bench {
 
@@ -153,8 +158,11 @@ class BenchJson {
       std::fprintf(stderr, "BenchJson: cannot write %s\n", path_.c_str());
       return;
     }
-    std::fprintf(f, "{\"bench\":\"%s\",\"git_sha\":\"%s\",\"workloads\":[%s\n]}\n",
-                 bench_id_.c_str(), SDP_GIT_SHA, body_.c_str());
+    std::fprintf(f,
+                 "{\"bench\":\"%s\",\"git_sha\":\"%s\",\"git_dirty\":%s,"
+                 "\"workloads\":[%s\n]}\n",
+                 bench_id_.c_str(), SDP_GIT_SHA,
+                 SDP_GIT_DIRTY ? "true" : "false", body_.c_str());
     std::fclose(f);
   }
 

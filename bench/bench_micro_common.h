@@ -10,6 +10,10 @@
 #ifndef SDP_GIT_SHA
 #define SDP_GIT_SHA "unknown"
 #endif
+// Nonzero when the tree had uncommitted changes at configure time.
+#ifndef SDP_GIT_DIRTY
+#define SDP_GIT_DIRTY 0
+#endif
 
 namespace sdp::bench {
 
@@ -43,6 +47,7 @@ inline int MicroBenchMain(int argc, char** argv) {
   }
   int patched_argc = static_cast<int>(args.size());
   benchmark::AddCustomContext("git_sha", SDP_GIT_SHA);
+  benchmark::AddCustomContext("git_dirty", SDP_GIT_DIRTY ? "1" : "0");
   benchmark::Initialize(&patched_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
     return 1;

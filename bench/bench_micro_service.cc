@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/flight_recorder.h"
 #include "service/optimizer_service.h"
 
 namespace {
@@ -116,6 +117,66 @@ BENCHMARK(BM_ServiceGovernedNoTrip)
     ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Warm-cache path with the flight recorder force-disabled: the delta
+// against BM_ServiceWarmCache (recorder on, the default) is the recorder's
+// end-to-end overhead on the hottest path -- a cache hit records only
+// request-begin / cache-hit / request-end, budgeted to stay within 3%.
+void BM_ServiceWarmCacheRecorderOff(benchmark::State& state) {
+  const sdp::bench::PaperContext ctx = sdp::bench::MakePaperContext();
+  const sdp::Query query = ServiceQuery(ctx);
+  sdp::ServiceConfig config;
+  config.num_threads = static_cast<int>(state.range(0));
+  config.cache_enabled = true;
+  config.flight_recorder = false;
+  sdp::OptimizerService service(ctx.catalog, ctx.stats, config);
+  // The global recorder is sticky-enabled by any earlier recorder-on
+  // benchmark in this process; force it off for a clean comparison.
+  sdp::FlightRecorder::Global().Enable(false);
+  {
+    sdp::ServiceRequest warmup;
+    warmup.query = query;
+    service.OptimizeSync(std::move(warmup));
+  }
+  for (auto _ : state) {
+    RunBatch(service, query);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  sdp::FlightRecorder::Global().Enable(true);
+}
+BENCHMARK(BM_ServiceWarmCacheRecorderOff)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Raw cost of one flight-recorder event append (enabled path: sequence
+// fetch_add plus eight relaxed stores into the thread-local ring).
+void BM_FlightRecorderAppend(benchmark::State& state) {
+  sdp::FlightRecorder::Global().Enable(true);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    sdp::FlightRecorder::Global().Record(sdp::ObsKind::kLevelBegin,
+                                         /*code=*/0, /*a=*/i++, /*b=*/42);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderAppend);
+
+// Same call with the recorder disabled: a single predicted branch.  This is
+// the cost every instrumentation point pays when observability is off.
+void BM_FlightRecorderDisabled(benchmark::State& state) {
+  sdp::FlightRecorder::Global().Enable(false);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    sdp::FlightRecorder::Global().Record(sdp::ObsKind::kLevelBegin,
+                                         /*code=*/0, /*a=*/i++, /*b=*/42);
+  }
+  state.SetItemsProcessed(state.iterations());
+  sdp::FlightRecorder::Global().Enable(true);
+}
+BENCHMARK(BM_FlightRecorderDisabled);
 
 }  // namespace
 

@@ -2,6 +2,7 @@
 
 #include "common/arena.h"
 #include "common/fault_injection.h"
+#include "obs/flight_recorder.h"
 
 #include <limits>
 
@@ -63,6 +64,9 @@ void ResourceBudget::Trip(OptStatusCode code, std::string message) {
   if (code_ != OptStatusCode::kOk) return;  // First trip wins.
   code_ = code;
   message_ = std::move(message);
+  FlightRecorder::Global().Record(ObsKind::kBudgetTrip,
+                                  static_cast<uint8_t>(code), /*a=*/0,
+                                  /*b=*/checkpoints_, /*c=*/plans_costed_);
 }
 
 OptStatusCode ResourceBudget::ProbeCrossThread() const {

@@ -1,6 +1,9 @@
 #include "common/fault_injection.h"
 
 #include <cstdlib>
+#include <cstring>
+
+#include "obs/flight_recorder.h"
 
 namespace sdp {
 namespace {
@@ -116,6 +119,24 @@ bool FaultInjector::HitSlow(const char* site, double* value) {
       if (value != nullptr) *value = rule.value;
       fired = true;
     }
+  }
+  if (fired) {
+    // A fired fault is a "something went wrong" signal: record the site
+    // (first 16 tag chars packed into b/c) and ask the service to dump
+    // the flight recorder once the current request finishes.
+    uint64_t b = 0;
+    uint64_t c = 0;
+    const size_t len = std::strlen(site);
+    for (size_t i = 0; i < len && i < 8; ++i) {
+      b |= static_cast<uint64_t>(static_cast<unsigned char>(site[i]))
+           << (8 * i);
+    }
+    for (size_t i = 8; i < len && i < 16; ++i) {
+      c |= static_cast<uint64_t>(static_cast<unsigned char>(site[i]))
+           << (8 * (i - 8));
+    }
+    FlightRecorder::Global().Record(ObsKind::kFaultFired, 0, 0, b, c);
+    FlightRecorder::Global().SignalDump();
   }
   return fired;
 }

@@ -1,0 +1,237 @@
+#include "obs/flight_recorder.h"
+
+#include <string.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace sdp {
+
+namespace {
+
+// The request id attributed to events recorded on this thread (see
+// FlightRecorder::ScopedRequest).
+thread_local uint64_t tls_request_id = 0;
+
+}  // namespace
+
+thread_local FlightRecorder::Ring* FlightRecorder::tls_ring_ = nullptr;
+
+const char* ObsKindName(ObsKind kind) {
+  switch (kind) {
+    case ObsKind::kNone:
+      return "none";
+    case ObsKind::kRequestBegin:
+      return "request_begin";
+    case ObsKind::kRequestEnd:
+      return "request_end";
+    case ObsKind::kAdmissionWait:
+      return "admission_wait";
+    case ObsKind::kShed:
+      return "shed";
+    case ObsKind::kLevelBegin:
+      return "level_begin";
+    case ObsKind::kLevelEnd:
+      return "level_end";
+    case ObsKind::kRungAttempt:
+      return "rung_attempt";
+    case ObsKind::kRungSkip:
+      return "rung_skip";
+    case ObsKind::kRungResolved:
+      return "rung_resolved";
+    case ObsKind::kBreakerOpen:
+      return "breaker_open";
+    case ObsKind::kBreakerClose:
+      return "breaker_close";
+    case ObsKind::kBudgetTrip:
+      return "budget_trip";
+    case ObsKind::kCacheHit:
+      return "cache_hit";
+    case ObsKind::kCacheMiss:
+      return "cache_miss";
+    case ObsKind::kCacheFill:
+      return "cache_fill";
+    case ObsKind::kCacheAbandon:
+      return "cache_abandon";
+    case ObsKind::kCacheFailPropagated:
+      return "cache_fail_propagated";
+    case ObsKind::kParallelLevel:
+      return "parallel_level";
+    case ObsKind::kFaultFired:
+      return "fault_fired";
+  }
+  return "unknown";
+}
+
+const char* ObsPhaseName(uint8_t phase) {
+  switch (static_cast<ObsPhase>(phase)) {
+    case ObsPhase::kUnknown:
+      return "unknown";
+    case ObsPhase::kLeaves:
+      return "leaves";
+    case ObsPhase::kLevel:
+      return "level";
+    case ObsPhase::kBalloon:
+      return "balloon";
+    case ObsPhase::kGreedy:
+      return "greedy";
+    case ObsPhase::kEnumerate:
+      return "enumerate";
+  }
+  return "unknown";
+}
+
+uint8_t ObsPhaseCode(const char* phase) {
+  if (phase == nullptr) return 0;
+  if (strcmp(phase, "leaves") == 0) {
+    return static_cast<uint8_t>(ObsPhase::kLeaves);
+  }
+  if (strcmp(phase, "level") == 0) {
+    return static_cast<uint8_t>(ObsPhase::kLevel);
+  }
+  if (strcmp(phase, "balloon") == 0) {
+    return static_cast<uint8_t>(ObsPhase::kBalloon);
+  }
+  if (strcmp(phase, "greedy") == 0) {
+    return static_cast<uint8_t>(ObsPhase::kGreedy);
+  }
+  if (strcmp(phase, "enumerate") == 0) {
+    return static_cast<uint8_t>(ObsPhase::kEnumerate);
+  }
+  return 0;
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder() {
+  epoch_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count(),
+                  std::memory_order_relaxed);
+}
+
+uint64_t FlightRecorder::NowNs() const {
+  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  const int64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  return now > epoch ? static_cast<uint64_t>(now - epoch) : 0;
+}
+
+FlightRecorder::Ring* FlightRecorder::ThisThreadRing() {
+  Ring* ring = tls_ring_;
+  if (ring != nullptr) return ring;
+  auto owned = std::make_unique<Ring>();
+  owned->words = std::make_unique<std::atomic<uint64_t>[]>(
+      kRingEvents * kWordsPerEvent);
+  for (uint64_t i = 0; i < kRingEvents * kWordsPerEvent; ++i) {
+    owned->words[i].store(0, std::memory_order_relaxed);
+  }
+  ring = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    ring->ordinal = static_cast<uint16_t>(rings_.size());
+    rings_.push_back(std::move(owned));
+  }
+  tls_ring_ = ring;
+  return ring;
+}
+
+void FlightRecorder::RecordSlow(ObsKind kind, uint8_t code, uint32_t a,
+                                uint64_t b, uint64_t c, uint64_t d,
+                                uint64_t e) {
+  Ring* ring = ThisThreadRing();
+  const uint64_t packed = static_cast<uint64_t>(kind) |
+                          static_cast<uint64_t>(code) << 8 |
+                          static_cast<uint64_t>(ring->ordinal) << 16 |
+                          static_cast<uint64_t>(a) << 32;
+  const uint64_t h = ring->head.load(std::memory_order_relaxed);
+  std::atomic<uint64_t>* w =
+      ring->words.get() + (h & (kRingEvents - 1)) * kWordsPerEvent;
+  w[0].store(seq_.fetch_add(1, std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  w[1].store(NowNs(), std::memory_order_relaxed);
+  w[2].store(tls_request_id, std::memory_order_relaxed);
+  w[3].store(packed, std::memory_order_relaxed);
+  w[4].store(b, std::memory_order_relaxed);
+  w[5].store(c, std::memory_order_relaxed);
+  w[6].store(d, std::memory_order_relaxed);
+  w[7].store(e, std::memory_order_relaxed);
+  // The release publishes the slot's words to snapshotting threads.
+  ring->head.store(h + 1, std::memory_order_release);
+}
+
+FlightRecorder::ScopedRequest::ScopedRequest(uint64_t request_id)
+    : prev_(tls_request_id) {
+  tls_request_id = request_id;
+}
+
+FlightRecorder::ScopedRequest::~ScopedRequest() { tls_request_id = prev_; }
+
+ObsSnapshot FlightRecorder::Snapshot() const {
+  ObsSnapshot snap;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    const uint64_t h1 = ring->head.load(std::memory_order_acquire);
+    const uint64_t begin = h1 > kRingEvents ? h1 - kRingEvents : 0;
+    snap.dropped += begin;
+    std::vector<ObsEvent> local;
+    local.reserve(h1 - begin);
+    for (uint64_t i = begin; i < h1; ++i) {
+      const std::atomic<uint64_t>* w =
+          ring->words.get() + (i & (kRingEvents - 1)) * kWordsPerEvent;
+      ObsEvent ev;
+      ev.seq = w[0].load(std::memory_order_relaxed);
+      ev.ts_ns = w[1].load(std::memory_order_relaxed);
+      ev.request_id = w[2].load(std::memory_order_relaxed);
+      const uint64_t packed = w[3].load(std::memory_order_relaxed);
+      ev.kind = static_cast<uint8_t>(packed & 0xff);
+      ev.code = static_cast<uint8_t>((packed >> 8) & 0xff);
+      ev.thread = static_cast<uint16_t>((packed >> 16) & 0xffff);
+      ev.a = static_cast<uint32_t>(packed >> 32);
+      ev.b = w[4].load(std::memory_order_relaxed);
+      ev.c = w[5].load(std::memory_order_relaxed);
+      ev.d = w[6].load(std::memory_order_relaxed);
+      ev.e = w[7].load(std::memory_order_relaxed);
+      local.push_back(ev);
+    }
+    // Any slot the writer may have reused while we copied (it was writing
+    // event h2, overwriting index h2 - kRingEvents) could be torn: keep
+    // only indices the writer provably had not reached.
+    const uint64_t h2 = ring->head.load(std::memory_order_acquire);
+    const uint64_t safe_begin =
+        h2 + 1 > kRingEvents ? h2 + 1 - kRingEvents : 0;
+    if (safe_begin > begin) {
+      const uint64_t discard =
+          std::min<uint64_t>(safe_begin - begin, local.size());
+      snap.dropped += discard;
+      local.erase(local.begin(),
+                  local.begin() + static_cast<ptrdiff_t>(discard));
+    }
+    snap.events.insert(snap.events.end(), local.begin(), local.end());
+  }
+  std::sort(snap.events.begin(), snap.events.end(),
+            [](const ObsEvent& x, const ObsEvent& y) { return x.seq < y.seq; });
+  return snap;
+}
+
+void FlightRecorder::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    for (uint64_t i = 0; i < kRingEvents * kWordsPerEvent; ++i) {
+      ring->words[i].store(0, std::memory_order_relaxed);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+  seq_.store(0, std::memory_order_relaxed);
+  dump_signals_.store(0, std::memory_order_relaxed);
+  epoch_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count(),
+                  std::memory_order_relaxed);
+}
+
+}  // namespace sdp

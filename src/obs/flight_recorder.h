@@ -1,0 +1,201 @@
+#ifndef SDPOPT_OBS_FLIGHT_RECORDER_H_
+#define SDPOPT_OBS_FLIGHT_RECORDER_H_
+
+#include <stdint.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace sdp {
+
+// Always-on flight recorder: the optimizer's black box.
+//
+// Instrumented code paths (the DP/IDP/SDP level loops, the fallback
+// ladder, budget checkpoints, the service request lifecycle, the plan
+// cache, fault-injection sites) append compact fixed-size binary events to
+// a per-thread lock-free ring buffer.  Recording never blocks, never
+// allocates after a thread's first event, and never influences the search;
+// when the recorder is disabled every instrumentation point costs exactly
+// one predicted branch (a relaxed atomic load).
+//
+// Unlike the trace layer (trace/trace.h), which must be requested up
+// front, allocates per event and records everything, the flight recorder
+// is cheap enough to leave on in production: it keeps only the last
+// kRingEvents events per thread, so after any failure the rings hold the
+// recent history that explains it.  Snapshot() drains every ring into one
+// causally-ordered timeline (events carry a global sequence number), and
+// the service dumps that timeline to a JSONL file whenever a request ends
+// with a non-OK OptStatus, a rung circuit breaker trips, or a fault
+// injection site fires -- see recorder_export.h.
+//
+// Event payloads are deliberately timing-free (wall-clock lives only in
+// the ts_ns stamp, which deterministic dumps omit): two runs of the same
+// seeded workload at the same opt_threads produce byte-identical dumps.
+
+enum class ObsKind : uint8_t {
+  kNone = 0,
+  // Service request lifecycle.
+  kRequestBegin = 1,   // --
+  kRequestEnd = 2,     // code=status, a=cache_hit, b=plans_costed
+  kAdmissionWait = 3,  // b=budget bytes requested
+  kShed = 4,           // code=status, b=retry-after hint ms
+  // Enumeration spans (one per TraceLevelScope).
+  kLevelBegin = 5,  // code=phase, a=level, b=iteration
+  kLevelEnd = 6,    // code=phase, a=level, b=plans, c=pairs, d=memo bytes,
+                    // e=jcrs (b/c/e are deltas within the span)
+  // Degradation ladder.
+  kRungAttempt = 7,    // code=status, a=rung, b=plans_costed
+  kRungSkip = 8,       // a=rung (circuit breaker open)
+  kRungResolved = 9,   // code=status, a=rung, b=retries
+  kBreakerOpen = 10,   // a=rung
+  kBreakerClose = 11,  // a=rung
+  // Resource governance.
+  kBudgetTrip = 12,  // code=status, b=checkpoint ordinal, c=plans_costed
+  // Plan cache traffic.
+  kCacheHit = 13,            // b=key hash
+  kCacheMiss = 14,           // b=key hash
+  kCacheFill = 15,           // b=key hash
+  kCacheAbandon = 16,        // b=key hash
+  kCacheFailPropagated = 17, // b=key hash
+  // Intra-query parallel enumeration (owner thread, after the merge).
+  kParallelLevel = 18,  // code=threads, a=level, b=shards, c=pairs,
+                        // d=candidates costed
+  // Fault injection.
+  kFaultFired = 19,  // b,c = site tag chars (first 16 bytes)
+};
+
+const char* ObsKindName(ObsKind kind);
+
+// Phase codes for kLevelBegin/kLevelEnd (mirrors the TraceLevelScope
+// phase strings).
+enum class ObsPhase : uint8_t {
+  kUnknown = 0,
+  kLeaves = 1,
+  kLevel = 2,
+  kBalloon = 3,
+  kGreedy = 4,
+  kEnumerate = 5,
+};
+
+const char* ObsPhaseName(uint8_t phase);
+uint8_t ObsPhaseCode(const char* phase);
+
+// One recorded event: 64 bytes, plain data.  Which of a..e are meaningful
+// depends on `kind` (see the enum above).
+struct ObsEvent {
+  uint64_t seq = 0;         // Global causal order across all threads.
+  uint64_t ts_ns = 0;       // Steady-clock ns since recorder epoch.
+  uint64_t request_id = 0;  // 0 = not attributed to a request.
+  uint8_t kind = 0;         // ObsKind.
+  uint8_t code = 0;         // Status / phase / thread count (see kind).
+  uint16_t thread = 0;      // Dense ordinal of the recording thread.
+  uint32_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  uint64_t d = 0;
+  uint64_t e = 0;
+};
+
+// A drained, merged, seq-ordered copy of every ring.
+struct ObsSnapshot {
+  std::vector<ObsEvent> events;
+  // Events overwritten before this snapshot could copy them (ring
+  // wraparound); the timeline is still contiguous per thread from each
+  // ring's oldest surviving event.
+  uint64_t dropped = 0;
+};
+
+class FlightRecorder {
+ public:
+  // Events retained per thread.  Power of two; at 64 bytes each a ring
+  // costs 128 KiB, allocated on the thread's first recorded event.
+  static constexpr uint64_t kRingEvents = 2048;
+
+  static FlightRecorder& Global();
+
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Hot path.  When disabled this is one predicted branch; when enabled it
+  // is a seq fetch_add, a clock read and eight relaxed stores into this
+  // thread's ring.  Safe from any thread; each thread writes only its own
+  // ring.
+  void Record(ObsKind kind, uint8_t code = 0, uint32_t a = 0, uint64_t b = 0,
+              uint64_t c = 0, uint64_t d = 0, uint64_t e = 0) {
+    if (!enabled()) return;
+    RecordSlow(kind, code, a, b, c, d, e);
+  }
+
+  // Attributes events recorded on this thread to `request_id` for the
+  // scope's lifetime (the service wraps each request's execution).
+  class ScopedRequest {
+   public:
+    explicit ScopedRequest(uint64_t request_id);
+    ~ScopedRequest();
+    ScopedRequest(const ScopedRequest&) = delete;
+    ScopedRequest& operator=(const ScopedRequest&) = delete;
+
+   private:
+    uint64_t prev_;
+  };
+
+  // Monotonic count of "something went wrong" signals: fault-injection
+  // fires and circuit-breaker opens.  The service samples it around each
+  // request; a delta triggers a flight-recorder dump even when the request
+  // itself resolved OK (e.g. the ladder recovered from an injected fault).
+  uint64_t dump_signals() const {
+    return dump_signals_.load(std::memory_order_relaxed);
+  }
+  void SignalDump() { dump_signals_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Drains every ring into one seq-ordered timeline.  Safe to call from
+  // any thread while recording continues: concurrently-overwritten slots
+  // are detected and dropped, never returned torn.
+  ObsSnapshot Snapshot() const;
+
+  uint64_t events_recorded() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+  // Resets sequence numbers, dump signals, the epoch, and every ring's
+  // contents so a test starts from an empty, deterministic state.  Rings
+  // stay registered (thread-local pointers remain valid).  Must not race
+  // concurrent Record() calls.
+  void ResetForTesting();
+
+ private:
+
+  // 8 words of 8 bytes = one 64-byte event.
+  static constexpr size_t kWordsPerEvent = 8;
+
+  struct Ring {
+    std::atomic<uint64_t> head{0};  // Total events ever appended.
+    std::unique_ptr<std::atomic<uint64_t>[]> words;
+    uint16_t ordinal = 0;
+  };
+
+  FlightRecorder();
+  void RecordSlow(ObsKind kind, uint8_t code, uint32_t a, uint64_t b,
+                  uint64_t c, uint64_t d, uint64_t e);
+  Ring* ThisThreadRing();
+  uint64_t NowNs() const;
+
+  // The calling thread's ring, cached after first registration.  Owned by
+  // the registry; rings are never destroyed, so the cached pointer stays
+  // valid for the thread's lifetime (including across ResetForTesting).
+  static thread_local Ring* tls_ring_;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> dump_signals_{0};
+  std::atomic<int64_t> epoch_ns_{0};
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OBS_FLIGHT_RECORDER_H_

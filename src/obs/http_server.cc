@@ -1,0 +1,190 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <sstream>
+
+namespace sdp {
+
+namespace {
+
+// Requests larger than this are rejected: the endpoints take no bodies and
+// only short query strings.
+constexpr size_t kMaxRequestBytes = 8192;
+
+// A connection that stalls longer than this mid-request is dropped.
+constexpr int kIoTimeoutMs = 2000;
+
+}  // namespace
+
+const char* HttpServer::StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+  }
+  return "Unknown";
+}
+
+HttpServer::HttpServer(Handler handler) : handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+bool HttpServer::Start(int port, std::string* error) {
+  if (running_.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "server already running";
+    return false;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = std::string("bind: ") + strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 64) != 0) {
+    if (error != nullptr) *error = std::string("listen: ") + strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;  // Timeout or EINTR: re-check the stop flag.
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  timeval tv;
+  tv.tv_sec = kIoTimeoutMs / 1000;
+  tv.tv_usec = (kIoTimeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  std::string raw;
+  char buf[1024];
+  while (raw.find("\r\n\r\n") == std::string::npos) {
+    if (raw.size() > kMaxRequestBytes) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // Peer closed, timed out, or errored.
+    raw.append(buf, static_cast<size_t>(n));
+  }
+
+  HttpResponse resp;
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (raw.size() > kMaxRequestBytes) {
+    resp.status = 431;
+    resp.body = "request too large\n";
+  } else if (header_end == std::string::npos) {
+    resp.status = 400;
+    resp.body = "malformed request\n";
+  } else {
+    // Request line: METHOD SP TARGET SP HTTP/x.y
+    const size_t line_end = raw.find("\r\n");
+    const std::string line = raw.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = sp1 == std::string::npos
+                           ? std::string::npos
+                           : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+      resp.status = 400;
+      resp.body = "malformed request line\n";
+    } else {
+      HttpRequest req;
+      req.method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t qmark = target.find('?');
+      if (qmark == std::string::npos) {
+        req.path = target;
+      } else {
+        req.path = target.substr(0, qmark);
+        req.query = target.substr(qmark + 1);
+      }
+      if (req.method != "GET") {
+        resp.status = 405;
+        resp.body = "only GET is supported\n";
+      } else if (req.path.empty() || req.path[0] != '/') {
+        resp.status = 400;
+        resp.body = "malformed request target\n";
+      } else {
+        resp = handler_(req);
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << resp.status << " " << StatusText(resp.status)
+      << "\r\nContent-Type: " << resp.content_type
+      << "\r\nContent-Length: " << resp.body.size()
+      << "\r\nConnection: close\r\n\r\n"
+      << resp.body;
+  const std::string wire = out.str();
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace sdp

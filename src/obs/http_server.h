@@ -1,0 +1,71 @@
+#ifndef SDPOPT_OBS_HTTP_SERVER_H_
+#define SDPOPT_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace sdp {
+
+// Minimal dependency-free HTTP/1.1 server for the introspection endpoints.
+//
+// Deliberately tiny: GET only, one poll-driven accept loop on a single
+// background thread, connections handled serially (the listen backlog
+// absorbs bursts -- these are operator curls and scrapes, not user
+// traffic), loopback only.  Anything that is not a well-formed GET gets a
+// 400/405; oversized or stalled requests are dropped.
+
+struct HttpRequest {
+  std::string method;
+  std::string path;   // Target up to (excluding) any '?'.
+  std::string query;  // Raw query string after '?', "" when absent.
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = kernel-assigned, see port()) and starts
+  // the serving thread.  Returns false with *error filled on bind/listen
+  // failure.
+  bool Start(int port, std::string* error = nullptr);
+
+  // Stops the serving thread and closes the listen socket.  Idempotent;
+  // also called by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (meaningful after a successful Start()).
+  int port() const { return port_; }
+
+  // Reason phrase for the handful of statuses the server emits.
+  static const char* StatusText(int status);
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OBS_HTTP_SERVER_H_

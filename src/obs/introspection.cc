@@ -1,0 +1,226 @@
+#include "obs/introspection.h"
+
+#include <stdlib.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/budget.h"
+#include "obs/flight_recorder.h"
+#include "obs/recorder_export.h"
+#include "optimizer/fallback.h"
+#include "service/optimizer_service.h"
+
+#ifndef SDP_GIT_SHA
+#define SDP_GIT_SHA "unknown"
+#endif
+#ifndef SDP_GIT_DIRTY
+#define SDP_GIT_DIRTY 0
+#endif
+
+namespace sdp {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Pulls `key` out of an application/x-www-form-urlencoded query string.
+// The endpoints take only simple unescaped values, so no %-decoding.
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string BuildGitSha() { return SDP_GIT_SHA; }
+bool BuildGitDirty() { return SDP_GIT_DIRTY != 0; }
+
+std::string RenderStatusz(const OptimizerService& service,
+                          double uptime_seconds) {
+  const ServiceConfig& config = service.config();
+  const ServiceMetrics& m = service.metrics();
+  const PlanCacheStats cache = service.cache_stats();
+  std::ostringstream out;
+  out << "sdpopt statusz\n"
+      << "build_sha: " << BuildGitSha() << (BuildGitDirty() ? "-dirty" : "")
+      << "\n"
+      << "uptime_seconds: " << static_cast<uint64_t>(uptime_seconds) << "\n"
+      << "stats_epoch: " << service.stats_epoch() << "\n"
+      << "\n[config]\n"
+      << "num_threads: " << config.num_threads << "\n"
+      << "cache_enabled: " << (config.cache_enabled ? "true" : "false")
+      << "\n"
+      << "cache_stripes: " << config.cache_stripes << "\n"
+      << "global_memory_cap_bytes: " << config.global_memory_cap_bytes
+      << "\n"
+      << "max_queue_depth: " << config.max_queue_depth << "\n"
+      << "breaker_threshold: " << config.breaker_threshold << "\n"
+      << "breaker_cooldown: " << config.breaker_cooldown << "\n"
+      << "max_opt_threads: " << config.max_opt_threads << "\n"
+      << "\n[breakers]\n";
+  for (int r = 0; r < 4; ++r) {
+    const FallbackRung rung = static_cast<FallbackRung>(r);
+    out << FallbackRungName(rung) << ": "
+        << (service.breakers().For(rung).open() ? "open" : "closed") << "\n";
+  }
+  out << "\n[admission]\n"
+      << "admitted_bytes: " << service.admitted_bytes() << "\n"
+      << "admission_waits: " << m.admission_waits.load() << "\n"
+      << "admission_timeouts: " << m.admission_timeouts.load() << "\n"
+      << "requests_rejected: " << m.requests_rejected.load() << "\n"
+      << "shed_with_retry_hint: " << m.shed_with_retry_hint.load() << "\n"
+      << "queue_depth: " << m.queue_depth.load() << "\n"
+      << "inflight: " << m.inflight.load() << "\n"
+      << "\n[memory]\n"
+      << "bytes_charged_total: " << m.bytes_charged.load() << "\n"
+      << "plan_cache_entries: " << cache.entries << "\n"
+      << "plan_cache_resident_bytes: " << cache.resident_bytes << "\n"
+      << "\n[requests]\n"
+      << "submitted: " << m.requests_submitted.load() << "\n"
+      << "completed: " << m.requests_completed.load() << "\n"
+      << "infeasible: " << m.requests_infeasible.load() << "\n"
+      << "degraded: " << m.requests_degraded.load() << "\n"
+      << "cache_hits: " << m.cache_hits.load() << "\n"
+      << "cache_misses: " << m.cache_misses.load() << "\n"
+      << "\n[flight_recorder]\n"
+      << "enabled: "
+      << (FlightRecorder::Global().enabled() ? "true" : "false") << "\n"
+      << "events_recorded: " << FlightRecorder::Global().events_recorded()
+      << "\n"
+      << "dump_signals: " << FlightRecorder::Global().dump_signals() << "\n";
+  return out.str();
+}
+
+std::string RenderTracez(const std::string& status_filter, size_t limit) {
+  const ObsSnapshot snap = FlightRecorder::Global().Snapshot();
+
+  // Reconstruct per-request timelines: events are seq-ordered, so walking
+  // once groups each request's events in causal order.
+  struct Timeline {
+    std::vector<const ObsEvent*> events;
+    const ObsEvent* end = nullptr;  // The kRequestEnd event, if seen.
+  };
+  std::map<uint64_t, Timeline> by_request;
+  for (const ObsEvent& ev : snap.events) {
+    if (ev.request_id == 0) continue;
+    Timeline& t = by_request[ev.request_id];
+    t.events.push_back(&ev);
+    if (static_cast<ObsKind>(ev.kind) == ObsKind::kRequestEnd) t.end = &ev;
+  }
+
+  // Completed requests only, most recent first (by end seq).
+  std::vector<const Timeline*> completed;
+  for (const auto& entry : by_request) {
+    const Timeline& t = entry.second;
+    if (t.end == nullptr) continue;
+    if (!status_filter.empty() &&
+        status_filter !=
+            OptStatusCodeName(static_cast<OptStatusCode>(t.end->code))) {
+      continue;
+    }
+    completed.push_back(&t);
+  }
+  std::sort(completed.begin(), completed.end(),
+            [](const Timeline* x, const Timeline* y) {
+              return x->end->seq > y->end->seq;
+            });
+  if (limit > 0 && completed.size() > limit) completed.resize(limit);
+
+  ObsExportOptions render;
+  render.include_timing = true;
+  std::ostringstream out;
+  out << "sdpopt tracez: " << completed.size()
+      << " completed request timeline(s)";
+  if (!status_filter.empty()) out << " with status " << status_filter;
+  out << " (" << snap.events.size() << " events in recorder, "
+      << snap.dropped << " dropped)\n";
+  for (const Timeline* t : completed) {
+    out << "\n--- request " << t->end->request_id << " status "
+        << OptStatusCodeName(static_cast<OptStatusCode>(t->end->code))
+        << " (" << t->events.size() << " events) ---\n";
+    for (const ObsEvent* ev : t->events) {
+      out << ObsEventToJson(*ev, render) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string RenderFlightRecorderz() {
+  ObsExportOptions render;
+  render.include_timing = true;
+  return ObsSnapshotToJsonl(FlightRecorder::Global().Snapshot(), render);
+}
+
+IntrospectionServer::IntrospectionServer(const OptimizerService* service)
+    : service_(service),
+      start_seconds_(NowSeconds()),
+      http_([this](const HttpRequest& req) { return Handle(req); }) {}
+
+IntrospectionServer::~IntrospectionServer() { Stop(); }
+
+bool IntrospectionServer::Start(int port, std::string* error) {
+  return http_.Start(port, error);
+}
+
+void IntrospectionServer::Stop() { http_.Stop(); }
+
+HttpResponse IntrospectionServer::Handle(const HttpRequest& request) const {
+  HttpResponse resp;
+  if (request.path == "/") {
+    resp.body =
+        "sdpopt introspection\n"
+        "  /metrics          Prometheus exposition\n"
+        "  /statusz          build, config, breakers, admission, gauges\n"
+        "  /tracez           recent request timelines"
+        " (?status=NAME&limit=K)\n"
+        "  /flightrecorderz  full flight-recorder dump (JSONL)\n";
+    return resp;
+  }
+  if (request.path == "/metrics") {
+    resp.body = service_->metrics().PrometheusText();
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return resp;
+  }
+  if (request.path == "/statusz") {
+    resp.body = RenderStatusz(*service_, NowSeconds() - start_seconds_);
+    return resp;
+  }
+  if (request.path == "/tracez") {
+    const std::string status = QueryParam(request.query, "status");
+    size_t limit = 16;
+    const std::string limit_text = QueryParam(request.query, "limit");
+    if (!limit_text.empty()) {
+      limit = static_cast<size_t>(strtoull(limit_text.c_str(), nullptr, 10));
+    }
+    resp.body = RenderTracez(status, limit);
+    return resp;
+  }
+  if (request.path == "/flightrecorderz") {
+    resp.body = RenderFlightRecorderz();
+    resp.content_type = "application/jsonl; charset=utf-8";
+    return resp;
+  }
+  resp.status = 404;
+  resp.body = "no such endpoint: " + request.path + "\n";
+  return resp;
+}
+
+}  // namespace sdp

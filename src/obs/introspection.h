@@ -1,0 +1,65 @@
+#ifndef SDPOPT_OBS_INTROSPECTION_H_
+#define SDPOPT_OBS_INTROSPECTION_H_
+
+#include <memory>
+#include <string>
+
+#include "obs/http_server.h"
+
+namespace sdp {
+
+class OptimizerService;
+
+// Live introspection endpoints for a running OptimizerService, served by
+// the dependency-free HttpServer on its own thread:
+//
+//   /                 index of endpoints
+//   /metrics          ServiceMetrics::PrometheusText (Prometheus 0.0.4)
+//   /statusz          build SHA, uptime, config, per-rung breaker states,
+//                     admission/shed counters, byte gauges
+//   /tracez           last-K completed request timelines reconstructed
+//                     from flight-recorder snapshots; ?status=NAME filters
+//                     (OK, DEADLINE_EXCEEDED, ...), ?limit=K bounds K
+//   /flightrecorderz  on-demand full flight-recorder dump (JSONL, with
+//                     timing)
+//
+// All render functions are also exposed directly so tests can exercise
+// them without a socket.
+
+// The build stamp compiled into the library (SDP_GIT_SHA / SDP_GIT_DIRTY
+// CMake definitions); "unknown" when built outside git.
+std::string BuildGitSha();
+bool BuildGitDirty();
+
+std::string RenderStatusz(const OptimizerService& service,
+                          double uptime_seconds);
+// `status_filter` empty = all statuses; matches OptStatusCodeName values.
+std::string RenderTracez(const std::string& status_filter, size_t limit);
+std::string RenderFlightRecorderz();
+
+class IntrospectionServer {
+ public:
+  // `service` must outlive the server.
+  explicit IntrospectionServer(const OptimizerService* service);
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  // Starts serving on 127.0.0.1:`port` (0 = kernel-assigned).
+  bool Start(int port, std::string* error = nullptr);
+  void Stop();
+  int port() const { return http_.port(); }
+
+  // The routing logic, exposed for socketless endpoint tests.
+  HttpResponse Handle(const HttpRequest& request) const;
+
+ private:
+  const OptimizerService* service_;
+  double start_seconds_ = 0;
+  HttpServer http_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OBS_INTROSPECTION_H_

@@ -1,0 +1,158 @@
+#include "obs/recorder_export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/budget.h"
+
+namespace sdp {
+
+namespace {
+
+const char* StatusName(uint8_t code) {
+  return OptStatusCodeName(static_cast<OptStatusCode>(code));
+}
+
+void AppendCommon(std::ostringstream* out, const ObsEvent& ev,
+                  const ObsExportOptions& options) {
+  *out << "{\"seq\":" << ev.seq;
+  if (options.include_timing) {
+    *out << ",\"ts_ns\":" << ev.ts_ns;
+  }
+  *out << ",\"thread\":" << ev.thread << ",\"req\":" << ev.request_id
+       << ",\"event\":\"" << ObsKindName(static_cast<ObsKind>(ev.kind))
+       << "\"";
+}
+
+}  // namespace
+
+const char* ObsRungName(uint32_t rung) {
+  switch (rung) {
+    case 0:
+      return "dp";
+    case 1:
+      return "idp";
+    case 2:
+      return "sdp";
+    case 3:
+      return "greedy";
+  }
+  return "unknown";
+}
+
+std::string ObsFaultSiteName(const ObsEvent& event) {
+  // kFaultFired packs the site tag's first 16 chars into b (bytes 0..7)
+  // and c (bytes 8..15), little-endian, NUL-padded.
+  char buf[17];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((event.b >> (8 * i)) & 0xff);
+    buf[8 + i] = static_cast<char>((event.c >> (8 * i)) & 0xff);
+  }
+  buf[16] = '\0';
+  return std::string(buf);
+}
+
+std::string ObsEventToJson(const ObsEvent& ev,
+                           const ObsExportOptions& options) {
+  std::ostringstream out;
+  AppendCommon(&out, ev, options);
+  switch (static_cast<ObsKind>(ev.kind)) {
+    case ObsKind::kNone:
+      break;
+    case ObsKind::kRequestBegin:
+      break;
+    case ObsKind::kRequestEnd:
+      out << ",\"status\":\"" << StatusName(ev.code)
+          << "\",\"cache_hit\":" << (ev.a != 0 ? "true" : "false")
+          << ",\"plans_costed\":" << ev.b;
+      break;
+    case ObsKind::kAdmissionWait:
+      out << ",\"bytes\":" << ev.b;
+      break;
+    case ObsKind::kShed:
+      out << ",\"status\":\"" << StatusName(ev.code)
+          << "\",\"retry_after_ms\":" << ev.b;
+      break;
+    case ObsKind::kLevelBegin:
+      out << ",\"phase\":\"" << ObsPhaseName(ev.code)
+          << "\",\"level\":" << ev.a << ",\"iteration\":" << ev.b;
+      break;
+    case ObsKind::kLevelEnd:
+      out << ",\"phase\":\"" << ObsPhaseName(ev.code)
+          << "\",\"level\":" << ev.a << ",\"plans\":" << ev.b
+          << ",\"pairs\":" << ev.c << ",\"memo_bytes\":" << ev.d
+          << ",\"jcrs\":" << ev.e;
+      break;
+    case ObsKind::kRungAttempt:
+      out << ",\"rung\":\"" << ObsRungName(ev.a) << "\",\"status\":\""
+          << StatusName(ev.code) << "\",\"plans_costed\":" << ev.b;
+      break;
+    case ObsKind::kRungSkip:
+      out << ",\"rung\":\"" << ObsRungName(ev.a) << "\"";
+      break;
+    case ObsKind::kRungResolved:
+      out << ",\"rung\":\"" << ObsRungName(ev.a) << "\",\"status\":\""
+          << StatusName(ev.code) << "\",\"retries\":" << ev.b;
+      break;
+    case ObsKind::kBreakerOpen:
+    case ObsKind::kBreakerClose:
+      out << ",\"rung\":\"" << ObsRungName(ev.a) << "\"";
+      break;
+    case ObsKind::kBudgetTrip:
+      out << ",\"status\":\"" << StatusName(ev.code)
+          << "\",\"checkpoint\":" << ev.b << ",\"plans_costed\":" << ev.c;
+      break;
+    case ObsKind::kCacheHit:
+    case ObsKind::kCacheMiss:
+    case ObsKind::kCacheFill:
+    case ObsKind::kCacheAbandon:
+    case ObsKind::kCacheFailPropagated:
+      out << ",\"key_hash\":" << ev.b;
+      break;
+    case ObsKind::kParallelLevel:
+      out << ",\"threads\":" << static_cast<uint32_t>(ev.code)
+          << ",\"level\":" << ev.a << ",\"shards\":" << ev.b
+          << ",\"pairs\":" << ev.c << ",\"candidates_costed\":" << ev.d;
+      break;
+    case ObsKind::kFaultFired:
+      out << ",\"site\":\"" << ObsFaultSiteName(ev) << "\"";
+      break;
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string ObsSnapshotToJsonl(const ObsSnapshot& snapshot,
+                               const ObsExportOptions& options) {
+  std::ostringstream out;
+  if (options.include_timing) {
+    out << "{\"meta\":\"flight_recorder\",\"events\":" << snapshot.events.size()
+        << ",\"dropped\":" << snapshot.dropped << "}\n";
+  }
+  for (const ObsEvent& ev : snapshot.events) {
+    if (options.request_id != 0 && ev.request_id != options.request_id) {
+      continue;
+    }
+    out << ObsEventToJson(ev, options) << "\n";
+  }
+  return out.str();
+}
+
+bool DumpFlightRecorderToFile(const std::string& path, std::string* error,
+                              const ObsExportOptions& options) {
+  const ObsSnapshot snap = FlightRecorder::Global().Snapshot();
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  out << ObsSnapshotToJsonl(snap, options);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sdp

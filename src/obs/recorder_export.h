@@ -1,0 +1,47 @@
+#ifndef SDPOPT_OBS_RECORDER_EXPORT_H_
+#define SDPOPT_OBS_RECORDER_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace sdp {
+
+// Renders flight-recorder snapshots to JSONL: one JSON object per event,
+// fields decoded per event kind (same file shape as trace/trace_export's
+// ExportJsonl, so the existing jq tooling applies).  Timing is omitted by
+// default for the same reason the trace exporter omits it: two runs of the
+// same seeded workload then produce byte-identical dumps, which makes a
+// crash dump diffable against a replay.
+
+struct ObsExportOptions {
+  // Include the ts_ns stamp (and the snapshot's dropped count) in the
+  // output.  On for live endpoints, off for deterministic crash dumps.
+  bool include_timing = false;
+  // Restrict to one request id (0 = all requests).
+  uint64_t request_id = 0;
+};
+
+std::string ObsEventToJson(const ObsEvent& event,
+                           const ObsExportOptions& options = {});
+std::string ObsSnapshotToJsonl(const ObsSnapshot& snapshot,
+                               const ObsExportOptions& options = {});
+
+// Snapshots the global recorder and writes the deterministic JSONL dump to
+// `path`.  Returns false (filling *error if given) when the file cannot be
+// written.  This is the crash-dump entry point the service calls when a
+// request ends badly; tools can also trigger it on demand.
+bool DumpFlightRecorderToFile(const std::string& path,
+                              std::string* error = nullptr,
+                              const ObsExportOptions& options = {});
+
+// Decodes a kFaultFired event's packed site tag (b/c chars).
+std::string ObsFaultSiteName(const ObsEvent& event);
+
+// Rung code -> name for ladder events ("dp"/"idp"/"sdp"/"greedy").
+const char* ObsRungName(uint32_t rung);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OBS_RECORDER_EXPORT_H_

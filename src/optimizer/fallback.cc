@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "optimizer/dp.h"
 #include "optimizer/heuristic_baselines.h"
 #include "optimizer/parallel_enum.h"
@@ -52,26 +53,30 @@ bool RungBreaker::Allow() {
   return true;
 }
 
-void RungBreaker::RecordSuccess() {
+bool RungBreaker::RecordSuccess() {
   std::lock_guard<std::mutex> lock(mu_);
+  const bool was_open = open_;
   consecutive_failures_ = 0;
   open_ = false;
   half_open_probe_ = false;
+  return was_open;
 }
 
-void RungBreaker::RecordFailure() {
+bool RungBreaker::RecordFailure() {
   std::lock_guard<std::mutex> lock(mu_);
   if (open_ && half_open_probe_) {
     // Failed probe: re-open for another cooldown.
     skips_remaining_ = cooldown_;
     half_open_probe_ = false;
-    return;
+    return false;
   }
   if (++consecutive_failures_ >= threshold_ && !open_) {
     open_ = true;
     skips_remaining_ = cooldown_;
     half_open_probe_ = false;
+    return true;
   }
+  return false;
 }
 
 namespace {
@@ -119,6 +124,7 @@ OptimizeResult OptimizeWithFallback(const Query& query, const CostModel& cost,
   double total_elapsed = 0;
   double peak_mb = 0;
   int tried = 0;  // Rungs consumed (run or skipped) before the winner.
+  int resolved_rung = start;  // Last rung that actually ran.
   OptimizeResult last;
   last.status = OptStatus::Make(OptStatusCode::kInternal, "no rung ran");
 
@@ -130,6 +136,8 @@ OptimizeResult OptimizeWithFallback(const Query& query, const CostModel& cost,
     // but never the last reachable rung; something must produce an answer.
     if (breakers != nullptr && !last_reachable &&
         !breakers->For(rung).Allow()) {
+      FlightRecorder::Global().Record(ObsKind::kRungSkip, 0,
+                                      static_cast<uint32_t>(r));
       if (report != nullptr) {
         FallbackAttempt a;
         a.rung = rung;
@@ -172,6 +180,10 @@ OptimizeResult OptimizeWithFallback(const Query& query, const CostModel& cost,
       }
     }
 
+    FlightRecorder::Global().Record(
+        ObsKind::kRungAttempt, static_cast<uint8_t>(res.status.code),
+        static_cast<uint32_t>(r), res.counters.plans_costed);
+
     aggregate.plans_costed += res.counters.plans_costed;
     aggregate.jcrs_created += res.counters.jcrs_created;
     aggregate.pairs_examined += res.counters.pairs_examined;
@@ -190,12 +202,18 @@ OptimizeResult OptimizeWithFallback(const Query& query, const CostModel& cost,
     }
 
     if (res.feasible) {
-      if (breakers != nullptr) breakers->For(rung).RecordSuccess();
+      if (breakers != nullptr && breakers->For(rung).RecordSuccess()) {
+        FlightRecorder::Global().Record(ObsKind::kBreakerClose, 0,
+                                        static_cast<uint32_t>(r));
+      }
       res.counters = aggregate;
       res.elapsed_seconds = total_elapsed;
       res.peak_memory_mb = peak_mb;
       res.rung = FallbackRungName(rung);
       res.retries = tried;
+      FlightRecorder::Global().Record(
+          ObsKind::kRungResolved, static_cast<uint8_t>(res.status.code),
+          static_cast<uint32_t>(r), static_cast<uint64_t>(tried));
       return res;
     }
 
@@ -204,8 +222,15 @@ OptimizeResult OptimizeWithFallback(const Query& query, const CostModel& cost,
     const OptStatusCode cause = res.status.code;
     if (breakers != nullptr && cause != OptStatusCode::kDeadlineExceeded &&
         cause != OptStatusCode::kCancelled) {
-      breakers->For(rung).RecordFailure();
+      if (breakers->For(rung).RecordFailure()) {
+        // A breaker opening means a whole rung is failing for everyone:
+        // flag it for a flight-recorder dump.
+        FlightRecorder::Global().Record(ObsKind::kBreakerOpen, 0,
+                                        static_cast<uint32_t>(r));
+        FlightRecorder::Global().SignalDump();
+      }
     }
+    resolved_rung = r;
     last = std::move(res);
     ++tried;
     if (cause == OptStatusCode::kDeadlineExceeded ||
@@ -225,6 +250,10 @@ OptimizeResult OptimizeWithFallback(const Query& query, const CostModel& cost,
   last.peak_memory_mb = peak_mb;
   last.rung = last.algorithm;
   last.retries = tried > 0 ? tried - 1 : 0;
+  FlightRecorder::Global().Record(
+      ObsKind::kRungResolved, static_cast<uint8_t>(last.status.code),
+      static_cast<uint32_t>(resolved_rung),
+      static_cast<uint64_t>(last.retries));
   return last;
 }
 

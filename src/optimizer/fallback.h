@@ -54,8 +54,11 @@ class RungBreaker {
       : threshold_(threshold), cooldown_(cooldown) {}
 
   bool Allow();
-  void RecordSuccess();
-  void RecordFailure();
+  // Both return true when this call changed the breaker's open state
+  // (RecordSuccess closed it / RecordFailure opened it), so callers can
+  // emit breaker-transition events exactly once.
+  bool RecordSuccess();
+  bool RecordFailure();
 
   bool open() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -82,6 +85,9 @@ class RungBreakerSet {
                   {threshold, cooldown}} {}
 
   RungBreaker& For(FallbackRung rung) {
+    return breakers_[static_cast<int>(rung)];
+  }
+  const RungBreaker& For(FallbackRung rung) const {
     return breakers_[static_cast<int>(rung)];
   }
 

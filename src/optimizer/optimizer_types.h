@@ -16,6 +16,17 @@ namespace sdp {
 class Tracer;
 class ThreadPool;
 
+// Wall-time accounting for the intra-query parallel enumerator, kept out
+// of SearchCounters on purpose: SearchCounters must stay bit-identical
+// between serial and parallel runs (the fingerprint the parallel_enum
+// tests assert), while these are timing observations that naturally vary.
+// Accumulated by the owner thread only.
+struct ParallelEnumStats {
+  uint64_t levels = 0;    // Levels that actually ran sharded.
+  uint64_t scan_us = 0;   // Summed parallel scan (enumerate) wall time.
+  uint64_t merge_us = 0;  // Summed deterministic merge wall time.
+};
+
 // Resource limits for one optimization run.  The paper's notion of
 // infeasibility is running out of physical memory (1 GB machines); we make
 // the budget explicit so experiments can reproduce the feasibility frontier
@@ -47,6 +58,12 @@ struct OptimizerOptions {
   // levels costs more in coordination than it saves.  Tests lower it to
   // force the parallel path onto small queries.
   uint64_t parallel_min_pairs = 2048;
+  // Optional sink for parallel-enumeration timing (scan/merge seconds per
+  // level), accumulated by the owner thread.  Not owned; never influences
+  // the search.  The pointer survives the options copies made by
+  // OptimizeWithFallback and the drivers, so the service can read it after
+  // the run.
+  ParallelEnumStats* parallel_stats = nullptr;
 };
 
 // Search-effort counters, the paper's overhead metrics.

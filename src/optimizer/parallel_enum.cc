@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/flight_recorder.h"
 #include "optimizer/enumerator.h"
 #include "trace/trace.h"
 
@@ -354,18 +355,37 @@ bool JoinEnumerator::RunLevelParallel(int level) {
   }
   SDP_DCHECK(merge_aborted || peek() == nullptr);
 
+  uint64_t candidates_costed = 0;
+  uint64_t candidates_kept = 0;
+  for (const ChunkOutput& out : outputs) {
+    candidates_costed += out.plans_costed;
+    candidates_kept += out.cands.size();
+  }
+  const double merge_seconds = SecondsSince(merge_start);
+  if (options_.parallel_stats != nullptr) {
+    // Owner thread only: no synchronization needed.
+    options_.parallel_stats->levels += 1;
+    options_.parallel_stats->scan_us +=
+        static_cast<uint64_t>(enumerate_seconds * 1e6);
+    options_.parallel_stats->merge_us +=
+        static_cast<uint64_t>(merge_seconds * 1e6);
+  }
+  // Recorded by the owner thread after the merge, so the event order stays
+  // deterministic at any thread count (payload is timing-free).
+  FlightRecorder::Global().Record(
+      ObsKind::kParallelLevel, static_cast<uint8_t>(workers),
+      static_cast<uint32_t>(level), static_cast<uint64_t>(chunks.size()),
+      total_pairs, candidates_costed);
   if (options_.tracer != nullptr) {
     TraceParallelLevel ev;
     ev.level = level;
     ev.threads = workers;
     ev.shards = static_cast<int>(chunks.size());
     ev.pairs = total_pairs;
-    for (const ChunkOutput& out : outputs) {
-      ev.candidates_costed += out.plans_costed;
-      ev.candidates_kept += out.cands.size();
-    }
+    ev.candidates_costed = candidates_costed;
+    ev.candidates_kept = candidates_kept;
     ev.enumerate_seconds = enumerate_seconds;
-    ev.merge_seconds = SecondsSince(merge_start);
+    ev.merge_seconds = merge_seconds;
     ev.utilization =
         enumerate_seconds > 0
             ? busy_seconds / (enumerate_seconds * static_cast<double>(workers))

@@ -10,6 +10,8 @@
 
 #include "common/fault_injection.h"
 #include "cost/cost_model.h"
+#include "obs/flight_recorder.h"
+#include "obs/recorder_export.h"
 #include "optimizer/run_helpers.h"
 #include "service/plan_fingerprint.h"
 #include "sql/parser.h"
@@ -111,6 +113,9 @@ struct OptimizerService::PendingRequest {
   std::promise<ServiceResult> promise;
   // Started at submission, so a governed deadline covers queue time too.
   Stopwatch queued;
+  // Dense submission ordinal; attributes flight-recorder events and names
+  // crash-dump files.
+  uint64_t request_id = 0;
 };
 
 OptimizerService::OptimizerService(const Catalog& catalog,
@@ -122,13 +127,19 @@ OptimizerService::OptimizerService(const Catalog& catalog,
       stats_epoch_(config.stats_epoch),
       cache_(PlanCacheConfig{config.cache_enabled, config.cache_stripes}),
       breakers_(config.breaker_threshold, config.breaker_cooldown),
-      pool_(config.num_threads) {}
+      pool_(config.num_threads) {
+  // The recorder is process-global (other services or bare optimizer runs
+  // share it); a service configured with it on turns it on and leaves it
+  // on -- "always-on" is the point of a flight recorder.
+  if (config_.flight_recorder) FlightRecorder::Global().Enable(true);
+}
 
 OptimizerService::~OptimizerService() = default;
 
 std::future<ServiceResult> OptimizerService::Enqueue(
     std::shared_ptr<PendingRequest> pending) {
   std::future<ServiceResult> future = pending->promise.get_future();
+  pending->request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
 
   metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
   if (config_.max_queue_depth > 0 &&
@@ -142,6 +153,12 @@ std::future<ServiceResult> OptimizerService::Enqueue(
     rejected.result.status = OptStatus::Make(OptStatusCode::kMemoryExceeded,
                                              "queue full");
     metrics_.shed_with_retry_hint.fetch_add(1, std::memory_order_relaxed);
+    {
+      FlightRecorder::ScopedRequest obs_req(pending->request_id);
+      FlightRecorder::Global().Record(
+          ObsKind::kShed, static_cast<uint8_t>(rejected.result.status.code),
+          0, static_cast<uint64_t>(rejected.retry_after_ms));
+    }
     pending->promise.set_value(std::move(rejected));
     return future;
   }
@@ -203,6 +220,8 @@ bool OptimizerService::AdmitBudget(size_t budget_bytes,
   std::unique_lock<std::mutex> lock(admission_mu_);
   if (admitted_bytes_ + need > cap) {
     metrics_.admission_waits.fetch_add(1, std::memory_order_relaxed);
+    FlightRecorder::Global().Record(ObsKind::kAdmissionWait, 0, 0,
+                                    static_cast<uint64_t>(need));
     const auto fits = [this, need, cap] {
       return admitted_bytes_ + need <= cap;
     };
@@ -241,6 +260,23 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
   ServiceRequest& request = pending->request;
   const bool governed = request.governed();
 
+  // Everything this worker records until the request finishes is
+  // attributed to its request id; the dump-signal sample lets the end
+  // hook notice breaker opens and fault fires even when the request
+  // itself recovered to OK.
+  FlightRecorder::ScopedRequest obs_req(pending->request_id);
+  const uint64_t obs_signals_before = FlightRecorder::Global().dump_signals();
+  FlightRecorder::Global().Record(ObsKind::kRequestBegin);
+  bool obs_ended = false;
+  const auto obs_end = [&](OptStatusCode code) {
+    if (obs_ended) return;  // First terminal outcome wins.
+    obs_ended = true;
+    FlightRecorder::Global().Record(
+        ObsKind::kRequestEnd, static_cast<uint8_t>(code),
+        out.cache_hit ? 1u : 0u, out.result.counters.plans_costed);
+    MaybeDumpFlightRecorder(pending->request_id, code, obs_signals_before);
+  };
+
   const auto count_status = [this](const OptStatus& status) {
     switch (status.code) {
       case OptStatusCode::kOk:
@@ -262,6 +298,7 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
     }
   };
   const auto finish = [&]() {
+    obs_end(out.result.status.code);
     metrics_.optimize_latency.Record(request_watch.Seconds());
     metrics_.inflight.fetch_sub(1, std::memory_order_relaxed);
     metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
@@ -288,6 +325,9 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
       metrics_.parse_errors.fetch_add(1, std::memory_order_relaxed);
       out.error = "parse error at offset " +
                   std::to_string(error->position) + ": " + error->message;
+      // out.result.status stays OK (there was nothing to optimize); the
+      // recorder still marks the request as internally failed.
+      obs_end(OptStatusCode::kInternal);
       metrics_.inflight.fetch_sub(1, std::memory_order_relaxed);
       metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
       pending->promise.set_value(std::move(out));
@@ -317,6 +357,11 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
       std::max(1, std::min(request.options.opt_threads,
                            std::max(1, config_.max_opt_threads)));
 
+  // Owner-thread timing sink for sharded levels; folded into the service
+  // counters after the run.
+  ParallelEnumStats parallel_stats;
+  request.options.parallel_stats = &parallel_stats;
+
   // Per-request isolation starts here: the cost model (and, inside the
   // optimizer entry point, the memo/pool/estimator/gauge) belong to this
   // request alone.
@@ -327,7 +372,21 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
   std::string full_key;
   PlanCache::Ticket ticket;
   PlanCache::Outcome outcome = PlanCache::Outcome::kDisabled;
+  uint64_t obs_key_hash = 0;
   auto trace_cache = [&](const char* kind) {
+    ObsKind obs_kind = ObsKind::kNone;
+    if (std::strcmp(kind, "hit") == 0) {
+      obs_kind = ObsKind::kCacheHit;
+    } else if (std::strcmp(kind, "miss") == 0) {
+      obs_kind = ObsKind::kCacheMiss;
+    } else if (std::strcmp(kind, "fill") == 0) {
+      obs_kind = ObsKind::kCacheFill;
+    } else if (std::strcmp(kind, "abandon") == 0) {
+      obs_kind = ObsKind::kCacheAbandon;
+    } else if (std::strcmp(kind, "fail-propagated") == 0) {
+      obs_kind = ObsKind::kCacheFailPropagated;
+    }
+    FlightRecorder::Global().Record(obs_kind, 0, 0, obs_key_hash);
     if (config_.tracer == nullptr) return;
     TraceCacheEvent e;
     e.kind = kind;
@@ -349,6 +408,7 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
     full_key += GovernanceCacheTag(request);
     full_key += "|epoch=";
     full_key += std::to_string(stats_epoch_.load(std::memory_order_acquire));
+    obs_key_hash = std::hash<std::string>{}(full_key);
     outcome = cache_.LookupOrBegin(full_key, form, request.query, &ticket,
                                    &out.result);
   }
@@ -405,6 +465,9 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
     out.rejected = true;
     out.retry_after_ms = RetryAfterHintMs();
     metrics_.shed_with_retry_hint.fetch_add(1, std::memory_order_relaxed);
+    FlightRecorder::Global().Record(ObsKind::kShed,
+                                    static_cast<uint8_t>(st.code), 0,
+                                    static_cast<uint64_t>(out.retry_after_ms));
     out.error = st.message;
     out.result.status = st;
     count_status(st);
@@ -494,6 +557,15 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
   }
   ReleaseBudget(admit_bytes);
   request.options.budget = nullptr;
+  request.options.parallel_stats = nullptr;
+  if (parallel_stats.levels > 0) {
+    metrics_.parallel_levels.fetch_add(parallel_stats.levels,
+                                       std::memory_order_relaxed);
+    metrics_.parallel_scan_us.fetch_add(parallel_stats.scan_us,
+                                        std::memory_order_relaxed);
+    metrics_.parallel_merge_us.fetch_add(parallel_stats.merge_us,
+                                         std::memory_order_relaxed);
+  }
 
   if (out.result.feasible) {
     // A fill that throws (allocation failure, injected "service.fill"
@@ -516,6 +588,13 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
     if (filled) {
       ticket.slot.reset();
       if (outcome == PlanCache::Outcome::kMiss) trace_cache("fill");
+      // Refresh the residency gauges on the fill (miss) path only; the
+      // warm cache-hit path never pays the stripe walk.
+      const PlanCacheStats cs = cache_.Stats();
+      metrics_.plan_cache_entries.store(static_cast<int64_t>(cs.entries),
+                                        std::memory_order_relaxed);
+      metrics_.plan_cache_bytes.store(
+          static_cast<int64_t>(cs.resident_bytes), std::memory_order_relaxed);
     }
   } else {
     cache_.Abandon(std::move(ticket), out.result.status);
@@ -537,6 +616,27 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
 void OptimizerService::BumpStatsEpoch() {
   stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
   cache_.Clear();
+  metrics_.plan_cache_entries.store(0, std::memory_order_relaxed);
+  metrics_.plan_cache_bytes.store(0, std::memory_order_relaxed);
+}
+
+void OptimizerService::MaybeDumpFlightRecorder(uint64_t request_id,
+                                               OptStatusCode code,
+                                               uint64_t signals_before) {
+  if (!config_.flight_recorder || config_.flight_dump_dir.empty()) return;
+  const bool failed = code != OptStatusCode::kOk;
+  const bool signaled =
+      FlightRecorder::Global().dump_signals() != signals_before;
+  if (!failed && !signaled) return;
+  std::string path = config_.flight_dump_dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "flight-req" + std::to_string(request_id) + "-" +
+          OptStatusCodeName(code) + ".jsonl";
+  // Deterministic render (no timestamps): two runs of the same seeded
+  // workload produce byte-identical dump files.
+  if (DumpFlightRecorderToFile(path)) {
+    metrics_.flight_dumps.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace sdp

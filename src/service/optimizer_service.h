@@ -66,6 +66,17 @@ struct ServiceConfig {
   // service's request pool), so total thread pressure is bounded by
   // num_threads * max_opt_threads.  1 = intra-query parallelism off.
   int max_opt_threads = 1;
+
+  // Always-on flight recorder (see obs/flight_recorder.h): constructing a
+  // service with this set enables the global recorder, and every request
+  // records its lifecycle/cache/ladder events.  Costs one predicted branch
+  // per instrumentation point when off.
+  bool flight_recorder = true;
+  // Directory for automatic crash dumps (flight-req<id>-<STATUS>.jsonl),
+  // written whenever a request ends in a non-OK OptStatus, a rung circuit
+  // breaker opens, or a fault-injection site fires.  Empty = no dump files
+  // (the /flightrecorderz endpoint still serves snapshots on demand).
+  std::string flight_dump_dir;
 };
 
 // One optimization request: a bound query plus the algorithm and resource
@@ -160,6 +171,14 @@ class OptimizerService {
 
   const ServiceConfig& config() const { return config_; }
 
+  // Live circuit-breaker states, for the /statusz endpoint.
+  const RungBreakerSet& breakers() const { return breakers_; }
+  // Memory budget bytes currently admitted against the global cap.
+  size_t admitted_bytes() const {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    return admitted_bytes_;
+  }
+
  private:
   struct PendingRequest;
 
@@ -173,6 +192,12 @@ class OptimizerService {
   void ReleaseBudget(size_t budget_bytes);
   // Deterministic jittered backoff hint for a load-shed rejection.
   int RetryAfterHintMs();
+  // Writes the flight-recorder crash dump for a finished request when the
+  // recorder is on, a dump dir is configured, and something went wrong
+  // (non-OK status, or dump signals -- breaker opens / fault fires --
+  // accumulated while the request ran).
+  void MaybeDumpFlightRecorder(uint64_t request_id, OptStatusCode code,
+                               uint64_t signals_before);
 
   const Catalog& catalog_;
   const StatsCatalog& stats_;
@@ -182,8 +207,9 @@ class OptimizerService {
   ServiceMetrics metrics_;
   PlanCache cache_;
   RungBreakerSet breakers_;
+  std::atomic<uint64_t> next_request_id_{1};
 
-  std::mutex admission_mu_;
+  mutable std::mutex admission_mu_;
   std::condition_variable admission_cv_;
   size_t admitted_bytes_ = 0;
 

@@ -362,6 +362,11 @@ PlanCacheStats PlanCache::Stats() const {
     for (const auto& [key, slot] : stripe->map) {
       if (slot->state.load(std::memory_order_acquire) == CacheSlot::kReady) {
         ++stats.entries;
+        // kReady is published after `arena` is set (release under mu), so
+        // the pointer is stable and its size final.
+        if (slot->arena != nullptr) {
+          stats.resident_bytes += slot->arena->allocated_bytes();
+        }
       }
     }
   }

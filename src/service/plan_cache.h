@@ -32,6 +32,9 @@ struct PlanCacheStats {
   uint64_t fail_propagated = 0;  // Waiters given the owner's typed error.
   uint64_t remap_failures = 0;  // Key matched but plan translation failed.
   uint64_t entries = 0;    // Completed entries currently resident.
+  // Arena bytes held by resident completed entries (their cloned plan
+  // trees); drops to 0 on Clear().
+  uint64_t resident_bytes = 0;
 };
 
 // Canonical plan cache with lock striping and in-flight coalescing.

@@ -89,7 +89,7 @@ void LatencyHistogram::Reset() {
 }
 
 std::string ServiceMetrics::Dump() const {
-  char buf[2048];
+  char buf[4096];
   std::snprintf(
       buf, sizeof(buf),
       "service.requests.submitted %llu\n"
@@ -117,8 +117,14 @@ std::string ServiceMetrics::Dump() const {
       "service.status.internal %llu\n"
       "service.cache.failures_propagated %llu\n"
       "service.shed.with_retry_hint %llu\n"
+      "service.parallel.levels %llu\n"
+      "service.parallel.scan_us %llu\n"
+      "service.parallel.merge_us %llu\n"
+      "service.obs.flight_dumps %llu\n"
       "service.queue.depth %lld\n"
       "service.inflight %lld\n"
+      "service.cache.entries %lld\n"
+      "service.cache.resident_bytes %lld\n"
       "service.optimize_latency.count %llu\n"
       "service.optimize_latency.mean_ms %.3f\n"
       "service.optimize_latency.p50_ms %.3f\n"
@@ -148,8 +154,14 @@ std::string ServiceMetrics::Dump() const {
       static_cast<unsigned long long>(status_internal.load()),
       static_cast<unsigned long long>(cache_failures_propagated.load()),
       static_cast<unsigned long long>(shed_with_retry_hint.load()),
+      static_cast<unsigned long long>(parallel_levels.load()),
+      static_cast<unsigned long long>(parallel_scan_us.load()),
+      static_cast<unsigned long long>(parallel_merge_us.load()),
+      static_cast<unsigned long long>(flight_dumps.load()),
       static_cast<long long>(queue_depth.load()),
       static_cast<long long>(inflight.load()),
+      static_cast<long long>(plan_cache_entries.load()),
+      static_cast<long long>(plan_cache_bytes.load()),
       static_cast<unsigned long long>(optimize_latency.count()),
       optimize_latency.MeanMs(), optimize_latency.QuantileMs(0.5),
       optimize_latency.QuantileMs(0.99));
@@ -169,6 +181,15 @@ std::string ServiceMetrics::PrometheusText() const {
     std::snprintf(line, sizeof(line),
                   "# HELP %s %s\n# TYPE %s gauge\n%s %lld\n", name, help,
                   name, name, static_cast<long long>(value));
+    out += line;
+  };
+  // Cumulative seconds exposed as a float counter (Prometheus convention
+  // for *_seconds_total series).
+  auto seconds_counter = [&](const char* name, const char* help,
+                             uint64_t micros) {
+    std::snprintf(line, sizeof(line),
+                  "# HELP %s %s\n# TYPE %s counter\n%s %.6f\n", name, help,
+                  name, name, static_cast<double>(micros) / 1e6);
     out += line;
   };
 
@@ -237,10 +258,26 @@ std::string ServiceMetrics::PrometheusText() const {
   counter("sdp_service_shed_with_retry_hint_total",
           "Load-shed rejections that carried a retry-after hint.",
           shed_with_retry_hint.load());
+  counter("sdp_service_parallel_levels_total",
+          "DP levels enumerated with intra-query sharding.",
+          parallel_levels.load());
+  seconds_counter("sdp_service_parallel_scan_seconds_total",
+                  "Wall time spent in parallel candidate scans.",
+                  parallel_scan_us.load());
+  seconds_counter("sdp_service_parallel_merge_seconds_total",
+                  "Wall time spent in deterministic candidate merges.",
+                  parallel_merge_us.load());
+  counter("sdp_service_flight_dumps_total",
+          "Flight-recorder crash dumps written.", flight_dumps.load());
   gauge("sdp_service_queue_depth", "Requests queued, not yet started.",
         queue_depth.load());
   gauge("sdp_service_inflight", "Requests currently being optimized.",
         inflight.load());
+  gauge("sdp_service_plan_cache_entries",
+        "Completed plan-cache entries resident.", plan_cache_entries.load());
+  gauge("sdp_service_plan_cache_resident_bytes",
+        "Arena bytes held by resident plan-cache entries.",
+        plan_cache_bytes.load());
 
   const char* hist = "sdp_service_optimize_latency_seconds";
   std::snprintf(line, sizeof(line),
@@ -293,8 +330,14 @@ void ServiceMetrics::Reset() {
   status_internal.store(0);
   cache_failures_propagated.store(0);
   shed_with_retry_hint.store(0);
+  parallel_levels.store(0);
+  parallel_scan_us.store(0);
+  parallel_merge_us.store(0);
+  flight_dumps.store(0);
   queue_depth.store(0);
   inflight.store(0);
+  plan_cache_entries.store(0);
+  plan_cache_bytes.store(0);
   optimize_latency.Reset();
 }
 

@@ -94,9 +94,22 @@ class ServiceMetrics {
   std::atomic<uint64_t> cache_failures_propagated{0};
   // Load-shed rejections that carried a retry-after hint.
   std::atomic<uint64_t> shed_with_retry_hint{0};
+  // --- intra-query parallel enumeration ---
+  // DP levels that ran sharded across opt_threads workers.
+  std::atomic<uint64_t> parallel_levels{0};
+  // Summed parallel scan / deterministic merge wall time (microseconds;
+  // exported to Prometheus as seconds).
+  std::atomic<uint64_t> parallel_scan_us{0};
+  std::atomic<uint64_t> parallel_merge_us{0};
+  // --- flight recorder ---
+  // Crash dumps written (non-OK request end, breaker trip, fault fire).
+  std::atomic<uint64_t> flight_dumps{0};
   // Instantaneous gauges.
   std::atomic<int64_t> queue_depth{0};
   std::atomic<int64_t> inflight{0};
+  // Plan-cache residency, refreshed by the service after each fill/clear.
+  std::atomic<int64_t> plan_cache_entries{0};
+  std::atomic<int64_t> plan_cache_bytes{0};
 
   LatencyHistogram optimize_latency;  // Per-request optimize wall time.
 

@@ -6,6 +6,7 @@
 
 #include "common/arena.h"
 #include "cost/cost_model.h"
+#include "obs/flight_recorder.h"
 #include "optimizer/optimizer_types.h"
 #include "query/join_graph.h"
 #include "trace/trace.h"
@@ -24,42 +25,66 @@ void EmitTraceRunEnd(Tracer* tracer, const OptimizeResult& result);
 // RAII span over one enumeration section (leaf installation, a DP level,
 // an IDP balloon/greedy phase).  Emits level_begin on construction and
 // level_end -- carrying the SearchCounters deltas, the gauge's current
-// bytes and the span's wall time -- on destruction.  With a null tracer
-// both ends are a single branch: no snapshot, no clock read, no event.
+// bytes and the span's wall time -- on destruction.  Also the single hook
+// point for the flight recorder's kLevelBegin/kLevelEnd events (payloads
+// are the same deltas, deliberately timing-free).  With a null tracer and
+// the recorder disabled, both ends cost two predicted branches: no
+// snapshot, no clock read, no event.
 class TraceLevelScope {
  public:
   TraceLevelScope(Tracer* tracer, int iteration, int level, const char* phase,
                   const SearchCounters& counters, const MemoryGauge& gauge)
       : tracer_(tracer) {
-    if (tracer_ == nullptr) return;
+    recording_ = FlightRecorder::Global().enabled();
+    if (tracer_ == nullptr && !recording_) return;
     counters_ = &counters;
     gauge_ = &gauge;
     iteration_ = iteration;
     level_ = level;
     phase_ = phase;
     snapshot_ = counters;
-    start_ = std::chrono::steady_clock::now();
-    TraceLevelBegin begin;
-    begin.iteration = iteration;
-    begin.level = level;
-    begin.phase = phase;
-    tracer_->OnLevelBegin(begin);
+    if (recording_) {
+      phase_code_ = ObsPhaseCode(phase);
+      FlightRecorder::Global().Record(
+          ObsKind::kLevelBegin, phase_code_, static_cast<uint32_t>(level),
+          static_cast<uint64_t>(iteration));
+    }
+    if (tracer_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+      TraceLevelBegin begin;
+      begin.iteration = iteration;
+      begin.level = level;
+      begin.phase = phase;
+      tracer_->OnLevelBegin(begin);
+    }
   }
 
   ~TraceLevelScope() {
-    if (tracer_ == nullptr) return;
-    TraceLevelEnd end;
-    end.iteration = iteration_;
-    end.level = level_;
-    end.phase = phase_;
-    end.jcrs_created = counters_->jcrs_created - snapshot_.jcrs_created;
-    end.pairs_examined = counters_->pairs_examined - snapshot_.pairs_examined;
-    end.plans_costed = counters_->plans_costed - snapshot_.plans_costed;
-    end.memo_bytes = gauge_->current_bytes();
-    end.seconds = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start_)
-                      .count();
-    tracer_->OnLevelEnd(end);
+    if (tracer_ == nullptr && !recording_) return;
+    const uint64_t jcrs = counters_->jcrs_created - snapshot_.jcrs_created;
+    const uint64_t pairs =
+        counters_->pairs_examined - snapshot_.pairs_examined;
+    const uint64_t plans = counters_->plans_costed - snapshot_.plans_costed;
+    const uint64_t memo_bytes = gauge_->current_bytes();
+    if (recording_) {
+      FlightRecorder::Global().Record(ObsKind::kLevelEnd, phase_code_,
+                                      static_cast<uint32_t>(level_), plans,
+                                      pairs, memo_bytes, jcrs);
+    }
+    if (tracer_ != nullptr) {
+      TraceLevelEnd end;
+      end.iteration = iteration_;
+      end.level = level_;
+      end.phase = phase_;
+      end.jcrs_created = jcrs;
+      end.pairs_examined = pairs;
+      end.plans_costed = plans;
+      end.memo_bytes = memo_bytes;
+      end.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+      tracer_->OnLevelEnd(end);
+    }
   }
 
   TraceLevelScope(const TraceLevelScope&) = delete;
@@ -67,6 +92,8 @@ class TraceLevelScope {
 
  private:
   Tracer* tracer_;
+  bool recording_ = false;
+  uint8_t phase_code_ = 0;
   const SearchCounters* counters_ = nullptr;
   const MemoryGauge* gauge_ = nullptr;
   int iteration_ = 0;

@@ -1,0 +1,562 @@
+// Observability layer tests: flight-recorder ring semantics (wraparound,
+// torn-write safety under concurrent snapshots), causal ordering against
+// the trace collector's ground truth, deterministic crash dumps under
+// seeded fault replay, and the live introspection endpoints (routing,
+// Prometheus text shape, raw-socket behavior, concurrent scrapes while
+// optimizing).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/budget.h"
+#include "common/fault_injection.h"
+#include "cost/cost_model.h"
+#include "harness/experiment.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_server.h"
+#include "obs/introspection.h"
+#include "obs/recorder_export.h"
+#include "optimizer/fallback.h"
+#include "query/topology.h"
+#include "service/optimizer_service.h"
+#include "stats/column_stats.h"
+#include "trace/trace.h"
+#include "trace/trace_collector.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+// Every test starts from an empty, enabled recorder; the rings themselves
+// persist across tests (thread-local registration is process-lifetime).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::Global().ResetForTesting();
+    FlightRecorder::Global().Enable(true);
+  }
+  void TearDown() override {
+    FlightRecorder::Global().Enable(false);
+    FlightRecorder::Global().ResetForTesting();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Ring semantics
+
+TEST_F(ObsTest, RingWraparoundKeepsMostRecentEvents) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  const uint64_t total = FlightRecorder::kRingEvents + 100;
+  for (uint64_t i = 0; i < total; ++i) {
+    rec.Record(ObsKind::kLevelBegin, /*code=*/0, /*a=*/0, /*b=*/i);
+  }
+  const ObsSnapshot snap = rec.Snapshot();
+  // The ring holds the last kRingEvents events, minus the one slot a
+  // concurrent writer could have been mid-overwriting (the snapshot cannot
+  // prove it quiescent, so it is conservatively dropped).  The 100 oldest
+  // events were overwritten outright; all are accounted as dropped.
+  ASSERT_EQ(snap.events.size(), FlightRecorder::kRingEvents - 1);
+  EXPECT_EQ(snap.dropped, 101u);
+  // The survivors are the most recent events, in seq order, gap-free.
+  for (size_t i = 0; i < snap.events.size(); ++i) {
+    EXPECT_EQ(snap.events[i].b, 101 + i);
+    EXPECT_EQ(snap.events[i].seq, 101 + i);
+  }
+  EXPECT_EQ(rec.events_recorded(), total);
+}
+
+TEST_F(ObsTest, DisabledRecorderRecordsNothing) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Enable(false);
+  for (int i = 0; i < 64; ++i) rec.Record(ObsKind::kCacheHit, 0, 0, i);
+  EXPECT_EQ(rec.events_recorded(), 0u);
+  EXPECT_TRUE(rec.Snapshot().events.empty());
+}
+
+TEST_F(ObsTest, ScopedRequestAttributesAndRestores) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Record(ObsKind::kCacheMiss);
+  {
+    FlightRecorder::ScopedRequest req(42);
+    rec.Record(ObsKind::kCacheHit);
+    {
+      FlightRecorder::ScopedRequest nested(43);
+      rec.Record(ObsKind::kCacheFill);
+    }
+    rec.Record(ObsKind::kCacheHit);
+  }
+  rec.Record(ObsKind::kCacheMiss);
+  const ObsSnapshot snap = rec.Snapshot();
+  ASSERT_EQ(snap.events.size(), 5u);
+  EXPECT_EQ(snap.events[0].request_id, 0u);
+  EXPECT_EQ(snap.events[1].request_id, 42u);
+  EXPECT_EQ(snap.events[2].request_id, 43u);
+  EXPECT_EQ(snap.events[3].request_id, 42u);
+  EXPECT_EQ(snap.events[4].request_id, 0u);
+}
+
+// 8 writer threads hammer their rings (each wraps many times) while a
+// snapshotter drains continuously.  Every event a snapshot returns must be
+// internally consistent -- payload checksum intact, no duplicated seq --
+// proving overwritten slots are discarded rather than returned torn.
+// Under TSan this also proves the ring writes/reads are race-annotated
+// correctly.
+TEST_F(ObsTest, SnapshotUnderConcurrentWritersIsNeverTorn) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  constexpr int kWriters = 8;
+  constexpr uint64_t kPerWriter = 3 * FlightRecorder::kRingEvents;
+  std::atomic<bool> go{false};
+  std::atomic<int> done{0};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      const uint64_t tag = 0x1000 + static_cast<uint64_t>(t);
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        // d carries a checksum of the other payload words: a torn slot
+        // (old d with new b/c or vice versa) would break it.
+        rec.Record(ObsKind::kLevelBegin, /*code=*/0,
+                   /*a=*/static_cast<uint32_t>(t), /*b=*/i, /*c=*/tag,
+                   /*d=*/i ^ tag);
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  uint64_t snapshots_taken = 0;
+  while (done.load(std::memory_order_acquire) < kWriters) {
+    // A snapshot racing fast writers may retain few (on a single core,
+    // sometimes zero) events -- whatever it does return must be intact.
+    const ObsSnapshot snap = rec.Snapshot();
+    ++snapshots_taken;
+    std::set<uint64_t> seqs;
+    for (const ObsEvent& ev : snap.events) {
+      ASSERT_EQ(ev.kind, static_cast<uint8_t>(ObsKind::kLevelBegin));
+      ASSERT_EQ(ev.d, ev.b ^ ev.c) << "torn event at seq " << ev.seq;
+      ASSERT_TRUE(seqs.insert(ev.seq).second) << "duplicate seq " << ev.seq;
+    }
+  }
+  for (std::thread& w : writers) w.join();
+
+  // Final quiescent snapshot: every ring retains its last kRingEvents
+  // events; everything older is reported dropped, nothing is lost twice.
+  const ObsSnapshot final_snap = rec.Snapshot();
+  EXPECT_EQ(final_snap.events.size() + final_snap.dropped,
+            kWriters * kPerWriter);
+  for (const ObsEvent& ev : final_snap.events) {
+    EXPECT_EQ(ev.d, ev.b ^ ev.c);
+  }
+  EXPECT_GT(final_snap.events.size(), 0u);
+  EXPECT_GT(snapshots_taken, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Causal ordering vs the trace collector
+
+class ObsQueryTest : public ObsTest {
+ protected:
+  ObsQueryTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  Query MakeQuery(Topology t, int n, uint64_t seed) {
+    WorkloadSpec spec;
+    spec.topology = t;
+    spec.num_relations = n;
+    spec.num_instances = 1;
+    spec.seed = seed;
+    return GenerateWorkload(catalog_, spec).front();
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+// The recorder's level spans come from the same TraceLevelScope objects
+// that feed the trace collector, so a run observed by both must yield the
+// same (phase, level) sequence in the same causal order.
+TEST_F(ObsQueryTest, LevelEventsMatchTraceCollectorGroundTruth) {
+  const Query q = MakeQuery(Topology::kStarChain, 9, 5);
+  CostModel cost(catalog_, stats_, q.graph, CostParams(), q.filters);
+  TraceCollector collector;
+  OptimizerOptions opt;
+  opt.tracer = &collector;
+  const OptimizeResult res = RunAlgorithm(AlgorithmSpec::SDP(), q, cost, opt);
+  ASSERT_TRUE(res.feasible);
+
+  // Ground truth: the collector's begin/end stream, in arrival order.
+  std::vector<std::pair<std::string, int>> expected;
+  for (const TraceCollector::Recorded& r : collector.events()) {
+    if (const auto* b = std::get_if<TraceLevelBegin>(&r.payload)) {
+      expected.emplace_back(std::string("begin/") + b->phase, b->level);
+    } else if (const auto* e = std::get_if<TraceLevelEnd>(&r.payload)) {
+      expected.emplace_back(std::string("end/") + e->phase, e->level);
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+
+  std::vector<std::pair<std::string, int>> recorded;
+  uint64_t prev_seq = 0;
+  bool first = true;
+  for (const ObsEvent& ev : FlightRecorder::Global().Snapshot().events) {
+    ASSERT_TRUE(first || ev.seq > prev_seq) << "snapshot not seq-ordered";
+    first = false;
+    prev_seq = ev.seq;
+    if (ev.kind == static_cast<uint8_t>(ObsKind::kLevelBegin)) {
+      recorded.emplace_back(std::string("begin/") + ObsPhaseName(ev.code),
+                            static_cast<int>(ev.a));
+    } else if (ev.kind == static_cast<uint8_t>(ObsKind::kLevelEnd)) {
+      recorded.emplace_back(std::string("end/") + ObsPhaseName(ev.code),
+                            static_cast<int>(ev.a));
+    }
+  }
+  EXPECT_EQ(recorded, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic crash dumps under fault replay
+
+// Two same-seed runs must produce byte-identical deterministic dumps, at
+// serial and parallel enumeration alike: the default export omits timing,
+// payloads are timing-free, and faults replay deterministically.
+TEST_F(ObsQueryTest, FaultReplayProducesByteIdenticalDumps) {
+  const Query q = MakeQuery(Topology::kStarChain, 9, 11);
+  CostModel cost(catalog_, stats_, q.graph, CostParams(), q.filters);
+
+  const auto run_and_dump = [&](int opt_threads,
+                                const std::string& path) -> std::string {
+    FlightRecorder::Global().ResetForTesting();
+    FlightRecorder::Global().Enable(true);
+    FaultInjectionScope faults(/*seed=*/21, "cost.nan@3");
+    EXPECT_TRUE(faults.ok()) << faults.error();
+    FlightRecorder::ScopedRequest req(1);
+    FallbackConfig config;
+    config.start_rung = FallbackRung::kSDP;
+    config.max_rung = FallbackRung::kGreedy;
+    ResourceBudget budget{ResourceBudget::Limits{}};
+    OptimizerOptions opt;
+    opt.budget = &budget;
+    opt.opt_threads = opt_threads;
+    const OptimizeResult res = OptimizeWithFallback(q, cost, config, opt);
+    // The injected NaN either failed the run with a typed status or the
+    // ladder recovered; both leave a fault_fired event behind.
+    EXPECT_TRUE(res.feasible || !res.status.ok());
+    std::string error;
+    EXPECT_TRUE(DumpFlightRecorderToFile(path, &error)) << error;
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+
+  const std::string dir = ::testing::TempDir();
+  for (int opt_threads : {1, 4}) {
+    const std::string tag = std::to_string(opt_threads);
+    const std::string a = run_and_dump(opt_threads, dir + "obs_dump_a" + tag);
+    const std::string b = run_and_dump(opt_threads, dir + "obs_dump_b" + tag);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "non-deterministic dump at opt_threads=" << opt_threads;
+    EXPECT_NE(a.find("\"event\":\"fault_fired\""), std::string::npos);
+    EXPECT_NE(a.find("\"site\":\"cost.nan\""), std::string::npos);
+    // Deterministic dumps must not leak wall-clock timing.
+    EXPECT_EQ(a.find("ts_ns"), std::string::npos);
+  }
+}
+
+// End-to-end: a fault firing inside a service request triggers the
+// automatic crash dump into the configured directory.
+TEST_F(ObsQueryTest, ServiceWritesCrashDumpWhenFaultFires) {
+  const std::string dump_dir =
+      ::testing::TempDir() + "obs_service_dumps";
+  std::filesystem::remove_all(dump_dir);
+  std::filesystem::create_directories(dump_dir);
+
+  FaultInjectionScope faults(/*seed=*/3, "cost.nan@2");
+  ASSERT_TRUE(faults.ok()) << faults.error();
+
+  ServiceConfig config;
+  config.num_threads = 1;
+  config.flight_dump_dir = dump_dir;
+  OptimizerService service(catalog_, stats_, config);
+  ServiceRequest request;
+  request.query = MakeQuery(Topology::kStar, 8, 2);
+  request.fallback_enabled = true;
+  const ServiceResult result = service.OptimizeSync(std::move(request));
+  ASSERT_TRUE(result.ok()) << result.error;
+
+  std::vector<std::string> dumps;
+  for (const auto& entry : std::filesystem::directory_iterator(dump_dir)) {
+    dumps.push_back(entry.path().filename().string());
+  }
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_EQ(dumps[0].rfind("flight-req1-", 0), 0u) << dumps[0];
+  std::ifstream in(dump_dir + "/" + dumps[0]);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"event\":\"fault_fired\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"event\":\"request_end\""), std::string::npos);
+  EXPECT_EQ(service.metrics().flight_dumps.load(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection endpoints
+
+// Loose Prometheus 0.0.4 lint: every non-comment line is
+// `name[{labels}] value`, and every sample's metric family has HELP+TYPE.
+void LintPrometheusText(const std::string& text) {
+  std::set<std::string> with_help;
+  std::set<std::string> with_type;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      with_help.insert(line.substr(7, line.find(' ', 7) - 7));
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      with_type.insert(line.substr(7, line.find(' ', 7) - 7));
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+    size_t name_end = 0;
+    while (name_end < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[name_end])) ||
+            line[name_end] == '_' || line[name_end] == ':')) {
+      ++name_end;
+    }
+    ASSERT_GT(name_end, 0u) << "sample without name: " << line;
+    std::string name = line.substr(0, name_end);
+    size_t value_at = name_end;
+    if (value_at < line.size() && line[value_at] == '{') {
+      value_at = line.find('}', value_at);
+      ASSERT_NE(value_at, std::string::npos) << "unclosed labels: " << line;
+      ++value_at;
+    }
+    ASSERT_LT(value_at, line.size()) << "sample without value: " << line;
+    ASSERT_EQ(line[value_at], ' ') << "malformed sample: " << line;
+    const std::string value = line.substr(value_at + 1);
+    char* end = nullptr;
+    strtod(value.c_str(), &end);
+    ASSERT_TRUE(end != nullptr && *end == '\0')
+        << "non-numeric value in: " << line;
+    // Histogram series share the base family's HELP/TYPE.
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t n = name.size(), s = strlen(suffix);
+      if (n > s && name.compare(n - s, s, suffix) == 0) {
+        name = name.substr(0, n - s);
+        break;
+      }
+    }
+    EXPECT_TRUE(with_help.count(name)) << "sample without HELP: " << name;
+    EXPECT_TRUE(with_type.count(name)) << "sample without TYPE: " << name;
+  }
+}
+
+TEST_F(ObsQueryTest, IntrospectionEndpointsServeAndRoute) {
+  ServiceConfig config;
+  config.num_threads = 2;
+  OptimizerService service(catalog_, stats_, config);
+  // One miss then one hit so /tracez and the cache gauges have content.
+  for (int i = 0; i < 2; ++i) {
+    ServiceRequest request;
+    request.query = MakeQuery(Topology::kChain, 7, 1);
+    ASSERT_TRUE(service.OptimizeSync(std::move(request)).ok());
+  }
+
+  IntrospectionServer server(&service);
+  const auto get = [&](const std::string& path, const std::string& query =
+                           std::string()) {
+    HttpRequest req;
+    req.method = "GET";
+    req.path = path;
+    req.query = query;
+    return server.Handle(req);
+  };
+
+  const HttpResponse index = get("/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+
+  const HttpResponse metrics = get("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.content_type.find("version=0.0.4"), std::string::npos);
+  LintPrometheusText(metrics.body);
+  for (const char* series :
+       {"sdp_service_requests_completed_total", "sdp_service_cache_hits_total",
+        "sdp_service_rung_dp_total", "sdp_service_rung_greedy_total",
+        "sdp_service_parallel_scan_seconds_total",
+        "sdp_service_parallel_merge_seconds_total",
+        "sdp_service_flight_dumps_total", "sdp_service_plan_cache_entries",
+        "sdp_service_plan_cache_resident_bytes"}) {
+    EXPECT_NE(metrics.body.find(series), std::string::npos)
+        << "missing series " << series;
+  }
+  // The warm hit left a resident compiled plan: the byte gauge must be
+  // live, not a hardcoded zero.
+  EXPECT_EQ(metrics.body.find("sdp_service_plan_cache_resident_bytes 0\n"),
+            std::string::npos);
+
+  const HttpResponse statusz = get("/statusz");
+  EXPECT_EQ(statusz.status, 200);
+  for (const char* needle :
+       {"build_sha", "uptime_seconds", "[breakers]", "dp: closed",
+        "greedy: closed", "[admission]", "[flight_recorder]"}) {
+    EXPECT_NE(statusz.body.find(needle), std::string::npos)
+        << "missing " << needle << " in:\n" << statusz.body;
+  }
+
+  const HttpResponse tracez = get("/tracez");
+  EXPECT_EQ(tracez.status, 200);
+  EXPECT_NE(tracez.body.find("request_end"), std::string::npos);
+  EXPECT_NE(tracez.body.find("\"status\":\"OK\""), std::string::npos);
+  // Status filtering: no request failed, so filtering for deadline
+  // timelines yields none.
+  const HttpResponse filtered = get("/tracez", "status=DEADLINE_EXCEEDED");
+  EXPECT_EQ(filtered.status, 200);
+  EXPECT_EQ(filtered.body.find("request_end"), std::string::npos);
+  const HttpResponse limited = get("/tracez", "limit=1");
+  EXPECT_EQ(limited.status, 200);
+
+  const HttpResponse flightz = get("/flightrecorderz");
+  EXPECT_EQ(flightz.status, 200);
+  EXPECT_NE(flightz.body.find("\"meta\":\"flight_recorder\""),
+            std::string::npos);
+  EXPECT_NE(flightz.body.find("ts_ns"), std::string::npos);
+
+  EXPECT_EQ(get("/nope").status, 404);
+}
+
+// Raw-socket exchange against a live server: sends `payload`, returns
+// whatever the server wrote back.
+std::string RawHttpExchange(int port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n =
+        ::send(fd, payload.data() + sent, payload.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(ObsQueryTest, HttpServerSocketSmoke) {
+  ServiceConfig config;
+  config.num_threads = 1;
+  OptimizerService service(catalog_, stats_, config);
+  {
+    ServiceRequest request;
+    request.query = MakeQuery(Topology::kChain, 6, 1);
+    ASSERT_TRUE(service.OptimizeSync(std::move(request)).ok());
+  }
+
+  IntrospectionServer server(&service);
+  std::string error;
+  ASSERT_TRUE(server.Start(/*port=*/0, &error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  const std::string ok = RawHttpExchange(
+      server.port(), "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  EXPECT_EQ(ok.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << ok.substr(0, 80);
+  EXPECT_NE(ok.find("Content-Length:"), std::string::npos);
+  EXPECT_NE(ok.find("sdp_service_requests_completed_total"),
+            std::string::npos);
+
+  const std::string malformed =
+      RawHttpExchange(server.port(), "complete nonsense\r\n\r\n");
+  EXPECT_EQ(malformed.rfind("HTTP/1.1 400 ", 0), 0u) << malformed.substr(0, 80);
+
+  const std::string post = RawHttpExchange(
+      server.port(),
+      "POST /metrics HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\n"
+      "\r\n");
+  EXPECT_EQ(post.rfind("HTTP/1.1 405 ", 0), 0u) << post.substr(0, 80);
+
+  const std::string missing = RawHttpExchange(
+      server.port(), "GET /missing HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  EXPECT_EQ(missing.rfind("HTTP/1.1 404 ", 0), 0u);
+
+  server.Stop();
+}
+
+// All four endpoints answer concurrently while the service is actively
+// optimizing -- snapshots, metric reads and breaker peeks must never block
+// or race the hot path (TSan enforces the latter).
+TEST_F(ObsQueryTest, EndpointsRespondWhileOptimizing) {
+  ServiceConfig config;
+  config.num_threads = 2;
+  config.cache_enabled = false;  // Every request does real enumeration.
+  OptimizerService service(catalog_, stats_, config);
+
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    ServiceRequest request;
+    request.query = MakeQuery(Topology::kStarChain, 9, 1 + i % 3);
+    request.fallback_enabled = true;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+
+  IntrospectionServer server(&service);
+  const char* paths[] = {"/metrics", "/statusz", "/tracez",
+                         "/flightrecorderz"};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([&, t] {
+      for (int i = 0; i < 16; ++i) {
+        HttpRequest req;
+        req.method = "GET";
+        req.path = paths[(t + i) % 4];
+        const HttpResponse resp = server.Handle(req);
+        if (resp.status != 200 || resp.body.empty()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& s : scrapers) s.join();
+  for (auto& f : futures) {
+    const ServiceResult r = f.get();
+    EXPECT_TRUE(r.ok());
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace sdp

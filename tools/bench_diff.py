@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and flag latency regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CANDIDATE.json [options]
+
+Benchmarks are matched by name.  For each pair the relative change in the
+chosen time metric is printed; any benchmark whose latency regressed by more
+than --threshold (default 10%) fails the run with exit code 1.  Benchmarks
+present on only one side are reported but never fail the diff (bench suites
+grow; that is not a regression).
+
+Designed for the BENCH_*.json files produced by the bench binaries'
+`--json PATH` flag (google-benchmark --benchmark_out format, stamped with
+git_sha/git_dirty in the context block).  Exit codes: 0 ok, 1 regression
+over threshold, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path, metric):
+    """Returns ({name: time}, context) for one benchmark JSON file.
+
+    When a benchmark has aggregate rows (repetitions > 1), the median
+    aggregate is preferred over raw iteration rows; otherwise the mean of
+    all iteration rows for that name is used.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"bench_diff: cannot read {path}: {e}")
+    raw = {}
+    medians = {}
+    for row in doc.get("benchmarks", []):
+        name = row.get("run_name", row.get("name"))
+        if name is None or metric not in row:
+            continue
+        if row.get("run_type") == "aggregate":
+            if row.get("aggregate_name") == "median":
+                medians[name] = float(row[metric])
+            continue
+        raw.setdefault(name, []).append(float(row[metric]))
+    times = {name: sum(v) / len(v) for name, v in raw.items()}
+    times.update(medians)
+    return times, doc.get("context", {})
+
+
+def describe(context):
+    sha = context.get("git_sha", "?")
+    dirty = context.get("git_dirty")
+    if dirty in (True, "1", 1):
+        sha += "-dirty"
+    return sha
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="max tolerated latency increase in percent "
+                             "(default: 10)")
+    parser.add_argument("--metric", choices=["cpu_time", "real_time"],
+                        default="cpu_time",
+                        help="which time series to compare (default: "
+                             "cpu_time; real_time is noisy on shared CI)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write the diff table to PATH (artifact)")
+    args = parser.parse_args()
+
+    base, base_ctx = load_benchmarks(args.baseline, args.metric)
+    cand, cand_ctx = load_benchmarks(args.candidate, args.metric)
+    if not base:
+        raise SystemExit(f"bench_diff: no benchmarks in {args.baseline}")
+    if not cand:
+        raise SystemExit(f"bench_diff: no benchmarks in {args.candidate}")
+
+    lines = [
+        f"bench_diff: {args.metric}, threshold +{args.threshold:.1f}%",
+        f"  baseline : {args.baseline} (git {describe(base_ctx)})",
+        f"  candidate: {args.candidate} (git {describe(cand_ctx)})",
+        "",
+        f"{'benchmark':48s} {'base':>12s} {'cand':>12s} {'delta':>8s}",
+    ]
+    regressions = []
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            lines.append(f"{name:48s} {'-':>12s} {cand[name]:12.3f}   (new)")
+            continue
+        if name not in cand:
+            lines.append(f"{name:48s} {base[name]:12.3f} {'-':>12s}   (gone)")
+            continue
+        b, c = base[name], cand[name]
+        delta = (c - b) / b * 100.0 if b > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  REGRESSED"
+            regressions.append((name, delta))
+        lines.append(f"{name:48s} {b:12.3f} {c:12.3f} {delta:+7.1f}%{flag}")
+
+    lines.append("")
+    if regressions:
+        lines.append(f"FAIL: {len(regressions)} benchmark(s) regressed more "
+                     f"than {args.threshold:.1f}%:")
+        for name, delta in regressions:
+            lines.append(f"  {name}: {delta:+.1f}%")
+    else:
+        lines.append("OK: no benchmark regressed past the threshold")
+
+    report = "\n".join(lines) + "\n"
+    sys.stdout.write(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(report)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

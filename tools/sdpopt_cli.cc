@@ -61,6 +61,19 @@
 //   --prometheus[=PATH]                dump service metrics in Prometheus
 //                                      text format (stdout when no PATH);
 //                                      implies service mode
+//
+// Live observability (see src/obs; all imply service mode):
+//   --obs-port=N                       serve /metrics /statusz /tracez
+//                                      /flightrecorderz on 127.0.0.1:N
+//                                      (0 = pick an ephemeral port; the
+//                                      bound port is printed)
+//   --obs-dump-dir=PATH                write flight-recorder crash dumps
+//                                      (flight-req<id>-<STATUS>.jsonl) into
+//                                      PATH when a request fails, a breaker
+//                                      opens, or a fault fires
+//   --obs-linger-ms=N                  keep the process (and the obs
+//                                      endpoints) alive N ms after the last
+//                                      request finishes, for scraping
 //   --list-tables                      print the schema and exit
 //
 // --threads/--repeat run through the concurrent service and finish with a
@@ -74,9 +87,14 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
 #include "catalog/catalog.h"
 #include "common/budget.h"
 #include "common/fault_injection.h"
+#include "obs/introspection.h"
 #include "core/sdp.h"
 #include "cost/cost_model.h"
 #include "optimizer/fallback.h"
@@ -118,6 +136,9 @@ struct Options {
   bool trace_report = false;
   bool prometheus = false;
   std::string prometheus_path;  // Empty = stdout.
+  int obs_port = -1;            // >= 0 starts the introspection server.
+  std::string obs_dump_dir;     // Flight-recorder crash-dump directory.
+  int obs_linger_ms = 0;        // Keep endpoints up after the last request.
   std::string sql;
 
   bool tracing() const {
@@ -126,6 +147,7 @@ struct Options {
   bool governed() const {
     return deadline_ms > 0 || mem_budget_mb > 0 || !max_rung.empty();
   }
+  bool observed() const { return obs_port >= 0 || !obs_dump_dir.empty(); }
 };
 
 bool ParseArgs(int argc, char** argv, Options* out) {
@@ -190,6 +212,17 @@ bool ParseArgs(int argc, char** argv, Options* out) {
     } else if (arg.rfind("--prometheus=", 0) == 0) {
       out->prometheus = true;
       out->prometheus_path = arg.substr(13);
+    } else if (arg.rfind("--obs-port=", 0) == 0) {
+      out->obs_port = std::atoi(arg.c_str() + 11);
+      if (out->obs_port < 0 || out->obs_port > 65535) {
+        std::fprintf(stderr, "--obs-port expects 0..65535\n");
+        return false;
+      }
+    } else if (arg.rfind("--obs-dump-dir=", 0) == 0) {
+      out->obs_dump_dir = arg.substr(15);
+    } else if (arg.rfind("--obs-linger-ms=", 0) == 0) {
+      out->obs_linger_ms = std::atoi(arg.c_str() + 16);
+      if (out->obs_linger_ms < 0) out->obs_linger_ms = 0;
     } else if (arg == "--list-tables") {
       out->list_tables = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -361,6 +394,8 @@ int main(int argc, char** argv) {
           "[--trace-jsonl=PATH]\n"
           "                  [--trace-report] [--prometheus[=PATH]] "
           "[--list-tables]\n"
+          "                  [--obs-port=N] [--obs-dump-dir=PATH] "
+          "[--obs-linger-ms=N]\n"
           "                  \"SELECT ...\"\n");
       return 2;
     }
@@ -541,15 +576,41 @@ int main(int argc, char** argv) {
   const bool ladder_enabled = !options.max_rung.empty();
   if (ladder_enabled) sdp::ParseFallbackRung(options.max_rung, &max_rung);
 
-  if (options.threads > 0 || options.repeat > 1 || options.prometheus) {
+  if (options.threads > 0 || options.repeat > 1 || options.prometheus ||
+      options.observed()) {
     // Service mode: route every request through the concurrent optimizer
     // service and report its metrics.
     sdp::ServiceConfig sconfig;
     sconfig.num_threads = options.threads > 0 ? options.threads : 1;
     sconfig.cache_enabled = options.cache;
     sconfig.max_opt_threads = options.opt_threads;
+    if (!options.obs_dump_dir.empty()) {
+      // Dump writes are silent no-ops when the directory is missing; create
+      // it up front so --obs-dump-dir works against a fresh path.
+      std::error_code ec;
+      std::filesystem::create_directories(options.obs_dump_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "cannot create --obs-dump-dir %s: %s\n",
+                     options.obs_dump_dir.c_str(), ec.message().c_str());
+        return 1;
+      }
+    }
+    sconfig.flight_dump_dir = options.obs_dump_dir;
     if (tracing) sconfig.tracer = &collector;
     sdp::OptimizerService service(catalog, stats, sconfig);
+    sdp::IntrospectionServer obs_server(&service);
+    if (options.obs_port >= 0) {
+      std::string obs_error;
+      if (!obs_server.Start(static_cast<uint16_t>(options.obs_port),
+                            &obs_error)) {
+        std::fprintf(stderr, "cannot start obs server: %s\n",
+                     obs_error.c_str());
+        return 1;
+      }
+      std::printf("obs: serving http://127.0.0.1:%d/{metrics,statusz,tracez,"
+                  "flightrecorderz}\n", obs_server.port());
+      std::fflush(stdout);
+    }
     for (const sdp::AlgorithmSpec& spec : algorithms) {
       std::vector<std::future<sdp::ServiceResult>> futures;
       futures.reserve(options.repeat);
@@ -588,6 +649,12 @@ int main(int argc, char** argv) {
       }
     }
     if (!flush_traces()) return 1;
+    if (options.obs_linger_ms > 0 && options.obs_port >= 0) {
+      // Keep the endpoints (and the service behind them) up for scrapers.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.obs_linger_ms));
+    }
+    obs_server.Stop();
     return ExitCodeFor(worst_status);
   }
 
