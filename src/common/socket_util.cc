@@ -1,0 +1,150 @@
+#include "common/socket_util.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace sdp {
+
+namespace {
+
+sockaddr_in LoopbackAddr(int port) {
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  return addr;
+}
+
+}  // namespace
+
+int ListenLocalhost(int port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = std::string("bind: ") + strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 128) != 0) {
+    if (error != nullptr) *error = std::string("listen: ") + strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int BoundPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return -1;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int ConnectLocalhost(int port, int timeout_ms, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
+    return -1;
+  }
+  // Non-blocking connect so the timeout is enforceable, then back to
+  // blocking for the framed I/O.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  sockaddr_in addr = LoopbackAddr(port);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 1) {
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      rc = soerr == 0 ? 0 : -1;
+      errno = soerr;
+    } else {
+      if (rc == 0) errno = ETIMEDOUT;
+      rc = -1;
+    }
+  }
+  if (rc != 0) {
+    if (error != nullptr) *error = std::string("connect: ") + strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool ReadFull(int fd, void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+    } else if (r < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;  // Peer closed (0), timed out, or errored.
+    }
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const void* buf, size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<size_t>(r);
+    } else if (r < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int PollReadable(int fd, int timeout_ms) {
+  pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) return errno == EINTR ? 0 : -1;
+  return rc;
+}
+
+void SetIoTimeout(int fd, int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace sdp

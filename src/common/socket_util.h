@@ -1,0 +1,47 @@
+#ifndef SDPOPT_COMMON_SOCKET_UTIL_H_
+#define SDPOPT_COMMON_SOCKET_UTIL_H_
+
+#include <stddef.h>
+
+#include <string>
+
+namespace sdp {
+
+// Loopback TCP plumbing shared by the obs HTTP server and the fleet tier
+// (router and replica listeners).  All sockets bind 127.0.0.1 only: the
+// fleet is a single-host, multi-process deployment, never a network
+// service.  Every call is EINTR-tolerant so signal-driven shutdown (see
+// common/subprocess.h) cannot corrupt a frame mid-transfer.
+
+// Creates, binds and listens a loopback TCP socket.  `port` 0 picks an
+// ephemeral port (read it back with BoundPort).  Returns the fd, or -1
+// with `*error` set.  The fd is blocking and close-on-exec is NOT set:
+// fleet supervisors deliberately pass listen fds across fork().
+int ListenLocalhost(int port, std::string* error);
+
+// Port a bound socket actually listens on; -1 on error.
+int BoundPort(int fd);
+
+// Connects to 127.0.0.1:port, waiting at most `timeout_ms` for the
+// connection to be accepted.  Returns the fd, or -1 with `*error` set.
+int ConnectLocalhost(int port, int timeout_ms, std::string* error);
+
+// Reads exactly `n` bytes.  False on peer close, timeout, or error.
+bool ReadFull(int fd, void* buf, size_t n);
+
+// Writes exactly `n` bytes (MSG_NOSIGNAL: a dead peer yields false, not
+// SIGPIPE).  False on error.
+bool WriteFull(int fd, const void* buf, size_t n);
+
+// Waits up to `timeout_ms` for `fd` to become readable.  1 = readable,
+// 0 = timeout, -1 = error.  EINTR reports as timeout so callers re-check
+// their stop flags.
+int PollReadable(int fd, int timeout_ms);
+
+// Applies SO_RCVTIMEO/SO_SNDTIMEO so a stalled peer cannot wedge a
+// blocking ReadFull/WriteFull forever.
+void SetIoTimeout(int fd, int timeout_ms);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_COMMON_SOCKET_UTIL_H_

@@ -1,0 +1,91 @@
+#include "common/subprocess.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+namespace sdp {
+
+namespace {
+
+volatile sig_atomic_t g_shutdown_requested = 0;
+
+void ShutdownSignalHandler(int /*sig*/) { g_shutdown_requested = 1; }
+
+}  // namespace
+
+pid_t SpawnProcess(const std::function<int()>& child_main,
+                   const std::vector<int>& close_fds) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;  // Parent (or -1 on failure).
+  // Child.  A pending shutdown request inherited from the parent must not
+  // leak into the fresh process's serving loop.
+  ClearShutdownRequest();
+  for (const int fd : close_fds) ::close(fd);
+  ::_exit(child_main());
+}
+
+void CloseAllFdsExcept(const std::vector<int>& keep) {
+  // /proc/self/fd would be exact, but a fixed sweep is fork-safe (no
+  // opendir allocation between fork and the child's first real work) and
+  // the fleet never holds fds beyond a few hundred.
+  for (int fd = 3; fd < 4096; ++fd) {
+    bool kept = false;
+    for (const int k : keep) kept = kept || k == fd;
+    if (!kept) ::close(fd);
+  }
+}
+
+bool ProcessAlive(pid_t pid) {
+  if (pid <= 0) return false;
+  const pid_t rc = ::waitpid(pid, nullptr, WNOHANG);
+  if (rc == 0) return true;    // Running.
+  return false;                // Reaped now (rc == pid) or gone (ECHILD).
+}
+
+int WaitProcess(pid_t pid, int timeout_ms) {
+  if (pid <= 0) return -1;
+  const int step_ms = 10;
+  int waited = 0;
+  for (;;) {
+    int status = 0;
+    const pid_t rc = ::waitpid(pid, &status, timeout_ms < 0 ? 0 : WNOHANG);
+    if (rc == pid) {
+      if (WIFEXITED(status)) return WEXITSTATUS(status);
+      if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+      return -1;
+    }
+    if (rc < 0 && errno != EINTR) return -1;
+    if (timeout_ms >= 0) {
+      if (waited >= timeout_ms) return -1;
+      timespec ts = {0, step_ms * 1000000};
+      ::nanosleep(&ts, nullptr);
+      waited += step_ms;
+    }
+  }
+}
+
+void KillProcess(pid_t pid, int sig) {
+  if (pid > 0) ::kill(pid, sig);
+}
+
+void InstallShutdownHandlers() {
+  struct sigaction sa;
+  sa.sa_handler = ShutdownSignalHandler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // No SA_RESTART: blocked I/O wakes with EINTR.
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  // Dead peers must surface as write errors, never process death.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+bool ShutdownRequested() { return g_shutdown_requested != 0; }
+
+void RequestShutdown() { g_shutdown_requested = 1; }
+
+void ClearShutdownRequest() { g_shutdown_requested = 0; }
+
+}  // namespace sdp

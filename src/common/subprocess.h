@@ -1,0 +1,61 @@
+#ifndef SDPOPT_COMMON_SUBPROCESS_H_
+#define SDPOPT_COMMON_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <functional>
+#include <vector>
+
+namespace sdp {
+
+// fork()-based process supervision for the fleet tier, plus the
+// signal-driven shutdown flag every long-running loop polls.
+//
+// The fleet deliberately uses fork-without-exec: replicas are closures
+// over already-bound listen fds and a deterministic in-process catalog,
+// so there is no binary path, argv marshalling, or exec environment to
+// get wrong.  The child runs `child_main` and _exit()s with its return
+// value -- it must never return into the parent's stack unwinding.
+
+// Forks and runs `child_main` in the child.  `close_fds` are closed in
+// the child before `child_main` runs (a supervisor passes every sibling
+// replica's listen fd here, so exactly one process accepts per port).
+// Returns the child pid, or -1 on fork failure.
+pid_t SpawnProcess(const std::function<int()>& child_main,
+                   const std::vector<int>& close_fds = {});
+
+// Closes every descriptor >= 3 not in `keep`.  A forked replica calls
+// this first: the supervisor's client connections, sibling listen fds
+// and router sockets must not survive into the child, where they would
+// hold peers' TCP sessions open after the parent closes its copies (and
+// let two processes race on one listen queue).
+void CloseAllFdsExcept(const std::vector<int>& keep);
+
+// True while the child has neither exited nor been reaped.  A fresh
+// zombie is reaped on the spot and its status discarded -- use
+// WaitProcess instead when the exit code matters.
+bool ProcessAlive(pid_t pid);
+
+// Waits up to `timeout_ms` (<0 = forever) for the child to exit.
+// Returns the child's exit code (or 128+signal when killed by a signal),
+// or -1 on timeout / wait error.
+int WaitProcess(pid_t pid, int timeout_ms);
+
+// Sends `sig` (e.g. SIGTERM for graceful drain, SIGKILL for a hard
+// crash in fault-injection tests).
+void KillProcess(pid_t pid, int sig);
+
+// Installs SIGTERM/SIGINT handlers that set a process-wide flag; serving
+// loops poll ShutdownRequested() and drain gracefully.  Handlers are
+// async-signal-safe (they only store to a volatile sig_atomic_t).
+void InstallShutdownHandlers();
+bool ShutdownRequested();
+// Sets the flag directly, for in-process tests of drain paths.
+void RequestShutdown();
+// Clears the flag (call after fork in children that inherited a pending
+// request, or between tests).
+void ClearShutdownRequest();
+
+}  // namespace sdp
+
+#endif  // SDPOPT_COMMON_SUBPROCESS_H_

@@ -1,0 +1,73 @@
+#include "fleet/consistent_hash.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "service/plan_fingerprint.h"
+
+namespace sdp {
+
+ConsistentHashRing::ConsistentHashRing(int num_replicas, int vnodes) {
+  SDP_CHECK(num_replicas >= 1);
+  SDP_CHECK(vnodes >= 1);
+  live_.assign(static_cast<size_t>(num_replicas), true);
+  ring_.reserve(static_cast<size_t>(num_replicas) * vnodes);
+  for (int rep = 0; rep < num_replicas; ++rep) {
+    for (int v = 0; v < vnodes; ++v) {
+      const std::string label =
+          "vnode/" + std::to_string(rep) + "/" + std::to_string(v);
+      ring_.push_back(Point{FingerprintHash(label), rep});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    if (a.hash != b.hash) return a.hash < b.hash;
+    return a.replica < b.replica;  // Hash ties resolve deterministically.
+  });
+}
+
+void ConsistentHashRing::SetLive(int replica, bool live) {
+  live_.at(replica) = live;
+}
+
+int ConsistentHashRing::NumLive() const {
+  int n = 0;
+  for (const bool alive : live_) n += alive ? 1 : 0;
+  return n;
+}
+
+size_t ConsistentHashRing::LowerBound(uint64_t h) const {
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, uint64_t value) { return p.hash < value; });
+  return it == ring_.end() ? 0 : static_cast<size_t>(it - ring_.begin());
+}
+
+int ConsistentHashRing::Route(const std::string& key) const {
+  const size_t start = LowerBound(FingerprintHash(key));
+  for (size_t step = 0; step < ring_.size(); ++step) {
+    const Point& p = ring_[(start + step) % ring_.size()];
+    if (live_[p.replica]) return p.replica;
+  }
+  return -1;
+}
+
+std::vector<int> ConsistentHashRing::RouteSequence(
+    const std::string& key) const {
+  std::vector<int> order;
+  std::vector<bool> seen(live_.size(), false);
+  const size_t start = LowerBound(FingerprintHash(key));
+  for (size_t step = 0; step < ring_.size(); ++step) {
+    const Point& p = ring_[(start + step) % ring_.size()];
+    if (!live_[p.replica] || seen[p.replica]) continue;
+    seen[p.replica] = true;
+    order.push_back(p.replica);
+  }
+  return order;
+}
+
+int ConsistentHashRing::HomeReplica(const std::string& key) const {
+  const size_t start = LowerBound(FingerprintHash(key));
+  return ring_.empty() ? -1 : ring_[start % ring_.size()].replica;
+}
+
+}  // namespace sdp

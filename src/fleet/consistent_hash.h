@@ -1,0 +1,65 @@
+#ifndef SDPOPT_FLEET_CONSISTENT_HASH_H_
+#define SDPOPT_FLEET_CONSISTENT_HASH_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+namespace sdp {
+
+// Consistent-hash ring over replica ids 0..n-1, used by the router to
+// place canonical plan-cache keys.
+//
+// Each replica owns `vnodes` points on a 64-bit ring (hashes of
+// "vnode/<replica>/<i>" under the repo's FNV-1a fingerprint hash); a key
+// routes to the owner of the first live point at or after the key's
+// hash, wrapping.  Two properties the fleet depends on, both covered by
+// tests:
+//
+//  * Determinism: the ring is a pure function of (num_replicas, vnodes),
+//    so the router, the bench, and the tests all compute identical
+//    placements without coordination.
+//  * Minimal disruption: marking a replica dead reroutes ONLY the keys
+//    whose owning point belonged to that replica -- every other key keeps
+//    its replica, so a replica crash does not flush the surviving
+//    replicas' cache locality.
+//
+// The ring is not thread-safe; the router guards it with its own mutex.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(int num_replicas, int vnodes = 64);
+
+  int num_replicas() const { return static_cast<int>(live_.size()); }
+
+  void SetLive(int replica, bool live);
+  bool IsLive(int replica) const { return live_.at(replica); }
+  int NumLive() const;
+
+  // The live replica owning `key`, or -1 when none is live.
+  int Route(const std::string& key) const;
+
+  // Failover order for `key`: every live replica exactly once, in ring
+  // order from the key's hash.  Element 0 equals Route(key).
+  std::vector<int> RouteSequence(const std::string& key) const;
+
+  // Owner of `key` ignoring liveness -- the stable home the key returns
+  // to after its replica restarts.
+  int HomeReplica(const std::string& key) const;
+
+ private:
+  struct Point {
+    uint64_t hash = 0;
+    int replica = -1;
+  };
+
+  // First ring index at or after `h` (wrapping).
+  size_t LowerBound(uint64_t h) const;
+
+  std::vector<Point> ring_;  // Sorted by hash.
+  std::vector<bool> live_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_FLEET_CONSISTENT_HASH_H_

@@ -1,0 +1,76 @@
+#include "fleet/fleet_client.h"
+
+#include <unistd.h>
+
+#include "common/socket_util.h"
+
+namespace sdp {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+FleetClient::~FleetClient() { Close(); }
+
+bool FleetClient::Connect(int port, int timeout_ms, std::string* error) {
+  Close();
+  fd_ = ConnectLocalhost(port, timeout_ms, error);
+  if (fd_ < 0) return false;
+  SetIoTimeout(fd_, io_timeout_ms_);
+  return true;
+}
+
+void FleetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool FleetClient::Optimize(const FleetRequest& request, FleetResponse* resp,
+                           std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected");
+    return false;
+  }
+  if (!WriteFrame(fd_, FrameType::kOptimizeRequest, 0,
+                  EncodeFleetRequest(request))) {
+    SetError(error, "send failed");
+    Close();
+    return false;
+  }
+  Frame frame;
+  if (!ReadFrame(fd_, &frame) ||
+      frame.type != FrameType::kOptimizeResponse) {
+    SetError(error, "no response");
+    Close();
+    return false;
+  }
+  if (!DecodeFleetResponse(frame.payload, resp)) {
+    SetError(error, "malformed response");
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool FleetClient::Ping(std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected");
+    return false;
+  }
+  Frame frame;
+  if (!WriteFrame(fd_, FrameType::kPing, 0, std::string()) ||
+      !ReadFrame(fd_, &frame) || frame.type != FrameType::kPong) {
+    SetError(error, "ping failed");
+    Close();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sdp

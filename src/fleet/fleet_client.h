@@ -1,0 +1,42 @@
+#ifndef SDPOPT_FLEET_FLEET_CLIENT_H_
+#define SDPOPT_FLEET_FLEET_CLIENT_H_
+
+#include <string>
+
+#include "fleet/wire.h"
+
+namespace sdp {
+
+// Blocking client for the fleet router (or, in tests, a replica
+// directly): one connection, one outstanding request at a time.  Drive
+// several clients from several threads for concurrency -- the router
+// gives each connection its own serving thread.
+class FleetClient {
+ public:
+  FleetClient() = default;
+  ~FleetClient();
+
+  FleetClient(const FleetClient&) = delete;
+  FleetClient& operator=(const FleetClient&) = delete;
+
+  bool Connect(int port, int timeout_ms, std::string* error);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Round-trips one optimize request.  False on transport failure (the
+  // connection is closed); a false return says nothing about the
+  // optimization itself -- inspect resp->ok for that.
+  bool Optimize(const FleetRequest& request, FleetResponse* resp,
+                std::string* error);
+
+  // Liveness probe: kPing -> kPong.
+  bool Ping(std::string* error);
+
+ private:
+  int fd_ = -1;
+  int io_timeout_ms_ = 60000;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_FLEET_FLEET_CLIENT_H_

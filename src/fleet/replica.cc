@@ -1,0 +1,240 @@
+#include "fleet/replica.h"
+
+#include <stdio.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/socket_util.h"
+#include "common/subprocess.h"
+#include "fleet/snapshot.h"
+#include "fleet/wire.h"
+#include "obs/introspection.h"
+#include "obs/recorder_export.h"
+#include "service/plan_fingerprint.h"
+#include "stats/column_stats.h"
+
+namespace sdp {
+
+namespace {
+
+// Everything one replica process owns, shared by its connection threads.
+struct ReplicaState {
+  const ReplicaConfig* config = nullptr;
+  OptimizerService* service = nullptr;
+  std::atomic<bool> stop{false};
+};
+
+void LogReplica(int id, const std::string& message) {
+  std::fprintf(stderr, "[replica %d] %s\n", id, message.c_str());
+}
+
+FleetResponse BuildResponse(const ReplicaState& state, uint64_t request_id,
+                            const ServiceResult& sr) {
+  FleetResponse resp;
+  resp.request_id = request_id;
+  resp.replica_id = state.config->replica_id;
+  resp.ok = sr.ok();
+  resp.rejected = sr.rejected;
+  resp.cache_hit = sr.cache_hit;
+  resp.feasible = sr.result.feasible;
+  resp.status_code = static_cast<uint8_t>(sr.result.status.code);
+  resp.retry_after_ms = sr.retry_after_ms;
+  resp.error = sr.error;
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(double), "");
+  memcpy(&bits, &sr.result.cost, sizeof(bits));
+  resp.cost_bits = bits;
+  memcpy(&bits, &sr.result.rows, sizeof(bits));
+  resp.rows_bits = bits;
+  resp.plans_costed = sr.result.counters.plans_costed;
+  resp.fingerprint = ResultFingerprint(sr.result);
+  return resp;
+}
+
+bool HandleOptimize(ReplicaState& state, int conn, const Frame& frame) {
+  FleetRequest req;
+  if (!DecodeFleetRequest(frame.payload, &req)) {
+    FleetResponse resp;
+    resp.replica_id = state.config->replica_id;
+    resp.ok = false;
+    resp.error = "malformed optimize request";
+    return WriteFrame(conn, FrameType::kOptimizeResponse, 0,
+                      EncodeFleetResponse(resp));
+  }
+  ServiceRequest sreq;
+  sreq.query = std::move(req.query);
+  sreq.spec = req.Spec();
+  const ServiceResult sr = state.service->OptimizeSync(std::move(sreq));
+  FleetResponse resp = BuildResponse(state, req.request_id, sr);
+
+  // A freshly computed feasible plan rides back to the router as a
+  // cache-fill frame so the other replicas can be warmed asynchronously.
+  PlanCacheExportEntry fill;
+  const bool has_fill = sr.ok() && !sr.cache_hit && sr.result.feasible &&
+                        !sr.cache_key.empty() &&
+                        state.service->ExportPlanCacheEntry(sr.cache_key,
+                                                            &fill);
+  if (!WriteFrame(conn, FrameType::kOptimizeResponse,
+                  has_fill ? kFlagFillFollows : 0,
+                  EncodeFleetResponse(resp))) {
+    return false;
+  }
+  if (has_fill) {
+    return WriteFrame(conn, FrameType::kCacheInstall, 0,
+                      EncodeCacheEntry(fill));
+  }
+  return true;
+}
+
+bool HandleStats(ReplicaState& state, int conn) {
+  const ServiceMetrics& m = state.service->metrics();
+  const PlanCacheStats cs = state.service->cache_stats();
+  FleetReplicaStats stats;
+  stats.replica_id = state.config->replica_id;
+  stats.requests_completed = m.requests_completed.load();
+  stats.cache_hits = m.cache_hits.load();
+  stats.cache_misses = m.cache_misses.load();
+  stats.queue_depth = m.queue_depth.load();
+  stats.inflight = m.inflight.load();
+  stats.cache_entries = cs.entries;
+  stats.cache_bytes = cs.resident_bytes;
+  stats.stats_epoch = state.service->stats_epoch();
+  stats.prometheus = m.PrometheusText(
+      std::to_string(state.config->replica_id));
+  return WriteFrame(conn, FrameType::kStatsResponse, 0,
+                    EncodeReplicaStats(stats));
+}
+
+// Serves one router connection until the peer closes, framing breaks, or
+// the replica drains.  A request already being optimized when drain
+// begins still gets its response -- that is the "finish in-flight" half
+// of graceful shutdown; the router re-sends anything it never got an
+// answer for.
+void ServeConnection(ReplicaState& state, int conn) {
+  SetIoTimeout(conn, 30000);
+  while (!state.stop.load(std::memory_order_acquire) &&
+         !ShutdownRequested()) {
+    const int ready = PollReadable(conn, state.config->poll_interval_ms);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    Frame frame;
+    if (!ReadFrame(conn, &frame)) break;
+    bool ok = true;
+    switch (frame.type) {
+      case FrameType::kOptimizeRequest:
+        ok = HandleOptimize(state, conn, frame);
+        break;
+      case FrameType::kCacheInstall: {
+        // Broadcast fill from a peer replica (fire-and-forget).
+        PlanCacheExportEntry entry;
+        if (DecodeCacheEntry(frame.payload, &entry)) {
+          state.service->InstallPlanCacheEntry(entry);
+        }
+        break;
+      }
+      case FrameType::kStatsRequest:
+        ok = HandleStats(state, conn);
+        break;
+      case FrameType::kPing:
+        ok = WriteFrame(conn, FrameType::kPong, 0, std::string());
+        break;
+      default:
+        ok = false;  // Unexpected frame: drop the connection.
+        break;
+    }
+    if (!ok) break;
+  }
+  ::close(conn);
+}
+
+}  // namespace
+
+int ReplicaMain(const ReplicaConfig& config) {
+  InstallShutdownHandlers();
+
+  const Catalog catalog = MakeSyntheticCatalog(config.schema);
+  const StatsCatalog stats = SynthesizeStats(catalog);
+  OptimizerService service(catalog, stats, config.service);
+
+  // Warm restart: reinstall every snapshot entry whose stats epoch still
+  // matches.  Any typed failure means a cold start, never a crash.
+  if (!config.snapshot_path.empty()) {
+    std::vector<PlanCacheExportEntry> entries;
+    std::string error;
+    const SnapshotStatus status = LoadCacheSnapshot(
+        config.snapshot_path, service.stats_epoch(), &entries, &error);
+    if (status == SnapshotStatus::kOk) {
+      size_t installed = 0;
+      for (const PlanCacheExportEntry& e : entries) {
+        installed += service.InstallPlanCacheEntry(e) ? 1 : 0;
+      }
+      LogReplica(config.replica_id,
+                 "restored " + std::to_string(installed) + "/" +
+                     std::to_string(entries.size()) + " snapshot entries");
+    } else {
+      LogReplica(config.replica_id,
+                 std::string("snapshot not restored (") +
+                     SnapshotStatusName(status) + "): " + error);
+    }
+  }
+
+  IntrospectionServer obs(&service);
+  if (config.obs_port > 0) {
+    std::string error;
+    if (!obs.Start(config.obs_port, &error)) {
+      LogReplica(config.replica_id, "obs server failed: " + error);
+    }
+  }
+
+  ReplicaState state;
+  state.config = &config;
+  state.service = &service;
+
+  std::vector<std::thread> connections;
+  while (!ShutdownRequested()) {
+    const int ready = PollReadable(config.listen_fd, config.poll_interval_ms);
+    if (ready < 0) break;  // Listen socket died.
+    if (ready == 0) continue;
+    const int conn = ::accept(config.listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    connections.emplace_back(
+        [&state, conn] { ServeConnection(state, conn); });
+  }
+
+  // Graceful drain: stop accepting (done -- the loop exited), let every
+  // connection finish its in-flight request, then persist and flush.
+  state.stop.store(true, std::memory_order_release);
+  for (std::thread& t : connections) t.join();
+
+  if (!config.snapshot_path.empty()) {
+    std::string error;
+    const SnapshotStatus status =
+        SaveCacheSnapshot(config.snapshot_path, service.stats_epoch(),
+                          service.ExportPlanCache(), &error);
+    if (status != SnapshotStatus::kOk) {
+      LogReplica(config.replica_id,
+                 std::string("snapshot save failed (") +
+                     SnapshotStatusName(status) + "): " + error);
+    }
+  }
+  if (!config.service.flight_dump_dir.empty()) {
+    const std::string dump_path =
+        config.service.flight_dump_dir + "/flight-replica" +
+        std::to_string(config.replica_id) + "-drain.jsonl";
+    std::string error;
+    if (!DumpFlightRecorderToFile(dump_path, &error)) {
+      LogReplica(config.replica_id, "drain dump failed: " + error);
+    }
+  }
+  obs.Stop();
+  ::close(config.listen_fd);
+  return 0;
+}
+
+}  // namespace sdp

@@ -1,0 +1,44 @@
+#ifndef SDPOPT_FLEET_REPLICA_H_
+#define SDPOPT_FLEET_REPLICA_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "service/optimizer_service.h"
+
+namespace sdp {
+
+// One fleet replica: a forked worker process hosting an OptimizerService
+// behind an already-bound loopback listen socket, with its own obs
+// endpoint and an optional persistent plan-cache snapshot.
+struct ReplicaConfig {
+  int replica_id = 0;
+  // Listen socket bound by the supervisor BEFORE forking.  The parent
+  // keeps its copy, so a restarted replica reuses the same port and the
+  // router's view of the fleet never changes.
+  int listen_fd = -1;
+  // Observability HTTP port (PR 5 endpoints, with every Prometheus
+  // family stamped replica="<id>"); 0 = obs disabled.
+  int obs_port = 0;
+  // Plan-cache snapshot file; empty = no persistence.  Loaded (stats-
+  // epoch-checked) at startup, written on graceful drain.
+  std::string snapshot_path;
+  // All fleet processes build the identical deterministic catalog/stats,
+  // which is what lets queries travel as positions + edges.
+  SchemaConfig schema;
+  ServiceConfig service;
+  // Connections idle longer than this are still responsive to shutdown
+  // (the read loop polls at this granularity).
+  int poll_interval_ms = 100;
+};
+
+// Runs the replica until SIGTERM/SIGINT (graceful drain: stop accepting,
+// finish in-flight requests, save the snapshot, flush flight-recorder
+// dumps, stop the obs server) or until the listen socket dies.  Returns
+// the process exit code.  Designed to be the child_main of
+// SpawnProcess; also callable in-process by tests.
+int ReplicaMain(const ReplicaConfig& config);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_FLEET_REPLICA_H_

@@ -1,0 +1,442 @@
+#include "fleet/router.h"
+
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <sstream>
+
+#include "common/socket_util.h"
+#include "common/subprocess.h"
+#include "cost/cost_model.h"
+#include "service/plan_fingerprint.h"
+
+namespace sdp {
+
+namespace {
+
+// JSON string escaping for the /fleetz payload (keys and error strings
+// are ASCII identifiers, so only the basics are needed).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FleetRouter::FleetRouter(RouterConfig config)
+    : config_(std::move(config)),
+      catalog_(MakeSyntheticCatalog(config_.schema)),
+      stats_catalog_(SynthesizeStats(catalog_)),
+      ring_(static_cast<int>(config_.replica_ports.empty()
+                                 ? 1
+                                 : config_.replica_ports.size()),
+            config_.vnodes),
+      views_(config_.replica_ports.size()),
+      obs_([this](const HttpRequest& req) { return HandleHttp(req); }) {}
+
+FleetRouter::~FleetRouter() { Stop(); }
+
+bool FleetRouter::Start(std::string* error) {
+  if (started_) {
+    if (error != nullptr) *error = "router already started";
+    return false;
+  }
+  if (config_.listen_fd < 0 || config_.replica_ports.empty()) {
+    if (error != nullptr) *error = "router needs a listen fd and replicas";
+    return false;
+  }
+  if (config_.obs_port > 0 && !obs_.Start(config_.obs_port, error)) {
+    return false;
+  }
+  stop_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  health_thread_ = std::thread([this] { HealthLoop(); });
+  broadcast_thread_ = std::thread([this] { BroadcastLoop(); });
+  started_ = true;
+  return true;
+}
+
+void FleetRouter::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  broadcast_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (health_thread_.joinable()) health_thread_.join();
+  if (broadcast_thread_.joinable()) broadcast_thread_.join();
+  std::vector<std::thread> clients;
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    clients.swap(client_threads_);
+  }
+  for (std::thread& t : clients) t.join();
+  obs_.Stop();
+  started_ = false;
+}
+
+RouterStats FleetRouter::stats() const {
+  RouterStats s;
+  s.requests_routed = requests_routed_.load();
+  s.failovers = failovers_.load();
+  s.failed_after_retry = failed_after_retry_.load();
+  s.broadcasts_sent = broadcasts_sent_.load();
+  s.broadcast_failures = broadcast_failures_.load();
+  return s;
+}
+
+bool FleetRouter::ReplicaLive(int replica) const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return ring_.IsLive(replica);
+}
+
+std::string FleetRouter::RoutingKey(const FleetRequest& request) const {
+  // The structural canonical key -- the same bytes the replica's plan
+  // cache keys on -- plus the algorithm selector, so the same query under
+  // two algorithms may land on two replicas but every repetition of one
+  // (query, algorithm) pair lands on the same cache.
+  const CostModel cost(catalog_, stats_catalog_, request.query.graph,
+                       CostParams(), request.query.filters);
+  const CanonicalQueryForm form = CanonicalizeQuery(request.query, cost);
+  return form.key + "|algo=" +
+         std::to_string(static_cast<int>(request.algo)) + "/" +
+         std::to_string(request.idp_k);
+}
+
+std::vector<int> FleetRouter::RouteSequenceForKey(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return ring_.RouteSequence(key);
+}
+
+void FleetRouter::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire) && !ShutdownRequested()) {
+    const int ready = PollReadable(config_.listen_fd,
+                                   config_.poll_interval_ms);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    const int conn = ::accept(config_.listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    client_threads_.emplace_back([this, conn] { ServeClient(conn); });
+  }
+}
+
+int FleetRouter::ConnectReplica(int replica) const {
+  std::string error;
+  const int fd = ConnectLocalhost(config_.replica_ports[replica],
+                                  config_.connect_timeout_ms, &error);
+  if (fd >= 0) SetIoTimeout(fd, config_.io_timeout_ms);
+  return fd;
+}
+
+void FleetRouter::MarkDead(int replica) {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  ring_.SetLive(replica, false);
+  views_[replica].live = false;
+  views_[replica].stats_valid = false;
+}
+
+void FleetRouter::ServeClient(int conn) {
+  SetIoTimeout(conn, config_.io_timeout_ms);
+  // Connections to replicas, opened on first use and kept for the life
+  // of this client connection (one outstanding request at a time per
+  // client connection, so no framing interleave is possible).
+  std::vector<int> replica_conns(config_.replica_ports.size(), -1);
+  while (!stop_.load(std::memory_order_acquire) && !ShutdownRequested()) {
+    const int ready = PollReadable(conn, config_.poll_interval_ms);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    Frame frame;
+    if (!ReadFrame(conn, &frame)) break;
+    bool ok = true;
+    switch (frame.type) {
+      case FrameType::kOptimizeRequest:
+        ok = RouteOptimize(conn, frame, &replica_conns);
+        break;
+      case FrameType::kPing:
+        ok = WriteFrame(conn, FrameType::kPong, 0, std::string());
+        break;
+      default:
+        ok = false;
+        break;
+    }
+    if (!ok) break;
+  }
+  for (const int fd : replica_conns) {
+    if (fd >= 0) ::close(fd);
+  }
+  ::close(conn);
+}
+
+bool FleetRouter::RouteOptimize(int client_fd, const Frame& frame,
+                                std::vector<int>* replica_conns) {
+  requests_routed_.fetch_add(1, std::memory_order_relaxed);
+
+  FleetRequest request;
+  if (!DecodeFleetRequest(frame.payload, &request)) {
+    FleetResponse resp;
+    resp.ok = false;
+    resp.error = "malformed optimize request";
+    return WriteFrame(client_fd, FrameType::kOptimizeResponse, 0,
+                      EncodeFleetResponse(resp));
+  }
+  const std::string key = RoutingKey(request);
+
+  int attempts = 0;
+  bool first_try = true;
+  while (attempts < config_.max_attempts) {
+    std::vector<int> sequence;
+    {
+      std::lock_guard<std::mutex> lock(ring_mu_);
+      sequence = ring_.RouteSequence(key);
+    }
+    if (sequence.empty()) break;  // No live replica at all.
+    const int replica = sequence.front();
+    if (!first_try) failovers_.fetch_add(1, std::memory_order_relaxed);
+    first_try = false;
+    ++attempts;
+
+    int& fd = (*replica_conns)[replica];
+    // A cached connection may be stale -- the replica could have
+    // restarted since it was opened (new process, same port).  On a
+    // cached-connection failure, retry once on a fresh connection to the
+    // SAME replica before declaring it dead; otherwise a warm-restarted
+    // replica gets spuriously marked dead by the first request after its
+    // comeback, bouncing its keys off their home.
+    bool io_ok = false;
+    Frame response;
+    for (int conn_try = 0; conn_try < 2 && !io_ok; ++conn_try) {
+      const bool was_cached = fd >= 0;
+      if (fd < 0) {
+        // A dead replica's port stays bound (the supervisor retains the
+        // listen fd for same-port restart), so connect() alone proves
+        // nothing: it completes into the kernel backlog even when no
+        // process will ever accept.  Gate every fresh connection on a
+        // short-deadline ping so a dead replica costs ~health_io_timeout
+        // instead of a full request timeout.
+        fd = ConnectReplica(replica);
+        if (fd >= 0) {
+          SetIoTimeout(fd, config_.health_io_timeout_ms);
+          Frame pong;
+          const bool alive =
+              WriteFrame(fd, FrameType::kPing, 0, std::string()) &&
+              ReadFrame(fd, &pong) && pong.type == FrameType::kPong;
+          if (!alive) {
+            ::close(fd);
+            fd = -1;
+          } else {
+            SetIoTimeout(fd, config_.io_timeout_ms);
+          }
+        }
+      }
+      if (fd < 0) break;
+      io_ok = WriteFrame(fd, FrameType::kOptimizeRequest, 0, frame.payload) &&
+              ReadFrame(fd, &response) &&
+              response.type == FrameType::kOptimizeResponse;
+      if (!io_ok) {
+        ::close(fd);
+        fd = -1;
+        if (!was_cached) break;  // A fresh, pinged connection failed.
+      }
+    }
+    if (!io_ok) {
+      // The replica died (or drained) under us: mark dead and re-route.
+      // The request is idempotent, so the retry is safe even if the
+      // replica had already started computing.
+      MarkDead(replica);
+      continue;
+    }
+    // A freshly computed entry rides behind the response; peel it off
+    // and broadcast it to the other replicas off the request path.
+    if ((response.flags & kFlagFillFollows) != 0) {
+      Frame fill;
+      if (ReadFrame(fd, &fill) && fill.type == FrameType::kCacheInstall) {
+        std::lock_guard<std::mutex> lock(broadcast_mu_);
+        broadcast_queue_.push_back(
+            Broadcast{replica, std::move(fill.payload)});
+        broadcast_cv_.notify_one();
+      } else {
+        ::close(fd);
+        fd = -1;
+        MarkDead(replica);
+        // The response itself was intact; fall through and deliver it.
+      }
+    }
+    return WriteFrame(client_fd, FrameType::kOptimizeResponse, 0,
+                      response.payload);
+  }
+
+  failed_after_retry_.fetch_add(1, std::memory_order_relaxed);
+  FleetResponse resp;
+  resp.request_id = request.request_id;
+  resp.ok = false;
+  resp.error = "no live replica after " + std::to_string(attempts) +
+               " attempt(s)";
+  return WriteFrame(client_fd, FrameType::kOptimizeResponse, 0,
+                    EncodeFleetResponse(resp));
+}
+
+void FleetRouter::HealthLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    for (size_t rep = 0; rep < config_.replica_ports.size(); ++rep) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      const int fd = ConnectReplica(static_cast<int>(rep));
+      if (fd >= 0) SetIoTimeout(fd, config_.health_io_timeout_ms);
+      bool healthy = false;
+      FleetReplicaStats stats;
+      if (fd >= 0) {
+        Frame frame;
+        healthy = WriteFrame(fd, FrameType::kStatsRequest, 0, std::string()) &&
+                  ReadFrame(fd, &frame) &&
+                  frame.type == FrameType::kStatsResponse &&
+                  DecodeReplicaStats(frame.payload, &stats);
+        ::close(fd);
+      }
+      std::lock_guard<std::mutex> lock(ring_mu_);
+      ring_.SetLive(static_cast<int>(rep), healthy);
+      views_[rep].live = healthy;
+      if (healthy) {
+        views_[rep].stats_valid = true;
+        views_[rep].last_stats = std::move(stats);
+      }
+    }
+    // Sleep in small steps so Stop() is prompt.
+    for (int waited = 0;
+         waited < config_.health_interval_ms &&
+         !stop_.load(std::memory_order_acquire);
+         waited += 20) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+void FleetRouter::BroadcastLoop() {
+  // The broadcaster owns its own connections: fills must not interleave
+  // with request/response framing on the client threads' connections.
+  std::vector<int> conns(config_.replica_ports.size(), -1);
+  for (;;) {
+    Broadcast item;
+    {
+      std::unique_lock<std::mutex> lock(broadcast_mu_);
+      broadcast_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) ||
+               !broadcast_queue_.empty();
+      });
+      if (broadcast_queue_.empty()) break;  // Stopping and drained.
+      item = std::move(broadcast_queue_.front());
+      broadcast_queue_.pop_front();
+    }
+    for (size_t rep = 0; rep < conns.size(); ++rep) {
+      if (static_cast<int>(rep) == item.origin) continue;
+      {
+        std::lock_guard<std::mutex> lock(ring_mu_);
+        if (!ring_.IsLive(static_cast<int>(rep))) continue;
+      }
+      if (conns[rep] < 0) conns[rep] = ConnectReplica(static_cast<int>(rep));
+      if (conns[rep] < 0 ||
+          !WriteFrame(conns[rep], FrameType::kCacheInstall, 0,
+                      item.payload)) {
+        if (conns[rep] >= 0) ::close(conns[rep]);
+        conns[rep] = -1;
+        broadcast_failures_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      broadcasts_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  for (const int fd : conns) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+std::string FleetRouter::RenderFleetz() const {
+  std::ostringstream out;
+  const RouterStats rs = stats();
+  out << "{\n  \"requests_routed\": " << rs.requests_routed
+      << ",\n  \"failovers\": " << rs.failovers
+      << ",\n  \"failed_after_retry\": " << rs.failed_after_retry
+      << ",\n  \"broadcasts_sent\": " << rs.broadcasts_sent
+      << ",\n  \"broadcast_failures\": " << rs.broadcast_failures
+      << ",\n  \"replicas\": [\n";
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  for (size_t rep = 0; rep < views_.size(); ++rep) {
+    const ReplicaView& v = views_[rep];
+    const uint64_t lookups =
+        v.last_stats.cache_hits + v.last_stats.cache_misses;
+    const double hit_rate =
+        lookups == 0
+            ? 0.0
+            : static_cast<double>(v.last_stats.cache_hits) / lookups;
+    out << "    {\"replica\": " << rep << ", \"port\": "
+        << config_.replica_ports[rep]
+        << ", \"live\": " << (v.live ? "true" : "false")
+        << ", \"stats_valid\": " << (v.stats_valid ? "true" : "false")
+        << ", \"requests_completed\": " << v.last_stats.requests_completed
+        << ", \"queue_depth\": " << v.last_stats.queue_depth
+        << ", \"inflight\": " << v.last_stats.inflight
+        << ", \"cache_entries\": " << v.last_stats.cache_entries
+        << ", \"cache_hit_rate\": " << hit_rate << "}"
+        << (rep + 1 < views_.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::string FleetRouter::RenderMergedMetrics() const {
+  // Each replica's exposition is already stamped replica="<id>"; merging
+  // keeps the first replica's # HELP / # TYPE comment lines per family
+  // and strips them from the rest, per the exposition format's
+  // one-TYPE-per-family rule.
+  std::string out;
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  bool first = true;
+  for (const ReplicaView& v : views_) {
+    if (!v.stats_valid) continue;
+    if (first) {
+      out += v.last_stats.prometheus;
+      first = false;
+      continue;
+    }
+    std::istringstream in(v.last_stats.prometheus);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] == '#') continue;
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+HttpResponse FleetRouter::HandleHttp(const HttpRequest& request) const {
+  HttpResponse resp;
+  if (request.path == "/fleetz") {
+    resp.content_type = "application/json";
+    resp.body = RenderFleetz();
+  } else if (request.path == "/metrics") {
+    resp.body = RenderMergedMetrics();
+  } else if (request.path == "/") {
+    resp.body =
+        "sdpopt fleet router\n"
+        "  /fleetz   per-replica health, queue depth, cache hit rate\n"
+        "  /metrics  merged Prometheus exposition (replica-labelled)\n";
+  } else {
+    resp.status = 404;
+    resp.body = "unknown endpoint; see /\n";
+  }
+  return resp;
+}
+
+}  // namespace sdp

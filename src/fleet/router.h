@@ -1,0 +1,153 @@
+#ifndef SDPOPT_FLEET_ROUTER_H_
+#define SDPOPT_FLEET_ROUTER_H_
+
+#include <stdint.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "fleet/consistent_hash.h"
+#include "fleet/wire.h"
+#include "obs/http_server.h"
+#include "stats/column_stats.h"
+
+namespace sdp {
+
+// The fleet's thin router: accepts framed optimize requests from clients
+// on a loopback socket, consistent-hashes each request's canonical
+// plan-cache key (CanonicalizeQuery, the same machinery the replicas key
+// their caches with) onto a replica, and forwards the request.  The
+// router never decodes optimizer *results* -- responses are forwarded as
+// opaque frames -- so its per-request cost is canonicalization plus two
+// socket hops.
+//
+// Failover: a send/recv failure marks the replica dead in the ring and
+// retries the request on the next live replica in ring order, up to
+// `max_attempts` total tries.  Optimize requests are idempotent (the
+// plan caches make re-execution converge to the identical answer), so
+// resending after a mid-request replica death is safe.  The health
+// thread keeps probing dead replicas and revives them when they answer
+// again -- a restarted replica rejoins the ring automatically, at the
+// same port, owning exactly its old key range.
+//
+// Cache-fill broadcast: a replica that just computed a fresh plan
+// appends the exported cache entry after its response (kFlagFillFollows).
+// The router peels that frame off and a broadcaster thread forwards it
+// to every other live replica, so one computation warms the whole fleet
+// without the replicas knowing about each other.
+struct RouterConfig {
+  // Client-facing listen socket, already bound (supervisor-owned).
+  int listen_fd = -1;
+  std::vector<int> replica_ports;
+  int vnodes = 64;
+  int max_attempts = 3;       // Total tries per request, across replicas.
+  int connect_timeout_ms = 2000;
+  int io_timeout_ms = 60000;  // Per forwarded request.
+  int health_interval_ms = 200;
+  // Health probes use their own short deadline: a dead replica's port
+  // stays bound (the supervisor retains the listen fd for same-port
+  // restart), so a probe to a dead replica connects fine and then hangs
+  // -- only this timeout turns that hang into "dead" promptly.
+  int health_io_timeout_ms = 1000;
+  int poll_interval_ms = 100;
+  int obs_port = 0;           // /fleetz + merged /metrics; 0 = disabled.
+  SchemaConfig schema;        // Must match the replicas'.
+};
+
+struct RouterStats {
+  uint64_t requests_routed = 0;
+  uint64_t failovers = 0;            // Attempts that moved to another replica.
+  uint64_t failed_after_retry = 0;   // Requests that exhausted every attempt.
+  uint64_t broadcasts_sent = 0;      // Cache-fill frames delivered to peers.
+  uint64_t broadcast_failures = 0;
+};
+
+class FleetRouter {
+ public:
+  explicit FleetRouter(RouterConfig config);
+  ~FleetRouter();
+
+  FleetRouter(const FleetRouter&) = delete;
+  FleetRouter& operator=(const FleetRouter&) = delete;
+
+  bool Start(std::string* error);
+  void Stop();
+
+  int obs_port() const { return obs_.port(); }
+  RouterStats stats() const;
+  int num_replicas() const {
+    return static_cast<int>(config_.replica_ports.size());
+  }
+  bool ReplicaLive(int replica) const;
+
+  // The string the ring hashes for a request: canonical query key plus
+  // the algorithm selector.  Exposed so tests can assert placement.
+  std::string RoutingKey(const FleetRequest& request) const;
+  // Current failover order for a key (first element = owner).
+  std::vector<int> RouteSequenceForKey(const std::string& key) const;
+
+  // /fleetz and merged-/metrics rendering, exposed for socketless tests.
+  HttpResponse HandleHttp(const HttpRequest& request) const;
+
+ private:
+  struct ReplicaView {
+    bool live = true;
+    bool stats_valid = false;
+    FleetReplicaStats last_stats;
+  };
+  struct Broadcast {
+    int origin = -1;
+    std::string payload;
+  };
+
+  void AcceptLoop();
+  void ServeClient(int conn);
+  // Forwards one optimize request with failover; false only when the
+  // client connection itself is broken.
+  bool RouteOptimize(int client_fd, const Frame& frame,
+                     std::vector<int>* replica_conns);
+  int ConnectReplica(int replica) const;
+  void MarkDead(int replica);
+  void HealthLoop();
+  void BroadcastLoop();
+  std::string RenderFleetz() const;
+  std::string RenderMergedMetrics() const;
+
+  RouterConfig config_;
+  Catalog catalog_;
+  StatsCatalog stats_catalog_;
+
+  mutable std::mutex ring_mu_;
+  ConsistentHashRing ring_;
+  std::vector<ReplicaView> views_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_routed_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> failed_after_retry_{0};
+  std::atomic<uint64_t> broadcasts_sent_{0};
+  std::atomic<uint64_t> broadcast_failures_{0};
+
+  std::mutex broadcast_mu_;
+  std::condition_variable broadcast_cv_;
+  std::deque<Broadcast> broadcast_queue_;
+
+  std::thread accept_thread_;
+  std::thread health_thread_;
+  std::thread broadcast_thread_;
+  std::mutex clients_mu_;
+  std::vector<std::thread> client_threads_;
+
+  HttpServer obs_;
+  bool started_ = false;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_FLEET_ROUTER_H_

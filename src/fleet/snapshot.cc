@@ -1,0 +1,166 @@
+#include "fleet/snapshot.h"
+
+#include <errno.h>
+#include <stdio.h>
+#include <string.h>
+#include <unistd.h>
+
+#include "fleet/wire.h"
+#include "service/plan_fingerprint.h"
+
+namespace sdp {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'D', 'P', 'S', 'N', 'A', 'P', '1'};
+constexpr uint32_t kVersion = 1;
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+const char* SnapshotStatusName(SnapshotStatus status) {
+  switch (status) {
+    case SnapshotStatus::kOk:
+      return "OK";
+    case SnapshotStatus::kIoError:
+      return "IO_ERROR";
+    case SnapshotStatus::kBadMagic:
+      return "BAD_MAGIC";
+    case SnapshotStatus::kBadVersion:
+      return "BAD_VERSION";
+    case SnapshotStatus::kChecksumMismatch:
+      return "CHECKSUM_MISMATCH";
+    case SnapshotStatus::kEpochMismatch:
+      return "EPOCH_MISMATCH";
+    case SnapshotStatus::kCorrupt:
+      return "CORRUPT";
+  }
+  return "UNKNOWN";
+}
+
+SnapshotStatus SaveCacheSnapshot(
+    const std::string& path, uint64_t stats_epoch,
+    const std::vector<PlanCacheExportEntry>& entries, std::string* error) {
+  WireWriter w;
+  w.PutU32(kVersion);
+  w.PutU64(stats_epoch);
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const PlanCacheExportEntry& e : entries) EncodeCacheEntryTo(e, &w);
+  const std::string payload = w.Take();
+  const uint64_t checksum = FingerprintHash(payload);
+
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    SetError(error, "open " + tmp + ": " + strerror(errno));
+    return SnapshotStatus::kIoError;
+  }
+  bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic);
+  ok = ok && std::fwrite(&checksum, 1, sizeof(checksum), f) ==
+                 sizeof(checksum);
+  ok = ok && (payload.empty() ||
+              std::fwrite(payload.data(), 1, payload.size(), f) ==
+                  payload.size());
+  ok = std::fflush(f) == 0 && ok;
+  ok = ::fsync(::fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    SetError(error, "write " + tmp + ": " + strerror(errno));
+    ::unlink(tmp.c_str());
+    return SnapshotStatus::kIoError;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, "rename " + tmp + ": " + strerror(errno));
+    ::unlink(tmp.c_str());
+    return SnapshotStatus::kIoError;
+  }
+  return SnapshotStatus::kOk;
+}
+
+SnapshotStatus LoadCacheSnapshot(const std::string& path,
+                                 uint64_t expected_stats_epoch,
+                                 std::vector<PlanCacheExportEntry>* entries,
+                                 std::string* error) {
+  entries->clear();
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    SetError(error, "open " + path + ": " + strerror(errno));
+    return SnapshotStatus::kIoError;
+  }
+  char magic[8];
+  uint64_t checksum = 0;
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::fread(&checksum, 1, sizeof(checksum), f) != sizeof(checksum)) {
+    std::fclose(f);
+    SetError(error, path + ": truncated header");
+    return SnapshotStatus::kBadMagic;
+  }
+  if (memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(f);
+    SetError(error, path + ": bad magic");
+    return SnapshotStatus::kBadMagic;
+  }
+  std::string payload;
+  char buf[1 << 16];
+  for (;;) {
+    const size_t n = std::fread(buf, 1, sizeof(buf), f);
+    payload.append(buf, n);
+    if (n < sizeof(buf)) break;
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    SetError(error, "read " + path + ": " + strerror(errno));
+    return SnapshotStatus::kIoError;
+  }
+  if (FingerprintHash(payload) != checksum) {
+    SetError(error, path + ": checksum mismatch");
+    return SnapshotStatus::kChecksumMismatch;
+  }
+
+  WireReader r(payload);
+  const uint32_t version = r.GetU32();
+  if (!r.ok() || version != kVersion) {
+    SetError(error, path + ": unsupported version " + std::to_string(version));
+    return SnapshotStatus::kBadVersion;
+  }
+  const uint64_t epoch = r.GetU64();
+  if (!r.ok()) {
+    SetError(error, path + ": truncated payload");
+    return SnapshotStatus::kCorrupt;
+  }
+  if (epoch != expected_stats_epoch) {
+    SetError(error, path + ": stats epoch " + std::to_string(epoch) +
+                        " != expected " +
+                        std::to_string(expected_stats_epoch));
+    return SnapshotStatus::kEpochMismatch;
+  }
+  const uint32_t count = r.GetU32();
+  if (!r.ok()) {
+    SetError(error, path + ": truncated payload");
+    return SnapshotStatus::kCorrupt;
+  }
+  entries->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PlanCacheExportEntry entry;
+    if (!DecodeCacheEntryFrom(&r, &entry)) {
+      entries->clear();
+      SetError(error, path + ": entry " + std::to_string(i) +
+                          " failed to decode");
+      return SnapshotStatus::kCorrupt;
+    }
+    entries->push_back(std::move(entry));
+  }
+  if (!r.AtEnd()) {
+    entries->clear();
+    SetError(error, path + ": trailing bytes after last entry");
+    return SnapshotStatus::kCorrupt;
+  }
+  return SnapshotStatus::kOk;
+}
+
+}  // namespace sdp

@@ -1,0 +1,61 @@
+#ifndef SDPOPT_FLEET_SNAPSHOT_H_
+#define SDPOPT_FLEET_SNAPSHOT_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+#include "service/plan_cache.h"
+
+namespace sdp {
+
+// Persistent plan-cache tier: versioned, checksummed snapshot files that
+// let a restarted replica rejoin the fleet warm.
+//
+// File layout (little-endian):
+//
+//   "SDPSNAP1"  checksum:u64  payload...
+//
+// where payload = WireWriter{version:u32, stats_epoch:u64, count:u32,
+// count x cache-entry codec} and checksum = FNV-1a over the payload
+// bytes.  Writes go to `<path>.tmp.<pid>` and rename(2) into place, so a
+// crash mid-save leaves the previous snapshot intact and readers never
+// observe a torn file.
+//
+// Every failure is a typed status, never a crash: a replica restarting
+// against a corrupted or stale snapshot logs the status and starts cold.
+
+enum class SnapshotStatus {
+  kOk = 0,
+  kIoError,            // open/read/write/rename failed (errno in *error).
+  kBadMagic,           // Not a snapshot file.
+  kBadVersion,         // Snapshot from an incompatible format version.
+  kChecksumMismatch,   // Payload bytes corrupted after the header.
+  kEpochMismatch,      // Snapshot predates a stats epoch bump; plans in it
+                       // could be stale, so none are loaded.
+  kCorrupt,            // Checksum passed but the payload failed to decode
+                       // (truncated writer bug or hand-edited file).
+};
+
+const char* SnapshotStatusName(SnapshotStatus status);
+
+// Writes all `entries` under `stats_epoch`.  On non-kOk, `*error` (when
+// non-null) carries a one-line diagnostic and the target file is
+// untouched.
+SnapshotStatus SaveCacheSnapshot(const std::string& path,
+                                 uint64_t stats_epoch,
+                                 const std::vector<PlanCacheExportEntry>& entries,
+                                 std::string* error = nullptr);
+
+// Loads a snapshot written at `expected_stats_epoch`.  On kOk, *entries
+// holds every decoded entry; on any failure *entries is empty.  A
+// missing file reports kIoError (callers treat it as a cold start).
+SnapshotStatus LoadCacheSnapshot(const std::string& path,
+                                 uint64_t expected_stats_epoch,
+                                 std::vector<PlanCacheExportEntry>* entries,
+                                 std::string* error = nullptr);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_FLEET_SNAPSHOT_H_

@@ -1,0 +1,154 @@
+#include "fleet/supervisor.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "common/socket_util.h"
+#include "common/subprocess.h"
+
+namespace sdp {
+
+FleetSupervisor::FleetSupervisor(FleetConfig config)
+    : config_(std::move(config)) {}
+
+FleetSupervisor::~FleetSupervisor() { Stop(); }
+
+ReplicaConfig FleetSupervisor::MakeReplicaConfig(int i) const {
+  ReplicaConfig rc;
+  rc.replica_id = i;
+  rc.listen_fd = replica_listen_fds_[i];
+  rc.obs_port = config_.replica_obs_base_port > 0
+                    ? config_.replica_obs_base_port + i
+                    : 0;
+  if (!config_.snapshot_dir.empty()) {
+    rc.snapshot_path =
+        config_.snapshot_dir + "/replica" + std::to_string(i) + ".snap";
+  }
+  rc.schema = config_.schema;
+  rc.service = config_.service;
+  return rc;
+}
+
+pid_t FleetSupervisor::ForkReplica(int i) {
+  const ReplicaConfig rc = MakeReplicaConfig(i);
+  const int keep_fd = replica_listen_fds_[i];
+  return SpawnProcess([rc, keep_fd]() {
+    // Shed every inherited descriptor except this replica's own listen
+    // socket: sibling listen fds (accept races), router sockets and any
+    // client connections the supervisor holds.
+    CloseAllFdsExcept({keep_fd});
+    return ReplicaMain(rc);
+  });
+}
+
+bool FleetSupervisor::Start(std::string* error) {
+  if (started_) {
+    if (error != nullptr) *error = "fleet already started";
+    return false;
+  }
+  if (config_.num_replicas < 1) {
+    if (error != nullptr) *error = "num_replicas must be >= 1";
+    return false;
+  }
+
+  // 1. Bind every replica listen socket in the parent so the ports are
+  // known up front and survive replica restarts.
+  replica_listen_fds_.assign(config_.num_replicas, -1);
+  replica_ports_.assign(config_.num_replicas, 0);
+  replica_pids_.assign(config_.num_replicas, -1);
+  for (int i = 0; i < config_.num_replicas; ++i) {
+    const int fd = ListenLocalhost(0, error);
+    if (fd < 0) {
+      Stop();
+      return false;
+    }
+    replica_listen_fds_[i] = fd;
+    replica_ports_[i] = BoundPort(fd);
+  }
+
+  // 2. Fork the replicas.
+  for (int i = 0; i < config_.num_replicas; ++i) {
+    replica_pids_[i] = ForkReplica(i);
+    if (replica_pids_[i] < 0) {
+      if (error != nullptr) *error = "fork failed";
+      Stop();
+      return false;
+    }
+  }
+
+  // 3. Router (in this process).
+  router_listen_fd_ = ListenLocalhost(config_.router_port, error);
+  if (router_listen_fd_ < 0) {
+    Stop();
+    return false;
+  }
+  router_port_ = BoundPort(router_listen_fd_);
+  RouterConfig router_config;
+  router_config.listen_fd = router_listen_fd_;
+  router_config.replica_ports = replica_ports_;
+  router_config.vnodes = config_.vnodes;
+  router_config.max_attempts = config_.max_attempts;
+  router_config.health_interval_ms = config_.health_interval_ms;
+  router_config.obs_port = config_.router_obs_port;
+  router_config.schema = config_.schema;
+  router_ = std::make_unique<FleetRouter>(std::move(router_config));
+  started_ = true;  // From here on Stop() must run even on router failure.
+  if (!router_->Start(error)) {
+    Stop();
+    return false;
+  }
+  return true;
+}
+
+void FleetSupervisor::Stop() {
+  if (router_ != nullptr) {
+    router_->Stop();
+    router_.reset();
+  }
+  for (size_t i = 0; i < replica_pids_.size(); ++i) {
+    if (replica_pids_[i] > 0) {
+      KillProcess(replica_pids_[i], SIGTERM);
+    }
+  }
+  for (size_t i = 0; i < replica_pids_.size(); ++i) {
+    if (replica_pids_[i] > 0) {
+      // Graceful drain writes the snapshot; give it time, then escalate.
+      if (WaitProcess(replica_pids_[i], 10000) < 0) {
+        KillProcess(replica_pids_[i], SIGKILL);
+        WaitProcess(replica_pids_[i], 2000);
+      }
+      replica_pids_[i] = -1;
+    }
+  }
+  for (int& fd : replica_listen_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  if (router_listen_fd_ >= 0) {
+    ::close(router_listen_fd_);
+    router_listen_fd_ = -1;
+  }
+  started_ = false;
+}
+
+bool FleetSupervisor::ReplicaAlive(int i) {
+  return ProcessAlive(replica_pids_.at(i));
+}
+
+bool FleetSupervisor::KillReplica(int i, int sig) {
+  if (replica_pids_.at(i) <= 0) return false;
+  KillProcess(replica_pids_[i], sig);
+  const int rc = WaitProcess(replica_pids_[i], 10000);
+  replica_pids_[i] = -1;
+  return rc >= 0;
+}
+
+bool FleetSupervisor::RestartReplica(int i) {
+  if (replica_pids_.at(i) > 0) return false;  // Still running.
+  const pid_t pid = ForkReplica(i);
+  if (pid < 0) return false;
+  replica_pids_[i] = pid;
+  return true;
+}
+
+}  // namespace sdp

@@ -1,0 +1,84 @@
+#ifndef SDPOPT_FLEET_SUPERVISOR_H_
+#define SDPOPT_FLEET_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/replica.h"
+#include "fleet/router.h"
+
+namespace sdp {
+
+// Forks and supervises a fleet: N replica processes plus the in-process
+// router.  The supervisor binds every listen socket BEFORE forking and
+// keeps its copy of each fd, which is what makes warm restart trivial --
+// RestartReplica() re-forks onto the retained fd, so the replica comes
+// back on the same port, the ring never changes, and the router's health
+// probe revives it automatically.
+struct FleetConfig {
+  int num_replicas = 3;
+  int router_port = 0;           // 0 = kernel-assigned; see router_port().
+  int router_obs_port = 0;       // /fleetz + merged /metrics; 0 = off.
+  // Replica i serves obs on replica_obs_base_port + i; 0 = off.
+  int replica_obs_base_port = 0;
+  // Replica i snapshots to <snapshot_dir>/replica<i>.snap; "" = off.
+  std::string snapshot_dir;
+  SchemaConfig schema;
+  // Template for each replica's OptimizerService (stats_epoch included).
+  ServiceConfig service;
+  int vnodes = 64;
+  int max_attempts = 3;
+  int health_interval_ms = 200;
+};
+
+class FleetSupervisor {
+ public:
+  explicit FleetSupervisor(FleetConfig config);
+  ~FleetSupervisor();
+
+  FleetSupervisor(const FleetSupervisor&) = delete;
+  FleetSupervisor& operator=(const FleetSupervisor&) = delete;
+
+  // Binds all sockets, forks the replicas, starts the router.
+  bool Start(std::string* error);
+  // SIGTERMs every replica (graceful drain, snapshots saved), waits for
+  // them, stops the router.  Idempotent.
+  void Stop();
+
+  int router_port() const { return router_port_; }
+  int num_replicas() const { return config_.num_replicas; }
+  int replica_port(int i) const { return replica_ports_.at(i); }
+  pid_t replica_pid(int i) const { return replica_pids_.at(i); }
+  bool ReplicaAlive(int i);
+
+  // Kills replica i with `sig` (SIGTERM = graceful drain + snapshot,
+  // SIGKILL = simulated crash) and reaps it.  The router notices via its
+  // health probe and fails its key range over.
+  bool KillReplica(int i, int sig);
+  // Re-forks replica i on its retained listen fd (same port).  With a
+  // snapshot dir configured the new process restores the drain-time
+  // snapshot and rejoins warm.
+  bool RestartReplica(int i);
+
+  FleetRouter* router() { return router_.get(); }
+
+ private:
+  ReplicaConfig MakeReplicaConfig(int i) const;
+  pid_t ForkReplica(int i);
+
+  FleetConfig config_;
+  std::vector<int> replica_listen_fds_;
+  std::vector<int> replica_ports_;
+  std::vector<pid_t> replica_pids_;
+  int router_listen_fd_ = -1;
+  int router_port_ = 0;
+  std::unique_ptr<FleetRouter> router_;
+  bool started_ = false;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_FLEET_SUPERVISOR_H_

@@ -1,0 +1,402 @@
+#include "fleet/wire.h"
+
+#include <string.h>
+
+#include "common/socket_util.h"
+
+namespace sdp {
+
+namespace {
+
+constexpr char kMagic0 = 'S';
+constexpr char kMagic1 = 'F';
+
+// A length prefix claiming more elements than bytes remaining is corrupt;
+// cap element counts at the payload size so a hostile length cannot drive
+// a giant reserve() before the bounds check trips.
+constexpr uint32_t kMaxElements = kMaxFramePayload;
+
+}  // namespace
+
+bool WriteFrame(int fd, FrameType type, uint8_t flags,
+                const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  char header[8];
+  header[0] = kMagic0;
+  header[1] = kMagic1;
+  header[2] = static_cast<char>(type);
+  header[3] = static_cast<char>(flags);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  memcpy(header + 4, &len, sizeof(len));
+  if (!WriteFull(fd, header, sizeof(header))) return false;
+  return payload.empty() || WriteFull(fd, payload.data(), payload.size());
+}
+
+bool ReadFrame(int fd, Frame* out) {
+  char header[8];
+  if (!ReadFull(fd, header, sizeof(header))) return false;
+  if (header[0] != kMagic0 || header[1] != kMagic1) return false;
+  uint32_t len = 0;
+  memcpy(&len, header + 4, sizeof(len));
+  if (len > kMaxFramePayload) return false;
+  out->type = static_cast<FrameType>(header[2]);
+  out->flags = static_cast<uint8_t>(header[3]);
+  out->payload.resize(len);
+  return len == 0 || ReadFull(fd, out->payload.data(), len);
+}
+
+void WireWriter::PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+void WireWriter::PutU32(uint32_t v) {
+  char buf[4];
+  memcpy(buf, &v, sizeof(v));
+  bytes_.append(buf, sizeof(buf));
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  char buf[8];
+  memcpy(buf, &v, sizeof(v));
+  bytes_.append(buf, sizeof(buf));
+}
+
+void WireWriter::PutDouble(double v) {
+  uint64_t bits;
+  memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  bytes_.append(s);
+}
+
+bool WireReader::Need(size_t n) {
+  if (!ok_ || bytes_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t WireReader::GetU8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(bytes_[pos_++]);
+}
+
+uint32_t WireReader::GetU32() {
+  if (!Need(4)) return 0;
+  uint32_t v;
+  memcpy(&v, bytes_.data() + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+uint64_t WireReader::GetU64() {
+  if (!Need(8)) return 0;
+  uint64_t v;
+  memcpy(&v, bytes_.data() + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+double WireReader::GetDouble() {
+  const uint64_t bits = GetU64();
+  double v;
+  memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::GetString() {
+  const uint32_t len = GetU32();
+  if (len > kMaxElements || !Need(len)) {
+    ok_ = false;
+    return std::string();
+  }
+  std::string s(bytes_.data() + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+AlgorithmSpec FleetRequest::Spec() const {
+  switch (algo) {
+    case AlgorithmSpec::Kind::kDP:
+      return AlgorithmSpec::DP();
+    case AlgorithmSpec::Kind::kIDP:
+      return AlgorithmSpec::IDP(idp_k);
+    case AlgorithmSpec::Kind::kIDP2:
+      return AlgorithmSpec::IDP2(idp_k);
+    case AlgorithmSpec::Kind::kSDP:
+      return AlgorithmSpec::SDP();
+  }
+  return AlgorithmSpec::SDP();
+}
+
+void EncodeQuery(const Query& query, WireWriter* w) {
+  const JoinGraph& graph = query.graph;
+  w->PutU32(static_cast<uint32_t>(graph.num_relations()));
+  for (const int tid : graph.table_ids()) w->PutI32(tid);
+  // Edge order matters: canonical keys serialize selectivities per edge
+  // index, so the decoder must rebuild the identical edge list.
+  w->PutU32(static_cast<uint32_t>(graph.edges().size()));
+  for (const JoinEdge& e : graph.edges()) {
+    w->PutI32(e.left.rel);
+    w->PutI32(e.left.col);
+    w->PutI32(e.right.rel);
+    w->PutI32(e.right.col);
+  }
+  w->PutU32(static_cast<uint32_t>(query.filters.size()));
+  for (const FilterPredicate& f : query.filters) {
+    w->PutI32(f.column.rel);
+    w->PutI32(f.column.col);
+    w->PutU8(static_cast<uint8_t>(f.op));
+    w->PutI64(f.value);
+  }
+  w->PutU8(query.order_by.has_value() ? 1 : 0);
+  if (query.order_by.has_value()) {
+    w->PutI32(query.order_by->column.rel);
+    w->PutI32(query.order_by->column.col);
+  }
+}
+
+bool DecodeQuery(WireReader* r, Query* out) {
+  const uint32_t n = r->GetU32();
+  if (!r->ok() || n > 64) return false;
+  std::vector<int> table_ids(n);
+  for (uint32_t i = 0; i < n; ++i) table_ids[i] = r->GetI32();
+  if (!r->ok()) return false;
+  out->graph = JoinGraph(std::move(table_ids));
+  const uint32_t num_edges = r->GetU32();
+  if (!r->ok() || num_edges > kMaxElements) return false;
+  for (uint32_t i = 0; i < num_edges; ++i) {
+    ColumnRef a{r->GetI32(), r->GetI32()};
+    ColumnRef b{r->GetI32(), r->GetI32()};
+    if (!r->ok()) return false;
+    if (a.rel < 0 || a.rel >= static_cast<int>(n) || b.rel < 0 ||
+        b.rel >= static_cast<int>(n) || a.col < 0 || b.col < 0) {
+      return false;
+    }
+    out->graph.AddEdge(a, b);
+  }
+  const uint32_t num_filters = r->GetU32();
+  if (!r->ok() || num_filters > kMaxElements) return false;
+  out->filters.clear();
+  out->filters.reserve(num_filters);
+  for (uint32_t i = 0; i < num_filters; ++i) {
+    FilterPredicate f;
+    f.column.rel = r->GetI32();
+    f.column.col = r->GetI32();
+    const uint8_t op = r->GetU8();
+    f.value = r->GetI64();
+    if (!r->ok() || op > static_cast<uint8_t>(CompareOp::kGe) ||
+        f.column.rel < 0 || f.column.rel >= static_cast<int>(n)) {
+      return false;
+    }
+    f.op = static_cast<CompareOp>(op);
+    out->filters.push_back(f);
+  }
+  out->order_by.reset();
+  const uint8_t has_order = r->GetU8();
+  if (!r->ok() || has_order > 1) return false;
+  if (has_order == 1) {
+    OrderRequirement order;
+    order.column.rel = r->GetI32();
+    order.column.col = r->GetI32();
+    if (!r->ok() || order.column.rel < 0 ||
+        order.column.rel >= static_cast<int>(n)) {
+      return false;
+    }
+    out->order_by = order;
+  }
+  return true;
+}
+
+std::string EncodeFleetRequest(const FleetRequest& req) {
+  WireWriter w;
+  w.PutU64(req.request_id);
+  w.PutU8(static_cast<uint8_t>(req.algo));
+  w.PutI32(req.idp_k);
+  EncodeQuery(req.query, &w);
+  return w.Take();
+}
+
+bool DecodeFleetRequest(const std::string& payload, FleetRequest* out) {
+  WireReader r(payload);
+  out->request_id = r.GetU64();
+  const uint8_t algo = r.GetU8();
+  out->idp_k = r.GetI32();
+  if (!r.ok() || algo > static_cast<uint8_t>(AlgorithmSpec::Kind::kSDP) ||
+      out->idp_k < 2 || out->idp_k > 64) {
+    return false;
+  }
+  out->algo = static_cast<AlgorithmSpec::Kind>(algo);
+  if (!DecodeQuery(&r, &out->query)) return false;
+  return r.AtEnd();
+}
+
+std::string EncodeFleetResponse(const FleetResponse& resp) {
+  WireWriter w;
+  w.PutU64(resp.request_id);
+  w.PutI32(resp.replica_id);
+  w.PutU8(resp.ok ? 1 : 0);
+  w.PutU8(resp.rejected ? 1 : 0);
+  w.PutU8(resp.cache_hit ? 1 : 0);
+  w.PutU8(resp.feasible ? 1 : 0);
+  w.PutU8(resp.status_code);
+  w.PutI32(resp.retry_after_ms);
+  w.PutU64(resp.cost_bits);
+  w.PutU64(resp.rows_bits);
+  w.PutU64(resp.plans_costed);
+  w.PutString(resp.error);
+  w.PutString(resp.fingerprint);
+  return w.Take();
+}
+
+bool DecodeFleetResponse(const std::string& payload, FleetResponse* out) {
+  WireReader r(payload);
+  out->request_id = r.GetU64();
+  out->replica_id = r.GetI32();
+  out->ok = r.GetU8() != 0;
+  out->rejected = r.GetU8() != 0;
+  out->cache_hit = r.GetU8() != 0;
+  out->feasible = r.GetU8() != 0;
+  out->status_code = r.GetU8();
+  out->retry_after_ms = r.GetI32();
+  out->cost_bits = r.GetU64();
+  out->rows_bits = r.GetU64();
+  out->plans_costed = r.GetU64();
+  out->error = r.GetString();
+  out->fingerprint = r.GetString();
+  return r.AtEnd();
+}
+
+void EncodeCacheEntryTo(const PlanCacheExportEntry& entry, WireWriter* w) {
+  w->PutString(entry.key);
+  w->PutU64(entry.form_hash);
+  w->PutU32(static_cast<uint32_t>(entry.plan.size()));
+  for (const PlanWireNode& n : entry.plan) {
+    w->PutU8(n.kind);
+    w->PutI32(n.rel);
+    w->PutI32(n.edge);
+    w->PutI32(n.ordering);
+    w->PutU64(n.rels_bits);
+    w->PutU64(n.rows_bits);
+    w->PutU64(n.cost_bits);
+    w->PutI32(n.outer);
+    w->PutI32(n.inner);
+  }
+  w->PutDouble(entry.cost);
+  w->PutDouble(entry.rows);
+  w->PutU64(entry.counters.plans_costed);
+  w->PutU64(entry.counters.jcrs_created);
+  w->PutU64(entry.counters.pairs_examined);
+  w->PutString(entry.algorithm);
+  w->PutDouble(entry.elapsed_seconds);
+  w->PutDouble(entry.peak_memory_mb);
+  w->PutU32(static_cast<uint32_t>(entry.perm.size()));
+  for (const int p : entry.perm) w->PutI32(p);
+  w->PutU32(static_cast<uint32_t>(entry.edge_endpoints.size()));
+  for (const auto& e : entry.edge_endpoints) {
+    w->PutI32(e.first.rel);
+    w->PutI32(e.first.col);
+    w->PutI32(e.second.rel);
+    w->PutI32(e.second.col);
+  }
+  w->PutU32(static_cast<uint32_t>(entry.ordering_reps.size()));
+  for (const ColumnRef& c : entry.ordering_reps) {
+    w->PutI32(c.rel);
+    w->PutI32(c.col);
+  }
+}
+
+bool DecodeCacheEntryFrom(WireReader* r, PlanCacheExportEntry* out) {
+  out->key = r->GetString();
+  out->form_hash = r->GetU64();
+  const uint32_t num_nodes = r->GetU32();
+  if (!r->ok() || num_nodes > kMaxElements) return false;
+  out->plan.assign(num_nodes, PlanWireNode{});
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    PlanWireNode& n = out->plan[i];
+    n.kind = r->GetU8();
+    n.rel = r->GetI32();
+    n.edge = r->GetI32();
+    n.ordering = r->GetI32();
+    n.rels_bits = r->GetU64();
+    n.rows_bits = r->GetU64();
+    n.cost_bits = r->GetU64();
+    n.outer = r->GetI32();
+    n.inner = r->GetI32();
+  }
+  out->cost = r->GetDouble();
+  out->rows = r->GetDouble();
+  out->counters.plans_costed = r->GetU64();
+  out->counters.jcrs_created = r->GetU64();
+  out->counters.pairs_examined = r->GetU64();
+  out->algorithm = r->GetString();
+  out->elapsed_seconds = r->GetDouble();
+  out->peak_memory_mb = r->GetDouble();
+  const uint32_t num_perm = r->GetU32();
+  if (!r->ok() || num_perm > 64) return false;
+  out->perm.assign(num_perm, -1);
+  for (uint32_t i = 0; i < num_perm; ++i) out->perm[i] = r->GetI32();
+  const uint32_t num_edges = r->GetU32();
+  if (!r->ok() || num_edges > kMaxElements) return false;
+  out->edge_endpoints.assign(num_edges, {});
+  for (uint32_t i = 0; i < num_edges; ++i) {
+    out->edge_endpoints[i].first.rel = r->GetI32();
+    out->edge_endpoints[i].first.col = r->GetI32();
+    out->edge_endpoints[i].second.rel = r->GetI32();
+    out->edge_endpoints[i].second.col = r->GetI32();
+  }
+  const uint32_t num_reps = r->GetU32();
+  if (!r->ok() || num_reps > kMaxElements) return false;
+  out->ordering_reps.assign(num_reps, ColumnRef{});
+  for (uint32_t i = 0; i < num_reps; ++i) {
+    out->ordering_reps[i].rel = r->GetI32();
+    out->ordering_reps[i].col = r->GetI32();
+  }
+  return r->ok();
+}
+
+std::string EncodeCacheEntry(const PlanCacheExportEntry& entry) {
+  WireWriter w;
+  EncodeCacheEntryTo(entry, &w);
+  return w.Take();
+}
+
+bool DecodeCacheEntry(const std::string& payload, PlanCacheExportEntry* out) {
+  WireReader r(payload);
+  if (!DecodeCacheEntryFrom(&r, out)) return false;
+  return r.AtEnd();
+}
+
+std::string EncodeReplicaStats(const FleetReplicaStats& stats) {
+  WireWriter w;
+  w.PutI32(stats.replica_id);
+  w.PutU64(stats.requests_completed);
+  w.PutU64(stats.cache_hits);
+  w.PutU64(stats.cache_misses);
+  w.PutI64(stats.queue_depth);
+  w.PutI64(stats.inflight);
+  w.PutU64(stats.cache_entries);
+  w.PutU64(stats.cache_bytes);
+  w.PutU64(stats.stats_epoch);
+  w.PutString(stats.prometheus);
+  return w.Take();
+}
+
+bool DecodeReplicaStats(const std::string& payload, FleetReplicaStats* out) {
+  WireReader r(payload);
+  out->replica_id = r.GetI32();
+  out->requests_completed = r.GetU64();
+  out->cache_hits = r.GetU64();
+  out->cache_misses = r.GetU64();
+  out->queue_depth = r.GetI64();
+  out->inflight = r.GetI64();
+  out->cache_entries = r.GetU64();
+  out->cache_bytes = r.GetU64();
+  out->stats_epoch = r.GetU64();
+  out->prometheus = r.GetString();
+  return r.AtEnd();
+}
+
+}  // namespace sdp

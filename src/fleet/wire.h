@@ -1,0 +1,180 @@
+#ifndef SDPOPT_FLEET_WIRE_H_
+#define SDPOPT_FLEET_WIRE_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "query/join_graph.h"
+#include "service/plan_cache.h"
+
+namespace sdp {
+
+// Length-prefixed binary protocol spoken between fleet clients, the
+// router, and replicas -- all over loopback TCP (common/socket_util.h).
+//
+// Frame layout (little-endian):
+//
+//   'S' 'F'  type:u8  flags:u8  payload_len:u32  payload...
+//
+// The router forwards *opaque* response frames from replicas to clients:
+// it never decodes optimizer results.  The one piece of framing the
+// router does read is kFlagFillFollows, which tells it that the replica
+// appended a kCacheInstall frame (a freshly computed cache entry) after
+// the response; the router peels that frame off and broadcasts it to the
+// other replicas asynchronously.
+//
+// Doubles travel as u64 bit patterns throughout, so every numeric field
+// round-trips bit-exactly -- the same guarantee the plan cache and the
+// parallel enumerator already make in-process.
+
+enum class FrameType : uint8_t {
+  kOptimizeRequest = 1,
+  kOptimizeResponse = 2,
+  kCacheInstall = 3,   // Payload: one PlanCacheExportEntry.
+  kStatsRequest = 4,
+  kStatsResponse = 5,
+  kPing = 6,
+  kPong = 7,
+};
+
+// Response flag: a kCacheInstall frame follows on the same connection.
+constexpr uint8_t kFlagFillFollows = 0x01;
+
+// Payloads larger than this are rejected as corrupt framing.
+constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint8_t flags = 0;
+  std::string payload;
+};
+
+// Blocking framed I/O.  False on peer close, timeout, or malformed
+// header (bad magic / oversized payload).
+bool WriteFrame(int fd, FrameType type, uint8_t flags,
+                const std::string& payload);
+bool ReadFrame(int fd, Frame* out);
+
+// Bounds-checked byte-stream primitives used by every payload codec.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);  // Bit pattern, not decimal text.
+  void PutString(const std::string& s);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const std::string& bytes) : bytes_(bytes) {}
+
+  uint8_t GetU8();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  int32_t GetI32() { return static_cast<int32_t>(GetU32()); }
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+  double GetDouble();
+  std::string GetString();
+
+  // False once any read ran past the end or a length prefix was absurd;
+  // all subsequent reads return zero values.  Callers check once at the
+  // end of a decode instead of after every field.
+  bool ok() const { return ok_; }
+  // True when the payload was consumed exactly (trailing garbage fails
+  // strict decoders).
+  bool AtEnd() const { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  bool Need(size_t n);
+
+  const std::string& bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// One optimize call as it travels client -> router -> replica.  The
+// query is self-contained (all processes bind the same deterministic
+// synthetic catalog); the algorithm travels as a selector -- kind plus
+// IDP's k -- and is reconstructed through the AlgorithmSpec factories,
+// so both sides derive the identical cache tag.
+struct FleetRequest {
+  uint64_t request_id = 0;
+  Query query;
+  AlgorithmSpec::Kind algo = AlgorithmSpec::Kind::kSDP;
+  int idp_k = 7;
+
+  AlgorithmSpec Spec() const;
+};
+
+// The reply as it travels replica -> router -> client.  `fingerprint` is
+// the replica-side ResultFingerprint of the served result: clients and
+// tests compare plans byte-exactly across replicas, snapshots and
+// broadcasts without a plan-tree codec on the client side.
+struct FleetResponse {
+  uint64_t request_id = 0;
+  int32_t replica_id = -1;  // Which replica served it (routing tests).
+  bool ok = false;
+  bool rejected = false;
+  bool cache_hit = false;
+  bool feasible = false;
+  uint8_t status_code = 0;  // OptStatusCode.
+  int32_t retry_after_ms = 0;
+  uint64_t cost_bits = 0;
+  uint64_t rows_bits = 0;
+  uint64_t plans_costed = 0;
+  std::string error;
+  std::string fingerprint;
+};
+
+// Point-in-time replica health + metrics, served over kStatsRequest.
+struct FleetReplicaStats {
+  int32_t replica_id = -1;
+  uint64_t requests_completed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  int64_t queue_depth = 0;
+  int64_t inflight = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t stats_epoch = 0;
+  std::string prometheus;  // PrometheusText(replica=<id>).
+};
+
+// Payload codecs.  Encode never fails; Decode returns false on any
+// bounds violation, bad enum value, or trailing garbage, leaving *out in
+// an unspecified state.
+void EncodeQuery(const Query& query, WireWriter* w);
+bool DecodeQuery(WireReader* r, Query* out);
+
+std::string EncodeFleetRequest(const FleetRequest& req);
+bool DecodeFleetRequest(const std::string& payload, FleetRequest* out);
+
+std::string EncodeFleetResponse(const FleetResponse& resp);
+bool DecodeFleetResponse(const std::string& payload, FleetResponse* out);
+
+std::string EncodeCacheEntry(const PlanCacheExportEntry& entry);
+bool DecodeCacheEntry(const std::string& payload, PlanCacheExportEntry* out);
+
+// Entry codec against an existing writer/reader, for snapshot files that
+// pack many entries into one stream.
+void EncodeCacheEntryTo(const PlanCacheExportEntry& entry, WireWriter* w);
+bool DecodeCacheEntryFrom(WireReader* r, PlanCacheExportEntry* out);
+
+std::string EncodeReplicaStats(const FleetReplicaStats& stats);
+bool DecodeReplicaStats(const std::string& payload, FleetReplicaStats* out);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_FLEET_WIRE_H_

@@ -11,6 +11,8 @@
 
 #include <sstream>
 
+#include "common/subprocess.h"
+
 namespace sdp {
 
 namespace {
@@ -98,7 +100,11 @@ void HttpServer::Stop() {
 }
 
 void HttpServer::Serve() {
-  while (!stop_.load(std::memory_order_acquire)) {
+  // Process-wide shutdown (SIGTERM/SIGINT via InstallShutdownHandlers)
+  // drains the same way an owner's Stop() does: the accept loop exits,
+  // no new connections are taken, and the owner's Stop() still joins the
+  // thread and closes the listen socket.
+  while (!stop_.load(std::memory_order_acquire) && !ShutdownRequested()) {
     pollfd pfd;
     pfd.fd = listen_fd_;
     pfd.events = POLLIN;

@@ -1,6 +1,7 @@
 #include "plan/plan_node.h"
 
 #include <cmath>
+#include <cstring>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -157,5 +158,87 @@ std::string ValidateRec(const PlanNode* node) {
 }  // namespace
 
 std::string ValidatePlanTree(const PlanNode* node) { return ValidateRec(node); }
+
+namespace {
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+int32_t FlattenRec(const PlanNode* node, std::vector<PlanWireNode>* out) {
+  const int32_t index = static_cast<int32_t>(out->size());
+  out->emplace_back();
+  {
+    PlanWireNode& wire = out->back();
+    wire.kind = static_cast<uint8_t>(node->kind);
+    wire.rel = node->rel;
+    wire.edge = node->edge;
+    wire.ordering = node->ordering;
+    wire.rels_bits = node->rels.bits();
+    wire.rows_bits = DoubleBits(node->rows);
+    wire.cost_bits = DoubleBits(node->cost);
+  }
+  // Children are appended after the parent, so every child index is larger
+  // than its parent's -- the invariant UnflattenPlanTree enforces.
+  const int32_t outer =
+      node->outer != nullptr ? FlattenRec(node->outer, out) : -1;
+  const int32_t inner =
+      node->inner != nullptr ? FlattenRec(node->inner, out) : -1;
+  (*out)[static_cast<size_t>(index)].outer = outer;
+  (*out)[static_cast<size_t>(index)].inner = inner;
+  return index;
+}
+
+}  // namespace
+
+void FlattenPlanTree(const PlanNode* root, std::vector<PlanWireNode>* out) {
+  if (root == nullptr) return;
+  FlattenRec(root, out);
+}
+
+const PlanNode* UnflattenPlanTree(const std::vector<PlanWireNode>& nodes,
+                                  Arena* arena) {
+  if (nodes.empty()) return nullptr;
+  const int32_t n = static_cast<int32_t>(nodes.size());
+  std::vector<PlanNode*> built(nodes.size(), nullptr);
+  // Build back to front: preorder guarantees children live at larger
+  // indices, so both children already exist when their parent is built.
+  for (int32_t i = n - 1; i >= 0; --i) {
+    const PlanWireNode& wire = nodes[static_cast<size_t>(i)];
+    if (wire.kind > static_cast<uint8_t>(PlanKind::kSort)) return nullptr;
+    // Forward-only child references rule out cycles and sharing.
+    if (wire.outer != -1 && (wire.outer <= i || wire.outer >= n)) {
+      return nullptr;
+    }
+    if (wire.inner != -1 && (wire.inner <= i || wire.inner >= n)) {
+      return nullptr;
+    }
+    PlanNode* node = arena->New<PlanNode>();
+    node->kind = static_cast<PlanKind>(wire.kind);
+    node->rel = wire.rel;
+    node->edge = wire.edge;
+    node->ordering = wire.ordering;
+    node->rels = RelSet(wire.rels_bits);
+    node->rows = BitsDouble(wire.rows_bits);
+    node->cost = BitsDouble(wire.cost_bits);
+    node->outer = wire.outer >= 0 ? built[static_cast<size_t>(wire.outer)]
+                                  : nullptr;
+    node->inner = wire.inner >= 0 ? built[static_cast<size_t>(wire.inner)]
+                                  : nullptr;
+    built[static_cast<size_t>(i)] = node;
+  }
+  // Structural validation catches everything bit-level checks cannot
+  // (overlapping join inputs, scans with children, NaN costs).
+  if (!ValidatePlanTree(built[0]).empty()) return nullptr;
+  return built[0];
+}
 
 }  // namespace sdp

@@ -4,6 +4,7 @@
 #include <stdint.h>
 
 #include <string>
+#include <vector>
 
 #include "common/arena.h"
 #include "common/rel_set.h"
@@ -67,6 +68,34 @@ struct PlanNode {
 // Deep-copies a plan tree into `arena`.  Used by IDP to retain the winning
 // subplan across iterations while releasing the iteration's working memory.
 const PlanNode* ClonePlanTree(const PlanNode* node, Arena* arena);
+
+// Pointer-free image of one plan node, suitable for crossing a process or
+// file boundary.  `outer`/`inner` index into the flat vector (-1 = none);
+// cardinality and cost are carried as raw IEEE-754 bit patterns so a
+// round trip is byte-exact, never a decimal approximation.
+struct PlanWireNode {
+  uint8_t kind = 0;       // static_cast<uint8_t>(PlanKind).
+  int32_t rel = -1;
+  int32_t edge = -1;
+  int32_t ordering = -1;
+  uint64_t rels_bits = 0;
+  uint64_t rows_bits = 0;  // bit_cast of PlanNode::rows.
+  uint64_t cost_bits = 0;  // bit_cast of PlanNode::cost.
+  int32_t outer = -1;
+  int32_t inner = -1;
+};
+
+// Serializes the tree in preorder (root at index 0, children always at
+// larger indices than their parent).  Appends to `*out`.
+void FlattenPlanTree(const PlanNode* root, std::vector<PlanWireNode>* out);
+
+// Rebuilds an arena-owned tree from a flat image.  Returns null when the
+// image is malformed (out-of-range child indices, back references that
+// would form a cycle, unknown plan kinds, non-finite negative costs) --
+// untrusted snapshot and wire bytes go through here, so validation is a
+// hard gate, not a DCHECK.
+const PlanNode* UnflattenPlanTree(const std::vector<PlanWireNode>& nodes,
+                                  Arena* arena);
 
 // Structural validation: children partition `rels`, join inputs are
 // disjoint, cardinalities/costs are finite and non-negative.  Returns an

@@ -409,6 +409,7 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
     full_key += "|epoch=";
     full_key += std::to_string(stats_epoch_.load(std::memory_order_acquire));
     obs_key_hash = std::hash<std::string>{}(full_key);
+    out.cache_key = full_key;
     outcome = cache_.LookupOrBegin(full_key, form, request.query, &ticket,
                                    &out.result);
   }
@@ -611,6 +612,19 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
       std::memory_order_relaxed);
 
   finish();
+}
+
+bool OptimizerService::InstallPlanCacheEntry(const PlanCacheExportEntry& entry) {
+  if (!config_.cache_enabled) return false;
+  const bool installed = cache_.Install(entry);
+  if (installed) {
+    const PlanCacheStats cs = cache_.Stats();
+    metrics_.plan_cache_entries.store(static_cast<int64_t>(cs.entries),
+                                      std::memory_order_relaxed);
+    metrics_.plan_cache_bytes.store(static_cast<int64_t>(cs.resident_bytes),
+                                    std::memory_order_relaxed);
+  }
+  return installed;
 }
 
 void OptimizerService::BumpStatsEpoch() {

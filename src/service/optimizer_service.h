@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/budget.h"
@@ -117,6 +118,11 @@ struct ServiceResult {
   // queue (0 = no hint).
   int retry_after_ms = 0;
   std::string error;      // Non-empty on parse/validation failure.
+  // Full plan-cache key (canonical form + algo/options/governance/epoch
+  // tags) the request was served under; empty when caching is disabled or
+  // the request failed before key construction.  The fleet tier uses it to
+  // export freshly computed entries for cross-replica broadcast.
+  std::string cache_key;
 
   bool ok() const { return error.empty() && !rejected; }
 };
@@ -160,7 +166,27 @@ class OptimizerService {
   ServiceResult OptimizeSync(ServiceRequest request);
 
   const ServiceMetrics& metrics() const { return metrics_; }
+  // Non-const handle for fleet replicas that stamp extra samples (the
+  // exposition itself is read-only and thread-safe).
+  ServiceMetrics& mutable_metrics() { return metrics_; }
   PlanCacheStats cache_stats() const { return cache_.Stats(); }
+
+  // --- fleet plan-cache tier (see src/fleet) ---
+  // Snapshot every completed cache entry in a self-contained, process-
+  // independent form.
+  std::vector<PlanCacheExportEntry> ExportPlanCache() const {
+    return cache_.Export();
+  }
+  // Exports the single completed entry under `full_key` (as recorded in
+  // ServiceResult::cache_key); false when absent or still computing.
+  bool ExportPlanCacheEntry(const std::string& full_key,
+                            PlanCacheExportEntry* out) const {
+    return cache_.ExportEntry(full_key, out);
+  }
+  // Installs a snapshot/broadcast entry (first writer wins) and refreshes
+  // the residency gauges.  Returns false on malformed images or losing
+  // the insert race; both are benign for warm-up paths.
+  bool InstallPlanCacheEntry(const PlanCacheExportEntry& entry);
 
   // Invalidates every cached plan and stamps subsequent cache keys with a
   // new epoch.  Call after the underlying catalog/stats change.

@@ -22,6 +22,11 @@ struct CacheSlot {
   std::condition_variable cv;
   std::atomic<int> state{kComputing};
 
+  // CanonicalQueryForm::hash of the key's structural prefix; the stripe
+  // selector.  Recorded at insertion so exported entries can be
+  // re-installed into the stripe LookupOrBegin will probe.
+  uint64_t form_hash = 0;
+
   // Why the last compute failed; written under `mu` before state is
   // released to kFailed, read under `mu` by observers (a retaken slot can
   // fail again with a different status, so this is not write-once).
@@ -212,6 +217,7 @@ PlanCache::Outcome PlanCache::LookupOrBegin(const std::string& full_key,
     auto it = stripe.map.find(full_key);
     if (it == stripe.map.end()) {
       slot = std::make_shared<CacheSlot>();
+      slot->form_hash = form.hash;
       stripe.map.emplace(full_key, slot);
       created = true;
     } else {
@@ -347,6 +353,93 @@ void PlanCache::Clear() {
     std::lock_guard<std::mutex> lock(stripe->mu);
     stripe->map.clear();
   }
+}
+
+namespace {
+
+// Copies a ready slot's payload into its portable image.  The caller must
+// have observed state == kReady (acquire) so the payload is immutable.
+void ExportSlot(const std::string& key, const CacheSlot& slot,
+                PlanCacheExportEntry* out) {
+  out->key = key;
+  out->form_hash = slot.form_hash;
+  out->plan.clear();
+  FlattenPlanTree(slot.plan, &out->plan);
+  out->cost = slot.cost;
+  out->rows = slot.rows;
+  out->counters = slot.counters;
+  out->algorithm = slot.algorithm;
+  out->elapsed_seconds = slot.elapsed_seconds;
+  out->peak_memory_mb = slot.peak_memory_mb;
+  out->perm = slot.perm;
+  out->edge_endpoints = slot.edge_endpoints;
+  out->ordering_reps = slot.ordering_reps;
+}
+
+}  // namespace
+
+std::vector<PlanCacheExportEntry> PlanCache::Export() const {
+  std::vector<PlanCacheExportEntry> out;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [key, slot] : stripe->map) {
+      if (slot->state.load(std::memory_order_acquire) != CacheSlot::kReady) {
+        continue;
+      }
+      out.emplace_back();
+      ExportSlot(key, *slot, &out.back());
+    }
+  }
+  return out;
+}
+
+bool PlanCache::ExportEntry(const std::string& full_key,
+                            PlanCacheExportEntry* out) const {
+  // The stripe selector is the *structural* hash, unknown from the full
+  // key alone; with a bounded stripe count a map probe per stripe is
+  // cheaper than carrying the hash through every caller.
+  for (const auto& stripe : stripes_) {
+    std::shared_ptr<CacheSlot> slot;
+    {
+      std::lock_guard<std::mutex> lock(stripe->mu);
+      const auto it = stripe->map.find(full_key);
+      if (it == stripe->map.end()) continue;
+      slot = it->second;
+    }
+    if (slot->state.load(std::memory_order_acquire) != CacheSlot::kReady) {
+      return false;
+    }
+    ExportSlot(full_key, *slot, out);
+    return true;
+  }
+  return false;
+}
+
+bool PlanCache::Install(const PlanCacheExportEntry& entry) {
+  if (!config_.enabled) return false;
+  if (entry.key.empty() || entry.plan.empty()) return false;
+
+  auto slot = std::make_shared<CacheSlot>();
+  slot->form_hash = entry.form_hash;
+  slot->arena = std::make_shared<Arena>();
+  slot->plan = UnflattenPlanTree(entry.plan, slot->arena.get());
+  if (slot->plan == nullptr) return false;  // Malformed image.
+  slot->cost = entry.cost;
+  slot->rows = entry.rows;
+  slot->counters = entry.counters;
+  slot->algorithm = entry.algorithm;
+  slot->elapsed_seconds = entry.elapsed_seconds;
+  slot->peak_memory_mb = entry.peak_memory_mb;
+  slot->perm = entry.perm;
+  slot->edge_endpoints = entry.edge_endpoints;
+  slot->ordering_reps = entry.ordering_reps;
+  slot->state.store(CacheSlot::kReady, std::memory_order_release);
+
+  Stripe& stripe = StripeFor(entry.form_hash);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  // First writer wins; a local fill or in-flight compute is never
+  // displaced by a broadcast or snapshot entry.
+  return stripe.map.emplace(entry.key, std::move(slot)).second;
 }
 
 PlanCacheStats PlanCache::Stats() const {

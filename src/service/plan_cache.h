@@ -8,8 +8,11 @@
 #include <string>
 #include <vector>
 
+#include <utility>
+
 #include "common/budget.h"
 #include "optimizer/optimizer_types.h"
+#include "plan/plan_node.h"
 #include "query/join_graph.h"
 #include "service/plan_fingerprint.h"
 
@@ -35,6 +38,27 @@ struct PlanCacheStats {
   // Arena bytes held by resident completed entries (their cloned plan
   // trees); drops to 0 on Clear().
   uint64_t resident_bytes = 0;
+};
+
+// One completed cache entry in portable, pointer-free form: everything a
+// peer replica (or a restart of this one) needs to reinstall the entry and
+// serve byte-identical plans from it.  Produced by PlanCache::Export /
+// ExportEntry, consumed by PlanCache::Install; the fleet tier carries it
+// across sockets (cache-fill broadcast) and through snapshot files
+// (warm restart).
+struct PlanCacheExportEntry {
+  std::string key;           // The full composed cache key.
+  uint64_t form_hash = 0;    // CanonicalQueryForm::hash -- stripe selector.
+  std::vector<PlanWireNode> plan;  // Flattened tree, inserter space.
+  double cost = 0;
+  double rows = 0;
+  SearchCounters counters;
+  std::string algorithm;
+  double elapsed_seconds = 0;
+  double peak_memory_mb = 0;
+  std::vector<int> perm;
+  std::vector<std::pair<ColumnRef, ColumnRef>> edge_endpoints;
+  std::vector<ColumnRef> ordering_reps;
 };
 
 // Canonical plan cache with lock striping and in-flight coalescing.
@@ -106,6 +130,22 @@ class PlanCache {
   void Clear();
 
   PlanCacheStats Stats() const;
+
+  // --- fleet tier: snapshot / broadcast support ---
+
+  // Portable images of every completed entry (in-flight slots skipped).
+  std::vector<PlanCacheExportEntry> Export() const;
+
+  // Portable image of the completed entry under `full_key`, if resident.
+  bool ExportEntry(const std::string& full_key,
+                   PlanCacheExportEntry* out) const;
+
+  // Installs a completed entry.  First writer wins: an existing entry
+  // (ready, in flight, or failed) under the same key is never displaced,
+  // so a broadcast can never clobber newer local state.  Returns false
+  // when the key exists, the entry's plan image is invalid, or the cache
+  // is disabled.
+  bool Install(const PlanCacheExportEntry& entry);
 
  private:
   struct Stripe;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 
 namespace sdp {
 
@@ -182,6 +183,20 @@ CanonicalQueryForm CanonicalizeQuery(const Query& query,
 
   form.hash = FingerprintHash(key);
   return form;
+}
+
+std::string ResultFingerprint(const OptimizeResult& result) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << "feasible=" << result.feasible
+      << " status=" << result.status.ToString() << " cost=" << result.cost
+      << " rows=" << result.rows
+      << " plans_costed=" << result.counters.plans_costed
+      << " jcrs=" << result.counters.jcrs_created
+      << " pairs=" << result.counters.pairs_examined
+      << " peak_mb=" << result.peak_memory_mb << "\n";
+  if (result.plan != nullptr) out << result.plan->ToString();
+  return out.str();
 }
 
 }  // namespace sdp

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cost/cost_model.h"
+#include "optimizer/optimizer_types.h"
 #include "query/join_graph.h"
 
 namespace sdp {
@@ -46,6 +47,15 @@ CanonicalQueryForm CanonicalizeQuery(const Query& query,
 
 // 64-bit FNV-1a, exposed for tests and for hashing composed cache keys.
 uint64_t FingerprintHash(const std::string& bytes);
+
+// Every observable output of an optimization run, serialized byte-exactly
+// (hexfloat for doubles, full plan tree text).  Two fingerprints compare
+// equal iff the runs are indistinguishable to a caller -- the guarantee
+// the parallel-enumeration suite asserts between serial and sharded runs,
+// and the fleet tier asserts between a computed plan and the same plan
+// served from a snapshot-restored or broadcast-seeded cache on another
+// process.
+std::string ResultFingerprint(const OptimizeResult& result);
 
 }  // namespace sdp
 

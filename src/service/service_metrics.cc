@@ -168,19 +168,23 @@ std::string ServiceMetrics::Dump() const {
   return buf;
 }
 
-std::string ServiceMetrics::PrometheusText() const {
+std::string ServiceMetrics::PrometheusText(const std::string& replica) const {
   std::string out;
   char line[256];
+  // Label suffix stamped onto every plain sample, e.g. {replica="2"}.
+  const std::string label =
+      replica.empty() ? "" : "{replica=\"" + replica + "\"}";
   auto counter = [&](const char* name, const char* help, uint64_t value) {
     std::snprintf(line, sizeof(line),
-                  "# HELP %s %s\n# TYPE %s counter\n%s %llu\n", name, help,
-                  name, name, static_cast<unsigned long long>(value));
+                  "# HELP %s %s\n# TYPE %s counter\n%s%s %llu\n", name, help,
+                  name, name, label.c_str(),
+                  static_cast<unsigned long long>(value));
     out += line;
   };
   auto gauge = [&](const char* name, const char* help, int64_t value) {
     std::snprintf(line, sizeof(line),
-                  "# HELP %s %s\n# TYPE %s gauge\n%s %lld\n", name, help,
-                  name, name, static_cast<long long>(value));
+                  "# HELP %s %s\n# TYPE %s gauge\n%s%s %lld\n", name, help,
+                  name, name, label.c_str(), static_cast<long long>(value));
     out += line;
   };
   // Cumulative seconds exposed as a float counter (Prometheus convention
@@ -188,8 +192,9 @@ std::string ServiceMetrics::PrometheusText() const {
   auto seconds_counter = [&](const char* name, const char* help,
                              uint64_t micros) {
     std::snprintf(line, sizeof(line),
-                  "# HELP %s %s\n# TYPE %s counter\n%s %.6f\n", name, help,
-                  name, name, static_cast<double>(micros) / 1e6);
+                  "# HELP %s %s\n# TYPE %s counter\n%s%s %.6f\n", name, help,
+                  name, name, label.c_str(),
+                  static_cast<double>(micros) / 1e6);
     out += line;
   };
 
@@ -280,6 +285,10 @@ std::string ServiceMetrics::PrometheusText() const {
         plan_cache_bytes.load());
 
   const char* hist = "sdp_service_optimize_latency_seconds";
+  // Histogram buckets merge the replica label with le=... inside one brace
+  // pair, per the exposition format.
+  const std::string in_brace =
+      replica.empty() ? "" : "replica=\"" + replica + "\",";
   std::snprintf(line, sizeof(line),
                 "# HELP %s Per-request optimize wall time.\n"
                 "# TYPE %s histogram\n",
@@ -288,17 +297,19 @@ std::string ServiceMetrics::PrometheusText() const {
   for (const LatencyHistogram::CumulativeBucket& b :
        optimize_latency.CumulativeBuckets()) {
     if (std::isinf(b.le_seconds)) {
-      std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %llu\n",
-                    hist, static_cast<unsigned long long>(b.cumulative));
+      std::snprintf(line, sizeof(line), "%s_bucket{%sle=\"+Inf\"} %llu\n",
+                    hist, in_brace.c_str(),
+                    static_cast<unsigned long long>(b.cumulative));
     } else {
-      std::snprintf(line, sizeof(line), "%s_bucket{le=\"%.9g\"} %llu\n",
-                    hist, b.le_seconds,
+      std::snprintf(line, sizeof(line), "%s_bucket{%sle=\"%.9g\"} %llu\n",
+                    hist, in_brace.c_str(), b.le_seconds,
                     static_cast<unsigned long long>(b.cumulative));
     }
     out += line;
   }
-  std::snprintf(line, sizeof(line), "%s_sum %.9g\n%s_count %llu\n", hist,
-                optimize_latency.SumSeconds(), hist,
+  std::snprintf(line, sizeof(line), "%s_sum%s %.9g\n%s_count%s %llu\n", hist,
+                label.c_str(), optimize_latency.SumSeconds(), hist,
+                label.c_str(),
                 static_cast<unsigned long long>(optimize_latency.count()));
   out += line;
   return out;

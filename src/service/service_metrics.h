@@ -117,7 +117,12 @@ class ServiceMetrics {
   // Prometheus text exposition (format 0.0.4): one # HELP / # TYPE pair
   // per family, counters suffixed _total, gauges bare, and the latency
   // histogram as cumulative le-labelled buckets plus _sum and _count.
-  std::string PrometheusText() const;
+  // A non-empty `replica` stamps every sample of every family with a
+  // replica="..." label (histogram buckets merge it with le=...), so a
+  // fleet router can aggregate N replicas' expositions into one page
+  // without sample-name collisions.  Empty (the default) emits the
+  // label-free single-process exposition unchanged.
+  std::string PrometheusText(const std::string& replica = "") const;
   void Reset();
 };
 

@@ -1,0 +1,279 @@
+// End-to-end fleet tests: real forked replica processes, the real
+// router, real loopback sockets.  Each test stands up its own fleet so a
+// killed replica in one test cannot leak into another.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket_util.h"
+#include "fleet/fleet_client.h"
+#include "fleet/supervisor.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+class FleetE2eTest : public ::testing::Test {
+ protected:
+  void StartFleet(int replicas, bool with_snapshots) {
+    FleetConfig config;
+    config.num_replicas = replicas;
+    config.service.num_threads = 2;
+    config.health_interval_ms = 50;  // Fast failure detection in tests.
+    if (with_snapshots) {
+      // Keyed by pid so a rerun never restores a previous run's files.
+      config.snapshot_dir = ::testing::TempDir() + "fleet_e2e_" +
+                            ::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name() +
+                            "_" + std::to_string(::getpid());
+      (void)::mkdir(config.snapshot_dir.c_str(), 0755);
+    }
+    fleet_ = std::make_unique<FleetSupervisor>(config);
+    std::string error;
+    ASSERT_TRUE(fleet_->Start(&error)) << error;
+    ASSERT_TRUE(client_.Connect(fleet_->router_port(), 5000, &error))
+        << error;
+  }
+
+  void TearDown() override {
+    client_.Close();
+    if (fleet_ != nullptr) fleet_->Stop();
+  }
+
+  std::vector<FleetRequest> MakeWorkload(int instances) const {
+    const Catalog catalog = MakeSyntheticCatalog(SchemaConfig{});
+    WorkloadSpec spec;
+    spec.topology = Topology::kChain;
+    spec.num_relations = 6;
+    spec.num_instances = instances;
+    spec.seed = 13;
+    std::vector<FleetRequest> requests;
+    uint64_t id = 1;
+    for (Query& q : GenerateWorkload(catalog, spec)) {
+      FleetRequest req;
+      req.request_id = id++;
+      req.query = std::move(q);
+      requests.push_back(std::move(req));
+    }
+    return requests;
+  }
+
+  FleetResponse MustOptimize(const FleetRequest& req) {
+    FleetResponse resp;
+    std::string error;
+    EXPECT_TRUE(client_.Optimize(req, &resp, &error)) << error;
+    EXPECT_TRUE(resp.ok) << resp.error;
+    return resp;
+  }
+
+  bool WaitReplicaLive(int replica, bool want, double seconds) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(static_cast<int>(seconds * 1000));
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (fleet_->router()->ReplicaLive(replica) == want) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  }
+
+  // Direct replica stats round trip, bypassing the router.
+  static bool FetchStats(int port, FleetReplicaStats* out) {
+    std::string error;
+    const int fd = ConnectLocalhost(port, 2000, &error);
+    if (fd < 0) return false;
+    SetIoTimeout(fd, 5000);
+    Frame frame;
+    const bool ok = WriteFrame(fd, FrameType::kStatsRequest, 0, "") &&
+                    ReadFrame(fd, &frame) &&
+                    frame.type == FrameType::kStatsResponse &&
+                    DecodeReplicaStats(frame.payload, out);
+    ::close(fd);
+    return ok;
+  }
+
+  std::unique_ptr<FleetSupervisor> fleet_;
+  FleetClient client_;
+};
+
+TEST_F(FleetE2eTest, ConsistentRoutingAndByteIdenticalCacheHits) {
+  StartFleet(3, /*with_snapshots=*/false);
+  const std::vector<FleetRequest> workload = MakeWorkload(6);
+
+  std::map<uint64_t, FleetResponse> first;
+  for (const FleetRequest& req : workload) {
+    const FleetResponse resp = MustOptimize(req);
+    EXPECT_FALSE(resp.cache_hit) << "fresh fleet served a hit";
+    // The serving replica is exactly the ring's choice for the key.
+    const std::string key = fleet_->router()->RoutingKey(req);
+    const std::vector<int> seq =
+        fleet_->router()->RouteSequenceForKey(key);
+    ASSERT_FALSE(seq.empty());
+    EXPECT_EQ(resp.replica_id, seq.front());
+    first[req.request_id] = resp;
+  }
+  for (const FleetRequest& req : workload) {
+    const FleetResponse resp = MustOptimize(req);
+    EXPECT_TRUE(resp.cache_hit);
+    EXPECT_EQ(resp.replica_id, first[req.request_id].replica_id)
+        << "same key routed to a different replica";
+    EXPECT_EQ(resp.fingerprint, first[req.request_id].fingerprint)
+        << "cache hit served a different plan than the original compute";
+    EXPECT_EQ(resp.cost_bits, first[req.request_id].cost_bits);
+  }
+}
+
+TEST_F(FleetE2eTest, CacheFillBroadcastWarmsPeerReplicas) {
+  StartFleet(3, /*with_snapshots=*/false);
+  const FleetRequest req = MakeWorkload(1).at(0);
+  const FleetResponse computed = MustOptimize(req);
+
+  // The broadcast is asynchronous: wait until every peer's cache holds
+  // the entry, then ask a peer directly and demand a byte-identical hit.
+  for (int i = 0; i < fleet_->num_replicas(); ++i) {
+    if (i == computed.replica_id) continue;
+    FleetReplicaStats stats;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (FetchStats(fleet_->replica_port(i), &stats) &&
+          stats.cache_entries >= 1) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_GE(stats.cache_entries, 1u)
+        << "broadcast never reached replica " << i;
+
+    FleetClient direct;
+    std::string error;
+    ASSERT_TRUE(direct.Connect(fleet_->replica_port(i), 2000, &error))
+        << error;
+    FleetResponse peer;
+    ASSERT_TRUE(direct.Optimize(req, &peer, &error)) << error;
+    EXPECT_TRUE(peer.ok) << peer.error;
+    EXPECT_EQ(peer.replica_id, i);
+    EXPECT_TRUE(peer.cache_hit)
+        << "peer recomputed instead of serving the broadcast fill";
+    EXPECT_EQ(peer.fingerprint, computed.fingerprint)
+        << "broadcast-installed plan differs from the original";
+  }
+}
+
+TEST_F(FleetE2eTest, CrashFailoverLosesNoRequestsAndNoPlans) {
+  StartFleet(3, /*with_snapshots=*/false);
+  const std::vector<FleetRequest> workload = MakeWorkload(6);
+  std::map<uint64_t, std::string> fingerprints;
+  int victim = -1;
+  for (const FleetRequest& req : workload) {
+    const FleetResponse resp = MustOptimize(req);
+    fingerprints[req.request_id] = resp.fingerprint;
+    victim = resp.replica_id;  // Any replica that served something.
+  }
+  ASSERT_GE(victim, 0);
+
+  // Hard crash -- SIGKILL, no drain, no goodbye.  The router must fail
+  // the victim's keys over with zero client-visible errors, and the
+  // broadcast-warmed survivors must serve the *identical* plans.
+  ASSERT_TRUE(fleet_->KillReplica(victim, SIGKILL));
+  for (const FleetRequest& req : workload) {
+    const FleetResponse resp = MustOptimize(req);
+    EXPECT_NE(resp.replica_id, victim) << "dead replica answered";
+    EXPECT_EQ(resp.fingerprint, fingerprints[req.request_id])
+        << "failover changed the plan for request " << req.request_id;
+  }
+  EXPECT_EQ(fleet_->router()->stats().failed_after_retry, 0u);
+  EXPECT_TRUE(WaitReplicaLive(victim, false, 5.0))
+      << "health probe never noticed the crash";
+}
+
+TEST_F(FleetE2eTest, GracefulRestartRejoinsWarmFromSnapshot) {
+  StartFleet(3, /*with_snapshots=*/true);
+  const std::vector<FleetRequest> workload = MakeWorkload(6);
+  std::map<uint64_t, FleetResponse> first;
+  for (const FleetRequest& req : workload) {
+    first[req.request_id] = MustOptimize(req);
+  }
+  // Victim: whichever replica served the first request, so we know at
+  // least one key homes there.
+  const int victim = first[workload[0].request_id].replica_id;
+
+  // SIGTERM = graceful drain: the replica persists its cache on the way
+  // out, then the restarted process restores it and rejoins live.
+  ASSERT_TRUE(fleet_->KillReplica(victim, SIGTERM));
+  ASSERT_TRUE(WaitReplicaLive(victim, false, 5.0));
+  ASSERT_TRUE(fleet_->RestartReplica(victim));
+  ASSERT_TRUE(WaitReplicaLive(victim, true, 10.0))
+      << "restarted replica never rejoined";
+
+  // The restarted process must already hold its snapshot entries.
+  FleetReplicaStats stats;
+  ASSERT_TRUE(FetchStats(fleet_->replica_port(victim), &stats));
+  EXPECT_GE(stats.cache_entries, 1u) << "snapshot restore installed nothing";
+  EXPECT_EQ(stats.requests_completed, 0u)
+      << "expected a fresh process, not the old one";
+
+  // And its first-ever request for an old key is a byte-identical hit.
+  for (const FleetRequest& req : workload) {
+    const FleetResponse resp = MustOptimize(req);
+    EXPECT_TRUE(resp.cache_hit);
+    EXPECT_EQ(resp.replica_id, first[req.request_id].replica_id)
+        << "restart moved a key off its home replica";
+    EXPECT_EQ(resp.fingerprint, first[req.request_id].fingerprint)
+        << "snapshot round trip changed a plan";
+  }
+}
+
+TEST_F(FleetE2eTest, FleetzAndMergedMetricsExposeEveryReplica) {
+  StartFleet(2, /*with_snapshots=*/false);
+  MustOptimize(MakeWorkload(1).at(0));
+
+  // /fleetz: per-replica health rows.  Stats arrive via the health
+  // thread, so poll briefly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::string fleetz;
+  while (std::chrono::steady_clock::now() < deadline) {
+    HttpRequest req;
+    req.method = "GET";
+    req.path = "/fleetz";
+    const HttpResponse resp = fleet_->router()->HandleHttp(req);
+    EXPECT_EQ(resp.status, 200);
+    fleetz = resp.body;
+    if (fleetz.find("\"stats_valid\": false") == std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_NE(fleetz.find("\"replica\": 0"), std::string::npos) << fleetz;
+  EXPECT_NE(fleetz.find("\"replica\": 1"), std::string::npos) << fleetz;
+  EXPECT_NE(fleetz.find("\"live\": true"), std::string::npos) << fleetz;
+  EXPECT_NE(fleetz.find("requests_routed"), std::string::npos) << fleetz;
+
+  // Merged /metrics: every sample labelled with its replica, both
+  // replicas present in one exposition.
+  HttpRequest mreq;
+  mreq.method = "GET";
+  mreq.path = "/metrics";
+  const HttpResponse metrics = fleet_->router()->HandleHttp(mreq);
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("replica=\"0\""), std::string::npos);
+  EXPECT_NE(metrics.body.find("replica=\"1\""), std::string::npos);
+  EXPECT_NE(metrics.body.find("sdp_service_requests_completed_total"),
+            std::string::npos);
+
+  HttpRequest bad;
+  bad.method = "GET";
+  bad.path = "/nope";
+  EXPECT_EQ(fleet_->router()->HandleHttp(bad).status, 404);
+}
+
+}  // namespace
+}  // namespace sdp

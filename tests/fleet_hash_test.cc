@@ -1,0 +1,129 @@
+#include "fleet/consistent_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sdp {
+namespace {
+
+std::vector<std::string> MakeKeys(int n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    keys.push_back("R(1,2,3)|J" + std::to_string(i * 37) +
+                   "|algo=3/7|key-" + std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(ConsistentHashTest, DeterministicAcrossInstances) {
+  // The router, the bench, and the replicas never exchange ring state;
+  // placement agreement rests entirely on this property.
+  ConsistentHashRing a(5, 64);
+  ConsistentHashRing b(5, 64);
+  for (const std::string& key : MakeKeys(500)) {
+    EXPECT_EQ(a.Route(key), b.Route(key));
+    EXPECT_EQ(a.RouteSequence(key), b.RouteSequence(key));
+  }
+}
+
+TEST(ConsistentHashTest, SameKeySameReplicaAndHomeAgreesWhenAllLive) {
+  ConsistentHashRing ring(3, 64);
+  for (const std::string& key : MakeKeys(300)) {
+    const int first = ring.Route(key);
+    ASSERT_GE(first, 0);
+    ASSERT_LT(first, 3);
+    EXPECT_EQ(ring.Route(key), first);  // Stable on re-ask.
+    EXPECT_EQ(ring.HomeReplica(key), first);
+  }
+}
+
+TEST(ConsistentHashTest, EveryReplicaOwnsASliceOfTheKeySpace) {
+  ConsistentHashRing ring(4, 64);
+  std::map<int, int> owned;
+  for (const std::string& key : MakeKeys(1000)) ++owned[ring.Route(key)];
+  ASSERT_EQ(owned.size(), 4u) << "some replica owns no keys at vnodes=64";
+  for (const auto& [replica, count] : owned) {
+    // Crude balance bound: no replica owns more than half the space.
+    EXPECT_GT(count, 0) << "replica " << replica;
+    EXPECT_LT(count, 500) << "replica " << replica;
+  }
+}
+
+TEST(ConsistentHashTest, RouteSequenceVisitsEveryLiveReplicaOnce) {
+  ConsistentHashRing ring(5, 64);
+  ring.SetLive(3, false);
+  for (const std::string& key : MakeKeys(100)) {
+    const std::vector<int> seq = ring.RouteSequence(key);
+    ASSERT_EQ(seq.size(), 4u);
+    EXPECT_EQ(seq.front(), ring.Route(key));
+    std::set<int> seen(seq.begin(), seq.end());
+    EXPECT_EQ(seen.size(), seq.size()) << "duplicate replica in sequence";
+    EXPECT_EQ(seen.count(3), 0u) << "dead replica in failover order";
+  }
+}
+
+TEST(ConsistentHashTest, LosingAReplicaMovesOnlyItsKeyRange) {
+  // The heart of consistent hashing -- and of the fleet's cache locality:
+  // a crash must not reshuffle the survivors' keys.
+  ConsistentHashRing ring(4, 64);
+  const std::vector<std::string> keys = MakeKeys(1000);
+  std::map<std::string, int> before;
+  for (const std::string& key : keys) before[key] = ring.Route(key);
+
+  ring.SetLive(2, false);
+  int moved = 0;
+  for (const std::string& key : keys) {
+    const int now = ring.Route(key);
+    if (before[key] == 2) {
+      EXPECT_NE(now, 2) << "dead replica still routed";
+      ++moved;
+    } else {
+      EXPECT_EQ(now, before[key])
+          << "key not owned by the dead replica was rerouted: " << key;
+    }
+  }
+  EXPECT_GT(moved, 0) << "test vacuous: victim owned nothing";
+
+  // Revival restores the exact original placement -- a restarted replica
+  // reclaims its old range, which is what makes its snapshot useful.
+  ring.SetLive(2, true);
+  for (const std::string& key : keys) {
+    EXPECT_EQ(ring.Route(key), before[key]);
+  }
+}
+
+TEST(ConsistentHashTest, CascadingFailuresAndNoLiveReplica) {
+  ConsistentHashRing ring(3, 64);
+  const std::vector<std::string> keys = MakeKeys(50);
+  ring.SetLive(0, false);
+  ring.SetLive(1, false);
+  EXPECT_EQ(ring.NumLive(), 1);
+  for (const std::string& key : keys) {
+    EXPECT_EQ(ring.Route(key), 2);
+    EXPECT_EQ(ring.RouteSequence(key), std::vector<int>{2});
+    // Home ignores liveness: the key still knows where it belongs.
+    EXPECT_GE(ring.HomeReplica(key), 0);
+  }
+  ring.SetLive(2, false);
+  EXPECT_EQ(ring.NumLive(), 0);
+  for (const std::string& key : keys) {
+    EXPECT_EQ(ring.Route(key), -1);
+    EXPECT_TRUE(ring.RouteSequence(key).empty());
+  }
+}
+
+TEST(ConsistentHashTest, SingleReplicaOwnsEverything) {
+  ConsistentHashRing ring(1, 64);
+  for (const std::string& key : MakeKeys(20)) {
+    EXPECT_EQ(ring.Route(key), 0);
+    EXPECT_EQ(ring.HomeReplica(key), 0);
+  }
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,236 @@
+#include "fleet/snapshot.h"
+
+#include <gtest/gtest.h>
+#include <stdio.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "fleet/wire.h"
+#include "service/optimizer_service.h"
+#include "service/plan_fingerprint.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+// Builds a service, optimizes a few queries, and exports the resulting
+// cache -- snapshot tests run against real entries, not synthetic ones.
+class FleetSnapshotTest : public ::testing::Test {
+ protected:
+  FleetSnapshotTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  static ServiceConfig Config(uint64_t epoch) {
+    ServiceConfig config;
+    config.num_threads = 1;
+    config.stats_epoch = epoch;
+    return config;
+  }
+
+  std::vector<Query> MakeQueries() const {
+    WorkloadSpec spec;
+    spec.topology = Topology::kChain;
+    spec.num_relations = 6;
+    spec.num_instances = 4;
+    spec.seed = 77;
+    return GenerateWorkload(catalog_, spec);
+  }
+
+  std::string Path(const std::string& name) const {
+    return ::testing::TempDir() + name;
+  }
+
+  // Reads/writes whole files for corruption tests.
+  static std::string Slurp(const std::string& path) {
+    FILE* f = fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string bytes;
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    fclose(f);
+    return bytes;
+  }
+  static void Spew(const std::string& path, const std::string& bytes) {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    fclose(f);
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(FleetSnapshotTest, SaveRestoreServesByteIdenticalPlans) {
+  OptimizerService source(catalog_, stats_, Config(5));
+  std::vector<Query> queries = MakeQueries();
+  std::vector<std::string> fingerprints;
+  for (const Query& q : queries) {
+    ServiceRequest req;
+    req.query = q;
+    const ServiceResult sr = source.OptimizeSync(std::move(req));
+    ASSERT_TRUE(sr.ok());
+    ASSERT_FALSE(sr.cache_hit);
+    fingerprints.push_back(ResultFingerprint(sr.result));
+  }
+
+  const std::string path = Path("roundtrip.snap");
+  ASSERT_EQ(SaveCacheSnapshot(path, 5, source.ExportPlanCache()),
+            SnapshotStatus::kOk);
+
+  std::vector<PlanCacheExportEntry> entries;
+  std::string error;
+  ASSERT_EQ(LoadCacheSnapshot(path, 5, &entries, &error),
+            SnapshotStatus::kOk)
+      << error;
+  ASSERT_EQ(entries.size(), queries.size());
+
+  // A fresh service warmed from the snapshot must serve every query as a
+  // cache hit whose result fingerprints byte-identically to the one the
+  // source computed -- the "restarted replicas rejoin warm" guarantee.
+  OptimizerService restored(catalog_, stats_, Config(5));
+  for (const PlanCacheExportEntry& e : entries) {
+    EXPECT_TRUE(restored.InstallPlanCacheEntry(e));
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ServiceRequest req;
+    req.query = queries[i];
+    const ServiceResult sr = restored.OptimizeSync(std::move(req));
+    ASSERT_TRUE(sr.ok());
+    EXPECT_TRUE(sr.cache_hit) << "query " << i << " not served from snapshot";
+    EXPECT_EQ(ResultFingerprint(sr.result), fingerprints[i])
+        << "query " << i << " plan drifted through snapshot round trip";
+  }
+}
+
+TEST_F(FleetSnapshotTest, EmptySnapshotRoundTrips) {
+  const std::string path = Path("empty.snap");
+  ASSERT_EQ(SaveCacheSnapshot(path, 1, {}), SnapshotStatus::kOk);
+  std::vector<PlanCacheExportEntry> entries{PlanCacheExportEntry{}};
+  ASSERT_EQ(LoadCacheSnapshot(path, 1, &entries), SnapshotStatus::kOk);
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST_F(FleetSnapshotTest, MissingFileIsTypedIoError) {
+  std::vector<PlanCacheExportEntry> entries;
+  std::string error;
+  EXPECT_EQ(LoadCacheSnapshot(Path("does-not-exist.snap"), 0, &entries,
+                              &error),
+            SnapshotStatus::kIoError);
+  EXPECT_TRUE(entries.empty());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(FleetSnapshotTest, EpochMismatchRejectsWholeSnapshot) {
+  OptimizerService source(catalog_, stats_, Config(5));
+  ServiceRequest req;
+  req.query = MakeQueries().at(0);
+  ASSERT_TRUE(source.OptimizeSync(std::move(req)).ok());
+
+  const std::string path = Path("epoch.snap");
+  ASSERT_EQ(SaveCacheSnapshot(path, 5, source.ExportPlanCache()),
+            SnapshotStatus::kOk);
+
+  // A stats-epoch bump means every snapshotted plan is suspect; the load
+  // must refuse all of them, typed, with nothing partially installed.
+  std::vector<PlanCacheExportEntry> entries;
+  std::string error;
+  EXPECT_EQ(LoadCacheSnapshot(path, 6, &entries, &error),
+            SnapshotStatus::kEpochMismatch);
+  EXPECT_TRUE(entries.empty());
+  // The same bytes at the right epoch still load: the file is fine.
+  EXPECT_EQ(LoadCacheSnapshot(path, 5, &entries, &error),
+            SnapshotStatus::kOk);
+  EXPECT_FALSE(entries.empty());
+}
+
+TEST_F(FleetSnapshotTest, CorruptedPayloadByteIsChecksumMismatch) {
+  OptimizerService source(catalog_, stats_, Config(2));
+  ServiceRequest req;
+  req.query = MakeQueries().at(0);
+  ASSERT_TRUE(source.OptimizeSync(std::move(req)).ok());
+  const std::string path = Path("corrupt.snap");
+  ASSERT_EQ(SaveCacheSnapshot(path, 2, source.ExportPlanCache()),
+            SnapshotStatus::kOk);
+
+  std::string bytes = Slurp(path);
+  ASSERT_GT(bytes.size(), 20u);
+  bytes[bytes.size() - 3] ^= 0x40;  // Flip one payload bit.
+  Spew(path, bytes);
+
+  std::vector<PlanCacheExportEntry> entries;
+  std::string error;
+  EXPECT_EQ(LoadCacheSnapshot(path, 2, &entries, &error),
+            SnapshotStatus::kChecksumMismatch);
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST_F(FleetSnapshotTest, ForeignFileIsBadMagic) {
+  const std::string path = Path("magic.snap");
+  Spew(path, "definitely not a snapshot file, longer than the header");
+  std::vector<PlanCacheExportEntry> entries;
+  EXPECT_EQ(LoadCacheSnapshot(path, 0, &entries),
+            SnapshotStatus::kBadMagic);
+  // Too short to even hold the magic.
+  Spew(path, "SDP");
+  EXPECT_EQ(LoadCacheSnapshot(path, 0, &entries),
+            SnapshotStatus::kBadMagic);
+}
+
+TEST_F(FleetSnapshotTest, ValidChecksumOverGarbagePayloadIsCorrupt) {
+  // Craft a file whose checksum matches its payload but whose payload is
+  // not a valid entry stream: the decoder, not the checksum, must catch
+  // it -- distinguishing bit rot from writer bugs.
+  WireWriter payload;
+  payload.PutU32(1);   // version
+  payload.PutU64(9);   // stats_epoch
+  payload.PutU32(3);   // claims 3 entries...
+  payload.PutU8(0x5a);  // ...but delivers garbage.
+
+  WireWriter file;
+  file.PutU64(FingerprintHash(payload.bytes()));
+  const std::string path = Path("garbage.snap");
+  Spew(path, "SDPSNAP1" + file.bytes() + payload.bytes());
+
+  std::vector<PlanCacheExportEntry> entries;
+  std::string error;
+  EXPECT_EQ(LoadCacheSnapshot(path, 9, &entries, &error),
+            SnapshotStatus::kCorrupt);
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST_F(FleetSnapshotTest, BadVersionIsTyped) {
+  WireWriter payload;
+  payload.PutU32(99);  // Unknown format version.
+  payload.PutU64(0);
+  payload.PutU32(0);
+  WireWriter file;
+  file.PutU64(FingerprintHash(payload.bytes()));
+  const std::string path = Path("version.snap");
+  Spew(path, "SDPSNAP1" + file.bytes() + payload.bytes());
+
+  std::vector<PlanCacheExportEntry> entries;
+  EXPECT_EQ(LoadCacheSnapshot(path, 0, &entries),
+            SnapshotStatus::kBadVersion);
+}
+
+TEST_F(FleetSnapshotTest, SaveLeavesNoTempFileBehindOnSuccess) {
+  const std::string path = Path("clean.snap");
+  ASSERT_EQ(SaveCacheSnapshot(path, 0, {}), SnapshotStatus::kOk);
+  // The atomic-rename protocol writes <path>.tmp.<pid> then renames; on
+  // success the temp name must be gone.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+  FILE* f = fopen(tmp.c_str(), "rb");
+  EXPECT_EQ(f, nullptr) << "temp file left behind: " << tmp;
+  if (f != nullptr) fclose(f);
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,266 @@
+#include "fleet/wire.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "service/optimizer_service.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WireWriter / WireReader primitives
+
+TEST(WireStreamTest, PrimitivesRoundTrip) {
+  WireWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI32(-42);
+  w.PutI64(-1);
+  w.PutDouble(3.141592653589793);
+  w.PutDouble(-0.0);
+  w.PutString("hello");
+  w.PutString("");
+
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.GetU8(), 0xab);
+  EXPECT_EQ(r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetI32(), -42);
+  EXPECT_EQ(r.GetI64(), -1);
+  EXPECT_EQ(r.GetDouble(), 3.141592653589793);
+  const double neg_zero = r.GetDouble();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero)) << "-0.0 must survive bit-exactly";
+  EXPECT_EQ(r.GetString(), "hello");
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireStreamTest, ReadPastEndPoisonsReader) {
+  WireWriter w;
+  w.PutU32(7);
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.GetU32(), 7u);
+  EXPECT_EQ(r.GetU64(), 0u);  // Past the end: zero value, not UB.
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.AtEnd());
+  EXPECT_EQ(r.GetU8(), 0u);  // Still poisoned.
+}
+
+TEST(WireStreamTest, AbsurdStringLengthFailsCleanly) {
+  WireWriter w;
+  w.PutU32(0x7fffffff);  // Length prefix far beyond the buffer.
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Query / request / response codecs
+
+Query MakeQuery() {
+  const Catalog catalog = MakeSyntheticCatalog(SchemaConfig{});
+  WorkloadSpec spec;
+  spec.topology = Topology::kChain;
+  spec.num_relations = 6;
+  spec.num_instances = 1;
+  spec.seed = 11;
+  spec.ordered = true;  // Exercises the order_by leg of the codec.
+  return GenerateWorkload(catalog, spec).at(0);
+}
+
+TEST(WireCodecTest, QueryRoundTripsExactly) {
+  Query q = MakeQuery();
+  q.filters.push_back(FilterPredicate{ColumnRef{1, 2}, CompareOp::kLt, 777});
+
+  WireWriter w;
+  EncodeQuery(q, &w);
+  WireReader r(w.bytes());
+  Query out;
+  ASSERT_TRUE(DecodeQuery(&r, &out));
+  ASSERT_TRUE(r.AtEnd());
+
+  // Re-encoding must be byte-identical: the canonical cache key is
+  // computed from the decoded query on the far side, so any drift here
+  // is a cross-process cache-placement bug.
+  WireWriter w2;
+  EncodeQuery(out, &w2);
+  EXPECT_EQ(w.bytes(), w2.bytes());
+  EXPECT_EQ(out.graph.table_ids(), q.graph.table_ids());
+  EXPECT_EQ(out.graph.edges().size(), q.graph.edges().size());
+  EXPECT_EQ(out.filters.size(), q.filters.size());
+  ASSERT_TRUE(out.order_by.has_value());
+  EXPECT_EQ(out.order_by->column.rel, q.order_by->column.rel);
+}
+
+TEST(WireCodecTest, FleetRequestRoundTripAndSpec) {
+  FleetRequest req;
+  req.request_id = 0xfeedfaceULL;
+  req.query = MakeQuery();
+  req.algo = AlgorithmSpec::Kind::kIDP;
+  req.idp_k = 9;
+
+  FleetRequest out;
+  ASSERT_TRUE(DecodeFleetRequest(EncodeFleetRequest(req), &out));
+  EXPECT_EQ(out.request_id, req.request_id);
+  EXPECT_EQ(out.algo, AlgorithmSpec::Kind::kIDP);
+  EXPECT_EQ(out.idp_k, 9);
+  EXPECT_EQ(out.Spec().name, AlgorithmSpec::IDP(9).name);
+}
+
+TEST(WireCodecTest, RequestDecoderRejectsGarbage) {
+  FleetRequest out;
+  EXPECT_FALSE(DecodeFleetRequest("", &out));
+  EXPECT_FALSE(DecodeFleetRequest("not a request", &out));
+
+  // Trailing garbage after a valid encoding must fail the strict decode.
+  FleetRequest req;
+  req.query = MakeQuery();
+  std::string bytes = EncodeFleetRequest(req);
+  bytes.push_back('\0');
+  EXPECT_FALSE(DecodeFleetRequest(bytes, &out));
+
+  // Truncation anywhere must fail, never crash.
+  const std::string good = EncodeFleetRequest(req);
+  for (size_t cut = 0; cut < good.size(); cut += 7) {
+    EXPECT_FALSE(DecodeFleetRequest(good.substr(0, cut), &out));
+  }
+}
+
+TEST(WireCodecTest, ResponseRoundTripsBitPatterns) {
+  FleetResponse resp;
+  resp.request_id = 42;
+  resp.replica_id = 2;
+  resp.ok = true;
+  resp.cache_hit = true;
+  resp.feasible = true;
+  resp.status_code = 3;
+  resp.retry_after_ms = 125;
+  resp.cost_bits = 0x7ff8000000000001ULL;  // A NaN payload must survive.
+  resp.rows_bits = 0x8000000000000000ULL;  // -0.0.
+  resp.plans_costed = 123456789;
+  resp.error = "";
+  resp.fingerprint = "feasible=1 cost=0x1.8p+4\nHJ(...)";
+
+  FleetResponse out;
+  ASSERT_TRUE(DecodeFleetResponse(EncodeFleetResponse(resp), &out));
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.replica_id, 2);
+  EXPECT_TRUE(out.ok);
+  EXPECT_TRUE(out.cache_hit);
+  EXPECT_EQ(out.status_code, 3);
+  EXPECT_EQ(out.cost_bits, 0x7ff8000000000001ULL);
+  EXPECT_EQ(out.rows_bits, 0x8000000000000000ULL);
+  EXPECT_EQ(out.fingerprint, resp.fingerprint);
+}
+
+TEST(WireCodecTest, ReplicaStatsRoundTrip) {
+  FleetReplicaStats stats;
+  stats.replica_id = 1;
+  stats.requests_completed = 10;
+  stats.cache_hits = 4;
+  stats.cache_misses = 6;
+  stats.queue_depth = -0;
+  stats.inflight = 2;
+  stats.cache_entries = 6;
+  stats.cache_bytes = 4096;
+  stats.stats_epoch = 3;
+  stats.prometheus = "sdp_requests_completed{replica=\"1\"} 10\n";
+
+  FleetReplicaStats out;
+  ASSERT_TRUE(DecodeReplicaStats(EncodeReplicaStats(stats), &out));
+  EXPECT_EQ(out.replica_id, 1);
+  EXPECT_EQ(out.cache_hits, 4u);
+  EXPECT_EQ(out.stats_epoch, 3u);
+  EXPECT_EQ(out.prometheus, stats.prometheus);
+}
+
+// ---------------------------------------------------------------------------
+// Cache-entry codec, against entries a real service produced
+
+TEST(WireCodecTest, RealCacheEntryRoundTripsByteExactly) {
+  const Catalog catalog = MakeSyntheticCatalog(SchemaConfig{});
+  const StatsCatalog stats = SynthesizeStats(catalog);
+  ServiceConfig config;
+  config.num_threads = 1;
+  OptimizerService service(catalog, stats, config);
+
+  ServiceRequest sreq;
+  sreq.query = MakeQuery();
+  const ServiceResult sr = service.OptimizeSync(std::move(sreq));
+  ASSERT_TRUE(sr.ok());
+  ASSERT_TRUE(sr.result.feasible);
+  ASSERT_FALSE(sr.cache_key.empty());
+
+  PlanCacheExportEntry entry;
+  ASSERT_TRUE(service.ExportPlanCacheEntry(sr.cache_key, &entry));
+  ASSERT_FALSE(entry.plan.empty());
+
+  PlanCacheExportEntry decoded;
+  ASSERT_TRUE(DecodeCacheEntry(EncodeCacheEntry(entry), &decoded));
+  // Byte-exact fidelity: re-encoding the decode reproduces the wire image,
+  // which covers every field (plan tree, doubles, perm, orderings) at once.
+  EXPECT_EQ(EncodeCacheEntry(decoded), EncodeCacheEntry(entry));
+  EXPECT_EQ(decoded.key, entry.key);
+  EXPECT_EQ(decoded.form_hash, entry.form_hash);
+  EXPECT_EQ(decoded.plan.size(), entry.plan.size());
+
+  PlanCacheExportEntry reject;
+  EXPECT_FALSE(DecodeCacheEntry("junk", &reject));
+}
+
+// ---------------------------------------------------------------------------
+// Frame layer over a real socketpair
+
+TEST(WireFrameTest, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(WriteFrame(fds[0], FrameType::kOptimizeResponse,
+                         kFlagFillFollows, "payload-bytes"));
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(fds[1], &frame));
+  EXPECT_EQ(frame.type, FrameType::kOptimizeResponse);
+  EXPECT_EQ(frame.flags, kFlagFillFollows);
+  EXPECT_EQ(frame.payload, "payload-bytes");
+
+  // Peer close -> clean false, not a hang or crash.
+  ::close(fds[0]);
+  EXPECT_FALSE(ReadFrame(fds[1], &frame));
+  ::close(fds[1]);
+}
+
+TEST(WireFrameTest, BadMagicAndOversizedPayloadRejected) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const char bad_magic[8] = {'X', 'Y', 1, 0, 4, 0, 0, 0};
+  ASSERT_EQ(::send(fds[0], bad_magic, sizeof(bad_magic), 0),
+            static_cast<ssize_t>(sizeof(bad_magic)));
+  Frame frame;
+  EXPECT_FALSE(ReadFrame(fds[1], &frame));
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Valid magic, payload length far past kMaxFramePayload.
+  const unsigned char huge[8] = {'S', 'F', 1, 0, 0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(fds[0], huge, sizeof(huge), 0),
+            static_cast<ssize_t>(sizeof(huge)));
+  EXPECT_FALSE(ReadFrame(fds[1], &frame));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace sdp

@@ -24,6 +24,7 @@
 #include "plan/plan_node.h"
 #include "query/topology.h"
 #include "service/optimizer_service.h"
+#include "service/plan_fingerprint.h"
 #include "stats/column_stats.h"
 #include "workload/workload.h"
 
@@ -82,20 +83,10 @@ class ParallelEnumTest : public ::testing::Test {
     return {};
   }
 
-  // Every observable output of a run, serialized byte-exactly (hexfloat
-  // for doubles, full plan tree text).  Two fingerprints compare equal iff
-  // the runs are indistinguishable to a caller.
+  // Every observable output of a run, serialized byte-exactly.  Shared
+  // with the fleet snapshot/broadcast suites via the library helper.
   static std::string Fingerprint(const OptimizeResult& res) {
-    std::ostringstream out;
-    out << std::hexfloat;
-    out << "feasible=" << res.feasible << " status=" << res.status.ToString()
-        << " cost=" << res.cost << " rows=" << res.rows
-        << " plans_costed=" << res.counters.plans_costed
-        << " jcrs=" << res.counters.jcrs_created
-        << " pairs=" << res.counters.pairs_examined
-        << " peak_mb=" << res.peak_memory_mb << "\n";
-    if (res.plan != nullptr) out << res.plan->ToString();
-    return out.str();
+    return ResultFingerprint(res);
   }
 
   Catalog catalog_;

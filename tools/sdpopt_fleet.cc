@@ -1,0 +1,529 @@
+// sdpopt_fleet -- multi-process optimizer fleet: N forked replica
+// processes, a consistent-hash router, and a persistent plan-cache tier.
+//
+// Serve mode (default):
+//   sdpopt_fleet --replicas=3 --router-port=7450 --router-obs-port=7460
+//       --replica-obs-base-port=7470 --snapshot-dir=/var/tmp/sdpopt
+//
+//   Forks the replicas, starts the router, prints every port, and runs
+//   until SIGTERM/SIGINT.  Shutdown drains gracefully: replicas finish
+//   in-flight requests, persist their plan caches, and flush flight
+//   recorder dumps.  Clients speak the framed binary protocol
+//   (src/fleet/wire.h) on the router port; humans scrape
+//   http://127.0.0.1:<router-obs-port>/fleetz and /metrics.
+//
+// Soak mode:
+//   sdpopt_fleet --soak --replicas=3 --json=BENCH_fleet.json
+//
+//   Runs the kill/restart soak scenario and writes a google-benchmark-
+//   compatible JSON report (diffable with tools/bench_diff.py):
+//     phase 1  cold fleet, two passes over the workload (cold -> warm);
+//              the busiest replica becomes the victim
+//     phase 2  same traffic, victim SIGTERMed mid-phase; the router
+//              fails its key range over with bounded retries -- the
+//              report's failed_after_retry must be 0
+//     phase 3  victim restarted from its drain-time snapshot; its
+//              fresh-process hit rate (warm_hit_rate) must beat its
+//              phase-1 cold rate (cold_hit_rate)
+//
+// Options:
+//   --replicas=N              fleet size (default 3)
+//   --router-port=N           client port (default 0 = kernel-assigned)
+//   --router-obs-port=N       /fleetz + merged /metrics (0 = off)
+//   --replica-obs-base-port=N replica i serves obs on base+i (0 = off)
+//   --snapshot-dir=PATH       plan-cache snapshots (serve: off when
+//                             empty; soak: a temp dir when empty)
+//   --threads=N               worker threads per replica (default 2)
+//   --soak                    run the soak scenario instead of serving
+//   --queries=N               distinct queries per topology (default 6)
+//   --clients=K               concurrent client connections (default 4)
+//   --json=PATH               soak report path (default BENCH_fleet.json)
+//
+// Exit codes: 0 ok, 1 runtime failure, 2 usage, 3 soak contract violated
+// (lost requests or warm <= cold).
+
+#include <signal.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/subprocess.h"
+#include "fleet/fleet_client.h"
+#include "fleet/supervisor.h"
+#include "obs/introspection.h"
+#include "query/topology.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+struct Flags {
+  int replicas = 3;
+  int router_port = 0;
+  int router_obs_port = 0;
+  int replica_obs_base_port = 0;
+  std::string snapshot_dir;
+  int threads = 2;
+  bool soak = false;
+  int queries = 6;
+  int clients = 4;
+  std::string json_path = "BENCH_fleet.json";
+};
+
+bool ParseInt(const std::string& s, int* out) {
+  char* end = nullptr;
+  const long v = strtol(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr, "see the header comment in tools/sdpopt_fleet.cc\n");
+  return 2;
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One phase's client-visible outcome.
+struct PhaseResult {
+  std::vector<FleetResponse> responses;
+  uint64_t transport_failures = 0;
+  uint64_t not_ok = 0;  // Responses with ok=false (after router retries).
+  double elapsed_seconds = 0;
+};
+
+// Drives `requests` through `num_clients` connections (striped), one
+// in-flight request per connection.  `on_complete` (when non-null) is
+// bumped per finished request so the caller can trigger mid-phase
+// events.
+PhaseResult RunPhase(int router_port, const std::vector<FleetRequest>& requests,
+                     int num_clients, std::atomic<uint64_t>* on_complete) {
+  PhaseResult result;
+  result.responses.assign(requests.size(), FleetResponse{});
+  std::vector<uint8_t> got(requests.size(), 0);
+  std::atomic<uint64_t> transport_failures{0};
+  const double start = NowSeconds();
+  std::vector<std::thread> threads;
+  threads.reserve(num_clients);
+  for (int c = 0; c < num_clients; ++c) {
+    threads.emplace_back([&, c] {
+      FleetClient client;
+      std::string error;
+      if (!client.Connect(router_port, 5000, &error)) {
+        for (size_t i = c; i < requests.size();
+             i += static_cast<size_t>(num_clients)) {
+          transport_failures.fetch_add(1);
+          if (on_complete != nullptr) on_complete->fetch_add(1);
+        }
+        return;
+      }
+      for (size_t i = c; i < requests.size();
+           i += static_cast<size_t>(num_clients)) {
+        FleetResponse resp;
+        bool delivered = client.Optimize(requests[i], &resp, &error);
+        if (!delivered) {
+          // The router itself never dies in the soak; one reconnect
+          // covers a torn connection.
+          delivered = client.Connect(router_port, 5000, &error) &&
+                      client.Optimize(requests[i], &resp, &error);
+        }
+        if (delivered) {
+          result.responses[i] = resp;
+          got[i] = 1;
+        } else {
+          transport_failures.fetch_add(1);
+        }
+        if (on_complete != nullptr) on_complete->fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.elapsed_seconds = NowSeconds() - start;
+  result.transport_failures = transport_failures.load();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (got[i] != 0 && !result.responses[i].ok) ++result.not_ok;
+  }
+  return result;
+}
+
+std::vector<FleetRequest> MakeWorkload(const Catalog& catalog,
+                                       int per_topology) {
+  struct Shape {
+    Topology topology;
+    int n;
+    uint64_t seed;
+  };
+  const Shape shapes[] = {{Topology::kStar, 8, 101},
+                          {Topology::kChain, 10, 202},
+                          {Topology::kStarChain, 9, 303}};
+  std::vector<FleetRequest> requests;
+  uint64_t id = 1;
+  for (const Shape& shape : shapes) {
+    WorkloadSpec spec;
+    spec.topology = shape.topology;
+    spec.num_relations = shape.n;
+    spec.num_instances = per_topology;
+    spec.seed = shape.seed;
+    for (Query& q : GenerateWorkload(catalog, spec)) {
+      FleetRequest req;
+      req.request_id = id++;
+      req.query = std::move(q);
+      req.algo = AlgorithmSpec::Kind::kSDP;
+      requests.push_back(std::move(req));
+    }
+  }
+  return requests;
+}
+
+// Hit statistics of the responses a given replica served.
+struct ReplicaSlice {
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  double HitRate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(hits) / requests;
+  }
+};
+
+ReplicaSlice SliceFor(const PhaseResult& phase, int replica) {
+  ReplicaSlice s;
+  for (const FleetResponse& r : phase.responses) {
+    if (r.replica_id != replica) continue;
+    ++s.requests;
+    s.hits += r.cache_hit ? 1 : 0;
+  }
+  return s;
+}
+
+std::string JsonRow(const std::string& name, uint64_t iterations,
+                    double per_request_ms, const std::string& extra) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\n"
+                "      \"name\": \"%s\",\n"
+                "      \"run_name\": \"%s\",\n"
+                "      \"run_type\": \"iteration\",\n"
+                "      \"repetitions\": 1,\n"
+                "      \"repetition_index\": 0,\n"
+                "      \"threads\": 1,\n"
+                "      \"iterations\": %llu,\n"
+                "      \"real_time\": %.6f,\n"
+                "      \"cpu_time\": %.6f,\n"
+                "      \"time_unit\": \"ms\"%s%s\n"
+                "    }",
+                name.c_str(), name.c_str(),
+                static_cast<unsigned long long>(iterations), per_request_ms,
+                per_request_ms, extra.empty() ? "" : ",\n", extra.c_str());
+  return buf;
+}
+
+bool WriteSoakJson(const std::string& path, const Flags& flags,
+                   const std::vector<std::string>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  char date[64];
+  time_t now = time(nullptr);
+  struct tm tm_utc;
+  gmtime_r(&now, &tm_utc);
+  strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S+00:00", &tm_utc);
+  std::fprintf(f,
+               "{\n  \"context\": {\n"
+               "    \"date\": \"%s\",\n"
+               "    \"executable\": \"sdpopt_fleet\",\n"
+               "    \"num_replicas\": %d,\n"
+               "    \"clients\": %d,\n"
+               "    \"git_sha\": \"%s\",\n"
+               "    \"git_dirty\": \"%s\"\n"
+               "  },\n  \"benchmarks\": [\n",
+               date, flags.replicas, flags.clients, BuildGitSha().c_str(),
+               BuildGitDirty() ? "1" : "0");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "%s%s\n", rows[i].c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  return std::fclose(f) == 0;
+}
+
+int RunSoak(const Flags& flags) {
+  Flags f = flags;
+  std::string tmp_template;
+  if (f.snapshot_dir.empty()) {
+    tmp_template = "/tmp/sdpopt_fleet.XXXXXX";
+    if (::mkdtemp(tmp_template.data()) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      return 1;
+    }
+    f.snapshot_dir = tmp_template;
+  }
+
+  FleetConfig config;
+  config.num_replicas = f.replicas;
+  config.router_port = f.router_port;
+  config.router_obs_port = f.router_obs_port;
+  config.replica_obs_base_port = f.replica_obs_base_port;
+  config.snapshot_dir = f.snapshot_dir;
+  config.service.num_threads = f.threads;
+  FleetSupervisor fleet(config);
+  std::string error;
+  if (!fleet.Start(&error)) {
+    std::fprintf(stderr, "fleet start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "soak: %d replicas, router on 127.0.0.1:%d\n",
+               fleet.num_replicas(), fleet.router_port());
+
+  const Catalog catalog = MakeSyntheticCatalog(config.schema);
+  const std::vector<FleetRequest> workload =
+      MakeWorkload(catalog, f.queries);
+
+  // --- Phase 1: cold fleet, two passes (cold -> warm). ---
+  const PhaseResult cold_pass =
+      RunPhase(fleet.router_port(), workload, f.clients, nullptr);
+  const PhaseResult warm_pass =
+      RunPhase(fleet.router_port(), workload, f.clients, nullptr);
+  if (cold_pass.transport_failures + warm_pass.transport_failures > 0 ||
+      cold_pass.not_ok + warm_pass.not_ok > 0) {
+    std::fprintf(stderr, "soak: phase 1 lost requests\n");
+    fleet.Stop();
+    return 3;
+  }
+  // The victim is the replica that served the most cold-pass requests:
+  // the one whose key range the failover and warm-restart phases stress
+  // hardest.
+  int victim = 0;
+  {
+    std::vector<uint64_t> counts(static_cast<size_t>(f.replicas), 0);
+    for (const FleetResponse& r : cold_pass.responses) {
+      if (r.replica_id >= 0 && r.replica_id < f.replicas) {
+        ++counts[r.replica_id];
+      }
+    }
+    for (int i = 1; i < f.replicas; ++i) {
+      if (counts[i] > counts[victim]) victim = i;
+    }
+  }
+  const ReplicaSlice cold_slice = SliceFor(cold_pass, victim);
+  std::fprintf(stderr,
+               "soak: phase 1 done, victim replica %d (%llu requests, "
+               "cold hit rate %.3f)\n",
+               victim,
+               static_cast<unsigned long long>(cold_slice.requests),
+               cold_slice.HitRate());
+
+  // --- Phase 2: kill the victim mid-traffic. ---
+  std::vector<FleetRequest> storm = workload;
+  storm.insert(storm.end(), workload.begin(), workload.end());
+  std::atomic<uint64_t> completed{0};
+  const uint64_t kill_at = storm.size() / 4;
+  std::thread killer([&] {
+    while (completed.load() < kill_at) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::fprintf(stderr, "soak: SIGTERM replica %d mid-traffic\n", victim);
+    fleet.KillReplica(victim, SIGTERM);
+  });
+  const PhaseResult failover =
+      RunPhase(fleet.router_port(), storm, f.clients, &completed);
+  killer.join();
+  const uint64_t lost =
+      failover.transport_failures + failover.not_ok;
+  std::fprintf(stderr,
+               "soak: phase 2 done, %llu/%zu requests, lost=%llu, "
+               "router failovers=%llu\n",
+               static_cast<unsigned long long>(storm.size() - lost),
+               storm.size(), static_cast<unsigned long long>(lost),
+               static_cast<unsigned long long>(fleet.router()
+                                                   ->stats()
+                                                   .failovers));
+
+  // --- Phase 3: warm restart from the drain-time snapshot. ---
+  if (!fleet.RestartReplica(victim)) {
+    std::fprintf(stderr, "soak: restart failed\n");
+    fleet.Stop();
+    return 1;
+  }
+  const double deadline = NowSeconds() + 15.0;
+  while (!fleet.router()->ReplicaLive(victim) && NowSeconds() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (!fleet.router()->ReplicaLive(victim)) {
+    std::fprintf(stderr, "soak: replica %d never rejoined\n", victim);
+    fleet.Stop();
+    return 1;
+  }
+  const PhaseResult warm_restart =
+      RunPhase(fleet.router_port(), workload, f.clients, nullptr);
+  const ReplicaSlice warm_slice = SliceFor(warm_restart, victim);
+  std::fprintf(stderr,
+               "soak: phase 3 done, victim served %llu requests, warm hit "
+               "rate %.3f (cold was %.3f)\n",
+               static_cast<unsigned long long>(warm_slice.requests),
+               warm_slice.HitRate(), cold_slice.HitRate());
+
+  const RouterStats rs = fleet.router()->stats();
+  fleet.Stop();
+  if (!tmp_template.empty()) {
+    // Best-effort cleanup of the scratch snapshot dir.
+    for (int i = 0; i < f.replicas; ++i) {
+      ::unlink((f.snapshot_dir + "/replica" + std::to_string(i) + ".snap")
+                   .c_str());
+    }
+    ::rmdir(f.snapshot_dir.c_str());
+  }
+
+  // --- Report. ---
+  char extra[256];
+  std::vector<std::string> rows;
+  std::snprintf(extra, sizeof(extra),
+                "      \"requests\": %zu,\n"
+                "      \"hit_rate\": %.6f,\n"
+                "      \"victim_replica\": %d",
+                workload.size() * 2, cold_slice.HitRate(), victim);
+  const double p1_ms = (cold_pass.elapsed_seconds +
+                        warm_pass.elapsed_seconds) *
+                       1000.0 / (workload.size() * 2);
+  rows.push_back(
+      JsonRow("BM_FleetSoak/phase1_cold", workload.size() * 2, p1_ms, extra));
+  std::snprintf(extra, sizeof(extra),
+                "      \"requests\": %zu,\n"
+                "      \"failed_after_retry\": %llu,\n"
+                "      \"router_failovers\": %llu,\n"
+                "      \"broadcasts_sent\": %llu",
+                storm.size(), static_cast<unsigned long long>(lost),
+                static_cast<unsigned long long>(rs.failovers),
+                static_cast<unsigned long long>(rs.broadcasts_sent));
+  const double p2_ms = failover.elapsed_seconds * 1000.0 / storm.size();
+  rows.push_back(
+      JsonRow("BM_FleetSoak/phase2_failover", storm.size(), p2_ms, extra));
+  std::snprintf(extra, sizeof(extra),
+                "      \"requests\": %zu,\n"
+                "      \"victim_requests\": %llu,\n"
+                "      \"warm_hit_rate\": %.6f,\n"
+                "      \"cold_hit_rate\": %.6f",
+                workload.size(),
+                static_cast<unsigned long long>(warm_slice.requests),
+                warm_slice.HitRate(), cold_slice.HitRate());
+  const double p3_ms =
+      warm_restart.elapsed_seconds * 1000.0 / workload.size();
+  rows.push_back(
+      JsonRow("BM_FleetSoak/phase3_warm", workload.size(), p3_ms, extra));
+  if (!WriteSoakJson(f.json_path, f, rows)) {
+    std::fprintf(stderr, "soak: cannot write %s\n", f.json_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "soak: report written to %s\n", f.json_path.c_str());
+
+  // Contract: zero lost requests, warm restart beats cold start.
+  if (lost > 0) {
+    std::fprintf(stderr, "soak: FAIL -- %llu lost request(s)\n",
+                 static_cast<unsigned long long>(lost));
+    return 3;
+  }
+  if (warm_slice.requests == 0 ||
+      warm_slice.HitRate() <= cold_slice.HitRate()) {
+    std::fprintf(stderr, "soak: FAIL -- warm hit rate %.3f <= cold %.3f\n",
+                 warm_slice.HitRate(), cold_slice.HitRate());
+    return 3;
+  }
+  std::fprintf(stderr, "soak: PASS\n");
+  return 0;
+}
+
+int RunServe(const Flags& flags) {
+  FleetConfig config;
+  config.num_replicas = flags.replicas;
+  config.router_port = flags.router_port;
+  config.router_obs_port = flags.router_obs_port;
+  config.replica_obs_base_port = flags.replica_obs_base_port;
+  config.snapshot_dir = flags.snapshot_dir;
+  config.service.num_threads = flags.threads;
+  FleetSupervisor fleet(config);
+  std::string error;
+  if (!fleet.Start(&error)) {
+    std::fprintf(stderr, "fleet start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("fleet: %d replicas, router on 127.0.0.1:%d\n",
+              fleet.num_replicas(), fleet.router_port());
+  for (int i = 0; i < fleet.num_replicas(); ++i) {
+    std::printf("  replica %d: port %d, pid %d%s\n", i,
+                fleet.replica_port(i),
+                static_cast<int>(fleet.replica_pid(i)),
+                flags.replica_obs_base_port > 0
+                    ? (", obs :" +
+                       std::to_string(flags.replica_obs_base_port + i))
+                          .c_str()
+                    : "");
+  }
+  if (flags.router_obs_port > 0) {
+    std::printf("  fleet obs: http://127.0.0.1:%d/fleetz\n",
+                flags.router_obs_port);
+  }
+  std::fflush(stdout);
+  InstallShutdownHandlers();
+  while (!ShutdownRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("fleet: draining\n");
+  fleet.Stop();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    const std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    bool ok = true;
+    if (name == "--replicas") {
+      ok = ParseInt(value, &flags.replicas) && flags.replicas >= 1;
+    } else if (name == "--router-port") {
+      ok = ParseInt(value, &flags.router_port);
+    } else if (name == "--router-obs-port") {
+      ok = ParseInt(value, &flags.router_obs_port);
+    } else if (name == "--replica-obs-base-port") {
+      ok = ParseInt(value, &flags.replica_obs_base_port);
+    } else if (name == "--snapshot-dir") {
+      flags.snapshot_dir = value;
+    } else if (name == "--threads") {
+      ok = ParseInt(value, &flags.threads) && flags.threads >= 1;
+    } else if (name == "--soak") {
+      flags.soak = true;
+    } else if (name == "--queries") {
+      ok = ParseInt(value, &flags.queries) && flags.queries >= 1;
+    } else if (name == "--clients") {
+      ok = ParseInt(value, &flags.clients) && flags.clients >= 1;
+    } else if (name == "--json") {
+      flags.json_path = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", name.c_str());
+      return Usage();
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad value for %s\n", name.c_str());
+      return Usage();
+    }
+  }
+  return flags.soak ? RunSoak(flags) : RunServe(flags);
+}
+
+}  // namespace
+}  // namespace sdp
+
+int main(int argc, char** argv) { return sdp::Main(argc, argv); }
