@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/introspection.h"
+
 // Git revision baked in by bench/CMakeLists.txt at configure time.
 #ifndef SDP_GIT_SHA
 #define SDP_GIT_SHA "unknown"
@@ -48,6 +50,11 @@ inline int MicroBenchMain(int argc, char** argv) {
   int patched_argc = static_cast<int>(args.size());
   benchmark::AddCustomContext("git_sha", SDP_GIT_SHA);
   benchmark::AddCustomContext("git_dirty", SDP_GIT_DIRTY ? "1" : "0");
+  // Machine-context block: a single-core or powersave-governed baseline
+  // is then self-describing in the JSON instead of a ROADMAP footnote.
+  benchmark::AddCustomContext("machine_cores",
+                              std::to_string(sdp::MachineCores()));
+  benchmark::AddCustomContext("machine_governor", sdp::MachineGovernor());
   benchmark::Initialize(&patched_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
     return 1;

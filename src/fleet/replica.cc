@@ -14,6 +14,8 @@
 #include "common/subprocess.h"
 #include "fleet/snapshot.h"
 #include "fleet/wire.h"
+#include "obs/dtrace.h"
+#include "obs/flight_recorder.h"
 #include "obs/introspection.h"
 #include "obs/recorder_export.h"
 #include "service/plan_fingerprint.h"
@@ -70,6 +72,16 @@ bool HandleOptimize(ReplicaState& state, int conn, const Frame& frame) {
   ServiceRequest sreq;
   sreq.query = std::move(req.query);
   sreq.spec = req.Spec();
+  // The frame's trace extension (router attempt span) becomes the
+  // request's context; a SpanScope here also attributes events recorded
+  // on *this* thread before the worker picks the request up (e.g. an
+  // admission shed on the submitting thread).
+  sreq.trace = TraceContext{frame.trace_id, frame.span_id};
+  SpanScope span(sreq.trace);
+  // Fleet requests carry no thread preference: run each at the replica's
+  // configured intra-query parallelism.  Plans, costs and structural
+  // /dtracez timelines are bit-identical at any setting.
+  sreq.options.opt_threads = state.config->service.max_opt_threads;
   const ServiceResult sr = state.service->OptimizeSync(std::move(sreq));
   FleetResponse resp = BuildResponse(state, req.request_id, sr);
 
@@ -131,19 +143,31 @@ void ServeConnection(ReplicaState& state, int conn) {
         ok = HandleOptimize(state, conn, frame);
         break;
       case FrameType::kCacheInstall: {
-        // Broadcast fill from a peer replica (fire-and-forget).
+        // Broadcast fill from a peer replica (fire-and-forget).  Recorded
+        // under the originating request's trace context so its timeline
+        // shows the install landing on this replica.
+        SpanScope span(TraceContext{frame.trace_id, frame.span_id});
         PlanCacheExportEntry entry;
+        bool installed = false;
+        uint64_t key_hash = 0;
         if (DecodeCacheEntry(frame.payload, &entry)) {
-          state.service->InstallPlanCacheEntry(entry);
+          installed = state.service->InstallPlanCacheEntry(entry);
+          key_hash = DtraceHash(entry.key);
         }
+        FlightRecorder::Global().Record(ObsKind::kBroadcastInstall,
+                                        installed ? 1 : 0, 0, key_hash);
         break;
       }
       case FrameType::kStatsRequest:
         ok = HandleStats(state, conn);
         break;
-      case FrameType::kPing:
-        ok = WriteFrame(conn, FrameType::kPong, 0, std::string());
+      case FrameType::kPing: {
+        // The pong payload advertises this replica's wire capabilities;
+        // old routers ignore the payload entirely.
+        std::string caps(1, static_cast<char>(kPongCapTraceContext));
+        ok = WriteFrame(conn, FrameType::kPong, 0, caps);
         break;
+      }
       default:
         ok = false;  // Unexpected frame: drop the connection.
         break;

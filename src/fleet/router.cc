@@ -7,31 +7,97 @@
 #include <chrono>
 #include <sstream>
 
+#include <stdlib.h>
+
 #include "common/socket_util.h"
 #include "common/subprocess.h"
 #include "cost/cost_model.h"
+#include "obs/dtrace.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_client.h"
+#include "obs/recorder_export.h"
 #include "service/plan_fingerprint.h"
 
 namespace sdp {
 
 namespace {
 
-// JSON string escaping for the /fleetz payload (keys and error strings
-// are ASCII identifiers, so only the basics are needed).
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out.push_back(c);
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Same minimal query-string accessor the introspection server uses (the
+// /dtracez parameters are simple unescaped tokens).
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
     }
+    pos = amp + 1;
   }
-  return out;
+  return "";
+}
+
+// Splits a JSONL blob into its non-empty lines.
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    if (nl > pos) lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+// Light-touch field extraction from one exported event line (the exporter
+// emits flat objects with stable key spelling, so substring search is
+// exact enough for the Chrome view).
+bool ExtractU64Field(const std::string& line, const char* key,
+                     uint64_t* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+  return true;
+}
+
+std::string ExtractStrField(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  const size_t begin = pos + needle.size();
+  const size_t end = line.find('"', begin);
+  if (end == std::string::npos) return "";
+  return line.substr(begin, end - begin);
+}
+
+// Appends one Chrome trace instant event for an exported JSONL line.
+// `pid` is the process lane (0 = router, 1 + r = replica r); the raw line
+// rides along as args so nothing is lost in translation.
+void AppendChromeEvent(std::ostringstream* out, const std::string& line,
+                       int pid, bool* first) {
+  uint64_t ts_ns = 0;
+  ExtractU64Field(line, "ts_ns", &ts_ns);
+  uint64_t thread = 0;
+  ExtractU64Field(line, "thread", &thread);
+  const std::string name = ExtractStrField(line, "event");
+  if (name.empty()) return;  // Exporter meta line, not an event.
+  if (!*first) *out << ",\n";
+  *first = false;
+  char ts[32];
+  snprintf(ts, sizeof(ts), "%.3f", static_cast<double>(ts_ns) / 1e3);
+  *out << "{\"name\":\"" << name << "\",\"ph\":\"i\",\"s\":\"p\",\"ts\":"
+       << ts << ",\"pid\":" << pid << ",\"tid\":" << thread
+       << ",\"args\":" << line << "}";
 }
 
 }  // namespace
@@ -61,6 +127,9 @@ bool FleetRouter::Start(std::string* error) {
   if (config_.obs_port > 0 && !obs_.Start(config_.obs_port, error)) {
     return false;
   }
+  // The router's own spans (route/failover/broadcast) live in the same
+  // always-on flight recorder the replicas use; /dtracez reads them back.
+  FlightRecorder::Global().Enable(true);
   stop_.store(false, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   health_thread_ = std::thread([this] { HealthLoop(); });
@@ -154,6 +223,10 @@ void FleetRouter::ServeClient(int conn) {
   // of this client connection (one outstanding request at a time per
   // client connection, so no framing interleave is possible).
   std::vector<int> replica_conns(config_.replica_ports.size(), -1);
+  // Capability bits each cached connection's peer advertised in its pong
+  // payload; trace-context frames are only sent where bit
+  // kPongCapTraceContext is set (see fleet/wire.h).
+  std::vector<uint8_t> replica_caps(config_.replica_ports.size(), 0);
   while (!stop_.load(std::memory_order_acquire) && !ShutdownRequested()) {
     const int ready = PollReadable(conn, config_.poll_interval_ms);
     if (ready < 0) break;
@@ -163,7 +236,7 @@ void FleetRouter::ServeClient(int conn) {
     bool ok = true;
     switch (frame.type) {
       case FrameType::kOptimizeRequest:
-        ok = RouteOptimize(conn, frame, &replica_conns);
+        ok = RouteOptimize(conn, frame, &replica_conns, &replica_caps);
         break;
       case FrameType::kPing:
         ok = WriteFrame(conn, FrameType::kPong, 0, std::string());
@@ -181,7 +254,8 @@ void FleetRouter::ServeClient(int conn) {
 }
 
 bool FleetRouter::RouteOptimize(int client_fd, const Frame& frame,
-                                std::vector<int>* replica_conns) {
+                                std::vector<int>* replica_conns,
+                                std::vector<uint8_t>* replica_caps) {
   requests_routed_.fetch_add(1, std::memory_order_relaxed);
 
   FleetRequest request;
@@ -193,6 +267,25 @@ bool FleetRouter::RouteOptimize(int client_fd, const Frame& frame,
                       EncodeFleetResponse(resp));
   }
   const std::string key = RoutingKey(request);
+
+  // Mint the request's fleet-wide trace identity: deterministic in the
+  // request id and routing key, so reruns of a seeded workload reproduce
+  // the same /dtracez timelines byte-exactly.
+  const uint64_t key_hash = DtraceHash(key);
+  const uint64_t trace_id = MintTraceId(request.request_id, key_hash);
+  FlightRecorder::ScopedRequest obs_req(request.request_id);
+  SpanScope root_span(TraceContext{trace_id, kRouterRootSpan});
+  {
+    int owner = -1;
+    {
+      std::lock_guard<std::mutex> lock(ring_mu_);
+      const std::vector<int> sequence = ring_.RouteSequence(key);
+      if (!sequence.empty()) owner = sequence.front();
+    }
+    FlightRecorder::Global().Record(
+        ObsKind::kRouteBegin, 0,
+        owner >= 0 ? static_cast<uint32_t>(owner) : 0, key_hash);
+  }
 
   int attempts = 0;
   bool first_try = true;
@@ -207,6 +300,16 @@ bool FleetRouter::RouteOptimize(int client_fd, const Frame& frame,
     if (!first_try) failovers_.fetch_add(1, std::memory_order_relaxed);
     first_try = false;
     ++attempts;
+
+    // Attempt k (1-based here) runs under span kAttemptSpanBase + k - 1;
+    // the replica inherits that span id through the wire frame, which is
+    // what ties its events back to this routing attempt.
+    const uint64_t attempt_span =
+        kAttemptSpanBase + static_cast<uint64_t>(attempts - 1);
+    SpanScope attempt_scope(TraceContext{trace_id, attempt_span});
+    FlightRecorder::Global().Record(ObsKind::kRouteAttempt, 0,
+                                    static_cast<uint32_t>(replica),
+                                    static_cast<uint64_t>(attempts));
 
     int& fd = (*replica_conns)[replica];
     // A cached connection may be stale -- the replica could have
@@ -237,13 +340,24 @@ bool FleetRouter::RouteOptimize(int client_fd, const Frame& frame,
             ::close(fd);
             fd = -1;
           } else {
+            // The pong payload advertises the peer's frame capabilities
+            // (empty = legacy replica, gets context-free frames only).
+            (*replica_caps)[replica] =
+                pong.payload.empty() ? 0
+                                     : static_cast<uint8_t>(pong.payload[0]);
             SetIoTimeout(fd, config_.io_timeout_ms);
           }
         }
       }
       if (fd < 0) break;
-      io_ok = WriteFrame(fd, FrameType::kOptimizeRequest, 0, frame.payload) &&
-              ReadFrame(fd, &response) &&
+      const bool traced =
+          ((*replica_caps)[replica] & kPongCapTraceContext) != 0;
+      const bool sent =
+          traced ? WriteFrameTraced(fd, FrameType::kOptimizeRequest, 0,
+                                    frame.payload, trace_id, attempt_span)
+                 : WriteFrame(fd, FrameType::kOptimizeRequest, 0,
+                              frame.payload);
+      io_ok = sent && ReadFrame(fd, &response) &&
               response.type == FrameType::kOptimizeResponse;
       if (!io_ok) {
         ::close(fd);
@@ -255,18 +369,23 @@ bool FleetRouter::RouteOptimize(int client_fd, const Frame& frame,
       // The replica died (or drained) under us: mark dead and re-route.
       // The request is idempotent, so the retry is safe even if the
       // replica had already started computing.
+      FlightRecorder::Global().Record(ObsKind::kRouteFailover, 0,
+                                      static_cast<uint32_t>(replica),
+                                      static_cast<uint64_t>(attempts));
       MarkDead(replica);
       continue;
     }
     // A freshly computed entry rides behind the response; peel it off
-    // and broadcast it to the other replicas off the request path.
+    // and broadcast it to the other replicas off the request path.  The
+    // broadcast inherits the attempt's span, so the fan-out (and each
+    // receiving replica's install) lands in this request's timeline.
+    std::string fill_payload;
+    bool has_fill = false;
     if ((response.flags & kFlagFillFollows) != 0) {
       Frame fill;
       if (ReadFrame(fd, &fill) && fill.type == FrameType::kCacheInstall) {
-        std::lock_guard<std::mutex> lock(broadcast_mu_);
-        broadcast_queue_.push_back(
-            Broadcast{replica, std::move(fill.payload)});
-        broadcast_cv_.notify_one();
+        fill_payload = std::move(fill.payload);
+        has_fill = true;
       } else {
         ::close(fd);
         fd = -1;
@@ -274,10 +393,42 @@ bool FleetRouter::RouteOptimize(int client_fd, const Frame& frame,
         // The response itself was intact; fall through and deliver it.
       }
     }
+    {
+      SpanScope end_scope(TraceContext{trace_id, kRouterRootSpan});
+      FlightRecorder::Global().Record(ObsKind::kRouteEnd, 1,
+                                      static_cast<uint32_t>(replica),
+                                      static_cast<uint64_t>(attempts));
+    }
+    // Enqueue the fill only after route_end is recorded: the broadcast
+    // thread's trace-tagged events then always sequence after the route
+    // span closes, keeping the merged /dtracez timeline deterministic.
+    if (has_fill) {
+      std::lock_guard<std::mutex> lock(broadcast_mu_);
+      broadcast_queue_.push_back(Broadcast{replica, std::move(fill_payload),
+                                           request.request_id, trace_id,
+                                           attempt_span});
+      broadcast_cv_.notify_one();
+    }
+    RouteTraceEntry entry;
+    entry.trace_id = trace_id;
+    entry.request_id = request.request_id;
+    entry.key_hash = key_hash;
+    entry.replica = replica;
+    entry.attempts = attempts;
+    entry.ok = true;
+    RememberTrace(entry);
     return WriteFrame(client_fd, FrameType::kOptimizeResponse, 0,
                       response.payload);
   }
 
+  FlightRecorder::Global().Record(ObsKind::kRouteEnd, 0, 0,
+                                  static_cast<uint64_t>(attempts));
+  RouteTraceEntry entry;
+  entry.trace_id = trace_id;
+  entry.request_id = request.request_id;
+  entry.key_hash = key_hash;
+  entry.attempts = attempts;
+  RememberTrace(entry);
   failed_after_retry_.fetch_add(1, std::memory_order_relaxed);
   FleetResponse resp;
   resp.request_id = request.request_id;
@@ -304,9 +455,22 @@ void FleetRouter::HealthLoop() {
                   DecodeReplicaStats(frame.payload, &stats);
         ::close(fd);
       }
+      // Probe events are deliberately context-free (the health thread
+      // never carries a SpanScope): they are fleet hygiene, not part of
+      // any request's timeline.
+      FlightRecorder::Global().Record(ObsKind::kHealthProbe,
+                                      healthy ? 1 : 0,
+                                      static_cast<uint32_t>(rep));
       std::lock_guard<std::mutex> lock(ring_mu_);
       ring_.SetLive(static_cast<int>(rep), healthy);
       views_[rep].live = healthy;
+      views_[rep].probe_attempts++;
+      if (healthy) {
+        views_[rep].probe_successes++;
+      } else {
+        views_[rep].probe_failures++;
+      }
+      views_[rep].last_probe_seconds = NowSeconds();
       if (healthy) {
         views_[rep].stats_valid = true;
         views_[rep].last_stats = std::move(stats);
@@ -326,6 +490,7 @@ void FleetRouter::BroadcastLoop() {
   // The broadcaster owns its own connections: fills must not interleave
   // with request/response framing on the client threads' connections.
   std::vector<int> conns(config_.replica_ports.size(), -1);
+  std::vector<uint8_t> caps(config_.replica_ports.size(), 0);
   for (;;) {
     Broadcast item;
     {
@@ -338,23 +503,61 @@ void FleetRouter::BroadcastLoop() {
       item = std::move(broadcast_queue_.front());
       broadcast_queue_.pop_front();
     }
+    // The fan-out runs under the originating request's trace context, so
+    // the kBroadcastFill summary -- and, through traced kCacheInstall
+    // frames, every receiving replica's kBroadcastInstall -- lands in
+    // that request's /dtracez timeline.
+    FlightRecorder::ScopedRequest obs_req(item.request_id);
+    SpanScope span(TraceContext{item.trace_id, item.span_id});
+    uint64_t delivered = 0;
+    uint64_t failures = 0;
     for (size_t rep = 0; rep < conns.size(); ++rep) {
       if (static_cast<int>(rep) == item.origin) continue;
       {
         std::lock_guard<std::mutex> lock(ring_mu_);
         if (!ring_.IsLive(static_cast<int>(rep))) continue;
       }
-      if (conns[rep] < 0) conns[rep] = ConnectReplica(static_cast<int>(rep));
-      if (conns[rep] < 0 ||
-          !WriteFrame(conns[rep], FrameType::kCacheInstall, 0,
-                      item.payload)) {
+      if (conns[rep] < 0) {
+        conns[rep] = ConnectReplica(static_cast<int>(rep));
+        if (conns[rep] >= 0) {
+          // Same ping gate as the request path: learn the peer's frame
+          // capabilities before ever sending it a traced frame.
+          Frame pong;
+          if (WriteFrame(conns[rep], FrameType::kPing, 0, std::string()) &&
+              ReadFrame(conns[rep], &pong) &&
+              pong.type == FrameType::kPong) {
+            caps[rep] = pong.payload.empty()
+                            ? 0
+                            : static_cast<uint8_t>(pong.payload[0]);
+          } else {
+            ::close(conns[rep]);
+            conns[rep] = -1;
+          }
+        }
+      }
+      const bool traced = item.trace_id != 0 &&
+                          (caps[rep] & kPongCapTraceContext) != 0;
+      const bool sent =
+          conns[rep] >= 0 &&
+          (traced ? WriteFrameTraced(conns[rep], FrameType::kCacheInstall, 0,
+                                     item.payload, item.trace_id,
+                                     item.span_id)
+                  : WriteFrame(conns[rep], FrameType::kCacheInstall, 0,
+                               item.payload));
+      if (!sent) {
         if (conns[rep] >= 0) ::close(conns[rep]);
         conns[rep] = -1;
         broadcast_failures_.fetch_add(1, std::memory_order_relaxed);
+        ++failures;
         continue;
       }
       broadcasts_sent_.fetch_add(1, std::memory_order_relaxed);
+      ++delivered;
     }
+    FlightRecorder::Global().Record(
+        ObsKind::kBroadcastFill, 0,
+        item.origin >= 0 ? static_cast<uint32_t>(item.origin) : 0, delivered,
+        failures);
   }
   for (const int fd : conns) {
     if (fd >= 0) ::close(fd);
@@ -370,6 +573,7 @@ std::string FleetRouter::RenderFleetz() const {
       << ",\n  \"broadcasts_sent\": " << rs.broadcasts_sent
       << ",\n  \"broadcast_failures\": " << rs.broadcast_failures
       << ",\n  \"replicas\": [\n";
+  const double now = NowSeconds();
   std::lock_guard<std::mutex> lock(ring_mu_);
   for (size_t rep = 0; rep < views_.size(); ++rep) {
     const ReplicaView& v = views_[rep];
@@ -379,6 +583,8 @@ std::string FleetRouter::RenderFleetz() const {
         lookups == 0
             ? 0.0
             : static_cast<double>(v.last_stats.cache_hits) / lookups;
+    const double probe_age =
+        v.last_probe_seconds < 0 ? -1.0 : now - v.last_probe_seconds;
     out << "    {\"replica\": " << rep << ", \"port\": "
         << config_.replica_ports[rep]
         << ", \"live\": " << (v.live ? "true" : "false")
@@ -387,7 +593,11 @@ std::string FleetRouter::RenderFleetz() const {
         << ", \"queue_depth\": " << v.last_stats.queue_depth
         << ", \"inflight\": " << v.last_stats.inflight
         << ", \"cache_entries\": " << v.last_stats.cache_entries
-        << ", \"cache_hit_rate\": " << hit_rate << "}"
+        << ", \"cache_hit_rate\": " << hit_rate
+        << ", \"probe_attempts\": " << v.probe_attempts
+        << ", \"probe_successes\": " << v.probe_successes
+        << ", \"probe_failures\": " << v.probe_failures
+        << ", \"last_probe_age_seconds\": " << probe_age << "}"
         << (rep + 1 < views_.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
@@ -400,6 +610,7 @@ std::string FleetRouter::RenderMergedMetrics() const {
   // and strips them from the rest, per the exposition format's
   // one-TYPE-per-family rule.
   std::string out;
+  const double now = NowSeconds();
   std::lock_guard<std::mutex> lock(ring_mu_);
   bool first = true;
   for (const ReplicaView& v : views_) {
@@ -417,7 +628,201 @@ std::string FleetRouter::RenderMergedMetrics() const {
       out += '\n';
     }
   }
+  // Router-side health-probe families, one sample per replica.
+  std::ostringstream probes;
+  struct ProbeFamily {
+    const char* name;
+    const char* help;
+    uint64_t ReplicaView::*member;
+  };
+  const ProbeFamily counters[] = {
+      {"sdp_router_probe_attempts_total",
+       "Health-probe attempts per replica.", &ReplicaView::probe_attempts},
+      {"sdp_router_probe_successes_total",
+       "Health probes answered per replica.", &ReplicaView::probe_successes},
+      {"sdp_router_probe_failures_total",
+       "Health probes unanswered per replica.",
+       &ReplicaView::probe_failures},
+  };
+  for (const ProbeFamily& fam : counters) {
+    probes << "# HELP " << fam.name << " " << fam.help << "\n# TYPE "
+           << fam.name << " counter\n";
+    for (size_t rep = 0; rep < views_.size(); ++rep) {
+      probes << fam.name << "{replica=\"" << rep << "\"} "
+             << views_[rep].*fam.member << "\n";
+    }
+  }
+  probes << "# HELP sdp_router_probe_last_age_seconds Seconds since the "
+            "replica's last completed health probe (-1 = never probed).\n"
+            "# TYPE sdp_router_probe_last_age_seconds gauge\n";
+  for (size_t rep = 0; rep < views_.size(); ++rep) {
+    const double age = views_[rep].last_probe_seconds < 0
+                           ? -1.0
+                           : now - views_[rep].last_probe_seconds;
+    probes << "sdp_router_probe_last_age_seconds{replica=\"" << rep
+           << "\"} " << age << "\n";
+  }
+  out += probes.str();
   return out;
+}
+
+void FleetRouter::RememberTrace(const RouteTraceEntry& entry) {
+  std::lock_guard<std::mutex> lock(traces_mu_);
+  recent_traces_.push_front(entry);
+  while (recent_traces_.size() > kMaxRecentTraces) recent_traces_.pop_back();
+}
+
+std::vector<RouteTraceEntry> FleetRouter::RecentTraces() const {
+  std::lock_guard<std::mutex> lock(traces_mu_);
+  return std::vector<RouteTraceEntry>(recent_traces_.begin(),
+                                      recent_traces_.end());
+}
+
+std::string FleetRouter::FetchReplicaSlice(int replica, uint64_t trace_id,
+                                           bool structural) const {
+  if (replica < 0 ||
+      replica >= static_cast<int>(config_.replica_obs_ports.size())) {
+    return "";
+  }
+  const int port = config_.replica_obs_ports[replica];
+  if (port <= 0) return "";
+  std::string path = "/flightrecorderz?trace=" + TraceIdHex(trace_id);
+  if (structural) path += "&structural=1";
+  std::string body;
+  std::string error;
+  if (!HttpGetLocal(port, path, &body, &error)) return "";
+  return body;
+}
+
+std::string FleetRouter::RenderDtracezIndex() const {
+  std::ostringstream out;
+  out << "sdpopt fleet router /dtracez\n"
+         "  ?trace=<16-hex-id>          merged cross-process timeline\n"
+         "  ?trace=...&format=json      structural JSON (deterministic)\n"
+         "  ?trace=...&format=chrome    Chrome trace-event export"
+         " (timing, one pid lane per process)\n\n";
+  const std::vector<RouteTraceEntry> traces = RecentTraces();
+  out << "recent requests (newest first, " << traces.size() << " of up to "
+      << kMaxRecentTraces << "):\n";
+  for (const RouteTraceEntry& t : traces) {
+    out << "  trace " << TraceIdHex(t.trace_id) << " req " << t.request_id
+        << " replica " << t.replica << " attempts " << t.attempts
+        << (t.ok ? " ok" : " FAILED") << "\n";
+  }
+  return out.str();
+}
+
+std::string FleetRouter::RenderDtracezTimeline(uint64_t trace_id,
+                                               const std::string& format)
+    const {
+  RouteTraceEntry entry;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(traces_mu_);
+    for (const RouteTraceEntry& t : recent_traces_) {
+      if (t.trace_id == trace_id) {
+        entry = t;
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) return "";
+
+  const bool chrome = format == "chrome";
+  // The merged JSON/human timeline renders structurally so two runs of
+  // the same seeded workload -- at any --opt-threads -- produce the same
+  // bytes; the Chrome view is the opposite trade and keeps wall-clock.
+  ObsExportOptions opts;
+  opts.trace_id = trace_id;
+  opts.structural = !chrome;
+  opts.include_timing = chrome;
+  const std::vector<std::string> router_lines =
+      SplitLines(ObsSnapshotToJsonl(FlightRecorder::Global().Snapshot(),
+                                    opts));
+  const std::vector<std::string> replica_lines = SplitLines(
+      FetchReplicaSlice(entry.replica, trace_id, /*structural=*/!chrome));
+
+  std::ostringstream out;
+  if (chrome) {
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":"
+           "{\"name\":\"router\"}}";
+    first = false;
+    if (entry.replica >= 0) {
+      out << ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+          << 1 + entry.replica << ",\"args\":{\"name\":\"replica "
+          << entry.replica << "\"}}";
+    }
+    for (const std::string& line : router_lines) {
+      AppendChromeEvent(&out, line, /*pid=*/0, &first);
+    }
+    for (const std::string& line : replica_lines) {
+      AppendChromeEvent(&out, line, /*pid=*/1 + entry.replica, &first);
+    }
+    out << "\n]}\n";
+    return out.str();
+  }
+
+  // Splice the replica's span slice into the router's event order, right
+  // before the route closes: begin/attempt(s), then everything the owning
+  // replica did, then route_end (and any broadcast fan-out after it).
+  size_t splice_at = router_lines.size();
+  for (size_t i = 0; i < router_lines.size(); ++i) {
+    if (router_lines[i].find("\"event\":\"route_end\"") !=
+        std::string::npos) {
+      splice_at = i;
+      break;
+    }
+  }
+  std::vector<std::pair<const std::string*, int>> merged;  // line, lane
+  for (size_t i = 0; i < router_lines.size(); ++i) {
+    if (i == splice_at) {
+      for (const std::string& line : replica_lines) {
+        merged.emplace_back(&line, entry.replica);
+      }
+    }
+    merged.emplace_back(&router_lines[i], -1);
+  }
+  if (splice_at == router_lines.size()) {
+    for (const std::string& line : replica_lines) {
+      merged.emplace_back(&line, entry.replica);
+    }
+  }
+
+  if (format == "json") {
+    out << "{\n\"trace\":\"" << TraceIdHex(trace_id) << "\",\n"
+        << "\"request_id\":" << entry.request_id << ",\n"
+        << "\"key_hash\":" << entry.key_hash << ",\n"
+        << "\"replica\":" << entry.replica << ",\n"
+        << "\"attempts\":" << entry.attempts << ",\n"
+        << "\"ok\":" << (entry.ok ? "true" : "false") << ",\n"
+        << "\"events\":[\n";
+    for (size_t i = 0; i < merged.size(); ++i) {
+      // Re-wrap each exported event with its process lane (-1 = router).
+      const std::string& line = *merged[i].first;
+      out << "{\"lane\":" << merged[i].second << ","
+          << line.substr(1);  // Drop the line's own '{'.
+      if (i + 1 < merged.size()) out << ",";
+      out << "\n";
+    }
+    out << "]}\n";
+    return out.str();
+  }
+
+  // Human rendering: the same merged order, lane-prefixed.
+  out << "trace " << TraceIdHex(trace_id) << " req " << entry.request_id
+      << " replica " << entry.replica << " attempts " << entry.attempts
+      << (entry.ok ? " ok" : " FAILED") << "\n";
+  for (const auto& item : merged) {
+    if (item.second < 0) {
+      out << "  router   | " << *item.first << "\n";
+    } else {
+      out << "  replica" << item.second << " | " << *item.first << "\n";
+    }
+  }
+  return out.str();
 }
 
 HttpResponse FleetRouter::HandleHttp(const HttpRequest& request) const {
@@ -427,11 +832,32 @@ HttpResponse FleetRouter::HandleHttp(const HttpRequest& request) const {
     resp.body = RenderFleetz();
   } else if (request.path == "/metrics") {
     resp.body = RenderMergedMetrics();
+  } else if (request.path == "/dtracez") {
+    const std::string trace_text = QueryParam(request.query, "trace");
+    if (trace_text.empty()) {
+      resp.body = RenderDtracezIndex();
+    } else {
+      const uint64_t trace_id = ParseTraceId(trace_text);
+      const std::string format = QueryParam(request.query, "format");
+      const std::string body =
+          trace_id == 0 ? "" : RenderDtracezTimeline(trace_id, format);
+      if (body.empty()) {
+        resp.status = 404;
+        resp.body = "unknown trace id; see /dtracez\n";
+      } else {
+        if (format == "json" || format == "chrome") {
+          resp.content_type = "application/json";
+        }
+        resp.body = body;
+      }
+    }
   } else if (request.path == "/") {
     resp.body =
         "sdpopt fleet router\n"
-        "  /fleetz   per-replica health, queue depth, cache hit rate\n"
-        "  /metrics  merged Prometheus exposition (replica-labelled)\n";
+        "  /fleetz   per-replica health, probes, queue depth, cache hits\n"
+        "  /metrics  merged Prometheus exposition (replica-labelled)\n"
+        "  /dtracez  per-request cross-process timelines"
+        " (?trace=HEX&format=json|chrome)\n";
   } else {
     resp.status = 404;
     resp.body = "unknown endpoint; see /\n";

@@ -45,6 +45,11 @@ struct RouterConfig {
   // Client-facing listen socket, already bound (supervisor-owned).
   int listen_fd = -1;
   std::vector<int> replica_ports;
+  // Replica introspection (HTTP) ports, parallel to replica_ports; the
+  // span collector pulls per-trace flight-recorder slices from
+  // /flightrecorderz on these.  Empty or 0 = no slice for that replica
+  // (/dtracez still shows the router-side spans).
+  std::vector<int> replica_obs_ports;
   int vnodes = 64;
   int max_attempts = 3;       // Total tries per request, across replicas.
   int connect_timeout_ms = 2000;
@@ -66,6 +71,17 @@ struct RouterStats {
   uint64_t failed_after_retry = 0;   // Requests that exhausted every attempt.
   uint64_t broadcasts_sent = 0;      // Cache-fill frames delivered to peers.
   uint64_t broadcast_failures = 0;
+};
+
+// One routed request as remembered for /dtracez: enough to find its spans
+// (the trace id) and summarize the route without re-deriving anything.
+struct RouteTraceEntry {
+  uint64_t trace_id = 0;
+  uint64_t request_id = 0;
+  uint64_t key_hash = 0;   // DtraceHash of the routing key.
+  int replica = -1;        // Who answered; -1 = exhausted every attempt.
+  int attempts = 0;
+  bool ok = false;
 };
 
 class FleetRouter {
@@ -92,32 +108,57 @@ class FleetRouter {
   // Current failover order for a key (first element = owner).
   std::vector<int> RouteSequenceForKey(const std::string& key) const;
 
-  // /fleetz and merged-/metrics rendering, exposed for socketless tests.
+  // /fleetz, /dtracez and merged-/metrics rendering, exposed for
+  // socketless tests.
   HttpResponse HandleHttp(const HttpRequest& request) const;
+
+  // Recently routed requests, newest first (for tests and /dtracez).
+  std::vector<RouteTraceEntry> RecentTraces() const;
 
  private:
   struct ReplicaView {
     bool live = true;
     bool stats_valid = false;
     FleetReplicaStats last_stats;
+    // Health-probe observability (see HealthLoop).
+    uint64_t probe_attempts = 0;
+    uint64_t probe_successes = 0;
+    uint64_t probe_failures = 0;
+    double last_probe_seconds = -1;  // Monotonic; -1 = never probed.
   };
   struct Broadcast {
     int origin = -1;
     std::string payload;
+    // Originating request, so the fan-out is trace-attributed.
+    uint64_t request_id = 0;
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
   };
 
   void AcceptLoop();
   void ServeClient(int conn);
   // Forwards one optimize request with failover; false only when the
-  // client connection itself is broken.
+  // client connection itself is broken.  `replica_caps` holds each cached
+  // connection's advertised Pong capability bits (kPongCap*), learned at
+  // ping-gate time.
   bool RouteOptimize(int client_fd, const Frame& frame,
-                     std::vector<int>* replica_conns);
+                     std::vector<int>* replica_conns,
+                     std::vector<uint8_t>* replica_caps);
   int ConnectReplica(int replica) const;
   void MarkDead(int replica);
   void HealthLoop();
   void BroadcastLoop();
+  void RememberTrace(const RouteTraceEntry& entry);
   std::string RenderFleetz() const;
   std::string RenderMergedMetrics() const;
+  // /dtracez bodies; see HandleHttp for the query grammar.
+  std::string RenderDtracezIndex() const;
+  std::string RenderDtracezTimeline(uint64_t trace_id,
+                                    const std::string& format) const;
+  // Pulls the owning replica's structural slice for `trace_id` over its
+  // introspection port; empty when unavailable.
+  std::string FetchReplicaSlice(int replica, uint64_t trace_id,
+                                bool structural) const;
 
   RouterConfig config_;
   Catalog catalog_;
@@ -137,6 +178,11 @@ class FleetRouter {
   std::mutex broadcast_mu_;
   std::condition_variable broadcast_cv_;
   std::deque<Broadcast> broadcast_queue_;
+
+  // Route-trace registry backing /dtracez, newest at the front.
+  static constexpr size_t kMaxRecentTraces = 128;
+  mutable std::mutex traces_mu_;
+  std::deque<RouteTraceEntry> recent_traces_;
 
   std::thread accept_thread_;
   std::thread health_thread_;

@@ -86,6 +86,12 @@ bool FleetSupervisor::Start(std::string* error) {
   RouterConfig router_config;
   router_config.listen_fd = router_listen_fd_;
   router_config.replica_ports = replica_ports_;
+  // Replica introspection ports for /dtracez's span collector (zeros when
+  // replica HTTP is disabled; the router then renders its own spans only).
+  router_config.replica_obs_ports.assign(config_.num_replicas, 0);
+  for (int i = 0; i < config_.num_replicas; ++i) {
+    router_config.replica_obs_ports[i] = MakeReplicaConfig(i).obs_port;
+  }
   router_config.vnodes = config_.vnodes;
   router_config.max_attempts = config_.max_attempts;
   router_config.health_interval_ms = config_.health_interval_ms;

@@ -18,22 +18,50 @@ constexpr uint32_t kMaxElements = kMaxFramePayload;
 
 }  // namespace
 
-bool WriteFrame(int fd, FrameType type, uint8_t flags,
-                const std::string& payload) {
-  if (payload.size() > kMaxFramePayload) return false;
-  char header[8];
+namespace {
+
+constexpr size_t kHeaderBytes = 8;
+constexpr size_t kTraceExtBytes = 16;
+
+void BuildHeader(char* header, FrameType type, uint8_t flags, uint32_t len) {
   header[0] = kMagic0;
   header[1] = kMagic1;
   header[2] = static_cast<char>(type);
   header[3] = static_cast<char>(flags);
-  const uint32_t len = static_cast<uint32_t>(payload.size());
   memcpy(header + 4, &len, sizeof(len));
+}
+
+void BuildTraceExt(char* ext, uint64_t trace_id, uint64_t span_id) {
+  memcpy(ext, &trace_id, sizeof(trace_id));
+  memcpy(ext + 8, &span_id, sizeof(span_id));
+}
+
+}  // namespace
+
+bool WriteFrame(int fd, FrameType type, uint8_t flags,
+                const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  char header[kHeaderBytes];
+  BuildHeader(header, type, static_cast<uint8_t>(flags & ~kFlagTraceContext),
+              static_cast<uint32_t>(payload.size()));
+  if (!WriteFull(fd, header, sizeof(header))) return false;
+  return payload.empty() || WriteFull(fd, payload.data(), payload.size());
+}
+
+bool WriteFrameTraced(int fd, FrameType type, uint8_t flags,
+                      const std::string& payload, uint64_t trace_id,
+                      uint64_t span_id) {
+  if (payload.size() > kMaxFramePayload) return false;
+  char header[kHeaderBytes + kTraceExtBytes];
+  BuildHeader(header, type, static_cast<uint8_t>(flags | kFlagTraceContext),
+              static_cast<uint32_t>(payload.size()));
+  BuildTraceExt(header + kHeaderBytes, trace_id, span_id);
   if (!WriteFull(fd, header, sizeof(header))) return false;
   return payload.empty() || WriteFull(fd, payload.data(), payload.size());
 }
 
 bool ReadFrame(int fd, Frame* out) {
-  char header[8];
+  char header[kHeaderBytes];
   if (!ReadFull(fd, header, sizeof(header))) return false;
   if (header[0] != kMagic0 || header[1] != kMagic1) return false;
   uint32_t len = 0;
@@ -41,8 +69,63 @@ bool ReadFrame(int fd, Frame* out) {
   if (len > kMaxFramePayload) return false;
   out->type = static_cast<FrameType>(header[2]);
   out->flags = static_cast<uint8_t>(header[3]);
+  out->has_trace = (out->flags & kFlagTraceContext) != 0;
+  out->trace_id = 0;
+  out->span_id = 0;
+  if (out->has_trace) {
+    char ext[kTraceExtBytes];
+    if (!ReadFull(fd, ext, sizeof(ext))) return false;
+    memcpy(&out->trace_id, ext, sizeof(out->trace_id));
+    memcpy(&out->span_id, ext + 8, sizeof(out->span_id));
+  }
   out->payload.resize(len);
   return len == 0 || ReadFull(fd, out->payload.data(), len);
+}
+
+std::string EncodeFrameBytes(const Frame& frame) {
+  std::string bytes;
+  const bool traced = frame.has_trace;
+  char header[kHeaderBytes];
+  uint8_t flags = frame.flags;
+  flags = traced ? static_cast<uint8_t>(flags | kFlagTraceContext)
+                 : static_cast<uint8_t>(flags & ~kFlagTraceContext);
+  BuildHeader(header, frame.type, flags,
+              static_cast<uint32_t>(frame.payload.size()));
+  bytes.append(header, sizeof(header));
+  if (traced) {
+    char ext[kTraceExtBytes];
+    BuildTraceExt(ext, frame.trace_id, frame.span_id);
+    bytes.append(ext, sizeof(ext));
+  }
+  bytes.append(frame.payload);
+  return bytes;
+}
+
+bool DecodeFrameBytes(const std::string& bytes, size_t* pos, Frame* out) {
+  size_t p = *pos;
+  if (p > bytes.size() || bytes.size() - p < kHeaderBytes) return false;
+  const char* header = bytes.data() + p;
+  if (header[0] != kMagic0 || header[1] != kMagic1) return false;
+  uint32_t len = 0;
+  memcpy(&len, header + 4, sizeof(len));
+  if (len > kMaxFramePayload) return false;
+  out->type = static_cast<FrameType>(header[2]);
+  out->flags = static_cast<uint8_t>(header[3]);
+  out->has_trace = (out->flags & kFlagTraceContext) != 0;
+  out->trace_id = 0;
+  out->span_id = 0;
+  p += kHeaderBytes;
+  if (out->has_trace) {
+    if (bytes.size() - p < kTraceExtBytes) return false;
+    memcpy(&out->trace_id, bytes.data() + p, sizeof(out->trace_id));
+    memcpy(&out->span_id, bytes.data() + p + 8, sizeof(out->span_id));
+    p += kTraceExtBytes;
+  }
+  if (bytes.size() - p < len) return false;
+  out->payload.assign(bytes.data() + p, len);
+  p += len;
+  *pos = p;
+  return true;
 }
 
 void WireWriter::PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }

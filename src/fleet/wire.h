@@ -17,7 +17,21 @@ namespace sdp {
 //
 // Frame layout (little-endian):
 //
-//   'S' 'F'  type:u8  flags:u8  payload_len:u32  payload...
+//   'S' 'F'  type:u8  flags:u8  payload_len:u32  [trace_ext]  payload...
+//
+// When kFlagTraceContext is set in flags, a fixed 16-byte extension --
+// trace_id:u64 span_id:u64, little-endian -- sits between the header and
+// the payload, carrying the distributed-trace context across processes
+// (obs/dtrace.h).  `payload_len` never includes the extension, so old
+// and new frames with identical payloads agree on the length field.
+//
+// Compatibility: a reader that predates the flag would not consume the
+// extension and would desynchronize the stream, so senders MUST NOT set
+// kFlagTraceContext unless the peer advertised support.  Replicas
+// advertise it in the Pong *payload* (byte 0 carries the capability
+// bits, kPongCapTraceContext) -- old routers ignore pong payloads and
+// old replicas send empty ones, so both directions of a mixed-version
+// fleet degrade to context-free frames instead of corrupt framing.
 //
 // The router forwards *opaque* response frames from replicas to clients:
 // it never decodes optimizer results.  The one piece of framing the
@@ -42,6 +56,12 @@ enum class FrameType : uint8_t {
 
 // Response flag: a kCacheInstall frame follows on the same connection.
 constexpr uint8_t kFlagFillFollows = 0x01;
+// A 16-byte trace-context extension follows the header (see above).
+constexpr uint8_t kFlagTraceContext = 0x02;
+
+// Pong payload byte 0 capability bits.  An empty pong payload (old
+// replicas) advertises nothing.
+constexpr uint8_t kPongCapTraceContext = 0x01;
 
 // Payloads larger than this are rejected as corrupt framing.
 constexpr uint32_t kMaxFramePayload = 64u << 20;
@@ -50,13 +70,32 @@ struct Frame {
   FrameType type = FrameType::kPing;
   uint8_t flags = 0;
   std::string payload;
+  // Trace-context extension; meaningful when has_trace (flags carried
+  // kFlagTraceContext on the wire).
+  bool has_trace = false;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 };
 
 // Blocking framed I/O.  False on peer close, timeout, or malformed
 // header (bad magic / oversized payload).
 bool WriteFrame(int fd, FrameType type, uint8_t flags,
                 const std::string& payload);
+// Traced variant: sets kFlagTraceContext and prepends the extension.
+// Only call it on connections whose peer advertised
+// kPongCapTraceContext.
+bool WriteFrameTraced(int fd, FrameType type, uint8_t flags,
+                      const std::string& payload, uint64_t trace_id,
+                      uint64_t span_id);
 bool ReadFrame(int fd, Frame* out);
+
+// Pure in-memory frame codecs, byte-identical to the socket path.  They
+// exist so tests can sweep truncations and mixed-version framings
+// without sockets: DecodeFrameBytes consumes exactly one frame from
+// `bytes + *pos`, advances *pos past it, and returns false (leaving
+// *pos untouched) on truncation or malformed framing.
+std::string EncodeFrameBytes(const Frame& frame);
+bool DecodeFrameBytes(const std::string& bytes, size_t* pos, Frame* out);
 
 // Bounds-checked byte-stream primitives used by every payload codec.
 class WireWriter {

@@ -1,0 +1,67 @@
+#include "obs/dtrace.h"
+
+#include <stdio.h>
+#include <stdlib.h>
+
+namespace sdp {
+
+namespace {
+
+thread_local TraceContext tls_context;
+
+}  // namespace
+
+uint64_t DtraceMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t DtraceHash(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;  // FNV prime.
+  }
+  return h;
+}
+
+uint64_t MintTraceId(uint64_t request_id, uint64_t routing_key_hash) {
+  const uint64_t id = DtraceMix64(request_id ^ DtraceMix64(routing_key_hash));
+  return id == 0 ? 1 : id;
+}
+
+TraceContext CurrentTraceContext() { return tls_context; }
+
+SpanScope::SpanScope(TraceContext context) : prev_(tls_context) {
+  tls_context = context;
+}
+
+SpanScope::~SpanScope() { tls_context = prev_; }
+
+std::string TraceIdHex(uint64_t id) {
+  char buf[17];
+  snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(id));
+  return std::string(buf);
+}
+
+uint64_t ParseTraceId(const std::string& text) {
+  if (text.empty()) return 0;
+  // 16 hex chars = the TraceIdHex form; anything shorter parses as
+  // decimal first so "42" round-trips, falling back to hex.
+  char* end = nullptr;
+  if (text.size() == 16) {
+    const uint64_t v = strtoull(text.c_str(), &end, 16);
+    return end != nullptr && *end == '\0' ? v : 0;
+  }
+  const uint64_t v = strtoull(text.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0') return v;
+  const uint64_t hex = strtoull(text.c_str(), &end, 16);
+  return end != nullptr && *end == '\0' ? hex : 0;
+}
+
+}  // namespace sdp

@@ -1,0 +1,76 @@
+#ifndef SDPOPT_OBS_DTRACE_H_
+#define SDPOPT_OBS_DTRACE_H_
+
+#include <stdint.h>
+
+#include <string>
+
+namespace sdp {
+
+// Fleet-wide distributed tracing: the identity a request carries as it
+// crosses process boundaries (client -> router -> replica -> broadcast).
+//
+// The router mints one trace id per routed request and one span id per
+// routing attempt; the pair travels to the replica in the wire frame
+// header (see fleet/wire.h, kFlagTraceContext) and is installed in a
+// thread-local by SpanScope, so every flight-recorder event the replica
+// records while serving the request -- queueing, cache traffic, ladder
+// rungs, enumeration levels, fault fires -- is tagged with the context
+// without any event source knowing about the fleet.
+//
+// Ids are minted *content-deterministically* (splitmix64 over the fleet
+// request id and the routing-key hash), never from clocks or counters:
+// the same seeded workload produces the same trace ids on every run at
+// any thread count, which is what makes /dtracez timelines byte-exactly
+// reproducible and therefore diffable.
+
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 = no active trace (context-free).
+  uint64_t span_id = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+// Well-known span ids within one trace.  The router records its
+// route-level events under the root span; routing attempt k (0-based)
+// gets span kAttemptSpanBase + k, and that span id is what travels to
+// the replica -- so a replica event's span id names the router attempt
+// that caused it, giving parentage without a parent field per event.
+constexpr uint64_t kRouterRootSpan = 1;
+constexpr uint64_t kAttemptSpanBase = 2;
+
+// splitmix64 finalizer: the same mixer the service uses for retry jitter.
+uint64_t DtraceMix64(uint64_t x);
+
+// FNV-1a over a string (routing keys), for trace-id minting.
+uint64_t DtraceHash(const std::string& s);
+
+// Deterministic trace id for a fleet request: a function of the request
+// id and the routing-key hash only.  Never returns 0.
+uint64_t MintTraceId(uint64_t request_id, uint64_t routing_key_hash);
+
+// The calling thread's active context ({0,0} when none).
+TraceContext CurrentTraceContext();
+
+// Installs `context` as the calling thread's active context for the
+// scope's lifetime, restoring the previous context on exit.  Nests.
+class SpanScope {
+ public:
+  explicit SpanScope(TraceContext context);
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+// Lower 64 bits rendered as fixed-width hex, the form trace ids take in
+// /dtracez URLs and JSON ("0000000000000000" for 0).
+std::string TraceIdHex(uint64_t id);
+// Inverse of TraceIdHex; also accepts plain decimal.  0 on parse failure.
+uint64_t ParseTraceId(const std::string& text);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OBS_DTRACE_H_

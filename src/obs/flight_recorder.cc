@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/dtrace.h"
+
 namespace sdp {
 
 namespace {
@@ -59,6 +61,22 @@ const char* ObsKindName(ObsKind kind) {
       return "parallel_level";
     case ObsKind::kFaultFired:
       return "fault_fired";
+    case ObsKind::kRouteBegin:
+      return "route_begin";
+    case ObsKind::kRouteAttempt:
+      return "route_attempt";
+    case ObsKind::kRouteFailover:
+      return "route_failover";
+    case ObsKind::kRouteEnd:
+      return "route_end";
+    case ObsKind::kBroadcastFill:
+      return "broadcast_fill";
+    case ObsKind::kBroadcastInstall:
+      return "broadcast_install";
+    case ObsKind::kHealthProbe:
+      return "health_probe";
+    case ObsKind::kSloBurn:
+      return "slo_burn";
   }
   return "unknown";
 }
@@ -160,6 +178,9 @@ void FlightRecorder::RecordSlow(ObsKind kind, uint8_t code, uint32_t a,
   w[5].store(c, std::memory_order_relaxed);
   w[6].store(d, std::memory_order_relaxed);
   w[7].store(e, std::memory_order_relaxed);
+  const TraceContext ctx = CurrentTraceContext();
+  w[8].store(ctx.trace_id, std::memory_order_relaxed);
+  w[9].store(ctx.span_id, std::memory_order_relaxed);
   // The release publishes the slot's words to snapshotting threads.
   ring->head.store(h + 1, std::memory_order_release);
 }
@@ -196,6 +217,8 @@ ObsSnapshot FlightRecorder::Snapshot() const {
       ev.c = w[5].load(std::memory_order_relaxed);
       ev.d = w[6].load(std::memory_order_relaxed);
       ev.e = w[7].load(std::memory_order_relaxed);
+      ev.trace_id = w[8].load(std::memory_order_relaxed);
+      ev.span_id = w[9].load(std::memory_order_relaxed);
       local.push_back(ev);
     }
     // Any slot the writer may have reused while we copied (it was writing

@@ -64,6 +64,25 @@ enum class ObsKind : uint8_t {
                         // d=candidates costed
   // Fault injection.
   kFaultFired = 19,  // b,c = site tag chars (first 16 bytes)
+  // Fleet router spans (recorded in the router's process; see
+  // fleet/router.h).  All are tagged with the routed request's trace
+  // context via SpanScope (obs/dtrace.h).
+  kRouteBegin = 20,     // a=owner replica, b=routing-key hash
+  kRouteAttempt = 21,   // a=replica tried, b=attempt ordinal
+  kRouteFailover = 22,  // a=replica that failed, b=attempt ordinal
+  kRouteEnd = 23,       // code=ok, a=replica that answered, b=attempts
+  kBroadcastFill = 24,  // a=origin replica, b=peers delivered, c=failures
+  // Cross-replica cache-fill install (recorded by the receiving replica
+  // under the originating request's trace context).
+  kBroadcastInstall = 25,  // code=installed, b=cache-key hash
+  // Router health probe (never request/trace attributed).
+  kHealthProbe = 26,  // code=healthy, a=replica
+  // SLO watchdog: an objective entered its burning state (obs/slo.h).
+  // Attributed to the offending request.  Payloads are deliberately
+  // timing-free: the measured value only travels for the (deterministic)
+  // plan-quality objective.
+  kSloBurn = 27,  // code=objective kind (0=latency 1=quality), a=rung,
+                  // b=threshold bits, d=observed ratio bits (quality only)
 };
 
 const char* ObsKindName(ObsKind kind);
@@ -82,7 +101,7 @@ enum class ObsPhase : uint8_t {
 const char* ObsPhaseName(uint8_t phase);
 uint8_t ObsPhaseCode(const char* phase);
 
-// One recorded event: 64 bytes, plain data.  Which of a..e are meaningful
+// One recorded event: 80 bytes, plain data.  Which of a..e are meaningful
 // depends on `kind` (see the enum above).
 struct ObsEvent {
   uint64_t seq = 0;         // Global causal order across all threads.
@@ -96,6 +115,10 @@ struct ObsEvent {
   uint64_t c = 0;
   uint64_t d = 0;
   uint64_t e = 0;
+  // Distributed-trace attribution (obs/dtrace.h), captured from the
+  // recording thread's active SpanScope.  0 = context-free.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 };
 
 // A drained, merged, seq-ordered copy of every ring.
@@ -109,8 +132,8 @@ struct ObsSnapshot {
 
 class FlightRecorder {
  public:
-  // Events retained per thread.  Power of two; at 64 bytes each a ring
-  // costs 128 KiB, allocated on the thread's first recorded event.
+  // Events retained per thread.  Power of two; at 80 bytes each a ring
+  // costs 160 KiB, allocated on the thread's first recorded event.
   static constexpr uint64_t kRingEvents = 2048;
 
   static FlightRecorder& Global();
@@ -119,7 +142,7 @@ class FlightRecorder {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Hot path.  When disabled this is one predicted branch; when enabled it
-  // is a seq fetch_add, a clock read and eight relaxed stores into this
+  // is a seq fetch_add, a clock read and ten relaxed stores into this
   // thread's ring.  Safe from any thread; each thread writes only its own
   // ring.
   void Record(ObsKind kind, uint8_t code = 0, uint32_t a = 0, uint64_t b = 0,
@@ -167,8 +190,9 @@ class FlightRecorder {
 
  private:
 
-  // 8 words of 8 bytes = one 64-byte event.
-  static constexpr size_t kWordsPerEvent = 8;
+  // 10 words of 8 bytes = one 80-byte event (the last two carry the
+  // distributed-trace context).
+  static constexpr size_t kWordsPerEvent = 10;
 
   struct Ring {
     std::atomic<uint64_t> head{0};  // Total events ever appended.

@@ -1,0 +1,70 @@
+#include "obs/http_client.h"
+
+#include <unistd.h>
+
+#include "common/socket_util.h"
+
+namespace sdp {
+
+bool HttpGetLocal(int port, const std::string& path_and_query,
+                  std::string* body, std::string* error, int timeout_ms) {
+  std::string connect_error;
+  const int fd = ConnectLocalhost(port, timeout_ms, &connect_error);
+  if (fd < 0) {
+    if (error != nullptr) *error = "connect: " + connect_error;
+    return false;
+  }
+  SetIoTimeout(fd, timeout_ms);
+  const std::string request = "GET " + path_and_query +
+                              " HTTP/1.0\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!WriteFull(fd, request.data(), request.size())) {
+    ::close(fd);
+    if (error != nullptr) *error = "request write failed";
+    return false;
+  }
+  // Read to EOF (the server closes after one response).
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      ::close(fd);
+      if (error != nullptr) *error = "response read failed";
+      return false;
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<size_t>(n));
+    if (response.size() > (64u << 20)) {
+      ::close(fd);
+      if (error != nullptr) *error = "response too large";
+      return false;
+    }
+  }
+  ::close(fd);
+  const size_t line_end = response.find("\r\n");
+  if (line_end == std::string::npos ||
+      response.compare(0, 5, "HTTP/") != 0) {
+    if (error != nullptr) *error = "malformed response";
+    return false;
+  }
+  const size_t sp = response.find(' ');
+  if (sp == std::string::npos || sp + 4 > line_end) {
+    if (error != nullptr) *error = "malformed status line";
+    return false;
+  }
+  const std::string status = response.substr(sp + 1, 3);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (error != nullptr) *error = "missing header terminator";
+    return false;
+  }
+  if (status != "200") {
+    if (error != nullptr) *error = "status " + status;
+    return false;
+  }
+  if (body != nullptr) *body = response.substr(header_end + 4);
+  return true;
+}
+
+}  // namespace sdp

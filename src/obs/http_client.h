@@ -1,0 +1,22 @@
+#ifndef SDPOPT_OBS_HTTP_CLIENT_H_
+#define SDPOPT_OBS_HTTP_CLIENT_H_
+
+#include <string>
+
+namespace sdp {
+
+// Minimal loopback HTTP/1.0 GET, the client-side counterpart of
+// obs/http_server.h.  The router's span collector uses it to pull
+// trace-filtered flight-recorder slices from replica /flightrecorderz
+// endpoints; it speaks just enough HTTP for that (status line +
+// headers + body, Connection: close semantics).
+//
+// Returns true and fills *body on a 200; false otherwise with *error
+// describing the failure (connect, I/O, non-200 status).
+bool HttpGetLocal(int port, const std::string& path_and_query,
+                  std::string* body, std::string* error,
+                  int timeout_ms = 2000);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OBS_HTTP_CLIENT_H_

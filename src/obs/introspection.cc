@@ -1,6 +1,8 @@
 #include "obs/introspection.h"
 
+#include <stdio.h>
 #include <stdlib.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -9,8 +11,10 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "obs/dtrace.h"
 #include "obs/flight_recorder.h"
 #include "obs/recorder_export.h"
+#include "obs/slo.h"
 #include "optimizer/fallback.h"
 #include "service/optimizer_service.h"
 
@@ -52,6 +56,26 @@ std::string QueryParam(const std::string& query, const std::string& key) {
 
 std::string BuildGitSha() { return SDP_GIT_SHA; }
 bool BuildGitDirty() { return SDP_GIT_DIRTY != 0; }
+
+int MachineCores() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+std::string MachineGovernor() {
+  FILE* f =
+      fopen("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor", "r");
+  if (f == nullptr) return "unknown";
+  char buf[64] = {};
+  const size_t n = fread(buf, 1, sizeof(buf) - 1, f);
+  fclose(f);
+  std::string governor(buf, n);
+  while (!governor.empty() &&
+         (governor.back() == '\n' || governor.back() == ' ')) {
+    governor.pop_back();
+  }
+  return governor.empty() ? "unknown" : governor;
+}
 
 std::string RenderStatusz(const OptimizerService& service,
                           double uptime_seconds) {
@@ -106,6 +130,10 @@ std::string RenderStatusz(const OptimizerService& service,
       << "events_recorded: " << FlightRecorder::Global().events_recorded()
       << "\n"
       << "dump_signals: " << FlightRecorder::Global().dump_signals() << "\n";
+  const SloTracker* slo = service.slo();
+  if (slo != nullptr) {
+    out << "\n[slo]\n" << slo->StatuszSection(NowSeconds());
+  }
   return out.str();
 }
 
@@ -163,9 +191,11 @@ std::string RenderTracez(const std::string& status_filter, size_t limit) {
   return out.str();
 }
 
-std::string RenderFlightRecorderz() {
+std::string RenderFlightRecorderz(uint64_t trace_id, bool structural) {
   ObsExportOptions render;
-  render.include_timing = true;
+  render.include_timing = !structural;
+  render.trace_id = trace_id;
+  render.structural = structural;
   return ObsSnapshotToJsonl(FlightRecorder::Global().Snapshot(), render);
 }
 
@@ -191,11 +221,16 @@ HttpResponse IntrospectionServer::Handle(const HttpRequest& request) const {
         "  /statusz          build, config, breakers, admission, gauges\n"
         "  /tracez           recent request timelines"
         " (?status=NAME&limit=K)\n"
-        "  /flightrecorderz  full flight-recorder dump (JSONL)\n";
+        "  /flightrecorderz  full flight-recorder dump (JSONL;"
+        " ?trace=HEX&structural=1)\n";
     return resp;
   }
   if (request.path == "/metrics") {
     resp.body = service_->metrics().PrometheusText();
+    const SloTracker* slo = service_->slo();
+    if (slo != nullptr) {
+      resp.body += slo->PrometheusText("", NowSeconds());
+    }
     resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
     return resp;
   }
@@ -214,7 +249,9 @@ HttpResponse IntrospectionServer::Handle(const HttpRequest& request) const {
     return resp;
   }
   if (request.path == "/flightrecorderz") {
-    resp.body = RenderFlightRecorderz();
+    const uint64_t trace_id = ParseTraceId(QueryParam(request.query, "trace"));
+    const bool structural = QueryParam(request.query, "structural") == "1";
+    resp.body = RenderFlightRecorderz(trace_id, structural);
     resp.content_type = "application/jsonl; charset=utf-8";
     return resp;
   }

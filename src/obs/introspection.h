@@ -21,7 +21,10 @@ class OptimizerService;
 //                     from flight-recorder snapshots; ?status=NAME filters
 //                     (OK, DEADLINE_EXCEEDED, ...), ?limit=K bounds K
 //   /flightrecorderz  on-demand full flight-recorder dump (JSONL, with
-//                     timing)
+//                     timing); ?trace=HEX filters to one distributed
+//                     trace and ?structural=1 switches to the
+//                     deterministic structural rendering (no seq/ts/
+//                     thread) the fleet router's span collector consumes
 //
 // All render functions are also exposed directly so tests can exercise
 // them without a socket.
@@ -31,11 +34,21 @@ class OptimizerService;
 std::string BuildGitSha();
 bool BuildGitDirty();
 
+// Machine context for self-describing benchmark reports: online core
+// count and the cpufreq scaling governor ("unknown" where sysfs has no
+// cpufreq, e.g. most VMs).  Single-core / powersave baselines then carry
+// their own explanation instead of a footnote.
+int MachineCores();
+std::string MachineGovernor();
+
 std::string RenderStatusz(const OptimizerService& service,
                           double uptime_seconds);
 // `status_filter` empty = all statuses; matches OptStatusCodeName values.
 std::string RenderTracez(const std::string& status_filter, size_t limit);
-std::string RenderFlightRecorderz();
+// `trace_id` 0 = all events; `structural` selects the deterministic
+// structural rendering (see ObsExportOptions::structural).
+std::string RenderFlightRecorderz(uint64_t trace_id = 0,
+                                  bool structural = false);
 
 class IntrospectionServer {
  public:

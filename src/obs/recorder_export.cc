@@ -1,9 +1,13 @@
 #include "obs/recorder_export.h"
 
+#include <string.h>
+
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/budget.h"
+#include "obs/dtrace.h"
 
 namespace sdp {
 
@@ -15,13 +19,37 @@ const char* StatusName(uint8_t code) {
 
 void AppendCommon(std::ostringstream* out, const ObsEvent& ev,
                   const ObsExportOptions& options) {
-  *out << "{\"seq\":" << ev.seq;
-  if (options.include_timing) {
-    *out << ",\"ts_ns\":" << ev.ts_ns;
+  *out << "{";
+  if (!options.structural) {
+    *out << "\"seq\":" << ev.seq;
+    if (options.include_timing) {
+      *out << ",\"ts_ns\":" << ev.ts_ns;
+    }
+    *out << ",\"thread\":" << ev.thread << ",";
   }
-  *out << ",\"thread\":" << ev.thread << ",\"req\":" << ev.request_id
-       << ",\"event\":\"" << ObsKindName(static_cast<ObsKind>(ev.kind))
-       << "\"";
+  *out << "\"req\":" << ev.request_id << ",\"event\":\""
+       << ObsKindName(static_cast<ObsKind>(ev.kind)) << "\"";
+  if (ev.trace_id != 0) {
+    *out << ",\"trace\":\"" << TraceIdHex(ev.trace_id) << "\",\"span\":"
+         << ev.span_id;
+  }
+}
+
+// Renders a double bit pattern back to a JSON-safe number (NaN and
+// infinities become strings -- JSON has no literal for them).
+void AppendDoubleBits(std::ostringstream* out, uint64_t bits) {
+  double v;
+  static_assert(sizeof(v) == sizeof(bits), "");
+  memcpy(&v, &bits, sizeof(v));
+  if (v != v) {
+    *out << "\"nan\"";
+  } else if (v == std::numeric_limits<double>::infinity()) {
+    *out << "\"inf\"";
+  } else if (v == -std::numeric_limits<double>::infinity()) {
+    *out << "\"-inf\"";
+  } else {
+    *out << v;
+  }
 }
 
 }  // namespace
@@ -117,6 +145,38 @@ std::string ObsEventToJson(const ObsEvent& ev,
     case ObsKind::kFaultFired:
       out << ",\"site\":\"" << ObsFaultSiteName(ev) << "\"";
       break;
+    case ObsKind::kRouteBegin:
+      out << ",\"replica\":" << ev.a << ",\"key_hash\":" << ev.b;
+      break;
+    case ObsKind::kRouteAttempt:
+    case ObsKind::kRouteFailover:
+      out << ",\"replica\":" << ev.a << ",\"attempt\":" << ev.b;
+      break;
+    case ObsKind::kRouteEnd:
+      out << ",\"ok\":" << (ev.code != 0 ? "true" : "false")
+          << ",\"replica\":" << ev.a << ",\"attempts\":" << ev.b;
+      break;
+    case ObsKind::kBroadcastFill:
+      out << ",\"origin\":" << ev.a << ",\"delivered\":" << ev.b
+          << ",\"failures\":" << ev.c;
+      break;
+    case ObsKind::kBroadcastInstall:
+      out << ",\"installed\":" << (ev.code != 0 ? "true" : "false")
+          << ",\"key_hash\":" << ev.b;
+      break;
+    case ObsKind::kHealthProbe:
+      out << ",\"healthy\":" << (ev.code != 0 ? "true" : "false")
+          << ",\"replica\":" << ev.a;
+      break;
+    case ObsKind::kSloBurn:
+      out << ",\"objective\":\"" << (ev.code == 0 ? "latency" : "quality")
+          << "\",\"rung\":\"" << ObsRungName(ev.a) << "\",\"threshold\":";
+      AppendDoubleBits(&out, ev.b);
+      if (ev.code != 0) {
+        out << ",\"observed\":";
+        AppendDoubleBits(&out, ev.d);
+      }
+      break;
   }
   out << "}";
   return out.str();
@@ -131,6 +191,13 @@ std::string ObsSnapshotToJsonl(const ObsSnapshot& snapshot,
   }
   for (const ObsEvent& ev : snapshot.events) {
     if (options.request_id != 0 && ev.request_id != options.request_id) {
+      continue;
+    }
+    if (options.trace_id != 0 && ev.trace_id != options.trace_id) {
+      continue;
+    }
+    if (options.structural &&
+        static_cast<ObsKind>(ev.kind) == ObsKind::kParallelLevel) {
       continue;
     }
     out << ObsEventToJson(ev, options) << "\n";

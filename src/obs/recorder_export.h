@@ -21,6 +21,17 @@ struct ObsExportOptions {
   bool include_timing = false;
   // Restrict to one request id (0 = all requests).
   uint64_t request_id = 0;
+  // Restrict to one distributed trace (0 = no filter).  Used by the
+  // router's span collector against /flightrecorderz.
+  uint64_t trace_id = 0;
+  // Structural rendering: omit seq and thread ordinals in addition to
+  // timing.  Within one process, seq/thread are deterministic for a
+  // seeded single-request replay, but across a fleet they absorb
+  // unrelated traffic (health probes, sibling requests), so the merged
+  // /dtracez timeline renders structurally -- event order carries the
+  // causality instead.  Also skips kParallelLevel events, whose payload
+  // is thread-count-dependent by definition.
+  bool structural = false;
 };
 
 std::string ObsEventToJson(const ObsEvent& event,

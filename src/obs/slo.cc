@@ -1,0 +1,218 @@
+#include "obs/slo.h"
+
+#include <math.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace sdp {
+
+namespace {
+
+const char* kObjectiveNames[SloTracker::kObjectives] = {
+    "latency_dp", "latency_idp", "latency_sdp", "latency_greedy", "quality"};
+
+}  // namespace
+
+SloTracker::SloTracker(SloConfig config) : config_(config) {
+  // The slow window is the ring's capacity; clamp rather than silently
+  // under-covering it.
+  config_.slow_window_seconds =
+      std::min<double>(config_.slow_window_seconds, kBuckets);
+  config_.fast_window_seconds = std::min<double>(
+      config_.fast_window_seconds, config_.slow_window_seconds);
+}
+
+const char* SloTracker::ObjectiveName(int objective) {
+  return objective >= 0 && objective < kObjectives
+             ? kObjectiveNames[objective]
+             : "unknown";
+}
+
+bool SloTracker::RecordLatency(int rung, double seconds, uint64_t request_id,
+                               double now_seconds, Burn* burn) {
+  if (rung < 0 || rung > 3) return false;
+  const double threshold_ms = config_.latency_ms[rung];
+  if (threshold_ms <= 0) return false;
+  const double ms = seconds * 1e3;
+  return Record(rung, ms > threshold_ms, ms, threshold_ms, rung, request_id,
+                now_seconds, burn);
+}
+
+bool SloTracker::RecordQuality(double ratio, uint64_t request_id,
+                               double now_seconds, Burn* burn) {
+  if (config_.quality_ratio <= 0) return false;
+  const bool violated = !(ratio == ratio) || isinf(ratio) ||
+                        ratio > config_.quality_ratio;
+  return Record(kQualityObjective, violated, ratio, config_.quality_ratio, 0,
+                request_id, now_seconds, burn);
+}
+
+bool SloTracker::Record(int objective, bool violated, double value,
+                        double threshold, int rung, uint64_t request_id,
+                        double now_seconds, Burn* burn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Objective& o = objectives_[objective];
+  const int64_t second = static_cast<int64_t>(now_seconds);
+  Bucket& b = o.buckets[second % kBuckets];
+  if (b.second != second) {
+    b.second = second;
+    b.samples = 0;
+    b.violations = 0;
+  }
+  b.samples += 1;
+  if (violated) b.violations += 1;
+  o.total_samples += 1;
+  if (violated) o.total_violations += 1;
+
+  const double fast = WindowBurn(o, second, config_.fast_window_seconds);
+  const double slow = WindowBurn(o, second, config_.slow_window_seconds);
+  const bool over = fast >= config_.fast_burn_threshold &&
+                    slow >= config_.slow_burn_threshold;
+  if (!over) {
+    if (!(fast >= config_.fast_burn_threshold) &&
+        !(slow >= config_.slow_burn_threshold)) {
+      o.burning = false;  // Both windows recovered: release the latch.
+    }
+    return false;
+  }
+  if (o.burning) return false;  // Still inside the current episode.
+  o.burning = true;
+  burns_total_ += 1;
+  if (burn != nullptr) {
+    burn->objective = objective;
+    burn->rung = rung;
+    burn->threshold = threshold;
+    burn->observed = value;
+    burn->fast_burn = fast;
+    burn->slow_burn = slow;
+    burn->request_id = request_id;
+  }
+  return true;
+}
+
+double SloTracker::WindowBurn(const Objective& o, int64_t now_second,
+                              double window_seconds) const {
+  const int64_t window = std::max<int64_t>(1, static_cast<int64_t>(window_seconds));
+  uint64_t samples = 0;
+  uint64_t violations = 0;
+  for (int64_t s = now_second - window + 1; s <= now_second; ++s) {
+    if (s < 0) continue;
+    const Bucket& b = o.buckets[s % kBuckets];
+    if (b.second != s) continue;
+    samples += b.samples;
+    violations += b.violations;
+  }
+  if (samples == 0) return 0;
+  const double budget = std::max(1e-9, config_.error_budget);
+  return (static_cast<double>(violations) / static_cast<double>(samples)) /
+         budget;
+}
+
+bool SloTracker::Burning(int objective) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objective >= 0 && objective < kObjectives &&
+         objectives_[objective].burning;
+}
+
+uint64_t SloTracker::violations(int objective) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objective >= 0 && objective < kObjectives
+             ? objectives_[objective].total_violations
+             : 0;
+}
+
+uint64_t SloTracker::samples(int objective) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objective >= 0 && objective < kObjectives
+             ? objectives_[objective].total_samples
+             : 0;
+}
+
+uint64_t SloTracker::burns_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return burns_total_;
+}
+
+std::string SloTracker::StatuszSection(double now_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t second = static_cast<int64_t>(now_seconds);
+  std::ostringstream out;
+  out << "error_budget: " << config_.error_budget << "\n"
+      << "windows_seconds: " << config_.fast_window_seconds << "/"
+      << config_.slow_window_seconds << " (burn thresholds "
+      << config_.fast_burn_threshold << "/" << config_.slow_burn_threshold
+      << ")\n";
+  for (int i = 0; i < kObjectives; ++i) {
+    const double threshold =
+        i == kQualityObjective ? config_.quality_ratio : config_.latency_ms[i];
+    if (threshold <= 0) continue;
+    const Objective& o = objectives_[i];
+    out << kObjectiveNames[i] << ": threshold "
+        << threshold << (i == kQualityObjective ? " (ratio)" : " ms")
+        << ", samples " << o.total_samples << ", violations "
+        << o.total_violations << ", fast_burn "
+        << WindowBurn(o, second, config_.fast_window_seconds)
+        << ", slow_burn "
+        << WindowBurn(o, second, config_.slow_window_seconds) << ", "
+        << (o.burning ? "BURNING" : "ok") << "\n";
+  }
+  out << "burns_total: " << burns_total_ << "\n";
+  return out.str();
+}
+
+std::string SloTracker::PrometheusText(const std::string& replica,
+                                       double now_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t second = static_cast<int64_t>(now_seconds);
+  const auto label = [&replica](const char* objective,
+                                const char* extra = nullptr) {
+    std::string l = "{objective=\"";
+    l += objective;
+    l += "\"";
+    if (extra != nullptr) l += extra;
+    if (!replica.empty()) l += ",replica=\"" + replica + "\"";
+    l += "}";
+    return l;
+  };
+  std::ostringstream out;
+  out << "# HELP sdp_slo_samples_total Samples recorded per SLO objective.\n"
+      << "# TYPE sdp_slo_samples_total counter\n";
+  for (int i = 0; i < kObjectives; ++i) {
+    out << "sdp_slo_samples_total" << label(kObjectiveNames[i]) << " "
+        << objectives_[i].total_samples << "\n";
+  }
+  out << "# HELP sdp_slo_violations_total Objective violations recorded.\n"
+      << "# TYPE sdp_slo_violations_total counter\n";
+  for (int i = 0; i < kObjectives; ++i) {
+    out << "sdp_slo_violations_total" << label(kObjectiveNames[i]) << " "
+        << objectives_[i].total_violations << "\n";
+  }
+  out << "# HELP sdp_slo_burn_rate Error-budget burn rate per window.\n"
+      << "# TYPE sdp_slo_burn_rate gauge\n";
+  for (int i = 0; i < kObjectives; ++i) {
+    out << "sdp_slo_burn_rate"
+        << label(kObjectiveNames[i], ",window=\"fast\"") << " "
+        << WindowBurn(objectives_[i], second, config_.fast_window_seconds)
+        << "\n"
+        << "sdp_slo_burn_rate"
+        << label(kObjectiveNames[i], ",window=\"slow\"") << " "
+        << WindowBurn(objectives_[i], second, config_.slow_window_seconds)
+        << "\n";
+  }
+  out << "# HELP sdp_slo_burning 1 while the objective is latched burning.\n"
+      << "# TYPE sdp_slo_burning gauge\n";
+  for (int i = 0; i < kObjectives; ++i) {
+    out << "sdp_slo_burning" << label(kObjectiveNames[i]) << " "
+        << (objectives_[i].burning ? 1 : 0) << "\n";
+  }
+  std::string total_label = replica.empty()
+                                ? ""
+                                : "{replica=\"" + replica + "\"}";
+  out << "# HELP sdp_slo_burns_total Burn episodes (edge transitions).\n"
+      << "# TYPE sdp_slo_burns_total counter\n"
+      << "sdp_slo_burns_total" << total_label << " " << burns_total_ << "\n";
+  return out.str();
+}
+
+}  // namespace sdp

@@ -1,0 +1,144 @@
+#ifndef SDPOPT_OBS_SLO_H_
+#define SDPOPT_OBS_SLO_H_
+
+#include <stdint.h>
+
+#include <mutex>
+#include <string>
+
+namespace sdp {
+
+// Plan-quality and latency SLO watchdog with multi-window burn rates.
+//
+// Objectives:
+//   * latency   -- per-rung (dp/idp/sdp/greedy) wall-time objectives: a
+//     request violates when its optimize latency exceeds the rung's
+//     threshold.
+//   * quality   -- estimated-vs-executed cardinality ratio from EXPLAIN
+//     ANALYZE samples (engine/executor.h QError): a sample violates when
+//     its ratio exceeds `quality_ratio` (non-finite plan costs count as
+//     instant violations -- that is what an injected cost.nan looks like).
+//
+// Each objective grants an error budget: `error_budget` is the fraction
+// of samples allowed to violate.  The burn rate over a window is
+//     (violations / samples) / error_budget
+// so burn 1.0 consumes the budget exactly as fast as it refills and burn
+// N exhausts it N times too fast.  An objective starts *burning* when the
+// fast AND slow windows both exceed their thresholds -- the standard
+// multi-window construction: the fast window makes detection prompt, the
+// slow window keeps one stray violation from flapping the alarm.
+//
+// Burning is edge-triggered and latched: RecordX() returns a Burn exactly
+// once per episode (the transition into the burning state); the latch
+// releases only after both windows fall back below threshold.  The
+// service uses that edge to write exactly one correlated flight-recorder
+// dump for the offending request.
+//
+// Time is passed in explicitly (seconds on any monotonic clock), so tests
+// drive the windows deterministically with a fake clock.
+
+struct SloConfig {
+  // Per-rung latency objectives in milliseconds; <= 0 disables the rung's
+  // objective.  Indexed by FallbackRung order: dp, idp, sdp, greedy.
+  double latency_ms[4] = {0, 0, 0, 0};
+  // Maximum acceptable root-cardinality Q-error; <= 0 disables.
+  double quality_ratio = 0;
+  // Fraction of samples each objective may violate before burning.
+  double error_budget = 0.1;
+  // Multi-window burn detection.
+  double fast_window_seconds = 10;
+  double slow_window_seconds = 60;
+  double fast_burn_threshold = 2.0;
+  double slow_burn_threshold = 1.0;
+
+  bool enabled() const {
+    return quality_ratio > 0 || latency_ms[0] > 0 || latency_ms[1] > 0 ||
+           latency_ms[2] > 0 || latency_ms[3] > 0;
+  }
+};
+
+class SloTracker {
+ public:
+  // Objective identifiers: 0..3 = latency per rung, 4 = quality.
+  static constexpr int kQualityObjective = 4;
+  static constexpr int kObjectives = 5;
+
+  // The edge produced when an objective transitions into burning.
+  struct Burn {
+    int objective = -1;        // 0..3 latency rung, 4 quality.
+    int rung = 0;              // Rung index (latency) or 0.
+    double threshold = 0;      // ms (latency) or ratio (quality).
+    double observed = 0;       // The violating sample's value.
+    double fast_burn = 0;
+    double slow_burn = 0;
+    uint64_t request_id = 0;   // The offending request.
+  };
+
+  explicit SloTracker(SloConfig config);
+
+  // "latency_dp" .. "latency_greedy", "quality"; names SLO dump files and
+  // Prometheus labels.
+  static const char* ObjectiveName(int objective);
+
+  // Records one completed request's latency against its rung's objective.
+  // `rung` follows FallbackRung order (0=dp..3=greedy).  Returns true and
+  // fills *burn when this sample transitioned the objective into its
+  // burning state.
+  bool RecordLatency(int rung, double seconds, uint64_t request_id,
+                     double now_seconds, Burn* burn);
+
+  // Records one plan-quality sample (root-cardinality Q-error; pass a
+  // non-finite ratio for a plan whose cost/rows were not finite).
+  bool RecordQuality(double ratio, uint64_t request_id, double now_seconds,
+                     Burn* burn);
+
+  // True while `objective` is latched burning.
+  bool Burning(int objective) const;
+
+  // Totals for tests and gauges.
+  uint64_t violations(int objective) const;
+  uint64_t samples(int objective) const;
+  uint64_t burns_total() const;
+
+  // Human-readable block for /statusz ("[slo]" section body).
+  std::string StatuszSection(double now_seconds) const;
+  // Prometheus families (sdp_slo_*), replica-labelled like
+  // ServiceMetrics::PrometheusText.
+  std::string PrometheusText(const std::string& replica,
+                             double now_seconds) const;
+
+  const SloConfig& config() const { return config_; }
+
+ private:
+  // One-second buckets over the slow window (the fast window reads a
+  // suffix of the same ring).
+  static constexpr int kBuckets = 128;
+
+  struct Bucket {
+    int64_t second = -1;  // Which absolute second this bucket covers.
+    uint32_t samples = 0;
+    uint32_t violations = 0;
+  };
+
+  struct Objective {
+    Bucket buckets[kBuckets];
+    bool burning = false;
+    uint64_t total_samples = 0;
+    uint64_t total_violations = 0;
+  };
+
+  // Appends the sample and evaluates the windows; returns the burn edge.
+  bool Record(int objective, bool violated, double value, double threshold,
+              int rung, uint64_t request_id, double now_seconds, Burn* burn);
+  double WindowBurn(const Objective& o, int64_t now_second,
+                    double window_seconds) const;
+
+  SloConfig config_;
+  mutable std::mutex mu_;
+  Objective objectives_[kObjectives];
+  uint64_t burns_total_ = 0;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OBS_SLO_H_

@@ -8,8 +8,13 @@
 #include <utility>
 #include <variant>
 
+#include <cmath>
+#include <limits>
+
 #include "common/fault_injection.h"
 #include "cost/cost_model.h"
+#include "engine/executor.h"
+#include "engine/table_data.h"
 #include "obs/flight_recorder.h"
 #include "obs/recorder_export.h"
 #include "optimizer/run_helpers.h"
@@ -104,6 +109,33 @@ uint64_t Mix64(uint64_t x) {
   return x;
 }
 
+// SLO window clock (monotonic; the tracker only looks at differences).
+double SloNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Maps a resolved rung string (OptimizeResult::rung) or, when the legacy
+// path left it empty, the request's starting algorithm onto the SLO
+// latency objective index.
+int SloRungIndex(const std::string& rung, const AlgorithmSpec& spec) {
+  if (rung == "dp") return 0;
+  if (rung == "idp") return 1;
+  if (rung == "sdp") return 2;
+  if (rung == "greedy") return 3;
+  switch (spec.kind) {
+    case AlgorithmSpec::Kind::kDP:
+      return 0;
+    case AlgorithmSpec::Kind::kIDP:
+    case AlgorithmSpec::Kind::kIDP2:
+      return 1;
+    case AlgorithmSpec::Kind::kSDP:
+      return 2;
+  }
+  return 2;
+}
+
 }  // namespace
 
 struct OptimizerService::PendingRequest {
@@ -132,6 +164,9 @@ OptimizerService::OptimizerService(const Catalog& catalog,
   // share it); a service configured with it on turns it on and leaves it
   // on -- "always-on" is the point of a flight recorder.
   if (config_.flight_recorder) FlightRecorder::Global().Enable(true);
+  if (config_.slo.enabled()) {
+    slo_ = std::make_unique<SloTracker>(config_.slo);
+  }
 }
 
 OptimizerService::~OptimizerService() = default;
@@ -263,8 +298,11 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
   // Everything this worker records until the request finishes is
   // attributed to its request id; the dump-signal sample lets the end
   // hook notice breaker opens and fault fires even when the request
-  // itself recovered to OK.
+  // itself recovered to OK.  The distributed-trace context travels the
+  // same way: the submitter captured it into the request, the worker
+  // re-installs it here.
   FlightRecorder::ScopedRequest obs_req(pending->request_id);
+  SpanScope obs_span(request.trace);
   const uint64_t obs_signals_before = FlightRecorder::Global().dump_signals();
   FlightRecorder::Global().Record(ObsKind::kRequestBegin);
   bool obs_ended = false;
@@ -298,6 +336,16 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
     }
   };
   const auto finish = [&]() {
+    // The latency SLO sample precedes obs_end so a burn's kSloBurn event
+    // lands in the recorder before any dump is rendered.
+    if (slo_ != nullptr) {
+      SloTracker::Burn burn;
+      if (slo_->RecordLatency(SloRungIndex(out.result.rung, request.spec),
+                              request_watch.Seconds(), pending->request_id,
+                              SloNowSeconds(), &burn)) {
+        HandleSloBurn(burn);
+      }
+    }
     obs_end(out.result.status.code);
     metrics_.optimize_latency.Record(request_watch.Seconds());
     metrics_.inflight.fetch_sub(1, std::memory_order_relaxed);
@@ -391,6 +439,7 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
     TraceCacheEvent e;
     e.kind = kind;
     e.key = full_key;
+    e.trace_id = request.trace.trace_id;
     config_.tracer->OnCacheEvent(e);
   };
   // A request without its own tracer inherits the service-wide sink, so
@@ -524,6 +573,7 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
         e.elapsed_seconds = a.elapsed_seconds;
         e.plans_costed = a.plans_costed;
         e.peak_memory_mb = a.peak_memory_mb;
+        e.trace_id = request.trace.trace_id;
         tracer->OnDegrade(e);
       }
       TraceDegradeEvent done;
@@ -536,6 +586,7 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
       done.elapsed_seconds = out.result.elapsed_seconds;
       done.plans_costed = out.result.counters.plans_costed;
       done.peak_memory_mb = out.result.peak_memory_mb;
+      done.trace_id = request.trace.trace_id;
       tracer->OnDegrade(done);
     }
   } else {
@@ -611,7 +662,83 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
       static_cast<uint64_t>(out.result.peak_memory_mb * (1 << 20)),
       std::memory_order_relaxed);
 
+  // Plan-quality SLO sampling: every Nth freshly computed feasible plan
+  // is executed (EXPLAIN ANALYZE) and its root-cardinality Q-error feeds
+  // the quality objective.  Cache hits are skipped -- their plans were
+  // sampled when first computed.
+  if (slo_ != nullptr && config_.analyze_sample_every > 0 &&
+      out.result.feasible && out.result.plan != nullptr) {
+    const uint64_t n =
+        analyze_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n % static_cast<uint64_t>(config_.analyze_sample_every) == 0) {
+      const double ratio = MeasurePlanQuality(request, out.result);
+      SloTracker::Burn burn;
+      if (slo_->RecordQuality(ratio, pending->request_id, SloNowSeconds(),
+                              &burn)) {
+        HandleSloBurn(burn);
+      }
+    }
+  }
+
   finish();
+}
+
+double OptimizerService::MeasurePlanQuality(const ServiceRequest& request,
+                                            const OptimizeResult& result) {
+  // A plan carrying a non-finite cost or cardinality estimate is an
+  // instant violation -- that is exactly what an injected cost.nan looks
+  // like -- and is never worth executing.
+  if (!std::isfinite(result.cost) || !std::isfinite(result.rows)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  {
+    std::lock_guard<std::mutex> lock(analyze_mu_);
+    if (analyze_db_ == nullptr) {
+      analyze_db_ = std::make_unique<Database>(Database::Generate(
+          catalog_, config_.analyze_seed, config_.analyze_row_limit));
+    }
+  }
+  try {
+    const Executor executor(*analyze_db_, request.query.graph,
+                            request.query.filters);
+    const AnalyzeResult analyzed = executor.ExecuteAnalyze(result.plan);
+    if (analyzed.operators.empty()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    // operators is pre-order: front() is the plan root.
+    return QError(result.rows, analyzed.operators.front().actual_rows);
+  } catch (const std::exception&) {
+    // An inexecutable plan is the worst possible quality sample.
+    return std::numeric_limits<double>::infinity();
+  }
+}
+
+void OptimizerService::HandleSloBurn(const SloTracker::Burn& burn) {
+  const bool quality = burn.objective == SloTracker::kQualityObjective;
+  uint64_t threshold_bits = 0;
+  uint64_t observed_bits = 0;
+  std::memcpy(&threshold_bits, &burn.threshold, sizeof(threshold_bits));
+  std::memcpy(&observed_bits, &burn.observed, sizeof(observed_bits));
+  // The event is recorded before the dump is rendered so the dump's own
+  // timeline shows why it exists.  Latency payloads stay timing-free (the
+  // observed value would differ run to run); the quality ratio is
+  // deterministic and travels.
+  FlightRecorder::Global().Record(
+      ObsKind::kSloBurn, quality ? 1 : 0, static_cast<uint32_t>(burn.rung),
+      threshold_bits, 0, quality ? observed_bits : 0);
+  metrics_.slo_burns.fetch_add(1, std::memory_order_relaxed);
+  if (!config_.flight_recorder || config_.flight_dump_dir.empty()) return;
+  std::string path = config_.flight_dump_dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "flight-req" + std::to_string(burn.request_id) + "-SLO_" +
+          SloTracker::ObjectiveName(burn.objective) + ".jsonl";
+  // Only the offending request's slice: the correlated dump answers "what
+  // did THIS request do", not "what was the process doing".
+  ObsExportOptions options;
+  options.request_id = burn.request_id;
+  if (DumpFlightRecorderToFile(path, nullptr, options)) {
+    metrics_.flight_dumps.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 bool OptimizerService::InstallPlanCacheEntry(const PlanCacheExportEntry& entry) {

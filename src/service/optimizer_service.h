@@ -15,6 +15,8 @@
 #include "common/budget.h"
 #include "common/thread_pool.h"
 #include "harness/experiment.h"
+#include "obs/dtrace.h"
+#include "obs/slo.h"
 #include "optimizer/fallback.h"
 #include "optimizer/optimizer_types.h"
 #include "query/join_graph.h"
@@ -23,6 +25,8 @@
 #include "stats/column_stats.h"
 
 namespace sdp {
+
+class Database;  // engine/table_data.h; built lazily for quality sampling.
 
 struct ServiceConfig {
   // Worker threads optimizing requests concurrently.
@@ -78,6 +82,22 @@ struct ServiceConfig {
   // breaker opens, or a fault-injection site fires.  Empty = no dump files
   // (the /flightrecorderz endpoint still serves snapshots on demand).
   std::string flight_dump_dir;
+
+  // SLO watchdog (obs/slo.h): per-rung latency objectives plus the
+  // EXPLAIN-ANALYZE plan-quality objective, tracked with multi-window
+  // burn rates.  When an objective burns, the offending request's
+  // flight-recorder slice is dumped once to flight_dump_dir
+  // (flight-req<id>-SLO_<objective>.jsonl).  Disabled unless
+  // slo.enabled().
+  SloConfig slo;
+  // Plan-quality sampling cadence: every Nth freshly computed feasible
+  // plan (0 = never) is executed with EXPLAIN ANALYZE against a lazily
+  // generated synthetic database, and the root-cardinality Q-error feeds
+  // the SLO quality objective.  A plan whose cost or cardinality is not
+  // finite samples as an instant violation without executing.
+  int analyze_sample_every = 0;
+  uint64_t analyze_seed = 17;        // Data generator seed.
+  uint64_t analyze_row_limit = 2000; // Rows per table cap (keeps it cheap).
 };
 
 // One optimization request: a bound query plus the algorithm and resource
@@ -87,6 +107,12 @@ struct ServiceRequest {
   Query query;
   AlgorithmSpec spec = AlgorithmSpec::SDP();
   OptimizerOptions options;
+
+  // Distributed-trace context the request arrived under (obs/dtrace.h);
+  // the worker re-installs it so every flight-recorder event the request
+  // records -- on whichever thread -- carries the same trace id.  Default
+  // (inactive) = context-free, exactly the old behavior.
+  TraceContext trace;
 
   // --- resource governance (all optional) ---
   // A request is *governed* when any budget limit is set, fallback is
@@ -199,6 +225,8 @@ class OptimizerService {
 
   // Live circuit-breaker states, for the /statusz endpoint.
   const RungBreakerSet& breakers() const { return breakers_; }
+  // The SLO watchdog, or null when no objective is configured.
+  const SloTracker* slo() const { return slo_.get(); }
   // Memory budget bytes currently admitted against the global cap.
   size_t admitted_bytes() const {
     std::lock_guard<std::mutex> lock(admission_mu_);
@@ -224,6 +252,14 @@ class OptimizerService {
   // accumulated while the request ran).
   void MaybeDumpFlightRecorder(uint64_t request_id, OptStatusCode code,
                                uint64_t signals_before);
+  // EXPLAIN ANALYZE one freshly computed plan and return its root
+  // cardinality Q-error (infinity for non-finite plan cost/rows).
+  double MeasurePlanQuality(const ServiceRequest& request,
+                            const OptimizeResult& result);
+  // Records the kSloBurn event and writes the offending request's
+  // correlated flight-recorder dump (once per burn episode, by
+  // construction of SloTracker's latch).
+  void HandleSloBurn(const SloTracker::Burn& burn);
 
   const Catalog& catalog_;
   const StatsCatalog& stats_;
@@ -238,6 +274,13 @@ class OptimizerService {
   mutable std::mutex admission_mu_;
   std::condition_variable admission_cv_;
   size_t admitted_bytes_ = 0;
+
+  // SLO watchdog state (null when disabled) and the lazily generated
+  // synthetic database backing EXPLAIN ANALYZE quality samples.
+  std::unique_ptr<SloTracker> slo_;
+  std::mutex analyze_mu_;
+  std::unique_ptr<Database> analyze_db_;
+  std::atomic<uint64_t> analyze_counter_{0};
 
   // Last member: destroyed first, so in-flight tasks finish while every
   // other field is still alive.

@@ -121,6 +121,7 @@ std::string ServiceMetrics::Dump() const {
       "service.parallel.scan_us %llu\n"
       "service.parallel.merge_us %llu\n"
       "service.obs.flight_dumps %llu\n"
+      "service.obs.slo_burns %llu\n"
       "service.queue.depth %lld\n"
       "service.inflight %lld\n"
       "service.cache.entries %lld\n"
@@ -158,6 +159,7 @@ std::string ServiceMetrics::Dump() const {
       static_cast<unsigned long long>(parallel_scan_us.load()),
       static_cast<unsigned long long>(parallel_merge_us.load()),
       static_cast<unsigned long long>(flight_dumps.load()),
+      static_cast<unsigned long long>(slo_burns.load()),
       static_cast<long long>(queue_depth.load()),
       static_cast<long long>(inflight.load()),
       static_cast<long long>(plan_cache_entries.load()),
@@ -274,6 +276,8 @@ std::string ServiceMetrics::PrometheusText(const std::string& replica) const {
                   parallel_merge_us.load());
   counter("sdp_service_flight_dumps_total",
           "Flight-recorder crash dumps written.", flight_dumps.load());
+  counter("sdp_service_slo_burns_total",
+          "SLO burn episodes (transitions into burning).", slo_burns.load());
   gauge("sdp_service_queue_depth", "Requests queued, not yet started.",
         queue_depth.load());
   gauge("sdp_service_inflight", "Requests currently being optimized.",
@@ -345,6 +349,7 @@ void ServiceMetrics::Reset() {
   parallel_scan_us.store(0);
   parallel_merge_us.store(0);
   flight_dumps.store(0);
+  slo_burns.store(0);
   queue_depth.store(0);
   inflight.store(0);
   plan_cache_entries.store(0);

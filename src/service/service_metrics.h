@@ -104,6 +104,8 @@ class ServiceMetrics {
   // --- flight recorder ---
   // Crash dumps written (non-OK request end, breaker trip, fault fire).
   std::atomic<uint64_t> flight_dumps{0};
+  // SLO burn episodes (edge transitions into burning; see obs/slo.h).
+  std::atomic<uint64_t> slo_burns{0};
   // Instantaneous gauges.
   std::atomic<int64_t> queue_depth{0};
   std::atomic<int64_t> inflight{0};

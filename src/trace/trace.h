@@ -108,6 +108,9 @@ struct TraceCacheEvent {
   // "hit" | "miss" | "fill" | "abandon" | "fail-propagated".
   const char* kind = "miss";
   std::string key;  // Full canonical cache key.
+  // Distributed-trace id of the request that caused the traffic
+  // (obs/dtrace.h); 0 when the request carried no context.
+  uint64_t trace_id = 0;
 };
 
 // Degradation-ladder activity: one event per rung attempt (run or skipped
@@ -123,6 +126,9 @@ struct TraceDegradeEvent {
   double elapsed_seconds = 0;
   uint64_t plans_costed = 0;
   double peak_memory_mb = 0;
+  // Distributed-trace id of the governed request (obs/dtrace.h); 0 when
+  // the request carried no context.
+  uint64_t trace_id = 0;
 };
 
 // One parallelized enumeration level: how the candidate-pair space was

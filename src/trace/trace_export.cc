@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/dtrace.h"
+
 namespace sdp {
 
 namespace {
@@ -182,6 +184,7 @@ struct EventVisitor {
     w->Str("event", "cache");
     w->Str("kind", e.kind);
     w->Str("key", e.key);
+    if (e.trace_id != 0) w->Str("trace", TraceIdHex(e.trace_id));
   }
   void operator()(const TraceDegradeEvent& e) const {
     w->Str("event", "degrade");
@@ -194,6 +197,7 @@ struct EventVisitor {
     if (include_timing) w->Num("elapsed_seconds", e.elapsed_seconds);
     w->U64("plans_costed", e.plans_costed);
     w->Num("peak_memory_mb", e.peak_memory_mb);
+    if (e.trace_id != 0) w->Str("trace", TraceIdHex(e.trace_id));
   }
   void operator()(const TraceParallelLevel& e) const {
     w->Str("event", "parallel_level");

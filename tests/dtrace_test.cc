@@ -1,0 +1,547 @@
+// Distributed-tracing tests: trace-id minting and span scopes
+// (obs/dtrace.h), the wire frame's trace-context extension under
+// truncation and mixed-version fleets (fleet/wire.h), the SLO watchdog's
+// multi-window burn-rate math under a fake clock (obs/slo.h), and the
+// service-level guarantee that an injected SLO burn writes exactly one
+// correlated flight-recorder dump.
+
+#include "obs/dtrace.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/fault_injection.h"
+#include "fleet/wire.h"
+#include "obs/flight_recorder.h"
+#include "obs/slo.h"
+#include "service/optimizer_service.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Trace identity minting
+
+TEST(DtraceIdTest, MintIsDeterministicNeverZeroAndWellSpread) {
+  EXPECT_EQ(MintTraceId(1, 2), MintTraceId(1, 2));
+  EXPECT_NE(MintTraceId(1, 2), MintTraceId(2, 2));
+  EXPECT_NE(MintTraceId(1, 2), MintTraceId(1, 3));
+
+  // Never 0 (0 means "no trace"), and no collisions over a real sweep of
+  // request ids against one routing key.
+  std::set<uint64_t> seen;
+  const uint64_t key_hash = DtraceHash("canonical-key|sdp");
+  for (uint64_t req = 0; req < 4096; ++req) {
+    const uint64_t id = MintTraceId(req, key_hash);
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(DtraceIdTest, HashAndMixAreStableFunctions) {
+  EXPECT_EQ(DtraceHash("abc"), DtraceHash("abc"));
+  EXPECT_NE(DtraceHash("abc"), DtraceHash("abd"));
+  EXPECT_NE(DtraceHash(""), 0u);  // FNV offset basis, not zero.
+  EXPECT_EQ(DtraceMix64(42), DtraceMix64(42));
+  EXPECT_NE(DtraceMix64(42), DtraceMix64(43));
+}
+
+TEST(DtraceIdTest, HexRoundTripAndParseFallbacks) {
+  const uint64_t id = MintTraceId(7, DtraceHash("k"));
+  const std::string hex = TraceIdHex(id);
+  EXPECT_EQ(hex.size(), 16u);
+  EXPECT_EQ(ParseTraceId(hex), id);
+  EXPECT_EQ(TraceIdHex(0), "0000000000000000");
+  EXPECT_EQ(ParseTraceId("0000000000000000"), 0u);
+
+  // Decimal fallback and garbage rejection.
+  EXPECT_EQ(ParseTraceId("12345"), 12345u);
+  EXPECT_EQ(ParseTraceId(""), 0u);
+  EXPECT_EQ(ParseTraceId("not-a-trace-id"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Span scopes
+
+TEST(DtraceSpanScopeTest, InstallsNestsAndRestores) {
+  EXPECT_FALSE(CurrentTraceContext().active());
+  {
+    SpanScope outer(TraceContext{10, kRouterRootSpan});
+    EXPECT_TRUE(CurrentTraceContext().active());
+    EXPECT_EQ(CurrentTraceContext().trace_id, 10u);
+    EXPECT_EQ(CurrentTraceContext().span_id, kRouterRootSpan);
+    {
+      SpanScope inner(TraceContext{10, kAttemptSpanBase + 1});
+      EXPECT_EQ(CurrentTraceContext().span_id, kAttemptSpanBase + 1);
+    }
+    EXPECT_EQ(CurrentTraceContext().span_id, kRouterRootSpan);
+  }
+  EXPECT_FALSE(CurrentTraceContext().active());
+}
+
+TEST(DtraceSpanScopeTest, ContextIsThreadLocal) {
+  SpanScope scope(TraceContext{99, 1});
+  TraceContext other{1, 1};
+  std::thread t([&other] { other = CurrentTraceContext(); });
+  t.join();
+  EXPECT_FALSE(other.active()) << "trace context leaked across threads";
+  EXPECT_EQ(CurrentTraceContext().trace_id, 99u);
+}
+
+TEST(DtraceSpanScopeTest, RecorderTagsEventsWithActiveContext) {
+  FlightRecorder::Global().ResetForTesting();
+  FlightRecorder::Global().Enable(true);
+  {
+    SpanScope scope(TraceContext{77, kAttemptSpanBase});
+    FlightRecorder::Global().Record(ObsKind::kCacheHit, 0, 0, 123);
+  }
+  FlightRecorder::Global().Record(ObsKind::kCacheMiss, 0, 0, 456);
+  const ObsSnapshot snap = FlightRecorder::Global().Snapshot();
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_EQ(snap.events[0].trace_id, 77u);
+  EXPECT_EQ(snap.events[0].span_id, kAttemptSpanBase);
+  EXPECT_EQ(snap.events[1].trace_id, 0u) << "event outside any span tagged";
+  FlightRecorder::Global().Enable(false);
+  FlightRecorder::Global().ResetForTesting();
+}
+
+// ---------------------------------------------------------------------------
+// Wire frame trace-context extension
+
+Frame MakeTracedFrame() {
+  Frame f;
+  f.type = FrameType::kOptimizeRequest;
+  f.payload = "request-payload";
+  f.has_trace = true;
+  f.trace_id = MintTraceId(3, DtraceHash("key"));
+  f.span_id = kAttemptSpanBase;
+  return f;
+}
+
+Frame MakeLegacyFrame() {
+  Frame f;
+  f.type = FrameType::kOptimizeResponse;
+  f.payload = "legacy-payload";
+  return f;
+}
+
+TEST(FrameTraceContextTest, TracedFrameRoundTripsAndSizesExactly) {
+  const Frame in = MakeTracedFrame();
+  const std::string bytes = EncodeFrameBytes(in);
+  // Header (8) + trace extension (16) + payload; payload_len (header
+  // offset 4, LE) must EXCLUDE the extension so old and new frames with
+  // the same payload agree on the length field.
+  ASSERT_EQ(bytes.size(), 8 + 16 + in.payload.size());
+  const uint32_t payload_len =
+      static_cast<uint8_t>(bytes[4]) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(bytes[5])) << 8) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(bytes[6])) << 16) |
+      (static_cast<uint32_t>(static_cast<uint8_t>(bytes[7])) << 24);
+  EXPECT_EQ(payload_len, in.payload.size());
+  EXPECT_EQ(static_cast<uint8_t>(bytes[3]) & kFlagTraceContext,
+            kFlagTraceContext);
+
+  size_t pos = 0;
+  Frame out;
+  ASSERT_TRUE(DecodeFrameBytes(bytes, &pos, &out));
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_TRUE(out.has_trace);
+  EXPECT_EQ(out.trace_id, in.trace_id);
+  EXPECT_EQ(out.span_id, in.span_id);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(FrameTraceContextTest, LegacyFrameStaysByteCompatible) {
+  const Frame in = MakeLegacyFrame();
+  const std::string bytes = EncodeFrameBytes(in);
+  ASSERT_EQ(bytes.size(), 8 + in.payload.size());  // No extension.
+  size_t pos = 0;
+  Frame out;
+  ASSERT_TRUE(DecodeFrameBytes(bytes, &pos, &out));
+  EXPECT_FALSE(out.has_trace);
+  EXPECT_EQ(out.trace_id, 0u);
+  EXPECT_EQ(out.span_id, 0u);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(FrameTraceContextTest, TruncationSweepFailsWithoutAdvancing) {
+  // EVERY strict prefix of both framings must fail cleanly and leave
+  // *pos untouched -- a short read mid-extension must never desync.
+  for (const Frame& frame : {MakeTracedFrame(), MakeLegacyFrame()}) {
+    const std::string bytes = EncodeFrameBytes(frame);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      size_t pos = 0;
+      Frame out;
+      EXPECT_FALSE(DecodeFrameBytes(bytes.substr(0, cut), &pos, &out))
+          << "decoded a " << cut << "-byte prefix (has_trace="
+          << frame.has_trace << ")";
+      EXPECT_EQ(pos, 0u) << "cursor moved on failed decode at cut " << cut;
+    }
+  }
+}
+
+TEST(FrameTraceContextTest, BadMagicAndOversizedPayloadRejected) {
+  std::string bytes = EncodeFrameBytes(MakeTracedFrame());
+  bytes[0] = 'X';
+  size_t pos = 0;
+  Frame out;
+  EXPECT_FALSE(DecodeFrameBytes(bytes, &pos, &out));
+  EXPECT_EQ(pos, 0u);
+
+  bytes = EncodeFrameBytes(MakeTracedFrame());
+  // payload_len far beyond kMaxFramePayload.
+  bytes[4] = bytes[5] = bytes[6] = bytes[7] = static_cast<char>(0xff);
+  pos = 0;
+  EXPECT_FALSE(DecodeFrameBytes(bytes, &pos, &out));
+  EXPECT_EQ(pos, 0u);
+}
+
+TEST(FrameTraceContextTest, ZeroTraceIdsDecodeAsInactiveContext) {
+  // A peer may set the flag with all-zero ids; that must decode (the
+  // extension is consumed) and mean "no trace" downstream.
+  Frame in = MakeTracedFrame();
+  in.trace_id = 0;
+  in.span_id = 0;
+  const std::string bytes = EncodeFrameBytes(in);
+  size_t pos = 0;
+  Frame out;
+  ASSERT_TRUE(DecodeFrameBytes(bytes, &pos, &out));
+  EXPECT_TRUE(out.has_trace);
+  EXPECT_FALSE((TraceContext{out.trace_id, out.span_id}.active()));
+}
+
+TEST(FrameTraceContextTest, DuplicateTraceIdsDecodeIndependently) {
+  // Two frames reusing one trace id (a retry, or a replayed request)
+  // each decode with the full context -- nothing is deduplicated at the
+  // framing layer.
+  const Frame a = MakeTracedFrame();
+  Frame b = MakeTracedFrame();
+  b.payload = "second-attempt";
+  b.span_id = kAttemptSpanBase + 1;
+  const std::string bytes = EncodeFrameBytes(a) + EncodeFrameBytes(b);
+  size_t pos = 0;
+  Frame out_a;
+  Frame out_b;
+  ASSERT_TRUE(DecodeFrameBytes(bytes, &pos, &out_a));
+  ASSERT_TRUE(DecodeFrameBytes(bytes, &pos, &out_b));
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(out_a.trace_id, out_b.trace_id);
+  EXPECT_EQ(out_a.span_id, kAttemptSpanBase);
+  EXPECT_EQ(out_b.span_id, kAttemptSpanBase + 1);
+  EXPECT_EQ(out_b.payload, "second-attempt");
+}
+
+TEST(FrameTraceContextTest, MixedVersionStreamDecodesInSequence) {
+  // A mixed fleet interleaves old-style (context-free) and traced frames
+  // on one stream; the decoder must walk the sequence without desyncing.
+  const std::string bytes = EncodeFrameBytes(MakeLegacyFrame()) +
+                            EncodeFrameBytes(MakeTracedFrame()) +
+                            EncodeFrameBytes(MakeLegacyFrame());
+  size_t pos = 0;
+  Frame out;
+  ASSERT_TRUE(DecodeFrameBytes(bytes, &pos, &out));
+  EXPECT_FALSE(out.has_trace);
+  ASSERT_TRUE(DecodeFrameBytes(bytes, &pos, &out));
+  EXPECT_TRUE(out.has_trace);
+  EXPECT_NE(out.trace_id, 0u);
+  ASSERT_TRUE(DecodeFrameBytes(bytes, &pos, &out));
+  EXPECT_FALSE(out.has_trace);
+  EXPECT_EQ(pos, bytes.size());
+
+  // And a truncated tail after valid frames: the good prefix decodes,
+  // the stub fails with the cursor parked at the last frame boundary.
+  const std::string trailing = bytes + EncodeFrameBytes(MakeTracedFrame())
+                                           .substr(0, 12);
+  pos = 0;
+  ASSERT_TRUE(DecodeFrameBytes(trailing, &pos, &out));
+  ASSERT_TRUE(DecodeFrameBytes(trailing, &pos, &out));
+  ASSERT_TRUE(DecodeFrameBytes(trailing, &pos, &out));
+  const size_t boundary = pos;
+  EXPECT_FALSE(DecodeFrameBytes(trailing, &pos, &out));
+  EXPECT_EQ(pos, boundary);
+}
+
+TEST(FrameTraceContextTest, MixedVersionFramesOverRealSocket) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const uint64_t trace_id = MintTraceId(11, DtraceHash("socket"));
+  ASSERT_TRUE(WriteFrame(fds[0], FrameType::kPing, 0, "old"));
+  ASSERT_TRUE(WriteFrameTraced(fds[0], FrameType::kOptimizeRequest, 0,
+                               "new", trace_id, kAttemptSpanBase + 2));
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(fds[1], &frame));
+  EXPECT_FALSE(frame.has_trace);
+  EXPECT_EQ(frame.payload, "old");
+  ASSERT_TRUE(ReadFrame(fds[1], &frame));
+  EXPECT_TRUE(frame.has_trace);
+  EXPECT_EQ(frame.trace_id, trace_id);
+  EXPECT_EQ(frame.span_id, kAttemptSpanBase + 2);
+  EXPECT_EQ(frame.payload, "new");
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// SLO burn-rate math under a fake clock
+
+SloConfig QualitySlo() {
+  SloConfig config;
+  config.quality_ratio = 2.0;
+  config.error_budget = 0.1;
+  config.fast_window_seconds = 10;
+  config.slow_window_seconds = 60;
+  config.fast_burn_threshold = 2.0;
+  config.slow_burn_threshold = 1.0;
+  return config;
+}
+
+TEST(SloTrackerTest, DisabledConfigRecordsNothing) {
+  SloConfig config;  // All objectives off.
+  EXPECT_FALSE(config.enabled());
+  SloTracker slo(config);
+  SloTracker::Burn burn;
+  EXPECT_FALSE(slo.RecordQuality(100.0, 1, 0.0, &burn));
+  EXPECT_FALSE(slo.RecordLatency(0, 100.0, 1, 0.0, &burn));
+  EXPECT_EQ(slo.samples(SloTracker::kQualityObjective), 0u);
+}
+
+TEST(SloTrackerTest, FirstViolationBurnsWhenBothWindowsExceed) {
+  SloTracker slo(QualitySlo());
+  SloTracker::Burn burn;
+  // One violating sample: both windows hold 1 violation / 1 sample, so
+  // burn = (1/1)/0.1 = 10 >= both thresholds -> edge on the first sample.
+  ASSERT_TRUE(slo.RecordQuality(5.0, /*request_id=*/7, /*now=*/100.0, &burn));
+  EXPECT_EQ(burn.objective, SloTracker::kQualityObjective);
+  EXPECT_EQ(burn.rung, 0);
+  EXPECT_DOUBLE_EQ(burn.threshold, 2.0);
+  EXPECT_DOUBLE_EQ(burn.observed, 5.0);
+  EXPECT_DOUBLE_EQ(burn.fast_burn, 10.0);
+  EXPECT_DOUBLE_EQ(burn.slow_burn, 10.0);
+  EXPECT_EQ(burn.request_id, 7u);
+  EXPECT_TRUE(slo.Burning(SloTracker::kQualityObjective));
+  EXPECT_EQ(slo.burns_total(), 1u);
+  EXPECT_EQ(std::string(SloTracker::ObjectiveName(burn.objective)),
+            "quality");
+}
+
+TEST(SloTrackerTest, LatchSuppressesRepeatEdgesWithinEpisode) {
+  SloTracker slo(QualitySlo());
+  SloTracker::Burn burn;
+  ASSERT_TRUE(slo.RecordQuality(5.0, 1, 100.0, &burn));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(slo.RecordQuality(5.0, 2 + i, 100.0 + i * 0.1, &burn))
+        << "second edge inside one episode at sample " << i;
+  }
+  EXPECT_EQ(slo.burns_total(), 1u);
+  EXPECT_EQ(slo.violations(SloTracker::kQualityObjective), 21u);
+}
+
+TEST(SloTrackerTest, LatchReleasesAfterBothWindowsRecoverThenReburns) {
+  SloTracker slo(QualitySlo());
+  SloTracker::Burn burn;
+  ASSERT_TRUE(slo.RecordQuality(5.0, 1, 100.0, &burn));
+  EXPECT_TRUE(slo.Burning(SloTracker::kQualityObjective));
+
+  // 200s later both windows have rolled past the violation; healthy
+  // samples release the latch without producing an edge.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(slo.RecordQuality(1.0, 10 + i, 300.0 + i, &burn));
+  }
+  EXPECT_FALSE(slo.Burning(SloTracker::kQualityObjective));
+  EXPECT_EQ(slo.burns_total(), 1u);
+
+  // A fresh violation starts a NEW episode: second edge.
+  ASSERT_TRUE(slo.RecordQuality(9.0, 42, 400.0, &burn));
+  EXPECT_EQ(burn.request_id, 42u);
+  EXPECT_EQ(slo.burns_total(), 2u);
+}
+
+TEST(SloTrackerTest, FastWindowAloneDoesNotBurn) {
+  SloTracker slo(QualitySlo());
+  SloTracker::Burn burn;
+  // 100 healthy samples early in the slow window dilute it below its
+  // threshold; a single late violation saturates the fast window only.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(slo.RecordQuality(1.0, i, 5.0, &burn));
+  }
+  EXPECT_FALSE(slo.RecordQuality(50.0, 999, 58.0, &burn))
+      << "burned with slow window below threshold";
+  // fast: 1/1 / 0.1 = 10 >= 2, slow: 1/101 / 0.1 ~= 0.099 < 1.
+  EXPECT_FALSE(slo.Burning(SloTracker::kQualityObjective));
+  EXPECT_EQ(slo.burns_total(), 0u);
+
+  // Piling on violations pushes the slow window over too: now it burns.
+  bool burned = false;
+  for (int i = 0; i < 30 && !burned; ++i) {
+    burned = slo.RecordQuality(50.0, 1000 + i, 59.0, &burn);
+  }
+  EXPECT_TRUE(burned);
+  EXPECT_EQ(slo.burns_total(), 1u);
+}
+
+TEST(SloTrackerTest, LatencyObjectivesArePerRungAndGated) {
+  SloConfig config;
+  config.latency_ms[2] = 50;  // Only the SDP rung has an objective.
+  config.error_budget = 0.1;
+  ASSERT_TRUE(config.enabled());
+  SloTracker slo(config);
+  SloTracker::Burn burn;
+
+  // Disabled rung: sample is not even counted.
+  EXPECT_FALSE(slo.RecordLatency(/*rung=*/0, 10.0, 1, 100.0, &burn));
+  EXPECT_EQ(slo.samples(0), 0u);
+  // Out-of-range rung: rejected, not UB.
+  EXPECT_FALSE(slo.RecordLatency(7, 10.0, 1, 100.0, &burn));
+
+  // Under-threshold sample on the live rung: counted, no violation.
+  EXPECT_FALSE(slo.RecordLatency(2, 0.010, 2, 100.0, &burn));
+  EXPECT_EQ(slo.samples(2), 1u);
+  EXPECT_EQ(slo.violations(2), 0u);
+
+  // Persistent over-threshold latency burns the rung's objective.
+  bool burned = false;
+  for (int i = 0; i < 10 && !burned; ++i) {
+    burned = slo.RecordLatency(2, 0.200, 3 + i, 101.0 + i, &burn);
+  }
+  ASSERT_TRUE(burned);
+  EXPECT_EQ(burn.objective, 2);
+  EXPECT_EQ(burn.rung, 2);
+  EXPECT_DOUBLE_EQ(burn.threshold, 50.0);
+  EXPECT_DOUBLE_EQ(burn.observed, 200.0);
+  EXPECT_EQ(std::string(SloTracker::ObjectiveName(2)), "latency_sdp");
+}
+
+TEST(SloTrackerTest, StatuszAndPrometheusExposeBurnState) {
+  SloTracker slo(QualitySlo());
+  SloTracker::Burn burn;
+  ASSERT_TRUE(slo.RecordQuality(5.0, 1, 100.0, &burn));
+
+  const std::string statusz = slo.StatuszSection(100.0);
+  EXPECT_NE(statusz.find("quality:"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("BURNING"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("burns_total: 1"), std::string::npos) << statusz;
+
+  const std::string prom = slo.PrometheusText("3", 100.0);
+  EXPECT_NE(prom.find("sdp_slo_burns_total{replica=\"3\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(
+      prom.find(
+          "sdp_slo_burning{objective=\"quality\",replica=\"3\"} 1"),
+      std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("window=\"fast\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Service-level: an injected burn writes exactly one correlated dump
+
+class DtraceServiceTest : public ::testing::Test {
+ protected:
+  DtraceServiceTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  void SetUp() override {
+    FlightRecorder::Global().ResetForTesting();
+    FlightRecorder::Global().Enable(true);
+  }
+  void TearDown() override {
+    FlightRecorder::Global().Enable(false);
+    FlightRecorder::Global().ResetForTesting();
+  }
+
+  Query MakeQuery(Topology t, int n, uint64_t seed) {
+    WorkloadSpec spec;
+    spec.topology = t;
+    spec.num_relations = n;
+    spec.num_instances = 1;
+    spec.seed = seed;
+    return GenerateWorkload(catalog_, spec).front();
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(DtraceServiceTest, InjectedSloBurnWritesExactlyOneCorrelatedDump) {
+  const std::string dump_dir = ::testing::TempDir() + "dtrace_slo_dumps";
+  std::filesystem::remove_all(dump_dir);
+  std::filesystem::create_directories(dump_dir);
+
+  // Corrupt one plan cost with NaN mid-enumeration; the ladder recovers,
+  // and the quality objective (every sample violates at ratio 0.5, since
+  // a Q-error is never below 1) burns on the first analyzed plan.
+  FaultInjectionScope faults(/*seed=*/3, "cost.nan@2");
+  ASSERT_TRUE(faults.ok()) << faults.error();
+
+  ServiceConfig config;
+  config.num_threads = 1;
+  config.flight_dump_dir = dump_dir;
+  config.slo.quality_ratio = 0.5;
+  config.analyze_sample_every = 1;
+  config.analyze_row_limit = 200;
+  OptimizerService service(catalog_, stats_, config);
+  ASSERT_NE(service.slo(), nullptr);
+
+  ServiceRequest request;
+  request.query = MakeQuery(Topology::kStar, 8, 2);
+  request.fallback_enabled = true;
+  const ServiceResult result = service.OptimizeSync(std::move(request));
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_GE(FaultInjector::Global().FireCount("cost.nan"), 1u)
+      << "fault never fired; the test is not exercising injection";
+
+  const auto slo_dumps = [&dump_dir]() {
+    std::vector<std::string> names;
+    for (const auto& entry : std::filesystem::directory_iterator(dump_dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.find("SLO_") != std::string::npos) names.push_back(name);
+    }
+    return names;
+  };
+
+  std::vector<std::string> dumps = slo_dumps();
+  ASSERT_EQ(dumps.size(), 1u) << "expected exactly one SLO dump";
+  EXPECT_EQ(dumps[0], "flight-req1-SLO_quality.jsonl");
+  EXPECT_EQ(service.metrics().slo_burns.load(), 1u);
+  EXPECT_TRUE(service.slo()->Burning(SloTracker::kQualityObjective));
+
+  // The dump is the offending request's slice and shows its own cause.
+  std::ifstream in(dump_dir + "/" + dumps[0]);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string dump = buf.str();
+  EXPECT_NE(dump.find("\"event\":\"slo_burn\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"objective\":\"quality\""), std::string::npos);
+  EXPECT_NE(dump.find("\"req\":1,"), std::string::npos);
+  EXPECT_EQ(dump.find("\"req\":2,"), std::string::npos)
+      << "dump leaked another request's events";
+
+  // A second violating request lands inside the latched episode: no
+  // second edge, no second dump.
+  ServiceRequest again;
+  again.query = MakeQuery(Topology::kStar, 7, 5);
+  again.fallback_enabled = true;
+  const ServiceResult second = service.OptimizeSync(std::move(again));
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_EQ(slo_dumps().size(), 1u) << "latched burn wrote another dump";
+  EXPECT_EQ(service.metrics().slo_burns.load(), 1u);
+}
+
+}  // namespace
+}  // namespace sdp

@@ -9,6 +9,8 @@
 
 #include <chrono>
 #include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,16 +18,29 @@
 #include "common/socket_util.h"
 #include "fleet/fleet_client.h"
 #include "fleet/supervisor.h"
+#include "obs/dtrace.h"
+#include "obs/flight_recorder.h"
 #include "workload/workload.h"
 
 namespace sdp {
 namespace {
 
+// Observability port base for tests that need replica HTTP endpoints
+// (there is no kernel-assign plumbing for the obs base port).  Spread by
+// pid so concurrently running test processes rarely collide, with a
+// per-call stride so one process never reuses a base.
+int NextObsBasePort() {
+  static int calls = 0;
+  return 24000 + (::getpid() % 5000) + 16 * calls++;
+}
+
 class FleetE2eTest : public ::testing::Test {
  protected:
-  void StartFleet(int replicas, bool with_snapshots) {
+  void StartFleet(int replicas, bool with_snapshots,
+                  int replica_obs_base_port = 0) {
     FleetConfig config;
     config.num_replicas = replicas;
+    config.replica_obs_base_port = replica_obs_base_port;
     config.service.num_threads = 2;
     config.health_interval_ms = 50;  // Fast failure detection in tests.
     if (with_snapshots) {
@@ -273,6 +288,182 @@ TEST_F(FleetE2eTest, FleetzAndMergedMetricsExposeEveryReplica) {
   bad.method = "GET";
   bad.path = "/nope";
   EXPECT_EQ(fleet_->router()->HandleHttp(bad).status, 404);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed tracing: /dtracez cross-process timelines
+
+HttpResponse GetDtracez(FleetRouter* router, const std::string& query) {
+  HttpRequest req;
+  req.method = "GET";
+  req.path = "/dtracez";
+  req.query = query;
+  return router->HandleHttp(req);
+}
+
+// Waits until the router has delivered `want` cache-fill broadcasts; the
+// fan-out is asynchronous, and its trace-tagged events must be in the
+// recorder before a timeline fetch can be deterministic.
+bool WaitBroadcasts(FleetRouter* router, uint64_t want, double seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<int>(seconds * 1000));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (router->stats().broadcasts_sent >= want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+TEST_F(FleetE2eTest, DtracezTimelineCorrelatesRouterAndReplicaSpans) {
+  FlightRecorder::Global().ResetForTesting();
+  StartFleet(3, /*with_snapshots=*/false, NextObsBasePort());
+  const FleetRequest request = MakeWorkload(1).at(0);
+  MustOptimize(request);
+  ASSERT_TRUE(WaitBroadcasts(fleet_->router(), 2, 10.0))
+      << "cache-fill broadcast never completed";
+
+  const std::vector<RouteTraceEntry> traces =
+      fleet_->router()->RecentTraces();
+  ASSERT_EQ(traces.size(), 1u);
+  const RouteTraceEntry entry = traces.front();
+  EXPECT_EQ(entry.request_id, request.request_id);
+  EXPECT_TRUE(entry.ok);
+  ASSERT_GE(entry.replica, 0);
+  const std::string hex = TraceIdHex(entry.trace_id);
+  // The id is a pure function of the request id and routing key.
+  EXPECT_EQ(entry.trace_id,
+            MintTraceId(request.request_id,
+                        DtraceHash(fleet_->router()->RoutingKey(request))));
+
+  // The index lists the trace; an unknown id is a 404.
+  EXPECT_NE(GetDtracez(fleet_->router(), "").body.find(hex),
+            std::string::npos);
+  EXPECT_EQ(GetDtracez(fleet_->router(), "trace=ffffffffffffffff").status,
+            404);
+
+  const HttpResponse timeline =
+      GetDtracez(fleet_->router(), "trace=" + hex + "&format=json");
+  ASSERT_EQ(timeline.status, 200);
+  EXPECT_EQ(timeline.content_type, "application/json");
+  const std::string& body = timeline.body;
+  EXPECT_NE(body.find("\"trace\":\"" + hex + "\""), std::string::npos);
+  EXPECT_NE(body.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"event\":\"route_end\""), std::string::npos);
+  EXPECT_NE(body.find("\"event\":\"broadcast_fill\""), std::string::npos);
+  EXPECT_NE(body.find("\"delivered\":2"), std::string::npos)
+      << "fan-out did not reach both peers: " << body;
+
+  // Walk the event lines: one consistent trace id everywhere, replica
+  // spans present, and every replica span names a router attempt span
+  // (no orphans).
+  std::set<uint64_t> attempt_spans;
+  std::set<uint64_t> replica_spans;
+  int router_events = 0;
+  int replica_events = 0;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("{\"lane\":", 0) != 0) continue;  // Not an event line.
+    const size_t trace_pos = line.find("\"trace\":\"");
+    ASSERT_NE(trace_pos, std::string::npos) << line;
+    EXPECT_EQ(line.substr(trace_pos + 9, 16), hex)
+        << "foreign trace id in timeline: " << line;
+    const size_t span_pos = line.find("\"span\":");
+    ASSERT_NE(span_pos, std::string::npos) << line;
+    const uint64_t span = std::stoull(line.substr(span_pos + 7));
+    const int lane = std::stoi(line.substr(8));
+    if (lane < 0) {
+      ++router_events;
+      if (line.find("\"event\":\"route_attempt\"") != std::string::npos) {
+        attempt_spans.insert(span);
+      }
+    } else {
+      EXPECT_EQ(lane, entry.replica);
+      ++replica_events;
+      replica_spans.insert(span);
+    }
+  }
+  EXPECT_GE(router_events, 3) << body;  // begin, attempt, end at least.
+  EXPECT_GT(replica_events, 0) << "no replica spans in the timeline";
+  ASSERT_FALSE(attempt_spans.empty());
+  for (const uint64_t span : replica_spans) {
+    EXPECT_TRUE(attempt_spans.count(span) != 0)
+        << "orphan replica span " << span << " matches no router attempt";
+  }
+
+  // Structural timelines must not leak wall-clock timing.
+  EXPECT_EQ(body.find("ts_ns"), std::string::npos);
+  EXPECT_EQ(body.find("\"seq\":"), std::string::npos);
+
+  // Human rendering shares the merged order with lane prefixes.
+  const HttpResponse human = GetDtracez(fleet_->router(), "trace=" + hex);
+  ASSERT_EQ(human.status, 200);
+  EXPECT_NE(human.body.find("router   |"), std::string::npos);
+  EXPECT_NE(human.body.find("replica" + std::to_string(entry.replica) +
+                            " |"),
+            std::string::npos);
+
+  // Chrome export: per-process pid lanes with wall-clock timestamps.
+  const HttpResponse chrome =
+      GetDtracez(fleet_->router(), "trace=" + hex + "&format=chrome");
+  ASSERT_EQ(chrome.status, 200);
+  EXPECT_NE(chrome.body.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(chrome.body.find("{\"name\":\"router\"}"), std::string::npos);
+  EXPECT_NE(chrome.body.find("\"name\":\"replica " +
+                             std::to_string(entry.replica) + "\""),
+            std::string::npos);
+  EXPECT_NE(chrome.body.find("\"pid\":" +
+                             std::to_string(1 + entry.replica)),
+            std::string::npos);
+  EXPECT_NE(chrome.body.find("\"ts\":"), std::string::npos);
+}
+
+TEST_F(FleetE2eTest, DtracezTimelineByteIdenticalAcrossOptThreads) {
+  // The same seeded request must render the same /dtracez JSON bytes
+  // whether the replicas enumerate serially or with intra-query
+  // parallelism: trace ids are content-minted and the structural render
+  // omits every thread-dependent field.
+  const FleetRequest request = MakeWorkload(1).at(0);
+  const auto run_fleet = [&](int opt_threads) -> std::string {
+    // The router runs in-process: clear the shared recorder so the
+    // previous fleet's identically-minted trace leaves no events behind.
+    FlightRecorder::Global().ResetForTesting();
+    FleetConfig config;
+    config.num_replicas = 3;
+    config.replica_obs_base_port = NextObsBasePort();
+    config.service.num_threads = 2;
+    config.service.max_opt_threads = opt_threads;
+    config.health_interval_ms = 50;
+    FleetSupervisor fleet(config);
+    std::string error;
+    EXPECT_TRUE(fleet.Start(&error)) << error;
+    FleetClient client;
+    EXPECT_TRUE(client.Connect(fleet.router_port(), 5000, &error)) << error;
+    FleetResponse resp;
+    EXPECT_TRUE(client.Optimize(request, &resp, &error)) << error;
+    EXPECT_TRUE(resp.ok) << resp.error;
+    EXPECT_TRUE(WaitBroadcasts(fleet.router(), 2, 10.0));
+    const std::vector<RouteTraceEntry> traces =
+        fleet.router()->RecentTraces();
+    EXPECT_EQ(traces.size(), 1u);
+    const std::string body =
+        GetDtracez(fleet.router(),
+                   "trace=" + TraceIdHex(traces.front().trace_id) +
+                       "&format=json")
+            .body;
+    client.Close();
+    fleet.Stop();
+    return body;
+  };
+
+  const std::string serial = run_fleet(1);
+  const std::string parallel = run_fleet(4);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_NE(serial.find("\"event\":\"route_end\""), std::string::npos);
+  EXPECT_NE(serial.find("\"lane\":"), std::string::npos);
+  EXPECT_EQ(serial, parallel)
+      << "timeline bytes diverged between opt_threads=1 and 4";
 }
 
 }  // namespace

@@ -1,32 +1,54 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON files and flag latency regressions.
+"""Compare google-benchmark JSON files and flag regressions.
 
 Usage:
-    bench_diff.py BASELINE.json CANDIDATE.json [options]
+    bench_diff.py BASELINE.json CANDIDATE.json [MORE_BASE.json MORE_CAND.json ...] [options]
 
-Benchmarks are matched by name.  For each pair the relative change in the
-chosen time metric is printed; any benchmark whose latency regressed by more
-than --threshold (default 10%) fails the run with exit code 1.  Benchmarks
-present on only one side are reported but never fail the diff (bench suites
-grow; that is not a regression).
+Positional arguments are baseline/candidate *pairs*: one invocation can
+diff the whole baseline set (micro benches, fleet soak, ...) so CI needs a
+single verdict instead of one job step per file.
+
+Benchmarks are matched by name within each pair.  For each match the
+relative change in the chosen time metric is printed; any benchmark whose
+latency regressed by more than --threshold (default 10%) fails the run
+with exit code 1.  Benchmarks present on only one side are reported but
+never fail the diff (bench suites grow; that is not a regression).
+
+Soak contract fields: benchmark rows may carry non-timing contract values
+(the fleet soak's failed_after_retry and warm_hit_rate).  These are
+diffed alongside latency with field-appropriate semantics:
+
+    failed_after_retry   any nonzero candidate value fails (requests were
+                         lost after router retries -- never acceptable)
+    warm_hit_rate        a relative drop of more than --threshold percent
+                         against the baseline fails (the warm-restart
+                         cache advantage eroded)
 
 Designed for the BENCH_*.json files produced by the bench binaries'
-`--json PATH` flag (google-benchmark --benchmark_out format, stamped with
-git_sha/git_dirty in the context block).  Exit codes: 0 ok, 1 regression
-over threshold, 2 usage/parse error.
+`--json PATH` flag and sdpopt_fleet --soak (google-benchmark
+--benchmark_out format, stamped with git_sha / machine-context in the
+context block).  Exit codes: 0 ok, 1 regression over threshold or
+contract violation, 2 usage/parse error.
 """
 
 import argparse
 import json
 import sys
 
+# Contract fields and their comparison semantics (see module docstring).
+CONTRACT_FIELDS = {
+    "failed_after_retry": "zero",
+    "warm_hit_rate": "no_drop",
+}
+
 
 def load_benchmarks(path, metric):
-    """Returns ({name: time}, context) for one benchmark JSON file.
+    """Returns ({name: time}, {name: {field: value}}, context).
 
     When a benchmark has aggregate rows (repetitions > 1), the median
     aggregate is preferred over raw iteration rows; otherwise the mean of
-    all iteration rows for that name is used.
+    all iteration rows for that name is used.  Contract fields are taken
+    from iteration rows (last occurrence wins).
     """
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -35,9 +57,15 @@ def load_benchmarks(path, metric):
         raise SystemExit(f"bench_diff: cannot read {path}: {e}")
     raw = {}
     medians = {}
+    contracts = {}
     for row in doc.get("benchmarks", []):
         name = row.get("run_name", row.get("name"))
-        if name is None or metric not in row:
+        if name is None:
+            continue
+        for field in CONTRACT_FIELDS:
+            if field in row:
+                contracts.setdefault(name, {})[field] = float(row[field])
+        if metric not in row:
             continue
         if row.get("run_type") == "aggregate":
             if row.get("aggregate_name") == "median":
@@ -46,7 +74,7 @@ def load_benchmarks(path, metric):
         raw.setdefault(name, []).append(float(row[metric]))
     times = {name: sum(v) / len(v) for name, v in raw.items()}
     times.update(medians)
-    return times, doc.get("context", {})
+    return times, contracts, doc.get("context", {})
 
 
 def describe(context):
@@ -54,39 +82,59 @@ def describe(context):
     dirty = context.get("git_dirty")
     if dirty in (True, "1", 1):
         sha += "-dirty"
+    machine = context.get("machine_cores")
+    if machine is not None:
+        governor = context.get("machine_governor", "?")
+        sha += f", {machine} core(s), governor {governor}"
     return sha
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline")
-    parser.add_argument("candidate")
-    parser.add_argument("--threshold", type=float, default=10.0,
-                        help="max tolerated latency increase in percent "
-                             "(default: 10)")
-    parser.add_argument("--metric", choices=["cpu_time", "real_time"],
-                        default="cpu_time",
-                        help="which time series to compare (default: "
-                             "cpu_time; real_time is noisy on shared CI)")
-    parser.add_argument("--out", metavar="PATH",
-                        help="also write the diff table to PATH (artifact)")
-    args = parser.parse_args()
+def diff_contracts(name, base_fields, cand_fields, threshold, lines):
+    """Appends contract-field rows for one benchmark; returns violations."""
+    violations = []
+    for field, semantics in CONTRACT_FIELDS.items():
+        if field not in cand_fields:
+            continue
+        c = cand_fields[field]
+        b = base_fields.get(field)
+        label = f"{name}:{field}"
+        if semantics == "zero":
+            flag = ""
+            if c > 0:
+                flag = "  VIOLATED"
+                violations.append((label, c))
+            base_text = "-" if b is None else f"{b:12.3f}"
+            lines.append(f"{label:48s} {base_text:>12s} {c:12.3f}{flag}")
+        elif semantics == "no_drop":
+            if b is None or b <= 0:
+                lines.append(f"{label:48s} {'-':>12s} {c:12.3f}   (new)")
+                continue
+            delta = (c - b) / b * 100.0
+            flag = ""
+            if delta < -threshold:
+                flag = "  VIOLATED"
+                violations.append((label, delta))
+            lines.append(
+                f"{label:48s} {b:12.3f} {c:12.3f} {delta:+7.1f}%{flag}")
+    return violations
 
-    base, base_ctx = load_benchmarks(args.baseline, args.metric)
-    cand, cand_ctx = load_benchmarks(args.candidate, args.metric)
-    if not base:
-        raise SystemExit(f"bench_diff: no benchmarks in {args.baseline}")
-    if not cand:
-        raise SystemExit(f"bench_diff: no benchmarks in {args.candidate}")
+
+def diff_pair(baseline_path, candidate_path, args):
+    """Diffs one baseline/candidate pair; returns (lines, failures)."""
+    base, base_ct, base_ctx = load_benchmarks(baseline_path, args.metric)
+    cand, cand_ct, cand_ctx = load_benchmarks(candidate_path, args.metric)
+    if not base and not base_ct:
+        raise SystemExit(f"bench_diff: no benchmarks in {baseline_path}")
+    if not cand and not cand_ct:
+        raise SystemExit(f"bench_diff: no benchmarks in {candidate_path}")
 
     lines = [
-        f"bench_diff: {args.metric}, threshold +{args.threshold:.1f}%",
-        f"  baseline : {args.baseline} (git {describe(base_ctx)})",
-        f"  candidate: {args.candidate} (git {describe(cand_ctx)})",
+        f"  baseline : {baseline_path} (git {describe(base_ctx)})",
+        f"  candidate: {candidate_path} (git {describe(cand_ctx)})",
         "",
         f"{'benchmark':48s} {'base':>12s} {'cand':>12s} {'delta':>8s}",
     ]
-    regressions = []
+    failures = []
     for name in sorted(set(base) | set(cand)):
         if name not in base:
             lines.append(f"{name:48s} {'-':>12s} {cand[name]:12.3f}   (new)")
@@ -99,24 +147,57 @@ def main():
         flag = ""
         if delta > args.threshold:
             flag = "  REGRESSED"
-            regressions.append((name, delta))
+            failures.append((name, delta))
         lines.append(f"{name:48s} {b:12.3f} {c:12.3f} {delta:+7.1f}%{flag}")
-
+    for name in sorted(cand_ct):
+        failures.extend(
+            diff_contracts(name, base_ct.get(name, {}), cand_ct[name],
+                           args.threshold, lines))
     lines.append("")
-    if regressions:
-        lines.append(f"FAIL: {len(regressions)} benchmark(s) regressed more "
-                     f"than {args.threshold:.1f}%:")
-        for name, delta in regressions:
-            lines.append(f"  {name}: {delta:+.1f}%")
+    return lines, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", metavar="BASELINE CANDIDATE",
+                        help="one or more baseline/candidate JSON pairs")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="max tolerated latency increase (and "
+                             "warm_hit_rate drop) in percent (default: 10)")
+    parser.add_argument("--metric", choices=["cpu_time", "real_time"],
+                        default="cpu_time",
+                        help="which time series to compare (default: "
+                             "cpu_time; real_time is noisy on shared CI)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write the diff table to PATH (artifact)")
+    args = parser.parse_args()
+    if len(args.files) % 2 != 0:
+        raise SystemExit("bench_diff: arguments must be baseline/candidate "
+                         f"pairs, got {len(args.files)} file(s)")
+
+    lines = [f"bench_diff: {args.metric}, threshold +{args.threshold:.1f}%"]
+    failures = []
+    for i in range(0, len(args.files), 2):
+        pair_lines, pair_failures = diff_pair(args.files[i],
+                                              args.files[i + 1], args)
+        lines.extend(pair_lines)
+        failures.extend(pair_failures)
+
+    if failures:
+        lines.append(f"FAIL: {len(failures)} regression(s)/contract "
+                     f"violation(s):")
+        for name, value in failures:
+            lines.append(f"  {name}: {value:+.1f}")
     else:
-        lines.append("OK: no benchmark regressed past the threshold")
+        lines.append("OK: no benchmark regressed past the threshold and all "
+                     "contract fields held")
 
     report = "\n".join(lines) + "\n"
     sys.stdout.write(report)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as f:
             f.write(report)
-    return 1 if regressions else 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

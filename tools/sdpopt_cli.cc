@@ -74,6 +74,16 @@
 //   --obs-linger-ms=N                  keep the process (and the obs
 //                                      endpoints) alive N ms after the last
 //                                      request finishes, for scraping
+//   --slo-latency-ms=MS                optimize-latency SLO applied to
+//                                      every rung (dp/idp/sdp/greedy);
+//                                      burn state shows on /statusz,
+//                                      /metrics and the final SLO report
+//   --slo-quality=RATIO                plan-quality SLO: max acceptable
+//                                      root-cardinality Q-error measured
+//                                      by sampled EXPLAIN ANALYZE runs
+//   --analyze-every=N                  quality-sample every Nth freshly
+//                                      computed plan (default 1 when
+//                                      --slo-quality is set)
 //   --list-tables                      print the schema and exit
 //
 // --threads/--repeat run through the concurrent service and finish with a
@@ -139,6 +149,9 @@ struct Options {
   int obs_port = -1;            // >= 0 starts the introspection server.
   std::string obs_dump_dir;     // Flight-recorder crash-dump directory.
   int obs_linger_ms = 0;        // Keep endpoints up after the last request.
+  double slo_latency_ms = 0;    // > 0 arms the latency objectives.
+  double slo_quality = 0;       // > 0 arms the plan-quality objective.
+  int analyze_every = 0;        // Quality sampling period (0 = auto).
   std::string sql;
 
   bool tracing() const {
@@ -148,6 +161,7 @@ struct Options {
     return deadline_ms > 0 || mem_budget_mb > 0 || !max_rung.empty();
   }
   bool observed() const { return obs_port >= 0 || !obs_dump_dir.empty(); }
+  bool slo_enabled() const { return slo_latency_ms > 0 || slo_quality > 0; }
 };
 
 bool ParseArgs(int argc, char** argv, Options* out) {
@@ -223,6 +237,24 @@ bool ParseArgs(int argc, char** argv, Options* out) {
     } else if (arg.rfind("--obs-linger-ms=", 0) == 0) {
       out->obs_linger_ms = std::atoi(arg.c_str() + 16);
       if (out->obs_linger_ms < 0) out->obs_linger_ms = 0;
+    } else if (arg.rfind("--slo-latency-ms=", 0) == 0) {
+      out->slo_latency_ms = std::atof(arg.c_str() + 17);
+      if (out->slo_latency_ms <= 0) {
+        std::fprintf(stderr, "--slo-latency-ms expects a positive value\n");
+        return false;
+      }
+    } else if (arg.rfind("--slo-quality=", 0) == 0) {
+      out->slo_quality = std::atof(arg.c_str() + 14);
+      if (out->slo_quality <= 0) {
+        std::fprintf(stderr, "--slo-quality expects a positive ratio\n");
+        return false;
+      }
+    } else if (arg.rfind("--analyze-every=", 0) == 0) {
+      out->analyze_every = std::atoi(arg.c_str() + 16);
+      if (out->analyze_every < 1) {
+        std::fprintf(stderr, "--analyze-every expects a positive count\n");
+        return false;
+      }
     } else if (arg == "--list-tables") {
       out->list_tables = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -577,13 +609,23 @@ int main(int argc, char** argv) {
   if (ladder_enabled) sdp::ParseFallbackRung(options.max_rung, &max_rung);
 
   if (options.threads > 0 || options.repeat > 1 || options.prometheus ||
-      options.observed()) {
+      options.observed() || options.slo_enabled()) {
     // Service mode: route every request through the concurrent optimizer
     // service and report its metrics.
     sdp::ServiceConfig sconfig;
     sconfig.num_threads = options.threads > 0 ? options.threads : 1;
     sconfig.cache_enabled = options.cache;
     sconfig.max_opt_threads = options.opt_threads;
+    if (options.slo_latency_ms > 0) {
+      for (double& rung_ms : sconfig.slo.latency_ms) {
+        rung_ms = options.slo_latency_ms;
+      }
+    }
+    sconfig.slo.quality_ratio = options.slo_quality;
+    sconfig.analyze_sample_every =
+        options.analyze_every > 0
+            ? options.analyze_every
+            : (options.slo_quality > 0 ? 1 : 0);
     if (!options.obs_dump_dir.empty()) {
       // Dump writes are silent no-ops when the directory is missing; create
       // it up front so --obs-dump-dir works against a fresh path.
@@ -640,6 +682,14 @@ int main(int argc, char** argv) {
     std::printf("\n-- service metrics (threads=%d cache=%s repeat=%d) --\n%s",
                 sconfig.num_threads, options.cache ? "on" : "off",
                 options.repeat, service.metrics().Dump().c_str());
+    if (service.slo() != nullptr) {
+      const double slo_now =
+          std::chrono::duration<double>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      std::printf("\n-- slo --\n%s",
+                  service.slo()->StatuszSection(slo_now).c_str());
+    }
     if (options.prometheus) {
       const std::string prom = service.metrics().PrometheusText();
       if (options.prometheus_path.empty()) {

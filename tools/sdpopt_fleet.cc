@@ -26,6 +26,14 @@
 //              fresh-process hit rate (warm_hit_rate) must beat its
 //              phase-1 cold rate (cold_hit_rate)
 //
+// Drive mode:
+//   sdpopt_fleet --drive=2 --router-port=7450 --queries=2
+//
+//   Client-only: connects to an already-running fleet's router and sends
+//   the standard soak workload N times (the CI dtrace-smoke job uses this
+//   to put traffic through a served fleet, then scrapes /dtracez).  Exits
+//   nonzero if any request is lost or answers not-ok.
+//
 // Options:
 //   --replicas=N              fleet size (default 3)
 //   --router-port=N           client port (default 0 = kernel-assigned)
@@ -35,6 +43,8 @@
 //                             empty; soak: a temp dir when empty)
 //   --threads=N               worker threads per replica (default 2)
 //   --soak                    run the soak scenario instead of serving
+//   --drive=N                 send the workload N times to a running
+//                             router (client mode; needs --router-port)
 //   --queries=N               distinct queries per topology (default 6)
 //   --clients=K               concurrent client connections (default 4)
 //   --json=PATH               soak report path (default BENCH_fleet.json)
@@ -72,6 +82,7 @@ struct Flags {
   std::string snapshot_dir;
   int threads = 2;
   bool soak = false;
+  int drive = 0;  // > 0 = client mode: passes over the workload.
   int queries = 6;
   int clients = 4;
   std::string json_path = "BENCH_fleet.json";
@@ -244,10 +255,13 @@ bool WriteSoakJson(const std::string& path, const Flags& flags,
                "    \"executable\": \"sdpopt_fleet\",\n"
                "    \"num_replicas\": %d,\n"
                "    \"clients\": %d,\n"
+               "    \"machine_cores\": %d,\n"
+               "    \"machine_governor\": \"%s\",\n"
                "    \"git_sha\": \"%s\",\n"
                "    \"git_dirty\": \"%s\"\n"
                "  },\n  \"benchmarks\": [\n",
-               date, flags.replicas, flags.clients, BuildGitSha().c_str(),
+               date, flags.replicas, flags.clients, MachineCores(),
+               MachineGovernor().c_str(), BuildGitSha().c_str(),
                BuildGitDirty() ? "1" : "0");
   for (size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(f, "%s%s\n", rows[i].c_str(),
@@ -442,6 +456,37 @@ int RunSoak(const Flags& flags) {
   return 0;
 }
 
+int RunDrive(const Flags& flags) {
+  if (flags.router_port <= 0) {
+    std::fprintf(stderr, "--drive needs --router-port of a running fleet\n");
+    return 2;
+  }
+  const Catalog catalog = MakeSyntheticCatalog(FleetConfig().schema);
+  const std::vector<FleetRequest> workload =
+      MakeWorkload(catalog, flags.queries);
+  FleetClient client;
+  std::string error;
+  if (!client.Connect(flags.router_port, 5000, &error)) {
+    std::fprintf(stderr, "drive: connect failed: %s\n", error.c_str());
+    return 1;
+  }
+  uint64_t sent = 0;
+  uint64_t failed = 0;
+  for (int pass = 0; pass < flags.drive; ++pass) {
+    // Request ids repeat across passes on purpose: the router mints trace
+    // ids from (request id, routing key), so replays share timelines.
+    for (const FleetRequest& request : workload) {
+      FleetResponse resp;
+      if (!client.Optimize(request, &resp, &error) || !resp.ok) ++failed;
+      ++sent;
+    }
+  }
+  std::fprintf(stderr, "drive: %llu request(s), %llu failed\n",
+               static_cast<unsigned long long>(sent),
+               static_cast<unsigned long long>(failed));
+  return failed == 0 ? 0 : 1;
+}
+
 int RunServe(const Flags& flags) {
   FleetConfig config;
   config.num_replicas = flags.replicas;
@@ -470,6 +515,9 @@ int RunServe(const Flags& flags) {
   }
   if (flags.router_obs_port > 0) {
     std::printf("  fleet obs: http://127.0.0.1:%d/fleetz\n",
+                flags.router_obs_port);
+    std::printf("  timelines: http://127.0.0.1:%d/dtracez"
+                " (?trace=HEX&format=json|chrome)\n",
                 flags.router_obs_port);
   }
   std::fflush(stdout);
@@ -505,6 +553,8 @@ int Main(int argc, char** argv) {
       ok = ParseInt(value, &flags.threads) && flags.threads >= 1;
     } else if (name == "--soak") {
       flags.soak = true;
+    } else if (name == "--drive") {
+      ok = ParseInt(value, &flags.drive) && flags.drive >= 1;
     } else if (name == "--queries") {
       ok = ParseInt(value, &flags.queries) && flags.queries >= 1;
     } else if (name == "--clients") {
@@ -520,6 +570,7 @@ int Main(int argc, char** argv) {
       return Usage();
     }
   }
+  if (flags.drive > 0) return RunDrive(flags);
   return flags.soak ? RunSoak(flags) : RunServe(flags);
 }
 
