@@ -166,6 +166,13 @@ std::vector<std::string> FaultInjector::KnownSites() {
       "budget.clock-jump", // ResourceBudget clock jumps forward V seconds.
       "pool.stall",        // ThreadPool worker stalls V ms before a task.
       "service.fill",      // OptimizerService fill throws mid-flight.
+      "net.frame.corrupt",   // Sender flips a frame-header byte (bad magic).
+      "net.frame.truncate",  // Sender stops mid-frame; receiver sees EOF.
+      "net.conn.reset",      // Sender shuts the socket down mid-frame.
+      "net.short-write",     // Frame sent 1 byte + remainder (still whole).
+      "net.delay-ms",        // Sender sleeps V ms before the frame.
+      "replica.poison",      // Replica _exits mid-optimize; V selects the
+                             // poisoned key (DtraceHash(key) % 100000).
   };
 }
 

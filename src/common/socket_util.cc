@@ -9,6 +9,7 @@
 #include <string.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <time.h>
 #include <unistd.h>
 
 namespace sdp {
@@ -70,20 +71,38 @@ int ConnectLocalhost(int port, int timeout_ms, std::string* error) {
   sockaddr_in addr = LoopbackAddr(port);
   int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc != 0 && errno == EINPROGRESS) {
-    pollfd pfd;
-    pfd.fd = fd;
-    pfd.events = POLLOUT;
-    pfd.revents = 0;
-    rc = ::poll(&pfd, 1, timeout_ms);
-    if (rc == 1) {
-      int soerr = 0;
-      socklen_t len = sizeof(soerr);
-      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
-      rc = soerr == 0 ? 0 : -1;
-      errno = soerr;
-    } else {
-      if (rc == 0) errno = ETIMEDOUT;
-      rc = -1;
+    // The supervisor's reaper delivers SIGCHLD at arbitrary times, so
+    // this wait must survive EINTR: retry the poll with whatever time
+    // remains instead of reporting a spurious connect failure.
+    timespec now;
+    clock_gettime(CLOCK_MONOTONIC, &now);
+    const int64_t deadline_ms = now.tv_sec * 1000 + now.tv_nsec / 1000000 +
+                                (timeout_ms < 0 ? 0 : timeout_ms);
+    for (;;) {
+      pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      int wait_ms = timeout_ms;
+      if (timeout_ms >= 0) {
+        clock_gettime(CLOCK_MONOTONIC, &now);
+        const int64_t left =
+            deadline_ms - (now.tv_sec * 1000 + now.tv_nsec / 1000000);
+        wait_ms = left > 0 ? static_cast<int>(left) : 0;
+      }
+      rc = ::poll(&pfd, 1, wait_ms);
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc == 1) {
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+        rc = soerr == 0 ? 0 : -1;
+        errno = soerr;
+      } else {
+        if (rc == 0) errno = ETIMEDOUT;
+        rc = -1;
+      }
+      break;
     }
   }
   if (rc != 0) {
@@ -135,6 +154,8 @@ int PollReadable(int fd, int timeout_ms) {
   pfd.events = POLLIN;
   pfd.revents = 0;
   const int rc = ::poll(&pfd, 1, timeout_ms);
+  // EINTR maps to "nothing readable yet": every caller polls in a loop,
+  // so a signal (reaper SIGCHLD, shutdown) just shortens one tick.
   if (rc < 0) return errno == EINTR ? 0 : -1;
   return rc;
 }

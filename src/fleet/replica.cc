@@ -7,11 +7,15 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/socket_util.h"
 #include "common/subprocess.h"
+#include "fleet/routing_key.h"
 #include "fleet/snapshot.h"
 #include "fleet/wire.h"
 #include "obs/dtrace.h"
@@ -29,12 +33,64 @@ namespace {
 struct ReplicaState {
   const ReplicaConfig* config = nullptr;
   OptimizerService* service = nullptr;
+  // For FleetRoutingKey: the crash-cookie journal must record the exact
+  // bytes the router routes (and quarantines) by.
+  const Catalog* catalog = nullptr;
+  const StatsCatalog* stats = nullptr;
   std::atomic<bool> stop{false};
+
+  // In-flight routing keys, mirrored to the cookie file on every change.
+  // A multiset because concurrent connections can carry the same key.
+  std::mutex cookie_mu;
+  std::multiset<std::string> inflight_keys;
 };
 
 void LogReplica(int id, const std::string& message) {
   std::fprintf(stderr, "[replica %d] %s\n", id, message.c_str());
 }
+
+// Rewrites the cookie file to the current in-flight set (tmp+rename, so a
+// crash mid-write leaves the previous journal intact).  cookie_mu held.
+void FlushCookieLocked(ReplicaState& state) {
+  const std::vector<std::string> keys(state.inflight_keys.begin(),
+                                      state.inflight_keys.end());
+  std::string error;
+  if (SaveCrashCookie(state.config->cookie_path, keys, &error) !=
+      SnapshotStatus::kOk) {
+    LogReplica(state.config->replica_id, "cookie write failed: " + error);
+  }
+}
+
+// RAII: journals `key` as in flight for the duration of one optimize
+// call.  The journal write happens BEFORE the optimizer runs -- that
+// ordering is the whole mechanism: if the process dies mid-optimize, the
+// key is still on disk for the supervisor's poison-strike accounting.
+class CookieJournalEntry {
+ public:
+  CookieJournalEntry(ReplicaState& state, const std::string& key)
+      : state_(state), key_(key),
+        enabled_(!state.config->cookie_path.empty() && !key.empty()) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(state_.cookie_mu);
+    state_.inflight_keys.insert(key_);
+    FlushCookieLocked(state_);
+  }
+  ~CookieJournalEntry() {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(state_.cookie_mu);
+    const auto it = state_.inflight_keys.find(key_);
+    if (it != state_.inflight_keys.end()) state_.inflight_keys.erase(it);
+    FlushCookieLocked(state_);
+  }
+
+  CookieJournalEntry(const CookieJournalEntry&) = delete;
+  CookieJournalEntry& operator=(const CookieJournalEntry&) = delete;
+
+ private:
+  ReplicaState& state_;
+  const std::string key_;
+  const bool enabled_;
+};
 
 FleetResponse BuildResponse(const ReplicaState& state, uint64_t request_id,
                             const ServiceResult& sr) {
@@ -69,6 +125,31 @@ bool HandleOptimize(ReplicaState& state, int conn, const Frame& frame) {
     return WriteFrame(conn, FrameType::kOptimizeResponse, 0,
                       EncodeFleetResponse(resp));
   }
+  const bool degraded = (frame.flags & kFlagDegraded) != 0;
+  // The routing key is only derived when something consumes it (cookie
+  // journaling or an armed poison probe): it costs a canonicalization.
+  std::string routing_key;
+  if (!state.config->cookie_path.empty() ||
+      FaultInjector::Global().enabled()) {
+    routing_key = FleetRoutingKey(req, *state.catalog, *state.stats);
+  }
+  CookieJournalEntry journal(state, routing_key);
+  // Poison probe: "replica.poison" with payload V kills this process
+  // mid-optimize when V selects the request's key (V = DtraceHash(key)
+  // % 100000; V=0 selects every key).  A quarantined (degraded) request
+  // deliberately skips the probe -- that models the real-world contract
+  // that the greedy-only rung does not take the crashing path.
+  if (!degraded) {
+    double poison_value = 0;
+    if (FaultInjector::Global().Hit("replica.poison", &poison_value)) {
+      const uint64_t selector = static_cast<uint64_t>(poison_value);
+      if (selector == 0 || selector == DtraceHash(routing_key) % 100000) {
+        // Crash exactly as a wild pointer would: no unwinding, no drain,
+        // the cookie file left behind as the only evidence.
+        ::_exit(42);
+      }
+    }
+  }
   ServiceRequest sreq;
   sreq.query = std::move(req.query);
   sreq.spec = req.Spec();
@@ -82,8 +163,22 @@ bool HandleOptimize(ReplicaState& state, int conn, const Frame& frame) {
   // configured intra-query parallelism.  Plans, costs and structural
   // /dtracez timelines are bit-identical at any setting.
   sreq.options.opt_threads = state.config->service.max_opt_threads;
+  if (degraded) {
+    // Quarantined key: the ladder is pinned to the greedy rung from both
+    // ends (min == max == kGreedy), so the expensive enumeration this key
+    // kept crashing is never entered.  The plans budget is a backstop
+    // orders of magnitude above greedy's O(n^2) candidate costings but
+    // far below exhaustive enumeration -- tight, yet never starving the
+    // rung that must produce the degraded answer.
+    sreq.fallback_enabled = true;
+    sreq.min_rung = FallbackRung::kGreedy;
+    sreq.max_rung = FallbackRung::kGreedy;
+    sreq.budget.max_plans_costed = 4096;
+  }
   const ServiceResult sr = state.service->OptimizeSync(std::move(sreq));
   FleetResponse resp = BuildResponse(state, req.request_id, sr);
+  resp.degraded = degraded;
+  resp.rung = sr.result.rung;
 
   // A freshly computed feasible plan rides back to the router as a
   // cache-fill frame so the other replicas can be warmed asynchronously.
@@ -219,6 +314,19 @@ int ReplicaMain(const ReplicaConfig& config) {
   ReplicaState state;
   state.config = &config;
   state.service = &service;
+  state.catalog = &catalog;
+  state.stats = &stats;
+
+  // Start with a clean, *present* cookie: the supervisor unlinks the file
+  // when it consumes a crash's evidence, and an empty journal here means
+  // "alive, nothing in flight" -- distinguishable from "never started".
+  if (!config.cookie_path.empty()) {
+    std::string error;
+    if (SaveCrashCookie(config.cookie_path, {}, &error) !=
+        SnapshotStatus::kOk) {
+      LogReplica(config.replica_id, "cookie init failed: " + error);
+    }
+  }
 
   std::vector<std::thread> connections;
   while (!ShutdownRequested()) {

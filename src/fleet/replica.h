@@ -23,6 +23,12 @@ struct ReplicaConfig {
   // Plan-cache snapshot file; empty = no persistence.  Loaded (stats-
   // epoch-checked) at startup, written on graceful drain.
   std::string snapshot_path;
+  // Crash-cookie journal file; empty = no journaling.  The replica keeps
+  // this file equal to the set of routing keys it has in flight (rewritten
+  // tmp+rename on every change, emptied at startup), so the supervisor can
+  // read exactly what a crashed process was computing and assign poison
+  // strikes to those keys.
+  std::string cookie_path;
   // All fleet processes build the identical deterministic catalog/stats,
   // which is what lets queries travel as positions + edges.
   SchemaConfig schema;

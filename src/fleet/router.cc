@@ -12,6 +12,7 @@
 #include "common/socket_util.h"
 #include "common/subprocess.h"
 #include "cost/cost_model.h"
+#include "fleet/routing_key.h"
 #include "obs/dtrace.h"
 #include "obs/flight_recorder.h"
 #include "obs/http_client.h"
@@ -111,6 +112,7 @@ FleetRouter::FleetRouter(RouterConfig config)
                                  : config_.replica_ports.size()),
             config_.vnodes),
       views_(config_.replica_ports.size()),
+      condemned_(config_.replica_ports.size(), false),
       obs_([this](const HttpRequest& req) { return HandleHttp(req); }) {}
 
 FleetRouter::~FleetRouter() { Stop(); }
@@ -162,6 +164,16 @@ RouterStats FleetRouter::stats() const {
   s.failed_after_retry = failed_after_retry_.load();
   s.broadcasts_sent = broadcasts_sent_.load();
   s.broadcast_failures = broadcast_failures_.load();
+  s.retry_budget_exhausted = retry_budget_exhausted_.load();
+  s.quarantine_served = quarantine_served_.load();
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    for (const auto& kv : strikes_) {
+      if (static_cast<int>(kv.second) >= config_.quarantine_strikes) {
+        ++s.quarantined_keys;
+      }
+    }
+  }
   return s;
 }
 
@@ -170,17 +182,64 @@ bool FleetRouter::ReplicaLive(int replica) const {
   return ring_.IsLive(replica);
 }
 
+void FleetRouter::SetCondemned(int replica) {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  if (replica < 0 || replica >= static_cast<int>(views_.size())) return;
+  condemned_[replica] = true;
+  ring_.SetLive(replica, false);
+  views_[replica].live = false;
+  views_[replica].stats_valid = false;
+}
+
+void FleetRouter::ClearCondemned(int replica) {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  if (replica < 0 || replica >= static_cast<int>(views_.size())) return;
+  condemned_[replica] = false;
+}
+
+bool FleetRouter::ReplicaCondemned(int replica) const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  if (replica < 0 || replica >= static_cast<int>(views_.size())) return false;
+  return condemned_[replica];
+}
+
+uint32_t FleetRouter::AddPoisonStrike(const std::string& key) {
+  uint32_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    count = ++strikes_[key];
+  }
+  return count;
+}
+
+bool FleetRouter::IsQuarantined(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  const auto it = strikes_.find(key);
+  return it != strikes_.end() &&
+         static_cast<int>(it->second) >= config_.quarantine_strikes;
+}
+
+void FleetRouter::InstallQuarantineStrikes(
+    const std::vector<QuarantineEntry>& entries) {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  for (const QuarantineEntry& e : entries) {
+    uint32_t& strikes = strikes_[e.key];
+    if (e.strikes > strikes) strikes = e.strikes;
+  }
+}
+
+std::vector<QuarantineEntry> FleetRouter::QuarantineSnapshot() const {
+  std::vector<QuarantineEntry> out;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  out.reserve(strikes_.size());
+  for (const auto& kv : strikes_) {
+    out.push_back(QuarantineEntry{kv.first, kv.second});
+  }
+  return out;
+}
+
 std::string FleetRouter::RoutingKey(const FleetRequest& request) const {
-  // The structural canonical key -- the same bytes the replica's plan
-  // cache keys on -- plus the algorithm selector, so the same query under
-  // two algorithms may land on two replicas but every repetition of one
-  // (query, algorithm) pair lands on the same cache.
-  const CostModel cost(catalog_, stats_catalog_, request.query.graph,
-                       CostParams(), request.query.filters);
-  const CanonicalQueryForm form = CanonicalizeQuery(request.query, cost);
-  return form.key + "|algo=" +
-         std::to_string(static_cast<int>(request.algo)) + "/" +
-         std::to_string(request.idp_k);
+  return FleetRoutingKey(request, catalog_, stats_catalog_);
 }
 
 std::vector<int> FleetRouter::RouteSequenceForKey(
@@ -289,6 +348,7 @@ bool FleetRouter::RouteOptimize(int client_fd, const Frame& frame,
 
   int attempts = 0;
   bool first_try = true;
+  bool quarantine_recorded = false;
   while (attempts < config_.max_attempts) {
     std::vector<int> sequence;
     {
@@ -297,9 +357,64 @@ bool FleetRouter::RouteOptimize(int client_fd, const Frame& frame,
     }
     if (sequence.empty()) break;  // No live replica at all.
     const int replica = sequence.front();
-    if (!first_try) failovers_.fetch_add(1, std::memory_order_relaxed);
+    if (!first_try) {
+      // Every retry consumes one token from the router-wide budget.  The
+      // allowance grows with routed traffic (ratio) on top of a fixed
+      // burst, with no clocks involved, so a failover storm against a
+      // degraded fleet sheds deterministically instead of amplifying.
+      const uint64_t spent =
+          retries_spent_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t allowance =
+          config_.retry_budget_burst +
+          static_cast<uint64_t>(
+              config_.retry_budget_ratio *
+              static_cast<double>(
+                  requests_routed_.load(std::memory_order_relaxed)));
+      if (spent >= allowance) {
+        retry_budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+        FlightRecorder::Global().Record(ObsKind::kRetryShed, 0,
+                                        static_cast<uint32_t>(attempts),
+                                        spent, allowance);
+        FlightRecorder::Global().Record(ObsKind::kRouteEnd, 0, 0,
+                                        static_cast<uint64_t>(attempts));
+        RouteTraceEntry shed_entry;
+        shed_entry.trace_id = trace_id;
+        shed_entry.request_id = request.request_id;
+        shed_entry.key_hash = key_hash;
+        shed_entry.attempts = attempts;
+        RememberTrace(shed_entry);
+        FleetResponse resp;
+        resp.request_id = request.request_id;
+        resp.ok = false;
+        resp.rejected = true;
+        resp.retry_after_ms =
+            config_.health_interval_ms > 0 ? config_.health_interval_ms : 100;
+        resp.error = "retry budget exhausted";
+        return WriteFrame(client_fd, FrameType::kOptimizeResponse, 0,
+                          EncodeFleetResponse(resp));
+      }
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+    }
     first_try = false;
     ++attempts;
+
+    // Quarantine is re-checked per attempt, not once per request: the
+    // strikes that cross the threshold may have been assigned while THIS
+    // request's earlier attempts crashed replicas.
+    uint32_t strikes = 0;
+    {
+      std::lock_guard<std::mutex> lock(quarantine_mu_);
+      const auto it = strikes_.find(key);
+      if (it != strikes_.end()) strikes = it->second;
+    }
+    const bool degraded =
+        static_cast<int>(strikes) >= config_.quarantine_strikes;
+    const uint8_t request_flags = degraded ? kFlagDegraded : 0;
+    if (degraded && !quarantine_recorded) {
+      quarantine_recorded = true;
+      FlightRecorder::Global().Record(ObsKind::kQuarantineServe, strikes, 0,
+                                      key_hash);
+    }
 
     // Attempt k (1-based here) runs under span kAttemptSpanBase + k - 1;
     // the replica inherits that span id through the wire frame, which is
@@ -353,9 +468,10 @@ bool FleetRouter::RouteOptimize(int client_fd, const Frame& frame,
       const bool traced =
           ((*replica_caps)[replica] & kPongCapTraceContext) != 0;
       const bool sent =
-          traced ? WriteFrameTraced(fd, FrameType::kOptimizeRequest, 0,
-                                    frame.payload, trace_id, attempt_span)
-                 : WriteFrame(fd, FrameType::kOptimizeRequest, 0,
+          traced ? WriteFrameTraced(fd, FrameType::kOptimizeRequest,
+                                    request_flags, frame.payload, trace_id,
+                                    attempt_span)
+                 : WriteFrame(fd, FrameType::kOptimizeRequest, request_flags,
                               frame.payload);
       io_ok = sent && ReadFrame(fd, &response) &&
               response.type == FrameType::kOptimizeResponse;
@@ -409,6 +525,9 @@ bool FleetRouter::RouteOptimize(int client_fd, const Frame& frame,
                                            attempt_span});
       broadcast_cv_.notify_one();
     }
+    if (degraded) {
+      quarantine_served_.fetch_add(1, std::memory_order_relaxed);
+    }
     RouteTraceEntry entry;
     entry.trace_id = trace_id;
     entry.request_id = request.request_id;
@@ -443,6 +562,12 @@ void FleetRouter::HealthLoop() {
   while (!stop_.load(std::memory_order_acquire)) {
     for (size_t rep = 0; rep < config_.replica_ports.size(); ++rep) {
       if (stop_.load(std::memory_order_acquire)) break;
+      {
+        // A condemned replica is out of the fleet for good: no probe, no
+        // revival.  Only ClearCondemned (operator restart) undoes this.
+        std::lock_guard<std::mutex> lock(ring_mu_);
+        if (condemned_[rep]) continue;
+      }
       const int fd = ConnectReplica(static_cast<int>(rep));
       if (fd >= 0) SetIoTimeout(fd, config_.health_io_timeout_ms);
       bool healthy = false;
@@ -572,11 +697,18 @@ std::string FleetRouter::RenderFleetz() const {
       << ",\n  \"failed_after_retry\": " << rs.failed_after_retry
       << ",\n  \"broadcasts_sent\": " << rs.broadcasts_sent
       << ",\n  \"broadcast_failures\": " << rs.broadcast_failures
+      << ",\n  \"retry_budget_exhausted\": " << rs.retry_budget_exhausted
+      << ",\n  \"quarantine_served\": " << rs.quarantine_served
+      << ",\n  \"quarantined_keys\": " << rs.quarantined_keys
       << ",\n  \"replicas\": [\n";
   const double now = NowSeconds();
   std::lock_guard<std::mutex> lock(ring_mu_);
   for (size_t rep = 0; rep < views_.size(); ++rep) {
     const ReplicaView& v = views_[rep];
+    const SelfHealingBoard::Replica* heal =
+        config_.board != nullptr && rep < config_.board->replicas.size()
+            ? &config_.board->replicas[rep]
+            : nullptr;
     const uint64_t lookups =
         v.last_stats.cache_hits + v.last_stats.cache_misses;
     const double hit_rate =
@@ -597,8 +729,11 @@ std::string FleetRouter::RenderFleetz() const {
         << ", \"probe_attempts\": " << v.probe_attempts
         << ", \"probe_successes\": " << v.probe_successes
         << ", \"probe_failures\": " << v.probe_failures
-        << ", \"last_probe_age_seconds\": " << probe_age << "}"
-        << (rep + 1 < views_.size() ? ",\n" : "\n");
+        << ", \"last_probe_age_seconds\": " << probe_age
+        << ", \"condemned\": " << (condemned_[rep] ? "true" : "false")
+        << ", \"restarts\": " << (heal != nullptr ? heal->restarts.load() : 0)
+        << ", \"crashes\": " << (heal != nullptr ? heal->crashes.load() : 0)
+        << "}" << (rep + 1 < views_.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
   return out.str();
@@ -662,6 +797,44 @@ std::string FleetRouter::RenderMergedMetrics() const {
     probes << "sdp_router_probe_last_age_seconds{replica=\"" << rep
            << "\"} " << age << "\n";
   }
+  // Self-healing families (reaper counters via the supervisor's board;
+  // zeros when the router runs without a supervisor).
+  probes << "# HELP sdp_fleet_restarts_total Replica auto-respawns "
+            "delivered by the supervisor's reaper.\n"
+            "# TYPE sdp_fleet_restarts_total counter\n";
+  for (size_t rep = 0; rep < views_.size(); ++rep) {
+    const uint64_t restarts =
+        config_.board != nullptr && rep < config_.board->replicas.size()
+            ? config_.board->replicas[rep].restarts.load()
+            : 0;
+    probes << "sdp_fleet_restarts_total{replica=\"" << rep << "\"} "
+           << restarts << "\n";
+  }
+  probes << "# HELP sdp_fleet_condemned Replica permanently removed from "
+            "the ring after a crash loop (0/1).\n"
+            "# TYPE sdp_fleet_condemned gauge\n";
+  for (size_t rep = 0; rep < views_.size(); ++rep) {
+    probes << "sdp_fleet_condemned{replica=\"" << rep << "\"} "
+           << (condemned_[rep] ? 1 : 0) << "\n";
+  }
+  uint64_t quarantined = 0;
+  {
+    std::lock_guard<std::mutex> qlock(quarantine_mu_);
+    for (const auto& kv : strikes_) {
+      if (static_cast<int>(kv.second) >= config_.quarantine_strikes) {
+        ++quarantined;
+      }
+    }
+  }
+  probes << "# HELP sdp_fleet_quarantined_keys Routing keys at or over the "
+            "poison-strike threshold (served degraded).\n"
+            "# TYPE sdp_fleet_quarantined_keys gauge\n"
+         << "sdp_fleet_quarantined_keys " << quarantined << "\n";
+  probes << "# HELP sdp_fleet_retry_budget_exhausted_total Requests shed "
+            "because the router-wide retry budget ran dry.\n"
+            "# TYPE sdp_fleet_retry_budget_exhausted_total counter\n"
+         << "sdp_fleet_retry_budget_exhausted_total "
+         << retry_budget_exhausted_.load() << "\n";
   out += probes.str();
   return out;
 }

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -13,11 +14,32 @@
 
 #include "catalog/catalog.h"
 #include "fleet/consistent_hash.h"
+#include "fleet/snapshot.h"
 #include "fleet/wire.h"
 #include "obs/http_server.h"
 #include "stats/column_stats.h"
 
 namespace sdp {
+
+// Lock-free view of the supervisor's self-healing state, written by the
+// reaper thread and read by the router's /fleetz and merged-/metrics
+// renderers.  Non-movable (atomics), so the supervisor owns one for the
+// fleet's lifetime and hands the router a pointer.
+struct SelfHealingBoard {
+  struct Replica {
+    std::atomic<uint64_t> restarts{0};  // Auto-respawns delivered.
+    std::atomic<uint64_t> crashes{0};   // Unclean exits observed.
+    std::atomic<bool> condemned{false};
+  };
+
+  explicit SelfHealingBoard(size_t num_replicas) : replicas(num_replicas) {}
+  SelfHealingBoard(const SelfHealingBoard&) = delete;
+  SelfHealingBoard& operator=(const SelfHealingBoard&) = delete;
+
+  // deque for stable addresses: atomics are not movable and the board
+  // never resizes after construction.
+  std::deque<Replica> replicas;
+};
 
 // The fleet's thin router: accepts framed optimize requests from clients
 // on a loopback socket, consistent-hashes each request's canonical
@@ -63,6 +85,21 @@ struct RouterConfig {
   int poll_interval_ms = 100;
   int obs_port = 0;           // /fleetz + merged /metrics; 0 = disabled.
   SchemaConfig schema;        // Must match the replicas'.
+  // Poison-query quarantine: a routing key whose crash strikes reach this
+  // count is served *degraded* (kFlagDegraded: greedy-only rung, one-plan
+  // budget) instead of being fed to healthy replicas at full strength.
+  int quarantine_strikes = 3;
+  // Router-wide retry token budget: a retry (any attempt after the first)
+  // is allowed only while retries_spent < burst + ratio * requests_routed.
+  // Deterministic by construction -- no clocks -- so seeded chaos runs
+  // shed identically.  The defaults are generous: healthy fleets never
+  // notice, but a storm of failovers against a degraded fleet exhausts
+  // the budget and sheds with a typed retry-after instead of amplifying.
+  double retry_budget_ratio = 0.2;
+  uint64_t retry_budget_burst = 64;
+  // Supervisor's self-healing counters for rendering; may be null (e.g.
+  // router-only tests), which renders zeros.
+  const SelfHealingBoard* board = nullptr;
 };
 
 struct RouterStats {
@@ -71,6 +108,9 @@ struct RouterStats {
   uint64_t failed_after_retry = 0;   // Requests that exhausted every attempt.
   uint64_t broadcasts_sent = 0;      // Cache-fill frames delivered to peers.
   uint64_t broadcast_failures = 0;
+  uint64_t retry_budget_exhausted = 0;  // Requests shed by the retry budget.
+  uint64_t quarantine_served = 0;       // Requests served degraded.
+  uint64_t quarantined_keys = 0;        // Keys at/over the strike threshold.
 };
 
 // One routed request as remembered for /dtracez: enough to find its spans
@@ -101,6 +141,22 @@ class FleetRouter {
     return static_cast<int>(config_.replica_ports.size());
   }
   bool ReplicaLive(int replica) const;
+
+  // Condemnation: a crash-looping replica is permanently removed from the
+  // ring -- the health loop stops probing it, so nothing revives it until
+  // an operator RestartReplica() clears the verdict.
+  void SetCondemned(int replica);
+  void ClearCondemned(int replica);
+  bool ReplicaCondemned(int replica) const;
+
+  // Poison-strike ledger (supervisor calls AddPoisonStrike as it reaps
+  // crashed replicas; returns the key's new strike count).  Keys at/over
+  // `quarantine_strikes` are served degraded from then on.
+  uint32_t AddPoisonStrike(const std::string& key);
+  bool IsQuarantined(const std::string& key) const;
+  // Bulk strike install/export, for quarantine-file persistence.
+  void InstallQuarantineStrikes(const std::vector<QuarantineEntry>& entries);
+  std::vector<QuarantineEntry> QuarantineSnapshot() const;
 
   // The string the ring hashes for a request: canonical query key plus
   // the algorithm selector.  Exposed so tests can assert placement.
@@ -167,6 +223,13 @@ class FleetRouter {
   mutable std::mutex ring_mu_;
   ConsistentHashRing ring_;
   std::vector<ReplicaView> views_;
+  std::vector<bool> condemned_;  // Under ring_mu_, parallel to views_.
+
+  // Strike counts per routing key, under its own lock: the request path
+  // reads it once per attempt and the reaper writes it on crashes, so it
+  // must not contend with the ring.
+  mutable std::mutex quarantine_mu_;
+  std::map<std::string, uint32_t> strikes_;
 
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> requests_routed_{0};
@@ -174,6 +237,9 @@ class FleetRouter {
   std::atomic<uint64_t> failed_after_retry_{0};
   std::atomic<uint64_t> broadcasts_sent_{0};
   std::atomic<uint64_t> broadcast_failures_{0};
+  std::atomic<uint64_t> retries_spent_{0};
+  std::atomic<uint64_t> retry_budget_exhausted_{0};
+  std::atomic<uint64_t> quarantine_served_{0};
 
   std::mutex broadcast_mu_;
   std::condition_variable broadcast_cv_;

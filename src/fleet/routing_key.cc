@@ -1,0 +1,19 @@
+#include "fleet/routing_key.h"
+
+#include "cost/cost_model.h"
+#include "service/plan_fingerprint.h"
+
+namespace sdp {
+
+std::string FleetRoutingKey(const FleetRequest& request,
+                            const Catalog& catalog,
+                            const StatsCatalog& stats) {
+  const CostModel cost(catalog, stats, request.query.graph, CostParams(),
+                       request.query.filters);
+  const CanonicalQueryForm form = CanonicalizeQuery(request.query, cost);
+  return form.key + "|algo=" +
+         std::to_string(static_cast<int>(request.algo)) + "/" +
+         std::to_string(request.idp_k);
+}
+
+}  // namespace sdp

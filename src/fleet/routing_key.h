@@ -1,0 +1,28 @@
+#ifndef SDPOPT_FLEET_ROUTING_KEY_H_
+#define SDPOPT_FLEET_ROUTING_KEY_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "fleet/wire.h"
+#include "stats/column_stats.h"
+
+namespace sdp {
+
+// The string the router's consistent-hash ring hashes for a request: the
+// structural canonical query key (CanonicalizeQuery -- the same bytes the
+// replicas key their plan caches with) plus the algorithm selector, so
+// the same query under two algorithms may land on two replicas but every
+// repetition of one (query, algorithm) pair lands on the same cache.
+//
+// Shared between the router (placement) and the replicas (crash-cookie
+// journaling): a replica that dies mid-request leaves exactly these bytes
+// in its cookie file, and the supervisor's poison-strike accounting must
+// agree with the router's quarantine lookups byte-for-byte.
+std::string FleetRoutingKey(const FleetRequest& request,
+                            const Catalog& catalog,
+                            const StatsCatalog& stats);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_FLEET_ROUTING_KEY_H_

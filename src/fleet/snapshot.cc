@@ -13,10 +13,95 @@ namespace sdp {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'D', 'P', 'S', 'N', 'A', 'P', '1'};
+constexpr char kCookieMagic[8] = {'S', 'D', 'P', 'C', 'O', 'O', 'K', '1'};
+constexpr char kQuarantineMagic[8] = {'S', 'D', 'P', 'Q', 'U', 'A', 'R', '1'};
 constexpr uint32_t kVersion = 1;
 
 void SetError(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
+}
+
+// Writes `magic + FNV(payload) + payload` to `<path>.tmp.<pid>` and
+// renames into place.  Shared by the cache-snapshot, crash-cookie, and
+// quarantine writers so all three get identical torn-write protection.
+SnapshotStatus WriteSnapshotFile(const std::string& path,
+                                 const char magic[8],
+                                 const std::string& payload,
+                                 std::string* error) {
+  const uint64_t checksum = FingerprintHash(payload);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    SetError(error, "open " + tmp + ": " + strerror(errno));
+    return SnapshotStatus::kIoError;
+  }
+  bool ok = std::fwrite(magic, 1, 8, f) == 8;
+  ok = ok && std::fwrite(&checksum, 1, sizeof(checksum), f) ==
+                 sizeof(checksum);
+  ok = ok && (payload.empty() ||
+              std::fwrite(payload.data(), 1, payload.size(), f) ==
+                  payload.size());
+  ok = std::fflush(f) == 0 && ok;
+  ok = ::fsync(::fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    SetError(error, "write " + tmp + ": " + strerror(errno));
+    ::unlink(tmp.c_str());
+    return SnapshotStatus::kIoError;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, "rename " + tmp + ": " + strerror(errno));
+    ::unlink(tmp.c_str());
+    return SnapshotStatus::kIoError;
+  }
+  return SnapshotStatus::kOk;
+}
+
+// Reads a snapshot-family file, verifies magic + checksum, and leaves the
+// raw payload in *payload for the caller's typed decode.
+SnapshotStatus ReadSnapshotFile(const std::string& path,
+                                const char magic[8],
+                                std::string* payload,
+                                std::string* error) {
+  payload->clear();
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    SetError(error, "open " + path + ": " + strerror(errno));
+    return SnapshotStatus::kIoError;
+  }
+  char got_magic[8];
+  uint64_t checksum = 0;
+  if (std::fread(got_magic, 1, sizeof(got_magic), f) != sizeof(got_magic) ||
+      std::fread(&checksum, 1, sizeof(checksum), f) != sizeof(checksum)) {
+    std::fclose(f);
+    SetError(error, path + ": truncated header");
+    return SnapshotStatus::kBadMagic;
+  }
+  if (memcmp(got_magic, magic, 8) != 0) {
+    std::fclose(f);
+    SetError(error, path + ": bad magic");
+    return SnapshotStatus::kBadMagic;
+  }
+  char buf[1 << 16];
+  for (;;) {
+    const size_t n = std::fread(buf, 1, sizeof(buf), f);
+    payload->append(buf, n);
+    if (n < sizeof(buf)) break;
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    payload->clear();
+    SetError(error, "read " + path + ": " + strerror(errno));
+    return SnapshotStatus::kIoError;
+  }
+  if (FingerprintHash(*payload) != checksum) {
+    payload->clear();
+    SetError(error, path + ": checksum mismatch");
+    return SnapshotStatus::kChecksumMismatch;
+  }
+  return SnapshotStatus::kOk;
 }
 
 }  // namespace
@@ -49,36 +134,7 @@ SnapshotStatus SaveCacheSnapshot(
   w.PutU64(stats_epoch);
   w.PutU32(static_cast<uint32_t>(entries.size()));
   for (const PlanCacheExportEntry& e : entries) EncodeCacheEntryTo(e, &w);
-  const std::string payload = w.Take();
-  const uint64_t checksum = FingerprintHash(payload);
-
-  const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    SetError(error, "open " + tmp + ": " + strerror(errno));
-    return SnapshotStatus::kIoError;
-  }
-  bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic);
-  ok = ok && std::fwrite(&checksum, 1, sizeof(checksum), f) ==
-                 sizeof(checksum);
-  ok = ok && (payload.empty() ||
-              std::fwrite(payload.data(), 1, payload.size(), f) ==
-                  payload.size());
-  ok = std::fflush(f) == 0 && ok;
-  ok = ::fsync(::fileno(f)) == 0 && ok;
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok) {
-    SetError(error, "write " + tmp + ": " + strerror(errno));
-    ::unlink(tmp.c_str());
-    return SnapshotStatus::kIoError;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    SetError(error, "rename " + tmp + ": " + strerror(errno));
-    ::unlink(tmp.c_str());
-    return SnapshotStatus::kIoError;
-  }
-  return SnapshotStatus::kOk;
+  return WriteSnapshotFile(path, kMagic, w.Take(), error);
 }
 
 SnapshotStatus LoadCacheSnapshot(const std::string& path,
@@ -86,41 +142,10 @@ SnapshotStatus LoadCacheSnapshot(const std::string& path,
                                  std::vector<PlanCacheExportEntry>* entries,
                                  std::string* error) {
   entries->clear();
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    SetError(error, "open " + path + ": " + strerror(errno));
-    return SnapshotStatus::kIoError;
-  }
-  char magic[8];
-  uint64_t checksum = 0;
-  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
-      std::fread(&checksum, 1, sizeof(checksum), f) != sizeof(checksum)) {
-    std::fclose(f);
-    SetError(error, path + ": truncated header");
-    return SnapshotStatus::kBadMagic;
-  }
-  if (memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    std::fclose(f);
-    SetError(error, path + ": bad magic");
-    return SnapshotStatus::kBadMagic;
-  }
   std::string payload;
-  char buf[1 << 16];
-  for (;;) {
-    const size_t n = std::fread(buf, 1, sizeof(buf), f);
-    payload.append(buf, n);
-    if (n < sizeof(buf)) break;
-  }
-  const bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) {
-    SetError(error, "read " + path + ": " + strerror(errno));
-    return SnapshotStatus::kIoError;
-  }
-  if (FingerprintHash(payload) != checksum) {
-    SetError(error, path + ": checksum mismatch");
-    return SnapshotStatus::kChecksumMismatch;
-  }
+  const SnapshotStatus read_status =
+      ReadSnapshotFile(path, kMagic, &payload, error);
+  if (read_status != SnapshotStatus::kOk) return read_status;
 
   WireReader r(payload);
   const uint32_t version = r.GetU32();
@@ -154,6 +179,109 @@ SnapshotStatus LoadCacheSnapshot(const std::string& path,
       return SnapshotStatus::kCorrupt;
     }
     entries->push_back(std::move(entry));
+  }
+  if (!r.AtEnd()) {
+    entries->clear();
+    SetError(error, path + ": trailing bytes after last entry");
+    return SnapshotStatus::kCorrupt;
+  }
+  return SnapshotStatus::kOk;
+}
+
+SnapshotStatus SaveCrashCookie(const std::string& path,
+                               const std::vector<std::string>& keys,
+                               std::string* error) {
+  WireWriter w;
+  w.PutU32(kVersion);
+  w.PutU32(static_cast<uint32_t>(keys.size()));
+  for (const std::string& key : keys) w.PutString(key);
+  return WriteSnapshotFile(path, kCookieMagic, w.Take(), error);
+}
+
+SnapshotStatus LoadCrashCookie(const std::string& path,
+                               std::vector<std::string>* keys,
+                               std::string* error) {
+  keys->clear();
+  std::string payload;
+  const SnapshotStatus read_status =
+      ReadSnapshotFile(path, kCookieMagic, &payload, error);
+  if (read_status != SnapshotStatus::kOk) return read_status;
+
+  WireReader r(payload);
+  const uint32_t version = r.GetU32();
+  if (!r.ok() || version != kVersion) {
+    SetError(error, path + ": unsupported version " + std::to_string(version));
+    return SnapshotStatus::kBadVersion;
+  }
+  const uint32_t count = r.GetU32();
+  if (!r.ok()) {
+    SetError(error, path + ": truncated payload");
+    return SnapshotStatus::kCorrupt;
+  }
+  keys->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string key = r.GetString();
+    if (!r.ok()) {
+      keys->clear();
+      SetError(error, path + ": key " + std::to_string(i) +
+                          " failed to decode");
+      return SnapshotStatus::kCorrupt;
+    }
+    keys->push_back(std::move(key));
+  }
+  if (!r.AtEnd()) {
+    keys->clear();
+    SetError(error, path + ": trailing bytes after last key");
+    return SnapshotStatus::kCorrupt;
+  }
+  return SnapshotStatus::kOk;
+}
+
+SnapshotStatus SaveQuarantine(const std::string& path,
+                              const std::vector<QuarantineEntry>& entries,
+                              std::string* error) {
+  WireWriter w;
+  w.PutU32(kVersion);
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const QuarantineEntry& e : entries) {
+    w.PutString(e.key);
+    w.PutU32(e.strikes);
+  }
+  return WriteSnapshotFile(path, kQuarantineMagic, w.Take(), error);
+}
+
+SnapshotStatus LoadQuarantine(const std::string& path,
+                              std::vector<QuarantineEntry>* entries,
+                              std::string* error) {
+  entries->clear();
+  std::string payload;
+  const SnapshotStatus read_status =
+      ReadSnapshotFile(path, kQuarantineMagic, &payload, error);
+  if (read_status != SnapshotStatus::kOk) return read_status;
+
+  WireReader r(payload);
+  const uint32_t version = r.GetU32();
+  if (!r.ok() || version != kVersion) {
+    SetError(error, path + ": unsupported version " + std::to_string(version));
+    return SnapshotStatus::kBadVersion;
+  }
+  const uint32_t count = r.GetU32();
+  if (!r.ok()) {
+    SetError(error, path + ": truncated payload");
+    return SnapshotStatus::kCorrupt;
+  }
+  entries->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    QuarantineEntry e;
+    e.key = r.GetString();
+    e.strikes = r.GetU32();
+    if (!r.ok()) {
+      entries->clear();
+      SetError(error, path + ": entry " + std::to_string(i) +
+                          " failed to decode");
+      return SnapshotStatus::kCorrupt;
+    }
+    entries->push_back(std::move(e));
   }
   if (!r.AtEnd()) {
     entries->clear();

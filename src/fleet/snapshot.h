@@ -56,6 +56,39 @@ SnapshotStatus LoadCacheSnapshot(const std::string& path,
                                  std::vector<PlanCacheExportEntry>* entries,
                                  std::string* error = nullptr);
 
+// --- self-healing persistence (same discipline, different payloads) ---
+//
+// Crash cookie ("SDPCOOK1"): the routing keys a replica currently has in
+// flight, rewritten tmp+rename on every journal change.  After a crash
+// the supervisor reads the cookie to know exactly which keys the dead
+// process was computing -- the poison-strike evidence.  A clean drain
+// leaves the cookie empty.
+//
+// Quarantine file ("SDPQUAR1"): (routing key, strike count) pairs, saved
+// by the supervisor whenever strikes change and reloaded at fleet start,
+// so a poison key stays quarantined across supervisor restarts.  Both
+// formats share SnapshotStatus: any failure is typed and means starting
+// from an empty journal/quarantine, never a crash.
+
+SnapshotStatus SaveCrashCookie(const std::string& path,
+                               const std::vector<std::string>& keys,
+                               std::string* error = nullptr);
+SnapshotStatus LoadCrashCookie(const std::string& path,
+                               std::vector<std::string>* keys,
+                               std::string* error = nullptr);
+
+struct QuarantineEntry {
+  std::string key;
+  uint32_t strikes = 0;
+};
+
+SnapshotStatus SaveQuarantine(const std::string& path,
+                              const std::vector<QuarantineEntry>& entries,
+                              std::string* error = nullptr);
+SnapshotStatus LoadQuarantine(const std::string& path,
+                              std::vector<QuarantineEntry>* entries,
+                              std::string* error = nullptr);
+
 }  // namespace sdp
 
 #endif  // SDPOPT_FLEET_SNAPSHOT_H_

@@ -1,12 +1,46 @@
 #include "fleet/supervisor.h"
 
+#include <errno.h>
 #include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 
 #include "common/socket_util.h"
 #include "common/subprocess.h"
+#include "obs/dtrace.h"
+#include "obs/flight_recorder.h"
 
 namespace sdp {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// splitmix64, the same finalizer the fault injector's deterministic
+// probability stream uses: the respawn jitter must replay byte-identically
+// for a given (seed, replica, crash ordinal).
+uint64_t Splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// WaitProcess-style exit code: WEXITSTATUS, or 128+signal.
+int ExitCode(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+}  // namespace
 
 FleetSupervisor::FleetSupervisor(FleetConfig config)
     : config_(std::move(config)) {}
@@ -24,9 +58,20 @@ ReplicaConfig FleetSupervisor::MakeReplicaConfig(int i) const {
     rc.snapshot_path =
         config_.snapshot_dir + "/replica" + std::to_string(i) + ".snap";
   }
+  rc.cookie_path = CookiePath(i);
   rc.schema = config_.schema;
   rc.service = config_.service;
   return rc;
+}
+
+std::string FleetSupervisor::CookiePath(int i) const {
+  if (config_.cookie_dir.empty()) return "";
+  return config_.cookie_dir + "/replica" + std::to_string(i) + ".cookie";
+}
+
+std::string FleetSupervisor::quarantine_path() const {
+  if (config_.cookie_dir.empty()) return "";
+  return config_.cookie_dir + "/quarantine.qrt";
 }
 
 pid_t FleetSupervisor::ForkReplica(int i) {
@@ -55,7 +100,9 @@ bool FleetSupervisor::Start(std::string* error) {
   // known up front and survive replica restarts.
   replica_listen_fds_.assign(config_.num_replicas, -1);
   replica_ports_.assign(config_.num_replicas, 0);
-  replica_pids_.assign(config_.num_replicas, -1);
+  sup_.assign(config_.num_replicas, Supervised{});
+  board_ = std::make_unique<SelfHealingBoard>(
+      static_cast<size_t>(config_.num_replicas));
   for (int i = 0; i < config_.num_replicas; ++i) {
     const int fd = ListenLocalhost(0, error);
     if (fd < 0) {
@@ -67,9 +114,12 @@ bool FleetSupervisor::Start(std::string* error) {
   }
 
   // 2. Fork the replicas.
+  const double now = MonotonicSeconds();
   for (int i = 0; i < config_.num_replicas; ++i) {
-    replica_pids_[i] = ForkReplica(i);
-    if (replica_pids_[i] < 0) {
+    sup_[i].pid = ForkReplica(i);
+    sup_[i].managed = true;
+    sup_[i].spawn_seconds = now;
+    if (sup_[i].pid < 0) {
       if (error != nullptr) *error = "fork failed";
       Stop();
       return false;
@@ -97,33 +147,53 @@ bool FleetSupervisor::Start(std::string* error) {
   router_config.health_interval_ms = config_.health_interval_ms;
   router_config.obs_port = config_.router_obs_port;
   router_config.schema = config_.schema;
+  router_config.quarantine_strikes = config_.quarantine_strikes;
+  router_config.retry_budget_ratio = config_.retry_budget_ratio;
+  router_config.retry_budget_burst = config_.retry_budget_burst;
+  router_config.board = board_.get();
   router_ = std::make_unique<FleetRouter>(std::move(router_config));
+  // Reload the persisted strike ledger before any request routes: a
+  // poison key stays quarantined across supervisor restarts.  Typed load
+  // failures (missing, corrupt, stale version) mean an empty ledger.
+  if (!config_.cookie_dir.empty()) {
+    std::vector<QuarantineEntry> entries;
+    if (LoadQuarantine(quarantine_path(), &entries) == SnapshotStatus::kOk) {
+      router_->InstallQuarantineStrikes(entries);
+    }
+  }
   started_ = true;  // From here on Stop() must run even on router failure.
   if (!router_->Start(error)) {
     Stop();
     return false;
   }
+
+  // 4. Reaper: from here until Stop() joins it, this thread is the only
+  // caller of waitpid for the replica pids.
+  reaper_stop_.store(false, std::memory_order_release);
+  reaper_thread_ = std::thread([this] { ReaperLoop(); });
   return true;
 }
 
 void FleetSupervisor::Stop() {
+  // Join the reaper FIRST: after this, Stop() is the single waitpid owner
+  // again and the direct WaitProcess teardown below cannot double-reap.
+  reaper_stop_.store(true, std::memory_order_release);
+  if (reaper_thread_.joinable()) reaper_thread_.join();
   if (router_ != nullptr) {
     router_->Stop();
     router_.reset();
   }
-  for (size_t i = 0; i < replica_pids_.size(); ++i) {
-    if (replica_pids_[i] > 0) {
-      KillProcess(replica_pids_[i], SIGTERM);
-    }
+  for (Supervised& s : sup_) {
+    if (s.pid > 0) KillProcess(s.pid, SIGTERM);
   }
-  for (size_t i = 0; i < replica_pids_.size(); ++i) {
-    if (replica_pids_[i] > 0) {
+  for (Supervised& s : sup_) {
+    if (s.pid > 0) {
       // Graceful drain writes the snapshot; give it time, then escalate.
-      if (WaitProcess(replica_pids_[i], 10000) < 0) {
-        KillProcess(replica_pids_[i], SIGKILL);
-        WaitProcess(replica_pids_[i], 2000);
+      if (WaitProcess(s.pid, 10000) < 0) {
+        KillProcess(s.pid, SIGKILL);
+        WaitProcess(s.pid, 2000);
       }
-      replica_pids_[i] = -1;
+      s.pid = -1;
     }
   }
   for (int& fd : replica_listen_fds_) {
@@ -134,27 +204,230 @@ void FleetSupervisor::Stop() {
     ::close(router_listen_fd_);
     router_listen_fd_ = -1;
   }
+  board_.reset();
   started_ = false;
 }
 
-bool FleetSupervisor::ReplicaAlive(int i) {
-  return ProcessAlive(replica_pids_.at(i));
+pid_t FleetSupervisor::replica_pid(int i) const {
+  std::lock_guard<std::mutex> lock(sup_mu_);
+  return sup_.at(i).pid;
+}
+
+bool FleetSupervisor::ReplicaAlive(int i) const {
+  std::lock_guard<std::mutex> lock(sup_mu_);
+  return sup_.at(i).pid > 0;
+}
+
+bool FleetSupervisor::ReplicaCondemned(int i) const {
+  std::lock_guard<std::mutex> lock(sup_mu_);
+  return sup_.at(i).condemned;
+}
+
+uint64_t FleetSupervisor::ReplicaRestarts(int i) const {
+  std::lock_guard<std::mutex> lock(sup_mu_);
+  return sup_.at(i).restarts;
+}
+
+void FleetSupervisor::FailNextSpawns(int i, int count) {
+  std::lock_guard<std::mutex> lock(sup_mu_);
+  sup_.at(i).fail_next_spawns = count;
 }
 
 bool FleetSupervisor::KillReplica(int i, int sig) {
-  if (replica_pids_.at(i) <= 0) return false;
-  KillProcess(replica_pids_[i], sig);
-  const int rc = WaitProcess(replica_pids_[i], 10000);
-  replica_pids_[i] = -1;
-  return rc >= 0;
+  {
+    std::lock_guard<std::mutex> lock(sup_mu_);
+    Supervised& s = sup_.at(i);
+    if (s.pid <= 0) return false;
+    // Operator kill: the reaper must neither respawn it nor count the
+    // exit toward a crash loop.
+    s.managed = false;
+    s.respawn_at = -1;
+    KillProcess(s.pid, sig);
+  }
+  // The reaper is the single waitpid owner, so wait for IT to collect.
+  for (int waited = 0; waited < 10000; waited += 10) {
+    {
+      std::lock_guard<std::mutex> lock(sup_mu_);
+      if (sup_.at(i).pid <= 0) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sup_mu_);
+    if (sup_.at(i).pid > 0) KillProcess(sup_.at(i).pid, SIGKILL);
+  }
+  for (int waited = 0; waited < 2000; waited += 10) {
+    {
+      std::lock_guard<std::mutex> lock(sup_mu_);
+      if (sup_.at(i).pid <= 0) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+bool FleetSupervisor::CrashReplica(int i, int sig) {
+  std::lock_guard<std::mutex> lock(sup_mu_);
+  Supervised& s = sup_.at(i);
+  if (s.pid <= 0) return false;
+  // Managed stays true: this simulates an organic crash, and the whole
+  // point is watching the reaper heal it (or condemn a crash loop).
+  KillProcess(s.pid, sig);
+  return true;
 }
 
 bool FleetSupervisor::RestartReplica(int i) {
-  if (replica_pids_.at(i) > 0) return false;  // Still running.
+  std::lock_guard<std::mutex> lock(sup_mu_);
+  Supervised& s = sup_.at(i);
+  if (s.pid > 0) return false;  // Still running.
   const pid_t pid = ForkReplica(i);
   if (pid < 0) return false;
-  replica_pids_[i] = pid;
+  s.pid = pid;
+  s.managed = true;
+  s.spawn_seconds = MonotonicSeconds();
+  s.respawn_at = -1;
+  s.rapid_crashes = 0;
+  // An operator restart overrides a condemnation verdict.
+  if (s.condemned) {
+    s.condemned = false;
+    if (board_ != nullptr) {
+      board_->replicas[static_cast<size_t>(i)].condemned.store(false);
+    }
+    if (router_ != nullptr) router_->ClearCondemned(i);
+  }
   return true;
+}
+
+void FleetSupervisor::CollectExitLocked(int i, int status, double now) {
+  Supervised& s = sup_[static_cast<size_t>(i)];
+  const pid_t old_pid = s.pid;
+  s.pid = -1;
+  const bool crashed = !(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  FlightRecorder::Global().Record(
+      ObsKind::kReplicaExit, crashed ? 1 : 0, static_cast<uint32_t>(i),
+      static_cast<uint64_t>(old_pid),
+      static_cast<uint64_t>(static_cast<int64_t>(ExitCode(status))));
+  if (!crashed) {
+    // Deliberate exit (drain): nothing to heal.
+    s.respawn_at = -1;
+    return;
+  }
+  if (board_ != nullptr) {
+    board_->replicas[static_cast<size_t>(i)].crashes.fetch_add(1);
+  }
+  // Poison strikes: whatever keys the dead process journaled as in-flight
+  // are the crash's evidence.  The cookie is consumed (unlinked) here so
+  // a stale file can never strike twice; the respawned replica writes a
+  // fresh empty cookie at startup.
+  const std::string cookie = CookiePath(i);
+  if (!cookie.empty() && router_ != nullptr) {
+    std::vector<std::string> keys;
+    const SnapshotStatus st = LoadCrashCookie(cookie, &keys);
+    ::unlink(cookie.c_str());
+    if (st == SnapshotStatus::kOk && !keys.empty()) {
+      for (const std::string& key : keys) {
+        const uint32_t strikes = router_->AddPoisonStrike(key);
+        FlightRecorder::Global().Record(ObsKind::kPoisonStrike, 0,
+                                        static_cast<uint32_t>(i),
+                                        DtraceHash(key), strikes);
+      }
+      SaveQuarantine(quarantine_path(), router_->QuarantineSnapshot());
+    }
+  }
+  if (!s.managed) return;  // Operator kill: no crash-loop accounting.
+  s.crash_seq++;
+  const double uptime_ms = (now - s.spawn_seconds) * 1000.0;
+  if (uptime_ms < static_cast<double>(config_.crash_loop_window_ms)) {
+    ++s.rapid_crashes;
+  } else {
+    s.rapid_crashes = 1;
+  }
+  if (s.rapid_crashes >= config_.condemn_after) {
+    s.condemned = true;
+    s.respawn_at = -1;
+    if (board_ != nullptr) {
+      board_->replicas[static_cast<size_t>(i)].condemned.store(true);
+    }
+    if (router_ != nullptr) router_->SetCondemned(i);
+    FlightRecorder::Global().Record(ObsKind::kReplicaCondemn, 0,
+                                    static_cast<uint32_t>(i),
+                                    static_cast<uint64_t>(s.rapid_crashes));
+    return;
+  }
+  if (!config_.auto_respawn) return;
+  // Exponential backoff with deterministic jitter: base << (rapid-1),
+  // capped, plus up to 25% drawn from the (seed, replica, crash ordinal)
+  // jitter stream.
+  const int shift = std::min(s.rapid_crashes - 1, 10);
+  const int64_t base =
+      std::min(static_cast<int64_t>(config_.respawn_backoff_ms) << shift,
+               static_cast<int64_t>(config_.respawn_backoff_max_ms));
+  const uint64_t jitter =
+      Splitmix64(config_.respawn_jitter_seed ^
+                 (static_cast<uint64_t>(i) << 32) ^ s.crash_seq) %
+      (static_cast<uint64_t>(base) / 4 + 1);
+  s.last_backoff_ms = static_cast<int>(base + static_cast<int64_t>(jitter));
+  s.respawn_at = now + static_cast<double>(s.last_backoff_ms) / 1000.0;
+}
+
+void FleetSupervisor::RespawnDueLocked(double now) {
+  for (int i = 0; i < static_cast<int>(sup_.size()); ++i) {
+    Supervised& s = sup_[static_cast<size_t>(i)];
+    if (s.pid > 0 || s.condemned || !s.managed || s.respawn_at < 0 ||
+        now < s.respawn_at || !config_.auto_respawn) {
+      continue;
+    }
+    pid_t pid;
+    if (s.fail_next_spawns > 0) {
+      --s.fail_next_spawns;
+      // Crash-loop simulation: the child dies at birth with a nonzero
+      // exit, which the reaper then collects as a rapid crash.
+      pid = SpawnProcess([]() { return 41; });
+    } else {
+      pid = ForkReplica(i);
+    }
+    if (pid < 0) {
+      // Fork pressure: retry shortly without touching the crash ledger.
+      s.respawn_at = now + 0.1;
+      continue;
+    }
+    s.pid = pid;
+    s.spawn_seconds = now;
+    s.respawn_at = -1;
+    s.restarts++;
+    if (board_ != nullptr) {
+      board_->replicas[static_cast<size_t>(i)].restarts.fetch_add(1);
+    }
+    FlightRecorder::Global().Record(
+        ObsKind::kReplicaRespawn, 0, static_cast<uint32_t>(i),
+        static_cast<uint64_t>(pid), s.restarts,
+        static_cast<uint64_t>(s.last_backoff_ms));
+  }
+}
+
+void FleetSupervisor::ReaperLoop() {
+  while (!reaper_stop_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(sup_mu_);
+      const double now = MonotonicSeconds();
+      for (int i = 0; i < static_cast<int>(sup_.size()); ++i) {
+        Supervised& s = sup_[static_cast<size_t>(i)];
+        if (s.pid <= 0) continue;
+        int status = 0;
+        const pid_t r = ::waitpid(s.pid, &status, WNOHANG);
+        if (r == s.pid) {
+          CollectExitLocked(i, status, now);
+        } else if (r < 0 && errno == ECHILD) {
+          // Someone reaped it before the reaper existed (pre-Start kill);
+          // treat as a clean, unmanaged exit.
+          s.pid = -1;
+          s.respawn_at = -1;
+        }
+      }
+      RespawnDueLocked(now);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
 }
 
 }  // namespace sdp

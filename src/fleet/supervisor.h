@@ -3,8 +3,11 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fleet/replica.h"
@@ -18,6 +21,17 @@ namespace sdp {
 // RestartReplica() re-forks onto the retained fd, so the replica comes
 // back on the same port, the ring never changes, and the router's health
 // probe revives it automatically.
+//
+// Self-healing: a reaper thread is the fleet's single waitpid(2) owner
+// while the supervisor runs.  It collects every replica exit, and -- when
+// `auto_respawn` is on -- re-forks crashed replicas on their retained
+// listen fds with exponential backoff plus deterministic jitter.  A
+// replica that crashes `condemn_after` times in a row, each within
+// `crash_loop_window_ms` of its spawn, is *condemned*: permanently
+// removed from the ring (router SetCondemned) until an operator
+// RestartReplica() clears the verdict.  With `cookie_dir` set, crashed
+// replicas' in-flight routing keys (their crash cookies) are converted to
+// poison strikes on the router and persisted to the quarantine file.
 struct FleetConfig {
   int num_replicas = 3;
   int router_port = 0;           // 0 = kernel-assigned; see router_port().
@@ -32,6 +46,23 @@ struct FleetConfig {
   int vnodes = 64;
   int max_attempts = 3;
   int health_interval_ms = 200;
+  // --- self-healing ---
+  // Off by default: tests and tools that kill replicas expect them to
+  // stay dead unless they opted into supervision.
+  bool auto_respawn = false;
+  // Crash cookies land in <cookie_dir>/replica<i>.cookie and the strike
+  // ledger in <cookie_dir>/quarantine.qrt; "" disables both.
+  std::string cookie_dir;
+  int condemn_after = 3;           // K rapid crashes in a row => condemned.
+  int crash_loop_window_ms = 2000; // "rapid" = died this soon after spawn.
+  int respawn_backoff_ms = 100;    // Base backoff, doubled per rapid crash.
+  int respawn_backoff_max_ms = 2000;
+  // Jitter stream seed: the same seed, replica and crash ordinal always
+  // produce the same backoff, so chaos schedules replay byte-identically.
+  uint64_t respawn_jitter_seed = 1;
+  int quarantine_strikes = 3;      // Router passthrough.
+  double retry_budget_ratio = 0.2; // Router passthrough.
+  uint64_t retry_budget_burst = 64;
 };
 
 class FleetSupervisor {
@@ -42,40 +73,83 @@ class FleetSupervisor {
   FleetSupervisor(const FleetSupervisor&) = delete;
   FleetSupervisor& operator=(const FleetSupervisor&) = delete;
 
-  // Binds all sockets, forks the replicas, starts the router.
+  // Binds all sockets, forks the replicas, starts the router + reaper.
   bool Start(std::string* error);
-  // SIGTERMs every replica (graceful drain, snapshots saved), waits for
-  // them, stops the router.  Idempotent.
+  // Joins the reaper, SIGTERMs every replica (graceful drain, snapshots
+  // saved), waits for them, stops the router.  Idempotent.
   void Stop();
 
   int router_port() const { return router_port_; }
   int num_replicas() const { return config_.num_replicas; }
   int replica_port(int i) const { return replica_ports_.at(i); }
-  pid_t replica_pid(int i) const { return replica_pids_.at(i); }
-  bool ReplicaAlive(int i);
+  pid_t replica_pid(int i) const;
+  // True while replica i's process runs (more precisely: until the reaper
+  // collects its exit).  Never calls waitpid itself -- the reaper is the
+  // single owner, so no exit status can be double-reaped.
+  bool ReplicaAlive(int i) const;
 
-  // Kills replica i with `sig` (SIGTERM = graceful drain + snapshot,
-  // SIGKILL = simulated crash) and reaps it.  The router notices via its
-  // health probe and fails its key range over.
+  // Operator kill: sends `sig` (SIGTERM = graceful drain + snapshot,
+  // SIGKILL = hard kill), unmanages the replica so the reaper will NOT
+  // respawn it, and waits for the exit to be collected.  The router
+  // notices via its health probe and fails the key range over.
   bool KillReplica(int i, int sig);
-  // Re-forks replica i on its retained listen fd (same port).  With a
-  // snapshot dir configured the new process restores the drain-time
-  // snapshot and rejoins warm.
+  // Organic-crash simulation: sends `sig` but leaves the replica managed,
+  // so a supervising reaper (auto_respawn) respawns it.  Returns without
+  // waiting -- the whole point is watching the fleet heal itself.
+  bool CrashReplica(int i, int sig);
+  // Re-forks replica i on its retained listen fd (same port), clearing
+  // any condemnation.  With a snapshot dir configured the new process
+  // restores the drain-time snapshot and rejoins warm.
   bool RestartReplica(int i);
+
+  // Self-healing introspection.
+  bool ReplicaCondemned(int i) const;
+  uint64_t ReplicaRestarts(int i) const;
+  // Test hook: the next `count` auto-respawns of replica i fork a child
+  // that exits immediately with a nonzero code, simulating a crash loop.
+  void FailNextSpawns(int i, int count);
+  const SelfHealingBoard* board() const { return board_.get(); }
+  // "" when cookie_dir is unset.
+  std::string quarantine_path() const;
 
   FleetRouter* router() { return router_.get(); }
 
  private:
+  // Per-replica supervision record, under sup_mu_.
+  struct Supervised {
+    pid_t pid = -1;
+    bool managed = false;      // Reaper may respawn after a crash.
+    bool condemned = false;
+    double spawn_seconds = 0;  // Monotonic fork time (crash-loop window).
+    double respawn_at = -1;    // Monotonic respawn deadline; <0 = none.
+    int rapid_crashes = 0;     // Consecutive crashes inside the window.
+    uint64_t crash_seq = 0;    // Total crashes (jitter stream ordinal).
+    uint64_t restarts = 0;     // Auto-respawns delivered.
+    int last_backoff_ms = 0;   // Backoff applied before the next respawn.
+    int fail_next_spawns = 0;  // Test hook (FailNextSpawns).
+  };
+
   ReplicaConfig MakeReplicaConfig(int i) const;
   pid_t ForkReplica(int i);
+  std::string CookiePath(int i) const;
+  void ReaperLoop();
+  // Reaper helpers; sup_mu_ held.
+  void CollectExitLocked(int i, int status, double now);
+  void RespawnDueLocked(double now);
 
   FleetConfig config_;
   std::vector<int> replica_listen_fds_;
   std::vector<int> replica_ports_;
-  std::vector<pid_t> replica_pids_;
   int router_listen_fd_ = -1;
   int router_port_ = 0;
   std::unique_ptr<FleetRouter> router_;
+  std::unique_ptr<SelfHealingBoard> board_;
+
+  mutable std::mutex sup_mu_;
+  std::vector<Supervised> sup_;
+  std::thread reaper_thread_;
+  std::atomic<bool> reaper_stop_{false};
+
   bool started_ = false;
 };
 

@@ -1,7 +1,12 @@
 #include "fleet/wire.h"
 
 #include <string.h>
+#include <sys/socket.h>
 
+#include <chrono>
+#include <thread>
+
+#include "common/fault_injection.h"
 #include "common/socket_util.h"
 
 namespace sdp {
@@ -36,28 +41,77 @@ void BuildTraceExt(char* ext, uint64_t trace_id, uint64_t span_id) {
   memcpy(ext + 8, &span_id, sizeof(span_id));
 }
 
+// Every outbound frame funnels through here so the seeded chaos layer
+// can perturb the send deterministically.  Site semantics (probed in
+// this order, at most the first destructive one applies):
+//
+//   net.delay-ms       sleep V ms, then send normally.
+//   net.short-write    send 1 byte, then the rest (exercises the
+//                      receiver's partial-read loop; still succeeds).
+//   net.frame.corrupt  XOR header byte 0 before sending.  Corrupting the
+//                      magic -- not the payload -- guarantees the
+//                      receiver detects it as a typed framing failure;
+//                      the protocol has no payload checksum, so payload
+//                      corruption would be silent (DESIGN.md section 11).
+//   net.frame.truncate send only a prefix and report failure (the peer
+//                      sees a mid-frame EOF or times out).
+//   net.conn.reset     shut the socket down without sending.
+bool SendFrameBytes(int fd, std::string bytes) {
+  FaultInjector& inj = FaultInjector::Global();
+  if (inj.enabled() && !bytes.empty()) {
+    double v = 0;
+    if (inj.Hit("net.delay-ms", &v) && v > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int64_t>(v)));
+    }
+    const bool short_write = inj.Hit("net.short-write");
+    if (inj.Hit("net.frame.corrupt")) bytes[0] = static_cast<char>(bytes[0] ^ 0x5A);
+    if (inj.Hit("net.frame.truncate")) {
+      const size_t keep = bytes.size() / 2;
+      if (keep > 0) WriteFull(fd, bytes.data(), keep);
+      return false;
+    }
+    if (inj.Hit("net.conn.reset")) {
+      ::shutdown(fd, SHUT_RDWR);
+      return false;
+    }
+    if (short_write) {
+      if (!WriteFull(fd, bytes.data(), 1)) return false;
+      return bytes.size() == 1 ||
+             WriteFull(fd, bytes.data() + 1, bytes.size() - 1);
+    }
+  }
+  return WriteFull(fd, bytes.data(), bytes.size());
+}
+
 }  // namespace
 
 bool WriteFrame(int fd, FrameType type, uint8_t flags,
                 const std::string& payload) {
   if (payload.size() > kMaxFramePayload) return false;
+  std::string bytes;
+  bytes.reserve(kHeaderBytes + payload.size());
   char header[kHeaderBytes];
   BuildHeader(header, type, static_cast<uint8_t>(flags & ~kFlagTraceContext),
               static_cast<uint32_t>(payload.size()));
-  if (!WriteFull(fd, header, sizeof(header))) return false;
-  return payload.empty() || WriteFull(fd, payload.data(), payload.size());
+  bytes.append(header, sizeof(header));
+  bytes.append(payload);
+  return SendFrameBytes(fd, std::move(bytes));
 }
 
 bool WriteFrameTraced(int fd, FrameType type, uint8_t flags,
                       const std::string& payload, uint64_t trace_id,
                       uint64_t span_id) {
   if (payload.size() > kMaxFramePayload) return false;
+  std::string bytes;
+  bytes.reserve(kHeaderBytes + kTraceExtBytes + payload.size());
   char header[kHeaderBytes + kTraceExtBytes];
   BuildHeader(header, type, static_cast<uint8_t>(flags | kFlagTraceContext),
               static_cast<uint32_t>(payload.size()));
   BuildTraceExt(header + kHeaderBytes, trace_id, span_id);
-  if (!WriteFull(fd, header, sizeof(header))) return false;
-  return payload.empty() || WriteFull(fd, payload.data(), payload.size());
+  bytes.append(header, sizeof(header));
+  bytes.append(payload);
+  return SendFrameBytes(fd, std::move(bytes));
 }
 
 bool ReadFrame(int fd, Frame* out) {
@@ -331,6 +385,8 @@ std::string EncodeFleetResponse(const FleetResponse& resp) {
   w.PutU64(resp.plans_costed);
   w.PutString(resp.error);
   w.PutString(resp.fingerprint);
+  w.PutU8(resp.degraded ? 1 : 0);
+  w.PutString(resp.rung);
   return w.Take();
 }
 
@@ -349,6 +405,8 @@ bool DecodeFleetResponse(const std::string& payload, FleetResponse* out) {
   out->plans_costed = r.GetU64();
   out->error = r.GetString();
   out->fingerprint = r.GetString();
+  out->degraded = r.GetU8() != 0;
+  out->rung = r.GetString();
   return r.AtEnd();
 }
 

@@ -58,6 +58,12 @@ enum class FrameType : uint8_t {
 constexpr uint8_t kFlagFillFollows = 0x01;
 // A 16-byte trace-context extension follows the header (see above).
 constexpr uint8_t kFlagTraceContext = 0x02;
+// Request flag, router -> replica: serve this request *degraded* --
+// greedy-only rung under a one-plan cost budget -- because the routing
+// key is quarantined (crashed replicas N times).  Replicas that predate
+// the flag ignore it and serve normally, which is safe: quarantine is a
+// containment heuristic, not a correctness requirement.
+constexpr uint8_t kFlagDegraded = 0x04;
 
 // Pong payload byte 0 capability bits.  An empty pong payload (old
 // replicas) advertises nothing.
@@ -175,6 +181,12 @@ struct FleetResponse {
   uint64_t plans_costed = 0;
   std::string error;
   std::string fingerprint;
+  // Quarantine visibility: true when the replica served the request under
+  // kFlagDegraded, and the fallback rung that actually resolved it
+  // ("greedy" under quarantine, "sdp"/"idp"/"dp" otherwise) so clients
+  // and tests can assert the degraded path end to end.
+  bool degraded = false;
+  std::string rung;
 };
 
 // Point-in-time replica health + metrics, served over kStatsRequest.

@@ -77,6 +77,18 @@ const char* ObsKindName(ObsKind kind) {
       return "health_probe";
     case ObsKind::kSloBurn:
       return "slo_burn";
+    case ObsKind::kReplicaExit:
+      return "replica_exit";
+    case ObsKind::kReplicaRespawn:
+      return "replica_respawn";
+    case ObsKind::kReplicaCondemn:
+      return "replica_condemn";
+    case ObsKind::kPoisonStrike:
+      return "poison_strike";
+    case ObsKind::kQuarantineServe:
+      return "quarantine_serve";
+    case ObsKind::kRetryShed:
+      return "retry_shed";
   }
   return "unknown";
 }

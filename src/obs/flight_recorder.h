@@ -83,6 +83,14 @@ enum class ObsKind : uint8_t {
   // plan-quality objective.
   kSloBurn = 27,  // code=objective kind (0=latency 1=quality), a=rung,
                   // b=threshold bits, d=observed ratio bits (quality only)
+  // Self-healing supervision (never request/trace attributed).
+  kReplicaExit = 28,     // code=crashed, a=replica, b=pid, c=exit status
+  kReplicaRespawn = 29,  // a=replica, b=new pid, c=restart ordinal,
+                         // d=backoff ms applied before the respawn
+  kReplicaCondemn = 30,  // a=replica, b=rapid crash count
+  kPoisonStrike = 31,    // a=replica that crashed, b=key hash, c=strikes
+  kQuarantineServe = 32, // code=strikes, b=key hash (router side)
+  kRetryShed = 33,       // a=attempts made, b=retries spent, c=allowance
 };
 
 const char* ObsKindName(ObsKind kind);

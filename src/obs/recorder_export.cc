@@ -177,6 +177,29 @@ std::string ObsEventToJson(const ObsEvent& ev,
         AppendDoubleBits(&out, ev.d);
       }
       break;
+    case ObsKind::kReplicaExit:
+      out << ",\"crashed\":" << (ev.code != 0 ? "true" : "false")
+          << ",\"replica\":" << ev.a << ",\"pid\":" << ev.b
+          << ",\"exit_status\":" << ev.c;
+      break;
+    case ObsKind::kReplicaRespawn:
+      out << ",\"replica\":" << ev.a << ",\"pid\":" << ev.b
+          << ",\"restarts\":" << ev.c << ",\"backoff_ms\":" << ev.d;
+      break;
+    case ObsKind::kReplicaCondemn:
+      out << ",\"replica\":" << ev.a << ",\"rapid_crashes\":" << ev.b;
+      break;
+    case ObsKind::kPoisonStrike:
+      out << ",\"replica\":" << ev.a << ",\"key_hash\":" << ev.b
+          << ",\"strikes\":" << ev.c;
+      break;
+    case ObsKind::kQuarantineServe:
+      out << ",\"strikes\":" << ev.code << ",\"key_hash\":" << ev.b;
+      break;
+    case ObsKind::kRetryShed:
+      out << ",\"attempts\":" << ev.a << ",\"retries_spent\":" << ev.b
+          << ",\"allowance\":" << ev.c;
+      break;
   }
   out << "}";
   return out.str();

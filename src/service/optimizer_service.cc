@@ -81,6 +81,7 @@ std::string GovernanceCacheTag(const ServiceRequest& request) {
   tag += ",gmp=" + std::to_string(request.budget.max_plans_costed);
   tag += ",cac=" + std::to_string(request.budget.cancel_at_checkpoint);
   tag += ",fb=" + std::to_string(request.fallback_enabled ? 1 : 0);
+  tag += ",minr=" + std::to_string(static_cast<int>(request.min_rung));
   tag += ",rung=" + std::to_string(static_cast<int>(request.max_rung));
   return tag;
 }
@@ -528,7 +529,9 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
 
   if (governed) {
     FallbackConfig ladder;
-    ladder.start_rung = StartRungFor(request.spec);
+    // min_rung can only deepen the start (skip rungs), never shallow it:
+    // a quarantined request pinned to greedy must not re-enter DP.
+    ladder.start_rung = std::max(StartRungFor(request.spec), request.min_rung);
     ladder.max_rung =
         request.fallback_enabled ? request.max_rung : ladder.start_rung;
     ladder.idp = request.spec.idp;

@@ -123,6 +123,11 @@ struct ServiceRequest {
   ResourceBudget::Limits budget;
   // Escalate one rung at a time on budget trips instead of failing.
   bool fallback_enabled = false;
+  // Shallowest rung the ladder may start on: the effective start is the
+  // deeper of this and the algorithm spec's natural rung.  The fleet's
+  // poison-query quarantine pins degraded requests to kGreedy with it,
+  // skipping the expensive rungs a poisoned key keeps crashing.
+  FallbackRung min_rung = FallbackRung::kDP;
   // Deepest rung the ladder may escalate to.
   FallbackRung max_rung = FallbackRung::kGreedy;
   // Caller-owned cooperative cancellation; must outlive the request.

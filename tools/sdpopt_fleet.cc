@@ -25,6 +25,16 @@
 //     phase 3  victim restarted from its drain-time snapshot; its
 //              fresh-process hit rate (warm_hit_rate) must beat its
 //              phase-1 cold rate (cold_hit_rate)
+//     phase 4  self-healing chaos: a FRESH fleet (forked after the fault
+//              injector is armed, so replicas inherit the seeded config)
+//              runs under --fault-spec network faults, periodic SIGKILLs
+//              and a poison query, with auto-respawn on.  Contract: zero
+//              client-visible failures after bounded retries, >= 1
+//              auto-respawn, the poison key quarantined and answered
+//              degraded.  Report: --chaos-json (BENCH_fleet_chaos.json).
+//
+// Chaos quickstart:
+//   sdpopt_fleet --soak --fault-spec=net.frame.corrupt%0.01
 //
 // Drive mode:
 //   sdpopt_fleet --drive=2 --router-port=7450 --queries=2
@@ -48,6 +58,11 @@
 //   --queries=N               distinct queries per topology (default 6)
 //   --clients=K               concurrent client connections (default 4)
 //   --json=PATH               soak report path (default BENCH_fleet.json)
+//   --fault-spec=SPEC         phase-4 fault rules (common/fault_injection.h
+//                             grammar; default exercises every net.* site)
+//   --fault-seed=N            chaos seed: same seed, same fault schedule
+//                             (default 1234)
+//   --chaos-json=PATH         phase-4 report (default BENCH_fleet_chaos.json)
 //
 // Exit codes: 0 ok, 1 runtime failure, 2 usage, 3 soak contract violated
 // (lost requests or warm <= cold).
@@ -64,11 +79,16 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/subprocess.h"
 #include "fleet/fleet_client.h"
+#include "fleet/routing_key.h"
 #include "fleet/supervisor.h"
+#include "obs/dtrace.h"
 #include "obs/introspection.h"
+#include "obs/recorder_export.h"
 #include "query/topology.h"
+#include "stats/column_stats.h"
 #include "workload/workload.h"
 
 namespace sdp {
@@ -86,13 +106,29 @@ struct Flags {
   int queries = 6;
   int clients = 4;
   std::string json_path = "BENCH_fleet.json";
+  std::string fault_spec;  // Empty = the default all-sites chaos spec.
+  uint64_t fault_seed = 1234;
+  std::string chaos_json_path = "BENCH_fleet_chaos.json";
 };
+
+// Default phase-4 spec: every net.* fault site at soak-survivable rates.
+constexpr char kDefaultChaosSpec[] =
+    "net.frame.corrupt%0.01,net.frame.truncate%0.005,net.conn.reset%0.002,"
+    "net.short-write%0.05,net.delay-ms%0.01=2";
 
 bool ParseInt(const std::string& s, int* out) {
   char* end = nullptr;
   const long v = strtol(s.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') return false;
   *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || s.empty()) return false;
+  *out = v;
   return true;
 }
 
@@ -270,6 +306,8 @@ bool WriteSoakJson(const std::string& path, const Flags& flags,
   std::fprintf(f, "  ]\n}\n");
   return std::fclose(f) == 0;
 }
+
+int RunChaos(const Flags& flags);  // Phase 4; defined below.
 
 int RunSoak(const Flags& flags) {
   Flags f = flags;
@@ -452,7 +490,261 @@ int RunSoak(const Flags& flags) {
                  warm_slice.HitRate(), cold_slice.HitRate());
     return 3;
   }
-  std::fprintf(stderr, "soak: PASS\n");
+  std::fprintf(stderr, "soak: phases 1-3 PASS\n");
+  // Phase 4 stands up its own fresh fleet: the fault injector must be
+  // armed before the forks so the replicas inherit the chaos config.
+  return RunChaos(flags);
+}
+
+// --- Phase 4: self-healing chaos on a fresh fleet. ---
+//
+// The fleet is forked AFTER the fault injector is armed so every replica
+// inherits the seeded config; the parent's router and clients run under
+// the same faults, so both directions of every hop see chaos.
+int RunChaos(const Flags& flags) {
+  Flags f = flags;
+  std::string cookie_template = "/tmp/sdpopt_chaos.XXXXXX";
+  if (::mkdtemp(cookie_template.data()) == nullptr) {
+    std::fprintf(stderr, "chaos: mkdtemp failed\n");
+    return 1;
+  }
+
+  const Catalog catalog = MakeSyntheticCatalog(FleetConfig().schema);
+  const StatsCatalog stats = SynthesizeStats(catalog);
+  const std::vector<FleetRequest> workload = MakeWorkload(catalog, f.queries);
+
+  // The first workload request doubles as the poison query: its selector
+  // arms "replica.poison" for exactly that routing key, so whichever
+  // replica optimizes it crashes (90% of the time) until quarantined.
+  const FleetRequest& poison = workload.front();
+  const uint64_t selector =
+      DtraceHash(FleetRoutingKey(poison, catalog, stats)) % 100000;
+  std::string spec = f.fault_spec.empty() ? kDefaultChaosSpec : f.fault_spec;
+  {
+    char rule[64];
+    std::snprintf(rule, sizeof(rule), ",replica.poison%%0.9=%llu",
+                  static_cast<unsigned long long>(selector));
+    spec += rule;
+  }
+  std::string error;
+  if (!FaultInjector::Global().Configure(f.fault_seed, spec, &error)) {
+    std::fprintf(stderr, "chaos: bad fault spec: %s\n", error.c_str());
+    return 2;
+  }
+
+  FleetConfig config;
+  config.num_replicas = f.replicas;
+  config.service.num_threads = f.threads;
+  config.health_interval_ms = 50;
+  config.auto_respawn = true;
+  config.cookie_dir = cookie_template;
+  config.respawn_backoff_ms = 50;
+  config.respawn_backoff_max_ms = 400;
+  // A soak kill right after a respawn must read as bad luck, not a crash
+  // loop: nothing in this phase should condemn.
+  config.crash_loop_window_ms = 1;
+  config.respawn_jitter_seed = f.fault_seed;
+  FleetSupervisor fleet(config);
+  if (!fleet.Start(&error)) {
+    FaultInjector::Global().Disable();
+    std::fprintf(stderr, "chaos: fleet start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "chaos: %d replicas under spec \"%s\" seed %llu, poison "
+               "selector %llu\n",
+               fleet.num_replicas(), spec.c_str(),
+               static_cast<unsigned long long>(f.fault_seed),
+               static_cast<unsigned long long>(selector));
+
+  // Periodic SIGKILLs, round-robin, while traffic flows.
+  std::atomic<bool> stop_killer{false};
+  std::atomic<uint64_t> kills{0};
+  std::thread killer([&] {
+    int next = 0;
+    while (!stop_killer.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      if (stop_killer.load()) break;
+      const int victim = next++ % f.replicas;
+      if (fleet.CrashReplica(victim, SIGKILL)) {
+        kills.fetch_add(1);
+        std::fprintf(stderr, "chaos: SIGKILL replica %d\n", victim);
+      }
+    }
+  });
+
+  // Continuous traffic with bounded client retries.  A request only
+  // counts as failed once its retries are exhausted -- the soak contract
+  // is "zero failed after retry", not "zero faults observed".
+  const int kPasses = 3;
+  const int kMaxTries = 25;
+  uint64_t attempted = 0;
+  uint64_t failed_after_retry = 0;
+  uint64_t degraded_served = 0;
+  uint64_t fingerprint_hash = 1469598103934665603ull;  // FNV-1a offset.
+  const double traffic_start = NowSeconds();
+  {
+    FleetClient client;
+    bool connected = client.Connect(fleet.router_port(), 5000, &error);
+    for (int pass = 0; pass < kPasses; ++pass) {
+      for (const FleetRequest& request : workload) {
+        ++attempted;
+        bool served = false;
+        FleetResponse resp;
+        for (int attempt = 0; attempt < kMaxTries && !served; ++attempt) {
+          if (!connected) {
+            connected = client.Connect(fleet.router_port(), 5000, &error);
+            if (!connected) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(100));
+              continue;
+            }
+          }
+          if (!client.Optimize(request, &resp, &error)) {
+            // Transport fault (possibly injected on the client hop):
+            // reconnect and retry.
+            client.Close();
+            connected = false;
+            continue;
+          }
+          if (resp.ok) {
+            served = true;
+            break;
+          }
+          // Typed shed or failover exhaustion: honor the router's
+          // retry-after hint before trying again.
+          const int backoff =
+              resp.retry_after_ms > 0 ? resp.retry_after_ms : 100;
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        }
+        if (!served) {
+          ++failed_after_retry;
+          continue;
+        }
+        if (resp.degraded) ++degraded_served;
+        if (pass == kPasses - 1) {
+          // Fold the final pass's plan fingerprints (fixed request
+          // order) into one hash: same seed, same fleet => same value.
+          for (const char c : resp.fingerprint) {
+            fingerprint_hash ^= static_cast<unsigned char>(c);
+            fingerprint_hash *= 1099511628211ull;
+          }
+        }
+      }
+    }
+  }
+  const double traffic_seconds = NowSeconds() - traffic_start;
+  stop_killer.store(true);
+  killer.join();
+
+  // Every kill must have healed: wait for the reaper to finish respawns.
+  uint64_t restarts = 0;
+  const double heal_deadline = NowSeconds() + 15.0;
+  while (NowSeconds() < heal_deadline) {
+    restarts = 0;
+    for (int i = 0; i < f.replicas; ++i) restarts += fleet.ReplicaRestarts(i);
+    if (restarts >= kills.load()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  FaultInjector::Global().Disable();
+
+  const RouterStats rs = fleet.router()->stats();
+  uint64_t condemned = 0;
+  for (int i = 0; i < f.replicas; ++i) {
+    condemned += fleet.ReplicaCondemned(i) ? 1 : 0;
+  }
+  fleet.Stop();
+  for (int i = 0; i < f.replicas; ++i) {
+    ::unlink((cookie_template + "/replica" + std::to_string(i) + ".cookie")
+                 .c_str());
+  }
+  ::unlink((cookie_template + "/quarantine.qrt").c_str());
+  ::rmdir(cookie_template.c_str());
+
+  std::fprintf(stderr,
+               "chaos: %llu requests, failed_after_retry=%llu, kills=%llu, "
+               "restarts=%llu, condemned=%llu, quarantined_keys=%llu, "
+               "degraded_served=%llu, retry_budget_exhausted=%llu\n",
+               static_cast<unsigned long long>(attempted),
+               static_cast<unsigned long long>(failed_after_retry),
+               static_cast<unsigned long long>(kills.load()),
+               static_cast<unsigned long long>(restarts),
+               static_cast<unsigned long long>(condemned),
+               static_cast<unsigned long long>(rs.quarantined_keys),
+               static_cast<unsigned long long>(degraded_served),
+               static_cast<unsigned long long>(rs.retry_budget_exhausted));
+
+  char extra[512];
+  std::vector<std::string> rows;
+  std::snprintf(extra, sizeof(extra),
+                "      \"requests\": %llu,\n"
+                "      \"failed_after_retry\": %llu,\n"
+                "      \"degraded_served\": %llu,\n"
+                "      \"fault_seed\": %llu,\n"
+                "      \"fingerprint_hash\": %llu",
+                static_cast<unsigned long long>(attempted),
+                static_cast<unsigned long long>(failed_after_retry),
+                static_cast<unsigned long long>(degraded_served),
+                static_cast<unsigned long long>(f.fault_seed),
+                static_cast<unsigned long long>(fingerprint_hash));
+  const double per_request_ms =
+      attempted == 0 ? 0 : traffic_seconds * 1000.0 / attempted;
+  rows.push_back(
+      JsonRow("BM_FleetChaos/traffic", attempted, per_request_ms, extra));
+  std::snprintf(extra, sizeof(extra),
+                "      \"kills\": %llu,\n"
+                "      \"restarts\": %llu,\n"
+                "      \"condemned\": %llu,\n"
+                "      \"quarantined_keys\": %llu,\n"
+                "      \"quarantine_served\": %llu,\n"
+                "      \"retry_budget_exhausted\": %llu,\n"
+                "      \"router_failovers\": %llu",
+                static_cast<unsigned long long>(kills.load()),
+                static_cast<unsigned long long>(restarts),
+                static_cast<unsigned long long>(condemned),
+                static_cast<unsigned long long>(rs.quarantined_keys),
+                static_cast<unsigned long long>(rs.quarantine_served),
+                static_cast<unsigned long long>(rs.retry_budget_exhausted),
+                static_cast<unsigned long long>(rs.failovers));
+  rows.push_back(JsonRow("BM_FleetChaos/healing",
+                         kills.load() > 0 ? kills.load() : 1, per_request_ms,
+                         extra));
+  if (!WriteSoakJson(f.chaos_json_path, f, rows)) {
+    std::fprintf(stderr, "chaos: cannot write %s\n",
+                 f.chaos_json_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "chaos: report written to %s\n",
+               f.chaos_json_path.c_str());
+
+  // On a contract violation, dump the router-side flight recorder next to
+  // the report: CI uploads it so a failed soak ships its own evidence.
+  auto fail_chaos = [] {
+    std::string err;
+    if (DumpFlightRecorderToFile("chaos-flight.jsonl", &err)) {
+      std::fprintf(stderr, "chaos: flight recorder dumped to "
+                           "chaos-flight.jsonl\n");
+    } else {
+      std::fprintf(stderr, "chaos: flight dump failed: %s\n", err.c_str());
+    }
+    return 3;
+  };
+  if (failed_after_retry > 0) {
+    std::fprintf(stderr, "chaos: FAIL -- %llu request(s) lost\n",
+                 static_cast<unsigned long long>(failed_after_retry));
+    return fail_chaos();
+  }
+  if (kills.load() > 0 && restarts == 0) {
+    std::fprintf(stderr, "chaos: FAIL -- no auto-respawn after kills\n");
+    return fail_chaos();
+  }
+  if (rs.quarantined_keys == 0 || degraded_served == 0) {
+    std::fprintf(stderr,
+                 "chaos: FAIL -- poison key never quarantined/served "
+                 "degraded\n");
+    return fail_chaos();
+  }
+  std::fprintf(stderr, "chaos: PASS\n");
   return 0;
 }
 
@@ -561,6 +853,12 @@ int Main(int argc, char** argv) {
       ok = ParseInt(value, &flags.clients) && flags.clients >= 1;
     } else if (name == "--json") {
       flags.json_path = value;
+    } else if (name == "--fault-spec") {
+      flags.fault_spec = value;
+    } else if (name == "--fault-seed") {
+      ok = ParseU64(value, &flags.fault_seed);
+    } else if (name == "--chaos-json") {
+      flags.chaos_json_path = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", name.c_str());
       return Usage();
