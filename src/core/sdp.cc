@@ -300,6 +300,11 @@ OptimizeResult OptimizeSDP(const Query& query, const CostModel& cost,
   SearchCounters counters;
   OptimizerOptions run_options = options;
   IntraQueryWorkers intra(&run_options);
+  if (run_options.enumerator == PlanEnumeratorKind::kGOO) {
+    // The per-level pruning filter needs complete levels; GOO's greedy
+    // merges do not produce them, so SDP falls back to DPsize.
+    run_options.enumerator = PlanEnumeratorKind::kDPsize;
+  }
   JoinEnumerator enumerator(graph, cost, space, &card, &memo, &pool, &gauge,
                             run_options, &counters);
   Tracer* const tracer = options.tracer;

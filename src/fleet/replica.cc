@@ -163,6 +163,7 @@ bool HandleOptimize(ReplicaState& state, int conn, const Frame& frame) {
   // configured intra-query parallelism.  Plans, costs and structural
   // /dtracez timelines are bit-identical at any setting.
   sreq.options.opt_threads = state.config->service.max_opt_threads;
+  sreq.options.enumerator = req.enumerator;
   if (degraded) {
     // Quarantined key: the ladder is pinned to the greedy rung from both
     // ends (min == max == kGreedy), so the expensive enumeration this key

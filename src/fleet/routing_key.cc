@@ -13,7 +13,8 @@ std::string FleetRoutingKey(const FleetRequest& request,
   const CanonicalQueryForm form = CanonicalizeQuery(request.query, cost);
   return form.key + "|algo=" +
          std::to_string(static_cast<int>(request.algo)) + "/" +
-         std::to_string(request.idp_k);
+         std::to_string(request.idp_k) + "|enum=" +
+         EnumeratorName(request.enumerator);
 }
 
 }  // namespace sdp

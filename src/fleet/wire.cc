@@ -352,6 +352,7 @@ std::string EncodeFleetRequest(const FleetRequest& req) {
   w.PutU64(req.request_id);
   w.PutU8(static_cast<uint8_t>(req.algo));
   w.PutI32(req.idp_k);
+  w.PutU8(static_cast<uint8_t>(req.enumerator));
   EncodeQuery(req.query, &w);
   return w.Take();
 }
@@ -361,11 +362,14 @@ bool DecodeFleetRequest(const std::string& payload, FleetRequest* out) {
   out->request_id = r.GetU64();
   const uint8_t algo = r.GetU8();
   out->idp_k = r.GetI32();
+  const uint8_t enumerator = r.GetU8();
   if (!r.ok() || algo > static_cast<uint8_t>(AlgorithmSpec::Kind::kSDP) ||
-      out->idp_k < 2 || out->idp_k > 64) {
+      out->idp_k < 2 || out->idp_k > 64 ||
+      enumerator > static_cast<uint8_t>(PlanEnumeratorKind::kGOO)) {
     return false;
   }
   out->algo = static_cast<AlgorithmSpec::Kind>(algo);
+  out->enumerator = static_cast<PlanEnumeratorKind>(enumerator);
   if (!DecodeQuery(&r, &out->query)) return false;
   return r.AtEnd();
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "optimizer/optimizer_types.h"
 #include "query/join_graph.h"
 #include "service/plan_cache.h"
 
@@ -159,6 +160,9 @@ struct FleetRequest {
   Query query;
   AlgorithmSpec::Kind algo = AlgorithmSpec::Kind::kSDP;
   int idp_k = 7;
+  // Plan enumerator the replica must run (part of the routing key: plans
+  // from different enumerators never coalesce in the shared cache tier).
+  PlanEnumeratorKind enumerator = PlanEnumeratorKind::kDPsize;
 
   AlgorithmSpec Spec() const;
 };

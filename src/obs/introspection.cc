@@ -105,6 +105,12 @@ std::string RenderStatusz(const OptimizerService& service,
     out << FallbackRungName(rung) << ": "
         << (service.breakers().For(rung).open() ? "open" : "closed") << "\n";
   }
+  out << "\n[rungs]\n"
+      << "dp: " << m.rung_dp.load() << "\n"
+      << "idp: " << m.rung_idp.load() << "\n"
+      << "sdp: " << m.rung_sdp.load() << "\n"
+      << "greedy: " << m.rung_greedy.load() << "\n"
+      << "goo: " << m.rung_goo.load() << "\n";
   out << "\n[admission]\n"
       << "admitted_bytes: " << service.admitted_bytes() << "\n"
       << "admission_waits: " << m.admission_waits.load() << "\n"

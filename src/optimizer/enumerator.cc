@@ -148,6 +148,7 @@ MemoEntry* JoinEnumerator::InstallBaseRelationLeaf(int rel) {
   MemoEntry* entry =
       memo_->GetOrCreate(rels, 1, cost_->ScanOutputRows(rel), 1.0, &created);
   SDP_CHECK(created);
+  units_.push_back(rels);
   ++counters_->jcrs_created;
 
   ++counters_->plans_costed;
@@ -186,6 +187,7 @@ MemoEntry* JoinEnumerator::InstallLeaf(RelSet rels, double rows, double sel,
   bool created = false;
   MemoEntry* entry = memo_->GetOrCreate(rels, 1, rows, sel, &created);
   SDP_CHECK(created);
+  units_.push_back(rels);
   ++counters_->jcrs_created;
   for (const RankedPlan& rp : plans) {
     if (entry->AddPlan(rp.plan)) memo_->ChargePlanSlot();
@@ -195,10 +197,120 @@ MemoEntry* JoinEnumerator::InstallLeaf(RelSet rels, double rows, double sel,
 
 bool JoinEnumerator::RunLevel(int level) {
   SDP_CHECK(level >= 2);
+  switch (options_.enumerator) {
+    case PlanEnumeratorKind::kDPccp:
+      return RunLevelCcp(level);
+    case PlanEnumeratorKind::kGOO:
+      return RunLevelGoo(level);
+    case PlanEnumeratorKind::kDPsize:
+      break;
+  }
   if (options_.opt_threads > 1 && options_.intra_pool != nullptr) {
     return RunLevelParallel(level);
   }
   return RunLevelSerial(level);
+}
+
+bool JoinEnumerator::RunLevelCcp(int level) {
+  if (BudgetExceeded()) return false;
+  if (ccp_ == nullptr) {
+    ccp_ = std::make_unique<CsgCmpEnumerator>(*graph_, units_, counters_);
+    // Connected-subgraph populations grow quadratically in the unit count
+    // on chains/cycles; pre-size past the ctor's level-2 lower bound so
+    // 50+ relation runs don't rehash mid-enumeration.
+    const size_t n = units_.size();
+    memo_->Reserve(std::min<size_t>(n * (n + 1) / 2 + n, size_t{1} << 18));
+  }
+  // Build the level's csg-cmp task list.  Owner thread only, and no budget
+  // checkpoints: the cost phase must consume the identical checkpoint
+  // sequence whether it then runs serial or sharded.  Pairs whose side is
+  // missing (SDP erased it) or pruned are dropped here, uncounted, exactly
+  // as the DPsize scan never pairs them.
+  ccp_tasks_.clear();
+  ccp_->EnumerateLevel(level, [&](uint64_t s1, uint64_t s2) {
+    const MemoEntry* a = memo_->Find(ccp_->RelsFor(s1));
+    if (a == nullptr || a->pruned) return;
+    const MemoEntry* b = memo_->Find(ccp_->RelsFor(s2));
+    if (b == nullptr || b->pruned) return;
+    // Orient like the size-driven scan: the smaller side first.
+    if (b->unit_count < a->unit_count) std::swap(a, b);
+    ccp_tasks_.push_back(CcpTask{a, b, a->rels.Union(b->rels)});
+  });
+  if (options_.opt_threads > 1 && options_.intra_pool != nullptr &&
+      ccp_tasks_.size() >= options_.parallel_min_pairs) {
+    return RunLevelCcpParallel(level, ccp_tasks_);
+  }
+  return RunLevelCcpSerial(level, ccp_tasks_);
+}
+
+bool JoinEnumerator::RunLevelCcpSerial(int level,
+                                       const std::vector<CcpTask>& tasks) {
+  (void)level;
+  for (const CcpTask& t : tasks) {
+    ++counters_->pairs_examined;
+    if ((counters_->pairs_examined & poll_mask_) == 0 && BudgetExceeded()) {
+      return false;
+    }
+    bool created = false;
+    MemoEntry* target = memo_->GetOrCreate(
+        t.target, t.a->unit_count + t.b->unit_count, card_->Rows(t.target),
+        card_->Selectivity(t.target), &created);
+    if (created) ++counters_->jcrs_created;
+    EmitJoinsInto(target, t.a, t.b);
+  }
+  return !BudgetExceeded();
+}
+
+bool JoinEnumerator::RunLevelGoo(int level) {
+  (void)level;
+  if (BudgetExceeded()) return false;
+  if (!goo_seeded_) {
+    goo_seeded_ = true;
+    goo_roots_.reserve(units_.size());
+    for (const RelSet& u : units_) {
+      MemoEntry* e = memo_->Find(u);
+      SDP_CHECK(e != nullptr);
+      goo_roots_.push_back(e);
+    }
+  }
+  if (goo_roots_.size() < 2) return !BudgetExceeded();
+  // One greedy merge: the adjacent root pair with the smallest joint
+  // cardinality (strict <, first pair in scan order wins ties).
+  size_t best_i = 0;
+  size_t best_j = 0;
+  double best_rows = std::numeric_limits<double>::infinity();
+  RelSet best_set;
+  for (size_t i = 0; i + 1 < goo_roots_.size(); ++i) {
+    const RelSet i_nbrs = graph_->Neighbors(goo_roots_[i]->rels);
+    for (size_t j = i + 1; j < goo_roots_.size(); ++j) {
+      if (!i_nbrs.Overlaps(goo_roots_[j]->rels)) continue;
+      ++counters_->pairs_examined;
+      if ((counters_->pairs_examined & poll_mask_) == 0 &&
+          BudgetExceeded()) {
+        return false;
+      }
+      const RelSet s = goo_roots_[i]->rels.Union(goo_roots_[j]->rels);
+      const double rows = card_->Rows(s);
+      if (rows < best_rows) {
+        best_rows = rows;
+        best_i = i;
+        best_j = j;
+        best_set = s;
+      }
+    }
+  }
+  SDP_CHECK(best_rows < std::numeric_limits<double>::infinity());
+  MemoEntry* a = goo_roots_[best_i];
+  MemoEntry* b = goo_roots_[best_j];
+  bool created = false;
+  MemoEntry* target =
+      memo_->GetOrCreate(best_set, a->unit_count + b->unit_count, best_rows,
+                         card_->Selectivity(best_set), &created);
+  if (created) ++counters_->jcrs_created;
+  EmitJoinsInto(target, a, b);
+  goo_roots_[best_i] = target;
+  goo_roots_.erase(goo_roots_.begin() + static_cast<ptrdiff_t>(best_j));
+  return !BudgetExceeded();
 }
 
 bool JoinEnumerator::RunLevelSerial(int level) {

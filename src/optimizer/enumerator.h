@@ -1,6 +1,7 @@
 #ifndef SDPOPT_OPTIMIZER_ENUMERATOR_H_
 #define SDPOPT_OPTIMIZER_ENUMERATOR_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "cost/cardinality.h"
 #include "cost/cost_model.h"
 #include "optimizer/memo.h"
+#include "optimizer/plan_enumerator.h"
 #include "optimizer/plan_pool.h"
 #include "optimizer/optimizer_types.h"
 #include "query/join_graph.h"
@@ -213,8 +215,28 @@ class JoinCandidateGen {
   std::vector<int> edges_;  // Scratch for ConnectingEdgesInto.
 };
 
-// The size-driven ("DPsize", System-R / PostgreSQL style) bushy join
-// enumerator shared by DP, IDP and SDP.
+// One valid csg-cmp pair scheduled for costing at the current DPccp
+// level, in canonical enumeration order.  The owning thread builds the
+// level's task list before costing begins, so serial and parallel runs
+// walk the identical sequence.
+struct CcpTask {
+  const MemoEntry* a = nullptr;
+  const MemoEntry* b = nullptr;
+  RelSet target;
+};
+
+// The bushy join enumerator shared by DP, IDP and SDP, with a pluggable
+// plan-enumeration strategy (OptimizerOptions::enumerator):
+//
+//   kDPsize  the size-driven (System-R / PostgreSQL style) pair scan;
+//   kDPccp   connected-subgraph / complement-pair enumeration visiting
+//            only valid csg-cmp pairs (see optimizer/plan_enumerator.h);
+//   kGOO     greedy operator ordering, one minimum-cardinality adjacent
+//            merge per RunLevel call (DP driver and greedy rung only).
+//
+// All strategies share the candidate repertoire and apply path below, so
+// wherever two of them both complete they retain identical plans; only
+// pairs_examined (and for DPccp relset_intern_hits) differ.
 //
 // Leaves are "units": base relations in DP/SDP, possibly composites in IDP
 // iterations.  RunLevel(L) combines every adjacent pair of disjoint
@@ -304,6 +326,21 @@ class JoinEnumerator {
   // Falls back to RunLevelSerial below the parallel_min_pairs threshold.
   bool RunLevelParallel(int level);
 
+  // DPccp: builds the level's csg-cmp task list (owner thread, no budget
+  // checkpoints -- the level must consume the same checkpoint sequence
+  // whether it then runs serial or sharded) and dispatches to the serial
+  // cost loop or the parallel runner.
+  bool RunLevelCcp(int level);
+  bool RunLevelCcpSerial(int level, const std::vector<CcpTask>& tasks);
+  // Sharded csg-cmp costing + deterministic in-order merge; defined in
+  // parallel_enum.cc.  Falls back to RunLevelCcpSerial below two chunks.
+  bool RunLevelCcpParallel(int level, const std::vector<CcpTask>& tasks);
+
+  // GOO: one greedy minimum-cardinality adjacent merge per call.  Always
+  // serial (the scan is linear in the surviving roots), so results are
+  // trivially bit-identical at any opt_threads.
+  bool RunLevelGoo(int level);
+
   // Applies one costed candidate to `target`: for merge joins, the
   // dominance pre-gate runs before Sort enforcers are materialized (the
   // serial allocation discipline); every kind then funnels through TryAdd.
@@ -332,6 +369,14 @@ class JoinEnumerator {
   uint64_t poll_mask_;
   bool aborted_ = false;
   OptStatusCode status_ = OptStatusCode::kOk;
+  // Installed leaf units in install order (DPccp's quotient-graph nodes).
+  std::vector<RelSet> units_;
+  // DPccp state, built lazily on the first kDPccp level.
+  std::unique_ptr<CsgCmpEnumerator> ccp_;
+  std::vector<CcpTask> ccp_tasks_;  // Reused across levels.
+  // GOO state: the surviving merge roots, seeded from units_ lazily.
+  std::vector<MemoEntry*> goo_roots_;
+  bool goo_seeded_ = false;
 };
 
 }  // namespace sdp

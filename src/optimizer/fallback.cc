@@ -27,6 +27,15 @@ const char* FallbackRungName(FallbackRung rung) {
   return "unknown";
 }
 
+const char* FallbackRungLabel(FallbackRung rung,
+                              const OptimizerOptions& options) {
+  if (rung == FallbackRung::kGreedy &&
+      options.enumerator == PlanEnumeratorKind::kGOO) {
+    return "goo";
+  }
+  return FallbackRungName(rung);
+}
+
 bool ParseFallbackRung(const std::string& text, FallbackRung* out) {
   if (text == "dp") {
     *out = FallbackRung::kDP;
@@ -34,7 +43,7 @@ bool ParseFallbackRung(const std::string& text, FallbackRung* out) {
     *out = FallbackRung::kIDP;
   } else if (text == "sdp") {
     *out = FallbackRung::kSDP;
-  } else if (text == "greedy") {
+  } else if (text == "greedy" || text == "goo") {
     *out = FallbackRung::kGreedy;
   } else {
     return false;
@@ -93,6 +102,11 @@ OptimizeResult RunRung(FallbackRung rung, const FallbackConfig& config,
     case FallbackRung::kSDP:
       return OptimizeSDP(query, cost, config.sdp, options);
     case FallbackRung::kGreedy:
+      // With the GOO enumerator selected, the last resort is Greedy
+      // Operator Ordering (bushy greedy) instead of the left-deep chain.
+      if (options.enumerator == PlanEnumeratorKind::kGOO) {
+        return OptimizeGOO(query, cost, options);
+      }
       return OptimizeGreedyLeftDeep(query, cost, options);
   }
   OptimizeResult bad;
@@ -209,7 +223,7 @@ OptimizeResult OptimizeWithFallback(const Query& query, const CostModel& cost,
       res.counters = aggregate;
       res.elapsed_seconds = total_elapsed;
       res.peak_memory_mb = peak_mb;
-      res.rung = FallbackRungName(rung);
+      res.rung = FallbackRungLabel(rung, run_options);
       res.retries = tried;
       FlightRecorder::Global().Record(
           ObsKind::kRungResolved, static_cast<uint8_t>(res.status.code),

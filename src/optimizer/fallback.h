@@ -25,7 +25,14 @@ enum class FallbackRung : int {
 };
 
 const char* FallbackRungName(FallbackRung rung);
-// Parses "dp" / "idp" / "sdp" / "greedy" (as used by --max-rung).
+// The rung's reporting label for a given request: kGreedy reads "goo"
+// when the request selected the GOO enumerator (the greedy rung then runs
+// Greedy Operator Ordering instead of the left-deep chain), so /statusz,
+// rung metrics and quarantine pinning distinguish the two heuristics.
+const char* FallbackRungLabel(FallbackRung rung,
+                              const OptimizerOptions& options);
+// Parses "dp" / "idp" / "sdp" / "greedy" (as used by --max-rung); "goo"
+// is accepted as an alias for the greedy rung.
 bool ParseFallbackRung(const std::string& text, FallbackRung* out);
 
 struct FallbackConfig {

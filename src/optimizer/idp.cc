@@ -93,6 +93,11 @@ OptimizeResult OptimizeIDP(const Query& query, const CostModel& cost,
   // One worker pool spans every iteration's enumerator.
   OptimizerOptions run_options = options;
   IntraQueryWorkers intra(&run_options);
+  if (run_options.enumerator == PlanEnumeratorKind::kGOO) {
+    // GOO leaves levels incomplete; the balloon phase needs every
+    // level-`block` composite, so iterations fall back to DPsize.
+    run_options.enumerator = PlanEnumeratorKind::kDPsize;
+  }
 
   for (int iteration = 0;; ++iteration) {
     const int m = static_cast<int>(units.size());
@@ -285,6 +290,11 @@ OptimizeResult OptimizeIDP2(const Query& query, const CostModel& cost,
   // One worker pool spans every iteration's enumerator.
   OptimizerOptions run_options = options;
   IntraQueryWorkers intra(&run_options);
+  if (run_options.enumerator == PlanEnumeratorKind::kGOO) {
+    // GOO leaves levels incomplete; the balloon phase needs every
+    // level-`block` composite, so iterations fall back to DPsize.
+    run_options.enumerator = PlanEnumeratorKind::kDPsize;
+  }
 
   for (int iteration = 0;; ++iteration) {
     const int m = static_cast<int>(units.size());

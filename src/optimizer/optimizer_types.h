@@ -27,6 +27,37 @@ struct ParallelEnumStats {
   uint64_t merge_us = 0;  // Summed deterministic merge wall time.
 };
 
+// Which plan enumerator walks the join-order search space inside the
+// DP/IDP/SDP drivers.  All three share the same candidate repertoire and
+// apply path (JoinCandidateGen / JoinEnumerator::ApplyCandidate), so for
+// topologies where two enumerators both complete they retain identical
+// plans -- only the set of candidate *pairs* examined differs.
+//
+//   kDPsize  size-driven (System-R / PostgreSQL style) pair scan: every
+//            (a, b) entry pair whose unit counts sum to the level,
+//            including the disconnected/overlapping majority.
+//   kDPccp   connected-subgraph / complement-pair enumeration over the
+//            query graph's neighborhoods (Moerkotte & Neumann): visits
+//            only valid csg-cmp pairs, orders of magnitude fewer on
+//            chains and cycles.
+//   kGOO     greedy operator ordering: one globally minimum-cardinality
+//            adjacent merge per level -- a linear-time heuristic sibling
+//            that can replace the fallback ladder's greedy rung.  Honored
+//            by the DP driver and the greedy rung; IDP/SDP clamp it to
+//            kDPsize (their block/pruning logic needs complete levels).
+enum class PlanEnumeratorKind : uint8_t {
+  kDPsize = 0,
+  kDPccp = 1,
+  kGOO = 2,
+};
+
+// Stable lowercase name ("dpsize", "dpccp", "goo"), used by the CLI flag
+// and the plan-cache key tag.
+const char* EnumeratorName(PlanEnumeratorKind kind);
+// Parses a name produced by EnumeratorName.  Returns false (and leaves
+// *out untouched) on anything else.
+bool ParseEnumeratorKind(const std::string& name, PlanEnumeratorKind* out);
+
 // Resource limits for one optimization run.  The paper's notion of
 // infeasibility is running out of physical memory (1 GB machines); we make
 // the budget explicit so experiments can reproduce the feasibility frontier
@@ -64,6 +95,10 @@ struct OptimizerOptions {
   // OptimizeWithFallback and the drivers, so the service can read it after
   // the run.
   ParallelEnumStats* parallel_stats = nullptr;
+  // Plan enumerator walking the search space (see PlanEnumeratorKind).
+  // Part of the plan-cache key: two requests differing only here are
+  // distinct cache entries.
+  PlanEnumeratorKind enumerator = PlanEnumeratorKind::kDPsize;
 };
 
 // Search-effort counters, the paper's overhead metrics.
@@ -75,6 +110,11 @@ struct SearchCounters {
   uint64_t jcrs_created = 0;
   // Candidate pairs examined by the enumerator (diagnostic).
   uint64_t pairs_examined = 0;
+  // DPccp unit-set interning-table hits (a connected-subgraph mask whose
+  // RelSet had already been materialized was reused instead of recomputed).
+  // Incremented by the owner thread's build phase only, so the value is
+  // bit-identical between serial and parallel runs.
+  uint64_t relset_intern_hits = 0;
 };
 
 // Outcome of one optimization run.  When `feasible` is false (budget

@@ -397,4 +397,228 @@ bool JoinEnumerator::RunLevelParallel(int level) {
   return !BudgetExceeded();
 }
 
+namespace {
+
+// Everything one DPccp chunk produced.  The task list is dense -- every
+// entry is a valid csg-cmp pair -- so per-task candidate ranges are just
+// the running cand_ends offsets; no examined_at gap bookkeeping is needed.
+// Like ChunkOutput these buffers are deliberately not gauge-charged.
+struct CcpChunkOutput {
+  std::vector<uint32_t> cand_ends;  // cands offset after each task.
+  std::vector<JoinCandidate> cands;
+  uint64_t pairs_examined = 0;
+  uint64_t plans_costed = 0;
+};
+
+}  // namespace
+
+bool JoinEnumerator::RunLevelCcpParallel(int level,
+                                         const std::vector<CcpTask>& tasks) {
+  // ---- Chunk planning over the dense task list (no budget checkpoints:
+  // a level that falls back to the serial loop must consume exactly its
+  // checkpoint sequence). ----
+  const int workers = options_.intra_pool->num_threads() + 1;
+  const uint64_t chunk_target = std::max<uint64_t>(
+      256, tasks.size() / static_cast<uint64_t>(workers * 8));
+  struct Chunk {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+  std::vector<Chunk> chunks;
+  for (uint32_t begin = 0; begin < tasks.size();) {
+    const uint32_t end = static_cast<uint32_t>(
+        std::min<uint64_t>(tasks.size(), begin + chunk_target));
+    chunks.push_back(Chunk{begin, end});
+    begin = end;
+  }
+  if (chunks.size() < 2) return RunLevelCcpSerial(level, tasks);
+
+  // ---- Parallel costing phase: write-free on all shared optimizer
+  // state, workers keep every candidate (see the DPsize runner above for
+  // the determinism argument). ----
+  std::vector<CcpChunkOutput> outputs(chunks.size());
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<int> stop{-1};  // Becomes an OptStatusCode on a trip.
+  std::mutex mu;
+  std::condition_variable cv;
+  int active = 0;
+  double busy_seconds = 0;
+
+  auto run_chunks = [&]() {
+    const auto busy_start = std::chrono::steady_clock::now();
+    CardinalityEstimator wcard(*graph_, *cost_, /*gauge=*/nullptr);
+    JoinCandidateGen wgen(*graph_, *cost_, *space_);
+    ResourceBudget* const budget = options_.budget;
+    uint64_t local_pairs = 0;
+    bool stopped = false;
+    while (!stopped) {
+      const size_t ci = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (ci >= chunks.size()) break;
+      if (stop.load(std::memory_order_acquire) >= 0) break;
+      CcpChunkOutput out;
+      out.cand_ends.reserve(chunks[ci].end - chunks[ci].begin);
+      out.cands.reserve(1024);
+      for (uint32_t k = chunks[ci].begin; k != chunks[ci].end && !stopped;
+           ++k) {
+        const CcpTask& t = tasks[k];
+        ++local_pairs;
+        ++out.pairs_examined;
+        if ((local_pairs & 0xFF) == 0) {
+          if (stop.load(std::memory_order_acquire) >= 0) {
+            stopped = true;
+            break;
+          }
+          if (budget != nullptr) {
+            const OptStatusCode code = budget->ProbeCrossThread();
+            if (code != OptStatusCode::kOk) {
+              int expected = -1;
+              stop.compare_exchange_strong(expected, static_cast<int>(code),
+                                           std::memory_order_acq_rel);
+              stopped = true;
+              break;
+            }
+          }
+        }
+        wgen.Generate(t.a, t.b, wcard.Rows(t.target), &out.plans_costed,
+                      [&](const JoinCandidate& c) {
+                        out.cands.push_back(c);
+                      });
+        out.cand_ends.push_back(static_cast<uint32_t>(out.cands.size()));
+      }
+      outputs[ci] = std::move(out);
+    }
+    const double busy = SecondsSince(busy_start);
+    std::lock_guard<std::mutex> lock(mu);
+    busy_seconds += busy;
+  };
+
+  const auto phase_start = std::chrono::steady_clock::now();
+  const int helpers = static_cast<int>(
+      std::min<size_t>(options_.intra_pool->num_threads(), chunks.size()));
+  for (int t = 0; t < helpers; ++t) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++active;
+    }
+    const bool submitted = options_.intra_pool->Submit([&]() {
+      try {
+        run_chunks();
+      } catch (...) {
+        int expected = -1;
+        stop.compare_exchange_strong(
+            expected, static_cast<int>(OptStatusCode::kInternal),
+            std::memory_order_acq_rel);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      --active;
+      cv.notify_all();
+    });
+    if (!submitted) {  // Pool shutting down: the caller covers the chunks.
+      std::lock_guard<std::mutex> lock(mu);
+      --active;
+    }
+  }
+  try {
+    run_chunks();
+  } catch (...) {
+    int expected = -1;
+    stop.compare_exchange_strong(expected,
+                                 static_cast<int>(OptStatusCode::kInternal),
+                                 std::memory_order_acq_rel);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return active == 0; });
+  }
+  const double enumerate_seconds = SecondsSince(phase_start);
+
+  const int stop_code = stop.load(std::memory_order_acquire);
+  if (stop_code >= 0) {
+    // Same contract as the DPsize runner: account the work performed,
+    // latch the typed status, discard the buffers.
+    for (const CcpChunkOutput& out : outputs) {
+      counters_->pairs_examined += out.pairs_examined;
+      counters_->plans_costed += out.plans_costed;
+    }
+    const OptStatusCode code = static_cast<OptStatusCode>(stop_code);
+    if (options_.budget != nullptr) {
+      options_.budget->SetPlansCosted(counters_->plans_costed);
+      options_.budget->Trip(code, "tripped during parallel enumeration");
+    }
+    aborted_ = true;
+    status_ = code;
+    return false;
+  }
+
+  // ---- Deterministic merge: the task list is walked in its build order,
+  // one examined pair per task, reconstructing the exact serial counter
+  // values (plans_costed from each candidate's emit_index) and running
+  // JCR creation, dominance insertion, fault sites and budget checkpoints
+  // in the serial order. ----
+  const auto merge_start = std::chrono::steady_clock::now();
+  bool merge_aborted = false;
+  for (size_t ci = 0; ci < chunks.size() && !merge_aborted; ++ci) {
+    const CcpChunkOutput& out = outputs[ci];
+    uint32_t cand_begin = 0;
+    for (size_t k = 0; k < out.cand_ends.size(); ++k) {
+      const CcpTask& t = tasks[chunks[ci].begin + k];
+      ++counters_->pairs_examined;
+      if ((counters_->pairs_examined & poll_mask_) == 0 &&
+          BudgetExceeded()) {
+        merge_aborted = true;
+        break;
+      }
+      bool created = false;
+      MemoEntry* target = memo_->GetOrCreate(
+          t.target, t.a->unit_count + t.b->unit_count, card_->Rows(t.target),
+          card_->Selectivity(t.target), &created);
+      if (created) ++counters_->jcrs_created;
+      const uint64_t base = counters_->plans_costed;
+      for (uint32_t c = cand_begin; c != out.cand_ends[k]; ++c) {
+        counters_->plans_costed = base + out.cands[c].emit_index + 1;
+        ApplyCandidate(target, out.cands[c]);
+      }
+      cand_begin = out.cand_ends[k];
+    }
+  }
+
+  uint64_t candidates_costed = 0;
+  uint64_t candidates_kept = 0;
+  for (const CcpChunkOutput& out : outputs) {
+    candidates_costed += out.plans_costed;
+    candidates_kept += out.cands.size();
+  }
+  const double merge_seconds = SecondsSince(merge_start);
+  if (options_.parallel_stats != nullptr) {
+    options_.parallel_stats->levels += 1;
+    options_.parallel_stats->scan_us +=
+        static_cast<uint64_t>(enumerate_seconds * 1e6);
+    options_.parallel_stats->merge_us +=
+        static_cast<uint64_t>(merge_seconds * 1e6);
+  }
+  FlightRecorder::Global().Record(
+      ObsKind::kParallelLevel, static_cast<uint8_t>(workers),
+      static_cast<uint32_t>(level), static_cast<uint64_t>(chunks.size()),
+      static_cast<uint64_t>(tasks.size()), candidates_costed);
+  if (options_.tracer != nullptr) {
+    TraceParallelLevel ev;
+    ev.level = level;
+    ev.threads = workers;
+    ev.shards = static_cast<int>(chunks.size());
+    ev.pairs = tasks.size();
+    ev.candidates_costed = candidates_costed;
+    ev.candidates_kept = candidates_kept;
+    ev.enumerate_seconds = enumerate_seconds;
+    ev.merge_seconds = merge_seconds;
+    ev.utilization =
+        enumerate_seconds > 0
+            ? busy_seconds / (enumerate_seconds * static_cast<double>(workers))
+            : 0;
+    options_.tracer->OnParallelLevel(ev);
+  }
+
+  if (merge_aborted) return false;
+  return !BudgetExceeded();
+}
+
 }  // namespace sdp

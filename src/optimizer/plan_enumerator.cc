@@ -1,0 +1,163 @@
+#include "optimizer/plan_enumerator.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace sdp {
+
+const char* EnumeratorName(PlanEnumeratorKind kind) {
+  switch (kind) {
+    case PlanEnumeratorKind::kDPsize:
+      return "dpsize";
+    case PlanEnumeratorKind::kDPccp:
+      return "dpccp";
+    case PlanEnumeratorKind::kGOO:
+      return "goo";
+  }
+  return "dpsize";
+}
+
+bool ParseEnumeratorKind(const std::string& name, PlanEnumeratorKind* out) {
+  if (name == "dpsize") {
+    *out = PlanEnumeratorKind::kDPsize;
+  } else if (name == "dpccp") {
+    *out = PlanEnumeratorKind::kDPccp;
+  } else if (name == "goo") {
+    *out = PlanEnumeratorKind::kGOO;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Bits {0 .. i} as a mask (the B_i prohibition set), safe at i = 63.
+uint64_t BitsThrough(int i) {
+  return i >= 63 ? ~uint64_t{0} : (uint64_t{1} << (i + 1)) - 1;
+}
+
+}  // namespace
+
+CsgCmpEnumerator::CsgCmpEnumerator(const JoinGraph& graph,
+                                   const std::vector<RelSet>& unit_rels,
+                                   SearchCounters* counters)
+    : unit_rels_(unit_rels), counters_(counters) {
+  const int n = num_units();
+  SDP_CHECK(n >= 1 && n <= RelSet::kMaxRelations);
+  // Unit adjacency: u ~ v when a join edge connects their relation sets.
+  // Neighbors() is hoisted per unit; the pairwise pass is O(n^2) bit ops.
+  std::vector<RelSet> nbrs(n);
+  for (int u = 0; u < n; ++u) nbrs[u] = graph.Neighbors(unit_rels_[u]);
+  unit_adj_.assign(n, 0);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (nbrs[u].Overlaps(unit_rels_[v])) {
+        unit_adj_[u] |= uint64_t{1} << v;
+        unit_adj_[v] |= uint64_t{1} << u;
+      }
+    }
+  }
+  interned_.reserve(static_cast<size_t>(n) * 4);
+  for (int u = 0; u < n; ++u) interned_.emplace(uint64_t{1} << u,
+                                                unit_rels_[u]);
+}
+
+uint64_t CsgCmpEnumerator::NeighborMask(uint64_t mask) const {
+  uint64_t nbr = 0;
+  for (uint64_t m = mask; m != 0; m &= m - 1) {
+    nbr |= unit_adj_[std::countr_zero(m)];
+  }
+  return nbr & ~mask;
+}
+
+RelSet CsgCmpEnumerator::RelsFor(uint64_t unit_mask) {
+  auto it = interned_.find(unit_mask);
+  if (it != interned_.end()) {
+    ++counters_->relset_intern_hits;
+    return it->second;
+  }
+  RelSet rels;
+  for (uint64_t m = unit_mask; m != 0; m &= m - 1) {
+    rels = rels.Union(unit_rels_[std::countr_zero(m)]);
+  }
+  interned_.emplace(unit_mask, rels);
+  return rels;
+}
+
+void CsgCmpEnumerator::EnumerateLevel(int level, const PairSink& sink) {
+  SDP_CHECK(level >= 2);
+  const int n = num_units();
+  for (int i = n - 1; i >= 0; --i) {
+    const uint64_t s1 = uint64_t{1} << i;
+    EmitCmpsFor(s1, level, sink);
+    if (level > 2) ExpandCsg(s1, BitsThrough(i), level, sink);
+  }
+}
+
+void CsgCmpEnumerator::ExpandCsg(uint64_t s1, uint64_t x, int level,
+                                 const PairSink& sink) {
+  const uint64_t nb = NeighborMask(s1) & ~x;
+  if (nb == 0) return;
+  const int have = std::popcount(s1);
+  // Emit every extension first (ascending subset order), then recurse into
+  // each -- the standard EnumerateCsgRec structure.  A csg larger than
+  // level - 1 units can never leave room for a cmp at this level.
+  for (uint64_t sub = 0;;) {
+    sub = (sub - nb) & nb;
+    if (sub == 0) break;
+    if (have + std::popcount(sub) <= level - 1) {
+      EmitCmpsFor(s1 | sub, level, sink);
+    }
+  }
+  for (uint64_t sub = 0;;) {
+    sub = (sub - nb) & nb;
+    if (sub == 0) break;
+    if (have + std::popcount(sub) < level - 1) {
+      ExpandCsg(s1 | sub, x | nb, level, sink);
+    }
+  }
+}
+
+void CsgCmpEnumerator::EmitCmpsFor(uint64_t s1, int level,
+                                   const PairSink& sink) {
+  const int want = level - std::popcount(s1);
+  if (want < 1) return;
+  // Complements are drawn from above min(S1) and outside S1, so each
+  // unordered pair surfaces exactly once, from its lower-min side.
+  const uint64_t x = BitsThrough(std::countr_zero(s1)) | s1;
+  const uint64_t nb = NeighborMask(s1) & ~x;
+  if (nb == 0) return;
+  for (uint64_t m = nb; m != 0;) {
+    const int i = 63 - std::countl_zero(m);  // Start nodes descending.
+    m &= ~(uint64_t{1} << i);
+    const uint64_t s2 = uint64_t{1} << i;
+    if (want == 1) {
+      sink(s1, s2);
+    } else {
+      ExpandCmp(s1, s2, x | (BitsThrough(i) & nb), want, sink);
+    }
+  }
+}
+
+void CsgCmpEnumerator::ExpandCmp(uint64_t s1, uint64_t s2, uint64_t x,
+                                 int want, const PairSink& sink) {
+  const uint64_t nb = NeighborMask(s2) & ~x;
+  if (nb == 0) return;
+  const int have = std::popcount(s2);
+  for (uint64_t sub = 0;;) {
+    sub = (sub - nb) & nb;
+    if (sub == 0) break;
+    if (have + std::popcount(sub) == want) sink(s1, s2 | sub);
+  }
+  for (uint64_t sub = 0;;) {
+    sub = (sub - nb) & nb;
+    if (sub == 0) break;
+    if (have + std::popcount(sub) < want) {
+      ExpandCmp(s1, s2 | sub, x | nb, want, sink);
+    }
+  }
+}
+
+}  // namespace sdp

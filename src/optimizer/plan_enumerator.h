@@ -1,0 +1,89 @@
+#ifndef SDPOPT_OPTIMIZER_PLAN_ENUMERATOR_H_
+#define SDPOPT_OPTIMIZER_PLAN_ENUMERATOR_H_
+
+// DPccp candidate-pair generation (Moerkotte & Neumann, "Analysis of Two
+// Existing and One New Dynamic Programming Algorithm for the Generation
+// of Optimal Bushy Join Trees"): connected-subgraph / complement-pair
+// (csg-cmp) enumeration over the query graph's neighborhoods.  Where the
+// size-driven DPsize scan examines every (a, b) entry pair whose unit
+// counts sum to the level -- including the disconnected and overlapping
+// majority -- DPccp walks only the valid pairs: S1 a connected subgraph,
+// S2 a connected subgraph of the complement adjacent to S1, each
+// unordered pair visited exactly once (min(S1) < min(S2)).
+//
+// The enumeration here is *level-grouped* to slot into the existing
+// drivers: EnumerateLevel(L) emits exactly the csg-cmp pairs with
+// |S1| + |S2| = L, in a deterministic canonical order, so the DP/IDP/SDP
+// level loops (per-level tracing, SDP's between-level pruning, IDP's
+// block iterations) keep their structure and the serial/parallel
+// bit-identity contract extends naturally: the level's pair list is built
+// once by the owning thread and then either costed in order (serial) or
+// sharded across workers and merged back in list order (parallel).
+//
+// Nodes are *units* -- base relations in DP/SDP, possibly composite
+// leaves in IDP iterations -- so the enumeration runs on the quotient
+// graph of installed leaves, capped at RelSet::kMaxRelations (64) units.
+
+#include <stdint.h>
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rel_set.h"
+#include "optimizer/optimizer_types.h"
+#include "query/join_graph.h"
+
+namespace sdp {
+
+// Enumerates csg-cmp unit-mask pairs of one level at a time.  Construct
+// once per optimization run (the unit adjacency and the RelSet intern
+// table persist across levels); not thread-safe -- the owning thread
+// builds each level's pair list before any worker sees it.
+class CsgCmpEnumerator {
+ public:
+  // `unit_rels[u]` is unit u's relation set.  Units u and v are adjacent
+  // when some join edge connects their relation sets.
+  CsgCmpEnumerator(const JoinGraph& graph,
+                   const std::vector<RelSet>& unit_rels,
+                   SearchCounters* counters);
+
+  using PairSink = std::function<void(uint64_t s1, uint64_t s2)>;
+
+  // Calls sink(S1, S2) for every csg-cmp pair with
+  // popcount(S1) + popcount(S2) == level, exactly once per unordered pair
+  // (min element of S1 below min element of S2), in a deterministic
+  // canonical order: start nodes descending, subgraph extensions in
+  // ascending subset order, emission before recursion.
+  void EnumerateLevel(int level, const PairSink& sink);
+
+  // The union of unit RelSets for a unit mask, interned: repeat lookups
+  // of a mask across levels reuse the materialized RelSet and count one
+  // relset_intern_hits.
+  RelSet RelsFor(uint64_t unit_mask);
+
+  int num_units() const { return static_cast<int>(unit_rels_.size()); }
+
+ private:
+  // Union of per-unit adjacency masks over `mask`'s bits, minus `mask`.
+  uint64_t NeighborMask(uint64_t mask) const;
+
+  // Emits every cmp S2 of exact size level - |s1| for csg s1.
+  void EmitCmpsFor(uint64_t s1, int level, const PairSink& sink);
+  // Grows csg s1 through its neighborhood (prohibition mask x), emitting
+  // each extension's cmps, sizes capped at level - 1.
+  void ExpandCsg(uint64_t s1, uint64_t x, int level, const PairSink& sink);
+  // Grows cmp s2 toward exact size `want` (prohibition mask x covers s1,
+  // the nodes below min(s1), and previously offered neighbors).
+  void ExpandCmp(uint64_t s1, uint64_t s2, uint64_t x, int want,
+                 const PairSink& sink);
+
+  std::vector<RelSet> unit_rels_;
+  std::vector<uint64_t> unit_adj_;  // unit_adj_[u] = mask of adjacent units.
+  SearchCounters* counters_;
+  std::unordered_map<uint64_t, RelSet> interned_;
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OPTIMIZER_PLAN_ENUMERATOR_H_

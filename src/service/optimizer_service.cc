@@ -66,7 +66,8 @@ std::string AlgorithmCacheTag(const AlgorithmSpec& spec) {
 
 std::string OptionsCacheTag(const OptimizerOptions& options) {
   return "budget=" + std::to_string(options.memory_budget_bytes) +
-         ",maxplans=" + std::to_string(options.max_plans_costed);
+         ",maxplans=" + std::to_string(options.max_plans_costed) +
+         ",enum=" + EnumeratorName(options.enumerator);
 }
 
 // Governance settings join the cache key so only identically-governed
@@ -124,7 +125,7 @@ int SloRungIndex(const std::string& rung, const AlgorithmSpec& spec) {
   if (rung == "dp") return 0;
   if (rung == "idp") return 1;
   if (rung == "sdp") return 2;
-  if (rung == "greedy") return 3;
+  if (rung == "greedy" || rung == "goo") return 3;
   switch (spec.kind) {
     case AlgorithmSpec::Kind::kDP:
       return 0;
@@ -561,6 +562,8 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
         metrics_.rung_sdp.fetch_add(1, std::memory_order_relaxed);
       } else if (out.result.rung == "greedy") {
         metrics_.rung_greedy.fetch_add(1, std::memory_order_relaxed);
+      } else if (out.result.rung == "goo") {
+        metrics_.rung_goo.fetch_add(1, std::memory_order_relaxed);
       }
     }
 
@@ -569,7 +572,7 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
       for (const FallbackAttempt& a : report.attempts) {
         TraceDegradeEvent e;
         e.kind = a.skipped_by_breaker ? "skip" : "attempt";
-        e.rung = FallbackRungName(a.rung);
+        e.rung = FallbackRungLabel(a.rung, request.options);
         e.algorithm = a.algorithm;
         e.status = a.status.ToString();
         e.attempt = ordinal++;

@@ -111,6 +111,7 @@ std::string ServiceMetrics::Dump() const {
       "service.degrade.rung_idp %llu\n"
       "service.degrade.rung_sdp %llu\n"
       "service.degrade.rung_greedy %llu\n"
+      "service.degrade.rung_goo %llu\n"
       "service.status.deadline_exceeded %llu\n"
       "service.status.memory_exceeded %llu\n"
       "service.status.cancelled %llu\n"
@@ -149,6 +150,7 @@ std::string ServiceMetrics::Dump() const {
       static_cast<unsigned long long>(rung_idp.load()),
       static_cast<unsigned long long>(rung_sdp.load()),
       static_cast<unsigned long long>(rung_greedy.load()),
+      static_cast<unsigned long long>(rung_goo.load()),
       static_cast<unsigned long long>(status_deadline_exceeded.load()),
       static_cast<unsigned long long>(status_memory_exceeded.load()),
       static_cast<unsigned long long>(status_cancelled.load()),
@@ -249,6 +251,10 @@ std::string ServiceMetrics::PrometheusText(const std::string& replica) const {
           rung_sdp.load());
   counter("sdp_service_rung_greedy_total",
           "Requests resolved on the greedy rung.", rung_greedy.load());
+  counter("sdp_service_rung_goo_total",
+          "Requests resolved on the greedy rung via Greedy Operator "
+          "Ordering.",
+          rung_goo.load());
   counter("sdp_service_status_deadline_exceeded_total",
           "Requests that failed with DEADLINE_EXCEEDED.",
           status_deadline_exceeded.load());
@@ -339,6 +345,7 @@ void ServiceMetrics::Reset() {
   rung_idp.store(0);
   rung_sdp.store(0);
   rung_greedy.store(0);
+  rung_goo.store(0);
   status_deadline_exceeded.store(0);
   status_memory_exceeded.store(0);
   status_cancelled.store(0);

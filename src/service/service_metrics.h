@@ -85,6 +85,8 @@ class ServiceMetrics {
   std::atomic<uint64_t> rung_idp{0};
   std::atomic<uint64_t> rung_sdp{0};
   std::atomic<uint64_t> rung_greedy{0};
+  // Greedy rung resolved via Greedy Operator Ordering (--enumerator=goo).
+  std::atomic<uint64_t> rung_goo{0};
   // Terminal typed failures handed back to callers.
   std::atomic<uint64_t> status_deadline_exceeded{0};
   std::atomic<uint64_t> status_memory_exceeded{0};

@@ -1,0 +1,391 @@
+// Pluggable plan enumerators: DPccp's csg-cmp stream must visit exactly
+// the valid pairs (closed-form counts on chains and cliques), agree with
+// the DPsize pair scan plan-for-plan wherever both complete, examine an
+// order of magnitude fewer candidates on long chains, and keep the
+// serial/parallel bit-identity contract DPsize already guarantees.  GOO
+// rides the same RunLevel dispatch as a greedy sibling: valid plans,
+// never better than DP's optimum, clamped back to DPsize under drivers
+// that need complete levels (IDP, SDP).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "core/sdp.h"
+#include "cost/cost_model.h"
+#include "optimizer/dp.h"
+#include "optimizer/fallback.h"
+#include "optimizer/idp.h"
+#include "optimizer/plan_enumerator.h"
+#include "plan/plan_node.h"
+#include "query/topology.h"
+#include "service/plan_fingerprint.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+// ccp(chain-n) = (n^3 - n) / 6 (Moerkotte & Neumann, Table 1).
+uint64_t ChainCcp(uint64_t n) { return (n * n * n - n) / 6; }
+
+// ccp(clique-n) = (3^n + 1) / 2 - 2^n.
+uint64_t CliqueCcp(uint64_t n) {
+  uint64_t p3 = 1;
+  for (uint64_t i = 0; i < n; ++i) p3 *= 3;
+  return (p3 + 1) / 2 - (uint64_t{1} << n);
+}
+
+class PlanEnumeratorTest : public ::testing::Test {
+ protected:
+  PlanEnumeratorTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  Query MakeQuery(Topology t, int n, uint64_t seed = 21) {
+    return MakeQueryOn(catalog_, t, n, seed);
+  }
+
+  static Query MakeQueryOn(const Catalog& catalog, Topology t, int n,
+                           uint64_t seed = 21) {
+    WorkloadSpec spec;
+    spec.topology = t;
+    spec.num_relations = n;
+    spec.num_instances = 1;
+    spec.seed = seed;
+    return GenerateWorkload(catalog, spec).front();
+  }
+
+  static OptimizerOptions EnumOptions(PlanEnumeratorKind kind,
+                                      int threads = 1) {
+    OptimizerOptions options;
+    options.enumerator = kind;
+    options.opt_threads = threads;
+    // Force the parallel path onto test-sized levels.
+    options.parallel_min_pairs = 1;
+    return options;
+  }
+
+  // Caller-visible plan outcome only.  Enumerators legitimately differ in
+  // pairs_examined (that asymmetry is the point), so cross-enumerator
+  // comparisons exclude the effort counters; serial-vs-parallel
+  // comparisons within one enumerator use the full ResultFingerprint.
+  static std::string PlanOnly(const OptimizeResult& result) {
+    std::ostringstream out;
+    out << std::hexfloat;
+    out << "feasible=" << result.feasible << " cost=" << result.cost
+        << " rows=" << result.rows << "\n";
+    if (result.plan != nullptr) out << result.plan->ToString();
+    return out.str();
+  }
+
+  // Outcome minus the plan tree, for comparisons where equal-cost plans
+  // may legitimately differ: runs of rows=1 index lookups commute at
+  // bit-identical total cost, and under strict-< pruning the first pair
+  // visited wins, so the tie-break reflects enumeration order.
+  static std::string CostOnly(const OptimizeResult& result) {
+    std::ostringstream out;
+    out << std::hexfloat;
+    out << "feasible=" << result.feasible << " cost=" << result.cost
+        << " rows=" << result.rows;
+    return out.str();
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(PlanEnumeratorTest, ParseAndNameRoundTrip) {
+  PlanEnumeratorKind kind;
+  ASSERT_TRUE(ParseEnumeratorKind("dpsize", &kind));
+  EXPECT_EQ(kind, PlanEnumeratorKind::kDPsize);
+  ASSERT_TRUE(ParseEnumeratorKind("dpccp", &kind));
+  EXPECT_EQ(kind, PlanEnumeratorKind::kDPccp);
+  ASSERT_TRUE(ParseEnumeratorKind("goo", &kind));
+  EXPECT_EQ(kind, PlanEnumeratorKind::kGOO);
+  EXPECT_FALSE(ParseEnumeratorKind("dpsub", &kind));
+  EXPECT_STREQ(EnumeratorName(PlanEnumeratorKind::kDPsize), "dpsize");
+  EXPECT_STREQ(EnumeratorName(PlanEnumeratorKind::kDPccp), "dpccp");
+  EXPECT_STREQ(EnumeratorName(PlanEnumeratorKind::kGOO), "goo");
+}
+
+TEST_F(PlanEnumeratorTest, ChainCandidateCountsMatchClosedForm) {
+  for (int n : {3, 5, 10, 20}) {
+    const Query q = MakeQuery(Topology::kChain, n);
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult res =
+        OptimizeDP(q, cost, EnumOptions(PlanEnumeratorKind::kDPccp));
+    ASSERT_TRUE(res.feasible) << "chain-" << n;
+    EXPECT_EQ(res.counters.pairs_examined, ChainCcp(n)) << "chain-" << n;
+  }
+}
+
+TEST_F(PlanEnumeratorTest, CliqueCandidateCountsMatchClosedForm) {
+  for (int n : {3, 4, 6, 8}) {
+    const Query q = MakeQuery(Topology::kClique, n);
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult res =
+        OptimizeDP(q, cost, EnumOptions(PlanEnumeratorKind::kDPccp));
+    ASSERT_TRUE(res.feasible) << "clique-" << n;
+    EXPECT_EQ(res.counters.pairs_examined, CliqueCcp(n)) << "clique-" << n;
+  }
+}
+
+TEST_F(PlanEnumeratorTest, RelSetInterningCountsHits) {
+  const Query q = MakeQuery(Topology::kChain, 12);
+  CostModel cost(catalog_, stats_, q.graph);
+  const OptimizeResult res =
+      OptimizeDP(q, cost, EnumOptions(PlanEnumeratorKind::kDPccp));
+  ASSERT_TRUE(res.feasible);
+  // Every csg-cmp pair resolves both sides through the intern table, and
+  // subgraphs recur across pairs, so hits dominate.
+  EXPECT_GT(res.counters.relset_intern_hits, res.counters.pairs_examined);
+  // DPsize never touches the table.
+  const OptimizeResult dpsize =
+      OptimizeDP(q, cost, EnumOptions(PlanEnumeratorKind::kDPsize));
+  EXPECT_EQ(dpsize.counters.relset_intern_hits, 0u);
+}
+
+TEST_F(PlanEnumeratorTest, DpccpMatchesDpsizePlans) {
+  struct Case {
+    Topology topology;
+    int n;
+    // Star and clique optima end in commuting runs of rows=1 index
+    // lookups -- exact-cost ties whose winner depends on visit order --
+    // so only the optimum's cost is comparable across enumerators there.
+    bool plans_tie;
+  };
+  const Case cases[] = {{Topology::kChain, 16, false},
+                        {Topology::kCycle, 14, false},
+                        {Topology::kStar, 12, true},
+                        {Topology::kClique, 8, true}};
+  for (const Case& c : cases) {
+    const Query q = MakeQuery(c.topology, c.n);
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult dpsize =
+        OptimizeDP(q, cost, EnumOptions(PlanEnumeratorKind::kDPsize));
+    const OptimizeResult dpccp =
+        OptimizeDP(q, cost, EnumOptions(PlanEnumeratorKind::kDPccp));
+    ASSERT_TRUE(dpsize.feasible) << TopologyName(c.topology);
+    if (c.plans_tie) {
+      EXPECT_EQ(CostOnly(dpccp), CostOnly(dpsize)) << TopologyName(c.topology);
+    } else {
+      EXPECT_EQ(PlanOnly(dpccp), PlanOnly(dpsize)) << TopologyName(c.topology);
+    }
+    // Both enumerators reach the same valid pairs, so they cost exactly
+    // the same candidates and create the same JCRs -- only the examined
+    // pair count differs.
+    EXPECT_EQ(dpccp.counters.plans_costed, dpsize.counters.plans_costed)
+        << TopologyName(c.topology);
+    EXPECT_EQ(dpccp.counters.jcrs_created, dpsize.counters.jcrs_created)
+        << TopologyName(c.topology);
+    EXPECT_LT(dpccp.counters.pairs_examined, dpsize.counters.pairs_examined)
+        << TopologyName(c.topology);
+  }
+}
+
+TEST_F(PlanEnumeratorTest, DpccpMatchesDpsizeUnderIdpAndSdp) {
+  const Query q = MakeQuery(Topology::kStarChain, 15);
+  CostModel cost(catalog_, stats_, q.graph);
+  {
+    const OptimizeResult a = OptimizeIDP(
+        q, cost, IdpConfig{}, EnumOptions(PlanEnumeratorKind::kDPsize));
+    const OptimizeResult b = OptimizeIDP(
+        q, cost, IdpConfig{}, EnumOptions(PlanEnumeratorKind::kDPccp));
+    ASSERT_TRUE(a.feasible);
+    EXPECT_EQ(PlanOnly(b), PlanOnly(a)) << "idp";
+  }
+  {
+    const OptimizeResult a = OptimizeSDP(
+        q, cost, SdpConfig{}, EnumOptions(PlanEnumeratorKind::kDPsize));
+    const OptimizeResult b = OptimizeSDP(
+        q, cost, SdpConfig{}, EnumOptions(PlanEnumeratorKind::kDPccp));
+    ASSERT_TRUE(a.feasible);
+    // SDP's plan under this seed ends in a commuting rows=1 lookup run;
+    // the tie resolves by visit order, so compare the outcome cost.
+    EXPECT_EQ(CostOnly(b), CostOnly(a)) << "sdp";
+  }
+}
+
+TEST_F(PlanEnumeratorTest, ChainFiftyExaminesTenTimesFewerPairs) {
+  // The 50-relation workloads bind against the extended schema (the
+  // paper's 25-relation catalog is too small).
+  const Catalog big = MakeSyntheticCatalog(ExtendedSchemaConfig(50));
+  const StatsCatalog big_stats = SynthesizeStats(big);
+  const Query q = MakeQueryOn(big, Topology::kChain, 50);
+  CostModel cost(big, big_stats, q.graph);
+  const OptimizeResult dpsize =
+      OptimizeDP(q, cost, EnumOptions(PlanEnumeratorKind::kDPsize));
+  const OptimizeResult dpccp =
+      OptimizeDP(q, cost, EnumOptions(PlanEnumeratorKind::kDPccp));
+  ASSERT_TRUE(dpsize.feasible);
+  ASSERT_TRUE(dpccp.feasible);
+  EXPECT_EQ(dpccp.counters.pairs_examined, ChainCcp(50));
+  // The headline asymptotic win: >= 10x fewer candidate pairs examined.
+  EXPECT_GE(dpsize.counters.pairs_examined,
+            10 * dpccp.counters.pairs_examined);
+  EXPECT_EQ(PlanOnly(dpccp), PlanOnly(dpsize));
+}
+
+TEST_F(PlanEnumeratorTest, DpccpBitIdenticalAcrossThreadCounts) {
+  struct Case {
+    Topology topology;
+    int n;
+  };
+  // Stars and cliques have levels wide enough (>= 2 chunks of 256 tasks)
+  // to exercise the sharded DPccp runner; chain-20's narrow levels take
+  // the serial fallback inside the parallel configuration, which must be
+  // just as invisible.
+  const Case cases[] = {{Topology::kStar, 12},
+                        {Topology::kClique, 9},
+                        {Topology::kChain, 20}};
+  for (const Case& c : cases) {
+    const Query q = MakeQuery(c.topology, c.n);
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult serial =
+        OptimizeDP(q, cost, EnumOptions(PlanEnumeratorKind::kDPccp, 1));
+    ASSERT_TRUE(serial.feasible) << TopologyName(c.topology);
+    const std::string want = ResultFingerprint(serial);
+    for (int threads : {2, 4, 8}) {
+      const OptimizeResult parallel = OptimizeDP(
+          q, cost, EnumOptions(PlanEnumeratorKind::kDPccp, threads));
+      EXPECT_EQ(ResultFingerprint(parallel), want)
+          << TopologyName(c.topology) << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(PlanEnumeratorTest, DpccpBitIdenticalUnderIdpAndSdpAcrossThreads) {
+  const Query q = MakeQuery(Topology::kStar, 11);
+  CostModel cost(catalog_, stats_, q.graph);
+  const OptimizeResult idp_serial = OptimizeIDP(
+      q, cost, IdpConfig{}, EnumOptions(PlanEnumeratorKind::kDPccp, 1));
+  const OptimizeResult sdp_serial = OptimizeSDP(
+      q, cost, SdpConfig{}, EnumOptions(PlanEnumeratorKind::kDPccp, 1));
+  ASSERT_TRUE(idp_serial.feasible);
+  ASSERT_TRUE(sdp_serial.feasible);
+  for (int threads : {2, 4}) {
+    const OptimizeResult idp = OptimizeIDP(
+        q, cost, IdpConfig{}, EnumOptions(PlanEnumeratorKind::kDPccp,
+                                          threads));
+    EXPECT_EQ(ResultFingerprint(idp), ResultFingerprint(idp_serial))
+        << "idp threads=" << threads;
+    const OptimizeResult sdp = OptimizeSDP(
+        q, cost, SdpConfig{}, EnumOptions(PlanEnumeratorKind::kDPccp,
+                                          threads));
+    EXPECT_EQ(ResultFingerprint(sdp), ResultFingerprint(sdp_serial))
+        << "sdp threads=" << threads;
+  }
+}
+
+TEST_F(PlanEnumeratorTest, DpccpBudgetTripBitIdenticalAcrossThreads) {
+  // A plans-budget trip mid-enumeration must latch at the same checkpoint
+  // ordinal -- same typed status, same counters -- at any thread count.
+  const Query q = MakeQuery(Topology::kStar, 12);
+  CostModel cost(catalog_, stats_, q.graph);
+  OptimizerOptions serial_opt = EnumOptions(PlanEnumeratorKind::kDPccp, 1);
+  serial_opt.max_plans_costed = 1500;
+  const OptimizeResult serial = OptimizeDP(q, cost, serial_opt);
+  EXPECT_FALSE(serial.feasible);  // The cap must actually trip.
+  const std::string want = ResultFingerprint(serial);
+  for (int threads : {2, 4, 8}) {
+    OptimizerOptions opt = EnumOptions(PlanEnumeratorKind::kDPccp, threads);
+    opt.max_plans_costed = 1500;
+    const OptimizeResult parallel = OptimizeDP(q, cost, opt);
+    EXPECT_EQ(ResultFingerprint(parallel), want) << "threads=" << threads;
+  }
+}
+
+TEST_F(PlanEnumeratorTest, GooProducesValidPlansNoBetterThanDp) {
+  struct Case {
+    Topology topology;
+    int n;
+  };
+  const Case cases[] = {{Topology::kChain, 12},
+                        {Topology::kStar, 10},
+                        {Topology::kCycle, 10}};
+  for (const Case& c : cases) {
+    const Query q = MakeQuery(c.topology, c.n);
+    CostModel cost(catalog_, stats_, q.graph);
+    const OptimizeResult goo =
+        OptimizeDP(q, cost, EnumOptions(PlanEnumeratorKind::kGOO));
+    ASSERT_TRUE(goo.feasible) << TopologyName(c.topology);
+    EXPECT_TRUE(ValidatePlanTree(goo.plan).empty())
+        << TopologyName(c.topology);
+    const OptimizeResult dp =
+        OptimizeDP(q, cost, EnumOptions(PlanEnumeratorKind::kDPsize));
+    ASSERT_TRUE(dp.feasible);
+    // Greedy can never beat the exhaustive optimum.
+    EXPECT_GE(goo.cost, dp.cost) << TopologyName(c.topology);
+    // n-1 greedy merges, each scanning adjacent root pairs only.
+    EXPECT_EQ(goo.counters.jcrs_created,
+              static_cast<uint64_t>(2 * c.n - 1))
+        << TopologyName(c.topology);
+  }
+}
+
+TEST_F(PlanEnumeratorTest, GooBitIdenticalAcrossThreadCounts) {
+  // GOO always runs on the owning thread; opt_threads must still be
+  // invisible end to end.
+  const Query q = MakeQuery(Topology::kStarChain, 13);
+  CostModel cost(catalog_, stats_, q.graph);
+  const OptimizeResult serial =
+      OptimizeDP(q, cost, EnumOptions(PlanEnumeratorKind::kGOO, 1));
+  ASSERT_TRUE(serial.feasible);
+  const std::string want = ResultFingerprint(serial);
+  for (int threads : {2, 4, 8}) {
+    const OptimizeResult parallel =
+        OptimizeDP(q, cost, EnumOptions(PlanEnumeratorKind::kGOO, threads));
+    EXPECT_EQ(ResultFingerprint(parallel), want) << "threads=" << threads;
+  }
+}
+
+TEST_F(PlanEnumeratorTest, GooClampsToDpsizeUnderIdpAndSdp) {
+  // IDP's balloon phase and SDP's pruning filter need complete levels, so
+  // a GOO request degrades to DPsize inside those drivers -- bit-exactly.
+  const Query q = MakeQuery(Topology::kStar, 10);
+  CostModel cost(catalog_, stats_, q.graph);
+  EXPECT_EQ(ResultFingerprint(OptimizeIDP(
+                q, cost, IdpConfig{}, EnumOptions(PlanEnumeratorKind::kGOO))),
+            ResultFingerprint(OptimizeIDP(
+                q, cost, IdpConfig{},
+                EnumOptions(PlanEnumeratorKind::kDPsize))));
+  EXPECT_EQ(ResultFingerprint(OptimizeSDP(
+                q, cost, SdpConfig{}, EnumOptions(PlanEnumeratorKind::kGOO))),
+            ResultFingerprint(OptimizeSDP(
+                q, cost, SdpConfig{},
+                EnumOptions(PlanEnumeratorKind::kDPsize))));
+}
+
+TEST_F(PlanEnumeratorTest, GooRungLabelAndParse) {
+  OptimizerOptions goo_opt;
+  goo_opt.enumerator = PlanEnumeratorKind::kGOO;
+  EXPECT_STREQ(FallbackRungLabel(FallbackRung::kGreedy, goo_opt), "goo");
+  EXPECT_STREQ(FallbackRungLabel(FallbackRung::kGreedy, OptimizerOptions{}),
+               "greedy");
+  EXPECT_STREQ(FallbackRungLabel(FallbackRung::kSDP, goo_opt), "sdp");
+  FallbackRung rung;
+  ASSERT_TRUE(ParseFallbackRung("goo", &rung));
+  EXPECT_EQ(rung, FallbackRung::kGreedy);
+}
+
+TEST_F(PlanEnumeratorTest, GooRungResolvesThroughFallbackLadder) {
+  // Pinning the ladder to the greedy rung with the GOO enumerator runs
+  // Greedy Operator Ordering and reports the "goo" rung label.
+  const Query q = MakeQuery(Topology::kStar, 10);
+  CostModel cost(catalog_, stats_, q.graph);
+  FallbackConfig config;
+  config.start_rung = FallbackRung::kGreedy;
+  config.max_rung = FallbackRung::kGreedy;
+  OptimizerOptions options;
+  options.enumerator = PlanEnumeratorKind::kGOO;
+  const OptimizeResult res = OptimizeWithFallback(q, cost, config, options);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.rung, "goo");
+  EXPECT_EQ(res.algorithm, "GOO");
+}
+
+}  // namespace
+}  // namespace sdp

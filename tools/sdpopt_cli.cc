@@ -20,6 +20,11 @@
 //   --opt-threads=N                    enumeration workers *within* each
 //                                      optimization; plans and counters are
 //                                      bit-identical to serial at any N
+//   --enumerator=dpsize|dpccp|goo      candidate-pair enumerator: dpsize
+//                                      (size-driven pair scan), dpccp
+//                                      (csg-cmp, valid pairs only), goo
+//                                      (greedy operator ordering; no
+//                                      optimality guarantee)
 //
 // Serving-mode resource governance (any of these makes the run *governed*:
 // it executes under a ResourceBudget and the degradation ladder):
@@ -135,6 +140,7 @@ struct Options {
   std::string fault_spec;
   int threads = 0;  // 0 = direct library calls (no service).
   int opt_threads = 1;  // Enumeration workers within one optimization.
+  std::string enumerator = "dpsize";
   bool cache = true;
   int repeat = 1;
   bool execute = false;
@@ -183,7 +189,8 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       out->max_rung = arg.substr(11);
       sdp::FallbackRung rung;
       if (!sdp::ParseFallbackRung(out->max_rung, &rung)) {
-        std::fprintf(stderr, "--max-rung expects dp|idp|sdp|greedy, got '%s'\n",
+        std::fprintf(stderr,
+                     "--max-rung expects dp|idp|sdp|greedy|goo, got '%s'\n",
                      out->max_rung.c_str());
         return false;
       }
@@ -197,6 +204,15 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       out->opt_threads = std::atoi(arg.c_str() + 14);
       if (out->opt_threads < 1) {
         std::fprintf(stderr, "--opt-threads expects a positive count\n");
+        return false;
+      }
+    } else if (arg.rfind("--enumerator=", 0) == 0) {
+      out->enumerator = arg.substr(13);
+      sdp::PlanEnumeratorKind kind;
+      if (!sdp::ParseEnumeratorKind(out->enumerator, &kind)) {
+        std::fprintf(stderr,
+                     "--enumerator expects dpsize|dpccp|goo, got '%s'\n",
+                     out->enumerator.c_str());
         return false;
       }
     } else if (arg.rfind("--cache=", 0) == 0) {
@@ -384,6 +400,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown schema '%s'\n", options.schema.c_str());
     return 2;
   }
+  // A --gen workload larger than the paper's 25-relation schema binds
+  // against the extended schema (the one the maximum-scaleup experiment
+  // uses), capped at the 64-relation RelSet ceiling.
+  if (!options.gen.empty() && options.schema == "paper") {
+    const size_t colon = options.gen.find(':');
+    const int gen_n =
+        colon == std::string::npos ? 0 : std::atoi(options.gen.c_str() +
+                                                   colon + 1);
+    if (gen_n > sdp::RelSet::kMaxRelations) {
+      std::fprintf(stderr, "--gen size must be in [2, %d]\n",
+                   sdp::RelSet::kMaxRelations);
+      return 2;
+    }
+    if (gen_n > config.num_relations) config = sdp::ExtendedSchemaConfig(gen_n);
+  }
   const sdp::Catalog catalog = sdp::MakeSyntheticCatalog(config);
 
   if (options.list_tables) {
@@ -417,6 +448,7 @@ int main(int argc, char** argv) {
           "[--schema=paper|small]\n"
           "                  [--gen=TOPOLOGY:N[:SEED]] [--budget-mb=N] "
           "[--threads=N] [--opt-threads=N]\n"
+          "                  [--enumerator=dpsize|dpccp|goo]\n"
           "                  [--deadline-ms=N] [--mem-budget-mb=N] "
           "[--max-rung=dp|idp|sdp|greedy]\n"
           "                  [--fault-seed=N] [--fault-spec=SPEC]\n"
@@ -462,6 +494,7 @@ int main(int argc, char** argv) {
   opt.memory_budget_bytes =
       static_cast<size_t>(options.budget_mb * 1024 * 1024);
   opt.opt_threads = options.opt_threads;
+  sdp::ParseEnumeratorKind(options.enumerator, &opt.enumerator);
 
   // One collector for the whole invocation: direct runs attach it per
   // request, service mode attaches it to the service (cache events plus

@@ -57,6 +57,10 @@
 //                             router (client mode; needs --router-port)
 //   --queries=N               distinct queries per topology (default 6)
 //   --clients=K               concurrent client connections (default 4)
+//   --enumerator=NAME         plan enumerator for the workload's requests
+//                             (dpsize|dpccp|goo, default dpsize); part of
+//                             the routing key, so fleets keep plans from
+//                             different enumerators apart
 //   --json=PATH               soak report path (default BENCH_fleet.json)
 //   --fault-spec=SPEC         phase-4 fault rules (common/fault_injection.h
 //                             grammar; default exercises every net.* site)
@@ -109,6 +113,7 @@ struct Flags {
   std::string fault_spec;  // Empty = the default all-sites chaos spec.
   uint64_t fault_seed = 1234;
   std::string chaos_json_path = "BENCH_fleet_chaos.json";
+  PlanEnumeratorKind enumerator = PlanEnumeratorKind::kDPsize;
 };
 
 // Default phase-4 spec: every net.* fault site at soak-survivable rates.
@@ -206,7 +211,8 @@ PhaseResult RunPhase(int router_port, const std::vector<FleetRequest>& requests,
 }
 
 std::vector<FleetRequest> MakeWorkload(const Catalog& catalog,
-                                       int per_topology) {
+                                       int per_topology,
+                                       PlanEnumeratorKind enumerator) {
   struct Shape {
     Topology topology;
     int n;
@@ -228,6 +234,7 @@ std::vector<FleetRequest> MakeWorkload(const Catalog& catalog,
       req.request_id = id++;
       req.query = std::move(q);
       req.algo = AlgorithmSpec::Kind::kSDP;
+      req.enumerator = enumerator;
       requests.push_back(std::move(req));
     }
   }
@@ -339,7 +346,7 @@ int RunSoak(const Flags& flags) {
 
   const Catalog catalog = MakeSyntheticCatalog(config.schema);
   const std::vector<FleetRequest> workload =
-      MakeWorkload(catalog, f.queries);
+      MakeWorkload(catalog, f.queries, f.enumerator);
 
   // --- Phase 1: cold fleet, two passes (cold -> warm). ---
   const PhaseResult cold_pass =
@@ -511,7 +518,7 @@ int RunChaos(const Flags& flags) {
 
   const Catalog catalog = MakeSyntheticCatalog(FleetConfig().schema);
   const StatsCatalog stats = SynthesizeStats(catalog);
-  const std::vector<FleetRequest> workload = MakeWorkload(catalog, f.queries);
+  const std::vector<FleetRequest> workload = MakeWorkload(catalog, f.queries, f.enumerator);
 
   // The first workload request doubles as the poison query: its selector
   // arms "replica.poison" for exactly that routing key, so whichever
@@ -755,7 +762,7 @@ int RunDrive(const Flags& flags) {
   }
   const Catalog catalog = MakeSyntheticCatalog(FleetConfig().schema);
   const std::vector<FleetRequest> workload =
-      MakeWorkload(catalog, flags.queries);
+      MakeWorkload(catalog, flags.queries, flags.enumerator);
   FleetClient client;
   std::string error;
   if (!client.Connect(flags.router_port, 5000, &error)) {
@@ -859,6 +866,8 @@ int Main(int argc, char** argv) {
       ok = ParseU64(value, &flags.fault_seed);
     } else if (name == "--chaos-json") {
       flags.chaos_json_path = value;
+    } else if (name == "--enumerator") {
+      ok = ParseEnumeratorKind(value, &flags.enumerator);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", name.c_str());
       return Usage();
