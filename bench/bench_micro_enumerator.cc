@@ -13,6 +13,7 @@
 #include "bench/bench_micro_common.h"
 
 #include "bench/bench_common.h"
+#include "obs/prof/prof.h"
 #include "optimizer/dp.h"
 #include "optimizer/plan_enumerator.h"
 
@@ -61,7 +62,14 @@ void RunEnumerator(benchmark::State& state, sdp::Topology t, int n,
   sdp::CostModel cost(f.CatalogFor(n), f.StatsFor(n), q.graph);
   sdp::OptimizerOptions options;
   options.enumerator = kind;
+  // The probe run doubles as the phase-attribution sample: allocation
+  // counters are recorded only around it, so the timed loop below still
+  // runs the pure disabled path (one predicted branch per alloc site).
+  sdp::ProfAllocReset();
+  sdp::ProfSetAllocCountersEnabled(true);
   const sdp::OptimizeResult probe = sdp::OptimizeDP(q, cost, options);
+  sdp::ProfSetAllocCountersEnabled(false);
+  const sdp::ProfAllocCounters alloc = sdp::ProfAllocSnapshot();
   for (auto _ : state) {
     benchmark::DoNotOptimize(sdp::OptimizeDP(q, cost, options));
   }
@@ -69,8 +77,20 @@ void RunEnumerator(benchmark::State& state, sdp::Topology t, int n,
       static_cast<double>(probe.counters.pairs_examined));
   state.counters["plans_costed"] =
       benchmark::Counter(static_cast<double>(probe.counters.plans_costed));
+  state.counters["relset_intern_hits"] = benchmark::Counter(
+      static_cast<double>(probe.counters.relset_intern_hits));
   state.counters["feasible"] =
       benchmark::Counter(probe.feasible ? 1.0 : 0.0);
+  // Per-phase allocation attribution for one optimize of this workload:
+  // where the memory of an enumerator run actually goes.
+  state.counters["alloc_enumerate_bytes"] = benchmark::Counter(
+      static_cast<double>(alloc.PhaseBytes(sdp::ProfPhaseKind::kEnumerate)));
+  state.counters["alloc_cost_bytes"] = benchmark::Counter(
+      static_cast<double>(alloc.PhaseBytes(sdp::ProfPhaseKind::kCost)));
+  state.counters["alloc_prune_bytes"] = benchmark::Counter(
+      static_cast<double>(alloc.PhaseBytes(sdp::ProfPhaseKind::kPrune)));
+  state.counters["alloc_total_bytes"] =
+      benchmark::Counter(static_cast<double>(alloc.TotalBytes()));
 }
 
 void BM_DpsizeChain(benchmark::State& state) {

@@ -13,6 +13,7 @@
 
 #include "bench/bench_common.h"
 #include "obs/flight_recorder.h"
+#include "obs/prof/prof.h"
 #include "service/optimizer_service.h"
 
 namespace {
@@ -177,6 +178,53 @@ void BM_FlightRecorderDisabled(benchmark::State& state) {
   sdp::FlightRecorder::Global().Enable(true);
 }
 BENCHMARK(BM_FlightRecorderDisabled);
+
+// The sampling profiler's analogue of BM_FlightRecorderDisabled: one
+// ProfPhase tag (two thread-local byte stores) plus one disabled
+// allocation hook (a relaxed load and a predicted branch).  This is the
+// always-compiled-in cost every tagged region pays when no profile is
+// being taken; it budgets the instrumentation to keep BM_ServiceWarmCache
+// within 1% of an untagged build.
+void BM_ProfilerDisabled(benchmark::State& state) {
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    sdp::ProfPhase phase(sdp::ProfPhaseKind::kCost);
+    sdp::ProfRecordAlloc(sdp::ProfAllocSource::kArena, ++bytes);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerDisabled);
+
+// End-to-end control: the warm-cache service path while the sampler and
+// allocation counters are live, for eyeballing the *enabled* overhead
+// against BM_ServiceWarmCache (the tags themselves are always on; this
+// adds SIGPROF delivery plus the alloc fetch_adds).
+void BM_ServiceWarmCacheProfiled(benchmark::State& state) {
+  const sdp::bench::PaperContext ctx = sdp::bench::MakePaperContext();
+  const sdp::Query query = ServiceQuery(ctx);
+  sdp::ServiceConfig config;
+  config.num_threads = static_cast<int>(state.range(0));
+  config.cache_enabled = true;
+  sdp::OptimizerService service(ctx.catalog, ctx.stats, config);
+  {
+    sdp::ServiceRequest warmup;
+    warmup.query = query;
+    service.OptimizeSync(std::move(warmup));
+  }
+  sdp::ProfSetAllocCountersEnabled(true);
+  for (auto _ : state) {
+    RunBatch(service, query);
+  }
+  sdp::ProfSetAllocCountersEnabled(false);
+  sdp::ProfAllocReset();
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_ServiceWarmCacheProfiled)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/fault_injection.h"
+#include "obs/prof/prof.h"
 
 namespace sdp {
 
@@ -18,7 +19,13 @@ void* Arena::Allocate(size_t size, size_t align) {
     if (offset + size <= b.size) {
       b.used = offset + size;
       allocated_ += size;
-      if (gauge_ != nullptr) gauge_->Charge(size);
+      if (gauge_ != nullptr) {
+        gauge_->Charge(size);
+        // Attribution only on gauge-attached arenas: worker-local scratch
+        // (gauge == nullptr) stays invisible, so per-phase totals match
+        // serial runs exactly.
+        ProfRecordAlloc(ProfAllocSource::kArena, size);
+      }
       return b.data.get() + offset;
     }
   }
@@ -34,7 +41,10 @@ void* Arena::Allocate(size_t size, size_t align) {
   size_t offset = ((base + align - 1) & ~(align - 1)) - base;
   b.used = offset + size;
   allocated_ += size;
-  if (gauge_ != nullptr) gauge_->Charge(size);
+  if (gauge_ != nullptr) {
+    gauge_->Charge(size);
+    ProfRecordAlloc(ProfAllocSource::kArena, size);
+  }
   void* out = b.data.get() + offset;
   blocks_.push_back(std::move(b));
   return out;

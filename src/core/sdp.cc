@@ -6,6 +6,7 @@
 #include "common/arena.h"
 #include "common/check.h"
 #include "cost/cardinality.h"
+#include "obs/prof/prof.h"
 #include "optimizer/enumerator.h"
 #include "optimizer/memo.h"
 #include "optimizer/parallel_enum.h"
@@ -107,6 +108,7 @@ class SdpPruner {
   // Prunes (marks) level-`level` entries of `memo`.  Returns the number of
   // JCRs pruned.
   int PruneLevel(Memo* memo, int level) {
+    ProfPhase phase(ProfPhaseKind::kPrune);
     TracePruneLevel summary;
     summary.level = level;
     const int result = PruneLevelImpl(memo, level, &summary);
@@ -337,6 +339,7 @@ OptimizeResult OptimizeSDP(const Query& query, const CostModel& cost,
         // pruned relation set can never be re-targeted (its level is
         // done); this is the engine-level analogue of PostgreSQL
         // pfree-ing discarded paths and rels.
+        ProfPhase recycle_phase(ProfPhaseKind::kPrune);
         std::vector<MemoEntry*> doomed;
         for (MemoEntry* e : memo.EntriesWithUnitCount(level)) {
           if (e->pruned) doomed.push_back(e);

@@ -16,6 +16,7 @@
 #include "obs/dtrace.h"
 #include "obs/flight_recorder.h"
 #include "obs/http_client.h"
+#include "obs/prof/prof_export.h"
 #include "obs/recorder_export.h"
 #include "service/plan_fingerprint.h"
 
@@ -867,6 +868,51 @@ std::string FleetRouter::FetchReplicaSlice(int replica, uint64_t trace_id,
   return body;
 }
 
+std::string FleetRouter::RenderMergedProfilez(double seconds) const {
+  if (seconds <= 0) seconds = 1.0;
+  if (seconds > 30) seconds = 30;
+  // Every replica samples itself for the same window; fetch concurrently
+  // so the windows overlap instead of serializing N sleeps.
+  char path[64];
+  snprintf(path, sizeof(path), "/profilez?seconds=%.3f&format=folded",
+           seconds);
+  const int timeout_ms = static_cast<int>(seconds * 1000) + 5000;
+  std::vector<int> ports;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    for (size_t rep = 0; rep < config_.replica_obs_ports.size(); ++rep) {
+      const bool live = rep < views_.size() && views_[rep].live;
+      ports.push_back(live ? config_.replica_obs_ports[rep] : 0);
+    }
+  }
+  std::vector<std::string> folded(ports.size());
+  // Distinct from an empty profile: an idle replica legitimately returns
+  // zero folded lines (ITIMER_PROF accrues no CPU while blocked), so
+  // "answered" counts successful fetches, not non-empty bodies.
+  std::vector<char> fetched(ports.size(), 0);
+  std::vector<std::thread> fetchers;
+  for (size_t rep = 0; rep < ports.size(); ++rep) {
+    if (ports[rep] <= 0) continue;
+    fetchers.emplace_back([&, rep] {
+      std::string body;
+      std::string error;
+      if (HttpGetLocal(ports[rep], path, &body, &error, timeout_ms)) {
+        folded[rep] = std::move(body);
+        fetched[rep] = 1;
+      }
+    });
+  }
+  for (std::thread& t : fetchers) t.join();
+  size_t answered = 0;
+  for (const char f : fetched) answered += f;
+  std::ostringstream out;
+  out << "# sdpopt fleet profile: " << answered << "/" << ports.size()
+      << " replica(s), " << seconds << "s window, folded stacks merged by "
+      << "phase+symbol\n"
+      << MergeFoldedProfiles(folded);
+  return out.str();
+}
+
 std::string FleetRouter::RenderDtracezIndex() const {
   std::ostringstream out;
   out << "sdpopt fleet router /dtracez\n"
@@ -1024,13 +1070,20 @@ HttpResponse FleetRouter::HandleHttp(const HttpRequest& request) const {
         resp.body = body;
       }
     }
+  } else if (request.path == "/profilez") {
+    double seconds = 1.0;
+    const std::string seconds_text = QueryParam(request.query, "seconds");
+    if (!seconds_text.empty()) seconds = strtod(seconds_text.c_str(), nullptr);
+    resp.body = RenderMergedProfilez(seconds);
   } else if (request.path == "/") {
     resp.body =
         "sdpopt fleet router\n"
         "  /fleetz   per-replica health, probes, queue depth, cache hits\n"
         "  /metrics  merged Prometheus exposition (replica-labelled)\n"
         "  /dtracez  per-request cross-process timelines"
-        " (?trace=HEX&format=json|chrome)\n";
+        " (?trace=HEX&format=json|chrome)\n"
+        "  /profilez merged fleet CPU profile, folded stacks"
+        " (?seconds=S)\n";
   } else {
     resp.status = 404;
     resp.body = "unknown endpoint; see /\n";

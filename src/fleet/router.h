@@ -215,6 +215,10 @@ class FleetRouter {
   // introspection port; empty when unavailable.
   std::string FetchReplicaSlice(int replica, uint64_t trace_id,
                                 bool structural) const;
+  // Fleet-wide CPU profile: asks every live replica's /profilez to sample
+  // for `seconds` (concurrently, so the windows overlap), then merges the
+  // folded stacks by identical phase+symbol key.
+  std::string RenderMergedProfilez(double seconds) const;
 
   RouterConfig config_;
   Catalog catalog_;

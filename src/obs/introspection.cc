@@ -8,11 +8,15 @@
 #include <chrono>
 #include <map>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common/budget.h"
 #include "obs/dtrace.h"
 #include "obs/flight_recorder.h"
+#include "obs/prof/prof.h"
+#include "obs/prof/prof_export.h"
+#include "obs/prof/profiler.h"
 #include "obs/recorder_export.h"
 #include "obs/slo.h"
 #include "optimizer/fallback.h"
@@ -121,6 +125,7 @@ std::string RenderStatusz(const OptimizerService& service,
       << "inflight: " << m.inflight.load() << "\n"
       << "\n[memory]\n"
       << "bytes_charged_total: " << m.bytes_charged.load() << "\n"
+      << "request_peak_bytes: " << m.request_peak_bytes.load() << "\n"
       << "plan_cache_entries: " << cache.entries << "\n"
       << "plan_cache_resident_bytes: " << cache.resident_bytes << "\n"
       << "\n[requests]\n"
@@ -136,6 +141,14 @@ std::string RenderStatusz(const OptimizerService& service,
       << "events_recorded: " << FlightRecorder::Global().events_recorded()
       << "\n"
       << "dump_signals: " << FlightRecorder::Global().dump_signals() << "\n";
+  const SamplingProfiler& prof = SamplingProfiler::Instance();
+  out << "\n[profiler]\n"
+      << "running: " << (prof.running() ? "true" : "false") << "\n"
+      << "hz: " << prof.hz() << "\n"
+      << "samples_recorded: " << prof.samples_recorded() << "\n"
+      << "samples_missed: " << prof.samples_missed() << "\n"
+      << "alloc_counters: "
+      << (ProfAllocCountersEnabled() ? "enabled" : "disabled") << "\n";
   const SloTracker* slo = service.slo();
   if (slo != nullptr) {
     out << "\n[slo]\n" << slo->StatuszSection(NowSeconds());
@@ -197,6 +210,32 @@ std::string RenderTracez(const std::string& status_filter, size_t limit) {
   return out.str();
 }
 
+std::string RenderProfilez(double seconds, const std::string& format,
+                           int hz) {
+  SamplingProfiler& prof = SamplingProfiler::Instance();
+  const bool was_running = prof.running();
+  if (!was_running) {
+    // One-shot capture: profile this process for `seconds`, then render.
+    // The request thread sleeps while SIGPROF samples whichever threads
+    // are burning CPU.
+    if (seconds <= 0) seconds = 1.0;
+    seconds = std::clamp(seconds, 0.05, 30.0);
+    prof.Reset();
+    std::string error;
+    if (!prof.Start(hz, &error)) {
+      return "profilez error: " + error + "\n";
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    prof.Stop();
+  }
+  const std::vector<SamplingProfiler::Sample> samples = prof.Snapshot();
+  if (format == "json") {
+    return RenderProfileJson(samples, ProfAllocSnapshot(), prof.hz(),
+                             prof.samples_recorded(), prof.samples_missed());
+  }
+  return RenderFolded(samples);
+}
+
 std::string RenderFlightRecorderz(uint64_t trace_id, bool structural) {
   ObsExportOptions render;
   render.include_timing = !structural;
@@ -228,7 +267,9 @@ HttpResponse IntrospectionServer::Handle(const HttpRequest& request) const {
         "  /tracez           recent request timelines"
         " (?status=NAME&limit=K)\n"
         "  /flightrecorderz  full flight-recorder dump (JSONL;"
-        " ?trace=HEX&structural=1)\n";
+        " ?trace=HEX&structural=1)\n"
+        "  /profilez         sampling CPU profile"
+        " (?seconds=S&format=folded|json)\n";
     return resp;
   }
   if (request.path == "/metrics") {
@@ -252,6 +293,18 @@ HttpResponse IntrospectionServer::Handle(const HttpRequest& request) const {
       limit = static_cast<size_t>(strtoull(limit_text.c_str(), nullptr, 10));
     }
     resp.body = RenderTracez(status, limit);
+    return resp;
+  }
+  if (request.path == "/profilez") {
+    double seconds = 1.0;
+    const std::string seconds_text = QueryParam(request.query, "seconds");
+    if (!seconds_text.empty()) seconds = strtod(seconds_text.c_str(), nullptr);
+    std::string format = QueryParam(request.query, "format");
+    if (format.empty()) format = "folded";
+    resp.body = RenderProfilez(seconds, format);
+    if (format == "json") {
+      resp.content_type = "application/json; charset=utf-8";
+    }
     return resp;
   }
   if (request.path == "/flightrecorderz") {

@@ -49,6 +49,13 @@ std::string RenderTracez(const std::string& status_filter, size_t limit);
 // structural rendering (see ObsExportOptions::structural).
 std::string RenderFlightRecorderz(uint64_t trace_id = 0,
                                   bool structural = false);
+// /profilez body.  If the sampling profiler is already running (e.g.
+// started by --profile-hz) the accumulated samples are snapshotted
+// without disturbing it; otherwise a one-shot capture runs for
+// `seconds` (clamped to [0.05, 30]) at `hz` before rendering.  `format`
+// is "folded" (flamegraph.pl collapsed stacks, the default) or "json".
+std::string RenderProfilez(double seconds, const std::string& format,
+                           int hz = 199);
 
 class IntrospectionServer {
  public:

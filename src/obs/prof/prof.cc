@@ -1,0 +1,122 @@
+#include "obs/prof/prof.h"
+
+#include "obs/prof/profiler.h"
+
+namespace sdp {
+
+namespace prof_internal {
+
+thread_local std::atomic<uint8_t> tls_phase{0};
+std::atomic<bool> g_sampler_running{false};
+std::atomic<bool> g_alloc_enabled{false};
+
+namespace {
+
+// Global per-phase x per-source totals.  Plain relaxed counters: the
+// determinism rule (hooks fire only on gauge-attached, owner-thread
+// allocation paths) makes the totals reproducible; atomics keep the
+// multi-request service case well-defined.
+struct AllocCell {
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> count{0};
+};
+AllocCell g_alloc[kProfPhaseCount][kProfAllocSourceCount];
+
+}  // namespace
+
+void RecordAllocSlow(ProfAllocSource source, uint64_t bytes) {
+  AllocCell& cell =
+      g_alloc[tls_phase.load(std::memory_order_relaxed)]
+             [static_cast<int>(source)];
+  cell.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RegisterThreadForSampling() { SamplingProfiler::EnsureThreadRing(); }
+
+}  // namespace prof_internal
+
+const char* ProfPhaseName(ProfPhaseKind kind) {
+  switch (kind) {
+    case ProfPhaseKind::kNone:
+      return "none";
+    case ProfPhaseKind::kEnumerate:
+      return "enumerate";
+    case ProfPhaseKind::kCost:
+      return "cost";
+    case ProfPhaseKind::kPrune:
+      return "prune";
+    case ProfPhaseKind::kMerge:
+      return "merge";
+    case ProfPhaseKind::kCache:
+      return "cache";
+    case ProfPhaseKind::kServe:
+      return "serve";
+  }
+  return "unknown";
+}
+
+const char* ProfAllocSourceName(ProfAllocSource source) {
+  switch (source) {
+    case ProfAllocSource::kArena:
+      return "arena";
+    case ProfAllocSource::kMemo:
+      return "memo";
+    case ProfAllocSource::kIntern:
+      return "intern";
+  }
+  return "unknown";
+}
+
+void ProfSetAllocCountersEnabled(bool enabled) {
+  prof_internal::g_alloc_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool ProfAllocCountersEnabled() {
+  return prof_internal::g_alloc_enabled.load(std::memory_order_relaxed);
+}
+
+uint64_t ProfAllocCounters::TotalBytes() const {
+  uint64_t total = 0;
+  for (int p = 0; p < kProfPhaseCount; ++p)
+    for (int s = 0; s < kProfAllocSourceCount; ++s) total += bytes[p][s];
+  return total;
+}
+
+uint64_t ProfAllocCounters::PhaseBytes(ProfPhaseKind kind) const {
+  uint64_t total = 0;
+  for (int s = 0; s < kProfAllocSourceCount; ++s)
+    total += bytes[static_cast<int>(kind)][s];
+  return total;
+}
+
+uint64_t ProfAllocCounters::SourceBytes(ProfAllocSource source) const {
+  uint64_t total = 0;
+  for (int p = 0; p < kProfPhaseCount; ++p)
+    total += bytes[p][static_cast<int>(source)];
+  return total;
+}
+
+ProfAllocCounters ProfAllocSnapshot() {
+  ProfAllocCounters out;
+  for (int p = 0; p < kProfPhaseCount; ++p) {
+    for (int s = 0; s < kProfAllocSourceCount; ++s) {
+      out.bytes[p][s] =
+          prof_internal::g_alloc[p][s].bytes.load(std::memory_order_relaxed);
+      out.count[p][s] =
+          prof_internal::g_alloc[p][s].count.load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void ProfAllocReset() {
+  for (int p = 0; p < kProfPhaseCount; ++p) {
+    for (int s = 0; s < kProfAllocSourceCount; ++s) {
+      prof_internal::g_alloc[p][s].bytes.store(0, std::memory_order_relaxed);
+      prof_internal::g_alloc[p][s].count.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace sdp

@@ -1,0 +1,135 @@
+#ifndef SDPOPT_OBS_PROF_PROF_H_
+#define SDPOPT_OBS_PROF_PROF_H_
+
+#include <atomic>
+#include <cstdint>
+
+// Phase and allocation attribution for the sampling profiler.
+//
+// A ProfPhase RAII tag marks the current thread as being inside one of the
+// optimizer's coarse phases (enumerate / cost / prune / merge / cache /
+// serve).  The SIGPROF sampler stamps the active phase onto every CPU
+// sample, and the allocation hooks in the arena, memo and RelSet intern
+// table charge bytes to the active phase, so a profile decomposes into the
+// exact phases the ROADMAP perf items need.
+//
+// Discipline mirrors the flight recorder: everything here is always
+// compiled in, and the disabled path is one relaxed atomic load plus a
+// predicted branch (allocation hooks) or two thread-local byte stores
+// (phase tags).  Nothing on these paths allocates, locks, or syscalls.
+//
+// Determinism rule: allocation hooks fire only on gauge-attached
+// allocation paths.  Parallel scan workers run with gauge == nullptr
+// (their scratch is thrown away before the deterministic merge replays
+// candidate application on the owner thread), so per-phase allocation
+// totals are bit-identical at --opt-threads 1 vs N, same as every other
+// counter in the system.
+
+namespace sdp {
+
+// Coarse optimizer phases.  kNone means "outside any tagged region"
+// (driver glue, result assembly); samples landing there are still
+// reported, under the name "none".
+enum class ProfPhaseKind : uint8_t {
+  kNone = 0,
+  kEnumerate,  // candidate-pair scans, csg-cmp recursion, RelSet interning
+  kCost,       // join costing, memo entry creation, skyline insertion
+  kPrune,      // skyline pruner sweeps + doomed-entry recycling
+  kMerge,      // parallel_enum deterministic merge orchestration
+  kCache,      // plan-cache lookup / fill / coalescing
+  kServe,      // service-layer request handling outside the phases above
+};
+inline constexpr int kProfPhaseCount = 7;
+
+// Stable lowercase name ("none", "enumerate", ...), used in folded keys,
+// JSON, and CI assertions.
+const char* ProfPhaseName(ProfPhaseKind kind);
+
+// Where attributed allocations come from.
+enum class ProfAllocSource : uint8_t {
+  kArena = 0,  // Arena::Allocate (plan nodes, skyline vectors, scratch)
+  kMemo,       // memo entries + plan slots
+  kIntern,     // CsgCmpEnumerator RelSet intern-table misses
+};
+inline constexpr int kProfAllocSourceCount = 3;
+
+const char* ProfAllocSourceName(ProfAllocSource source);
+
+namespace prof_internal {
+
+// Active phase of this thread.  Atomic so the SIGPROF handler (which
+// interrupts this same thread) reads it without a sanitizer-visible race;
+// relaxed accesses compile to plain byte loads/stores.
+extern thread_local std::atomic<uint8_t> tls_phase;
+
+// Set while the sampling profiler is running; ProfPhase construction uses
+// it to lazily register the thread's sample ring from normal (non-signal)
+// context.
+extern std::atomic<bool> g_sampler_running;
+
+// Set while allocation attribution is recording.
+extern std::atomic<bool> g_alloc_enabled;
+
+void RecordAllocSlow(ProfAllocSource source, uint64_t bytes);
+void RegisterThreadForSampling();
+
+}  // namespace prof_internal
+
+// Phase currently active on the calling thread.
+inline ProfPhaseKind CurrentProfPhase() {
+  return static_cast<ProfPhaseKind>(
+      prof_internal::tls_phase.load(std::memory_order_relaxed));
+}
+
+// RAII phase tag.  Nests: the previous phase is restored on destruction,
+// so an inner ProfPhase(kCost) inside an enumerate region attributes just
+// its own extent.
+class ProfPhase {
+ public:
+  explicit ProfPhase(ProfPhaseKind kind)
+      : saved_(prof_internal::tls_phase.load(std::memory_order_relaxed)) {
+    prof_internal::tls_phase.store(static_cast<uint8_t>(kind),
+                                   std::memory_order_relaxed);
+    if (prof_internal::g_sampler_running.load(std::memory_order_relaxed)) {
+      prof_internal::RegisterThreadForSampling();
+    }
+  }
+  ~ProfPhase() {
+    prof_internal::tls_phase.store(saved_, std::memory_order_relaxed);
+  }
+  ProfPhase(const ProfPhase&) = delete;
+  ProfPhase& operator=(const ProfPhase&) = delete;
+
+ private:
+  uint8_t saved_;
+};
+
+// Allocation hook.  Disabled path: one relaxed load + predicted branch.
+inline void ProfRecordAlloc(ProfAllocSource source, uint64_t bytes) {
+  if (!prof_internal::g_alloc_enabled.load(std::memory_order_relaxed))
+    return;
+  prof_internal::RecordAllocSlow(source, bytes);
+}
+
+// Turn allocation attribution on/off.  Counters accumulate while enabled;
+// they are not cleared by disabling.
+void ProfSetAllocCountersEnabled(bool enabled);
+bool ProfAllocCountersEnabled();
+
+// Snapshot of the per-phase x per-source allocation counters.
+struct ProfAllocCounters {
+  uint64_t bytes[kProfPhaseCount][kProfAllocSourceCount] = {};
+  uint64_t count[kProfPhaseCount][kProfAllocSourceCount] = {};
+
+  uint64_t TotalBytes() const;
+  uint64_t PhaseBytes(ProfPhaseKind kind) const;
+  uint64_t SourceBytes(ProfAllocSource source) const;
+};
+ProfAllocCounters ProfAllocSnapshot();
+
+// Zero the allocation counters (does not change the enabled flag).
+void ProfAllocReset();
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OBS_PROF_PROF_H_

@@ -1,0 +1,283 @@
+#include "obs/prof/prof_export.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+namespace sdp {
+
+namespace {
+
+std::mutex& SymbolCacheMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+std::unordered_map<uintptr_t, std::string>& SymbolCache() {
+  static std::unordered_map<uintptr_t, std::string>* cache =
+      new std::unordered_map<uintptr_t, std::string>();
+  return *cache;
+}
+
+std::string SymbolizeUncached(uintptr_t pc) {
+  Dl_info info;
+  // The sampled pc is the return address: subtract one byte so calls at
+  // the end of a function attribute to the caller, not the next symbol.
+  const uintptr_t lookup = pc > 0 ? pc - 1 : pc;
+  if (dladdr(reinterpret_cast<void*>(lookup), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string out(demangled);
+      std::free(demangled);
+      return out;
+    }
+    if (demangled != nullptr) std::free(demangled);
+    return info.dli_sname;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(pc));
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Folded keys use ';' as the frame separator and ' ' before the count;
+// scrub both out of symbol names so lines stay parseable.
+std::string FoldedEscape(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == ';' || c == ' ' || c == '\n') c = '_';
+  }
+  return out;
+}
+
+std::map<std::string, uint64_t> FoldSamples(
+    const std::vector<SamplingProfiler::Sample>& samples) {
+  std::map<std::string, uint64_t> stacks;
+  for (const SamplingProfiler::Sample& s : samples) {
+    std::string key = "phase=";
+    key += ProfPhaseName(s.phase);
+    for (int f = s.depth - 1; f >= 0; --f) {  // root-first
+      key += ';';
+      key += FoldedEscape(ProfSymbolize(s.pc[f]));
+    }
+    ++stacks[key];
+  }
+  return stacks;
+}
+
+}  // namespace
+
+std::string ProfSymbolize(uintptr_t pc) {
+  {
+    std::lock_guard<std::mutex> lock(SymbolCacheMutex());
+    auto it = SymbolCache().find(pc);
+    if (it != SymbolCache().end()) return it->second;
+  }
+  std::string sym = SymbolizeUncached(pc);
+  std::lock_guard<std::mutex> lock(SymbolCacheMutex());
+  SymbolCache().emplace(pc, sym);
+  return sym;
+}
+
+std::map<std::string, uint64_t> ProfPhaseCounts(
+    const std::vector<SamplingProfiler::Sample>& samples) {
+  std::map<std::string, uint64_t> counts;
+  for (const SamplingProfiler::Sample& s : samples) {
+    ++counts[ProfPhaseName(s.phase)];
+  }
+  return counts;
+}
+
+std::string RenderFolded(
+    const std::vector<SamplingProfiler::Sample>& samples) {
+  std::string out;
+  for (const auto& [key, count] : FoldSamples(samples)) {
+    out += key;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MergeFoldedProfiles(const std::vector<std::string>& folded) {
+  std::map<std::string, uint64_t> merged;
+  for (const std::string& text : folded) {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const size_t space = line.rfind(' ');
+      if (space == std::string::npos) continue;
+      char* end = nullptr;
+      const unsigned long long count =
+          std::strtoull(line.c_str() + space + 1, &end, 10);
+      if (end == line.c_str() + space + 1) continue;
+      merged[line.substr(0, space)] += count;
+    }
+  }
+  std::string out;
+  for (const auto& [key, count] : merged) {
+    out += key;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderProfileJson(
+    const std::vector<SamplingProfiler::Sample>& samples,
+    const ProfAllocCounters& alloc, int hz, uint64_t samples_recorded,
+    uint64_t samples_missed) {
+  std::string out = "{\n";
+  out += "  \"version\": 1,\n";
+  out += "  \"hz\": " + std::to_string(hz) + ",\n";
+  out += "  \"samples_recorded\": " + std::to_string(samples_recorded) +
+         ",\n";
+  out += "  \"samples_missed\": " + std::to_string(samples_missed) + ",\n";
+
+  out += "  \"phases\": {";
+  bool first = true;
+  for (const auto& [phase, count] : ProfPhaseCounts(samples)) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + phase + "\": " + std::to_string(count);
+  }
+  out += "},\n";
+
+  out += "  \"stacks\": [\n";
+  first = true;
+  for (const auto& [key, count] : FoldSamples(samples)) {
+    if (!first) out += ",\n";
+    first = false;
+    // Split the folded key back into phase + frames; emit leaf-first
+    // (pprof location order).
+    std::vector<std::string> parts;
+    size_t pos = 0;
+    while (pos <= key.size()) {
+      const size_t semi = key.find(';', pos);
+      if (semi == std::string::npos) {
+        parts.push_back(key.substr(pos));
+        break;
+      }
+      parts.push_back(key.substr(pos, semi - pos));
+      pos = semi + 1;
+    }
+    out += "    {\"phase\": \"" +
+           JsonEscape(parts[0].substr(parts[0].find('=') + 1)) +
+           "\", \"count\": " + std::to_string(count) + ", \"frames\": [";
+    for (size_t i = parts.size(); i-- > 1;) {
+      out += "\"" + JsonEscape(parts[i]) + "\"";
+      if (i > 1) out += ", ";
+    }
+    out += "]}";
+  }
+  out += "\n  ],\n";
+
+  out += "  \"alloc\": {";
+  for (int s = 0; s < kProfAllocSourceCount; ++s) {
+    if (s > 0) out += ", ";
+    out += "\"";
+    out += ProfAllocSourceName(static_cast<ProfAllocSource>(s));
+    out += "\": {";
+    for (int p = 0; p < kProfPhaseCount; ++p) {
+      if (p > 0) out += ", ";
+      out += "\"";
+      out += ProfPhaseName(static_cast<ProfPhaseKind>(p));
+      out += "\": {\"bytes\": " + std::to_string(alloc.bytes[p][s]) +
+             ", \"count\": " + std::to_string(alloc.count[p][s]) + "}";
+    }
+    out += "}";
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+std::string RenderProfileSummary(
+    const std::vector<SamplingProfiler::Sample>& samples,
+    const ProfAllocCounters& alloc) {
+  const uint64_t total = samples.size();
+  std::string out;
+  char line[256];
+  out += "phase        samples     pct  alloc_bytes  allocs\n";
+  const std::map<std::string, uint64_t> phases = ProfPhaseCounts(samples);
+  for (int p = 0; p < kProfPhaseCount; ++p) {
+    const ProfPhaseKind kind = static_cast<ProfPhaseKind>(p);
+    const char* name = ProfPhaseName(kind);
+    const auto it = phases.find(name);
+    const uint64_t count = it == phases.end() ? 0 : it->second;
+    uint64_t allocs = 0;
+    for (int s = 0; s < kProfAllocSourceCount; ++s) allocs += alloc.count[p][s];
+    if (count == 0 && allocs == 0) continue;
+    std::snprintf(line, sizeof(line), "%-12s %7llu %6.1f%% %12llu %7llu\n",
+                  name, static_cast<unsigned long long>(count),
+                  total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(count) /
+                                   static_cast<double>(total),
+                  static_cast<unsigned long long>(alloc.PhaseBytes(kind)),
+                  static_cast<unsigned long long>(allocs));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-12s %7llu %6.1f%% %12llu\n", "total",
+                static_cast<unsigned long long>(total), total == 0 ? 0.0 : 100.0,
+                static_cast<unsigned long long>(alloc.TotalBytes()));
+  out += line;
+
+  // Self (leaf-frame) counts pick out the hot symbols.
+  std::unordered_map<std::string, uint64_t> self;
+  for (const SamplingProfiler::Sample& s : samples) {
+    if (s.depth > 0) ++self[ProfSymbolize(s.pc[0])];
+  }
+  std::vector<std::pair<std::string, uint64_t>> hot(self.begin(), self.end());
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (!hot.empty()) {
+    out += "top symbols (self samples):\n";
+    for (size_t i = 0; i < hot.size() && i < 5; ++i) {
+      std::snprintf(line, sizeof(line), "  %llu  %s\n",
+                    static_cast<unsigned long long>(hot[i].second),
+                    hot[i].first.c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace sdp

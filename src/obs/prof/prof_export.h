@@ -1,0 +1,53 @@
+#ifndef SDPOPT_OBS_PROF_PROF_EXPORT_H_
+#define SDPOPT_OBS_PROF_PROF_EXPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/prof/prof.h"
+#include "obs/prof/profiler.h"
+
+// Offline rendering of profiler samples.  Symbolization uses dladdr +
+// __cxa_demangle, both of which allocate -- everything in this header
+// must run from normal context, never the signal handler.  Executables
+// are built with ENABLE_EXPORTS (-rdynamic) so dladdr can resolve
+// symbols in the main binary; unresolvable frames render as hex
+// addresses, and the phase prefix keeps such profiles useful.
+
+namespace sdp {
+
+// Demangled symbol for a pc, or "0x<hex>" when unresolvable.  Cached.
+std::string ProfSymbolize(uintptr_t pc);
+
+// Per-phase sample counts, keyed by ProfPhaseName.
+std::map<std::string, uint64_t> ProfPhaseCounts(
+    const std::vector<SamplingProfiler::Sample>& samples);
+
+// Folded-stack text, one line per distinct stack, root-first frames:
+//   phase=cost;sdp::OptimizeDP;sdp::JoinEnumerator::RunLevel 42
+// Consumable by flamegraph.pl; the phase tag is the root frame.
+std::string RenderFolded(
+    const std::vector<SamplingProfiler::Sample>& samples);
+
+// Sum several folded-stack texts (e.g. one per replica) by identical
+// symbol+phase key; output is sorted by key for determinism.
+std::string MergeFoldedProfiles(const std::vector<std::string>& folded);
+
+// JSON profile: phase totals, distinct stacks (frames leaf-first), and
+// the per-phase x per-source allocation table.
+std::string RenderProfileJson(
+    const std::vector<SamplingProfiler::Sample>& samples,
+    const ProfAllocCounters& alloc, int hz, uint64_t samples_recorded,
+    uint64_t samples_missed);
+
+// Human-readable digest: per-phase sample percentages and allocated
+// bytes, plus the top-5 hot symbols by inclusive leaf count.
+std::string RenderProfileSummary(
+    const std::vector<SamplingProfiler::Sample>& samples,
+    const ProfAllocCounters& alloc);
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OBS_PROF_PROF_EXPORT_H_

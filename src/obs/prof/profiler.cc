@@ -1,0 +1,226 @@
+#include "obs/prof/profiler.h"
+
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+// Frame capture in the handler relies on glibc's backtrace(), whose first
+// call may allocate (loading the unwinder); Start() primes it from normal
+// context so handler-time calls are allocation-free.  ThreadSanitizer
+// intercepts allocation and flags any interceptable call made from a
+// signal handler, so under TSan the handler records phase-only samples
+// (depth 0); the TSan test exercises the ring and phase disciplines, and
+// symbolized profiles come from uninstrumented builds.
+#if defined(__SANITIZE_THREAD__)
+#define SDP_PROF_NO_UNWIND 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SDP_PROF_NO_UNWIND 1
+#endif
+#endif
+#ifndef SDP_PROF_NO_UNWIND
+#define SDP_PROF_NO_UNWIND 0
+#endif
+
+namespace sdp {
+
+namespace {
+
+constexpr uint64_t kRingSamples = 1024;  // power of two, per thread
+constexpr int kWordsPerSample = 1 + SamplingProfiler::kMaxFrames;
+// backtrace() reports [handler impl, handler thunk, signal trampoline,
+// interrupted frame, ...]; the first three are profiler plumbing.
+constexpr int kSkipFrames = 3;
+
+struct SampleRing {
+  std::atomic<uint64_t> head{0};
+  std::atomic<uint64_t> words[kRingSamples * kWordsPerSample] = {};
+};
+
+thread_local SampleRing* tls_sample_ring = nullptr;
+
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+std::vector<SampleRing*>& Registry() {
+  static std::vector<SampleRing*>* rings = new std::vector<SampleRing*>();
+  return *rings;
+}
+// Serializes Start/Stop against each other (e.g. concurrent /profilez).
+std::mutex& ControlMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+uint64_t PackHeader(uint8_t phase, int depth) {
+  return static_cast<uint64_t>(phase) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(depth)) << 8);
+}
+
+}  // namespace
+
+// Everything in here must stay async-signal-safe: atomics on the ring,
+// TLS reads, and (post-priming) backtrace().  No locks, no allocation,
+// errno preserved.
+__attribute__((noinline)) void ProfSignalHandlerImpl(int) {
+  const int saved_errno = errno;
+  if (prof_internal::g_sampler_running.load(std::memory_order_relaxed)) {
+    SamplingProfiler& prof = SamplingProfiler::Instance();
+    SampleRing* ring = tls_sample_ring;
+    if (ring == nullptr) {
+      prof.samples_missed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      void* frames[SamplingProfiler::kMaxFrames + kSkipFrames];
+      int captured = 0;
+#if !SDP_PROF_NO_UNWIND
+      captured =
+          backtrace(frames, SamplingProfiler::kMaxFrames + kSkipFrames);
+#endif
+      const int depth = captured > kSkipFrames ? captured - kSkipFrames : 0;
+      const uint8_t phase =
+          prof_internal::tls_phase.load(std::memory_order_relaxed);
+      const uint64_t h = ring->head.load(std::memory_order_relaxed);
+      std::atomic<uint64_t>* slot =
+          &ring->words[(h & (kRingSamples - 1)) * kWordsPerSample];
+      slot[0].store(PackHeader(phase, depth), std::memory_order_relaxed);
+      for (int i = 0; i < depth; ++i) {
+        slot[1 + i].store(
+            reinterpret_cast<uint64_t>(frames[kSkipFrames + i]),
+            std::memory_order_relaxed);
+      }
+      ring->head.store(h + 1, std::memory_order_release);
+      prof.samples_recorded_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  errno = saved_errno;
+}
+
+namespace {
+void ProfSignalHandler(int sig, siginfo_t*, void*) {
+  ProfSignalHandlerImpl(sig);
+}
+}  // namespace
+
+SamplingProfiler& SamplingProfiler::Instance() {
+  static SamplingProfiler* instance = new SamplingProfiler();
+  return *instance;
+}
+
+void SamplingProfiler::EnsureThreadRing() {
+  if (tls_sample_ring != nullptr) return;
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  SampleRing* ring = new SampleRing();  // intentionally never freed
+  Registry().push_back(ring);
+  tls_sample_ring = ring;
+}
+
+bool SamplingProfiler::Start(int hz, std::string* error) {
+  std::lock_guard<std::mutex> lock(ControlMutex());
+  if (running()) {
+    if (error != nullptr) *error = "profiler already running";
+    return false;
+  }
+  if (hz < 1 || hz > 10000) {
+    if (error != nullptr) *error = "profile hz out of range [1, 10000]";
+    return false;
+  }
+  // Prime the unwinder outside signal context (first call may allocate).
+  void* prime[4];
+  (void)backtrace(prime, 4);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = &ProfSignalHandler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPROF, &sa, nullptr) != 0) {
+    if (error != nullptr)
+      *error = std::string("sigaction(SIGPROF): ") + std::strerror(errno);
+    return false;
+  }
+  EnsureThreadRing();
+  hz_.store(hz, std::memory_order_relaxed);
+  prof_internal::g_sampler_running.store(true, std::memory_order_relaxed);
+
+  const long usec = 1000000L / hz > 0 ? 1000000L / hz : 1;
+  struct itimerval tv;
+  tv.it_interval.tv_sec = usec / 1000000;
+  tv.it_interval.tv_usec = usec % 1000000;
+  tv.it_value = tv.it_interval;
+  if (setitimer(ITIMER_PROF, &tv, nullptr) != 0) {
+    prof_internal::g_sampler_running.store(false, std::memory_order_relaxed);
+    if (error != nullptr)
+      *error = std::string("setitimer(ITIMER_PROF): ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void SamplingProfiler::Stop() {
+  std::lock_guard<std::mutex> lock(ControlMutex());
+  if (!running()) return;
+  // Clear the flag first so a signal racing the disarm records nothing.
+  prof_internal::g_sampler_running.store(false, std::memory_order_relaxed);
+  struct itimerval tv;
+  std::memset(&tv, 0, sizeof(tv));
+  setitimer(ITIMER_PROF, &tv, nullptr);
+}
+
+std::vector<SamplingProfiler::Sample> SamplingProfiler::Snapshot() const {
+  std::vector<Sample> out;
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (SampleRing* ring : Registry()) {
+    const uint64_t h1 = ring->head.load(std::memory_order_acquire);
+    const uint64_t begin = h1 > kRingSamples ? h1 - kRingSamples : 0;
+    std::vector<Sample> local;
+    std::vector<uint64_t> indices;
+    local.reserve(h1 - begin);
+    indices.reserve(h1 - begin);
+    for (uint64_t i = begin; i < h1; ++i) {
+      const std::atomic<uint64_t>* slot =
+          &ring->words[(i & (kRingSamples - 1)) * kWordsPerSample];
+      const uint64_t header = slot[0].load(std::memory_order_relaxed);
+      Sample s;
+      const uint8_t phase = static_cast<uint8_t>(header & 0xFF);
+      s.phase = phase < kProfPhaseCount ? static_cast<ProfPhaseKind>(phase)
+                                        : ProfPhaseKind::kNone;
+      int depth = static_cast<int>((header >> 8) & 0xFF);
+      if (depth > kMaxFrames) depth = kMaxFrames;
+      s.depth = depth;
+      for (int f = 0; f < depth; ++f) {
+        s.pc[f] = static_cast<uintptr_t>(
+            slot[1 + f].load(std::memory_order_relaxed));
+      }
+      local.push_back(s);
+      indices.push_back(i);
+    }
+    // The writer may have lapped us mid-copy; anything it could have
+    // overwritten since the first head read is torn -- drop it.
+    const uint64_t h2 = ring->head.load(std::memory_order_acquire);
+    const uint64_t safe_begin =
+        h2 + 1 > kRingSamples ? h2 + 1 - kRingSamples : 0;
+    for (size_t k = 0; k < local.size(); ++k) {
+      if (indices[k] >= safe_begin) out.push_back(local[k]);
+    }
+  }
+  return out;
+}
+
+void SamplingProfiler::Reset() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (SampleRing* ring : Registry()) {
+    for (uint64_t w = 0; w < kRingSamples * kWordsPerSample; ++w) {
+      ring->words[w].store(0, std::memory_order_relaxed);
+    }
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+  samples_recorded_.store(0, std::memory_order_relaxed);
+  samples_missed_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sdp

@@ -1,0 +1,91 @@
+#ifndef SDPOPT_OBS_PROF_PROFILER_H_
+#define SDPOPT_OBS_PROF_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/prof/prof.h"
+
+// SIGPROF-driven sampling CPU profiler.
+//
+// Start(hz) installs a SIGPROF handler and arms ITIMER_PROF, so the kernel
+// delivers a signal to whichever thread is burning CPU, every 1/hz seconds
+// of process CPU time.  The handler captures the interrupted thread's call
+// stack plus its active ProfPhase into a per-thread lock-free ring, using
+// the flight recorder's discipline: fixed power-of-two rings of atomic
+// words, slot words stored relaxed then published by a release store of
+// the ring head; readers detect overwrite-torn slots by re-reading the
+// head and discarding anything the writer may have lapped.  The handler
+// takes no locks, allocates nothing, and preserves errno.
+//
+// Threads register their ring lazily from normal context (the ProfPhase
+// constructor's slow path, or Start() for the calling thread); a signal
+// landing on an unregistered thread bumps a missed counter instead of
+// recording.  Rings are never destroyed.
+//
+// Symbolization happens offline in prof_export (dladdr + demangle, which
+// allocate and therefore must never run in the handler).
+
+namespace sdp {
+
+class SamplingProfiler {
+ public:
+  static constexpr int kMaxFrames = 16;
+
+  struct Sample {
+    ProfPhaseKind phase = ProfPhaseKind::kNone;
+    int depth = 0;  // 0 when frame capture is unavailable (see prof.cc)
+    uintptr_t pc[kMaxFrames] = {};
+  };
+
+  static SamplingProfiler& Instance();
+
+  // Install the handler and arm the timer at `hz` samples per CPU-second.
+  // Fails (returning false with *error set) if already running, hz is out
+  // of [1, 10000], or the signal/timer syscalls fail.
+  bool Start(int hz, std::string* error);
+
+  // Disarm the timer.  The handler stays installed (it is inert while the
+  // running flag is clear); recorded samples remain until Reset().
+  void Stop();
+
+  bool running() const {
+    return prof_internal::g_sampler_running.load(std::memory_order_relaxed);
+  }
+  int hz() const { return hz_.load(std::memory_order_relaxed); }
+
+  // Copy out every readable sample across all registered rings.  Safe to
+  // call while running; torn slots are discarded.
+  std::vector<Sample> Snapshot() const;
+
+  uint64_t samples_recorded() const {
+    return samples_recorded_.load(std::memory_order_relaxed);
+  }
+  // Signals that landed on threads with no registered ring.
+  uint64_t samples_missed() const {
+    return samples_missed_.load(std::memory_order_relaxed);
+  }
+
+  // Zero rings and counters (threads stay registered).  Call only while
+  // stopped.
+  void Reset();
+
+  // Register the calling thread's ring if it has none yet.  Normal-context
+  // only; called from ProfPhase's slow path while the profiler runs.
+  static void EnsureThreadRing();
+
+ private:
+  SamplingProfiler() = default;
+
+  std::atomic<int> hz_{0};
+  std::atomic<uint64_t> samples_recorded_{0};
+  std::atomic<uint64_t> samples_missed_{0};
+
+  friend void ProfSignalHandlerImpl(int);
+};
+
+}  // namespace sdp
+
+#endif  // SDPOPT_OBS_PROF_PROFILER_H_

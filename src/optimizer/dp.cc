@@ -3,6 +3,7 @@
 #include "common/arena.h"
 #include "common/check.h"
 #include "cost/cardinality.h"
+#include "obs/prof/prof.h"
 #include "optimizer/enumerator.h"
 #include "optimizer/memo.h"
 #include "optimizer/parallel_enum.h"
@@ -92,6 +93,7 @@ OptimizeResult OptimizeDPSub(const Query& query, const CostModel& cost,
     // DPsub enumerates by subset mask, not level; one span covers the whole
     // enumeration so trace totals still reconcile with the counters.
     TraceLevelScope span(tracer, 0, n, "enumerate", counters, gauge);
+    ProfPhase phase(ProfPhaseKind::kEnumerate);
     const uint64_t limit = uint64_t{1} << n;
     for (uint64_t bits = 1; bits < limit; ++bits) {
       const RelSet s(bits);
@@ -108,6 +110,7 @@ OptimizeResult OptimizeDPSub(const Query& query, const CostModel& cost,
         MemoEntry* eb = memo.Find(b);
         if (ea == nullptr || eb == nullptr) continue;  // Disconnected half.
         if (!graph.AreAdjacent(a, b)) continue;
+        ProfPhase cost_phase(ProfPhaseKind::kCost);
         bool created = false;
         MemoEntry* target = memo.GetOrCreate(
             s, ea->unit_count + eb->unit_count, card.Rows(s),

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "obs/prof/prof.h"
 
 namespace sdp {
 
@@ -137,6 +138,7 @@ bool JoinEnumerator::BudgetExceeded() {
 }
 
 void JoinEnumerator::InstallBaseRelationLeaves() {
+  ProfPhase phase(ProfPhaseKind::kEnumerate);
   for (int r = 0; r < graph_->num_relations(); ++r) {
     InstallBaseRelationLeaf(r);
   }
@@ -184,6 +186,7 @@ MemoEntry* JoinEnumerator::InstallBaseRelationLeaf(int rel) {
 
 MemoEntry* JoinEnumerator::InstallLeaf(RelSet rels, double rows, double sel,
                                        const std::vector<RankedPlan>& plans) {
+  ProfPhase phase(ProfPhaseKind::kEnumerate);
   bool created = false;
   MemoEntry* entry = memo_->GetOrCreate(rels, 1, rows, sel, &created);
   SDP_CHECK(created);
@@ -213,29 +216,32 @@ bool JoinEnumerator::RunLevel(int level) {
 
 bool JoinEnumerator::RunLevelCcp(int level) {
   if (BudgetExceeded()) return false;
-  if (ccp_ == nullptr) {
-    ccp_ = std::make_unique<CsgCmpEnumerator>(*graph_, units_, counters_);
-    // Connected-subgraph populations grow quadratically in the unit count
-    // on chains/cycles; pre-size past the ctor's level-2 lower bound so
-    // 50+ relation runs don't rehash mid-enumeration.
-    const size_t n = units_.size();
-    memo_->Reserve(std::min<size_t>(n * (n + 1) / 2 + n, size_t{1} << 18));
+  {
+    ProfPhase phase(ProfPhaseKind::kEnumerate);
+    if (ccp_ == nullptr) {
+      ccp_ = std::make_unique<CsgCmpEnumerator>(*graph_, units_, counters_);
+      // Connected-subgraph populations grow quadratically in the unit count
+      // on chains/cycles; pre-size past the ctor's level-2 lower bound so
+      // 50+ relation runs don't rehash mid-enumeration.
+      const size_t n = units_.size();
+      memo_->Reserve(std::min<size_t>(n * (n + 1) / 2 + n, size_t{1} << 18));
+    }
+    // Build the level's csg-cmp task list.  Owner thread only, and no budget
+    // checkpoints: the cost phase must consume the identical checkpoint
+    // sequence whether it then runs serial or sharded.  Pairs whose side is
+    // missing (SDP erased it) or pruned are dropped here, uncounted, exactly
+    // as the DPsize scan never pairs them.
+    ccp_tasks_.clear();
+    ccp_->EnumerateLevel(level, [&](uint64_t s1, uint64_t s2) {
+      const MemoEntry* a = memo_->Find(ccp_->RelsFor(s1));
+      if (a == nullptr || a->pruned) return;
+      const MemoEntry* b = memo_->Find(ccp_->RelsFor(s2));
+      if (b == nullptr || b->pruned) return;
+      // Orient like the size-driven scan: the smaller side first.
+      if (b->unit_count < a->unit_count) std::swap(a, b);
+      ccp_tasks_.push_back(CcpTask{a, b, a->rels.Union(b->rels)});
+    });
   }
-  // Build the level's csg-cmp task list.  Owner thread only, and no budget
-  // checkpoints: the cost phase must consume the identical checkpoint
-  // sequence whether it then runs serial or sharded.  Pairs whose side is
-  // missing (SDP erased it) or pruned are dropped here, uncounted, exactly
-  // as the DPsize scan never pairs them.
-  ccp_tasks_.clear();
-  ccp_->EnumerateLevel(level, [&](uint64_t s1, uint64_t s2) {
-    const MemoEntry* a = memo_->Find(ccp_->RelsFor(s1));
-    if (a == nullptr || a->pruned) return;
-    const MemoEntry* b = memo_->Find(ccp_->RelsFor(s2));
-    if (b == nullptr || b->pruned) return;
-    // Orient like the size-driven scan: the smaller side first.
-    if (b->unit_count < a->unit_count) std::swap(a, b);
-    ccp_tasks_.push_back(CcpTask{a, b, a->rels.Union(b->rels)});
-  });
   if (options_.opt_threads > 1 && options_.intra_pool != nullptr &&
       ccp_tasks_.size() >= options_.parallel_min_pairs) {
     return RunLevelCcpParallel(level, ccp_tasks_);
@@ -246,11 +252,15 @@ bool JoinEnumerator::RunLevelCcp(int level) {
 bool JoinEnumerator::RunLevelCcpSerial(int level,
                                        const std::vector<CcpTask>& tasks) {
   (void)level;
+  ProfPhase phase(ProfPhaseKind::kEnumerate);
   for (const CcpTask& t : tasks) {
     ++counters_->pairs_examined;
     if ((counters_->pairs_examined & poll_mask_) == 0 && BudgetExceeded()) {
       return false;
     }
+    // Memo-entry creation and join costing attribute to the cost phase in
+    // both the serial path and the parallel merge replay.
+    ProfPhase cost_phase(ProfPhaseKind::kCost);
     bool created = false;
     MemoEntry* target = memo_->GetOrCreate(
         t.target, t.a->unit_count + t.b->unit_count, card_->Rows(t.target),
@@ -264,6 +274,7 @@ bool JoinEnumerator::RunLevelCcpSerial(int level,
 bool JoinEnumerator::RunLevelGoo(int level) {
   (void)level;
   if (BudgetExceeded()) return false;
+  ProfPhase phase(ProfPhaseKind::kEnumerate);
   if (!goo_seeded_) {
     goo_seeded_ = true;
     goo_roots_.reserve(units_.size());
@@ -302,12 +313,16 @@ bool JoinEnumerator::RunLevelGoo(int level) {
   SDP_CHECK(best_rows < std::numeric_limits<double>::infinity());
   MemoEntry* a = goo_roots_[best_i];
   MemoEntry* b = goo_roots_[best_j];
-  bool created = false;
-  MemoEntry* target =
-      memo_->GetOrCreate(best_set, a->unit_count + b->unit_count, best_rows,
-                         card_->Selectivity(best_set), &created);
-  if (created) ++counters_->jcrs_created;
-  EmitJoinsInto(target, a, b);
+  MemoEntry* target = nullptr;
+  {
+    ProfPhase cost_phase(ProfPhaseKind::kCost);
+    bool created = false;
+    target =
+        memo_->GetOrCreate(best_set, a->unit_count + b->unit_count, best_rows,
+                           card_->Selectivity(best_set), &created);
+    if (created) ++counters_->jcrs_created;
+    EmitJoinsInto(target, a, b);
+  }
   goo_roots_[best_i] = target;
   goo_roots_.erase(goo_roots_.begin() + static_cast<ptrdiff_t>(best_j));
   return !BudgetExceeded();
@@ -315,6 +330,7 @@ bool JoinEnumerator::RunLevelGoo(int level) {
 
 bool JoinEnumerator::RunLevelSerial(int level) {
   if (BudgetExceeded()) return false;
+  ProfPhase phase(ProfPhaseKind::kEnumerate);
   for (int a_size = 1; a_size <= level / 2; ++a_size) {
     const int b_size = level - a_size;
     const auto& as = memo_->EntriesWithUnitCount(a_size);
@@ -338,6 +354,7 @@ bool JoinEnumerator::RunLevelSerial(int level) {
         if (a->rels.Overlaps(b->rels)) continue;
         if (!a_nbrs.Overlaps(b->rels)) continue;
         const RelSet s = a->rels.Union(b->rels);
+        ProfPhase cost_phase(ProfPhaseKind::kCost);
         bool created = false;
         MemoEntry* target =
             memo_->GetOrCreate(s, a->unit_count + b->unit_count,
@@ -354,6 +371,7 @@ bool JoinEnumerator::RunLevelSerial(int level) {
 
 void JoinEnumerator::EmitJoinsInto(MemoEntry* target, const MemoEntry* a,
                                    const MemoEntry* b) {
+  ProfPhase phase(ProfPhaseKind::kCost);
   // Generate-and-apply inline: the serial path costs each candidate and
   // immediately runs it through the same apply step the parallel merge
   // uses, so both paths share one behavioral definition.
@@ -441,6 +459,7 @@ bool JoinEnumerator::TryAdd(MemoEntry* target, PlanKind kind, int rel,
 }
 
 const PlanNode* JoinEnumerator::FinalizeBestPlan(const MemoEntry* full) {
+  ProfPhase phase(ProfPhaseKind::kCost);
   const PlanNode* cheapest = full->CheapestPlan();
   if (cheapest == nullptr) return nullptr;
   const int required = space_->RequiredId();

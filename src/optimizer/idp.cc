@@ -9,6 +9,7 @@
 #include "common/arena.h"
 #include "common/check.h"
 #include "cost/cardinality.h"
+#include "obs/prof/prof.h"
 #include "optimizer/enumerator.h"
 #include "optimizer/memo.h"
 #include "optimizer/parallel_enum.h"
@@ -171,6 +172,10 @@ OptimizeResult OptimizeIDP(const Query& query, const CostModel& cost,
     MemoEntry* winner = nullptr;
     double winner_score = 0;
     bool balloon_aborted = false;
+    // Balloon walks the unit adjacency greedily (enumerate); each MinRows
+    // completion step costs plans through EmitJoinsInto, which re-tags
+    // its own extent as cost.
+    ProfPhase balloon_phase(ProfPhaseKind::kEnumerate);
     for (MemoEntry* cand : candidates) {
       if (enumerator.CheckBudget()) {
         balloon_aborted = true;
@@ -227,6 +232,7 @@ OptimizeResult OptimizeIDP(const Query& query, const CostModel& cost,
 
     // Collapse the winning subplan into a composite unit whose plans are
     // deep-copied into the run-lifetime arena.
+    ProfPhase collapse_phase(ProfPhaseKind::kEnumerate);
     Unit composite;
     composite.rels = winner->rels;
     composite.rows = winner->rows;
@@ -303,6 +309,8 @@ OptimizeResult OptimizeIDP2(const Query& query, const CostModel& cost,
     // only, no plans) until some tree accumulates k units; that tree's
     // leaves form the block DP will optimize exactly.
     std::vector<int> block_indices;  // Indices into `units`.
+    std::optional<ProfPhase> greedy_phase;
+    greedy_phase.emplace(ProfPhaseKind::kEnumerate);
     std::optional<TraceLevelScope> greedy_span;
     greedy_span.emplace(tracer, iteration, 0, "greedy", counters, gauge);
     if (m <= config.k) {
@@ -376,6 +384,7 @@ OptimizeResult OptimizeIDP2(const Query& query, const CostModel& cost,
       }
     }
     greedy_span.reset();  // Close the greedy span before DP spans open.
+    greedy_phase.reset();
 
     // DP phase: exhaustive DP over the block's units.
     iterations.push_back(std::make_unique<IterationContext>(&gauge));
@@ -423,6 +432,7 @@ OptimizeResult OptimizeIDP2(const Query& query, const CostModel& cost,
     }
 
     // Collapse the optimized block.
+    ProfPhase collapse_phase(ProfPhaseKind::kEnumerate);
     Unit composite;
     composite.rels = full->rels;
     composite.rows = full->rows;

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/prof/prof.h"
 
 namespace sdp {
 
@@ -90,6 +91,7 @@ MemoEntry* Memo::GetOrCreate(RelSet rels, int unit_count, double rows,
     if (gauge_ != nullptr) {
       gauge_->Charge(kEntryBytes);
       charged_bytes_ += kEntryBytes;
+      ProfRecordAlloc(ProfAllocSource::kMemo, kEntryBytes);
     }
   } else {
     SDP_DCHECK(entry->unit_count == unit_count);
@@ -109,6 +111,7 @@ void Memo::ChargePlanSlot() {
   if (gauge_ != nullptr) {
     gauge_->Charge(kPlanSlotBytes);
     charged_bytes_ += kPlanSlotBytes;
+    ProfRecordAlloc(ProfAllocSource::kMemo, kPlanSlotBytes);
   }
 }
 

@@ -129,6 +129,7 @@ struct OptimizeResult {
   SearchCounters counters;
   double elapsed_seconds = 0;
   double peak_memory_mb = 0;
+  uint64_t peak_memory_bytes = 0;
   // Why the run ended: OK for a feasible plan, a typed budget/cancellation
   // code otherwise.  Infeasible runs under the legacy caps (no
   // ResourceBudget) report kMemoryExceeded.

@@ -29,6 +29,7 @@
 
 #include "common/check.h"
 #include "obs/flight_recorder.h"
+#include "obs/prof/prof.h"
 #include "optimizer/enumerator.h"
 #include "trace/trace.h"
 
@@ -97,6 +98,7 @@ struct ChunkOutput {
 }  // namespace
 
 bool JoinEnumerator::RunLevelParallel(int level) {
+  ProfPhase enumerate_phase(ProfPhaseKind::kEnumerate);
   // ---- Shard planning (no budget checkpoints yet: a level that falls
   // back to the serial path must consume exactly the serial run's
   // checkpoint sequence). ----
@@ -160,6 +162,11 @@ bool JoinEnumerator::RunLevelParallel(int level) {
   double busy_seconds = 0;
 
   auto run_chunks = [&]() {
+    // Workers carry their own phase TLS: the scan is enumerate, each
+    // candidate generation is cost.  Worker-side allocations record
+    // nothing (wcard runs gauge-free), keeping per-phase alloc totals
+    // identical to serial.
+    ProfPhase scan_phase(ProfPhaseKind::kEnumerate);
     const auto busy_start = std::chrono::steady_clock::now();
     CardinalityEstimator wcard(*graph_, *cost_, /*gauge=*/nullptr);
     JoinCandidateGen wgen(*graph_, *cost_, *space_);
@@ -211,10 +218,13 @@ bool JoinEnumerator::RunLevelParallel(int level) {
           pr.row = r;
           pr.examined_at = row_examined;
           pr.cand_begin = static_cast<uint32_t>(out.cands.size());
-          wgen.Generate(a, b, wcard.Rows(s), &out.plans_costed,
-                        [&](const JoinCandidate& c) {
-                          out.cands.push_back(c);
-                        });
+          {
+            ProfPhase cost_phase(ProfPhaseKind::kCost);
+            wgen.Generate(a, b, wcard.Rows(s), &out.plans_costed,
+                          [&](const JoinCandidate& c) {
+                            out.cands.push_back(c);
+                          });
+          }
           pr.cand_end = static_cast<uint32_t>(out.cands.size());
           out.pairs.push_back(pr);
         }
@@ -293,6 +303,7 @@ bool JoinEnumerator::RunLevelParallel(int level) {
   // emit_index; pairs_examined advances in jumps through the non-adjacent
   // pairs between records, re-running every poll boundary the serial scan
   // would have crossed. ----
+  ProfPhase merge_phase(ProfPhaseKind::kMerge);
   const auto merge_start = std::chrono::steady_clock::now();
   size_t cur_chunk = 0;
   size_t cur_pair = 0;
@@ -333,6 +344,9 @@ bool JoinEnumerator::RunLevelParallel(int level) {
           break;
         }
         const ChunkOutput& oc = outputs[cur_chunk];
+        // Same kCost extent as the serial pair body: memo-entry creation
+        // plus candidate application, so alloc attribution matches serial.
+        ProfPhase cost_phase(ProfPhaseKind::kCost);
         bool created = false;
         // The pair's operands have unit counts a_size and level - a_size,
         // so the join target's is always `level`.
@@ -414,6 +428,7 @@ struct CcpChunkOutput {
 
 bool JoinEnumerator::RunLevelCcpParallel(int level,
                                          const std::vector<CcpTask>& tasks) {
+  ProfPhase enumerate_phase(ProfPhaseKind::kEnumerate);
   // ---- Chunk planning over the dense task list (no budget checkpoints:
   // a level that falls back to the serial loop must consume exactly its
   // checkpoint sequence). ----
@@ -445,6 +460,8 @@ bool JoinEnumerator::RunLevelCcpParallel(int level,
   double busy_seconds = 0;
 
   auto run_chunks = [&]() {
+    // Same phase discipline as the DPsize runner above.
+    ProfPhase scan_phase(ProfPhaseKind::kEnumerate);
     const auto busy_start = std::chrono::steady_clock::now();
     CardinalityEstimator wcard(*graph_, *cost_, /*gauge=*/nullptr);
     JoinCandidateGen wgen(*graph_, *cost_, *space_);
@@ -479,10 +496,13 @@ bool JoinEnumerator::RunLevelCcpParallel(int level,
             }
           }
         }
-        wgen.Generate(t.a, t.b, wcard.Rows(t.target), &out.plans_costed,
-                      [&](const JoinCandidate& c) {
-                        out.cands.push_back(c);
-                      });
+        {
+          ProfPhase cost_phase(ProfPhaseKind::kCost);
+          wgen.Generate(t.a, t.b, wcard.Rows(t.target), &out.plans_costed,
+                        [&](const JoinCandidate& c) {
+                          out.cands.push_back(c);
+                        });
+        }
         out.cand_ends.push_back(static_cast<uint32_t>(out.cands.size()));
       }
       outputs[ci] = std::move(out);
@@ -555,6 +575,7 @@ bool JoinEnumerator::RunLevelCcpParallel(int level,
   // values (plans_costed from each candidate's emit_index) and running
   // JCR creation, dominance insertion, fault sites and budget checkpoints
   // in the serial order. ----
+  ProfPhase merge_phase(ProfPhaseKind::kMerge);
   const auto merge_start = std::chrono::steady_clock::now();
   bool merge_aborted = false;
   for (size_t ci = 0; ci < chunks.size() && !merge_aborted; ++ci) {
@@ -568,6 +589,8 @@ bool JoinEnumerator::RunLevelCcpParallel(int level,
         merge_aborted = true;
         break;
       }
+      // Same kCost extent as RunLevelCcpSerial's task body.
+      ProfPhase cost_phase(ProfPhaseKind::kCost);
       bool created = false;
       MemoEntry* target = memo_->GetOrCreate(
           t.target, t.a->unit_count + t.b->unit_count, card_->Rows(t.target),

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/check.h"
+#include "obs/prof/prof.h"
 
 namespace sdp {
 
@@ -83,6 +84,11 @@ RelSet CsgCmpEnumerator::RelsFor(uint64_t unit_mask) {
     rels = rels.Union(unit_rels_[std::countr_zero(m)]);
   }
   interned_.emplace(unit_mask, rels);
+  // Intern misses run only on the owner thread (task build), so this is
+  // deterministic at any thread count.  Charged as the node payload plus
+  // the hash bucket pointer.
+  ProfRecordAlloc(ProfAllocSource::kIntern,
+                  sizeof(uint64_t) + sizeof(RelSet) + sizeof(void*));
   return rels;
 }
 

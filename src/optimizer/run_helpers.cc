@@ -15,6 +15,7 @@ OptimizeResult MakeOptimizeResult(std::string algorithm, const PlanNode* plan,
   result.counters = counters;
   result.elapsed_seconds = elapsed_seconds;
   result.peak_memory_mb = gauge.peak_mb();
+  result.peak_memory_bytes = gauge.peak_bytes();
   result.status = std::move(status);
   if (plan != nullptr) {
     result.plan_arena = std::make_shared<Arena>();

@@ -16,6 +16,7 @@
 #include "engine/executor.h"
 #include "engine/table_data.h"
 #include "obs/flight_recorder.h"
+#include "obs/prof/prof.h"
 #include "obs/recorder_export.h"
 #include "optimizer/run_helpers.h"
 #include "service/plan_fingerprint.h"
@@ -291,6 +292,9 @@ void OptimizerService::ReleaseBudget(size_t budget_bytes) {
 void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
   metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
   metrics_.inflight.fetch_add(1, std::memory_order_relaxed);
+  // Service-layer work samples as "serve"; cache and optimizer phases
+  // re-tag their own extents below.
+  ProfPhase serve_phase(ProfPhaseKind::kServe);
   const Stopwatch request_watch;
 
   ServiceResult out;
@@ -450,6 +454,7 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
     request.options.tracer = config_.tracer;
   }
   if (config_.cache_enabled) {
+    ProfPhase cache_phase(ProfPhaseKind::kCache);
     form = CanonicalizeQuery(request.query, cost);
     full_key = form.key;
     full_key += "|algo=";
@@ -629,6 +634,7 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
     // A fill that throws (allocation failure, injected "service.fill"
     // fault) must not strand coalesced waiters: the ticket is abandoned
     // with a typed status so exactly one of them retries.
+    ProfPhase cache_phase(ProfPhaseKind::kCache);
     bool filled = false;
     try {
       if (FaultInjector::Global().Hit("service.fill")) {
@@ -667,6 +673,15 @@ void OptimizerService::RunOne(std::shared_ptr<PendingRequest> pending) {
   metrics_.bytes_charged.fetch_add(
       static_cast<uint64_t>(out.result.peak_memory_mb * (1 << 20)),
       std::memory_order_relaxed);
+  // High-watermark across computed requests: the largest single-request
+  // working set (arena + memo peak, from the budget layer's gauge).
+  uint64_t prev_peak =
+      metrics_.request_peak_bytes.load(std::memory_order_relaxed);
+  while (out.result.peak_memory_bytes > prev_peak &&
+         !metrics_.request_peak_bytes.compare_exchange_weak(
+             prev_peak, out.result.peak_memory_bytes,
+             std::memory_order_relaxed)) {
+  }
 
   // Plan-quality SLO sampling: every Nth freshly computed feasible plan
   // is executed (EXPLAIN ANALYZE) and its root-cardinality Q-error feeds

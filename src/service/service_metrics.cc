@@ -102,6 +102,7 @@ std::string ServiceMetrics::Dump() const {
       "service.effort.plans_costed %llu\n"
       "service.effort.jcrs_created %llu\n"
       "service.memory.bytes_charged %llu\n"
+      "service.memory.request_peak_bytes %llu\n"
       "service.admission.waits %llu\n"
       "service.admission.timeouts %llu\n"
       "service.degrade.requests %llu\n"
@@ -141,6 +142,7 @@ std::string ServiceMetrics::Dump() const {
       static_cast<unsigned long long>(plans_costed.load()),
       static_cast<unsigned long long>(jcrs_created.load()),
       static_cast<unsigned long long>(bytes_charged.load()),
+      static_cast<unsigned long long>(request_peak_bytes.load()),
       static_cast<unsigned long long>(admission_waits.load()),
       static_cast<unsigned long long>(admission_timeouts.load()),
       static_cast<unsigned long long>(requests_degraded.load()),
@@ -293,6 +295,9 @@ std::string ServiceMetrics::PrometheusText(const std::string& replica) const {
   gauge("sdp_service_plan_cache_resident_bytes",
         "Arena bytes held by resident plan-cache entries.",
         plan_cache_bytes.load());
+  gauge("sdp_request_peak_bytes",
+        "Largest single-request optimizer memory high-watermark (bytes).",
+        static_cast<int64_t>(request_peak_bytes.load()));
 
   const char* hist = "sdp_service_optimize_latency_seconds";
   // Histogram buckets merge the replica label with le=... inside one brace
@@ -357,6 +362,7 @@ void ServiceMetrics::Reset() {
   parallel_merge_us.store(0);
   flight_dumps.store(0);
   slo_burns.store(0);
+  request_peak_bytes.store(0);
   queue_depth.store(0);
   inflight.store(0);
   plan_cache_entries.store(0);

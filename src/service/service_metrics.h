@@ -108,6 +108,9 @@ class ServiceMetrics {
   std::atomic<uint64_t> flight_dumps{0};
   // SLO burn episodes (edge transitions into burning; see obs/slo.h).
   std::atomic<uint64_t> slo_burns{0};
+  // Largest single-request optimizer memory high-watermark seen since the
+  // last Reset (bytes; CAS-max of OptimizeResult::peak_memory_bytes).
+  std::atomic<uint64_t> request_peak_bytes{0};
   // Instantaneous gauges.
   std::atomic<int64_t> queue_depth{0};
   std::atomic<int64_t> inflight{0};

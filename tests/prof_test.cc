@@ -1,0 +1,414 @@
+// Sampling-profiler tests: signal-safety under concurrent optimization
+// (the TSan job runs Prof* with 8 threads against a 997 Hz sampler),
+// phase exactness (every sample carries exactly one phase tag), the
+// allocation-attribution determinism contract (--opt-threads 1 vs N must
+// produce bit-identical per-phase byte totals), folded-stack rendering
+// and merging, the /profilez endpoint, and the request-peak-bytes gauge
+// the service derives from the same byte accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "harness/experiment.h"
+#include "obs/introspection.h"
+#include "obs/prof/prof.h"
+#include "obs/prof/prof_export.h"
+#include "obs/prof/profiler.h"
+#include "optimizer/dp.h"
+#include "query/topology.h"
+#include "service/optimizer_service.h"
+#include "stats/column_stats.h"
+#include "workload/workload.h"
+
+namespace sdp {
+namespace {
+
+class ProfTest : public ::testing::Test {
+ protected:
+  ProfTest()
+      : catalog_(MakeSyntheticCatalog(SchemaConfig{})),
+        stats_(SynthesizeStats(catalog_)) {}
+
+  void SetUp() override {
+    // Tests in this binary share the process-global profiler; start each
+    // one quiescent and attributing nothing.
+    SamplingProfiler::Instance().Stop();
+    SamplingProfiler::Instance().Reset();
+    ProfSetAllocCountersEnabled(false);
+    ProfAllocReset();
+  }
+  void TearDown() override {
+    SamplingProfiler::Instance().Stop();
+    SamplingProfiler::Instance().Reset();
+    ProfSetAllocCountersEnabled(false);
+    ProfAllocReset();
+  }
+
+  Query MakeQuery(Topology t, int n, uint64_t seed) {
+    WorkloadSpec spec;
+    spec.topology = t;
+    spec.num_relations = n;
+    spec.num_instances = 1;
+    spec.seed = seed;
+    return GenerateWorkload(catalog_, spec).front();
+  }
+
+  // One full optimize of a mid-size query (enough CPU to be sampled).
+  void BurnOnce(PlanEnumeratorKind kind, int opt_threads = 1) {
+    const Query q = MakeQuery(Topology::kChain, 20, 7);
+    CostModel cost(catalog_, stats_, q.graph, CostParams(), q.filters);
+    OptimizerOptions opt;
+    opt.enumerator = kind;
+    opt.opt_threads = opt_threads;
+    const OptimizeResult res = OptimizeDP(q, cost, opt);
+    ASSERT_TRUE(res.feasible);
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Phase tagging basics
+
+TEST_F(ProfTest, PhaseTagsNestAndRestore) {
+  EXPECT_EQ(CurrentProfPhase(), ProfPhaseKind::kNone);
+  {
+    ProfPhase outer(ProfPhaseKind::kEnumerate);
+    EXPECT_EQ(CurrentProfPhase(), ProfPhaseKind::kEnumerate);
+    {
+      ProfPhase inner(ProfPhaseKind::kCost);
+      EXPECT_EQ(CurrentProfPhase(), ProfPhaseKind::kCost);
+    }
+    EXPECT_EQ(CurrentProfPhase(), ProfPhaseKind::kEnumerate);
+  }
+  EXPECT_EQ(CurrentProfPhase(), ProfPhaseKind::kNone);
+}
+
+TEST_F(ProfTest, PhaseNamesAreStable) {
+  EXPECT_STREQ(ProfPhaseName(ProfPhaseKind::kNone), "none");
+  EXPECT_STREQ(ProfPhaseName(ProfPhaseKind::kEnumerate), "enumerate");
+  EXPECT_STREQ(ProfPhaseName(ProfPhaseKind::kCost), "cost");
+  EXPECT_STREQ(ProfPhaseName(ProfPhaseKind::kPrune), "prune");
+  EXPECT_STREQ(ProfPhaseName(ProfPhaseKind::kMerge), "merge");
+  EXPECT_STREQ(ProfPhaseName(ProfPhaseKind::kCache), "cache");
+  EXPECT_STREQ(ProfPhaseName(ProfPhaseKind::kServe), "serve");
+}
+
+// ---------------------------------------------------------------------------
+// Allocation attribution
+
+TEST_F(ProfTest, AllocCountersDisabledRecordNothing) {
+  ProfRecordAlloc(ProfAllocSource::kArena, 4096);
+  const ProfAllocCounters snap = ProfAllocSnapshot();
+  EXPECT_EQ(snap.TotalBytes(), 0u);
+}
+
+TEST_F(ProfTest, AllocCountersKeyByActivePhaseAndSource) {
+  ProfSetAllocCountersEnabled(true);
+  {
+    ProfPhase phase(ProfPhaseKind::kCost);
+    ProfRecordAlloc(ProfAllocSource::kArena, 100);
+    ProfRecordAlloc(ProfAllocSource::kMemo, 50);
+  }
+  ProfRecordAlloc(ProfAllocSource::kArena, 7);  // Lands in "none".
+  const ProfAllocCounters snap = ProfAllocSnapshot();
+  EXPECT_EQ(snap.PhaseBytes(ProfPhaseKind::kCost), 150u);
+  EXPECT_EQ(snap.PhaseBytes(ProfPhaseKind::kNone), 7u);
+  EXPECT_EQ(snap.SourceBytes(ProfAllocSource::kArena), 107u);
+  EXPECT_EQ(snap.SourceBytes(ProfAllocSource::kMemo), 50u);
+  EXPECT_EQ(snap.TotalBytes(), 157u);
+}
+
+TEST_F(ProfTest, OptimizeAttributesAllocationsToNamedPhases) {
+  ProfSetAllocCountersEnabled(true);
+  BurnOnce(PlanEnumeratorKind::kDPccp);
+  const ProfAllocCounters snap = ProfAllocSnapshot();
+  // Memo entries and plan slots are created while costing; the intern
+  // table only fills during enumeration (task build).
+  EXPECT_GT(snap.PhaseBytes(ProfPhaseKind::kCost), 0u);
+  EXPECT_GT(snap.SourceBytes(ProfAllocSource::kMemo), 0u);
+  EXPECT_GT(snap.SourceBytes(ProfAllocSource::kIntern), 0u);
+  // Nothing outside a tagged region allocates on gauge-attached paths
+  // during the DP run itself (driver setup runs before counters matter,
+  // but it is untagged, so allow "none" without requiring it).
+  EXPECT_GT(snap.TotalBytes(), snap.PhaseBytes(ProfPhaseKind::kNone));
+}
+
+// The determinism contract: per-phase x per-source allocation totals are
+// bit-identical at --opt-threads 1 vs 4.  Workers run gauge-free scratch
+// (invisible), and the deterministic merge replays candidate application
+// on the owner thread under the same kCost extents the serial loop uses.
+TEST_F(ProfTest, AllocAttributionIdenticalSerialVsParallel) {
+  for (const PlanEnumeratorKind kind :
+       {PlanEnumeratorKind::kDPsize, PlanEnumeratorKind::kDPccp}) {
+    ProfAllocReset();
+    ProfSetAllocCountersEnabled(true);
+    BurnOnce(kind, /*opt_threads=*/1);
+    const ProfAllocCounters serial = ProfAllocSnapshot();
+    ProfAllocReset();
+    BurnOnce(kind, /*opt_threads=*/4);
+    const ProfAllocCounters parallel = ProfAllocSnapshot();
+    ProfSetAllocCountersEnabled(false);
+    ASSERT_GT(serial.TotalBytes(), 0u);
+    EXPECT_EQ(0, std::memcmp(serial.bytes, parallel.bytes,
+                             sizeof(serial.bytes)))
+        << EnumeratorName(kind) << ": per-phase byte totals diverged";
+    EXPECT_EQ(0, std::memcmp(serial.count, parallel.count,
+                             sizeof(serial.count)))
+        << EnumeratorName(kind) << ": per-phase alloc counts diverged";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+
+// Signal safety: 8 threads optimizing under a 997 Hz sampler.  The TSan
+// CI job runs this with thread sanitization (the handler records
+// phase-only samples there); the plain job additionally exercises frame
+// capture.  The assertion is survival plus attributed samples.
+TEST_F(ProfTest, SamplerSurvivesEightOptimizingThreads) {
+  std::string error;
+  ASSERT_TRUE(SamplingProfiler::Instance().Start(997, &error)) << error;
+  constexpr int kThreads = 8;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const Query q = MakeQuery(Topology::kChain, 18, 100 + t);
+      CostModel cost(catalog_, stats_, q.graph, CostParams(), q.filters);
+      OptimizerOptions opt;
+      opt.enumerator = t % 2 == 0 ? PlanEnumeratorKind::kDPsize
+                                  : PlanEnumeratorKind::kDPccp;
+      for (int rep = 0; rep < 3; ++rep) {
+        if (!OptimizeDP(q, cost, opt).feasible) failed.store(true);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  SamplingProfiler::Instance().Stop();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(SamplingProfiler::Instance().samples_recorded(), 0u);
+
+  const std::vector<SamplingProfiler::Sample> samples =
+      SamplingProfiler::Instance().Snapshot();
+  ASSERT_FALSE(samples.empty());
+  for (const SamplingProfiler::Sample& s : samples) {
+    EXPECT_LT(static_cast<int>(s.phase), kProfPhaseCount);
+    EXPECT_GE(s.depth, 0);
+    EXPECT_LE(s.depth, SamplingProfiler::kMaxFrames);
+  }
+}
+
+// Phase exactness: every snapshot sample carries exactly one phase, so
+// the per-phase counts sum to the total, and a CPU-bound optimize loop
+// attributes the overwhelming majority to named (non-"none") phases.
+TEST_F(ProfTest, PhaseCountsSumToTotalAndMostlyNamed) {
+  std::string error;
+  ASSERT_TRUE(SamplingProfiler::Instance().Start(997, &error)) << error;
+  // Keep optimizing until the sampler has a statistically useful pile.
+  for (int rep = 0; rep < 200; ++rep) {
+    BurnOnce(PlanEnumeratorKind::kDPccp);
+    if (SamplingProfiler::Instance().samples_recorded() >= 100) break;
+  }
+  SamplingProfiler::Instance().Stop();
+  const std::vector<SamplingProfiler::Sample> samples =
+      SamplingProfiler::Instance().Snapshot();
+  ASSERT_GE(samples.size(), 20u);
+
+  const std::map<std::string, uint64_t> counts = ProfPhaseCounts(samples);
+  uint64_t total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  EXPECT_EQ(total, samples.size());
+
+  uint64_t named = 0;
+  for (const auto& kv : counts) {
+    if (kv.first != "none") named += kv.second;
+  }
+  // >= 90% of samples land inside a tagged phase (the acceptance bar);
+  // the remainder is driver glue between levels.
+  EXPECT_GE(named * 10, samples.size() * 9)
+      << "named " << named << " of " << samples.size();
+}
+
+TEST_F(ProfTest, StartRejectsBadRatesAndDoubleStart) {
+  std::string error;
+  EXPECT_FALSE(SamplingProfiler::Instance().Start(0, &error));
+  EXPECT_FALSE(SamplingProfiler::Instance().Start(100000, &error));
+  ASSERT_TRUE(SamplingProfiler::Instance().Start(97, &error)) << error;
+  EXPECT_FALSE(SamplingProfiler::Instance().Start(97, &error));
+  SamplingProfiler::Instance().Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+TEST_F(ProfTest, FoldedRenderingIsLintCleanAndMergeable) {
+  std::string error;
+  ASSERT_TRUE(SamplingProfiler::Instance().Start(997, &error)) << error;
+  for (int rep = 0; rep < 200; ++rep) {
+    BurnOnce(PlanEnumeratorKind::kDPccp);
+    if (SamplingProfiler::Instance().samples_recorded() >= 50) break;
+  }
+  SamplingProfiler::Instance().Stop();
+  const std::vector<SamplingProfiler::Sample> samples =
+      SamplingProfiler::Instance().Snapshot();
+  ASSERT_FALSE(samples.empty());
+
+  const std::string folded = RenderFolded(samples);
+  ASSERT_FALSE(folded.empty());
+  std::istringstream in(folded);
+  std::string line;
+  uint64_t folded_total = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    // Lint: "phase=<name>;frame;... <count>" -- a phase root, exactly one
+    // trailing space-separated positive count, no stray whitespace.
+    EXPECT_EQ(line.rfind("phase=", 0), 0u) << line;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.find(' '), space) << "embedded space: " << line;
+    const uint64_t count = strtoull(line.c_str() + space + 1, nullptr, 10);
+    EXPECT_GT(count, 0u) << line;
+    folded_total += count;
+  }
+  EXPECT_EQ(folded_total, samples.size());
+
+  // Merging a profile with itself doubles every count and changes no keys.
+  const std::string merged = MergeFoldedProfiles({folded, folded});
+  std::istringstream min(merged);
+  uint64_t merged_total = 0;
+  while (std::getline(min, line)) {
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    merged_total += strtoull(line.c_str() + space + 1, nullptr, 10);
+  }
+  EXPECT_EQ(merged_total, 2 * folded_total);
+}
+
+TEST_F(ProfTest, MergeFoldedSumsByKeyAndSorts) {
+  const std::string merged = MergeFoldedProfiles(
+      {"phase=cost;a;b 3\nphase=enumerate;x 1\n",
+       "phase=cost;a;b 4\nphase=serve;y 2\n"});
+  EXPECT_EQ(merged,
+            "phase=cost;a;b 7\n"
+            "phase=enumerate;x 1\n"
+            "phase=serve;y 2\n");
+}
+
+TEST_F(ProfTest, JsonProfileCarriesPhasesStacksAndAllocTable) {
+  ProfSetAllocCountersEnabled(true);
+  {
+    ProfPhase phase(ProfPhaseKind::kCost);
+    ProfRecordAlloc(ProfAllocSource::kMemo, 64);
+  }
+  std::vector<SamplingProfiler::Sample> samples(2);
+  samples[0].phase = ProfPhaseKind::kCost;
+  samples[1].phase = ProfPhaseKind::kEnumerate;
+  const std::string json = RenderProfileJson(samples, ProfAllocSnapshot(),
+                                             /*hz=*/97,
+                                             /*samples_recorded=*/2,
+                                             /*samples_missed=*/0);
+  EXPECT_NE(json.find("\"hz\": 97"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cost\""), std::string::npos);
+  EXPECT_NE(json.find("\"enumerate\""), std::string::npos);
+  EXPECT_NE(json.find("\"alloc\""), std::string::npos);
+  EXPECT_NE(json.find("\"memo\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// /profilez endpoint + request peak gauge
+
+class ProfServiceTest : public ProfTest {
+ protected:
+  ProfServiceTest() {
+    ServiceConfig config;
+    config.num_threads = 2;
+    service_ = std::make_unique<OptimizerService>(catalog_, stats_, config);
+  }
+
+  std::unique_ptr<OptimizerService> service_;
+};
+
+TEST_F(ProfServiceTest, ProfilezEndpointRoutesAndRendersFolded) {
+  IntrospectionServer server(service_.get());
+
+  // Index advertises the endpoint.
+  const HttpResponse index = server.Handle(HttpRequest{"GET", "/", ""});
+  EXPECT_NE(index.body.find("/profilez"), std::string::npos);
+
+  // Run traffic in the background so the one-shot capture sees CPU.
+  std::atomic<bool> stop{false};
+  std::thread burner([&] {
+    const Query q = MakeQuery(Topology::kChain, 16, 3);
+    CostModel cost(catalog_, stats_, q.graph, CostParams(), q.filters);
+    OptimizerOptions opt;
+    opt.enumerator = PlanEnumeratorKind::kDPccp;
+    while (!stop.load()) OptimizeDP(q, cost, opt);
+  });
+  const HttpResponse folded =
+      server.Handle(HttpRequest{"GET", "/profilez", "seconds=0.3"});
+  const HttpResponse json =
+      server.Handle(HttpRequest{"GET", "/profilez", "seconds=0.2&format=json"});
+  stop.store(true);
+  burner.join();
+
+  EXPECT_EQ(folded.status, 200);
+  ASSERT_FALSE(folded.body.empty());
+  // Folded lint: every line is "phase=...<space><count>".
+  std::istringstream in(folded.body);
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.rfind("phase=", 0), 0u) << line;
+    EXPECT_NE(line.rfind(' '), std::string::npos) << line;
+  }
+  EXPECT_EQ(json.status, 200);
+  EXPECT_EQ(json.body.front(), '{');
+  EXPECT_NE(json.body.find("\"phases\""), std::string::npos);
+
+  // Statusz exposes the profiler section (quiescent again by now).
+  const HttpResponse statusz = server.Handle(HttpRequest{"GET", "/statusz", ""});
+  EXPECT_NE(statusz.body.find("[profiler]"), std::string::npos);
+  EXPECT_NE(statusz.body.find("request_peak_bytes"), std::string::npos);
+}
+
+TEST_F(ProfServiceTest, RequestPeakBytesGaugeTracksLargestRequest) {
+  EXPECT_EQ(service_->metrics().request_peak_bytes.load(), 0u);
+  ServiceRequest small;
+  small.query = MakeQuery(Topology::kChain, 6, 1);
+  service_->OptimizeSync(std::move(small));
+  const uint64_t after_small = service_->metrics().request_peak_bytes.load();
+  EXPECT_GT(after_small, 0u);
+
+  ServiceRequest big;
+  big.query = MakeQuery(Topology::kStarChain, 15, 2);
+  service_->OptimizeSync(std::move(big));
+  const uint64_t after_big = service_->metrics().request_peak_bytes.load();
+  EXPECT_GE(after_big, after_small);
+
+  // The gauge is a CAS-max: replaying the small query cannot lower it.
+  ServiceRequest small_again;
+  small_again.query = MakeQuery(Topology::kChain, 6, 1);
+  service_->OptimizeSync(std::move(small_again));
+  EXPECT_EQ(service_->metrics().request_peak_bytes.load(), after_big);
+
+  // Exposed on both text surfaces.
+  EXPECT_NE(service_->metrics().Dump().find("request_peak_bytes"),
+            std::string::npos);
+  EXPECT_NE(service_->metrics().PrometheusText().find(
+                "sdp_request_peak_bytes"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdp

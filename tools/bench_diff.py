@@ -24,6 +24,20 @@ diffed alongside latency with field-appropriate semantics:
                          against the baseline fails (the warm-restart
                          cache advantage eroded)
 
+Counter fields: benchmark rows also carry effort counters
+(pairs_examined, plans_costed, relset_intern_hits).  These are exact,
+deterministic measures of optimizer work -- noise-free, unlike wall
+time -- so they get their own (tight) --counter-threshold (default 0.5%):
+a counter growing past it fails the run even when latency stays inside
+--threshold, catching "same speed today, more work queued for tomorrow"
+regressions.
+
+Machine-context advisory: when the baseline and candidate were recorded
+on machines with different core counts, every timing delta in the pair is
+suspect (parallel benches scale with cores).  The diff prints a WARNING
+line for the pair but never fails on it -- timing thresholds still apply,
+so read flagged rows with the warning in mind.
+
 Designed for the BENCH_*.json files produced by the bench binaries'
 `--json PATH` flag and sdpopt_fleet --soak (google-benchmark
 --benchmark_out format, stamped with git_sha / machine-context in the
@@ -41,14 +55,19 @@ CONTRACT_FIELDS = {
     "warm_hit_rate": "no_drop",
 }
 
+# Deterministic effort counters, diffed under --counter-threshold: growth
+# past it is a regression in optimizer work even if wall time held still.
+COUNTER_FIELDS = ("pairs_examined", "plans_costed", "relset_intern_hits")
+
 
 def load_benchmarks(path, metric):
-    """Returns ({name: time}, {name: {field: value}}, context).
+    """Returns ({name: time}, {name: {field: value}}, {name: {counter:
+    value}}, context).
 
     When a benchmark has aggregate rows (repetitions > 1), the median
     aggregate is preferred over raw iteration rows; otherwise the mean of
-    all iteration rows for that name is used.  Contract fields are taken
-    from iteration rows (last occurrence wins).
+    all iteration rows for that name is used.  Contract and counter
+    fields are taken from iteration rows (last occurrence wins).
     """
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -58,6 +77,7 @@ def load_benchmarks(path, metric):
     raw = {}
     medians = {}
     contracts = {}
+    counters = {}
     for row in doc.get("benchmarks", []):
         name = row.get("run_name", row.get("name"))
         if name is None:
@@ -65,6 +85,10 @@ def load_benchmarks(path, metric):
         for field in CONTRACT_FIELDS:
             if field in row:
                 contracts.setdefault(name, {})[field] = float(row[field])
+        if row.get("run_type") != "aggregate":
+            for field in COUNTER_FIELDS:
+                if field in row:
+                    counters.setdefault(name, {})[field] = float(row[field])
         if metric not in row:
             continue
         if row.get("run_type") == "aggregate":
@@ -74,7 +98,7 @@ def load_benchmarks(path, metric):
         raw.setdefault(name, []).append(float(row[metric]))
     times = {name: sum(v) / len(v) for name, v in raw.items()}
     times.update(medians)
-    return times, contracts, doc.get("context", {})
+    return times, contracts, counters, doc.get("context", {})
 
 
 def describe(context):
@@ -119,10 +143,33 @@ def diff_contracts(name, base_fields, cand_fields, threshold, lines):
     return violations
 
 
+def diff_counters(name, base_fields, cand_fields, threshold, lines):
+    """Appends effort-counter rows for one benchmark; returns failures."""
+    failures = []
+    for field in COUNTER_FIELDS:
+        if field not in cand_fields:
+            continue
+        c = cand_fields[field]
+        b = base_fields.get(field)
+        label = f"{name}:{field}"
+        if b is None:
+            lines.append(f"{label:48s} {'-':>12s} {c:12.0f}   (new)")
+            continue
+        delta = (c - b) / b * 100.0 if b > 0 else (100.0 if c > 0 else 0.0)
+        flag = ""
+        if delta > threshold:
+            flag = "  REGRESSED"
+            failures.append((label, delta))
+        lines.append(f"{label:48s} {b:12.0f} {c:12.0f} {delta:+7.2f}%{flag}")
+    return failures
+
+
 def diff_pair(baseline_path, candidate_path, args):
     """Diffs one baseline/candidate pair; returns (lines, failures)."""
-    base, base_ct, base_ctx = load_benchmarks(baseline_path, args.metric)
-    cand, cand_ct, cand_ctx = load_benchmarks(candidate_path, args.metric)
+    base, base_ct, base_cnt, base_ctx = load_benchmarks(baseline_path,
+                                                        args.metric)
+    cand, cand_ct, cand_cnt, cand_ctx = load_benchmarks(candidate_path,
+                                                        args.metric)
     if not base and not base_ct:
         raise SystemExit(f"bench_diff: no benchmarks in {baseline_path}")
     if not cand and not cand_ct:
@@ -131,6 +178,16 @@ def diff_pair(baseline_path, candidate_path, args):
     lines = [
         f"  baseline : {baseline_path} (git {describe(base_ctx)})",
         f"  candidate: {candidate_path} (git {describe(cand_ctx)})",
+    ]
+    base_cores = base_ctx.get("machine_cores")
+    cand_cores = cand_ctx.get("machine_cores")
+    if (base_cores is not None and cand_cores is not None
+            and base_cores != cand_cores):
+        lines.append(
+            f"  WARNING: core counts differ (baseline {base_cores}, "
+            f"candidate {cand_cores}); timing deltas in this pair are "
+            f"suspect (advisory only)")
+    lines += [
         "",
         f"{'benchmark':48s} {'base':>12s} {'cand':>12s} {'delta':>8s}",
     ]
@@ -153,6 +210,10 @@ def diff_pair(baseline_path, candidate_path, args):
         failures.extend(
             diff_contracts(name, base_ct.get(name, {}), cand_ct[name],
                            args.threshold, lines))
+    for name in sorted(cand_cnt):
+        failures.extend(
+            diff_counters(name, base_cnt.get(name, {}), cand_cnt[name],
+                          args.counter_threshold, lines))
     lines.append("")
     return lines, failures
 
@@ -164,6 +225,11 @@ def main():
     parser.add_argument("--threshold", type=float, default=10.0,
                         help="max tolerated latency increase (and "
                              "warm_hit_rate drop) in percent (default: 10)")
+    parser.add_argument("--counter-threshold", type=float, default=0.5,
+                        help="max tolerated growth of deterministic effort "
+                             "counters (pairs_examined, plans_costed, "
+                             "relset_intern_hits) in percent (default: 0.5; "
+                             "counters are noise-free, so the bar is tight)")
     parser.add_argument("--metric", choices=["cpu_time", "real_time"],
                         default="cpu_time",
                         help="which time series to compare (default: "

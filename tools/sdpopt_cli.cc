@@ -66,6 +66,16 @@
 //   --prometheus[=PATH]                dump service metrics in Prometheus
 //                                      text format (stdout when no PATH);
 //                                      implies service mode
+//   --profile-hz=N                     sample this process at N Hz (SIGPROF)
+//                                      with phase + allocation attribution;
+//                                      a per-phase digest and the top hot
+//                                      symbols print to stderr on exit.
+//                                      Direct (non-service) runs re-run the
+//                                      query until the profile holds ~300
+//                                      samples, so one fast optimize still
+//                                      yields a usable profile
+//   --profile-out=PATH                 write the profile as folded stacks
+//                                      (flamegraph.pl input) to PATH
 //
 // Live observability (see src/obs; all imply service mode):
 //   --obs-port=N                       serve /metrics /statusz /tracez
@@ -110,6 +120,9 @@
 #include "common/budget.h"
 #include "common/fault_injection.h"
 #include "obs/introspection.h"
+#include "obs/prof/prof.h"
+#include "obs/prof/prof_export.h"
+#include "obs/prof/profiler.h"
 #include "core/sdp.h"
 #include "cost/cost_model.h"
 #include "optimizer/fallback.h"
@@ -158,6 +171,8 @@ struct Options {
   double slo_latency_ms = 0;    // > 0 arms the latency objectives.
   double slo_quality = 0;       // > 0 arms the plan-quality objective.
   int analyze_every = 0;        // Quality sampling period (0 = auto).
+  int profile_hz = 0;           // > 0 samples the process at this rate.
+  std::string profile_out;      // Folded-stack output path; empty = none.
   std::string sql;
 
   bool tracing() const {
@@ -271,6 +286,14 @@ bool ParseArgs(int argc, char** argv, Options* out) {
         std::fprintf(stderr, "--analyze-every expects a positive count\n");
         return false;
       }
+    } else if (arg.rfind("--profile-hz=", 0) == 0) {
+      out->profile_hz = std::atoi(arg.c_str() + 13);
+      if (out->profile_hz < 1 || out->profile_hz > 10000) {
+        std::fprintf(stderr, "--profile-hz expects 1..10000\n");
+        return false;
+      }
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      out->profile_out = arg.substr(14);
     } else if (arg == "--list-tables") {
       out->list_tables = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -460,6 +483,7 @@ int main(int argc, char** argv) {
           "[--list-tables]\n"
           "                  [--obs-port=N] [--obs-dump-dir=PATH] "
           "[--obs-linger-ms=N]\n"
+          "                  [--profile-hz=N] [--profile-out=PATH]\n"
           "                  \"SELECT ...\"\n");
       return 2;
     }
@@ -524,6 +548,37 @@ int main(int argc, char** argv) {
       std::printf("%s", sdp::JoinGraphToDot(query.graph, &catalog).c_str());
     }
   }
+
+  const bool profiling = options.profile_hz > 0;
+  if (profiling) {
+    sdp::ProfSetAllocCountersEnabled(true);
+    sdp::ProfAllocReset();
+    std::string prof_error;
+    if (!sdp::SamplingProfiler::Instance().Start(options.profile_hz,
+                                                 &prof_error)) {
+      std::fprintf(stderr, "cannot start profiler: %s\n", prof_error.c_str());
+      return 2;
+    }
+  }
+  // Stops the sampler and emits the requested artifacts: folded stacks to
+  // --profile-out, the per-phase digest to stderr.  Shared by the service
+  // and direct exits.
+  const auto finish_profile = [&]() -> bool {
+    if (!profiling) return true;
+    sdp::SamplingProfiler& prof = sdp::SamplingProfiler::Instance();
+    prof.Stop();
+    const std::vector<sdp::SamplingProfiler::Sample> samples =
+        prof.Snapshot();
+    bool ok = true;
+    if (!options.profile_out.empty()) {
+      ok = WriteFileOrComplain(options.profile_out,
+                               sdp::RenderFolded(samples));
+    }
+    std::fprintf(
+        stderr, "%s",
+        sdp::RenderProfileSummary(samples, sdp::ProfAllocSnapshot()).c_str());
+    return ok;
+  };
 
   // Worst typed status over every run, mapped to the exit code at the end.
   sdp::OptStatusCode worst_status = sdp::OptStatusCode::kOk;
@@ -732,6 +787,7 @@ int main(int argc, char** argv) {
       }
     }
     if (!flush_traces()) return 1;
+    if (!finish_profile()) return 1;
     if (options.obs_linger_ms > 0 && options.obs_port >= 0) {
       // Keep the endpoints (and the service behind them) up for scrapers.
       std::this_thread::sleep_for(
@@ -787,8 +843,19 @@ int main(int argc, char** argv) {
     } else {
       print_result(spec, sdp::RunAlgorithm(spec, query, cost, opt),
                    /*cache_hit=*/false);
+      // One fast optimize can finish between timer ticks; keep re-running
+      // the same query until the sampler holds a usable profile, so a
+      // one-shot invocation still produces meaningful output.
+      if (profiling) {
+        sdp::SamplingProfiler& prof = sdp::SamplingProfiler::Instance();
+        for (int extra = 0;
+             extra < 200 && prof.samples_recorded() < 300; ++extra) {
+          (void)sdp::RunAlgorithm(spec, query, cost, opt);
+        }
+      }
     }
   }
   if (!flush_traces()) return 1;
+  if (!finish_profile()) return 1;
   return ExitCodeFor(worst_status);
 }

@@ -67,6 +67,14 @@
 //   --fault-seed=N            chaos seed: same seed, same fault schedule
 //                             (default 1234)
 //   --chaos-json=PATH         phase-4 report (default BENCH_fleet_chaos.json)
+//   --profile-hz=N            serve mode: sample the supervisor/router
+//                             process at N Hz; folded stacks written to
+//                             --profile-out at shutdown, per-phase digest
+//                             to stderr.  Replica CPU profiles are pulled
+//                             live from the router's /profilez (merged
+//                             across the fleet by phase+symbol)
+//   --profile-out=PATH        folded-stack path (default
+//                             fleet_router_profile.folded)
 //
 // Exit codes: 0 ok, 1 runtime failure, 2 usage, 3 soak contract violated
 // (lost requests or warm <= cold).
@@ -90,6 +98,9 @@
 #include "fleet/supervisor.h"
 #include "obs/dtrace.h"
 #include "obs/introspection.h"
+#include "obs/prof/prof.h"
+#include "obs/prof/prof_export.h"
+#include "obs/prof/profiler.h"
 #include "obs/recorder_export.h"
 #include "query/topology.h"
 #include "stats/column_stats.h"
@@ -114,6 +125,11 @@ struct Flags {
   uint64_t fault_seed = 1234;
   std::string chaos_json_path = "BENCH_fleet_chaos.json";
   PlanEnumeratorKind enumerator = PlanEnumeratorKind::kDPsize;
+  // > 0 samples the supervisor/router process at this rate (SIGPROF); the
+  // folded stacks land in profile_out on shutdown.  Replica profiles come
+  // from the router's /profilez, which merges their /profilez outputs.
+  int profile_hz = 0;
+  std::string profile_out = "fleet_router_profile.folded";
 };
 
 // Default phase-4 spec: every net.* fault site at soak-survivable rates.
@@ -819,12 +835,43 @@ int RunServe(const Flags& flags) {
                 " (?trace=HEX&format=json|chrome)\n",
                 flags.router_obs_port);
   }
+  if (flags.profile_hz > 0) {
+    // Profiles this (supervisor + router) process; replica CPU is sampled
+    // in-process by each replica and merged via the router's /profilez.
+    ProfSetAllocCountersEnabled(true);
+    ProfAllocReset();
+    std::string prof_error;
+    if (!SamplingProfiler::Instance().Start(flags.profile_hz, &prof_error)) {
+      std::fprintf(stderr, "cannot start profiler: %s\n", prof_error.c_str());
+      fleet.Stop();
+      return 1;
+    }
+    std::printf("  profiler: %d Hz, folded stacks -> %s on shutdown\n",
+                flags.profile_hz, flags.profile_out.c_str());
+  }
   std::fflush(stdout);
   InstallShutdownHandlers();
   while (!ShutdownRequested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::printf("fleet: draining\n");
+  if (flags.profile_hz > 0) {
+    SamplingProfiler& prof = SamplingProfiler::Instance();
+    prof.Stop();
+    const std::vector<SamplingProfiler::Sample> samples = prof.Snapshot();
+    if (!flags.profile_out.empty()) {
+      FILE* f = fopen(flags.profile_out.c_str(), "w");
+      if (f != nullptr) {
+        const std::string folded = RenderFolded(samples);
+        fwrite(folded.data(), 1, folded.size(), f);
+        fclose(f);
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", flags.profile_out.c_str());
+      }
+    }
+    std::fprintf(stderr, "%s",
+                 RenderProfileSummary(samples, ProfAllocSnapshot()).c_str());
+  }
   fleet.Stop();
   return 0;
 }
@@ -868,6 +915,11 @@ int Main(int argc, char** argv) {
       flags.chaos_json_path = value;
     } else if (name == "--enumerator") {
       ok = ParseEnumeratorKind(value, &flags.enumerator);
+    } else if (name == "--profile-hz") {
+      ok = ParseInt(value, &flags.profile_hz) && flags.profile_hz >= 1 &&
+           flags.profile_hz <= 10000;
+    } else if (name == "--profile-out") {
+      flags.profile_out = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", name.c_str());
       return Usage();
